@@ -1,0 +1,44 @@
+//! An NVDLA-like analytical DNN-accelerator model: the substrate behind
+//! ACT's Reduce case study (Figures 12 and 13).
+//!
+//! The paper sweeps an NVDLA-based neural processing unit from 64 to 2048
+//! multiply-accumulate units (MACs) and asks which configuration each
+//! optimization metric selects. We do not have NVDLA RTL; this crate models
+//! the three quantities the study needs analytically:
+//!
+//! * **Area** — a fixed controller/buffer block plus per-MAC datapath and
+//!   SRAM, with process-node scaling (logic scales near-quadratically with
+//!   feature size, the fixed block sub-linearly because IO and analog scale
+//!   poorly).
+//! * **Performance** — per-layer cycle counts with an array-utilization
+//!   term: a layer with available parallelism `P` keeps an `M`-MAC array
+//!   `P/(P+M)` busy, so wide arrays see diminishing returns on narrow
+//!   layers.
+//! * **Energy** — MAC switching energy, DRAM traffic with a weight-refetch
+//!   penalty for arrays whose buffers are too small to hold a tile
+//!   (vanishing once the array/buffer reaches 512 MACs), and static leakage
+//!   that grows with array size.
+//!
+//! # Examples
+//!
+//! ```
+//! use act_accel::{AccelConfig, Network};
+//!
+//! let network = Network::mobile_vision();
+//! let small = AccelConfig::new(256).evaluate(&network);
+//! let large = AccelConfig::new(2048).evaluate(&network);
+//! assert!(large.throughput() > small.throughput());
+//! assert!(AccelConfig::new(2048).area() > AccelConfig::new(256).area());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod energy;
+mod layer;
+mod perf;
+
+pub use config::AccelConfig;
+pub use layer::{Layer, Network};
+pub use perf::{layer_breakdown, Evaluation, LayerReport};

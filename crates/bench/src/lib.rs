@@ -1,0 +1,11 @@
+//! Criterion benchmark harness for the ACT reproduction.
+//!
+//! Two bench targets exist:
+//!
+//! * `paper` — one benchmark per figure/table; each iteration regenerates
+//!   the artifact end to end (`bench_fig1` … `bench_table12`).
+//! * `ablations` — the design-choice sensitivity studies DESIGN.md calls
+//!   out (yield, abatement, fab energy source, WA model, DRAM-node
+//!   assignment).
+//!
+//! Run with `cargo bench --workspace`.

@@ -1,0 +1,68 @@
+//! `act` — run ACT paper experiments from the shell.
+//!
+//! ```text
+//! act list            # list experiment IDs
+//! act fig12           # reproduce Figure 12
+//! act table4 fig9     # several at once
+//! act --json fig12    # typed result as JSON
+//! act all             # everything, in paper order
+//! ```
+
+use std::process::ExitCode;
+
+use act_experiments::{render_experiment, render_experiment_json, EXPERIMENT_IDS};
+
+fn usage() -> String {
+    format!(
+        "act — ACT (ISCA 2022) experiment runner\n\n\
+         usage: act [--json] <experiment>...\n\
+                act list\n\n\
+         experiments: {}",
+        EXPERIMENT_IDS.join(", ")
+    )
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut ids = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            "--json" => json = true,
+            _ => ids.push(arg),
+        }
+    }
+    if ids.is_empty() {
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    if ids.len() == 1 && ids[0] == "list" {
+        for id in EXPERIMENT_IDS {
+            println!("{id}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    for id in &ids {
+        let rendered = if json {
+            render_experiment_json(id)
+        } else {
+            render_experiment(id)
+        };
+        match rendered {
+            Some(text) => {
+                print!("{text}");
+                if json {
+                    println!();
+                }
+            }
+            None => {
+                eprintln!("unknown experiment `{id}`\n\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,142 @@
+//! The four life-cycle phases of Figure 3 — production, transport, use,
+//! end-of-life — assembled into one estimate, with a hybrid mode that
+//! replaces a report's opaque manufacturing number with an ACT bottom-up
+//! estimate.
+
+use act_data::reports::ProductReport;
+use act_units::MassCo2;
+use serde::{Deserialize, Serialize};
+
+/// A complete device life-cycle footprint split into the paper's four
+/// phases.
+///
+/// # Examples
+///
+/// ```
+/// use act_core::LifecycleEstimate;
+/// use act_data::reports::IPHONE_11;
+/// use act_units::MassCo2;
+///
+/// let reported = LifecycleEstimate::from_report(&IPHONE_11);
+/// // Hybrid: keep transport/use/EOL from the report, replace the
+/// // manufacturing slice with an ACT bottom-up estimate.
+/// let hybrid = reported.with_manufacturing(MassCo2::kilograms(40.0));
+/// assert!(hybrid.total() < reported.total());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LifecycleEstimate {
+    /// Hardware manufacturing (production) emissions.
+    pub manufacturing: MassCo2,
+    /// Transport emissions.
+    pub transport: MassCo2,
+    /// Operational-use emissions.
+    pub use_phase: MassCo2,
+    /// End-of-life processing emissions.
+    pub end_of_life: MassCo2,
+}
+
+impl LifecycleEstimate {
+    /// Splits a product environmental report's total by its phase shares.
+    #[must_use]
+    pub fn from_report(report: &ProductReport) -> Self {
+        let total = report.total();
+        Self {
+            manufacturing: total * report.manufacturing_share,
+            transport: total * report.transport_share,
+            use_phase: total * report.use_share,
+            end_of_life: total * report.end_of_life_share,
+        }
+    }
+
+    /// Replaces the manufacturing phase (e.g. with an ACT bottom-up
+    /// estimate), keeping the other phases.
+    #[must_use]
+    pub fn with_manufacturing(mut self, manufacturing: MassCo2) -> Self {
+        self.manufacturing = manufacturing;
+        self
+    }
+
+    /// Replaces the use phase (e.g. with an eq. 2 estimate under a
+    /// different grid).
+    #[must_use]
+    pub fn with_use_phase(mut self, use_phase: MassCo2) -> Self {
+        self.use_phase = use_phase;
+        self
+    }
+
+    /// Total over all four phases.
+    #[must_use]
+    pub fn total(&self) -> MassCo2 {
+        self.manufacturing + self.transport + self.use_phase + self.end_of_life
+    }
+
+    /// Manufacturing's share of the total, in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the total is zero.
+    #[must_use]
+    pub fn manufacturing_share(&self) -> f64 {
+        let total = self.total();
+        assert!(total > MassCo2::ZERO, "cannot take shares of a zero footprint");
+        self.manufacturing / total
+    }
+
+    /// `true` when manufacturing exceeds every other phase — the modern
+    /// regime the paper is about.
+    #[must_use]
+    pub fn is_embodied_dominated(&self) -> bool {
+        self.manufacturing > self.transport
+            && self.manufacturing > self.use_phase
+            && self.manufacturing > self.end_of_life
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use act_data::reports::{IPHONE_11, IPHONE_3};
+
+    #[test]
+    fn report_split_reconciles_with_total() {
+        let e = LifecycleEstimate::from_report(&IPHONE_11);
+        assert!((e.total() / IPHONE_11.total() - 1.0).abs() < 1e-12);
+        assert!((e.manufacturing_share() - 0.79).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regime_shift_between_generations() {
+        assert!(!LifecycleEstimate::from_report(&IPHONE_3).is_embodied_dominated());
+        assert!(LifecycleEstimate::from_report(&IPHONE_11).is_embodied_dominated());
+    }
+
+    #[test]
+    fn hybrid_substitution_changes_only_one_phase() {
+        let base = LifecycleEstimate::from_report(&IPHONE_11);
+        let hybrid = base.with_manufacturing(MassCo2::kilograms(30.0));
+        assert_eq!(hybrid.transport, base.transport);
+        assert_eq!(hybrid.use_phase, base.use_phase);
+        assert_eq!(hybrid.end_of_life, base.end_of_life);
+        assert!((hybrid.manufacturing.as_kilograms() - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn use_phase_substitution_models_grid_changes() {
+        let base = LifecycleEstimate::from_report(&IPHONE_11);
+        let green = base.with_use_phase(MassCo2::kilograms(1.0));
+        assert!(green.total() < base.total());
+        assert!(green.manufacturing_share() > base.manufacturing_share());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero footprint")]
+    fn zero_total_share_panics() {
+        let zero = LifecycleEstimate {
+            manufacturing: MassCo2::ZERO,
+            transport: MassCo2::ZERO,
+            use_phase: MassCo2::ZERO,
+            end_of_life: MassCo2::ZERO,
+        };
+        let _ = zero.manufacturing_share();
+    }
+}

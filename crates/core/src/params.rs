@@ -1,0 +1,291 @@
+//! Table 1 as a single configuration surface: every input parameter of the
+//! ACT model in one validated, serializable struct, with a facade that
+//! evaluates eq. 1 directly.
+
+use act_data::{DramTechnology, HddModel, ProcessNode, SsdTechnology};
+use act_units::{
+    Area, Capacity, CarbonIntensity, Energy, Fraction, MassCo2, TimeSpan,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::{total_footprint, FabScenario, OperationalModel, SystemSpec};
+
+/// The input-parameter set of ACT's Table 1, bundled.
+///
+/// This is the "config file" view of the model: where the builder APIs in
+/// [`SystemSpec`]/[`FabScenario`]/[`OperationalModel`] are for programmatic
+/// exploration, `ModelParams` maps one-to-one onto the paper's parameter
+/// table (T, LT, Nr, A, p, CIuse, CIfab, Y, capacities) and can be stored
+/// as JSON.
+///
+/// # Examples
+///
+/// ```
+/// use act_core::ModelParams;
+///
+/// let params = ModelParams::mobile_reference();
+/// let json = serde_json::to_string(&params).unwrap();
+/// let back: ModelParams = serde_json::from_str(&json).unwrap();
+/// let cf = back.footprint();
+/// assert!(cf.as_grams() > 0.0);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ModelParams {
+    /// `T` — application execution time in seconds.
+    pub execution_time_s: f64,
+    /// `LT` — hardware lifetime in years (paper range 1–10).
+    pub lifetime_years: f64,
+    /// `Nr` — number of packaged ICs.
+    pub packaged_ic_count: u32,
+    /// `A` — application-processor die area in mm².
+    pub soc_area_mm2: f64,
+    /// `p` — process node.
+    pub process_node: ProcessNode,
+    /// `CIuse` — use-phase carbon intensity, g CO₂/kWh.
+    pub use_intensity_g_per_kwh: f64,
+    /// `CIfab` — fab carbon intensity, g CO₂/kWh.
+    pub fab_intensity_g_per_kwh: f64,
+    /// `Y` — fab yield in `(0, 1]`.
+    pub fab_yield: f64,
+    /// DRAM population (technology, GB).
+    pub dram: Vec<(DramTechnology, f64)>,
+    /// SSD population (technology, GB).
+    pub ssd: Vec<(SsdTechnology, f64)>,
+    /// HDD population (model, GB).
+    pub hdd: Vec<(HddModel, f64)>,
+    /// Application energy over `T`, in joules.
+    pub energy_j: f64,
+}
+
+/// Error returned when [`ModelParams`] violates Table 1's ranges.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParamsError {
+    message: String,
+}
+
+impl std::fmt::Display for ParamsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid model parameters: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParamsError {}
+
+fn err(message: impl Into<String>) -> ParamsError {
+    ParamsError { message: message.into() }
+}
+
+impl ModelParams {
+    /// A mobile reference configuration: a 7 nm 90 mm² SoC with 8 GB
+    /// LPDDR4 and 128 GB NAND, one hour of daily-driver use on the US grid
+    /// over a 3-year life.
+    #[must_use]
+    pub fn mobile_reference() -> Self {
+        Self {
+            execution_time_s: 3600.0,
+            lifetime_years: 3.0,
+            packaged_ic_count: 3,
+            soc_area_mm2: 90.0,
+            process_node: ProcessNode::N7,
+            use_intensity_g_per_kwh: 380.0,
+            fab_intensity_g_per_kwh: 447.5,
+            fab_yield: 0.875,
+            dram: vec![(DramTechnology::Lpddr4, 8.0)],
+            ssd: vec![(SsdTechnology::V3NandTlc, 128.0)],
+            hdd: vec![],
+            energy_j: 2.0 * 3600.0, // 2 W for an hour
+        }
+    }
+
+    /// Validates every field against Table 1's documented ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParamsError`] naming the first violated constraint.
+    pub fn validate(&self) -> Result<(), ParamsError> {
+        if !(self.execution_time_s >= 0.0 && self.execution_time_s.is_finite()) {
+            return Err(err("execution time must be non-negative and finite"));
+        }
+        if !(0.1..=50.0).contains(&self.lifetime_years) {
+            return Err(err(format!(
+                "lifetime {} years outside the plausible 0.1-50 range",
+                self.lifetime_years
+            )));
+        }
+        if self.soc_area_mm2 < 0.0 || !self.soc_area_mm2.is_finite() {
+            return Err(err("SoC area must be non-negative"));
+        }
+        for (label, ci) in [
+            ("use", self.use_intensity_g_per_kwh),
+            ("fab", self.fab_intensity_g_per_kwh),
+        ] {
+            if !(0.0..=2000.0).contains(&ci) {
+                return Err(err(format!("{label} carbon intensity {ci} outside 0-2000 g/kWh")));
+            }
+        }
+        if !(self.fab_yield > 0.0 && self.fab_yield <= 1.0) {
+            return Err(err(format!("fab yield {} outside (0, 1]", self.fab_yield)));
+        }
+        let caps = self
+            .dram
+            .iter()
+            .map(|(_, gb)| *gb)
+            .chain(self.ssd.iter().map(|(_, gb)| *gb))
+            .chain(self.hdd.iter().map(|(_, gb)| *gb));
+        for gb in caps {
+            if gb < 0.0 || !gb.is_finite() {
+                return Err(err("capacities must be non-negative"));
+            }
+        }
+        if self.energy_j < 0.0 || !self.energy_j.is_finite() {
+            return Err(err("energy must be non-negative"));
+        }
+        Ok(())
+    }
+
+    /// The fab scenario these parameters imply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters do not [`validate`](Self::validate).
+    #[must_use]
+    pub fn fab_scenario(&self) -> FabScenario {
+        self.validate().expect("parameters must validate");
+        FabScenario::with_intensity(CarbonIntensity::grams_per_kwh(
+            self.fab_intensity_g_per_kwh,
+        ))
+        .with_yield(Fraction::new(self.fab_yield).expect("validated"))
+    }
+
+    /// The hardware description these parameters imply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters do not [`validate`](Self::validate).
+    #[must_use]
+    pub fn system_spec(&self) -> SystemSpec {
+        self.validate().expect("parameters must validate");
+        let mut builder = SystemSpec::builder().soc(
+            "application processor",
+            Area::square_millimeters(self.soc_area_mm2),
+            self.process_node,
+        );
+        for (tech, gb) in &self.dram {
+            builder = builder.dram(*tech, Capacity::gigabytes(*gb));
+        }
+        for (tech, gb) in &self.ssd {
+            builder = builder.ssd(*tech, Capacity::gigabytes(*gb));
+        }
+        for (model, gb) in &self.hdd {
+            builder = builder.hdd(*model, Capacity::gigabytes(*gb));
+        }
+        builder.packaged_ics(self.packaged_ic_count).build()
+    }
+
+    /// Embodied footprint `ECF` (eq. 3).
+    #[must_use]
+    pub fn embodied(&self) -> MassCo2 {
+        self.system_spec().embodied(&self.fab_scenario()).total()
+    }
+
+    /// Operational footprint `OPCF` (eq. 2).
+    #[must_use]
+    pub fn operational(&self) -> MassCo2 {
+        OperationalModel::new(CarbonIntensity::grams_per_kwh(self.use_intensity_g_per_kwh))
+            .footprint(Energy::joules(self.energy_j))
+    }
+
+    /// Total footprint `CF = OPCF + (T / LT) × ECF` (eq. 1).
+    #[must_use]
+    pub fn footprint(&self) -> MassCo2 {
+        total_footprint(
+            self.operational(),
+            self.embodied(),
+            TimeSpan::seconds(self.execution_time_s),
+            TimeSpan::years(self.lifetime_years),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_config_validates_and_evaluates() {
+        let p = ModelParams::mobile_reference();
+        assert!(p.validate().is_ok());
+        assert!(p.embodied().as_kilograms() > 1.0);
+        assert!(p.operational().as_grams() > 0.1);
+        assert!(p.footprint() > p.operational());
+    }
+
+    #[test]
+    fn facade_agrees_with_builder_path() {
+        let p = ModelParams::mobile_reference();
+        let spec = p.system_spec();
+        let direct = spec.embodied(&p.fab_scenario()).total();
+        assert_eq!(direct, p.embodied());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let p = ModelParams::mobile_reference();
+        let json = serde_json::to_string_pretty(&p).unwrap();
+        let back: ModelParams = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+        assert_eq!(back.footprint(), p.footprint());
+    }
+
+    #[test]
+    fn validation_catches_each_violation() {
+        let base = ModelParams::mobile_reference();
+
+        let mut p = base.clone();
+        p.lifetime_years = 0.0;
+        assert!(p.validate().unwrap_err().to_string().contains("lifetime"));
+
+        let mut p = base.clone();
+        p.fab_yield = 0.0;
+        assert!(p.validate().unwrap_err().to_string().contains("yield"));
+
+        let mut p = base.clone();
+        p.use_intensity_g_per_kwh = -1.0;
+        assert!(p.validate().unwrap_err().to_string().contains("intensity"));
+
+        let mut p = base.clone();
+        p.dram[0].1 = -4.0;
+        assert!(p.validate().unwrap_err().to_string().contains("capacities"));
+
+        let mut p = base.clone();
+        p.energy_j = f64::NAN;
+        assert!(p.validate().is_err());
+
+        let mut p = base;
+        p.soc_area_mm2 = f64::INFINITY;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn zero_runtime_charges_no_embodied() {
+        let mut p = ModelParams::mobile_reference();
+        p.execution_time_s = 0.0;
+        assert_eq!(p.footprint(), p.operational());
+    }
+
+    #[test]
+    fn full_lifetime_charges_everything() {
+        let mut p = ModelParams::mobile_reference();
+        p.execution_time_s = TimeSpan::years(p.lifetime_years).as_seconds();
+        let expected = p.operational() + p.embodied();
+        assert!((p.footprint() / expected - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "parameters must validate")]
+    fn invalid_params_panic_on_use() {
+        let mut p = ModelParams::mobile_reference();
+        p.fab_yield = 2.0;
+        let _ = p.embodied();
+    }
+}

@@ -1,0 +1,191 @@
+//! Product-transport emissions: the third phase of Figure 3.
+//!
+//! Transport is a few percent of device life cycles (Figure 1), but a
+//! complete life-cycle assembly (see [`crate::LifecycleEstimate`]) needs
+//! it. Factors are standard freight intensities per tonne-kilometer.
+
+use act_units::MassCo2;
+use serde::{Deserialize, Serialize};
+
+/// A freight mode with its carbon intensity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FreightMode {
+    /// Long-haul air freight (~600 g CO₂ per tonne-km) — how flagship
+    /// phones ship at launch.
+    Air,
+    /// Container shipping (~15 g CO₂ per tonne-km).
+    Sea,
+    /// Road freight (~100 g CO₂ per tonne-km) — last-mile and regional.
+    Road,
+    /// Rail freight (~25 g CO₂ per tonne-km).
+    Rail,
+}
+
+impl FreightMode {
+    /// All modes.
+    pub const ALL: [Self; 4] = [Self::Air, Self::Sea, Self::Road, Self::Rail];
+
+    /// Carbon intensity in grams of CO₂ per tonne-kilometer.
+    #[must_use]
+    pub fn grams_per_tonne_km(self) -> f64 {
+        match self {
+            Self::Air => 600.0,
+            Self::Sea => 15.0,
+            Self::Road => 100.0,
+            Self::Rail => 25.0,
+        }
+    }
+}
+
+/// One leg of a product's journey from fab to user.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TransportLeg {
+    /// Freight mode of the leg.
+    pub mode: FreightMode,
+    /// Distance in kilometers.
+    pub distance_km: f64,
+}
+
+/// A transport model: the product's shipped mass (device plus packaging)
+/// and its journey legs.
+///
+/// # Examples
+///
+/// ```
+/// use act_core::{FreightMode, TransportLeg, TransportModel};
+///
+/// // A 0.4 kg boxed phone, flown 10,000 km and trucked 500 km.
+/// let shipping = TransportModel::new(
+///     0.4,
+///     vec![
+///         TransportLeg { mode: FreightMode::Air, distance_km: 10_000.0 },
+///         TransportLeg { mode: FreightMode::Road, distance_km: 500.0 },
+///     ],
+/// );
+/// let footprint = shipping.footprint();
+/// assert!((footprint.as_kilograms() - 2.42).abs() < 0.01);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TransportModel {
+    shipped_mass_kg: f64,
+    legs: Vec<TransportLeg>,
+}
+
+impl TransportModel {
+    /// Creates a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shipped mass is not positive or a leg distance is
+    /// negative.
+    #[must_use]
+    pub fn new(shipped_mass_kg: f64, legs: Vec<TransportLeg>) -> Self {
+        assert!(
+            shipped_mass_kg > 0.0 && shipped_mass_kg.is_finite(),
+            "shipped mass must be positive"
+        );
+        for leg in &legs {
+            assert!(
+                leg.distance_km >= 0.0 && leg.distance_km.is_finite(),
+                "leg distances must be non-negative"
+            );
+        }
+        Self { shipped_mass_kg, legs }
+    }
+
+    /// Total transport footprint across all legs.
+    #[must_use]
+    pub fn footprint(&self) -> MassCo2 {
+        let tonnes = self.shipped_mass_kg / 1000.0;
+        self.legs
+            .iter()
+            .map(|leg| {
+                MassCo2::grams(leg.mode.grams_per_tonne_km() * tonnes * leg.distance_km)
+            })
+            .sum()
+    }
+
+    /// The same journey with every air leg re-routed by sea — the classic
+    /// logistics decarbonization lever.
+    #[must_use]
+    pub fn sea_freight_alternative(&self) -> Self {
+        let legs = self
+            .legs
+            .iter()
+            .map(|leg| TransportLeg {
+                mode: if leg.mode == FreightMode::Air { FreightMode::Sea } else { leg.mode },
+                distance_km: leg.distance_km,
+            })
+            .collect();
+        Self { shipped_mass_kg: self.shipped_mass_kg, legs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phone() -> TransportModel {
+        TransportModel::new(
+            0.4,
+            vec![
+                TransportLeg { mode: FreightMode::Air, distance_km: 10_000.0 },
+                TransportLeg { mode: FreightMode::Road, distance_km: 500.0 },
+            ],
+        )
+    }
+
+    #[test]
+    fn footprint_sums_legs() {
+        // 0.0004 t x (600 x 10000 + 100 x 500) g = 2420 g.
+        assert!((phone().footprint().as_grams() - 2420.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transport_is_a_small_share_of_a_phone_lifecycle() {
+        // Figure 1: transport is a few percent of a ~70 kg life cycle.
+        let share = phone().footprint().as_kilograms() / 70.0;
+        assert!((0.01..=0.1).contains(&share), "share {share}");
+    }
+
+    #[test]
+    fn sea_freight_cuts_air_emissions_by_an_order_of_magnitude() {
+        let air = phone().footprint();
+        let sea = phone().sea_freight_alternative().footprint();
+        assert!(air / sea > 10.0, "air {air} vs sea {sea}");
+    }
+
+    #[test]
+    fn mode_intensities_are_ordered() {
+        assert!(
+            FreightMode::Sea.grams_per_tonne_km() < FreightMode::Rail.grams_per_tonne_km()
+        );
+        assert!(
+            FreightMode::Rail.grams_per_tonne_km() < FreightMode::Road.grams_per_tonne_km()
+        );
+        assert!(
+            FreightMode::Road.grams_per_tonne_km() < FreightMode::Air.grams_per_tonne_km()
+        );
+    }
+
+    #[test]
+    fn empty_journey_is_free() {
+        let m = TransportModel::new(1.0, vec![]);
+        assert_eq!(m.footprint(), MassCo2::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "shipped mass")]
+    fn zero_mass_rejected() {
+        let _ = TransportModel::new(0.0, vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "leg distances")]
+    fn negative_distance_rejected() {
+        let _ = TransportModel::new(
+            1.0,
+            vec![TransportLeg { mode: FreightMode::Sea, distance_km: -1.0 }],
+        );
+    }
+}

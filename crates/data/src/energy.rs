@@ -1,0 +1,166 @@
+//! Table 5: carbon efficiency of energy-generation sources.
+
+use std::fmt;
+
+use act_units::CarbonIntensity;
+use serde::{Deserialize, Serialize};
+
+/// An electricity-generation source with its average carbon intensity and
+/// energy-payback time, as tabulated in ACT's Table 5.
+///
+/// # Examples
+///
+/// ```
+/// use act_data::EnergySource;
+///
+/// let wind = EnergySource::Wind;
+/// assert_eq!(wind.carbon_intensity().as_grams_per_kwh(), 11.0);
+/// assert!(wind.carbon_intensity() < EnergySource::Coal.carbon_intensity());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum EnergySource {
+    /// Coal-fired generation (820 g CO₂/kWh).
+    Coal,
+    /// Natural-gas generation (490 g CO₂/kWh).
+    Gas,
+    /// Biomass generation (230 g CO₂/kWh).
+    Biomass,
+    /// Photovoltaic solar (41 g CO₂/kWh).
+    Solar,
+    /// Geothermal (38 g CO₂/kWh).
+    Geothermal,
+    /// Hydropower (24 g CO₂/kWh).
+    Hydropower,
+    /// Nuclear (12 g CO₂/kWh).
+    Nuclear,
+    /// Onshore/offshore wind (11 g CO₂/kWh).
+    Wind,
+}
+
+impl EnergySource {
+    /// All sources in Table 5 order (dirtiest first).
+    pub const ALL: [Self; 8] = [
+        Self::Coal,
+        Self::Gas,
+        Self::Biomass,
+        Self::Solar,
+        Self::Geothermal,
+        Self::Hydropower,
+        Self::Nuclear,
+        Self::Wind,
+    ];
+
+    /// Average carbon intensity of this source (Table 5).
+    #[must_use]
+    pub fn carbon_intensity(self) -> CarbonIntensity {
+        let g_per_kwh = match self {
+            Self::Coal => 820.0,
+            Self::Gas => 490.0,
+            Self::Biomass => 230.0,
+            Self::Solar => 41.0,
+            Self::Geothermal => 38.0,
+            Self::Hydropower => 24.0,
+            Self::Nuclear => 12.0,
+            Self::Wind => 11.0,
+        };
+        CarbonIntensity::grams_per_kwh(g_per_kwh)
+    }
+
+    /// Typical energy-payback time in months (Table 5). Ranges in the paper
+    /// are represented by their midpoint; "≤ 12" by 12.
+    #[must_use]
+    pub fn energy_payback_months(self) -> f64 {
+        match self {
+            Self::Coal => 2.0,
+            Self::Gas => 1.0,
+            Self::Biomass => 12.0,
+            Self::Solar => 36.0,
+            Self::Geothermal => 72.0,
+            Self::Hydropower => 24.0,
+            Self::Nuclear => 2.0,
+            Self::Wind => 12.0,
+        }
+    }
+
+    /// Whether the source is conventionally counted as renewable.
+    #[must_use]
+    pub fn is_renewable(self) -> bool {
+        matches!(
+            self,
+            Self::Solar | Self::Geothermal | Self::Hydropower | Self::Wind | Self::Biomass
+        )
+    }
+}
+
+impl fmt::Display for EnergySource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Self::Coal => "coal",
+            Self::Gas => "gas",
+            Self::Biomass => "biomass",
+            Self::Solar => "solar",
+            Self::Geothermal => "geothermal",
+            Self::Hydropower => "hydropower",
+            Self::Nuclear => "nuclear",
+            Self::Wind => "wind",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_values_match_paper() {
+        let expect = [
+            (EnergySource::Coal, 820.0),
+            (EnergySource::Gas, 490.0),
+            (EnergySource::Biomass, 230.0),
+            (EnergySource::Solar, 41.0),
+            (EnergySource::Geothermal, 38.0),
+            (EnergySource::Hydropower, 24.0),
+            (EnergySource::Nuclear, 12.0),
+            (EnergySource::Wind, 11.0),
+        ];
+        for (source, g) in expect {
+            assert_eq!(source.carbon_intensity().as_grams_per_kwh(), g, "{source}");
+        }
+    }
+
+    #[test]
+    fn ordering_is_dirtiest_first() {
+        let all = EnergySource::ALL;
+        for pair in all.windows(2) {
+            assert!(
+                pair[0].carbon_intensity() >= pair[1].carbon_intensity(),
+                "{} should be at least as dirty as {}",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+
+    #[test]
+    fn renewables_are_cleaner_than_fossil() {
+        for source in EnergySource::ALL {
+            if source.is_renewable() {
+                assert!(source.carbon_intensity() < EnergySource::Gas.carbon_intensity());
+            }
+        }
+    }
+
+    #[test]
+    fn payback_times_positive() {
+        for source in EnergySource::ALL {
+            assert!(source.energy_payback_months() > 0.0);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(EnergySource::Solar.to_string(), "solar");
+        assert_eq!(EnergySource::Hydropower.to_string(), "hydropower");
+    }
+}

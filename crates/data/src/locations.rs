@@ -1,0 +1,149 @@
+//! Table 6: average grid carbon intensity by geography.
+
+use std::fmt;
+
+use act_units::CarbonIntensity;
+use serde::{Deserialize, Serialize};
+
+use crate::EnergySource;
+
+/// A geographic power grid with its average carbon intensity (ACT Table 6).
+///
+/// # Examples
+///
+/// ```
+/// use act_data::Location;
+///
+/// assert_eq!(Location::UnitedStates.carbon_intensity().as_grams_per_kwh(), 380.0);
+/// assert!(Location::Iceland.carbon_intensity() < Location::India.carbon_intensity());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Location {
+    /// World average (301 g CO₂/kWh).
+    World,
+    /// India (725 g CO₂/kWh, coal/gas dominated).
+    India,
+    /// Australia (597 g CO₂/kWh, coal dominated).
+    Australia,
+    /// Taiwan (583 g CO₂/kWh, coal/gas dominated) — the default fab grid.
+    Taiwan,
+    /// Singapore (495 g CO₂/kWh, gas dominated).
+    Singapore,
+    /// United States (380 g CO₂/kWh, coal/gas dominated).
+    UnitedStates,
+    /// Europe (295 g CO₂/kWh).
+    Europe,
+    /// Brazil (82 g CO₂/kWh, wind/hydropower dominated).
+    Brazil,
+    /// Iceland (28 g CO₂/kWh, hydropower dominated).
+    Iceland,
+}
+
+impl Location {
+    /// All locations in Table 6 order.
+    pub const ALL: [Self; 9] = [
+        Self::World,
+        Self::India,
+        Self::Australia,
+        Self::Taiwan,
+        Self::Singapore,
+        Self::UnitedStates,
+        Self::Europe,
+        Self::Brazil,
+        Self::Iceland,
+    ];
+
+    /// Average grid carbon intensity (Table 6).
+    #[must_use]
+    pub fn carbon_intensity(self) -> CarbonIntensity {
+        let g_per_kwh = match self {
+            Self::World => 301.0,
+            Self::India => 725.0,
+            Self::Australia => 597.0,
+            Self::Taiwan => 583.0,
+            Self::Singapore => 495.0,
+            Self::UnitedStates => 380.0,
+            Self::Europe => 295.0,
+            Self::Brazil => 82.0,
+            Self::Iceland => 28.0,
+        };
+        CarbonIntensity::grams_per_kwh(g_per_kwh)
+    }
+
+    /// Dominant generation sources for the grid, if the paper lists any.
+    #[must_use]
+    pub fn dominant_sources(self) -> &'static [EnergySource] {
+        match self {
+            Self::World | Self::Europe => &[],
+            Self::India | Self::Taiwan => &[EnergySource::Coal, EnergySource::Gas],
+            Self::Australia => &[EnergySource::Coal],
+            Self::Singapore => &[EnergySource::Gas],
+            Self::UnitedStates => &[EnergySource::Coal, EnergySource::Gas],
+            Self::Brazil => &[EnergySource::Wind, EnergySource::Hydropower],
+            Self::Iceland => &[EnergySource::Hydropower],
+        }
+    }
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Self::World => "World",
+            Self::India => "India",
+            Self::Australia => "Australia",
+            Self::Taiwan => "Taiwan",
+            Self::Singapore => "Singapore",
+            Self::UnitedStates => "United States",
+            Self::Europe => "Europe",
+            Self::Brazil => "Brazil",
+            Self::Iceland => "Iceland",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table6_values_match_paper() {
+        let expect = [
+            (Location::World, 301.0),
+            (Location::India, 725.0),
+            (Location::Australia, 597.0),
+            (Location::Taiwan, 583.0),
+            (Location::Singapore, 495.0),
+            (Location::UnitedStates, 380.0),
+            (Location::Europe, 295.0),
+            (Location::Brazil, 82.0),
+            (Location::Iceland, 28.0),
+        ];
+        for (loc, g) in expect {
+            assert_eq!(loc.carbon_intensity().as_grams_per_kwh(), g, "{loc}");
+        }
+    }
+
+    #[test]
+    fn hydro_grids_are_cleanest() {
+        for loc in Location::ALL {
+            assert!(Location::Iceland.carbon_intensity() <= loc.carbon_intensity());
+        }
+    }
+
+    #[test]
+    fn dominant_sources_are_consistent() {
+        // Grids dominated by renewables are cleaner than the world average.
+        for loc in Location::ALL {
+            let sources = loc.dominant_sources();
+            if !sources.is_empty() && sources.iter().all(|s| s.is_renewable()) {
+                assert!(loc.carbon_intensity() < Location::World.carbon_intensity());
+            }
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Location::UnitedStates.to_string(), "United States");
+    }
+}

@@ -1,0 +1,38 @@
+//! Design-space exploration machinery shared by the ACT case studies:
+//! parameter sweeps, Pareto frontiers, constrained optima and normalization.
+//!
+//! Every case study in the paper is a design-space exploration — over SoC
+//! generations (Figure 8), engine provisioning (Figures 9–10), MAC-array
+//! sizes (Figures 12–13), hardware lifetimes (Figure 14) or over-provisioning
+//! factors (Figure 15). This crate holds the exploration primitives so each
+//! study only writes its model.
+//!
+//! # Examples
+//!
+//! ```
+//! use act_dse::{argmin_by, pareto_indices, powers_of_two};
+//!
+//! let macs = powers_of_two(64, 2048);
+//! assert_eq!(macs, vec![64, 128, 256, 512, 1024, 2048]);
+//!
+//! // Smallest design meeting a constraint.
+//! let best = argmin_by(&macs, |m| f64::from(*m));
+//! assert_eq!(best, Some(0));
+//!
+//! // Two objectives: (cost, -quality). Only non-dominated points survive.
+//! let points = vec![vec![1.0, 5.0], vec![2.0, 1.0], vec![3.0, 3.0]];
+//! assert_eq!(pareto_indices(&points), vec![0, 1]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod montecarlo;
+mod optimize;
+mod pareto;
+mod sweep;
+
+pub use montecarlo::{monte_carlo, triangular, McStats};
+pub use optimize::{argmin_by, argmin_feasible, knee_point, normalize_to, normalize_to_last};
+pub use pareto::{dominates, pareto_indices};
+pub use sweep::{linspace, logspace, powers_of_two, sweep};

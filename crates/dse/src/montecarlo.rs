@@ -1,0 +1,154 @@
+//! Monte-Carlo propagation of parameter uncertainty through a model.
+//!
+//! Carbon accounting is built on uncertain inputs — yields, grid
+//! intensities, abatement effectiveness. Sampling the model under a
+//! distribution of inputs turns a point estimate into a defensible range.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a Monte-Carlo run.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct McStats {
+    /// Sample mean.
+    pub mean: f64,
+    /// 5th percentile.
+    pub p05: f64,
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Number of samples.
+    pub samples: usize,
+}
+
+impl McStats {
+    /// The p05–p95 spread relative to the mean — a unitless uncertainty
+    /// indicator.
+    #[must_use]
+    pub fn relative_spread(&self) -> f64 {
+        (self.p95 - self.p05) / self.mean
+    }
+}
+
+/// Runs `samples` evaluations of `model`, each fed a fresh RNG-driven
+/// input draw, and summarizes the outputs. Deterministic for a fixed
+/// `seed`.
+///
+/// # Panics
+///
+/// Panics if `samples` is zero or the model produces non-finite outputs.
+///
+/// # Examples
+///
+/// ```
+/// use act_dse::monte_carlo;
+/// use rand::Rng;
+///
+/// // Footprint = area x CPA where yield is uncertain in [0.7, 1.0].
+/// let stats = monte_carlo(2_000, 42, |rng| {
+///     let y: f64 = rng.gen_range(0.7..1.0);
+///     0.9 * 1370.0 / y
+/// });
+/// assert!(stats.p05 < stats.mean && stats.mean < stats.p95);
+/// ```
+pub fn monte_carlo(
+    samples: usize,
+    seed: u64,
+    mut model: impl FnMut(&mut StdRng) -> f64,
+) -> McStats {
+    assert!(samples > 0, "need at least one sample");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut values: Vec<f64> = (0..samples)
+        .map(|_| {
+            let v = model(&mut rng);
+            assert!(v.is_finite(), "model produced a non-finite sample");
+            v
+        })
+        .collect();
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let mean = values.iter().sum::<f64>() / samples as f64;
+    let pct = |q: f64| {
+        let idx = ((samples - 1) as f64 * q).round() as usize;
+        values[idx]
+    };
+    McStats { mean, p05: pct(0.05), p50: pct(0.5), p95: pct(0.95), samples }
+}
+
+/// Draws a triangular-distributed value on `[low, high]` with the given
+/// mode — the standard shape for expert-judgment parameters like yield.
+///
+/// # Panics
+///
+/// Panics unless `low <= mode <= high` and `low < high`.
+pub fn triangular(rng: &mut StdRng, low: f64, mode: f64, high: f64) -> f64 {
+    assert!(low < high && (low..=high).contains(&mode), "invalid triangular parameters");
+    let u: f64 = rng.gen();
+    let cut = (mode - low) / (high - low);
+    if u < cut {
+        low + ((high - low) * (mode - low) * u).sqrt()
+    } else {
+        high - ((high - low) * (high - mode) * (1.0 - u)).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_are_ordered_and_deterministic() {
+        let f = |rng: &mut StdRng| rng.gen_range(0.0..1.0);
+        let a = monte_carlo(5_000, 7, f);
+        let b = monte_carlo(5_000, 7, f);
+        assert_eq!(a, b);
+        assert!(a.p05 <= a.p50 && a.p50 <= a.p95);
+        assert!((a.mean - 0.5).abs() < 0.02);
+        assert_eq!(a.samples, 5_000);
+    }
+
+    #[test]
+    fn constant_model_has_zero_spread() {
+        let s = monte_carlo(100, 0, |_| 42.0);
+        assert_eq!(s.mean, 42.0);
+        assert_eq!(s.relative_spread(), 0.0);
+    }
+
+    #[test]
+    fn triangular_respects_bounds_and_mode() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut below = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            let v = triangular(&mut rng, 0.5, 0.9, 1.0);
+            assert!((0.5..=1.0).contains(&v));
+            if v < 0.9 {
+                below += 1;
+            }
+        }
+        // P(X < mode) = (mode-low)/(high-low) = 0.8 for the triangular.
+        let frac = f64::from(below) / f64::from(n);
+        assert!((frac - 0.8).abs() < 0.02, "fraction below mode {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_samples_rejected() {
+        let _ = monte_carlo(0, 0, |_| 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_model_rejected() {
+        let _ = monte_carlo(10, 0, |_| f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "triangular")]
+    fn bad_triangular_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = triangular(&mut rng, 1.0, 0.5, 0.9);
+    }
+}

@@ -1,0 +1,110 @@
+//! Pareto-dominance utilities for multi-objective (minimization) spaces.
+
+/// Returns `true` if point `a` dominates point `b`: `a` is no worse on every
+/// objective and strictly better on at least one. All objectives minimize.
+///
+/// # Panics
+///
+/// Panics if the points have different dimensionality.
+///
+/// # Examples
+///
+/// ```
+/// use act_dse::dominates;
+/// assert!(dominates(&[1.0, 2.0], &[2.0, 2.0]));
+/// assert!(!dominates(&[1.0, 3.0], &[2.0, 2.0]));
+/// ```
+#[must_use]
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    assert_eq!(a.len(), b.len(), "objective vectors must have equal length");
+    let mut strictly_better = false;
+    for (x, y) in a.iter().zip(b) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+/// Indices of the Pareto-optimal (non-dominated) points, in input order.
+/// All objectives minimize. Duplicate points are all kept.
+///
+/// # Examples
+///
+/// ```
+/// use act_dse::pareto_indices;
+/// let points = vec![
+///     vec![1.0, 4.0], // frontier
+///     vec![2.0, 2.0], // frontier
+///     vec![2.5, 2.5], // dominated by [2.0, 2.0]
+///     vec![4.0, 1.0], // frontier
+/// ];
+/// assert_eq!(pareto_indices(&points), vec![0, 1, 3]);
+/// ```
+#[must_use]
+pub fn pareto_indices(points: &[Vec<f64>]) -> Vec<usize> {
+    (0..points.len())
+        .filter(|&i| {
+            !points
+                .iter()
+                .enumerate()
+                .any(|(j, other)| j != i && dominates(other, &points[i]))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_requires_strict_improvement() {
+        assert!(!dominates(&[1.0, 1.0], &[1.0, 1.0]));
+        assert!(dominates(&[1.0, 0.9], &[1.0, 1.0]));
+        assert!(!dominates(&[0.9, 1.1], &[1.0, 1.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_dims_panic() {
+        let _ = dominates(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn single_point_is_optimal() {
+        assert_eq!(pareto_indices(&[vec![5.0, 5.0]]), vec![0]);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_frontier() {
+        assert!(pareto_indices(&[]).is_empty());
+    }
+
+    #[test]
+    fn duplicates_are_both_kept() {
+        let points = vec![vec![1.0, 1.0], vec![1.0, 1.0], vec![2.0, 2.0]];
+        assert_eq!(pareto_indices(&points), vec![0, 1]);
+    }
+
+    #[test]
+    fn convex_frontier_extraction() {
+        let points = vec![
+            vec![0.0, 10.0],
+            vec![1.0, 5.0],
+            vec![2.0, 3.0],
+            vec![3.0, 2.9], // dominated? no: better on nothing... 3.0>2.0 and 2.9<3.0 -> frontier
+            vec![5.0, 2.95], // dominated by [3.0, 2.9]
+            vec![10.0, 0.0],
+        ];
+        assert_eq!(pareto_indices(&points), vec![0, 1, 2, 3, 5]);
+    }
+
+    #[test]
+    fn one_dimensional_frontier_is_the_minimum() {
+        let points = vec![vec![3.0], vec![1.0], vec![2.0], vec![1.0]];
+        assert_eq!(pareto_indices(&points), vec![1, 3]);
+    }
+}

@@ -1,0 +1,140 @@
+//! Parameter-sweep helpers.
+
+/// Powers of two from `lo` to `hi` inclusive (the paper's MAC-count axis).
+///
+/// # Panics
+///
+/// Panics if `lo` is zero or `lo > hi`.
+///
+/// # Examples
+///
+/// ```
+/// use act_dse::powers_of_two;
+/// assert_eq!(powers_of_two(64, 512), vec![64, 128, 256, 512]);
+/// ```
+#[must_use]
+pub fn powers_of_two(lo: u32, hi: u32) -> Vec<u32> {
+    assert!(lo > 0, "lower bound must be positive");
+    assert!(lo <= hi, "lower bound {lo} exceeds upper bound {hi}");
+    let mut out = Vec::new();
+    let mut v = lo;
+    while v <= hi {
+        out.push(v);
+        match v.checked_mul(2) {
+            Some(next) => v = next,
+            None => break,
+        }
+    }
+    out
+}
+
+/// `n` evenly spaced values from `start` to `end` inclusive.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+///
+/// # Examples
+///
+/// ```
+/// use act_dse::linspace;
+/// assert_eq!(linspace(0.0, 1.0, 3), vec![0.0, 0.5, 1.0]);
+/// ```
+#[must_use]
+pub fn linspace(start: f64, end: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 2, "linspace needs at least two points");
+    let step = (end - start) / (n - 1) as f64;
+    (0..n).map(|i| start + step * i as f64).collect()
+}
+
+/// `n` logarithmically spaced values from `start` to `end` inclusive.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or either endpoint is not positive.
+///
+/// # Examples
+///
+/// ```
+/// use act_dse::logspace;
+/// let v = logspace(1.0, 100.0, 3);
+/// assert!((v[1] - 10.0).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn logspace(start: f64, end: f64, n: usize) -> Vec<f64> {
+    assert!(start > 0.0 && end > 0.0, "logspace endpoints must be positive");
+    linspace(start.ln(), end.ln(), n).into_iter().map(f64::exp).collect()
+}
+
+/// Evaluates `f` on every parameter, pairing inputs with results.
+///
+/// # Examples
+///
+/// ```
+/// use act_dse::sweep;
+/// let squares = sweep([1, 2, 3], |x| x * x);
+/// assert_eq!(squares, vec![(1, 1), (2, 4), (3, 9)]);
+/// ```
+pub fn sweep<P, R>(params: impl IntoIterator<Item = P>, mut f: impl FnMut(&P) -> R) -> Vec<(P, R)> {
+    params
+        .into_iter()
+        .map(|p| {
+            let r = f(&p);
+            (p, r)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn powers_of_two_covers_paper_range() {
+        assert_eq!(powers_of_two(64, 2048), vec![64, 128, 256, 512, 1024, 2048]);
+    }
+
+    #[test]
+    fn powers_of_two_single_value() {
+        assert_eq!(powers_of_two(8, 8), vec![8]);
+    }
+
+    #[test]
+    fn powers_of_two_from_non_power_start() {
+        assert_eq!(powers_of_two(3, 20), vec![3, 6, 12]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds upper bound")]
+    fn powers_of_two_rejects_inverted_range() {
+        let _ = powers_of_two(16, 8);
+    }
+
+    #[test]
+    fn powers_of_two_handles_overflow() {
+        let v = powers_of_two(1 << 30, u32::MAX);
+        assert_eq!(v, vec![1 << 30, 1 << 31]);
+    }
+
+    #[test]
+    fn linspace_endpoints_exact() {
+        let v = linspace(1.0, 10.0, 10);
+        assert_eq!(v.len(), 10);
+        assert!((v[0] - 1.0).abs() < 1e-12);
+        assert!((v[9] - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn logspace_is_geometric() {
+        let v = logspace(1.0, 16.0, 5);
+        for pair in v.windows(2) {
+            assert!((pair[1] / pair[0] - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sweep_preserves_order() {
+        let results = sweep(powers_of_two(1, 8), |m| *m * 10);
+        assert_eq!(results, vec![(1, 10), (2, 20), (4, 40), (8, 80)]);
+    }
+}

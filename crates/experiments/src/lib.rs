@@ -1,0 +1,152 @@
+//! The reproduction harness: one module per figure/table of the ACT paper.
+//!
+//! Every module exposes a `run()` function returning a typed result struct
+//! whose `Display` implementation prints the same rows/series the paper
+//! reports. Tests in each module pin the paper's qualitative claims: who
+//! wins under each metric, by roughly what factor, and where crossovers
+//! fall. EXPERIMENTS.md records paper-vs-measured for each.
+//!
+//! # Examples
+//!
+//! ```
+//! let fig12 = act_experiments::fig12::run();
+//! assert_eq!(fig12.optimum(act_core::OptimizationMetric::Cdp), 1024);
+//! println!("{fig12}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod ext_datacenter;
+pub mod ext_devices;
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig4;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod render;
+pub mod table12;
+pub mod table4;
+pub mod tables;
+
+/// Experiment IDs in paper order, as accepted by [`render_experiment`].
+pub const EXPERIMENT_IDS: [&str; 21] = [
+    "fig1", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+    "fig14", "fig15", "fig16", "fig17", "table4", "table5-11", "table12", "ablations", "datacenter", "devices", "all",
+];
+
+/// Renders one experiment (or `"all"`) to text. Returns `None` for an
+/// unknown ID.
+#[must_use]
+pub fn render_experiment(id: &str) -> Option<String> {
+    let out = match id {
+        "fig1" => fig1::run().to_string(),
+        "fig4" => fig4::run().to_string(),
+        "fig6" => fig6::run().to_string(),
+        "fig7" => fig7::run().to_string(),
+        "fig8" => fig8::run().to_string(),
+        "fig9" => fig9::run().to_string(),
+        "fig10" => fig10::run().to_string(),
+        "fig11" => fig11::run().to_string(),
+        "fig12" => fig12::run().to_string(),
+        "fig13" => fig13::run().to_string(),
+        "fig14" => fig14::run().to_string(),
+        "fig15" => fig15::run().to_string(),
+        "fig16" => fig16::run().to_string(),
+        "fig17" => fig17::run().to_string(),
+        "table4" => table4::run().to_string(),
+        "table5-11" => tables::run().to_string(),
+        "table12" => table12::run().to_string(),
+        "ablations" => ablations::run().to_string(),
+        "datacenter" => ext_datacenter::run().to_string(),
+        "devices" => ext_devices::run().to_string(),
+        "all" => {
+            let mut out = String::new();
+            for id in EXPERIMENT_IDS.iter().filter(|id| **id != "all") {
+                out.push_str(&render_experiment(id).expect("known id"));
+                out.push('\n');
+            }
+            out
+        }
+        _ => return None,
+    };
+    Some(out)
+}
+
+/// Serializes one experiment's typed result to pretty JSON. Supports every
+/// concrete ID (not `"all"`); returns `None` for unknown IDs or `"all"`.
+///
+/// # Panics
+///
+/// Panics if serialization fails (experiment results contain only plain
+/// data and always serialize).
+#[must_use]
+pub fn render_experiment_json(id: &str) -> Option<String> {
+    fn json<T: serde::Serialize>(value: &T) -> String {
+        serde_json::to_string_pretty(value).expect("experiment results serialize")
+    }
+    let out = match id {
+        "fig1" => json(&fig1::run()),
+        "fig4" => json(&fig4::run()),
+        "fig6" => json(&fig6::run()),
+        "fig7" => json(&fig7::run()),
+        "fig8" => json(&fig8::run()),
+        "fig9" => json(&fig9::run()),
+        "fig10" => json(&fig10::run()),
+        "fig11" => json(&fig11::run()),
+        "fig12" => json(&fig12::run()),
+        "fig13" => json(&fig13::run()),
+        "fig14" => json(&fig14::run()),
+        "fig15" => json(&fig15::run()),
+        "fig16" => json(&fig16::run()),
+        "fig17" => json(&fig17::run()),
+        "table4" => json(&table4::run()),
+        "table5-11" => json(&tables::run()),
+        "table12" => json(&table12::run()),
+        "ablations" => json(&ablations::run()),
+        "datacenter" => json(&ext_datacenter::run()),
+        "devices" => json(&ext_devices::run()),
+        _ => return None,
+    };
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_experiment_renders_nonempty_text() {
+        for id in EXPERIMENT_IDS {
+            let text = render_experiment(id).unwrap_or_else(|| panic!("unknown id {id}"));
+            assert!(text.len() > 80, "{id} rendered only {} bytes", text.len());
+        }
+    }
+
+    #[test]
+    fn unknown_id_is_none() {
+        assert!(render_experiment("fig99").is_none());
+    }
+
+    #[test]
+    fn every_concrete_experiment_serializes_to_json() {
+        for id in EXPERIMENT_IDS.iter().filter(|id| **id != "all") {
+            let json = render_experiment_json(id)
+                .unwrap_or_else(|| panic!("{id} should serialize"));
+            let parsed: serde_json::Value =
+                serde_json::from_str(&json).unwrap_or_else(|e| panic!("{id}: {e}"));
+            assert!(parsed.is_object() || parsed.is_array() || parsed.is_null(), "{id}");
+        }
+        assert!(render_experiment_json("all").is_none());
+    }
+}

@@ -1,0 +1,164 @@
+//! Plain-text rendering helpers shared by the experiment modules.
+
+use std::fmt;
+
+/// A simple aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use act_experiments::render::TextTable;
+///
+/// let mut t = TextTable::new("Demo", &["item", "value"]);
+/// t.row(vec!["a".into(), "1".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("Demo") && s.contains("item"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct TextTable {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates an empty table with a title and column headers.
+    #[must_use]
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Self {
+            title: title.to_owned(),
+            headers: headers.iter().map(|h| (*h).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let line: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            writeln!(f, "  {}", line.join("  "))
+        };
+        write_row(f, &self.headers)?;
+        let rule: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        writeln!(f, "  {}", "-".repeat(rule))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a mass in kg with two decimals.
+#[must_use]
+pub fn kg(mass: act_units::MassCo2) -> String {
+    format!("{:.2}", mass.as_kilograms())
+}
+
+/// Formats a mass in grams with one decimal.
+#[must_use]
+pub fn grams(mass: act_units::MassCo2) -> String {
+    format!("{:.1}", mass.as_grams())
+}
+
+/// Formats a ratio like `1.75x`.
+#[must_use]
+pub fn times(ratio: f64) -> String {
+    format!("{ratio:.2}x")
+}
+
+/// Geometric mean of an iterator of positive values.
+///
+/// # Panics
+///
+/// Panics on an empty iterator or non-positive values.
+#[must_use]
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let (log_sum, n) = values.into_iter().fold((0.0, 0u32), |(s, n), v| {
+        assert!(v > 0.0, "geomean requires positive values, got {v}");
+        (s + v.ln(), n + 1)
+    });
+    assert!(n > 0, "geomean of an empty iterator");
+    (log_sum / f64::from(n)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use act_units::MassCo2;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new("T", &["a", "bb"]);
+        t.row(vec!["xxx".into(), "1".into()]);
+        t.row(vec!["y".into(), "22".into()]);
+        let s = t.to_string();
+        assert!(s.contains("== T =="));
+        assert!(s.contains("xxx"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        let mut t = TextTable::new("T", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(kg(MassCo2::kilograms(1.234)), "1.23");
+        assert_eq!(grams(MassCo2::grams(12.34)), "12.3");
+        assert_eq!(times(1.754), "1.75x");
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean([4.0, 9.0]) - 6.0).abs() < 1e-12);
+        assert!((geomean([5.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive values")]
+    fn geomean_rejects_nonpositive() {
+        let _ = geomean([1.0, 0.0]);
+    }
+}

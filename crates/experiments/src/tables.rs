@@ -1,0 +1,110 @@
+//! Appendix Tables 5–11: the model's data tables, rendered.
+
+use std::fmt;
+
+use act_data::{Abatement, DramTechnology, EnergySource, HddModel, Location, ProcessNode,
+    SsdTechnology, MPA};
+use serde::Serialize;
+
+use crate::render::TextTable;
+
+/// A marker result whose `Display` prints every appendix table.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct TablesResult;
+
+/// Runs the experiment (the data is static; this exists for symmetry).
+#[must_use]
+pub fn run() -> TablesResult {
+    TablesResult
+}
+
+impl fmt::Display for TablesResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut t5 = TextTable::new(
+            "Table 5: carbon efficiency of energy sources",
+            &["source", "g CO2/kWh", "payback months"],
+        );
+        for s in EnergySource::ALL {
+            t5.row(vec![
+                s.to_string(),
+                format!("{:.0}", s.carbon_intensity().as_grams_per_kwh()),
+                format!("{:.0}", s.energy_payback_months()),
+            ]);
+        }
+        write!(f, "{t5}")?;
+
+        let mut t6 = TextTable::new(
+            "Table 6: grid carbon intensity by geography",
+            &["location", "g CO2/kWh"],
+        );
+        for l in Location::ALL {
+            t6.row(vec![
+                l.to_string(),
+                format!("{:.0}", l.carbon_intensity().as_grams_per_kwh()),
+            ]);
+        }
+        write!(f, "{t6}")?;
+
+        let mut t7 = TextTable::new(
+            "Table 7: fab energy and gas per area by node",
+            &["node", "EPA kWh/cm^2", "GPA 95% g/cm^2", "GPA 99% g/cm^2"],
+        );
+        for n in ProcessNode::ALL {
+            t7.row(vec![
+                n.to_string(),
+                format!("{:.3}", n.energy_per_area().as_kwh_per_cm2()),
+                format!("{:.0}", n.gas_per_area(Abatement::Percent95).as_grams_per_cm2()),
+                format!("{:.0}", n.gas_per_area(Abatement::Percent99).as_grams_per_cm2()),
+            ]);
+        }
+        write!(f, "{t7}")?;
+        writeln!(f, "Table 8: raw materials (MPA) = {:.0} g CO2/cm^2", MPA.as_grams_per_cm2())?;
+
+        let mut t9 = TextTable::new("Table 9: DRAM embodied carbon", &["technology", "g CO2/GB"]);
+        for d in DramTechnology::ALL {
+            t9.row(vec![d.to_string(), format!("{:.0}", d.carbon_per_gb().as_grams_per_gb())]);
+        }
+        write!(f, "{t9}")?;
+
+        let mut t10 = TextTable::new("Table 10: SSD embodied carbon", &["technology", "g CO2/GB"]);
+        for s in SsdTechnology::ALL {
+            t10.row(vec![s.to_string(), format!("{:.2}", s.carbon_per_gb().as_grams_per_gb())]);
+        }
+        write!(f, "{t10}")?;
+
+        let mut t11 = TextTable::new(
+            "Table 11: Seagate HDD embodied carbon",
+            &["model", "type", "g CO2/GB"],
+        );
+        for h in HddModel::ALL {
+            t11.row(vec![
+                h.to_string(),
+                format!("{:?}", h.class()),
+                format!("{:.2}", h.carbon_per_gb().as_grams_per_gb()),
+            ]);
+        }
+        write!(f, "{t11}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_seven_tables() {
+        let s = run().to_string();
+        for title in ["Table 5", "Table 6", "Table 7", "Table 8", "Table 9", "Table 10", "Table 11"] {
+            assert!(s.contains(title), "missing {title}");
+        }
+    }
+
+    #[test]
+    fn contains_key_anchor_values() {
+        let s = run().to_string();
+        assert!(s.contains("820")); // coal
+        assert!(s.contains("583")); // Taiwan
+        assert!(s.contains("2.750")); // 3nm EPA
+        assert!(s.contains("600")); // 50nm DDR3
+    }
+}

@@ -1,0 +1,511 @@
+//! The simulator core: thread scheduling over clusters, DVFS, the memory
+//! wall, and a TDP-normalized power model.
+
+use act_data::{ClusterSpec, SocSpec};
+use act_units::{Energy, Power, TimeSpan};
+use serde::{Deserialize, Serialize};
+
+use crate::workload::Workload;
+
+/// DVFS policy applied uniformly across clusters during a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub enum DvfsGovernor {
+    /// Run at maximum frequency.
+    #[default]
+    Performance,
+    /// Run at a fixed fraction of maximum frequency.
+    Fixed(
+        /// Frequency as a fraction of maximum, in `(0, 1]`.
+        f64,
+    ),
+    /// Pick the frequency that roughly minimizes energy for the workload:
+    /// memory-bound work is clocked down (extra frequency buys little
+    /// throughput but cubic power), compute-bound work runs fast.
+    OnDemand,
+}
+
+impl DvfsGovernor {
+    fn frequency_fraction(self, workload: &Workload) -> f64 {
+        match self {
+            Self::Performance => 1.0,
+            Self::Fixed(fraction) => {
+                assert!(
+                    fraction > 0.0 && fraction <= 1.0,
+                    "fixed DVFS fraction must be in (0, 1], got {fraction}"
+                );
+                fraction
+            }
+            Self::OnDemand => 1.0 - 0.35 * workload.memory_intensity(),
+        }
+    }
+}
+
+/// The outcome of one workload run.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Wall-clock run time.
+    pub time: TimeSpan,
+    /// Energy consumed over the run.
+    pub energy: Energy,
+    /// Average power over the run.
+    pub power: Power,
+}
+
+/// The outcome of running the whole suite.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SuiteResult {
+    /// Geometric-mean performance score across workloads (higher = faster),
+    /// scaled to Geekbench-5-like magnitudes.
+    pub score: f64,
+    /// Total energy over the suite.
+    pub energy: Energy,
+    /// Per-workload results in suite order.
+    pub runs: Vec<RunResult>,
+}
+
+/// Leakage share of TDP at maximum frequency.
+const LEAKAGE_SHARE: f64 = 0.15;
+
+/// A first-order skin-temperature throttling model: phones sustain only a
+/// fraction of TDP; workloads longer than the thermal time constant run at
+/// a reduced frequency.
+///
+/// # Examples
+///
+/// ```
+/// use act_soc::ThermalModel;
+/// let t = ThermalModel::passive_phone();
+/// // Short bursts run unthrottled, long runs are clamped.
+/// assert_eq!(t.frequency_cap(1.0), 1.0);
+/// assert!(t.frequency_cap(600.0) < 1.0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ThermalModel {
+    /// Fraction of TDP sustainable indefinitely.
+    pub sustained_power_fraction: f64,
+    /// Seconds of full-power headroom before throttling engages.
+    pub burst_seconds: f64,
+}
+
+impl ThermalModel {
+    /// A passively cooled phone: ~60 % of TDP sustained, 30 s of burst.
+    #[must_use]
+    pub fn passive_phone() -> Self {
+        Self { sustained_power_fraction: 0.6, burst_seconds: 30.0 }
+    }
+
+    /// The frequency multiplier for a run of `duration_s` seconds. Power
+    /// scales ~cubically with frequency, so sustaining a power fraction
+    /// `p` means clamping frequency to `p^(1/3)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model parameters are out of range.
+    #[must_use]
+    pub fn frequency_cap(&self, duration_s: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&self.sustained_power_fraction)
+                && self.sustained_power_fraction > 0.0,
+            "sustained power fraction must be in (0, 1]"
+        );
+        assert!(self.burst_seconds >= 0.0, "burst window cannot be negative");
+        if duration_s <= self.burst_seconds {
+            1.0
+        } else {
+            self.sustained_power_fraction.cbrt()
+        }
+    }
+}
+
+/// Score scale, calibrated so flagship 2020 SoCs land near Geekbench-5
+/// multi-core magnitudes.
+const SCORE_SCALE: f64 = 2200.0;
+
+/// Memory-limited effective rate in G-instructions/s/core for 2015-era
+/// LPDDR3 systems; successive memory generations (LPDDR4/4X/5) raise it.
+const MEMORY_RATE_2015: f64 = 1.2;
+
+/// Annual improvement of the memory-limited rate.
+const MEMORY_RATE_PER_YEAR: f64 = 0.25;
+
+/// Thread-placement policy across big.LITTLE clusters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Placement {
+    /// Fill the fastest clusters first (performance scheduling).
+    #[default]
+    BigFirst,
+    /// Fill the most efficient (littlest) clusters first (energy
+    /// scheduling, as mobile EAS does for background work).
+    LittleFirst,
+}
+
+/// A simulator bound to one SoC description.
+///
+/// # Examples
+///
+/// ```
+/// use act_data::MOBILE_SOCS;
+/// use act_soc::{DvfsGovernor, SocSimulator, Workload};
+///
+/// let sim = SocSimulator::new(&MOBILE_SOCS[0]).with_governor(DvfsGovernor::OnDemand);
+/// let run = sim.run(&Workload::new("AES", 8.0, 0.15, 4.0));
+/// assert!(run.time.as_seconds() > 0.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SocSimulator {
+    soc: &'static SocSpec,
+    governor: DvfsGovernor,
+    placement: Placement,
+    thermal: Option<ThermalModel>,
+}
+
+impl SocSimulator {
+    /// Binds a simulator to an SoC with the default performance governor
+    /// and big-first placement.
+    #[must_use]
+    pub fn new(soc: &'static SocSpec) -> Self {
+        Self {
+            soc,
+            governor: DvfsGovernor::default(),
+            placement: Placement::default(),
+            thermal: None,
+        }
+    }
+
+    /// Enables skin-temperature throttling.
+    #[must_use]
+    pub fn with_thermal(mut self, thermal: ThermalModel) -> Self {
+        self.thermal = Some(thermal);
+        self
+    }
+
+    /// Replaces the DVFS governor.
+    #[must_use]
+    pub fn with_governor(mut self, governor: DvfsGovernor) -> Self {
+        self.governor = governor;
+        self
+    }
+
+    /// Replaces the thread-placement policy.
+    #[must_use]
+    pub fn with_placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// The SoC under simulation.
+    #[must_use]
+    pub fn soc(&self) -> &'static SocSpec {
+        self.soc
+    }
+
+    /// Greedy thread placement per the policy: returns active core counts
+    /// per cluster (same order as `soc.clusters`, which lists the biggest
+    /// tier first).
+    fn schedule(&self, parallelism: f64) -> Vec<f64> {
+        let mut remaining = parallelism;
+        let mut active = vec![0.0; self.soc.clusters.len()];
+        let order: Vec<usize> = match self.placement {
+            Placement::BigFirst => (0..self.soc.clusters.len()).collect(),
+            Placement::LittleFirst => (0..self.soc.clusters.len()).rev().collect(),
+        };
+        for idx in order {
+            let take = remaining.min(f64::from(self.soc.clusters[idx].count));
+            active[idx] = take;
+            remaining -= take;
+        }
+        active
+    }
+
+    /// Memory-limited per-core rate for this SoC's generation: memory
+    /// technology (LPDDR3 → LPDDR4/4X → LPDDR5) improves year over year.
+    fn memory_rate(&self) -> f64 {
+        MEMORY_RATE_2015 + MEMORY_RATE_PER_YEAR * f64::from(self.soc.year - 2015)
+    }
+
+    /// Effective instruction throughput of one cluster in G-instructions/s:
+    /// cores × frequency × IPC, derated by the memory wall (memory-bound
+    /// workloads see frequency-insensitive stall time).
+    fn cluster_throughput(
+        cluster: &ClusterSpec,
+        active: f64,
+        freq_fraction: f64,
+        memory_rate: f64,
+        workload: &Workload,
+    ) -> f64 {
+        if active == 0.0 {
+            return 0.0;
+        }
+        let freq = cluster.freq_ghz * freq_fraction;
+        // Memory wall: a fraction `mi` of work is stalls that frequency and
+        // IPC do not help; harmonic blend between the compute-limited rate
+        // and the generation's memory-limited rate.
+        let mi = workload.memory_intensity();
+        let compute_rate = freq * cluster.ipc_index;
+        let per_core = 1.0 / ((1.0 - mi) / compute_rate + mi / memory_rate);
+        active * per_core
+    }
+
+    /// Dynamic power of one cluster in arbitrary units (normalized against
+    /// TDP below): cores × capacitance-proxy × f³ (voltage tracks
+    /// frequency).
+    fn cluster_dynamic_units(cluster: &ClusterSpec, active: f64, freq_fraction: f64) -> f64 {
+        let width_cost = cluster.ipc_index.powf(1.2);
+        active * width_cost * (cluster.freq_ghz * freq_fraction).powi(3)
+    }
+
+    /// Runs one workload to completion.
+    pub fn run(&self, workload: &Workload) -> RunResult {
+        let mut freq_fraction = self.governor.frequency_fraction(workload);
+        // Thermal throttling: estimate the unthrottled duration, and clamp
+        // frequency if it outlasts the burst window.
+        if let Some(thermal) = self.thermal {
+            let unthrottled = self.run_at(workload, freq_fraction);
+            freq_fraction *= thermal.frequency_cap(unthrottled.time.as_seconds());
+        }
+        self.run_at(workload, freq_fraction)
+    }
+
+    fn run_at(&self, workload: &Workload, freq_fraction: f64) -> RunResult {
+        let active = self.schedule(workload.parallelism());
+
+        let memory_rate = self.memory_rate();
+        let throughput: f64 = self
+            .soc
+            .clusters
+            .iter()
+            .zip(&active)
+            .map(|(c, &a)| Self::cluster_throughput(c, a, freq_fraction, memory_rate, workload))
+            .sum();
+        let time = TimeSpan::seconds(workload.giga_instructions() / throughput);
+
+        // Normalize dynamic power so all-cores-max-frequency dissipates the
+        // dynamic share of TDP.
+        let max_units: f64 = self
+            .soc
+            .clusters
+            .iter()
+            .map(|c| Self::cluster_dynamic_units(c, f64::from(c.count), 1.0))
+            .sum();
+        let run_units: f64 = self
+            .soc
+            .clusters
+            .iter()
+            .zip(&active)
+            .map(|(c, &a)| Self::cluster_dynamic_units(c, a, freq_fraction))
+            .sum();
+        let dynamic = self.soc.tdp() * (1.0 - LEAKAGE_SHARE) * (run_units / max_units);
+        let leakage = self.soc.tdp() * LEAKAGE_SHARE;
+        let power = dynamic + leakage;
+
+        RunResult { time, energy: power * time, power }
+    }
+
+    /// Runs the full suite, returning the geometric-mean score and total
+    /// energy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `suite` is empty.
+    pub fn run_suite(&self, suite: &[Workload]) -> SuiteResult {
+        assert!(!suite.is_empty(), "suite must contain at least one workload");
+        let runs: Vec<RunResult> = suite.iter().map(|w| self.run(w)).collect();
+        let log_sum: f64 = runs
+            .iter()
+            .map(|r| (SCORE_SCALE / r.time.as_seconds()).ln())
+            .sum();
+        let score = (log_sum / runs.len() as f64).exp();
+        let energy = runs.iter().map(|r| r.energy).sum();
+        SuiteResult { score, energy, runs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::geekbench_suite;
+    use act_data::{SocFamily, MOBILE_SOCS};
+
+    fn by_name(name: &str) -> &'static SocSpec {
+        MOBILE_SOCS.iter().find(|s| s.name == name).unwrap()
+    }
+
+    #[test]
+    fn scheduling_fills_big_cores_first() {
+        let sim = SocSimulator::new(by_name("Snapdragon 865"));
+        let active = sim.schedule(2.0);
+        assert_eq!(active[0], 1.0); // prime core
+        assert_eq!(active[1], 1.0); // one gold core
+        assert_eq!(active[2], 0.0); // little cores idle
+    }
+
+    #[test]
+    fn oversubscription_caps_at_core_count() {
+        let sim = SocSimulator::new(by_name("Snapdragon 865"));
+        let active = sim.schedule(64.0);
+        let total: f64 = active.iter().sum();
+        assert_eq!(total, 8.0);
+    }
+
+    #[test]
+    fn newer_socs_score_higher_within_each_family() {
+        let suite = geekbench_suite();
+        for family in SocFamily::ALL {
+            let mut socs: Vec<_> =
+                MOBILE_SOCS.iter().filter(|s| s.family == family).collect();
+            socs.sort_by_key(|s| s.year);
+            let scores: Vec<f64> = socs
+                .iter()
+                .map(|s| SocSimulator::new(s).run_suite(&suite).score)
+                .collect();
+            for (pair, socs_pair) in scores.windows(2).zip(socs.windows(2)) {
+                assert!(
+                    pair[1] > pair[0],
+                    "{} ({}) should outscore {} ({})",
+                    socs_pair[1].name,
+                    pair[1],
+                    socs_pair[0].name,
+                    pair[0]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn simulated_scores_track_reference_magnitudes() {
+        // The simulator is calibrated against the reference scores: every
+        // SoC should land within ±35 % of its database entry.
+        let suite = geekbench_suite();
+        for soc in &MOBILE_SOCS {
+            let score = SocSimulator::new(soc).run_suite(&suite).score;
+            let ratio = score / soc.reference_score;
+            assert!(
+                (0.65..=1.35).contains(&ratio),
+                "{}: simulated {score:.0} vs reference {} (ratio {ratio:.2})",
+                soc.name,
+                soc.reference_score
+            );
+        }
+    }
+
+    #[test]
+    fn power_never_exceeds_tdp() {
+        let suite = geekbench_suite();
+        for soc in &MOBILE_SOCS {
+            for run in SocSimulator::new(soc).run_suite(&suite).runs {
+                assert!(
+                    run.power.as_watts() <= soc.tdp_w + 1e-9,
+                    "{} exceeded TDP: {}",
+                    soc.name,
+                    run.power
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn memory_bound_work_gains_little_from_frequency() {
+        let soc = by_name("Kirin 980");
+        let compute = Workload::new("compute", 10.0, 0.0, 4.0);
+        let memory = Workload::new("memory", 10.0, 0.9, 4.0);
+        let full = SocSimulator::new(soc);
+        let slow = SocSimulator::new(soc).with_governor(DvfsGovernor::Fixed(0.6));
+        let compute_slowdown =
+            slow.run(&compute).time.as_seconds() / full.run(&compute).time.as_seconds();
+        let memory_slowdown =
+            slow.run(&memory).time.as_seconds() / full.run(&memory).time.as_seconds();
+        assert!(compute_slowdown > memory_slowdown);
+        assert!(memory_slowdown < 1.15, "memory-bound slowdown {memory_slowdown}");
+    }
+
+    #[test]
+    fn ondemand_governor_saves_energy_on_memory_bound_work() {
+        let soc = by_name("Snapdragon 845");
+        let memory = Workload::new("memory", 10.0, 0.8, 4.0);
+        let perf = SocSimulator::new(soc).run(&memory);
+        let ondemand = SocSimulator::new(soc)
+            .with_governor(DvfsGovernor::OnDemand)
+            .run(&memory);
+        assert!(ondemand.energy < perf.energy);
+        assert!(ondemand.time >= perf.time);
+    }
+
+    #[test]
+    fn thermal_throttling_slows_sustained_work_only() {
+        let soc = by_name("Snapdragon 865");
+        let burst = Workload::new("burst", 5.0, 0.2, 8.0); // sub-second
+        let sustained = Workload::new("export", 5000.0, 0.2, 8.0); // minutes
+        let cool = SocSimulator::new(soc);
+        let hot = SocSimulator::new(soc).with_thermal(ThermalModel::passive_phone());
+        assert_eq!(cool.run(&burst).time, hot.run(&burst).time);
+        assert!(hot.run(&sustained).time > cool.run(&sustained).time);
+        // Throttled runs draw less power.
+        assert!(hot.run(&sustained).power < cool.run(&sustained).power);
+    }
+
+    #[test]
+    fn throttled_frequency_follows_cube_root_of_power_budget() {
+        let t = ThermalModel { sustained_power_fraction: 0.512, burst_seconds: 10.0 };
+        assert!((t.frequency_cap(100.0) - 0.8).abs() < 1e-12);
+        assert_eq!(t.frequency_cap(5.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sustained power fraction")]
+    fn bad_thermal_model_rejected() {
+        let t = ThermalModel { sustained_power_fraction: 0.0, burst_seconds: 1.0 };
+        let _ = t.frequency_cap(10.0);
+    }
+
+    #[test]
+    fn little_first_placement_prefers_little_cores() {
+        let sim = SocSimulator::new(by_name("Snapdragon 865"))
+            .with_placement(Placement::LittleFirst);
+        let active = sim.schedule(3.0);
+        assert_eq!(active[2], 3.0, "little cluster should host all threads");
+        assert_eq!(active[0] + active[1], 0.0);
+    }
+
+    #[test]
+    fn little_first_saves_energy_on_memory_bound_background_work() {
+        // Background, memory-bound work runs nearly as fast on little
+        // cores (the memory wall caps both) at far lower power — the
+        // premise of energy-aware scheduling.
+        let soc = by_name("Snapdragon 865");
+        let background = Workload::new("sync", 6.0, 0.8, 2.0);
+        let big = SocSimulator::new(soc).run(&background);
+        let little = SocSimulator::new(soc)
+            .with_placement(Placement::LittleFirst)
+            .run(&background);
+        assert!(little.energy < big.energy, "little {} vs big {}", little.energy, big.energy);
+        // ...while compute-bound foreground work belongs on big cores.
+        let foreground = Workload::new("render", 6.0, 0.05, 2.0);
+        let big_fg = SocSimulator::new(soc).run(&foreground);
+        let little_fg = SocSimulator::new(soc)
+            .with_placement(Placement::LittleFirst)
+            .run(&foreground);
+        assert!(big_fg.time < little_fg.time * 0.7);
+    }
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let sim = SocSimulator::new(by_name("Exynos 9820"));
+        let run = sim.run(&Workload::new("w", 5.0, 0.3, 4.0));
+        let product = run.power * run.time;
+        assert!((run.energy / product - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one workload")]
+    fn empty_suite_rejected() {
+        let _ = SocSimulator::new(&MOBILE_SOCS[0]).run_suite(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "fixed DVFS fraction")]
+    fn bad_fixed_governor_rejected() {
+        let _ = SocSimulator::new(&MOBILE_SOCS[0])
+            .with_governor(DvfsGovernor::Fixed(0.0))
+            .run(&Workload::new("w", 1.0, 0.1, 1.0));
+    }
+}

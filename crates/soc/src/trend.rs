@@ -1,0 +1,74 @@
+//! The Figure 14 (left) efficiency trend: annual energy-efficiency
+//! improvement across mobile SoC generations.
+
+use act_data::SocSpec;
+
+/// Fits `ln(efficiency) = a + r·year` across the SoCs by least squares and
+/// returns the annual improvement factor `e^r` (the paper reports ≈1.21×).
+///
+/// # Panics
+///
+/// Panics if fewer than two distinct years are present.
+///
+/// # Examples
+///
+/// ```
+/// use act_data::MOBILE_SOCS;
+/// use act_soc::annual_efficiency_improvement;
+///
+/// let rate = annual_efficiency_improvement(&MOBILE_SOCS);
+/// assert!(rate > 1.1 && rate < 1.35);
+/// ```
+#[must_use]
+pub fn annual_efficiency_improvement(socs: &[SocSpec]) -> f64 {
+    assert!(socs.len() >= 2, "need at least two SoCs to fit a trend");
+    let n = socs.len() as f64;
+    let mean_x = socs.iter().map(|s| f64::from(s.year)).sum::<f64>() / n;
+    let mean_y = socs.iter().map(|s| s.efficiency_score().ln()).sum::<f64>() / n;
+    let (mut sxy, mut sxx) = (0.0, 0.0);
+    for s in socs {
+        let dx = f64::from(s.year) - mean_x;
+        let dy = s.efficiency_score().ln() - mean_y;
+        sxy += dx * dy;
+        sxx += dx * dx;
+    }
+    assert!(sxx > 0.0, "need at least two distinct release years");
+    (sxy / sxx).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use act_data::MOBILE_SOCS;
+
+    #[test]
+    fn matches_papers_21_percent_band() {
+        let rate = annual_efficiency_improvement(&MOBILE_SOCS);
+        assert!(
+            (1.12..=1.30).contains(&rate),
+            "annual efficiency improvement {rate} outside the paper's band"
+        );
+    }
+
+    #[test]
+    fn trend_is_an_improvement() {
+        assert!(annual_efficiency_improvement(&MOBILE_SOCS) > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct release years")]
+    fn same_year_socs_rejected() {
+        let same_year: Vec<_> = MOBILE_SOCS
+            .iter()
+            .filter(|s| s.year == 2019)
+            .copied()
+            .collect();
+        let _ = annual_efficiency_improvement(&same_year);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two SoCs")]
+    fn single_soc_rejected() {
+        let _ = annual_efficiency_improvement(&MOBILE_SOCS[..1]);
+    }
+}

@@ -1,0 +1,192 @@
+//! Over-provisioning and its embodied-carbon consequences.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::lifetime::LifetimeModel;
+
+/// A validated SSD over-provisioning factor `PF`: spare capacity as a
+/// fraction of user capacity (e.g. `0.16` = 16 % extra flash).
+///
+/// # Examples
+///
+/// ```
+/// use act_ssd::OverProvisioning;
+/// let pf = OverProvisioning::new(0.28)?;
+/// assert!((pf.physical_capacity_factor() - 1.28).abs() < 1e-12);
+/// # Ok::<(), act_ssd::OverProvisioningError>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(try_from = "f64", into = "f64")]
+pub struct OverProvisioning(f64);
+
+/// Error returned for a non-positive or non-finite over-provisioning factor.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OverProvisioningError {
+    value: f64,
+}
+
+impl fmt::Display for OverProvisioningError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "over-provisioning factor must be a positive finite fraction, got {}",
+            self.value
+        )
+    }
+}
+
+impl std::error::Error for OverProvisioningError {}
+
+impl OverProvisioning {
+    /// Creates a factor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `0 < pf <= 1`.
+    pub fn new(pf: f64) -> Result<Self, OverProvisioningError> {
+        if pf.is_finite() && pf > 0.0 && pf <= 1.0 {
+            Ok(Self(pf))
+        } else {
+            Err(OverProvisioningError { value: pf })
+        }
+    }
+
+    /// The factor as a fraction of user capacity.
+    #[must_use]
+    pub const fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Physical flash per unit of user capacity: `1 + PF`.
+    #[must_use]
+    pub fn physical_capacity_factor(self) -> f64 {
+        1.0 + self.0
+    }
+
+    /// Spare share of physical capacity: `PF / (1 + PF)`.
+    #[must_use]
+    pub fn spare_share(self) -> f64 {
+        self.0 / (1.0 + self.0)
+    }
+}
+
+impl TryFrom<f64> for OverProvisioning {
+    type Error = OverProvisioningError;
+    fn try_from(value: f64) -> Result<Self, Self::Error> {
+        Self::new(value)
+    }
+}
+
+impl From<OverProvisioning> for f64 {
+    fn from(value: OverProvisioning) -> f64 {
+        value.get()
+    }
+}
+
+impl fmt::Display for OverProvisioning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.0}%", self.0 * 100.0)
+    }
+}
+
+/// Effective embodied carbon of provisioning an SSD at `pf` to serve a
+/// deployment `horizon_years` long, relative to the same device's per-unit
+/// flash footprint.
+///
+/// Physical flash scales with `1 + PF`; if the drive wears out before the
+/// horizon it must be replaced `horizon / lifetime` times (fractionally —
+/// fleet-averaged). This is the quantity Figure 15 (bottom) plots,
+/// normalized to a 4 % baseline.
+///
+/// # Panics
+///
+/// Panics if `horizon_years` is not positive.
+///
+/// # Examples
+///
+/// ```
+/// use act_ssd::{effective_embodied, LifetimeModel, OverProvisioning};
+///
+/// let model = LifetimeModel::default();
+/// let lean = effective_embodied(OverProvisioning::new(0.04)?, 2.0, &model);
+/// let tuned = effective_embodied(OverProvisioning::new(0.16)?, 2.0, &model);
+/// assert!(tuned < lean); // more spare flash, but far fewer replacements
+/// # Ok::<(), act_ssd::OverProvisioningError>(())
+/// ```
+#[must_use]
+pub fn effective_embodied(
+    pf: OverProvisioning,
+    horizon_years: f64,
+    model: &LifetimeModel,
+) -> f64 {
+    assert!(horizon_years > 0.0, "deployment horizon must be positive");
+    let lifetime = model.lifetime_years(pf);
+    let replacements = (horizon_years / lifetime).max(1.0);
+    pf.physical_capacity_factor() * replacements
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_range() {
+        assert!(OverProvisioning::new(0.04).is_ok());
+        assert!(OverProvisioning::new(1.0).is_ok());
+        assert!(OverProvisioning::new(0.0).is_err());
+        assert!(OverProvisioning::new(-0.1).is_err());
+        assert!(OverProvisioning::new(f64::NAN).is_err());
+        assert!(OverProvisioning::new(1.5).is_err());
+    }
+
+    #[test]
+    fn capacity_factors() {
+        let pf = OverProvisioning::new(0.25).unwrap();
+        assert!((pf.physical_capacity_factor() - 1.25).abs() < 1e-12);
+        assert!((pf.spare_share() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_and_display() {
+        let err = OverProvisioning::new(0.0).unwrap_err();
+        assert!(err.to_string().contains("0"));
+        assert_eq!(OverProvisioning::new(0.16).unwrap().to_string(), "16%");
+    }
+
+    #[test]
+    fn serde_round_trip_validates() {
+        let pf: OverProvisioning = serde_json::from_str("0.34").unwrap();
+        assert!((pf.get() - 0.34).abs() < 1e-12);
+        assert!(serde_json::from_str::<OverProvisioning>("-0.5").is_err());
+    }
+
+    #[test]
+    fn under_provisioned_drives_get_replaced() {
+        let model = LifetimeModel::default();
+        let pf = OverProvisioning::new(0.04).unwrap();
+        // At 4 % OP the drive lives about half a year; a 2-year horizon
+        // needs about four drives.
+        let effective = effective_embodied(pf, 2.0, &model);
+        assert!(effective > 3.5, "effective embodied {effective}");
+    }
+
+    #[test]
+    fn long_lived_drives_cost_their_capacity() {
+        let model = LifetimeModel::default();
+        let pf = OverProvisioning::new(0.4).unwrap();
+        let effective = effective_embodied(pf, 2.0, &model);
+        assert!((effective - 1.4).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon must be positive")]
+    fn zero_horizon_panics() {
+        let _ = effective_embodied(
+            OverProvisioning::new(0.1).unwrap(),
+            0.0,
+            &LifetimeModel::default(),
+        );
+    }
+}

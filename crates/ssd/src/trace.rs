@@ -1,0 +1,164 @@
+//! Synthetic write-trace generators for the FTL simulator.
+
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The access pattern of a synthetic write workload.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum TracePattern {
+    /// Uniform random page writes over the whole logical space — the
+    /// pattern the analytical greedy-GC model assumes.
+    UniformRandom,
+    /// Strictly sequential page writes, wrapping around.
+    Sequential,
+    /// Skewed writes: a `hot_fraction` of the logical space receives a
+    /// `hot_share` of the writes (e.g. 20 % of pages take 80 % of writes).
+    Skewed {
+        /// Fraction of pages that are hot.
+        hot_fraction: f64,
+        /// Share of writes directed at the hot pages.
+        hot_share: f64,
+    },
+}
+
+/// A deterministic (seeded) generator of logical-page write addresses.
+///
+/// # Examples
+///
+/// ```
+/// use act_ssd::{TracePattern, WriteTrace};
+///
+/// let mut trace = WriteTrace::new(TracePattern::UniformRandom, 10_000, 42);
+/// let page = trace.next_page();
+/// assert!(page < 10_000);
+/// ```
+#[derive(Clone, Debug)]
+pub struct WriteTrace {
+    pattern: TracePattern,
+    logical_pages: u64,
+    rng: StdRng,
+    cursor: u64,
+}
+
+impl WriteTrace {
+    /// Creates a trace over `logical_pages` addresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical_pages` is zero, or a skewed pattern has fractions
+    /// outside `(0, 1)`.
+    #[must_use]
+    pub fn new(pattern: TracePattern, logical_pages: u64, seed: u64) -> Self {
+        assert!(logical_pages > 0, "trace needs a nonempty logical space");
+        if let TracePattern::Skewed { hot_fraction, hot_share } = pattern {
+            assert!(
+                (0.0..1.0).contains(&hot_fraction) && hot_fraction > 0.0,
+                "hot_fraction must be in (0, 1)"
+            );
+            assert!(
+                (0.0..=1.0).contains(&hot_share),
+                "hot_share must be in [0, 1]"
+            );
+        }
+        Self { pattern, logical_pages, rng: StdRng::seed_from_u64(seed), cursor: 0 }
+    }
+
+    /// The logical address space size.
+    #[must_use]
+    pub fn logical_pages(&self) -> u64 {
+        self.logical_pages
+    }
+
+    /// Draws the next logical page to write.
+    pub fn next_page(&mut self) -> u64 {
+        match self.pattern {
+            TracePattern::UniformRandom => {
+                Uniform::new(0, self.logical_pages).sample(&mut self.rng)
+            }
+            TracePattern::Sequential => {
+                let page = self.cursor;
+                self.cursor = (self.cursor + 1) % self.logical_pages;
+                page
+            }
+            TracePattern::Skewed { hot_fraction, hot_share } => {
+                let hot_pages = ((self.logical_pages as f64) * hot_fraction).max(1.0) as u64;
+                if self.rng.gen_bool(hot_share) {
+                    Uniform::new(0, hot_pages).sample(&mut self.rng)
+                } else {
+                    let cold = self.logical_pages - hot_pages;
+                    if cold == 0 {
+                        Uniform::new(0, self.logical_pages).sample(&mut self.rng)
+                    } else {
+                        hot_pages + Uniform::new(0, cold).sample(&mut self.rng)
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_stays_in_range_and_is_deterministic() {
+        let mut a = WriteTrace::new(TracePattern::UniformRandom, 1000, 7);
+        let mut b = WriteTrace::new(TracePattern::UniformRandom, 1000, 7);
+        for _ in 0..1000 {
+            let (x, y) = (a.next_page(), b.next_page());
+            assert_eq!(x, y);
+            assert!(x < 1000);
+        }
+    }
+
+    #[test]
+    fn sequential_wraps() {
+        let mut t = WriteTrace::new(TracePattern::Sequential, 3, 0);
+        let pages: Vec<u64> = (0..7).map(|_| t.next_page()).collect();
+        assert_eq!(pages, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn skew_concentrates_writes() {
+        let mut t = WriteTrace::new(
+            TracePattern::Skewed { hot_fraction: 0.2, hot_share: 0.8 },
+            10_000,
+            11,
+        );
+        let n = 20_000;
+        let hot_hits = (0..n).filter(|_| t.next_page() < 2000).count();
+        let share = hot_hits as f64 / n as f64;
+        assert!((share - 0.8).abs() < 0.02, "hot share {share}");
+    }
+
+    #[test]
+    fn uniform_covers_space_roughly_evenly() {
+        let mut t = WriteTrace::new(TracePattern::UniformRandom, 10, 3);
+        let mut counts = [0u32; 10];
+        for _ in 0..10_000 {
+            counts[t.next_page() as usize] += 1;
+        }
+        for c in counts {
+            assert!((700..1300).contains(&c), "count {c}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty logical space")]
+    fn zero_pages_rejected() {
+        let _ = WriteTrace::new(TracePattern::UniformRandom, 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "hot_fraction")]
+    fn bad_skew_rejected() {
+        let _ = WriteTrace::new(
+            TracePattern::Skewed { hot_fraction: 1.5, hot_share: 0.5 },
+            10,
+            0,
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! Dimension-checked physical quantities for the ACT carbon model.
+//!
+//! The ACT model (Gupta et al., ISCA 2022) is, at its heart, careful unit
+//! arithmetic: carbon intensities (g CO₂/kWh) multiply energies (kWh), carbon
+//! per area (g CO₂/cm²) multiplies die areas (cm²), carbon per capacity
+//! (g CO₂/GB) multiplies storage capacities (GB). Getting a single conversion
+//! factor wrong silently corrupts every downstream figure, so this crate
+//! encodes each dimension as a newtype and only implements the products that
+//! are physically meaningful.
+//!
+//! # Examples
+//!
+//! ```
+//! use act_units::{Area, CarbonIntensity, MassCo2, Power, TimeSpan};
+//!
+//! // Operational footprint: energy × carbon intensity.
+//! let energy = Power::watts(6.6) * TimeSpan::milliseconds(6.0);
+//! let footprint: MassCo2 = CarbonIntensity::grams_per_kwh(300.0) * energy;
+//! assert!(footprint.as_grams() > 0.0);
+//!
+//! // Die areas convert losslessly between mm² and cm².
+//! let die = Area::square_millimeters(94.0);
+//! assert!((die.as_square_centimeters() - 0.94).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fraction;
+mod quantity;
+mod rates;
+
+pub use fraction::{Fraction, FractionError};
+pub use quantity::{Area, Capacity, Energy, MassCo2, Power, Throughput, TimeSpan};
+pub use rates::{CarbonIntensity, EnergyPerArea, MassPerArea, MassPerCapacity};
+
+/// Seconds in a year as used throughout the ACT model (365 days).
+pub const SECONDS_PER_YEAR: f64 = 365.0 * 24.0 * 3600.0;
+
+/// Joules per kilowatt-hour.
+pub const JOULES_PER_KWH: f64 = 3.6e6;

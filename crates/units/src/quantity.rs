@@ -1,0 +1,647 @@
+//! Base quantity newtypes and the macro that generates their shared API.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+use crate::{JOULES_PER_KWH, SECONDS_PER_YEAR};
+
+/// Generates a quantity newtype with the arithmetic every dimension shares:
+/// addition/subtraction with itself, scaling by `f64`, a dimensionless ratio
+/// via `Div<Self>`, iterator summation, and ordering helpers.
+macro_rules! quantity {
+    (
+        $(#[$meta:meta])*
+        $name:ident, base = $base_doc:literal, display = $display_unit:literal
+    ) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, Debug, Default, PartialEq, PartialOrd, Serialize, Deserialize)]
+        #[serde(transparent)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            #[doc = concat!("Raw magnitude in the base unit (", $base_doc, ").")]
+            #[must_use]
+            pub const fn base(self) -> f64 {
+                self.0
+            }
+
+            /// Constructs directly from the base unit magnitude.
+            #[must_use]
+            pub const fn from_base(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Returns `true` if the magnitude is a finite number.
+            #[must_use]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// The smaller of two quantities.
+            #[must_use]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// The larger of two quantities.
+            #[must_use]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Clamps the magnitude to be non-negative.
+            #[must_use]
+            pub fn max_zero(self) -> Self {
+                Self(self.0.max(0.0))
+            }
+
+            /// Dimensionless ratio `self / other`.
+            ///
+            /// Identical to `self / other` but reads better in formulas.
+            #[must_use]
+            pub fn ratio(self, other: Self) -> f64 {
+                self.0 / other.0
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div for $name {
+            type Output = f64;
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl<'a> Sum<&'a $name> for $name {
+            fn sum<I: Iterator<Item = &'a Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                match f.precision() {
+                    Some(p) => write!(f, "{:.*} {}", p, self.0, $display_unit),
+                    None => write!(f, "{} {}", self.0, $display_unit),
+                }
+            }
+        }
+    };
+}
+
+pub(crate) use quantity;
+
+quantity!(
+    /// A mass of CO₂-equivalent emissions. Base unit: grams.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use act_units::MassCo2;
+    /// let total = MassCo2::kilograms(0.253) + MassCo2::grams(150.0);
+    /// assert!((total.as_grams() - 403.0).abs() < 1e-9);
+    /// ```
+    MassCo2, base = "grams", display = "g CO2"
+);
+
+impl MassCo2 {
+    /// Creates a mass from grams of CO₂.
+    #[must_use]
+    pub const fn grams(g: f64) -> Self {
+        Self(g)
+    }
+
+    /// Creates a mass from kilograms of CO₂.
+    #[must_use]
+    pub const fn kilograms(kg: f64) -> Self {
+        Self(kg * 1e3)
+    }
+
+    /// Creates a mass from metric tonnes of CO₂.
+    #[must_use]
+    pub const fn tonnes(t: f64) -> Self {
+        Self(t * 1e6)
+    }
+
+    /// Creates a mass from micrograms of CO₂ (per-inference footprints).
+    #[must_use]
+    pub const fn micrograms(ug: f64) -> Self {
+        Self(ug * 1e-6)
+    }
+
+    /// Magnitude in grams.
+    #[must_use]
+    pub const fn as_grams(self) -> f64 {
+        self.0
+    }
+
+    /// Magnitude in kilograms.
+    #[must_use]
+    pub fn as_kilograms(self) -> f64 {
+        self.0 / 1e3
+    }
+
+    /// Magnitude in micrograms.
+    #[must_use]
+    pub fn as_micrograms(self) -> f64 {
+        self.0 * 1e6
+    }
+}
+
+quantity!(
+    /// An amount of energy. Base unit: joules.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use act_units::Energy;
+    /// assert!((Energy::kilowatt_hours(1.0).as_joules() - 3.6e6).abs() < 1e-6);
+    /// ```
+    Energy, base = "joules", display = "J"
+);
+
+impl Energy {
+    /// Creates an energy from joules.
+    #[must_use]
+    pub const fn joules(j: f64) -> Self {
+        Self(j)
+    }
+
+    /// Creates an energy from millijoules.
+    #[must_use]
+    pub const fn millijoules(mj: f64) -> Self {
+        Self(mj * 1e-3)
+    }
+
+    /// Creates an energy from watt-hours.
+    #[must_use]
+    pub const fn watt_hours(wh: f64) -> Self {
+        Self(wh * 3600.0)
+    }
+
+    /// Creates an energy from kilowatt-hours.
+    #[must_use]
+    pub const fn kilowatt_hours(kwh: f64) -> Self {
+        Self(kwh * JOULES_PER_KWH)
+    }
+
+    /// Magnitude in joules.
+    #[must_use]
+    pub const fn as_joules(self) -> f64 {
+        self.0
+    }
+
+    /// Magnitude in millijoules.
+    #[must_use]
+    pub fn as_millijoules(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Magnitude in kilowatt-hours.
+    #[must_use]
+    pub fn as_kilowatt_hours(self) -> f64 {
+        self.0 / JOULES_PER_KWH
+    }
+}
+
+quantity!(
+    /// Electrical power. Base unit: watts.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use act_units::{Power, TimeSpan};
+    /// let e = Power::milliwatts(500.0) * TimeSpan::seconds(2.0);
+    /// assert!((e.as_joules() - 1.0).abs() < 1e-12);
+    /// ```
+    Power, base = "watts", display = "W"
+);
+
+impl Power {
+    /// Creates a power from watts.
+    #[must_use]
+    pub const fn watts(w: f64) -> Self {
+        Self(w)
+    }
+
+    /// Creates a power from milliwatts.
+    #[must_use]
+    pub const fn milliwatts(mw: f64) -> Self {
+        Self(mw * 1e-3)
+    }
+
+    /// Magnitude in watts.
+    #[must_use]
+    pub const fn as_watts(self) -> f64 {
+        self.0
+    }
+
+    /// Magnitude in milliwatts.
+    #[must_use]
+    pub fn as_milliwatts(self) -> f64 {
+        self.0 * 1e3
+    }
+}
+
+quantity!(
+    /// Silicon area. Base unit: square centimeters (the fab-report unit).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use act_units::Area;
+    /// let die = Area::square_millimeters(73.0);
+    /// assert!((die.as_square_centimeters() - 0.73).abs() < 1e-12);
+    /// ```
+    Area, base = "square centimeters", display = "cm^2"
+);
+
+impl Area {
+    /// Creates an area from square centimeters.
+    #[must_use]
+    pub const fn square_centimeters(cm2: f64) -> Self {
+        Self(cm2)
+    }
+
+    /// Creates an area from square millimeters (the die-size unit).
+    #[must_use]
+    pub const fn square_millimeters(mm2: f64) -> Self {
+        Self(mm2 / 100.0)
+    }
+
+    /// Magnitude in square centimeters.
+    #[must_use]
+    pub const fn as_square_centimeters(self) -> f64 {
+        self.0
+    }
+
+    /// Magnitude in square millimeters.
+    #[must_use]
+    pub fn as_square_millimeters(self) -> f64 {
+        self.0 * 100.0
+    }
+}
+
+quantity!(
+    /// Storage or memory capacity. Base unit: gigabytes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use act_units::Capacity;
+    /// assert!((Capacity::terabytes(2.0).as_gigabytes() - 2048.0).abs() < 1e-9);
+    /// ```
+    Capacity, base = "gigabytes", display = "GB"
+);
+
+impl Capacity {
+    /// Creates a capacity from gigabytes.
+    #[must_use]
+    pub const fn gigabytes(gb: f64) -> Self {
+        Self(gb)
+    }
+
+    /// Creates a capacity from terabytes (1 TB = 1024 GB).
+    #[must_use]
+    pub const fn terabytes(tb: f64) -> Self {
+        Self(tb * 1024.0)
+    }
+
+    /// Magnitude in gigabytes.
+    #[must_use]
+    pub const fn as_gigabytes(self) -> f64 {
+        self.0
+    }
+}
+
+quantity!(
+    /// A duration: an application run-time `T` or a hardware lifetime `LT`.
+    /// Base unit: seconds.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use act_units::TimeSpan;
+    /// let lt = TimeSpan::years(3.0);
+    /// assert!((lt.as_years() - 3.0).abs() < 1e-12);
+    /// ```
+    TimeSpan, base = "seconds", display = "s"
+);
+
+impl TimeSpan {
+    /// Creates a time span from seconds.
+    #[must_use]
+    pub const fn seconds(s: f64) -> Self {
+        Self(s)
+    }
+
+    /// Creates a time span from milliseconds.
+    #[must_use]
+    pub const fn milliseconds(ms: f64) -> Self {
+        Self(ms * 1e-3)
+    }
+
+    /// Creates a time span from hours.
+    #[must_use]
+    pub const fn hours(h: f64) -> Self {
+        Self(h * 3600.0)
+    }
+
+    /// Creates a time span from days.
+    #[must_use]
+    pub const fn days(d: f64) -> Self {
+        Self(d * 24.0 * 3600.0)
+    }
+
+    /// Creates a time span from 365-day years (the ACT lifetime convention).
+    #[must_use]
+    pub const fn years(y: f64) -> Self {
+        Self(y * SECONDS_PER_YEAR)
+    }
+
+    /// Magnitude in seconds.
+    #[must_use]
+    pub const fn as_seconds(self) -> f64 {
+        self.0
+    }
+
+    /// Magnitude in milliseconds.
+    #[must_use]
+    pub fn as_milliseconds(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Magnitude in 365-day years.
+    #[must_use]
+    pub fn as_years(self) -> f64 {
+        self.0 / SECONDS_PER_YEAR
+    }
+}
+
+quantity!(
+    /// An event rate: inferences per second, frames per second, and similar.
+    /// Base unit: events per second.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use act_units::{Throughput, TimeSpan};
+    /// let fps = Throughput::per_second(30.0);
+    /// assert!((fps.period().as_milliseconds() - 33.333).abs() < 0.01);
+    /// assert!((TimeSpan::seconds(2.0) * fps - 60.0).abs() < 1e-12);
+    /// ```
+    Throughput, base = "events per second", display = "1/s"
+);
+
+impl Throughput {
+    /// Creates a throughput from events per second.
+    #[must_use]
+    pub const fn per_second(rate: f64) -> Self {
+        Self(rate)
+    }
+
+    /// Magnitude in events per second.
+    #[must_use]
+    pub const fn as_per_second(self) -> f64 {
+        self.0
+    }
+
+    /// The time between events: `1 / rate`.
+    #[must_use]
+    pub fn period(self) -> TimeSpan {
+        TimeSpan::seconds(1.0 / self.0)
+    }
+}
+
+// ---- physically meaningful cross-type products -----------------------------
+
+impl Mul<TimeSpan> for Power {
+    type Output = Energy;
+    fn mul(self, rhs: TimeSpan) -> Energy {
+        Energy::joules(self.as_watts() * rhs.as_seconds())
+    }
+}
+
+impl Mul<Power> for TimeSpan {
+    type Output = Energy;
+    fn mul(self, rhs: Power) -> Energy {
+        rhs * self
+    }
+}
+
+impl Div<TimeSpan> for Energy {
+    type Output = Power;
+    fn div(self, rhs: TimeSpan) -> Power {
+        Power::watts(self.as_joules() / rhs.as_seconds())
+    }
+}
+
+impl Div<Power> for Energy {
+    type Output = TimeSpan;
+    fn div(self, rhs: Power) -> TimeSpan {
+        TimeSpan::seconds(self.as_joules() / rhs.as_watts())
+    }
+}
+
+impl Mul<Throughput> for TimeSpan {
+    type Output = f64;
+    fn mul(self, rhs: Throughput) -> f64 {
+        self.as_seconds() * rhs.as_per_second()
+    }
+}
+
+impl Mul<TimeSpan> for Throughput {
+    type Output = f64;
+    fn mul(self, rhs: TimeSpan) -> f64 {
+        rhs * self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mass_conversions_round_trip() {
+        let m = MassCo2::kilograms(1.5);
+        assert!((m.as_grams() - 1500.0).abs() < 1e-12);
+        assert!((m.as_kilograms() - 1.5).abs() < 1e-12);
+        assert!((MassCo2::micrograms(2.0).as_grams() - 2e-6).abs() < 1e-18);
+        assert!((MassCo2::tonnes(1.0).as_kilograms() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_kwh_joule_round_trip() {
+        let e = Energy::kilowatt_hours(2.5);
+        assert!((e.as_joules() - 9e6).abs() < 1e-6);
+        assert!((e.as_kilowatt_hours() - 2.5).abs() < 1e-12);
+        assert!((Energy::watt_hours(1000.0).as_kilowatt_hours() - 1.0).abs() < 1e-12);
+        assert!((Energy::millijoules(2000.0).as_joules() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_times_time_is_energy() {
+        let e = Power::watts(2.0) * TimeSpan::hours(3.0);
+        assert!((e.as_kilowatt_hours() - 0.006).abs() < 1e-12);
+        let p = e / TimeSpan::hours(3.0);
+        assert!((p.as_watts() - 2.0).abs() < 1e-12);
+        let t = e / Power::watts(2.0);
+        assert!((t.as_seconds() - 3.0 * 3600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn area_units() {
+        let a = Area::square_millimeters(250.0);
+        assert!((a.as_square_centimeters() - 2.5).abs() < 1e-12);
+        assert!((a.as_square_millimeters() - 250.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timespan_years() {
+        let t = TimeSpan::years(1.0);
+        assert!((t.as_seconds() - 31_536_000.0).abs() < 1.0);
+        assert!((TimeSpan::days(365.0).as_years() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_period_inverse() {
+        let fps = Throughput::per_second(30.0);
+        assert!((fps.period().as_seconds() * 30.0 - 1.0).abs() < 1e-12);
+        let events = TimeSpan::years(1.0) * Throughput::per_second(1.0);
+        assert!((events - 31_536_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn arithmetic_and_ordering() {
+        let a = MassCo2::grams(2.0);
+        let b = MassCo2::grams(3.0);
+        assert_eq!(a + b, MassCo2::grams(5.0));
+        assert_eq!(b - a, MassCo2::grams(1.0));
+        assert_eq!(a * 2.0, MassCo2::grams(4.0));
+        assert_eq!(2.0 * a, MassCo2::grams(4.0));
+        assert_eq!(b / 3.0, MassCo2::grams(1.0));
+        assert!((b / a - 1.5).abs() < 1e-12);
+        assert!((b.ratio(a) - 1.5).abs() < 1e-12);
+        assert!(a < b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        assert_eq!((-a).max_zero(), MassCo2::ZERO);
+        assert_eq!(-a, MassCo2::grams(-2.0));
+    }
+
+    #[test]
+    fn sum_over_iterators() {
+        let parts = [MassCo2::grams(1.0), MassCo2::grams(2.0), MassCo2::grams(3.0)];
+        let owned: MassCo2 = parts.iter().copied().sum();
+        let borrowed: MassCo2 = parts.iter().sum();
+        assert_eq!(owned, MassCo2::grams(6.0));
+        assert_eq!(borrowed, owned);
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut m = MassCo2::grams(1.0);
+        m += MassCo2::grams(2.0);
+        m -= MassCo2::grams(0.5);
+        assert_eq!(m, MassCo2::grams(2.5));
+    }
+
+    #[test]
+    fn display_includes_unit() {
+        assert_eq!(format!("{:.1}", MassCo2::grams(12.34)), "12.3 g CO2");
+        assert_eq!(format!("{:.0}", Power::watts(7.0)), "7 W");
+        assert_eq!(format!("{:.2}", Area::square_centimeters(0.5)), "0.50 cm^2");
+        assert!(!format!("{}", Energy::joules(1.0)).is_empty());
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", Capacity::gigabytes(64.0)).is_empty());
+    }
+
+    #[test]
+    fn serde_transparent_round_trip() {
+        let m = MassCo2::grams(42.5);
+        let json = serde_json::to_string(&m).unwrap();
+        assert_eq!(json, "42.5");
+        let back: MassCo2 = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(MassCo2::default(), MassCo2::ZERO);
+        assert_eq!(Energy::default(), Energy::ZERO);
+    }
+
+    #[test]
+    fn finiteness_check() {
+        assert!(MassCo2::grams(1.0).is_finite());
+        assert!(!(MassCo2::grams(1.0) / 0.0).is_finite());
+    }
+}

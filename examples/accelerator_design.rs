@@ -1,0 +1,77 @@
+//! The Reduce case study as a library user would run it: size an AI
+//! accelerator for a 30 FPS camera pipeline while minimizing embodied
+//! carbon (paper Figures 12–13).
+//!
+//! ```text
+//! cargo run --example accelerator_design
+//! ```
+
+use act::accel::{AccelConfig, Network};
+use act::core::{DesignPoint, FabScenario, OptimizationMetric};
+use act::dse::{argmin_feasible, powers_of_two};
+
+const QOS_FPS: f64 = 30.0;
+
+fn main() {
+    let fab = FabScenario::default();
+    let network = Network::mobile_vision();
+    println!(
+        "Network: {} ({:.2} GMACs/inference)\n",
+        network.name(),
+        network.total_macs() / 1e9
+    );
+
+    // Sweep the MAC array and collect design points.
+    let sweep: Vec<(AccelConfig, DesignPoint, f64)> = powers_of_two(64, 2048)
+        .into_iter()
+        .map(|macs| {
+            let config = AccelConfig::new(macs);
+            let eval = config.evaluate(&network);
+            let point = DesignPoint {
+                embodied: fab.carbon_per_area(config.node()) * config.area(),
+                energy: eval.energy(),
+                delay: eval.latency(),
+                area: config.area(),
+            };
+            (config, point, eval.throughput().as_per_second())
+        })
+        .collect();
+
+    println!("{:>6} {:>8} {:>10} {:>12}", "MACs", "FPS", "energy mJ", "embodied g");
+    for (config, point, fps) in &sweep {
+        println!(
+            "{:>6} {:>8.1} {:>10.2} {:>12.1}",
+            config.macs(),
+            fps,
+            point.energy.as_millijoules(),
+            point.embodied.as_grams()
+        );
+    }
+
+    // What each optimization target would pick.
+    println!("\nMetric optima:");
+    for metric in OptimizationMetric::ALL {
+        let best = sweep
+            .iter()
+            .min_by(|a, b| metric.score(&a.1).partial_cmp(&metric.score(&b.1)).unwrap())
+            .unwrap();
+        println!("  {:<5} -> {:>4} MACs ({})", metric.to_string(), best.0.macs(), metric.use_case());
+    }
+
+    // The QoS-driven carbon optimum.
+    let idx = argmin_feasible(&sweep, |s| s.1.embodied.as_grams(), |s| s.2 >= QOS_FPS)
+        .expect("a configuration meets the QoS bar");
+    let (config, point, fps) = &sweep[idx];
+    println!(
+        "\nLeanest design meeting {QOS_FPS} FPS: {} MACs \
+         ({fps:.1} FPS, {:.1} g CO2 embodied)",
+        config.macs(),
+        point.embodied.as_grams()
+    );
+    let widest = sweep.last().unwrap();
+    println!(
+        "The performance-optimal {} MAC design costs {:.1}x more embodied carbon.",
+        widest.0.macs(),
+        widest.1.embodied / point.embodied
+    );
+}

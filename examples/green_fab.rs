@@ -1,0 +1,63 @@
+//! How fab decarbonization and gaseous abatement change the per-area carbon
+//! of every process node — and when a co-processor becomes worth its
+//! silicon (paper Figures 6 and 10).
+//!
+//! ```text
+//! cargo run --example green_fab
+//! ```
+
+use act::core::{FabScenario, OperationalModel};
+use act::data::snapdragon845::{profile, Engine, NODE};
+use act::data::{Abatement, EnergySource, ProcessNode};
+use act::units::TimeSpan;
+
+fn main() {
+    // Per-area carbon across the node roadmap under three fab scenarios.
+    println!(
+        "{:<12} {:>16} {:>18} {:>14}",
+        "node", "Taiwan grid", "25% renewable", "100% solar"
+    );
+    for node in ProcessNode::ALL {
+        println!(
+            "{:<12} {:>13.2} kg {:>15.2} kg {:>11.2} kg",
+            node.to_string(),
+            FabScenario::taiwan_grid().carbon_per_area(node).as_kilograms_per_cm2(),
+            FabScenario::default().carbon_per_area(node).as_kilograms_per_cm2(),
+            FabScenario::renewable().carbon_per_area(node).as_kilograms_per_cm2(),
+        );
+    }
+
+    // Abatement bounds at the leading edge.
+    let n3 = ProcessNode::N3;
+    println!("\n3nm gas emissions per cm^2 by abatement strategy:");
+    for abatement in Abatement::ALL {
+        println!(
+            "  {:<12} {:>6.0} g",
+            abatement.to_string(),
+            n3.gas_per_area(abatement).as_grams_per_cm2()
+        );
+    }
+
+    // Reuse trade-off: how many inferences until the GPU co-processor's
+    // embodied carbon is paid back, per grid.
+    println!("\nGPU co-processor payback (vs CPU inference) by use-phase grid:");
+    let fab = FabScenario::default();
+    let cpa = fab.carbon_per_area(NODE);
+    let extra_embodied = cpa * profile(Engine::Gpu).block_area();
+    let saving = profile(Engine::Cpu).energy_per_inference()
+        - profile(Engine::Gpu).energy_per_inference();
+    for source in [EnergySource::Coal, EnergySource::Gas, EnergySource::Solar, EnergySource::Wind]
+    {
+        let op = OperationalModel::new(source.carbon_intensity());
+        let per_inference = op.footprint(saving);
+        let inferences = extra_embodied / per_inference;
+        let at_30fps = TimeSpan::seconds(inferences / 30.0);
+        println!(
+            "  {:<12} {:>12.2e} inferences ({:>6.1} days at 30 FPS)",
+            source.to_string(),
+            inferences,
+            at_30fps.as_seconds() / 86_400.0
+        );
+    }
+    println!("\nGreener grids push the payback horizon out — reuse beats specialization.");
+}

@@ -1,0 +1,55 @@
+//! The Recycle case study for fleets: how long should devices live, given
+//! that newer hardware is more efficient but each replacement costs
+//! embodied carbon (paper Figure 14)?
+//!
+//! ```text
+//! cargo run --example lifetime_planning
+//! ```
+
+use act::data::MOBILE_SOCS;
+use act::soc::{annual_efficiency_improvement, ReplacementModel};
+
+fn main() {
+    let rate = annual_efficiency_improvement(&MOBILE_SOCS);
+    println!(
+        "Measured annual efficiency improvement across {} SoCs: {:.2}x\n",
+        MOBILE_SOCS.len(),
+        rate
+    );
+
+    let model = ReplacementModel::mobile_study(rate);
+    println!(
+        "{:>11} {:>8} {:>10} {:>13} {:>8}",
+        "lifetime yr", "devices", "embodied", "operational", "total"
+    );
+    for lifetime in 1..=model.horizon_years {
+        println!(
+            "{:>11} {:>8} {:>10.2} {:>13.2} {:>8.2}{}",
+            lifetime,
+            model.devices_needed(lifetime),
+            model.embodied_total(lifetime),
+            model.operational_total(lifetime),
+            model.total(lifetime),
+            if lifetime == model.optimal_lifetime_years() { "  <- optimal" } else { "" }
+        );
+    }
+
+    let opt = model.optimal_lifetime_years();
+    let current = (model.total(2) + model.total(3)) / 2.0;
+    println!(
+        "\nExtending lifetimes from today's 2-3 years to {opt} years cuts the \
+         10-year footprint by {:.2}x.",
+        current / model.total(opt)
+    );
+
+    // Sensitivity: what if hardware stopped improving, or improved faster?
+    println!("\nSensitivity to the improvement rate:");
+    for rate in [1.05, 1.10, 1.21, 1.40, 1.60] {
+        let m = ReplacementModel::mobile_study(rate);
+        println!(
+            "  {:.2}x/year -> optimal lifetime {} years",
+            rate,
+            m.optimal_lifetime_years()
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Rank thirteen commodity mobile SoCs under classic and carbon-aware
+//! metrics, driving the `act-soc` simulator for the performance side
+//! (paper Figure 8).
+//!
+//! ```text
+//! cargo run --example mobile_ranking
+//! ```
+
+use act::core::{DesignPoint, FabScenario, OptimizationMetric, SystemSpec};
+use act::data::MOBILE_SOCS;
+use act::soc::{geekbench_suite, SocSimulator};
+use act::units::TimeSpan;
+
+fn main() {
+    let fab = FabScenario::default();
+    let suite = geekbench_suite();
+
+    let mut rows = Vec::new();
+    for soc in &MOBILE_SOCS {
+        // Simulate the seven-workload suite on this SoC.
+        let result = SocSimulator::new(soc).run_suite(&suite);
+        let embodied = SystemSpec::builder()
+            .soc(soc.name, soc.die_area(), soc.node)
+            .dram(soc.dram, soc.dram_capacity())
+            .packaged_ics(2)
+            .build()
+            .embodied(&fab)
+            .total();
+        let delay = TimeSpan::seconds(1e6 / result.score);
+        let point = DesignPoint {
+            embodied,
+            energy: soc.tdp() * delay,
+            delay,
+            area: soc.die_area(),
+        };
+        rows.push((soc, result, point));
+    }
+
+    println!(
+        "{:<16} {:>6} {:>9} {:>10} {:>12}",
+        "SoC", "node", "score", "energy kJ", "embodied kg"
+    );
+    for (soc, result, point) in &rows {
+        println!(
+            "{:<16} {:>6} {:>9.0} {:>10.1} {:>12.2}",
+            soc.name,
+            soc.node.to_string(),
+            result.score,
+            point.energy.as_joules() / 1e3,
+            point.embodied.as_kilograms()
+        );
+    }
+
+    println!("\nWinners by metric (simulated performance):");
+    for metric in OptimizationMetric::ALL {
+        let best = rows
+            .iter()
+            .min_by(|a, b| metric.score(&a.2).partial_cmp(&metric.score(&b.2)).unwrap())
+            .unwrap();
+        println!("  {:<5} -> {}", metric.to_string(), best.0.name);
+    }
+    let min_embodied = rows
+        .iter()
+        .min_by(|a, b| a.2.embodied.partial_cmp(&b.2.embodied).unwrap())
+        .unwrap();
+    println!("  lowest embodied -> {}", min_embodied.0.name);
+}

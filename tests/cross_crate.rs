@@ -1,0 +1,139 @@
+//! Cross-crate integration: the substrates and the carbon model compose
+//! into full pipelines the way a downstream user would wire them.
+
+use act::accel::{AccelConfig, Network};
+use act::core::{total_footprint, FabScenario, OperationalModel, SystemSpec};
+use act::data::{
+    DramTechnology, EnergySource, Location, ProcessNode, SsdTechnology, MOBILE_SOCS,
+};
+use act::soc::{geekbench_suite, DvfsGovernor, SocSimulator};
+use act::ssd::{LifetimeModel, OverProvisioning};
+use act::units::{Capacity, MassCo2, TimeSpan};
+
+#[test]
+fn phone_pipeline_soc_sim_feeds_carbon_model() {
+    // Simulate a workload suite, then carbon-account the measured energy.
+    let soc = &MOBILE_SOCS[0];
+    let suite = geekbench_suite();
+    let run = SocSimulator::new(soc).run_suite(&suite);
+
+    let embodied = SystemSpec::builder()
+        .soc(soc.name, soc.die_area(), soc.node)
+        .dram(soc.dram, soc.dram_capacity())
+        .packaged_ics(2)
+        .build()
+        .embodied(&FabScenario::default())
+        .total();
+
+    let op = OperationalModel::new(Location::World.carbon_intensity());
+    let suite_time: TimeSpan = run.runs.iter().map(|r| r.time).sum();
+    let cf = total_footprint(
+        op.footprint(run.energy),
+        embodied,
+        suite_time,
+        TimeSpan::years(3.0),
+    );
+    // One suite run amortizes a vanishing share of lifetime embodied carbon.
+    assert!(cf > op.footprint(run.energy));
+    assert!(cf < op.footprint(run.energy) + embodied * 1e-3);
+}
+
+#[test]
+fn accelerator_pipeline_under_deployment_scenarios() {
+    // Evaluate an accelerator, then compare total footprints of deploying
+    // it in a dirty-grid vs clean-grid region over one year at 30 FPS.
+    let config = AccelConfig::new(256);
+    let eval = config.evaluate(&Network::mobile_vision());
+    let embodied = FabScenario::default().carbon_per_area(config.node()) * config.area();
+
+    let inferences_per_year = TimeSpan::years(1.0).as_seconds() * 30.0;
+    let yearly_energy = eval.energy() * inferences_per_year;
+
+    let dirty = OperationalModel::new(Location::India.carbon_intensity());
+    let clean = OperationalModel::new(EnergySource::Wind.carbon_intensity());
+
+    let life = TimeSpan::years(3.0);
+    let dirty_cf =
+        total_footprint(dirty.footprint(yearly_energy), embodied, TimeSpan::years(1.0), life);
+    let clean_cf =
+        total_footprint(clean.footprint(yearly_energy), embodied, TimeSpan::years(1.0), life);
+
+    assert!(dirty_cf > clean_cf);
+    // Moving to the clean grid grows the embodied share of the total
+    // footprint by more than an order of magnitude.
+    let amortized = embodied * (1.0 / 3.0);
+    let clean_share = amortized / clean_cf;
+    let dirty_share = amortized / dirty_cf;
+    assert!(
+        clean_share > 10.0 * dirty_share,
+        "shares: clean {clean_share}, dirty {dirty_share}"
+    );
+}
+
+#[test]
+fn storage_pipeline_reliability_to_platform_footprint() {
+    // Over-provisioning changes both the embodied footprint (more flash)
+    // and the replacement cadence; wire the SSD model into the embodied
+    // model at device scale.
+    let model = LifetimeModel::default();
+    let user_capacity = Capacity::gigabytes(512.0);
+    let horizon = 4.0;
+
+    let footprint = |pf: f64| -> MassCo2 {
+        let pf = OverProvisioning::new(pf).unwrap();
+        let physical = user_capacity * pf.physical_capacity_factor();
+        let one_device = SystemSpec::builder()
+            .soc("controller", act::units::Area::square_millimeters(60.0), ProcessNode::N28)
+            .dram(DramTechnology::Ddr4_10nm, Capacity::gigabytes(1.0))
+            .ssd(SsdTechnology::V3NandTlc, physical)
+            .packaged_ics(4)
+            .build()
+            .embodied(&FabScenario::default())
+            .total();
+        let replacements = (horizon / model.lifetime_years(pf)).max(1.0);
+        one_device * replacements
+    };
+
+    let lean = footprint(0.04);
+    let tuned = footprint(0.34);
+    assert!(
+        tuned < lean * 0.5,
+        "reliability investment should halve the footprint: {lean} vs {tuned}"
+    );
+}
+
+#[test]
+fn dvfs_policy_affects_the_carbon_bottom_line() {
+    // A governor decision made inside the SoC simulator is visible in the
+    // final carbon number.
+    let soc = MOBILE_SOCS
+        .iter()
+        .find(|s| s.name == "Snapdragon 845")
+        .expect("present");
+    let suite = geekbench_suite();
+    let op = OperationalModel::new(Location::UnitedStates.carbon_intensity());
+
+    let perf = SocSimulator::new(soc).run_suite(&suite);
+    let ondemand = SocSimulator::new(soc)
+        .with_governor(DvfsGovernor::OnDemand)
+        .run_suite(&suite);
+
+    assert!(op.footprint(ondemand.energy) < op.footprint(perf.energy));
+}
+
+#[test]
+fn cli_experiment_registry_is_complete() {
+    // Every ID the CLI advertises renders.
+    for id in act::experiments::EXPERIMENT_IDS {
+        assert!(act::experiments::render_experiment(id).is_some(), "{id}");
+    }
+}
+
+#[test]
+fn umbrella_crate_re_exports_compose() {
+    // Spot-check that the re-exported names resolve and interoperate.
+    let cpa = FabScenario::default().carbon_per_area(ProcessNode::N5);
+    let die = act::units::Area::square_millimeters(100.0);
+    let mass: MassCo2 = cpa * die;
+    assert!(mass.as_kilograms() > 1.0);
+}
