@@ -45,17 +45,14 @@ pub(crate) fn per_inference_batched(
 
     let compute = Energy::joules(macs * MAC_ENERGY_PJ * 1e-12 * s);
 
-    let refetch = ((REFETCH_KNEE_MACS / f64::from(config.macs()))
-        .powf(REFETCH_EXP)
-        .max(1.0)
+    let refetch = ((REFETCH_KNEE_MACS / f64::from(config.macs())).powf(REFETCH_EXP).max(1.0)
         - 1.0)
         / f64::from(batch)
         + 1.0;
     let dram = Energy::millijoules(DRAM_BASE_MJ * (macs / REFERENCE_MACS) * refetch);
 
-    let static_power = Power::milliwatts(
-        (STATIC_BASE_MW + STATIC_PER_MAC_MW * f64::from(config.macs())) * s,
-    );
+    let static_power =
+        Power::milliwatts((STATIC_BASE_MW + STATIC_PER_MAC_MW * f64::from(config.macs())) * s);
     let leakage = static_power * latency;
 
     compute + dram + leakage
@@ -93,10 +90,7 @@ mod tests {
     }
 
     fn energy(macs: u32) -> f64 {
-        AccelConfig::new(macs)
-            .evaluate(&Network::mobile_vision())
-            .energy()
-            .as_millijoules()
+        AccelConfig::new(macs).evaluate(&Network::mobile_vision()).energy().as_millijoules()
     }
 
     #[test]

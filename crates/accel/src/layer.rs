@@ -73,7 +73,9 @@ impl Layer {
     pub fn macs(&self) -> f64 {
         match *self {
             Self::Conv { out_h, out_w, out_c, in_c, k_h, k_w, .. } => {
-                f64::from(out_h) * f64::from(out_w) * f64::from(out_c)
+                f64::from(out_h)
+                    * f64::from(out_w)
+                    * f64::from(out_c)
                     * f64::from(in_c)
                     * f64::from(k_h)
                     * f64::from(k_w)
@@ -134,19 +136,12 @@ impl Network {
     #[must_use]
     pub fn mobile_vision() -> Self {
         let mut layers = vec![Layer::conv("stem", 56, 64, 3, 7)];
-        for (group, (hw, ch)) in [(56u32, 64u32), (28, 128), (14, 256), (7, 512)]
-            .into_iter()
-            .enumerate()
+        for (group, (hw, ch)) in
+            [(56u32, 64u32), (28, 128), (14, 256), (7, 512)].into_iter().enumerate()
         {
             for i in 0..8 {
                 let in_c = if i == 0 && group > 0 { ch / 2 } else { ch };
-                layers.push(Layer::conv(
-                    &format!("conv{}_{i}", group + 1),
-                    hw,
-                    ch,
-                    in_c,
-                    3,
-                ));
+                layers.push(Layer::conv(&format!("conv{}_{i}", group + 1), hw, ch, in_c, 3));
             }
         }
         layers.push(Layer::fc("classifier", 512, 1000));

@@ -159,12 +159,8 @@ mod tests {
             .into_iter()
             .map(|m| eval(m).energy().as_millijoules())
             .collect();
-        let min_idx = energies
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0;
+        let min_idx =
+            energies.iter().enumerate().min_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
         assert_eq!(min_idx, 3, "energy minimum should be 512 MACs: {energies:?}");
     }
 
@@ -190,7 +186,9 @@ mod tests {
             .min_by(|a, b| a.utilization.partial_cmp(&b.utilization).unwrap())
             .unwrap();
         assert!(
-            min_util.name == "stem" || min_util.name.starts_with("conv1") || min_util.name == "classifier",
+            min_util.name == "stem"
+                || min_util.name.starts_with("conv1")
+                || min_util.name == "classifier",
             "worst-utilized layer {}",
             min_util.name
         );

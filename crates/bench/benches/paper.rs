@@ -6,69 +6,47 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_fig1(c: &mut Criterion) {
-    c.bench_function("bench_fig1", |b| {
-        b.iter(|| black_box(act_experiments::fig1::run()))
-    });
+    c.bench_function("bench_fig1", |b| b.iter(|| black_box(act_experiments::fig1::run())));
 }
 
 fn bench_fig4(c: &mut Criterion) {
-    c.bench_function("bench_fig4", |b| {
-        b.iter(|| black_box(act_experiments::fig4::run()))
-    });
+    c.bench_function("bench_fig4", |b| b.iter(|| black_box(act_experiments::fig4::run())));
 }
 
 fn bench_fig6(c: &mut Criterion) {
-    c.bench_function("bench_fig6", |b| {
-        b.iter(|| black_box(act_experiments::fig6::run()))
-    });
+    c.bench_function("bench_fig6", |b| b.iter(|| black_box(act_experiments::fig6::run())));
 }
 
 fn bench_fig7(c: &mut Criterion) {
-    c.bench_function("bench_fig7", |b| {
-        b.iter(|| black_box(act_experiments::fig7::run()))
-    });
+    c.bench_function("bench_fig7", |b| b.iter(|| black_box(act_experiments::fig7::run())));
 }
 
 fn bench_fig8(c: &mut Criterion) {
-    c.bench_function("bench_fig8", |b| {
-        b.iter(|| black_box(act_experiments::fig8::run()))
-    });
+    c.bench_function("bench_fig8", |b| b.iter(|| black_box(act_experiments::fig8::run())));
 }
 
 fn bench_fig9(c: &mut Criterion) {
-    c.bench_function("bench_fig9", |b| {
-        b.iter(|| black_box(act_experiments::fig9::run()))
-    });
+    c.bench_function("bench_fig9", |b| b.iter(|| black_box(act_experiments::fig9::run())));
 }
 
 fn bench_fig10(c: &mut Criterion) {
-    c.bench_function("bench_fig10", |b| {
-        b.iter(|| black_box(act_experiments::fig10::run()))
-    });
+    c.bench_function("bench_fig10", |b| b.iter(|| black_box(act_experiments::fig10::run())));
 }
 
 fn bench_fig11(c: &mut Criterion) {
-    c.bench_function("bench_fig11", |b| {
-        b.iter(|| black_box(act_experiments::fig11::run()))
-    });
+    c.bench_function("bench_fig11", |b| b.iter(|| black_box(act_experiments::fig11::run())));
 }
 
 fn bench_fig12(c: &mut Criterion) {
-    c.bench_function("bench_fig12", |b| {
-        b.iter(|| black_box(act_experiments::fig12::run()))
-    });
+    c.bench_function("bench_fig12", |b| b.iter(|| black_box(act_experiments::fig12::run())));
 }
 
 fn bench_fig13(c: &mut Criterion) {
-    c.bench_function("bench_fig13", |b| {
-        b.iter(|| black_box(act_experiments::fig13::run()))
-    });
+    c.bench_function("bench_fig13", |b| b.iter(|| black_box(act_experiments::fig13::run())));
 }
 
 fn bench_fig14(c: &mut Criterion) {
-    c.bench_function("bench_fig14", |b| {
-        b.iter(|| black_box(act_experiments::fig14::run()))
-    });
+    c.bench_function("bench_fig14", |b| b.iter(|| black_box(act_experiments::fig14::run())));
 }
 
 fn bench_fig15(c: &mut Criterion) {
@@ -76,28 +54,21 @@ fn bench_fig15(c: &mut Criterion) {
     // modest so `cargo bench` stays interactive.
     let mut group = c.benchmark_group("fig15");
     group.sample_size(10);
-    group.bench_function("bench_fig15", |b| {
-        b.iter(|| black_box(act_experiments::fig15::run()))
-    });
+    group
+        .bench_function("bench_fig15", |b| b.iter(|| black_box(act_experiments::fig15::run())));
     group.finish();
 }
 
 fn bench_fig16(c: &mut Criterion) {
-    c.bench_function("bench_fig16", |b| {
-        b.iter(|| black_box(act_experiments::fig16::run()))
-    });
+    c.bench_function("bench_fig16", |b| b.iter(|| black_box(act_experiments::fig16::run())));
 }
 
 fn bench_fig17(c: &mut Criterion) {
-    c.bench_function("bench_fig17", |b| {
-        b.iter(|| black_box(act_experiments::fig17::run()))
-    });
+    c.bench_function("bench_fig17", |b| b.iter(|| black_box(act_experiments::fig17::run())));
 }
 
 fn bench_table4(c: &mut Criterion) {
-    c.bench_function("bench_table4", |b| {
-        b.iter(|| black_box(act_experiments::table4::run()))
-    });
+    c.bench_function("bench_table4", |b| b.iter(|| black_box(act_experiments::table4::run())));
 }
 
 fn bench_tables(c: &mut Criterion) {

@@ -5,25 +5,60 @@
 //! act fig12           # reproduce Figure 12
 //! act table4 fig9     # several at once
 //! act --json fig12    # typed result as JSON
+//! act --json all      # every result as one JSON array
 //! act all             # everything, in paper order
 //! ```
+//!
+//! Experiments are fault-isolated: a failing or unknown experiment prints
+//! a structured error to stderr and the remaining requested experiments
+//! still run. Pass `--strict` to stop at the first failure instead.
+//!
+//! Exit codes: `0` on success, `1` if any experiment failed, `2` for usage
+//! errors (unknown flags).
 
 use std::process::ExitCode;
 
-use act_experiments::{render_experiment, render_experiment_json, EXPERIMENT_IDS};
+use act_experiments::{try_render_experiment, ExperimentError, OutputFormat, EXPERIMENT_IDS};
+
+/// Exit code for a run where at least one experiment failed.
+const EXIT_EXPERIMENT_FAILED: u8 = 1;
+/// Exit code for a malformed invocation (unknown flag).
+const EXIT_USAGE: u8 = 2;
 
 fn usage() -> String {
     format!(
         "act — ACT (ISCA 2022) experiment runner\n\n\
-         usage: act [--json] <experiment>...\n\
+         usage: act [--json] [--strict] <experiment>...\n\
                 act list\n\n\
+         options:\n\
+           --json     emit typed results as JSON\n\
+           --strict   stop at the first failing experiment\n\n\
+         exit codes: 0 success, 1 experiment failure, 2 usage error\n\n\
          experiments: {}",
         EXPERIMENT_IDS.join(", ")
     )
 }
 
+/// Prints one experiment error to stderr, as a JSON object in `--json` mode
+/// so scripted consumers can parse failures alongside results.
+fn report_error(err: &ExperimentError, json: bool) {
+    if json {
+        let (kind, id, message) = match err {
+            ExperimentError::UnknownId(id) => ("unknown-id", id.as_str(), err.to_string()),
+            ExperimentError::Failed { id, .. } => ("failed", id.as_str(), err.to_string()),
+        };
+        let body = serde_json::json!({
+            "error": { "kind": kind, "id": id, "message": message }
+        });
+        eprintln!("{body}");
+    } else {
+        eprintln!("error: {err}");
+    }
+}
+
 fn main() -> ExitCode {
     let mut json = false;
+    let mut strict = false;
     let mut ids = Vec::new();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
@@ -32,6 +67,11 @@ fn main() -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             "--json" => json = true,
+            "--strict" => strict = true,
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown flag `{flag}`\n\n{}", usage());
+                return ExitCode::from(EXIT_USAGE);
+            }
             _ => ids.push(arg),
         }
     }
@@ -45,24 +85,36 @@ fn main() -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
+
+    let format = if json { OutputFormat::Json } else { OutputFormat::Text };
+    // Failures are reported through `report_error`, not the default panic
+    // hook; silence the hook so caught panics don't also splat a backtrace
+    // banner between experiment outputs.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut failures = 0u32;
     for id in &ids {
-        let rendered = if json {
-            render_experiment_json(id)
-        } else {
-            render_experiment(id)
-        };
-        match rendered {
-            Some(text) => {
+        match try_render_experiment(id, format) {
+            Ok(text) => {
                 print!("{text}");
                 if json {
                     println!();
                 }
             }
-            None => {
-                eprintln!("unknown experiment `{id}`\n\n{}", usage());
-                return ExitCode::FAILURE;
+            Err(err) => {
+                failures += 1;
+                report_error(&err, json);
+                if strict {
+                    break;
+                }
             }
         }
     }
-    ExitCode::SUCCESS
+    std::panic::set_hook(default_hook);
+
+    if failures > 0 {
+        ExitCode::from(EXIT_EXPERIMENT_FAILED)
+    } else {
+        ExitCode::SUCCESS
+    }
 }

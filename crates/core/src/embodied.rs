@@ -5,10 +5,10 @@ use std::fmt;
 
 use act_data::devices::DeviceBom;
 use act_data::{DramTechnology, HddModel, ProcessNode, SsdTechnology};
-use act_units::{Area, Capacity, MassCo2};
+use act_units::{Area, Capacity, MassCo2, UnitError};
 use serde::Serialize;
 
-use crate::FabScenario;
+use crate::{FabScenario, ModelError, Validate};
 
 /// Per-IC packaging footprint `Kr` (eq. 3), from SPIL's environmental
 /// reporting: 0.15 kg CO₂ per packaged IC.
@@ -55,6 +55,40 @@ enum Component {
     Dram { technology: DramTechnology, capacity: Capacity },
     Ssd { technology: SsdTechnology, capacity: Capacity },
     Hdd { model: HddModel, capacity: Capacity },
+}
+
+/// Checks every component magnitude a spec (or builder) holds: die areas
+/// and capacities must be finite and non-negative.
+fn validate_components(components: &[Component]) -> Result<(), ModelError> {
+    for component in components {
+        match component {
+            Component::Soc { label, area, node: _ } => {
+                let mm2 = area.as_square_millimeters();
+                if !mm2.is_finite() {
+                    return Err(UnitError::non_finite("SoC die area", mm2).into());
+                }
+                if mm2 < 0.0 {
+                    return Err(ModelError::invariant(format!(
+                        "SoC `{label}` has a negative die area ({mm2} mm^2)"
+                    )));
+                }
+            }
+            Component::Dram { capacity, .. }
+            | Component::Ssd { capacity, .. }
+            | Component::Hdd { capacity, .. } => {
+                let gb = capacity.as_gigabytes();
+                if !gb.is_finite() {
+                    return Err(UnitError::non_finite("storage capacity", gb).into());
+                }
+                if gb < 0.0 {
+                    return Err(ModelError::invariant(format!(
+                        "storage capacity must be non-negative, got {gb} GB"
+                    )));
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 /// A hardware platform description: the inputs to the embodied model
@@ -154,11 +188,9 @@ impl SystemSpec {
                     technology.to_string(),
                     technology.carbon_per_gb() * *capacity,
                 ),
-                Component::Hdd { model, capacity } => (
-                    ComponentKind::Hdd,
-                    model.to_string(),
-                    model.carbon_per_gb() * *capacity,
-                ),
+                Component::Hdd { model, capacity } => {
+                    (ComponentKind::Hdd, model.to_string(), model.carbon_per_gb() * *capacity)
+                }
             };
             components.push(EmbodiedComponent { kind, label, footprint: mass });
         }
@@ -170,6 +202,49 @@ impl SystemSpec {
             });
         }
         EmbodiedReport { components }
+    }
+
+    /// Checked variant of [`Self::embodied`]: validates the spec and the fab
+    /// scenario up front and guarantees every component footprint in the
+    /// returned report is finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ModelError`] if the spec holds a non-finite or negative
+    /// magnitude, the fab scenario is invalid (e.g. zero yield), or any
+    /// component footprint evaluates to a non-finite mass.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use act_core::{FabScenario, SystemSpec};
+    /// use act_units::Fraction;
+    ///
+    /// let spec = SystemSpec::builder().packaged_ics(3).build();
+    /// assert!(spec.try_embodied(&FabScenario::default()).is_ok());
+    ///
+    /// let zero_yield = FabScenario::default().with_yield(Fraction::ZERO);
+    /// assert!(spec.try_embodied(&zero_yield).is_err());
+    /// ```
+    pub fn try_embodied(&self, fab: &FabScenario) -> Result<EmbodiedReport, ModelError> {
+        self.validate()?;
+        fab.validate()?;
+        let report = self.embodied(fab);
+        for component in report.components() {
+            if !component.footprint.as_grams().is_finite() {
+                return Err(ModelError::non_finite(format!(
+                    "embodied footprint of {} `{}`",
+                    component.kind, component.label
+                )));
+            }
+        }
+        Ok(report)
+    }
+}
+
+impl Validate for SystemSpec {
+    fn validate(&self) -> Result<(), ModelError> {
+        validate_components(&self.components)
     }
 }
 
@@ -219,10 +294,24 @@ impl SystemSpecBuilder {
     /// Finalizes the system description.
     #[must_use]
     pub fn build(self) -> SystemSpec {
-        SystemSpec {
-            components: self.components,
-            packaged_ic_count: self.packaged_ic_count,
-        }
+        SystemSpec { components: self.components, packaged_ic_count: self.packaged_ic_count }
+    }
+
+    /// Validating variant of [`Self::build`]: rejects specs holding
+    /// non-finite or negative die areas or capacities.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ModelError`] naming the first invalid component.
+    pub fn try_build(self) -> Result<SystemSpec, ModelError> {
+        self.validate()?;
+        Ok(self.build())
+    }
+}
+
+impl Validate for SystemSpecBuilder {
+    fn validate(&self) -> Result<(), ModelError> {
+        validate_components(&self.components)
     }
 }
 
@@ -255,11 +344,7 @@ impl EmbodiedReport {
     /// Total contribution of one component class.
     #[must_use]
     pub fn by_kind(&self, kind: ComponentKind) -> MassCo2 {
-        self.components
-            .iter()
-            .filter(|c| c.kind == kind)
-            .map(|c| c.footprint)
-            .sum()
+        self.components.iter().filter(|c| c.kind == kind).map(|c| c.footprint).sum()
     }
 
     /// Iterates over the individual component contributions.
@@ -316,7 +401,8 @@ mod tests {
 
     #[test]
     fn figure4_iphone11_lands_near_17kg() {
-        let report = SystemSpec::from_bom(&devices::IPHONE_11).embodied(&FabScenario::default());
+        let report =
+            SystemSpec::from_bom(&devices::IPHONE_11).embodied(&FabScenario::default());
         let kg = report.total().as_kilograms();
         assert!((15.0..=19.0).contains(&kg), "iPhone 11 ICs = {kg} kg");
     }
@@ -332,9 +418,8 @@ mod tests {
     fn snapdragon845_block_areas_reproduce_table4_embodied() {
         use act_data::snapdragon845::{profile, Engine, NODE};
         let fab = FabScenario::default();
-        let ecf = |engine| {
-            (fab.carbon_per_area(NODE) * profile(engine).block_area()).as_grams()
-        };
+        let ecf =
+            |engine| (fab.carbon_per_area(NODE) * profile(engine).block_area()).as_grams();
         assert!((ecf(Engine::Cpu) - 253.0).abs() < 3.0, "CPU {}", ecf(Engine::Cpu));
         assert!((ecf(Engine::Gpu) - 189.0).abs() < 3.0, "GPU {}", ecf(Engine::Gpu));
         assert!((ecf(Engine::Dsp) - 205.0).abs() < 3.0, "DSP {}", ecf(Engine::Dsp));
@@ -346,7 +431,10 @@ mod tests {
         let default_fab = spec.embodied(&FabScenario::default());
         let green = spec.embodied(&FabScenario::renewable());
         assert!(green.by_kind(ComponentKind::Soc) < default_fab.by_kind(ComponentKind::Soc));
-        assert_eq!(green.by_kind(ComponentKind::Dram), default_fab.by_kind(ComponentKind::Dram));
+        assert_eq!(
+            green.by_kind(ComponentKind::Dram),
+            default_fab.by_kind(ComponentKind::Dram)
+        );
         assert_eq!(
             green.by_kind(ComponentKind::Packaging),
             default_fab.by_kind(ComponentKind::Packaging)
@@ -367,7 +455,8 @@ mod tests {
 
     #[test]
     fn component_iteration_exposes_labels() {
-        let report = SystemSpec::from_bom(&devices::IPHONE_11).embodied(&FabScenario::default());
+        let report =
+            SystemSpec::from_bom(&devices::IPHONE_11).embodied(&FabScenario::default());
         let labels: Vec<_> = report.components().map(|c| c.label.as_str()).collect();
         assert!(labels.contains(&"A13 Bionic SoC"));
         assert!(labels.iter().any(|l| l.contains("packaged ICs")));
@@ -383,5 +472,45 @@ mod tests {
     fn component_kind_display() {
         assert_eq!(ComponentKind::Soc.to_string(), "SoC");
         assert_eq!(ComponentKind::Packaging.to_string(), "Packaging");
+    }
+
+    #[test]
+    fn try_build_accepts_valid_and_rejects_negative_magnitudes() {
+        let ok = SystemSpec::builder()
+            .soc("die", Area::square_millimeters(90.0), ProcessNode::N7)
+            .packaged_ics(2)
+            .try_build();
+        assert!(ok.is_ok());
+
+        let err = SystemSpec::builder()
+            .soc("die", Area::square_millimeters(-5.0), ProcessNode::N7)
+            .try_build()
+            .unwrap_err();
+        assert!(err.to_string().contains("die area"), "{err}");
+
+        let err = SystemSpec::builder()
+            .dram(DramTechnology::Lpddr4, Capacity::gigabytes(-8.0))
+            .try_build()
+            .unwrap_err();
+        assert!(err.to_string().contains("capacity"), "{err}");
+    }
+
+    #[test]
+    fn try_embodied_agrees_with_unchecked_path() {
+        let spec = SystemSpec::from_bom(&devices::IPHONE_11);
+        let fab = FabScenario::default();
+        let checked = spec.try_embodied(&fab).unwrap();
+        assert_eq!(checked.total(), spec.embodied(&fab).total());
+    }
+
+    #[test]
+    fn try_embodied_rejects_zero_yield_instead_of_panicking() {
+        use act_units::Fraction;
+        let spec = SystemSpec::builder()
+            .soc("die", Area::square_millimeters(90.0), ProcessNode::N7)
+            .build();
+        let err =
+            spec.try_embodied(&FabScenario::default().with_yield(Fraction::ZERO)).unwrap_err();
+        assert!(err.to_string().contains("yield"), "{err}");
     }
 }

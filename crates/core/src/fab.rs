@@ -2,8 +2,10 @@
 //! `CPA = (CIfab × EPA + GPA + MPA) / Y`.
 
 use act_data::{Abatement, EnergySource, Location, ProcessNode};
-use act_units::{CarbonIntensity, Fraction, MassPerArea};
+use act_units::{CarbonIntensity, Fraction, MassPerArea, UnitError};
 use serde::{Deserialize, Serialize};
+
+use crate::{ModelError, Validate};
 
 /// A semiconductor-fab operating scenario: the energy source powering the
 /// fab, its gaseous-abatement strategy, and its yield.
@@ -103,9 +105,8 @@ impl FabScenario {
     #[must_use]
     pub fn cpa_breakdown(&self, node: ProcessNode) -> CpaBreakdown {
         let energy_kwh = node.energy_per_area().as_kwh_per_cm2();
-        let energy = MassPerArea::grams_per_cm2(
-            self.energy_intensity.as_grams_per_kwh() * energy_kwh,
-        );
+        let energy =
+            MassPerArea::grams_per_cm2(self.energy_intensity.as_grams_per_kwh() * energy_kwh);
         CpaBreakdown {
             energy,
             gas: node.gas_per_area(self.abatement),
@@ -119,10 +120,23 @@ impl FabScenario {
     ///
     /// # Panics
     ///
-    /// Panics if the scenario's yield is zero.
+    /// Panics if the scenario's yield is zero. Use
+    /// [`Self::try_carbon_per_area`] when the scenario comes from user
+    /// configuration.
     #[must_use]
     pub fn carbon_per_area(&self, node: ProcessNode) -> MassPerArea {
         self.cpa_breakdown(node).total()
+    }
+
+    /// Checked variant of [`Self::carbon_per_area`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ModelError`] if the scenario is invalid (non-finite
+    /// energy intensity or zero yield).
+    pub fn try_carbon_per_area(&self, node: ProcessNode) -> Result<MassPerArea, ModelError> {
+        self.validate()?;
+        self.cpa_breakdown(node).try_total()
     }
 
     /// The uncertainty band of Figure 6 (bottom): lower bound with a solar
@@ -147,6 +161,32 @@ impl Default for FabScenario {
     /// 0.875 yield.
     fn default() -> Self {
         Self::taiwan_partially_renewable()
+    }
+}
+
+impl Validate for FabScenario {
+    fn validate(&self) -> Result<(), ModelError> {
+        let ci = self.energy_intensity.as_grams_per_kwh();
+        if !ci.is_finite() {
+            return Err(UnitError::non_finite("fab energy carbon intensity", ci).into());
+        }
+        if ci < 0.0 {
+            return Err(UnitError::out_of_domain(
+                "fab energy carbon intensity",
+                ci,
+                "a finite, non-negative number",
+            )
+            .into());
+        }
+        if self.fab_yield.get() <= 0.0 {
+            return Err(UnitError::out_of_domain(
+                "fab yield",
+                self.fab_yield.get(),
+                "within (0, 1]",
+            )
+            .into());
+        }
+        Ok(())
     }
 }
 
@@ -175,12 +215,27 @@ impl CpaBreakdown {
     ///
     /// # Panics
     ///
-    /// Panics if yield is zero.
+    /// Panics if yield is zero. Use [`Self::try_total`] when the yield comes
+    /// from user configuration.
     #[must_use]
     pub fn total(&self) -> MassPerArea {
         let y = self.fab_yield.get();
         assert!(y > 0.0, "fab yield must be positive to derate emissions");
         self.before_yield() / y
+    }
+
+    /// Checked variant of [`Self::total`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ModelError`] if the yield is zero or the derated sum is
+    /// non-finite.
+    pub fn try_total(&self) -> Result<MassPerArea, ModelError> {
+        let y = self.fab_yield.get();
+        if y <= 0.0 {
+            return Err(UnitError::out_of_domain("fab yield", y, "within (0, 1]").into());
+        }
+        Ok((self.before_yield() / y).ensure_finite("yield-derated CPA")?)
     }
 }
 
@@ -208,11 +263,9 @@ mod tests {
     fn cpa_rises_monotonically_with_node_generation() {
         // Figure 6 (bottom): newer nodes emit more per area under any fixed
         // fab scenario.
-        for fab in [
-            FabScenario::taiwan_grid(),
-            FabScenario::default(),
-            FabScenario::renewable(),
-        ] {
+        for fab in
+            [FabScenario::taiwan_grid(), FabScenario::default(), FabScenario::renewable()]
+        {
             for pair in ProcessNode::ALL.windows(2) {
                 assert!(
                     fab.carbon_per_area(pair[0]) <= fab.carbon_per_area(pair[1]),
@@ -255,9 +308,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "yield must be positive")]
     fn zero_yield_panics() {
-        let _ = FabScenario::default()
-            .with_yield(Fraction::ZERO)
-            .carbon_per_area(ProcessNode::N7);
+        let _ =
+            FabScenario::default().with_yield(Fraction::ZERO).carbon_per_area(ProcessNode::N7);
     }
 
     #[test]
@@ -292,5 +344,33 @@ mod tests {
         let sum = b.energy + b.gas + b.materials;
         assert_eq!(b.before_yield(), sum);
         assert!((b.total() / b.before_yield() - 1.0 / 0.875).abs() < 1e-9);
+    }
+
+    #[test]
+    fn try_carbon_per_area_agrees_and_rejects_zero_yield() {
+        let fab = FabScenario::default();
+        let node = ProcessNode::N7;
+        assert_eq!(fab.try_carbon_per_area(node).unwrap(), fab.carbon_per_area(node));
+
+        let err = FabScenario::default()
+            .with_yield(Fraction::ZERO)
+            .try_carbon_per_area(node)
+            .unwrap_err();
+        assert!(err.to_string().contains("yield"), "{err}");
+        // The unit-level cause survives the source chain.
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn scenario_validation_accepts_all_presets() {
+        for fab in [
+            FabScenario::default(),
+            FabScenario::taiwan_grid(),
+            FabScenario::renewable(),
+            FabScenario::coal(),
+            FabScenario::carbon_free(),
+        ] {
+            assert!(fab.validate().is_ok(), "{fab:?}");
+        }
     }
 }

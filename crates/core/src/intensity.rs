@@ -102,9 +102,7 @@ impl IntensityProfile {
     ) -> MassCo2 {
         assert!(duration_hours > 0, "a job needs a positive duration");
         let per_hour = energy / duration_hours as f64;
-        (0..duration_hours)
-            .map(|h| self.at_hour(start_hour + h) * per_hour)
-            .sum()
+        (0..duration_hours).map(|h| self.at_hour(start_hour + h) * per_hour).sum()
     }
 
     /// The start hour minimizing the footprint of a `duration_hours` job —

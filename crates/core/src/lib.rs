@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 mod embodied;
+mod error;
 mod fab;
 mod intensity;
 mod lifecycle;
@@ -60,6 +61,7 @@ pub use embodied::{
     ComponentKind, EmbodiedComponent, EmbodiedReport, SystemSpec, SystemSpecBuilder,
     PACKAGING_FOOTPRINT,
 };
+pub use error::{ModelError, Validate};
 pub use fab::{CpaBreakdown, FabScenario};
 pub use intensity::IntensityProfile;
 pub use lifecycle::LifecycleEstimate;
@@ -93,7 +95,9 @@ use act_units::{MassCo2, TimeSpan};
 ///
 /// # Panics
 ///
-/// Panics if `lifetime` is not positive.
+/// Panics if `lifetime` is not positive. Use [`try_total_footprint`] when
+/// the inputs come from user configuration and a recoverable error is
+/// preferable to a panic.
 #[must_use]
 pub fn total_footprint(
     operational: MassCo2,
@@ -101,11 +105,64 @@ pub fn total_footprint(
     run_time: TimeSpan,
     lifetime: TimeSpan,
 ) -> MassCo2 {
-    assert!(
-        lifetime.as_seconds() > 0.0,
-        "hardware lifetime must be positive, got {lifetime}"
-    );
+    assert!(lifetime.as_seconds() > 0.0, "hardware lifetime must be positive, got {lifetime}");
     operational + embodied * (run_time / lifetime)
+}
+
+/// Checked variant of [`total_footprint`]: validates every input and the
+/// result instead of panicking.
+///
+/// # Examples
+///
+/// ```
+/// use act_core::try_total_footprint;
+/// use act_units::{MassCo2, TimeSpan};
+///
+/// let cf = try_total_footprint(
+///     MassCo2::grams(10.0),
+///     MassCo2::kilograms(2.0),
+///     TimeSpan::years(1.0),
+///     TimeSpan::years(4.0),
+/// )?;
+/// assert!((cf.as_grams() - 510.0).abs() < 1e-9);
+///
+/// // A zero lifetime is an error, not a panic.
+/// assert!(try_total_footprint(
+///     MassCo2::ZERO,
+///     MassCo2::ZERO,
+///     TimeSpan::years(1.0),
+///     TimeSpan::ZERO,
+/// ).is_err());
+/// # Ok::<(), act_core::ModelError>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns a [`ModelError`] if any input is non-finite, `run_time` is
+/// negative, `lifetime` is not positive, or the amortized sum overflows to
+/// a non-finite value.
+pub fn try_total_footprint(
+    operational: MassCo2,
+    embodied: MassCo2,
+    run_time: TimeSpan,
+    lifetime: TimeSpan,
+) -> Result<MassCo2, ModelError> {
+    let operational = operational.ensure_finite("operational footprint")?;
+    let embodied = embodied.ensure_finite("embodied footprint")?;
+    let run_time = run_time.ensure_finite("application run time")?;
+    let lifetime = lifetime.ensure_finite("hardware lifetime")?;
+    if run_time.as_seconds() < 0.0 {
+        return Err(ModelError::invariant(format!(
+            "application run time must be non-negative, got {run_time}"
+        )));
+    }
+    if lifetime.as_seconds() <= 0.0 {
+        return Err(ModelError::invariant(format!(
+            "hardware lifetime must be positive, got {lifetime}"
+        )));
+    }
+    let total = operational + embodied * (run_time / lifetime);
+    Ok(total.ensure_finite("total footprint")?)
 }
 
 #[cfg(test)]
@@ -145,11 +202,41 @@ mod tests {
     #[test]
     #[should_panic(expected = "lifetime must be positive")]
     fn rejects_zero_lifetime() {
-        let _ = total_footprint(
+        let _ =
+            total_footprint(MassCo2::ZERO, MassCo2::ZERO, TimeSpan::years(1.0), TimeSpan::ZERO);
+    }
+
+    #[test]
+    fn try_variant_agrees_with_panicking_path() {
+        let args = (
+            MassCo2::grams(100.0),
+            MassCo2::grams(1000.0),
+            TimeSpan::years(1.5),
+            TimeSpan::years(3.0),
+        );
+        let checked = try_total_footprint(args.0, args.1, args.2, args.3).unwrap();
+        let unchecked = total_footprint(args.0, args.1, args.2, args.3);
+        assert_eq!(checked, unchecked);
+    }
+
+    #[test]
+    fn try_variant_rejects_bad_inputs() {
+        let err = try_total_footprint(
             MassCo2::ZERO,
             MassCo2::ZERO,
             TimeSpan::years(1.0),
             TimeSpan::ZERO,
-        );
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("lifetime"));
+
+        let err = try_total_footprint(
+            MassCo2::ZERO,
+            MassCo2::ZERO,
+            TimeSpan::years(-1.0),
+            TimeSpan::years(3.0),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("run time"));
     }
 }

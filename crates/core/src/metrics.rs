@@ -105,7 +105,8 @@ impl OptimizationMetric {
     }
 
     /// Index of the design with the lowest (best) score. Returns `None` for
-    /// an empty slice.
+    /// an empty slice or when every design scores NaN; designs with NaN
+    /// scores are never selected.
     #[must_use]
     pub fn best<'a, I>(&self, designs: I) -> Option<usize>
     where
@@ -115,7 +116,8 @@ impl OptimizationMetric {
             .into_iter()
             .map(|p| self.score(p))
             .enumerate()
-            .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("metric scores are comparable"))
+            .filter(|(_, score)| !score.is_nan())
+            .min_by(|(_, a), (_, b)| a.total_cmp(b))
             .map(|(i, _)| i)
     }
 }
@@ -171,10 +173,23 @@ mod tests {
 
     #[test]
     fn best_selects_minimum() {
-        let designs = [point(1.0, 1.0, 1.0, 1.0), point(0.5, 1.0, 1.0, 1.0), point(2.0, 0.1, 1.0, 1.0)];
+        let designs =
+            [point(1.0, 1.0, 1.0, 1.0), point(0.5, 1.0, 1.0, 1.0), point(2.0, 0.1, 1.0, 1.0)];
         assert_eq!(OptimizationMetric::Cdp.best(&designs), Some(1));
         assert_eq!(OptimizationMetric::Edp.best(&designs), Some(2));
         assert_eq!(OptimizationMetric::Cdp.best([].iter()), None);
+    }
+
+    #[test]
+    fn best_skips_nan_scores_instead_of_panicking() {
+        // A poisoned embodied value, produced by arithmetic rather than a
+        // constructor (constructors debug-assert finiteness).
+        let mut poisoned = point(1.0, 1.0, 1.0, 1.0);
+        poisoned.embodied = MassCo2::ZERO / 0.0;
+        assert!(OptimizationMetric::Cdp.score(&poisoned).is_nan());
+        let designs = [poisoned, point(0.5, 1.0, 1.0, 1.0)];
+        assert_eq!(OptimizationMetric::Cdp.best(&designs), Some(1));
+        assert_eq!(OptimizationMetric::Cdp.best(&[poisoned]), None);
     }
 
     #[test]

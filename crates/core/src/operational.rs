@@ -2,8 +2,10 @@
 //! utilization-effectiveness factors (PUE, battery charging efficiency) the
 //! paper folds into the energy term.
 
-use act_units::{CarbonIntensity, Energy, MassCo2};
+use act_units::{CarbonIntensity, Energy, MassCo2, UnitError};
 use serde::{Deserialize, Serialize};
+
+use crate::{ModelError, Validate};
 
 /// Operational-emissions model: the carbon intensity of the energy the
 /// platform consumes plus delivery-efficiency overheads.
@@ -43,6 +45,7 @@ impl OperationalModel {
     /// # Panics
     ///
     /// Panics if `effectiveness < 1.0` — delivering energy cannot create it.
+    /// Use [`Self::try_with_effectiveness`] for user-supplied values.
     #[must_use]
     pub fn with_effectiveness(mut self, effectiveness: f64) -> Self {
         assert!(
@@ -51,6 +54,29 @@ impl OperationalModel {
         );
         self.effectiveness = effectiveness;
         self
+    }
+
+    /// Checked variant of [`Self::with_effectiveness`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ModelError`] if `effectiveness` is NaN, infinite or below
+    /// one.
+    pub fn try_with_effectiveness(self, effectiveness: f64) -> Result<Self, ModelError> {
+        if !effectiveness.is_finite() {
+            return Err(
+                UnitError::non_finite("utilization effectiveness", effectiveness).into()
+            );
+        }
+        if effectiveness < 1.0 {
+            return Err(UnitError::out_of_domain(
+                "utilization effectiveness",
+                effectiveness,
+                "at least 1.0",
+            )
+            .into());
+        }
+        Ok(self.with_effectiveness(effectiveness))
     }
 
     /// The `CIuse` parameter.
@@ -69,6 +95,55 @@ impl OperationalModel {
     #[must_use]
     pub fn footprint(&self, useful_energy: Energy) -> MassCo2 {
         self.intensity * (useful_energy * self.effectiveness)
+    }
+
+    /// Checked variant of [`Self::footprint`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ModelError`] if the model is invalid, the energy is
+    /// non-finite or negative, or the product is non-finite.
+    pub fn try_footprint(&self, useful_energy: Energy) -> Result<MassCo2, ModelError> {
+        self.validate()?;
+        let joules = useful_energy.as_joules();
+        if !joules.is_finite() {
+            return Err(UnitError::non_finite("useful energy", joules).into());
+        }
+        if joules < 0.0 {
+            return Err(UnitError::out_of_domain(
+                "useful energy",
+                joules,
+                "a finite, non-negative number",
+            )
+            .into());
+        }
+        Ok(self.footprint(useful_energy).ensure_finite("operational footprint")?)
+    }
+}
+
+impl Validate for OperationalModel {
+    fn validate(&self) -> Result<(), ModelError> {
+        let ci = self.intensity.as_grams_per_kwh();
+        if !ci.is_finite() {
+            return Err(UnitError::non_finite("use-phase carbon intensity", ci).into());
+        }
+        if ci < 0.0 {
+            return Err(UnitError::out_of_domain(
+                "use-phase carbon intensity",
+                ci,
+                "a finite, non-negative number",
+            )
+            .into());
+        }
+        if !self.effectiveness.is_finite() || self.effectiveness < 1.0 {
+            return Err(UnitError::out_of_domain(
+                "utilization effectiveness",
+                self.effectiveness,
+                "at least 1.0",
+            )
+            .into());
+        }
+        Ok(())
     }
 }
 
@@ -113,7 +188,23 @@ mod tests {
     #[test]
     #[should_panic(expected = "must be >= 1.0")]
     fn sub_unity_effectiveness_rejected() {
-        let _ = OperationalModel::new(CarbonIntensity::grams_per_kwh(1.0))
-            .with_effectiveness(0.9);
+        let _ =
+            OperationalModel::new(CarbonIntensity::grams_per_kwh(1.0)).with_effectiveness(0.9);
+    }
+
+    #[test]
+    fn try_effectiveness_errors_instead_of_panicking() {
+        let op = OperationalModel::new(CarbonIntensity::grams_per_kwh(1.0));
+        assert!(op.try_with_effectiveness(1.5).is_ok());
+        assert!(op.try_with_effectiveness(0.9).is_err());
+        assert!(op.try_with_effectiveness(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn try_footprint_agrees_and_rejects_bad_energy() {
+        let op = OperationalModel::new(CarbonIntensity::grams_per_kwh(300.0));
+        let e = Energy::kilowatt_hours(2.0);
+        assert_eq!(op.try_footprint(e).unwrap(), op.footprint(e));
+        assert!(op.try_footprint(Energy::joules(-1.0)).is_err());
     }
 }

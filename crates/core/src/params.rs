@@ -4,11 +4,14 @@
 
 use act_data::{DramTechnology, HddModel, ProcessNode, SsdTechnology};
 use act_units::{
-    Area, Capacity, CarbonIntensity, Energy, Fraction, MassCo2, TimeSpan,
+    Area, Capacity, CarbonIntensity, Energy, Fraction, MassCo2, TimeSpan, UnitError,
 };
 use serde::{Deserialize, Serialize};
 
-use crate::{total_footprint, FabScenario, OperationalModel, SystemSpec};
+use crate::{
+    total_footprint, EmbodiedReport, FabScenario, ModelError, OperationalModel, SystemSpec,
+    Validate,
+};
 
 /// The input-parameter set of ACT's Table 1, bundled.
 ///
@@ -58,9 +61,22 @@ pub struct ModelParams {
 }
 
 /// Error returned when [`ModelParams`] violates Table 1's ranges.
+///
+/// When the violation is a quantity-domain failure (NaN, infinite, out of
+/// range), the underlying [`UnitError`] is preserved and exposed through
+/// [`std::error::Error::source`].
 #[derive(Clone, Debug, PartialEq)]
 pub struct ParamsError {
     message: String,
+    source: Option<UnitError>,
+}
+
+impl ParamsError {
+    /// The underlying quantity-domain error, when the violation was one.
+    #[must_use]
+    pub fn unit_error(&self) -> Option<&UnitError> {
+        self.source.as_ref()
+    }
 }
 
 impl std::fmt::Display for ParamsError {
@@ -69,10 +85,24 @@ impl std::fmt::Display for ParamsError {
     }
 }
 
-impl std::error::Error for ParamsError {}
+impl std::error::Error for ParamsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        self.source.as_ref().map(|err| err as &(dyn std::error::Error + 'static))
+    }
+}
 
-fn err(message: impl Into<String>) -> ParamsError {
-    ParamsError { message: message.into() }
+fn err_from_unit(message: impl Into<String>, source: UnitError) -> ParamsError {
+    ParamsError { message: message.into(), source: Some(source) }
+}
+
+/// Builds the [`UnitError`] describing a range violation, classifying NaN
+/// and infinities as non-finite rather than out-of-domain.
+fn domain_error(quantity: &'static str, value: f64, expected: &'static str) -> UnitError {
+    if value.is_finite() {
+        UnitError::out_of_domain(quantity, value, expected)
+    } else {
+        UnitError::non_finite(quantity, value)
+    }
 }
 
 impl ModelParams {
@@ -104,27 +134,47 @@ impl ModelParams {
     /// Returns a [`ParamsError`] naming the first violated constraint.
     pub fn validate(&self) -> Result<(), ParamsError> {
         if !(self.execution_time_s >= 0.0 && self.execution_time_s.is_finite()) {
-            return Err(err("execution time must be non-negative and finite"));
+            return Err(err_from_unit(
+                "execution time must be non-negative and finite",
+                TimeSpan::try_seconds(self.execution_time_s)
+                    .expect_err("rejected by the range check"),
+            ));
         }
         if !(0.1..=50.0).contains(&self.lifetime_years) {
-            return Err(err(format!(
-                "lifetime {} years outside the plausible 0.1-50 range",
-                self.lifetime_years
-            )));
+            return Err(err_from_unit(
+                format!(
+                    "lifetime {} years outside the plausible 0.1-50 range",
+                    self.lifetime_years
+                ),
+                domain_error(
+                    "hardware lifetime",
+                    self.lifetime_years,
+                    "within [0.1, 50] years",
+                ),
+            ));
         }
         if self.soc_area_mm2 < 0.0 || !self.soc_area_mm2.is_finite() {
-            return Err(err("SoC area must be non-negative"));
+            return Err(err_from_unit(
+                "SoC area must be non-negative",
+                Area::try_square_millimeters(self.soc_area_mm2)
+                    .expect_err("rejected by the range check"),
+            ));
         }
-        for (label, ci) in [
-            ("use", self.use_intensity_g_per_kwh),
-            ("fab", self.fab_intensity_g_per_kwh),
-        ] {
+        for (label, ci) in
+            [("use", self.use_intensity_g_per_kwh), ("fab", self.fab_intensity_g_per_kwh)]
+        {
             if !(0.0..=2000.0).contains(&ci) {
-                return Err(err(format!("{label} carbon intensity {ci} outside 0-2000 g/kWh")));
+                return Err(err_from_unit(
+                    format!("{label} carbon intensity {ci} outside 0-2000 g/kWh"),
+                    domain_error("carbon intensity", ci, "within [0, 2000] g CO2/kWh"),
+                ));
             }
         }
         if !(self.fab_yield > 0.0 && self.fab_yield <= 1.0) {
-            return Err(err(format!("fab yield {} outside (0, 1]", self.fab_yield)));
+            return Err(err_from_unit(
+                format!("fab yield {} outside (0, 1]", self.fab_yield),
+                domain_error("fab yield", self.fab_yield, "within (0, 1]"),
+            ));
         }
         let caps = self
             .dram
@@ -134,11 +184,17 @@ impl ModelParams {
             .chain(self.hdd.iter().map(|(_, gb)| *gb));
         for gb in caps {
             if gb < 0.0 || !gb.is_finite() {
-                return Err(err("capacities must be non-negative"));
+                return Err(err_from_unit(
+                    "capacities must be non-negative",
+                    Capacity::try_gigabytes(gb).expect_err("rejected by the range check"),
+                ));
             }
         }
         if self.energy_j < 0.0 || !self.energy_j.is_finite() {
-            return Err(err("energy must be non-negative"));
+            return Err(err_from_unit(
+                "energy must be non-negative",
+                Energy::try_joules(self.energy_j).expect_err("rejected by the range check"),
+            ));
         }
         Ok(())
     }
@@ -204,6 +260,101 @@ impl ModelParams {
             TimeSpan::seconds(self.execution_time_s),
             TimeSpan::years(self.lifetime_years),
         )
+    }
+
+    /// Checked variant of [`Self::fab_scenario`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ModelError`] if the parameters do not validate.
+    pub fn try_fab_scenario(&self) -> Result<FabScenario, ModelError> {
+        self.validate()?;
+        let fab_yield = Fraction::new(self.fab_yield)?;
+        Ok(FabScenario::with_intensity(CarbonIntensity::try_grams_per_kwh(
+            self.fab_intensity_g_per_kwh,
+        )?)
+        .with_yield(fab_yield))
+    }
+
+    /// Checked variant of [`Self::system_spec`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ModelError`] if the parameters do not validate.
+    pub fn try_system_spec(&self) -> Result<SystemSpec, ModelError> {
+        self.validate()?;
+        let mut builder = SystemSpec::builder().soc(
+            "application processor",
+            Area::try_square_millimeters(self.soc_area_mm2)?,
+            self.process_node,
+        );
+        for (tech, gb) in &self.dram {
+            builder = builder.dram(*tech, Capacity::try_gigabytes(*gb)?);
+        }
+        for (tech, gb) in &self.ssd {
+            builder = builder.ssd(*tech, Capacity::try_gigabytes(*gb)?);
+        }
+        for (model, gb) in &self.hdd {
+            builder = builder.hdd(*model, Capacity::try_gigabytes(*gb)?);
+        }
+        builder.packaged_ics(self.packaged_ic_count).try_build()
+    }
+
+    /// Checked variant of [`Self::embodied`], returning the full
+    /// per-component report.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ModelError`] if the parameters do not validate or any
+    /// component footprint evaluates to a non-finite mass.
+    pub fn try_embodied(&self) -> Result<EmbodiedReport, ModelError> {
+        self.try_system_spec()?.try_embodied(&self.try_fab_scenario()?)
+    }
+
+    /// Checked variant of [`Self::operational`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ModelError`] if the parameters do not validate.
+    pub fn try_operational(&self) -> Result<MassCo2, ModelError> {
+        self.validate()?;
+        let op = OperationalModel::new(CarbonIntensity::try_grams_per_kwh(
+            self.use_intensity_g_per_kwh,
+        )?);
+        op.try_footprint(Energy::try_joules(self.energy_j)?)
+    }
+
+    /// Checked variant of [`Self::footprint`]: the full eq. 1 evaluation
+    /// without any panicking path.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ModelError`] if the parameters do not validate or any
+    /// intermediate result is non-finite.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use act_core::ModelParams;
+    ///
+    /// let mut params = ModelParams::mobile_reference();
+    /// assert!(params.try_footprint().is_ok());
+    /// params.fab_yield = f64::NAN;
+    /// assert!(params.try_footprint().is_err());
+    /// ```
+    pub fn try_footprint(&self) -> Result<MassCo2, ModelError> {
+        crate::try_total_footprint(
+            self.try_operational()?,
+            self.try_embodied()?.total(),
+            TimeSpan::try_seconds(self.execution_time_s)?,
+            TimeSpan::try_years(self.lifetime_years)?,
+        )
+    }
+}
+
+impl Validate for ModelParams {
+    fn validate(&self) -> Result<(), ModelError> {
+        ModelParams::validate(self).map_err(ModelError::from)
     }
 }
 
@@ -287,5 +438,36 @@ mod tests {
         let mut p = ModelParams::mobile_reference();
         p.fab_yield = 2.0;
         let _ = p.embodied();
+    }
+
+    #[test]
+    fn try_facade_agrees_with_panicking_facade() {
+        let p = ModelParams::mobile_reference();
+        assert_eq!(p.try_embodied().unwrap().total(), p.embodied());
+        assert_eq!(p.try_operational().unwrap(), p.operational());
+        assert_eq!(p.try_footprint().unwrap(), p.footprint());
+    }
+
+    #[test]
+    fn try_facade_reports_instead_of_panicking() {
+        let mut p = ModelParams::mobile_reference();
+        p.fab_yield = 2.0;
+        let err = p.try_footprint().unwrap_err();
+        assert!(err.to_string().contains("yield"), "{err}");
+        // The yield violation keeps its unit-level cause through the chain.
+        let params_err = match err {
+            crate::ModelError::Params(e) => e,
+            other => panic!("expected a params error, got {other:?}"),
+        };
+        assert!(params_err.unit_error().is_some());
+    }
+
+    #[test]
+    fn validate_trait_wraps_inherent_validation() {
+        let mut p = ModelParams::mobile_reference();
+        assert!(crate::Validate::validate(&p).is_ok());
+        p.energy_j = f64::INFINITY;
+        let err = crate::Validate::validate(&p).unwrap_err();
+        assert!(std::error::Error::source(&err).is_some());
     }
 }

@@ -4,8 +4,10 @@
 //! complete life-cycle assembly (see [`crate::LifecycleEstimate`]) needs
 //! it. Factors are standard freight intensities per tonne-kilometer.
 
-use act_units::MassCo2;
+use act_units::{MassCo2, UnitError};
 use serde::{Deserialize, Serialize};
+
+use crate::{ModelError, Validate};
 
 /// A freight mode with its carbon intensity.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -77,7 +79,7 @@ impl TransportModel {
     /// # Panics
     ///
     /// Panics if the shipped mass is not positive or a leg distance is
-    /// negative.
+    /// negative. Use [`Self::try_new`] for user-supplied journeys.
     #[must_use]
     pub fn new(shipped_mass_kg: f64, legs: Vec<TransportLeg>) -> Self {
         assert!(
@@ -93,16 +95,38 @@ impl TransportModel {
         Self { shipped_mass_kg, legs }
     }
 
+    /// Checked variant of [`Self::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ModelError`] if the shipped mass is not positive and
+    /// finite or a leg distance is negative or non-finite.
+    pub fn try_new(shipped_mass_kg: f64, legs: Vec<TransportLeg>) -> Result<Self, ModelError> {
+        let model = Self { shipped_mass_kg, legs };
+        model.validate()?;
+        Ok(model)
+    }
+
     /// Total transport footprint across all legs.
     #[must_use]
     pub fn footprint(&self) -> MassCo2 {
         let tonnes = self.shipped_mass_kg / 1000.0;
         self.legs
             .iter()
-            .map(|leg| {
-                MassCo2::grams(leg.mode.grams_per_tonne_km() * tonnes * leg.distance_km)
-            })
+            .map(|leg| MassCo2::grams(leg.mode.grams_per_tonne_km() * tonnes * leg.distance_km))
             .sum()
+    }
+
+    /// Checked variant of [`Self::footprint`]: validates the journey and the
+    /// resulting mass.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ModelError`] if the model is invalid (deserialized with a
+    /// bad mass or distance) or the summed footprint is non-finite.
+    pub fn try_footprint(&self) -> Result<MassCo2, ModelError> {
+        self.validate()?;
+        Ok(self.footprint().ensure_finite("transport footprint")?)
     }
 
     /// The same journey with every air leg re-routed by sea — the classic
@@ -118,6 +142,36 @@ impl TransportModel {
             })
             .collect();
         Self { shipped_mass_kg: self.shipped_mass_kg, legs }
+    }
+}
+
+impl Validate for TransportModel {
+    fn validate(&self) -> Result<(), ModelError> {
+        if !self.shipped_mass_kg.is_finite() {
+            return Err(UnitError::non_finite("shipped mass", self.shipped_mass_kg).into());
+        }
+        if self.shipped_mass_kg <= 0.0 {
+            return Err(UnitError::out_of_domain(
+                "shipped mass",
+                self.shipped_mass_kg,
+                "a positive number of kilograms",
+            )
+            .into());
+        }
+        for leg in &self.legs {
+            if !leg.distance_km.is_finite() {
+                return Err(UnitError::non_finite("leg distance", leg.distance_km).into());
+            }
+            if leg.distance_km < 0.0 {
+                return Err(UnitError::out_of_domain(
+                    "leg distance",
+                    leg.distance_km,
+                    "a finite, non-negative number of kilometers",
+                )
+                .into());
+            }
+        }
+        Ok(())
     }
 }
 
@@ -157,15 +211,11 @@ mod tests {
 
     #[test]
     fn mode_intensities_are_ordered() {
-        assert!(
-            FreightMode::Sea.grams_per_tonne_km() < FreightMode::Rail.grams_per_tonne_km()
-        );
+        assert!(FreightMode::Sea.grams_per_tonne_km() < FreightMode::Rail.grams_per_tonne_km());
         assert!(
             FreightMode::Rail.grams_per_tonne_km() < FreightMode::Road.grams_per_tonne_km()
         );
-        assert!(
-            FreightMode::Road.grams_per_tonne_km() < FreightMode::Air.grams_per_tonne_km()
-        );
+        assert!(FreightMode::Road.grams_per_tonne_km() < FreightMode::Air.grams_per_tonne_km());
     }
 
     #[test]
@@ -187,5 +237,24 @@ mod tests {
             1.0,
             vec![TransportLeg { mode: FreightMode::Sea, distance_km: -1.0 }],
         );
+    }
+
+    #[test]
+    fn try_new_errors_instead_of_panicking() {
+        assert!(TransportModel::try_new(0.4, vec![]).is_ok());
+        assert!(TransportModel::try_new(0.0, vec![]).is_err());
+        assert!(TransportModel::try_new(f64::NAN, vec![]).is_err());
+        let err = TransportModel::try_new(
+            1.0,
+            vec![TransportLeg { mode: FreightMode::Sea, distance_km: -1.0 }],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("leg distance"), "{err}");
+    }
+
+    #[test]
+    fn try_footprint_agrees_with_unchecked() {
+        let m = phone();
+        assert_eq!(m.try_footprint().unwrap(), m.footprint());
     }
 }

@@ -164,7 +164,12 @@ pub const DELL_R740: DeviceBom = DeviceBom {
     name: "Dell R740",
     chips: &[
         ChipEntry { name: "Xeon CPUs", node: ProcessNode::N14, area_mm2: 1388.0, count: 2 },
-        ChipEntry { name: "Chipset + NICs + BMC", node: ProcessNode::N28, area_mm2: 400.0, count: 6 },
+        ChipEntry {
+            name: "Chipset + NICs + BMC",
+            node: ProcessNode::N28,
+            area_mm2: 400.0,
+            count: 6,
+        },
     ],
     dram: &[DramEntry { technology: DramTechnology::Ddr4_10nm, capacity_gb: 576.0 }],
     ssd: &[SsdEntry { technology: SsdTechnology::V3NandTlc, capacity_gb: 31_744.0 }],
@@ -178,7 +183,12 @@ pub const LAPTOP: DeviceBom = DeviceBom {
     name: "Laptop (thin-and-light)",
     chips: &[
         ChipEntry { name: "SoC", node: ProcessNode::N5, area_mm2: 119.0, count: 1 },
-        ChipEntry { name: "Wireless + controllers", node: ProcessNode::N14, area_mm2: 90.0, count: 3 },
+        ChipEntry {
+            name: "Wireless + controllers",
+            node: ProcessNode::N14,
+            area_mm2: 90.0,
+            count: 3,
+        },
         ChipEntry { name: "Other ICs", node: ProcessNode::N28, area_mm2: 900.0, count: 24 },
     ],
     dram: &[DramEntry { technology: DramTechnology::Lpddr4, capacity_gb: 8.0 }],

@@ -108,8 +108,14 @@ mod tests {
     #[test]
     fn ddr3_scaling_monotonically_improves() {
         // Within the DDR3 family, newer nodes are strictly cleaner per GB.
-        assert!(DramTechnology::Ddr3_40nm.carbon_per_gb() < DramTechnology::Ddr3_50nm.carbon_per_gb());
-        assert!(DramTechnology::Ddr3_30nm.carbon_per_gb() < DramTechnology::Ddr3_40nm.carbon_per_gb());
+        assert!(
+            DramTechnology::Ddr3_40nm.carbon_per_gb()
+                < DramTechnology::Ddr3_50nm.carbon_per_gb()
+        );
+        assert!(
+            DramTechnology::Ddr3_30nm.carbon_per_gb()
+                < DramTechnology::Ddr3_40nm.carbon_per_gb()
+        );
     }
 
     #[test]

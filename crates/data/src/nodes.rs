@@ -290,7 +290,8 @@ mod tests {
     fn better_abatement_lowers_gpa() {
         for node in ProcessNode::ALL {
             assert!(
-                node.gas_per_area(Abatement::Percent99) < node.gas_per_area(Abatement::Percent95)
+                node.gas_per_area(Abatement::Percent99)
+                    < node.gas_per_area(Abatement::Percent95)
             );
         }
     }

@@ -115,9 +115,9 @@ pub fn silicon_area(platform: Platform) -> Area {
 pub fn measurement(platform: Platform, app: App) -> Measurement {
     // CPU baselines: sized like the SMIV dual-A53 cluster at ~0.5 W.
     const CPU: [Measurement; 3] = [
-        Measurement { latency_ms: 10.0, power_w: 0.5 },  // FIR
-        Measurement { latency_ms: 16.0, power_w: 0.5 },  // AES
-        Measurement { latency_ms: 60.0, power_w: 0.5 },  // AI
+        Measurement { latency_ms: 10.0, power_w: 0.5 }, // FIR
+        Measurement { latency_ms: 16.0, power_w: 0.5 }, // AES
+        Measurement { latency_ms: 60.0, power_w: 0.5 }, // AI
     ];
     let idx = match app {
         App::Fir => 0,
@@ -145,9 +145,7 @@ mod tests {
     }
 
     fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
-        let (product, n) = values
-            .into_iter()
-            .fold((1.0, 0u32), |(p, n), v| (p * v, n + 1));
+        let (product, n) = values.into_iter().fold((1.0, 0u32), |(p, n), v| (p * v, n + 1));
         product.powf(1.0 / f64::from(n))
     }
 

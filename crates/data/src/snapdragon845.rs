@@ -99,10 +99,7 @@ pub const PROFILES: [EngineProfile; 3] = [
 /// Looks up the profile for an engine.
 #[must_use]
 pub fn profile(engine: Engine) -> &'static EngineProfile {
-    PROFILES
-        .iter()
-        .find(|p| p.engine == engine)
-        .expect("all engines are profiled")
+    PROFILES.iter().find(|p| p.engine == engine).expect("all engines are profiled")
 }
 
 #[cfg(test)]

@@ -111,10 +111,7 @@ impl SocSpec {
     /// the first-order performance model the `act-soc` simulator refines.
     #[must_use]
     pub fn compute_capacity(&self) -> f64 {
-        self.clusters
-            .iter()
-            .map(|c| f64::from(c.count) * c.freq_ghz * c.ipc_index)
-            .sum()
+        self.clusters.iter().map(|c| f64::from(c.count) * c.freq_ghz * c.ipc_index).sum()
     }
 }
 
@@ -151,10 +148,7 @@ pub const MOBILE_SOCS: [SocSpec; 13] = [
         dram_gb: 4.0,
         dram: DramTechnology::Lpddr4,
         reference_score: 2100.0,
-        clusters: &[
-            cluster("M3", 4, 2.7, 2.2),
-            cluster("Cortex-A55", 4, 1.79, 1.1),
-        ],
+        clusters: &[cluster("M3", 4, 2.7, 2.2), cluster("Cortex-A55", 4, 1.79, 1.1)],
     },
     SocSpec {
         family: SocFamily::Exynos,
@@ -166,10 +160,7 @@ pub const MOBILE_SOCS: [SocSpec; 13] = [
         dram_gb: 4.0,
         dram: DramTechnology::Lpddr4,
         reference_score: 1500.0,
-        clusters: &[
-            cluster("M2", 4, 2.31, 1.9),
-            cluster("Cortex-A53", 4, 1.69, 1.0),
-        ],
+        clusters: &[cluster("M2", 4, 2.31, 1.9), cluster("Cortex-A53", 4, 1.69, 1.0)],
     },
     SocSpec {
         family: SocFamily::Exynos,
@@ -181,10 +172,7 @@ pub const MOBILE_SOCS: [SocSpec; 13] = [
         dram_gb: 3.0,
         dram: DramTechnology::Lpddr3_20nm,
         reference_score: 1100.0,
-        clusters: &[
-            cluster("Cortex-A57", 4, 2.1, 1.35),
-            cluster("Cortex-A53", 4, 1.5, 1.0),
-        ],
+        clusters: &[cluster("Cortex-A57", 4, 2.1, 1.35), cluster("Cortex-A53", 4, 1.5, 1.0)],
     },
     SocSpec {
         family: SocFamily::Snapdragon,
@@ -228,10 +216,7 @@ pub const MOBILE_SOCS: [SocSpec; 13] = [
         dram_gb: 6.0,
         dram: DramTechnology::Lpddr4,
         reference_score: 2200.0,
-        clusters: &[
-            cluster("Cortex-A75", 4, 2.8, 2.1),
-            cluster("Cortex-A55", 4, 1.77, 1.1),
-        ],
+        clusters: &[cluster("Cortex-A75", 4, 2.8, 2.1), cluster("Cortex-A55", 4, 1.77, 1.1)],
     },
     SocSpec {
         family: SocFamily::Snapdragon,
@@ -243,10 +228,7 @@ pub const MOBILE_SOCS: [SocSpec; 13] = [
         dram_gb: 4.0,
         dram: DramTechnology::Lpddr4,
         reference_score: 1700.0,
-        clusters: &[
-            cluster("Cortex-A73", 4, 2.45, 1.8),
-            cluster("Cortex-A53", 4, 1.9, 1.0),
-        ],
+        clusters: &[cluster("Cortex-A73", 4, 2.45, 1.8), cluster("Cortex-A53", 4, 1.9, 1.0)],
     },
     SocSpec {
         family: SocFamily::Snapdragon,
@@ -258,10 +240,7 @@ pub const MOBILE_SOCS: [SocSpec; 13] = [
         dram_gb: 4.0,
         dram: DramTechnology::Lpddr3_20nm,
         reference_score: 1400.0,
-        clusters: &[
-            cluster("Kryo", 2, 2.15, 2.0),
-            cluster("Kryo", 2, 1.59, 2.0),
-        ],
+        clusters: &[cluster("Kryo", 2, 2.15, 2.0), cluster("Kryo", 2, 1.59, 2.0)],
     },
     SocSpec {
         family: SocFamily::Kirin,
@@ -305,10 +284,7 @@ pub const MOBILE_SOCS: [SocSpec; 13] = [
         dram_gb: 6.0,
         dram: DramTechnology::Lpddr4,
         reference_score: 1600.0,
-        clusters: &[
-            cluster("Cortex-A73", 4, 2.36, 1.8),
-            cluster("Cortex-A53", 4, 1.8, 1.0),
-        ],
+        clusters: &[cluster("Cortex-A73", 4, 2.36, 1.8), cluster("Cortex-A53", 4, 1.8, 1.0)],
     },
     SocSpec {
         family: SocFamily::Kirin,
@@ -320,10 +296,7 @@ pub const MOBILE_SOCS: [SocSpec; 13] = [
         dram_gb: 4.0,
         dram: DramTechnology::Lpddr3_20nm,
         reference_score: 1500.0,
-        clusters: &[
-            cluster("Cortex-A73", 4, 2.36, 1.8),
-            cluster("Cortex-A53", 4, 1.84, 1.0),
-        ],
+        clusters: &[cluster("Cortex-A73", 4, 2.36, 1.8), cluster("Cortex-A53", 4, 1.84, 1.0)],
     },
 ];
 
@@ -348,7 +321,8 @@ mod tests {
             assert!(MOBILE_SOCS.iter().any(|s| s.family == family));
         }
         let exynos = MOBILE_SOCS.iter().filter(|s| s.family == SocFamily::Exynos).count();
-        let snapdragon = MOBILE_SOCS.iter().filter(|s| s.family == SocFamily::Snapdragon).count();
+        let snapdragon =
+            MOBILE_SOCS.iter().filter(|s| s.family == SocFamily::Snapdragon).count();
         let kirin = MOBILE_SOCS.iter().filter(|s| s.family == SocFamily::Kirin).count();
         assert_eq!((exynos, snapdragon, kirin), (4, 5, 4));
     }
@@ -394,9 +368,8 @@ mod tests {
         for family in SocFamily::ALL {
             let mut in_family: Vec<_> =
                 MOBILE_SOCS.iter().filter(|s| s.family == family).collect();
-            in_family.sort_by(|a, b| {
-                a.reference_score.partial_cmp(&b.reference_score).unwrap()
-            });
+            in_family
+                .sort_by(|a, b| a.reference_score.partial_cmp(&b.reference_score).unwrap());
             for pair in in_family.windows(2) {
                 assert!(
                     pair[1].compute_capacity() >= pair[0].compute_capacity() * 0.85,
@@ -427,8 +400,7 @@ mod tests {
         let oldest = by_year.first().unwrap();
         let newest = by_year.last().unwrap();
         let years = f64::from(newest.year - oldest.year);
-        let annual =
-            (newest.efficiency_score() / oldest.efficiency_score()).powf(1.0 / years);
+        let annual = (newest.efficiency_score() / oldest.efficiency_score()).powf(1.0 / years);
         assert!(
             (1.10..=1.35).contains(&annual),
             "annual efficiency improvement {annual} out of the paper's band"

@@ -92,7 +92,11 @@ impl SsdTechnology {
     pub fn is_device_level(self) -> bool {
         matches!(
             self,
-            Self::Nand30nm | Self::Nand20nm | Self::Nand10nm | Self::Nand1zTlc | Self::V3NandTlc
+            Self::Nand30nm
+                | Self::Nand20nm
+                | Self::Nand10nm
+                | Self::Nand1zTlc
+                | Self::V3NandTlc
         )
     }
 }
@@ -144,8 +148,12 @@ mod tests {
 
     #[test]
     fn planar_nand_scaling_improves_per_gb() {
-        assert!(SsdTechnology::Nand20nm.carbon_per_gb() < SsdTechnology::Nand30nm.carbon_per_gb());
-        assert!(SsdTechnology::Nand10nm.carbon_per_gb() < SsdTechnology::Nand20nm.carbon_per_gb());
+        assert!(
+            SsdTechnology::Nand20nm.carbon_per_gb() < SsdTechnology::Nand30nm.carbon_per_gb()
+        );
+        assert!(
+            SsdTechnology::Nand10nm.carbon_per_gb() < SsdTechnology::Nand20nm.carbon_per_gb()
+        );
     }
 
     #[test]

@@ -7,6 +7,11 @@
 //! factors (Figure 15). This crate holds the exploration primitives so each
 //! study only writes its model.
 //!
+//! Sweeps over untrusted configurations use the fallible primitives
+//! ([`try_sweep`], [`sweep_finite`], [`try_monte_carlo`]): invalid design
+//! points are skipped and recorded in the returned [`SweepOutcome`] /
+//! [`McOutcome`] rather than panicking mid-exploration.
+//!
 //! # Examples
 //!
 //! ```
@@ -32,7 +37,10 @@ mod optimize;
 mod pareto;
 mod sweep;
 
-pub use montecarlo::{monte_carlo, triangular, McStats};
+pub use montecarlo::{monte_carlo, triangular, try_monte_carlo, McError, McOutcome, McStats};
 pub use optimize::{argmin_by, argmin_feasible, knee_point, normalize_to, normalize_to_last};
 pub use pareto::{dominates, pareto_indices};
-pub use sweep::{linspace, logspace, powers_of_two, sweep};
+pub use sweep::{
+    linspace, logspace, powers_of_two, sweep, sweep_finite, try_sweep, RejectedPoint,
+    SweepOutcome,
+};

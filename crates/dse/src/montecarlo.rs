@@ -33,6 +33,42 @@ impl McStats {
     }
 }
 
+/// Error returned by [`try_monte_carlo`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum McError {
+    /// `samples` was zero.
+    NoSamples,
+    /// Every draw produced a non-finite value; no statistics exist.
+    AllRejected {
+        /// Number of rejected draws (equals the requested sample count).
+        rejected: usize,
+    },
+}
+
+impl std::fmt::Display for McError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NoSamples => write!(f, "Monte-Carlo run needs at least one sample"),
+            Self::AllRejected { rejected } => {
+                write!(f, "all {rejected} Monte-Carlo draws were non-finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for McError {}
+
+/// The result of a fault-tolerant Monte-Carlo run: statistics over the
+/// finite draws plus the count of rejected (non-finite) ones.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct McOutcome {
+    /// Statistics over the finite samples.
+    pub stats: McStats,
+    /// Number of draws discarded because the model returned NaN or ±∞.
+    pub rejected: usize,
+}
+
 /// Runs `samples` evaluations of `model`, each fed a fresh RNG-driven
 /// input draw, and summarizes the outputs. Deterministic for a fixed
 /// `seed`.
@@ -61,14 +97,70 @@ pub fn monte_carlo(
 ) -> McStats {
     assert!(samples > 0, "need at least one sample");
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut values: Vec<f64> = (0..samples)
+    let values: Vec<f64> = (0..samples)
         .map(|_| {
             let v = model(&mut rng);
             assert!(v.is_finite(), "model produced a non-finite sample");
             v
         })
         .collect();
-    values.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    summarize(values)
+}
+
+/// Fault-tolerant variant of [`monte_carlo`]: draws that evaluate to NaN or
+/// ±∞ are skipped and counted instead of panicking, and the statistics are
+/// computed over the remaining finite samples. Deterministic for a fixed
+/// `seed` (the RNG advances identically whether a draw is kept or not).
+///
+/// # Errors
+///
+/// Returns [`McError::NoSamples`] if `samples` is zero and
+/// [`McError::AllRejected`] if every draw was non-finite.
+///
+/// # Examples
+///
+/// ```
+/// use act_dse::try_monte_carlo;
+/// use rand::Rng;
+///
+/// // A model with a pole: some yield draws divide by zero.
+/// let outcome = try_monte_carlo(1_000, 42, |rng| {
+///     let y: f64 = rng.gen_range(-0.1..1.0);
+///     1370.0 / y.max(0.0) // y <= 0 -> +inf, rejected
+/// })?;
+/// assert!(outcome.rejected > 0);
+/// assert!(outcome.stats.samples + outcome.rejected == 1_000);
+/// # Ok::<(), act_dse::McError>(())
+/// ```
+pub fn try_monte_carlo(
+    samples: usize,
+    seed: u64,
+    mut model: impl FnMut(&mut StdRng) -> f64,
+) -> Result<McOutcome, McError> {
+    if samples == 0 {
+        return Err(McError::NoSamples);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut values = Vec::with_capacity(samples);
+    let mut rejected = 0usize;
+    for _ in 0..samples {
+        let v = model(&mut rng);
+        if v.is_finite() {
+            values.push(v);
+        } else {
+            rejected += 1;
+        }
+    }
+    if values.is_empty() {
+        return Err(McError::AllRejected { rejected });
+    }
+    Ok(McOutcome { stats: summarize(values), rejected })
+}
+
+/// Sorts the finite samples and extracts the summary statistics.
+fn summarize(mut values: Vec<f64>) -> McStats {
+    let samples = values.len();
+    values.sort_by(f64::total_cmp);
     let mean = values.iter().sum::<f64>() / samples as f64;
     let pct = |q: f64| {
         let idx = ((samples - 1) as f64 * q).round() as usize;
@@ -150,5 +242,40 @@ mod tests {
     fn bad_triangular_rejected() {
         let mut rng = StdRng::seed_from_u64(0);
         let _ = triangular(&mut rng, 1.0, 0.5, 0.9);
+    }
+
+    #[test]
+    fn try_monte_carlo_matches_panicking_variant_on_clean_models() {
+        let f = |rng: &mut StdRng| rng.gen_range(0.0..1.0);
+        let outcome = try_monte_carlo(2_000, 7, f).unwrap();
+        assert_eq!(outcome.rejected, 0);
+        assert_eq!(outcome.stats, monte_carlo(2_000, 7, f));
+    }
+
+    #[test]
+    fn try_monte_carlo_skips_and_counts_poisoned_draws() {
+        let f = |rng: &mut StdRng| {
+            let v: f64 = rng.gen_range(0.0..1.0);
+            if v < 0.25 {
+                f64::NAN
+            } else {
+                v
+            }
+        };
+        let outcome = try_monte_carlo(4_000, 11, f).unwrap();
+        assert!(outcome.rejected > 0, "expected some rejections");
+        assert_eq!(outcome.stats.samples + outcome.rejected, 4_000);
+        assert!(outcome.stats.p05 >= 0.25);
+    }
+
+    #[test]
+    fn try_monte_carlo_reports_degenerate_runs() {
+        assert_eq!(try_monte_carlo(0, 0, |_| 1.0), Err(McError::NoSamples));
+        assert_eq!(
+            try_monte_carlo(10, 0, |_| f64::INFINITY),
+            Err(McError::AllRejected { rejected: 10 })
+        );
+        let err = try_monte_carlo(10, 0, |_| f64::NAN).unwrap_err();
+        assert!(err.to_string().contains("non-finite"));
     }
 }

@@ -48,10 +48,7 @@ pub fn dominates(a: &[f64], b: &[f64]) -> bool {
 pub fn pareto_indices(points: &[Vec<f64>]) -> Vec<usize> {
     (0..points.len())
         .filter(|&i| {
-            !points
-                .iter()
-                .enumerate()
-                .any(|(j, other)| j != i && dominates(other, &points[i]))
+            !points.iter().enumerate().any(|(j, other)| j != i && dominates(other, &points[i]))
         })
         .collect()
 }

@@ -1,5 +1,7 @@
 //! Parameter-sweep helpers.
 
+use serde::Serialize;
+
 /// Powers of two from `lo` to `hi` inclusive (the paper's MAC-count axis).
 ///
 /// # Panics
@@ -75,7 +77,10 @@ pub fn logspace(start: f64, end: f64, n: usize) -> Vec<f64> {
 /// let squares = sweep([1, 2, 3], |x| x * x);
 /// assert_eq!(squares, vec![(1, 1), (2, 4), (3, 9)]);
 /// ```
-pub fn sweep<P, R>(params: impl IntoIterator<Item = P>, mut f: impl FnMut(&P) -> R) -> Vec<(P, R)> {
+pub fn sweep<P, R>(
+    params: impl IntoIterator<Item = P>,
+    mut f: impl FnMut(&P) -> R,
+) -> Vec<(P, R)> {
     params
         .into_iter()
         .map(|p| {
@@ -83,6 +88,120 @@ pub fn sweep<P, R>(params: impl IntoIterator<Item = P>, mut f: impl FnMut(&P) ->
             (p, r)
         })
         .collect()
+}
+
+/// One design point a fallible sweep rejected, with its position in the
+/// original parameter sequence and the model's reason.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct RejectedPoint {
+    /// Zero-based index of the point in the swept parameter sequence.
+    pub index: usize,
+    /// The model error, rendered.
+    pub reason: String,
+}
+
+/// The result of a fallible sweep: the design points that evaluated cleanly
+/// plus a record of every rejected one.
+///
+/// A sweep over mixed valid/invalid configurations never aborts: invalid
+/// points are skipped and recorded so the driver can report them instead of
+/// silently dropping (or crashing on) them.
+#[derive(Clone, Debug)]
+pub struct SweepOutcome<P, R> {
+    /// Parameter/result pairs for the points that evaluated successfully,
+    /// in sweep order.
+    pub results: Vec<(P, R)>,
+    /// The rejected points, in sweep order.
+    pub rejected: Vec<RejectedPoint>,
+}
+
+impl<P, R> SweepOutcome<P, R> {
+    /// Total number of points the sweep visited.
+    #[must_use]
+    pub fn total_points(&self) -> usize {
+        self.results.len() + self.rejected.len()
+    }
+
+    /// Number of rejected points.
+    #[must_use]
+    pub fn rejected_count(&self) -> usize {
+        self.rejected.len()
+    }
+
+    /// `true` when no point was rejected.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.rejected.is_empty()
+    }
+
+    /// One-line summary suitable for a report footer, e.g.
+    /// `"18/20 points evaluated, 2 rejected"`.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "{}/{} points evaluated, {} rejected",
+            self.results.len(),
+            self.total_points(),
+            self.rejected_count()
+        )
+    }
+}
+
+/// Fallible variant of [`sweep`]: evaluates `f` on every parameter,
+/// collecting successes and recording failures instead of aborting.
+///
+/// # Examples
+///
+/// ```
+/// use act_dse::try_sweep;
+///
+/// let outcome = try_sweep([1.0, -1.0, 4.0], |x| {
+///     if *x >= 0.0 { Ok(x.sqrt()) } else { Err("negative input") }
+/// });
+/// assert_eq!(outcome.results.len(), 2);
+/// assert_eq!(outcome.rejected_count(), 1);
+/// assert_eq!(outcome.rejected[0].index, 1);
+/// ```
+pub fn try_sweep<P, R, E: std::fmt::Display>(
+    params: impl IntoIterator<Item = P>,
+    mut f: impl FnMut(&P) -> Result<R, E>,
+) -> SweepOutcome<P, R> {
+    let mut results = Vec::new();
+    let mut rejected = Vec::new();
+    for (index, p) in params.into_iter().enumerate() {
+        match f(&p) {
+            Ok(r) => results.push((p, r)),
+            Err(e) => rejected.push(RejectedPoint { index, reason: e.to_string() }),
+        }
+    }
+    SweepOutcome { results, rejected }
+}
+
+/// Convenience over [`try_sweep`] for infallible scalar models: evaluates
+/// `f` on every parameter and rejects points whose result is NaN or
+/// infinite.
+///
+/// # Examples
+///
+/// ```
+/// use act_dse::sweep_finite;
+///
+/// let outcome = sweep_finite([4.0, 0.0, 1.0], |x| 1.0 / x);
+/// assert_eq!(outcome.results.len(), 2);
+/// assert_eq!(outcome.rejected[0].index, 1);
+/// ```
+pub fn sweep_finite<P>(
+    params: impl IntoIterator<Item = P>,
+    mut f: impl FnMut(&P) -> f64,
+) -> SweepOutcome<P, f64> {
+    try_sweep(params, |p| {
+        let v = f(p);
+        if v.is_finite() {
+            Ok(v)
+        } else {
+            Err(format!("model produced a non-finite result ({v})"))
+        }
+    })
 }
 
 #[cfg(test)]
@@ -136,5 +255,41 @@ mod tests {
     fn sweep_preserves_order() {
         let results = sweep(powers_of_two(1, 8), |m| *m * 10);
         assert_eq!(results, vec![(1, 10), (2, 20), (4, 40), (8, 80)]);
+    }
+
+    #[test]
+    fn try_sweep_partitions_points() {
+        let outcome = try_sweep(0..6, |i| if i % 2 == 0 { Ok(i * 10) } else { Err("odd") });
+        assert_eq!(outcome.results, vec![(0, 0), (2, 20), (4, 40)]);
+        assert_eq!(outcome.rejected_count(), 3);
+        assert_eq!(outcome.rejected.iter().map(|r| r.index).collect::<Vec<_>>(), vec![1, 3, 5]);
+        assert_eq!(outcome.total_points(), 6);
+        assert!(!outcome.is_clean());
+        assert_eq!(outcome.summary(), "3/6 points evaluated, 3 rejected");
+    }
+
+    #[test]
+    fn try_sweep_clean_when_all_succeed() {
+        let outcome = try_sweep(0..4, |i| Ok::<_, String>(i + 1));
+        assert!(outcome.is_clean());
+        assert_eq!(outcome.rejected_count(), 0);
+        assert_eq!(outcome.summary(), "4/4 points evaluated, 0 rejected");
+    }
+
+    #[test]
+    fn sweep_finite_rejects_poisoned_results() {
+        let outcome = sweep_finite([1.0, 0.0, -1.0, 2.0], |x| 1.0 / x);
+        // 1/0 = inf is rejected; 1/-1 is finite and kept.
+        assert_eq!(outcome.results.len(), 3);
+        assert_eq!(outcome.rejected_count(), 1);
+        assert_eq!(outcome.rejected[0].index, 1);
+        assert!(outcome.rejected[0].reason.contains("non-finite"));
+    }
+
+    #[test]
+    fn rejected_points_serialize() {
+        let outcome = sweep_finite([0.0], |x| 1.0 / x);
+        let json = serde_json::to_string(&outcome.rejected).unwrap();
+        assert!(json.contains("\"index\":0"));
     }
 }

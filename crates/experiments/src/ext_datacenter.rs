@@ -51,9 +51,8 @@ pub struct DatacenterResult {
 /// Runs the study over a spectrum of grids.
 #[must_use]
 pub fn run() -> DatacenterResult {
-    let server_embodied = SystemSpec::from_bom(&devices::DELL_R740)
-        .embodied(&FabScenario::default())
-        .total();
+    let server_embodied =
+        SystemSpec::from_bom(&devices::DELL_R740).embodied(&FabScenario::default()).total();
     let yearly_energy = Power::watts(SERVER_POWER_W) * TimeSpan::years(1.0);
     let rows = [
         Location::India,
@@ -64,8 +63,7 @@ pub fn run() -> DatacenterResult {
     ]
     .into_iter()
     .map(|location| {
-        let op = OperationalModel::new(location.carbon_intensity())
-            .with_effectiveness(PUE);
+        let op = OperationalModel::new(location.carbon_intensity()).with_effectiveness(PUE);
         let first_year = op.footprint(yearly_energy);
         let embodied_ratio = server_embodied / first_year;
         let model = ReplacementModel {
@@ -137,7 +135,11 @@ mod tests {
         let india = r.rows.iter().find(|x| x.location == Location::India).unwrap();
         let iceland = r.rows.iter().find(|x| x.location == Location::Iceland).unwrap();
         assert!(india.optimal_lifetime_years <= 4, "India {}", india.optimal_lifetime_years);
-        assert!(iceland.optimal_lifetime_years >= 6, "Iceland {}", iceland.optimal_lifetime_years);
+        assert!(
+            iceland.optimal_lifetime_years >= 6,
+            "Iceland {}",
+            iceland.optimal_lifetime_years
+        );
     }
 
     #[test]

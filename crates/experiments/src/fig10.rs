@@ -80,8 +80,14 @@ pub struct Fig10Result {
 fn levels_use() -> [IntensityLevel; 4] {
     [
         IntensityLevel { label: "Coal", intensity: EnergySource::Coal.carbon_intensity() },
-        IntensityLevel { label: "US grid", intensity: Location::UnitedStates.carbon_intensity() },
-        IntensityLevel { label: "Renewable", intensity: EnergySource::Solar.carbon_intensity() },
+        IntensityLevel {
+            label: "US grid",
+            intensity: Location::UnitedStates.carbon_intensity(),
+        },
+        IntensityLevel {
+            label: "Renewable",
+            intensity: EnergySource::Solar.carbon_intensity(),
+        },
         IntensityLevel { label: "Carbon Free", intensity: CarbonIntensity::grams_per_kwh(0.0) },
     ]
 }
@@ -90,7 +96,10 @@ fn levels_fab() -> [IntensityLevel; 4] {
     [
         IntensityLevel { label: "Coal", intensity: EnergySource::Coal.carbon_intensity() },
         IntensityLevel { label: "Taiwan grid", intensity: Location::Taiwan.carbon_intensity() },
-        IntensityLevel { label: "Renewable", intensity: EnergySource::Solar.carbon_intensity() },
+        IntensityLevel {
+            label: "Renewable",
+            intensity: EnergySource::Solar.carbon_intensity(),
+        },
         IntensityLevel { label: "Carbon Free", intensity: CarbonIntensity::grams_per_kwh(0.0) },
     ]
 }
@@ -103,7 +112,11 @@ fn lifetime_inferences() -> f64 {
     (lifetime * UTILIZATION).as_seconds() / profile(Engine::Cpu).latency().as_seconds()
 }
 
-fn group(fab: &FabScenario, use_intensity: CarbonIntensity, level: IntensityLevel) -> ScenarioGroup {
+fn group(
+    fab: &FabScenario,
+    use_intensity: CarbonIntensity,
+    level: IntensityLevel,
+) -> ScenarioGroup {
     let op = OperationalModel::new(use_intensity);
     let cpa = fab.carbon_per_area(NODE);
     let n = lifetime_inferences();
@@ -152,12 +165,8 @@ impl Fig10Result {
             .iter()
             .find(|g| g.level.label == "Carbon Free")
             .expect("carbon-free level present");
-        let cpu = group
-            .cells
-            .iter()
-            .find(|c| c.engine == Engine::Cpu)
-            .expect("CPU present")
-            .total();
+        let cpu =
+            group.cells.iter().find(|c| c.engine == Engine::Cpu).expect("CPU present").total();
         let best_co = group
             .cells
             .iter()

@@ -65,10 +65,7 @@ impl Fig12Result {
         self.rows
             .iter()
             .min_by(|a, b| {
-                metric
-                    .score(&a.design)
-                    .partial_cmp(&metric.score(&b.design))
-                    .expect("finite")
+                metric.score(&a.design).partial_cmp(&metric.score(&b.design)).expect("finite")
             })
             .expect("sweep is nonempty")
             .macs

@@ -39,12 +39,8 @@ impl QosStudy {
     /// Leanest configuration meeting the QoS bar — the carbon optimum.
     #[must_use]
     pub fn carbon_optimal(&self) -> &QosRow {
-        let idx = argmin_feasible(
-            &self.rows,
-            |r| r.embodied.as_grams(),
-            |r| r.fps >= QOS_FPS,
-        )
-        .expect("some configuration meets QoS");
+        let idx = argmin_feasible(&self.rows, |r| r.embodied.as_grams(), |r| r.fps >= QOS_FPS)
+            .expect("some configuration meets QoS");
         &self.rows[idx]
     }
 
@@ -254,10 +250,7 @@ mod tests {
         // Jevons paradox, step 1: the budget is refilled with more compute.
         let r = run();
         for cap in [1.0, 2.0] {
-            assert!(
-                r.budget.cell(cap, 16).macs > r.budget.cell(cap, 28).macs,
-                "cap {cap}"
-            );
+            assert!(r.budget.cell(cap, 16).macs > r.budget.cell(cap, 28).macs, "cap {cap}");
         }
     }
 

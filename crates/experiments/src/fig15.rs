@@ -113,7 +113,14 @@ impl fmt::Display for Fig15Result {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut t = TextTable::new(
             "Figure 15: SSD over-provisioning study",
-            &["PF", "WA (model)", "WA (FTL sim)", "lifetime yr", "1st life CO2", "2nd life CO2"],
+            &[
+                "PF",
+                "WA (model)",
+                "WA (FTL sim)",
+                "lifetime yr",
+                "1st life CO2",
+                "2nd life CO2",
+            ],
         );
         for r in &self.rows {
             t.row(vec![

@@ -46,7 +46,9 @@ impl Fig16Result {
             .core_module
             .iter()
             .filter(|s| {
-                s.label.contains("IC") || s.label.contains("Processor") || s.label.contains("RAM")
+                s.label.contains("IC")
+                    || s.label.contains("Processor")
+                    || s.label.contains("RAM")
             })
             .map(|s| s.share)
             .sum();

@@ -3,8 +3,9 @@
 
 use std::fmt;
 
-use act_data::reports::{BreakdownSlice, DELL_R740_BREAKDOWN, DELL_R740_MAINBOARD,
-    DELL_R740_MANUFACTURING_KG};
+use act_data::reports::{
+    BreakdownSlice, DELL_R740_BREAKDOWN, DELL_R740_MAINBOARD, DELL_R740_MANUFACTURING_KG,
+};
 use serde::Serialize;
 
 use crate::render::TextTable;
@@ -38,12 +39,8 @@ impl Fig17Result {
         let ssd = self.server.iter().find(|s| s.label == "SSD").expect("ssd").share;
         let mainboard =
             self.server.iter().find(|s| s.label == "Mainboard").expect("mainboard").share;
-        let cpu_in_mainboard = self
-            .mainboard
-            .iter()
-            .find(|s| s.label.contains("CPU"))
-            .expect("cpu")
-            .share;
+        let cpu_in_mainboard =
+            self.mainboard.iter().find(|s| s.label.contains("CPU")).expect("cpu").share;
         ssd + mainboard * cpu_in_mainboard
     }
 }

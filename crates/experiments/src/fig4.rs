@@ -106,11 +106,7 @@ mod tests {
         let r = run();
         for d in [&r.iphone, &r.ipad] {
             let ratio = d.lca / d.act_total();
-            assert!(
-                (1.15..=1.55).contains(&ratio),
-                "{}: LCA/ACT ratio {ratio}",
-                d.name
-            );
+            assert!((1.15..=1.55).contains(&ratio), "{}: LCA/ACT ratio {ratio}", d.name);
         }
     }
 
@@ -124,11 +120,13 @@ mod tests {
     #[test]
     fn breakdown_has_every_component_class() {
         let r = run();
-        for kind in [ComponentKind::Soc, ComponentKind::Dram, ComponentKind::Ssd, ComponentKind::Packaging] {
-            assert!(
-                r.iphone.act.by_kind(kind).as_grams() > 0.0,
-                "iPhone missing {kind}"
-            );
+        for kind in [
+            ComponentKind::Soc,
+            ComponentKind::Dram,
+            ComponentKind::Ssd,
+            ComponentKind::Packaging,
+        ] {
+            assert!(r.iphone.act.by_kind(kind).as_grams() > 0.0, "iPhone missing {kind}");
         }
     }
 

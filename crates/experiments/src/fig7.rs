@@ -88,11 +88,7 @@ impl Fig7Result {
 
 impl fmt::Display for Fig7Result {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for (panel, bars) in [
-            ("DRAM", &self.dram),
-            ("SSD", &self.ssd),
-            ("HDD", &self.hdd),
-        ] {
+        for (panel, bars) in [("DRAM", &self.dram), ("SSD", &self.ssd), ("HDD", &self.hdd)] {
             let mut t = TextTable::new(
                 &format!("Figure 7 ({panel}): embodied carbon per GB"),
                 &["technology", "g CO2/GB", "characterization"],
@@ -101,7 +97,11 @@ impl fmt::Display for Fig7Result {
                 t.row(vec![
                     b.label.clone(),
                     format!("{:.2}", b.grams_per_gb),
-                    if b.device_level { "device-level".into() } else { "component-level".into() },
+                    if b.device_level {
+                        "device-level".into()
+                    } else {
+                        "component-level".into()
+                    },
                 ]);
             }
             write!(f, "{t}")?;
@@ -138,9 +138,12 @@ mod tests {
     #[test]
     fn newer_nodes_are_cleaner_per_gb_for_dram_and_ssd() {
         assert!(
-            DramTechnology::Ddr4_10nm.carbon_per_gb() < DramTechnology::Ddr3_50nm.carbon_per_gb()
+            DramTechnology::Ddr4_10nm.carbon_per_gb()
+                < DramTechnology::Ddr3_50nm.carbon_per_gb()
         );
-        assert!(SsdTechnology::Nand1zTlc.carbon_per_gb() < SsdTechnology::Nand30nm.carbon_per_gb());
+        assert!(
+            SsdTechnology::Nand1zTlc.carbon_per_gb() < SsdTechnology::Nand30nm.carbon_per_gb()
+        );
     }
 
     #[test]

@@ -97,13 +97,14 @@ impl Fig8Result {
     /// Figure 8(d): metric values within one family, normalized to the
     /// newest member.
     #[must_use]
-    pub fn normalized(&self, family: SocFamily, metric: OptimizationMetric) -> Vec<(String, f64)> {
+    pub fn normalized(
+        &self,
+        family: SocFamily,
+        metric: OptimizationMetric,
+    ) -> Vec<(String, f64)> {
         let in_family: Vec<&SocRow> =
             self.rows.iter().filter(|r| r.soc.family == family).collect();
-        let newest = in_family
-            .iter()
-            .max_by_key(|r| r.soc.year)
-            .expect("family is nonempty");
+        let newest = in_family.iter().max_by_key(|r| r.soc.year).expect("family is nonempty");
         let base = metric.score(&newest.design);
         in_family
             .iter()
@@ -198,11 +199,8 @@ mod tests {
         // Figure 8(c): Snapdragon embodied carbon is non-monotonic in time.
         let r = run();
         let snapdragons: Vec<&SocRow> = {
-            let mut v: Vec<&SocRow> = r
-                .rows
-                .iter()
-                .filter(|row| row.soc.family == SocFamily::Snapdragon)
-                .collect();
+            let mut v: Vec<&SocRow> =
+                r.rows.iter().filter(|row| row.soc.family == SocFamily::Snapdragon).collect();
             v.sort_by_key(|row| row.soc.year);
             v
         };
@@ -243,11 +241,7 @@ mod tests {
     fn simulator_cross_check_tracks_reference_scores() {
         for row in run().rows {
             let ratio = row.simulated_score / row.soc.reference_score;
-            assert!(
-                (0.65..=1.35).contains(&ratio),
-                "{}: sim/ref ratio {ratio}",
-                row.soc.name
-            );
+            assert!((0.65..=1.35).contains(&ratio), "{}: sim/ref ratio {ratio}", row.soc.name);
         }
     }
 

@@ -51,16 +51,8 @@ impl Fig9Result {
     /// Metric score normalized to the CPU design.
     #[must_use]
     pub fn normalized(&self, engine: Engine, metric: OptimizationMetric) -> f64 {
-        let cpu = self
-            .engines
-            .iter()
-            .find(|e| e.engine == Engine::Cpu)
-            .expect("CPU present");
-        let target = self
-            .engines
-            .iter()
-            .find(|e| e.engine == engine)
-            .expect("engine present");
+        let cpu = self.engines.iter().find(|e| e.engine == Engine::Cpu).expect("CPU present");
+        let target = self.engines.iter().find(|e| e.engine == engine).expect("engine present");
         metric.score(&target.design) / metric.score(&cpu.design)
     }
 
@@ -70,10 +62,7 @@ impl Fig9Result {
         self.engines
             .iter()
             .min_by(|a, b| {
-                metric
-                    .score(&a.design)
-                    .partial_cmp(&metric.score(&b.design))
-                    .expect("finite")
+                metric.score(&a.design).partial_cmp(&metric.score(&b.design)).expect("finite")
             })
             .expect("nonempty")
             .engine

@@ -41,8 +41,27 @@ pub mod tables;
 
 /// Experiment IDs in paper order, as accepted by [`render_experiment`].
 pub const EXPERIMENT_IDS: [&str; 21] = [
-    "fig1", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-    "fig14", "fig15", "fig16", "fig17", "table4", "table5-11", "table12", "ablations", "datacenter", "devices", "all",
+    "fig1",
+    "fig4",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "table4",
+    "table5-11",
+    "table12",
+    "ablations",
+    "datacenter",
+    "devices",
+    "all",
 ];
 
 /// Renders one experiment (or `"all"`) to text. Returns `None` for an
@@ -83,8 +102,9 @@ pub fn render_experiment(id: &str) -> Option<String> {
     Some(out)
 }
 
-/// Serializes one experiment's typed result to pretty JSON. Supports every
-/// concrete ID (not `"all"`); returns `None` for unknown IDs or `"all"`.
+/// Serializes one experiment's typed result to pretty JSON. For `"all"`,
+/// emits a JSON array of `{"id": ..., "result": ...}` objects, one per
+/// concrete experiment in paper order. Returns `None` for unknown IDs.
 ///
 /// # Panics
 ///
@@ -116,9 +136,116 @@ pub fn render_experiment_json(id: &str) -> Option<String> {
         "ablations" => json(&ablations::run()),
         "datacenter" => json(&ext_datacenter::run()),
         "devices" => json(&ext_devices::run()),
+        "all" => {
+            let entries: Vec<serde_json::Value> = EXPERIMENT_IDS
+                .iter()
+                .filter(|id| **id != "all")
+                .map(|id| {
+                    let body = render_experiment_json(id).expect("known id");
+                    let result: serde_json::Value =
+                        serde_json::from_str(&body).expect("experiment results serialize");
+                    serde_json::json!({ "id": id, "result": result })
+                })
+                .collect();
+            json(&entries)
+        }
         _ => return None,
     };
     Some(out)
+}
+
+/// Output format accepted by [`try_render_experiment`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OutputFormat {
+    /// The human-readable rendering of [`render_experiment`].
+    Text,
+    /// The pretty JSON rendering of [`render_experiment_json`].
+    Json,
+}
+
+/// Error returned by [`try_render_experiment`]: either the ID is unknown,
+/// or the experiment itself failed (panicked) while running.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ExperimentError {
+    /// The requested ID is not in [`EXPERIMENT_IDS`].
+    UnknownId(String),
+    /// The experiment started but failed; `message` carries the panic
+    /// payload so callers can report a structured diagnostic.
+    Failed {
+        /// The experiment that failed.
+        id: String,
+        /// The captured panic message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnknownId(id) => {
+                write!(f, "unknown experiment `{id}` (try `act list`)")
+            }
+            Self::Failed { id, message } => {
+                write!(f, "experiment `{id}` failed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(msg) = payload.downcast_ref::<&str>() {
+        (*msg).to_owned()
+    } else if let Some(msg) = payload.downcast_ref::<String>() {
+        msg.clone()
+    } else {
+        "experiment panicked".to_owned()
+    }
+}
+
+/// Fault-isolating variant of [`render_experiment`] /
+/// [`render_experiment_json`]: an unknown ID or a panicking experiment
+/// becomes an [`ExperimentError`] instead of aborting the caller, so a
+/// batch run can report one failure and keep rendering the rest.
+///
+/// # Errors
+///
+/// Returns [`ExperimentError::UnknownId`] when `id` is not in
+/// [`EXPERIMENT_IDS`], and [`ExperimentError::Failed`] when the experiment
+/// panics while running.
+///
+/// # Examples
+///
+/// ```
+/// use act_experiments::{try_render_experiment, ExperimentError, OutputFormat};
+///
+/// let out = try_render_experiment("fig12", OutputFormat::Text).unwrap();
+/// assert!(!out.is_empty());
+/// let err = try_render_experiment("bogus", OutputFormat::Text).unwrap_err();
+/// assert!(matches!(err, ExperimentError::UnknownId(_)));
+/// ```
+pub fn try_render_experiment(
+    id: &str,
+    format: OutputFormat,
+) -> Result<String, ExperimentError> {
+    if !EXPERIMENT_IDS.contains(&id) {
+        return Err(ExperimentError::UnknownId(id.to_owned()));
+    }
+    let rendered = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match format {
+        OutputFormat::Text => render_experiment(id),
+        OutputFormat::Json => render_experiment_json(id),
+    }));
+    match rendered {
+        Ok(Some(out)) => Ok(out),
+        Ok(None) => Err(ExperimentError::UnknownId(id.to_owned())),
+        Err(payload) => Err(ExperimentError::Failed {
+            id: id.to_owned(),
+            message: panic_message(payload.as_ref()),
+        }),
+    }
 }
 
 #[cfg(test)]
@@ -141,12 +268,42 @@ mod tests {
     #[test]
     fn every_concrete_experiment_serializes_to_json() {
         for id in EXPERIMENT_IDS.iter().filter(|id| **id != "all") {
-            let json = render_experiment_json(id)
-                .unwrap_or_else(|| panic!("{id} should serialize"));
+            let json =
+                render_experiment_json(id).unwrap_or_else(|| panic!("{id} should serialize"));
             let parsed: serde_json::Value =
                 serde_json::from_str(&json).unwrap_or_else(|e| panic!("{id}: {e}"));
             assert!(parsed.is_object() || parsed.is_array() || parsed.is_null(), "{id}");
         }
-        assert!(render_experiment_json("all").is_none());
+    }
+
+    #[test]
+    fn all_serializes_to_a_json_array_of_every_experiment() {
+        let json = render_experiment_json("all").expect("`all` should serialize");
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let entries = parsed.as_array().expect("`all` should be a JSON array");
+        assert_eq!(entries.len(), EXPERIMENT_IDS.len() - 1);
+        for (entry, id) in entries.iter().zip(EXPERIMENT_IDS) {
+            assert_eq!(entry["id"], id, "entries should follow paper order");
+            assert!(!entry["result"].is_null(), "{id} result should be present");
+        }
+    }
+
+    #[test]
+    fn try_render_distinguishes_unknown_ids() {
+        let err = try_render_experiment("fig99", OutputFormat::Json).unwrap_err();
+        assert_eq!(err, ExperimentError::UnknownId("fig99".to_owned()));
+        assert!(err.to_string().contains("fig99"));
+        let text = try_render_experiment("fig12", OutputFormat::Text).unwrap();
+        assert_eq!(text, render_experiment("fig12").unwrap());
+        let json = try_render_experiment("fig12", OutputFormat::Json).unwrap();
+        assert_eq!(json, render_experiment_json("fig12").unwrap());
+    }
+
+    #[test]
+    fn panic_messages_are_extracted_from_payloads() {
+        let caught = std::panic::catch_unwind(|| panic!("boom: {}", 42)).unwrap_err();
+        assert_eq!(panic_message(caught.as_ref()), "boom: 42");
+        let caught = std::panic::catch_unwind(|| panic!("static payload")).unwrap_err();
+        assert_eq!(panic_message(caught.as_ref()), "static payload");
     }
 }

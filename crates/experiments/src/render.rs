@@ -38,11 +38,7 @@ impl TextTable {
     ///
     /// Panics if the row width differs from the header width.
     pub fn row(&mut self, cells: Vec<String>) {
-        assert_eq!(
-            cells.len(),
-            self.headers.len(),
-            "row width must match header width"
-        );
+        assert_eq!(cells.len(), self.headers.len(), "row width must match header width");
         self.rows.push(cells);
     }
 
@@ -69,11 +65,8 @@ impl fmt::Display for TextTable {
         }
         writeln!(f, "== {} ==", self.title)?;
         let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
-            let line: Vec<String> = cells
-                .iter()
-                .zip(&widths)
-                .map(|(c, w)| format!("{c:>w$}"))
-                .collect();
+            let line: Vec<String> =
+                cells.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect();
             writeln!(f, "  {}", line.join("  "))
         };
         write_row(f, &self.headers)?;

@@ -56,11 +56,8 @@ pub fn run() -> Table4Result {
         .map(|p| {
             let energy = p.energy_per_inference();
             let ecf_block = cpa * p.block_area();
-            let ecf_system = if p.engine == Engine::Cpu {
-                ecf_block
-            } else {
-                ecf_block + cpu_block
-            };
+            let ecf_system =
+                if p.engine == Engine::Cpu { ecf_block } else { ecf_block + cpu_block };
             Table4Row {
                 engine: p.engine,
                 profile: p,
@@ -78,10 +75,7 @@ impl Table4Result {
     /// Row lookup.
     #[must_use]
     pub fn row(&self, engine: Engine) -> &Table4Row {
-        self.rows
-            .iter()
-            .find(|r| r.engine == engine)
-            .expect("all engines present")
+        self.rows.iter().find(|r| r.engine == engine).expect("all engines present")
     }
 
     /// Lifetime utilization at which a co-processor's energy savings have

@@ -2,8 +2,10 @@
 
 use std::fmt;
 
-use act_data::{Abatement, DramTechnology, EnergySource, HddModel, Location, ProcessNode,
-    SsdTechnology, MPA};
+use act_data::{
+    Abatement, DramTechnology, EnergySource, HddModel, Location, ProcessNode, SsdTechnology,
+    MPA,
+};
 use serde::Serialize;
 
 use crate::render::TextTable;
@@ -60,13 +62,15 @@ impl fmt::Display for TablesResult {
         write!(f, "{t7}")?;
         writeln!(f, "Table 8: raw materials (MPA) = {:.0} g CO2/cm^2", MPA.as_grams_per_cm2())?;
 
-        let mut t9 = TextTable::new("Table 9: DRAM embodied carbon", &["technology", "g CO2/GB"]);
+        let mut t9 =
+            TextTable::new("Table 9: DRAM embodied carbon", &["technology", "g CO2/GB"]);
         for d in DramTechnology::ALL {
             t9.row(vec![d.to_string(), format!("{:.0}", d.carbon_per_gb().as_grams_per_gb())]);
         }
         write!(f, "{t9}")?;
 
-        let mut t10 = TextTable::new("Table 10: SSD embodied carbon", &["technology", "g CO2/GB"]);
+        let mut t10 =
+            TextTable::new("Table 10: SSD embodied carbon", &["technology", "g CO2/GB"]);
         for s in SsdTechnology::ALL {
             t10.row(vec![s.to_string(), format!("{:.2}", s.carbon_per_gb().as_grams_per_gb())]);
         }
@@ -94,7 +98,9 @@ mod tests {
     #[test]
     fn renders_all_seven_tables() {
         let s = run().to_string();
-        for title in ["Table 5", "Table 6", "Table 7", "Table 8", "Table 9", "Table 10", "Table 11"] {
+        for title in
+            ["Table 5", "Table 6", "Table 7", "Table 8", "Table 9", "Table 10", "Table 11"]
+        {
             assert!(s.contains(title), "missing {title}");
         }
     }

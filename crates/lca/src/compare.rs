@@ -55,10 +55,9 @@ pub fn table12(fab: &FabScenario) -> Vec<NodeComparison> {
                     dram(DramTechnology::Ddr3_50nm, 576.0),
                     dram(DramTechnology::Ddr4_10nm, 576.0),
                 ),
-                ("Apple iPhone 11", "Flash") => (
-                    ssd(SsdTechnology::Nand10nm, 64.0),
-                    ssd(SsdTechnology::V3NandTlc, 64.0),
-                ),
+                ("Apple iPhone 11", "Flash") => {
+                    (ssd(SsdTechnology::Nand10nm, 64.0), ssd(SsdTechnology::V3NandTlc, 64.0))
+                }
                 ("Dell R740", "Flash (31TB)") => (
                     ssd(SsdTechnology::Nand30nm, 31_744.0)
                         + dram(DramTechnology::Ddr3_50nm, 32.0),
@@ -73,10 +72,9 @@ pub fn table12(fab: &FabScenario) -> Vec<NodeComparison> {
                     ssd(SsdTechnology::Nand30nm, 64.0) + dram(DramTechnology::Ddr3_50nm, 4.0),
                     ssd(SsdTechnology::V3NandTlc, 64.0) + dram(DramTechnology::Lpddr4, 4.0),
                 ),
-                ("Dell R740", "CPU") => (
-                    soc(1388.0, ProcessNode::N28, fab),
-                    soc(1388.0, ProcessNode::N14, fab),
-                ),
+                ("Dell R740", "CPU") => {
+                    (soc(1388.0, ProcessNode::N28, fab), soc(1388.0, ProcessNode::N14, fab))
+                }
                 ("Fairphone 3", "CPU") => {
                     (soc(80.0, ProcessNode::N28, fab), soc(80.0, ProcessNode::N14, fab))
                 }

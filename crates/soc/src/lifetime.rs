@@ -1,6 +1,7 @@
 //! The Figure 14 (right) replacement model: how hardware lifetime trades
 //! embodied against operational emissions over a deployment horizon.
 
+use act_units::UnitError;
 use serde::{Deserialize, Serialize};
 
 /// Models a user who always owns one device over a fixed horizon, replacing
@@ -40,14 +41,75 @@ impl ReplacementModel {
     ///
     /// # Panics
     ///
-    /// Panics if `improvement_rate <= 1.0`.
+    /// Panics if `improvement_rate <= 1.0`. Use [`Self::try_mobile_study`]
+    /// for user-supplied rates.
     #[must_use]
     pub fn mobile_study(improvement_rate: f64) -> Self {
-        assert!(
-            improvement_rate > 1.0,
-            "hardware must improve for the study to be meaningful"
-        );
+        assert!(improvement_rate > 1.0, "hardware must improve for the study to be meaningful");
         Self { horizon_years: 10, embodied_per_device: 1.58, improvement_rate }
+    }
+
+    /// Checked variant of [`Self::mobile_study`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`UnitError`] if `improvement_rate` is NaN, infinite or not
+    /// above one.
+    pub fn try_mobile_study(improvement_rate: f64) -> Result<Self, UnitError> {
+        if !improvement_rate.is_finite() {
+            return Err(UnitError::non_finite("efficiency improvement rate", improvement_rate));
+        }
+        if improvement_rate <= 1.0 {
+            return Err(UnitError::out_of_domain(
+                "efficiency improvement rate",
+                improvement_rate,
+                "above 1.0",
+            ));
+        }
+        Ok(Self::mobile_study(improvement_rate))
+    }
+
+    /// Validates the model: a positive horizon, a finite non-negative
+    /// embodied share, and an improvement rate above one.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`UnitError`] naming the first invalid field.
+    pub fn validate(&self) -> Result<(), UnitError> {
+        if self.horizon_years == 0 {
+            return Err(UnitError::out_of_domain(
+                "deployment horizon",
+                0.0,
+                "at least one year",
+            ));
+        }
+        if !self.embodied_per_device.is_finite() {
+            return Err(UnitError::non_finite(
+                "embodied carbon per device",
+                self.embodied_per_device,
+            ));
+        }
+        if self.embodied_per_device < 0.0 {
+            return Err(UnitError::out_of_domain(
+                "embodied carbon per device",
+                self.embodied_per_device,
+                "a finite, non-negative number",
+            ));
+        }
+        if !self.improvement_rate.is_finite() {
+            return Err(UnitError::non_finite(
+                "efficiency improvement rate",
+                self.improvement_rate,
+            ));
+        }
+        if self.improvement_rate <= 1.0 {
+            return Err(UnitError::out_of_domain(
+                "efficiency improvement rate",
+                self.improvement_rate,
+                "above 1.0",
+            ));
+        }
+        Ok(())
     }
 
     /// Number of devices consumed when replacing every `lifetime_years`.
@@ -90,12 +152,20 @@ impl ReplacementModel {
     #[must_use]
     pub fn optimal_lifetime_years(&self) -> u32 {
         (1..=self.horizon_years)
-            .min_by(|a, b| {
-                self.total(*a)
-                    .partial_cmp(&self.total(*b))
-                    .expect("totals are finite")
-            })
+            .min_by(|a, b| self.total(*a).total_cmp(&self.total(*b)))
             .expect("horizon is at least one year")
+    }
+
+    /// Checked variant of [`Self::optimal_lifetime_years`]: validates the
+    /// model first, so a deserialized degenerate configuration reports an
+    /// error instead of returning a meaningless optimum.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`UnitError`] if the model does not [`validate`](Self::validate).
+    pub fn try_optimal_lifetime_years(&self) -> Result<u32, UnitError> {
+        self.validate()?;
+        Ok(self.optimal_lifetime_years())
     }
 }
 
@@ -185,5 +255,24 @@ mod tests {
     #[should_panic(expected = "must improve")]
     fn degenerate_improvement_rejected() {
         let _ = ReplacementModel::mobile_study(1.0);
+    }
+
+    #[test]
+    fn try_mobile_study_errors_instead_of_panicking() {
+        assert_eq!(
+            ReplacementModel::try_mobile_study(1.21).unwrap(),
+            ReplacementModel::mobile_study(1.21)
+        );
+        assert!(ReplacementModel::try_mobile_study(1.0).is_err());
+        assert!(ReplacementModel::try_mobile_study(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn try_optimum_validates_first() {
+        assert_eq!(model().try_optimal_lifetime_years().unwrap(), 5);
+        let degenerate = ReplacementModel { horizon_years: 0, ..model() };
+        assert!(degenerate.try_optimal_lifetime_years().is_err());
+        let poisoned = ReplacementModel { embodied_per_device: f64::NAN, ..model() };
+        assert!(poisoned.try_optimal_lifetime_years().is_err());
     }
 }

@@ -310,10 +310,7 @@ impl SocSimulator {
     pub fn run_suite(&self, suite: &[Workload]) -> SuiteResult {
         assert!(!suite.is_empty(), "suite must contain at least one workload");
         let runs: Vec<RunResult> = suite.iter().map(|w| self.run(w)).collect();
-        let log_sum: f64 = runs
-            .iter()
-            .map(|r| (SCORE_SCALE / r.time.as_seconds()).ln())
-            .sum();
+        let log_sum: f64 = runs.iter().map(|r| (SCORE_SCALE / r.time.as_seconds()).ln()).sum();
         let score = (log_sum / runs.len() as f64).exp();
         let energy = runs.iter().map(|r| r.energy).sum();
         SuiteResult { score, energy, runs }
@@ -351,13 +348,10 @@ mod tests {
     fn newer_socs_score_higher_within_each_family() {
         let suite = geekbench_suite();
         for family in SocFamily::ALL {
-            let mut socs: Vec<_> =
-                MOBILE_SOCS.iter().filter(|s| s.family == family).collect();
+            let mut socs: Vec<_> = MOBILE_SOCS.iter().filter(|s| s.family == family).collect();
             socs.sort_by_key(|s| s.year);
-            let scores: Vec<f64> = socs
-                .iter()
-                .map(|s| SocSimulator::new(s).run_suite(&suite).score)
-                .collect();
+            let scores: Vec<f64> =
+                socs.iter().map(|s| SocSimulator::new(s).run_suite(&suite).score).collect();
             for (pair, socs_pair) in scores.windows(2).zip(socs.windows(2)) {
                 assert!(
                     pair[1] > pair[0],
@@ -423,9 +417,8 @@ mod tests {
         let soc = by_name("Snapdragon 845");
         let memory = Workload::new("memory", 10.0, 0.8, 4.0);
         let perf = SocSimulator::new(soc).run(&memory);
-        let ondemand = SocSimulator::new(soc)
-            .with_governor(DvfsGovernor::OnDemand)
-            .run(&memory);
+        let ondemand =
+            SocSimulator::new(soc).with_governor(DvfsGovernor::OnDemand).run(&memory);
         assert!(ondemand.energy < perf.energy);
         assert!(ondemand.time >= perf.time);
     }
@@ -459,8 +452,8 @@ mod tests {
 
     #[test]
     fn little_first_placement_prefers_little_cores() {
-        let sim = SocSimulator::new(by_name("Snapdragon 865"))
-            .with_placement(Placement::LittleFirst);
+        let sim =
+            SocSimulator::new(by_name("Snapdragon 865")).with_placement(Placement::LittleFirst);
         let active = sim.schedule(3.0);
         assert_eq!(active[2], 3.0, "little cluster should host all threads");
         assert_eq!(active[0] + active[1], 0.0);
@@ -474,16 +467,14 @@ mod tests {
         let soc = by_name("Snapdragon 865");
         let background = Workload::new("sync", 6.0, 0.8, 2.0);
         let big = SocSimulator::new(soc).run(&background);
-        let little = SocSimulator::new(soc)
-            .with_placement(Placement::LittleFirst)
-            .run(&background);
+        let little =
+            SocSimulator::new(soc).with_placement(Placement::LittleFirst).run(&background);
         assert!(little.energy < big.energy, "little {} vs big {}", little.energy, big.energy);
         // ...while compute-bound foreground work belongs on big cores.
         let foreground = Workload::new("render", 6.0, 0.05, 2.0);
         let big_fg = SocSimulator::new(soc).run(&foreground);
-        let little_fg = SocSimulator::new(soc)
-            .with_placement(Placement::LittleFirst)
-            .run(&foreground);
+        let little_fg =
+            SocSimulator::new(soc).with_placement(Placement::LittleFirst).run(&foreground);
         assert!(big_fg.time < little_fg.time * 0.7);
     }
 

@@ -58,11 +58,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "distinct release years")]
     fn same_year_socs_rejected() {
-        let same_year: Vec<_> = MOBILE_SOCS
-            .iter()
-            .filter(|s| s.year == 2019)
-            .copied()
-            .collect();
+        let same_year: Vec<_> =
+            MOBILE_SOCS.iter().filter(|s| s.year == 2019).copied().collect();
         let _ = annual_efficiency_improvement(&same_year);
     }
 

@@ -42,17 +42,9 @@ impl Workload {
         parallelism: f64,
     ) -> Self {
         assert!(giga_instructions > 0.0, "instruction volume must be positive");
-        assert!(
-            (0.0..=1.0).contains(&memory_intensity),
-            "memory intensity must be in [0, 1]"
-        );
+        assert!((0.0..=1.0).contains(&memory_intensity), "memory intensity must be in [0, 1]");
         assert!(parallelism >= 1.0, "parallelism must be at least one thread");
-        Self {
-            name: name.into(),
-            giga_instructions,
-            memory_intensity,
-            parallelism,
-        }
+        Self { name: name.into(), giga_instructions, memory_intensity, parallelism }
     }
 
     /// Workload label.

@@ -154,7 +154,8 @@ impl FtlSimulator {
         assert!(config.blocks >= 8, "need at least 8 blocks");
         assert!(config.pages_per_block >= 1, "need at least one page per block");
         assert!(
-            config.gc_free_block_threshold >= 2 && config.gc_free_block_threshold < config.blocks / 2,
+            config.gc_free_block_threshold >= 2
+                && config.gc_free_block_threshold < config.blocks / 2,
             "GC threshold must be in [2, blocks/2)"
         );
         let physical = config.physical_pages() as usize;
@@ -216,10 +217,7 @@ impl FtlSimulator {
     ///
     /// Panics if `lpn` is outside the logical space.
     pub fn write(&mut self, lpn: u64) {
-        assert!(
-            lpn < self.config.logical_pages(),
-            "logical page {lpn} out of range"
-        );
+        assert!(lpn < self.config.logical_pages(), "logical page {lpn} out of range");
         self.stats.host_writes += 1;
         self.ensure_space();
         self.append(lpn, true);
@@ -233,10 +231,7 @@ impl FtlSimulator {
     ///
     /// Panics if `lpn` is outside the logical space.
     pub fn trim(&mut self, lpn: u64) {
-        assert!(
-            lpn < self.config.logical_pages(),
-            "logical page {lpn} out of range"
-        );
+        assert!(lpn < self.config.logical_pages(), "logical page {lpn} out of range");
         let ppn = self.l2p[lpn as usize];
         if ppn != NO_PAGE {
             let block = (ppn / u64::from(self.config.pages_per_block)) as usize;
@@ -258,7 +253,11 @@ impl FtlSimulator {
     /// space twice as warmup, resets counters, then measures over
     /// `measure_writes` trace writes.
     #[must_use]
-    pub fn measure_steady_state_wa(&mut self, trace: &mut WriteTrace, measure_writes: u64) -> f64 {
+    pub fn measure_steady_state_wa(
+        &mut self,
+        trace: &mut WriteTrace,
+        measure_writes: u64,
+    ) -> f64 {
         let warmup = self.config.logical_pages() * 2;
         self.run(trace, warmup);
         self.reset_stats();
@@ -276,10 +275,8 @@ impl FtlSimulator {
         }
         // Place into the active block.
         if self.write_pointer[self.active_block as usize] == self.config.pages_per_block {
-            self.active_block = self
-                .free_blocks
-                .pop()
-                .expect("ensure_space guarantees a free block");
+            self.active_block =
+                self.free_blocks.pop().expect("ensure_space guarantees a free block");
         }
         let block = self.active_block as usize;
         let ppn = u64::from(self.active_block) * u64::from(self.config.pages_per_block)
@@ -314,11 +311,10 @@ impl FtlSimulator {
 
     fn collect_garbage(&mut self) {
         // Victim among full, inactive blocks, per the configured policy.
-        let candidates =
-            (0..self.config.blocks).filter(|&b| {
-                b != self.active_block
-                    && self.write_pointer[b as usize] == self.config.pages_per_block
-            });
+        let candidates = (0..self.config.blocks).filter(|&b| {
+            b != self.active_block
+                && self.write_pointer[b as usize] == self.config.pages_per_block
+        });
         let victim = match self.config.gc_policy {
             GcPolicy::Greedy => candidates
                 .min_by_key(|&b| self.valid_per_block[b as usize])
@@ -426,10 +422,7 @@ mod tests {
     fn skewed_traffic_amplifies_less_than_uniform() {
         // Hot pages are invalidated quickly, so victims tend to be emptier.
         let uniform = steady_wa(0.2, TracePattern::UniformRandom);
-        let skewed = steady_wa(
-            0.2,
-            TracePattern::Skewed { hot_fraction: 0.2, hot_share: 0.8 },
-        );
+        let skewed = steady_wa(0.2, TracePattern::Skewed { hot_fraction: 0.2, hot_share: 0.8 });
         assert!(skewed < uniform, "skewed {skewed} vs uniform {uniform}");
     }
 
@@ -437,7 +430,8 @@ mod tests {
     fn greedy_gc_keeps_wear_roughly_even_under_uniform_traffic() {
         let config = FtlConfig::small(pf(0.2));
         let mut ftl = FtlSimulator::new(config);
-        let mut trace = WriteTrace::new(TracePattern::UniformRandom, config.logical_pages(), 17);
+        let mut trace =
+            WriteTrace::new(TracePattern::UniformRandom, config.logical_pages(), 17);
         ftl.run(&mut trace, 100_000);
         // Greedy GC is not an explicit wear leveler, but uniform traffic
         // keeps erases spread over all blocks: bounded relative spread.
@@ -527,15 +521,13 @@ mod tests {
         let greedy = steady_wa_with_policy(0.16, skew, GcPolicy::Greedy);
         let cb = steady_wa_with_policy(0.16, skew, GcPolicy::CostBenefit);
         assert!(cb >= 1.0 && greedy >= 1.0);
-        assert!(
-            cb < greedy * 1.4,
-            "cost-benefit {cb} drifted too far from greedy {greedy}"
-        );
+        assert!(cb < greedy * 1.4, "cost-benefit {cb} drifted too far from greedy {greedy}");
     }
 
     #[test]
     fn cost_benefit_remains_sane_under_uniform_traffic() {
-        let uniform = steady_wa_with_policy(0.2, TracePattern::UniformRandom, GcPolicy::CostBenefit);
+        let uniform =
+            steady_wa_with_policy(0.2, TracePattern::UniformRandom, GcPolicy::CostBenefit);
         let predicted = analytical_write_amplification(pf(0.2));
         assert!(uniform >= 1.0);
         assert!(uniform < predicted * 2.0, "uniform cost-benefit WA {uniform}");

@@ -43,5 +43,7 @@ mod trace;
 
 pub use ftl::{FtlConfig, FtlSimulator, FtlStats, GcPolicy};
 pub use lifetime::{analytical_write_amplification, LifetimeModel};
-pub use provisioning::{effective_embodied, OverProvisioning, OverProvisioningError};
+pub use provisioning::{
+    effective_embodied, try_effective_embodied, OverProvisioning, OverProvisioningError,
+};
 pub use trace::{TracePattern, WriteTrace};

@@ -1,5 +1,6 @@
 //! The analytical write-amplification and lifetime models.
 
+use act_units::UnitError;
 use serde::{Deserialize, Serialize};
 
 use crate::provisioning::OverProvisioning;
@@ -60,11 +61,7 @@ pub struct LifetimeModel {
 
 impl Default for LifetimeModel {
     fn default() -> Self {
-        Self {
-            program_erase_cycles: 3000.0,
-            disk_writes_per_day: 1.3,
-            compression_rate: 1.0,
-        }
+        Self { program_erase_cycles: 3000.0, disk_writes_per_day: 1.3, compression_rate: 1.0 }
     }
 }
 
@@ -80,7 +77,8 @@ impl LifetimeModel {
     ///
     /// # Panics
     ///
-    /// Panics if `wa < 1` or any model parameter is non-positive.
+    /// Panics if `wa < 1` or any model parameter is non-positive. Use
+    /// [`Self::try_lifetime_years_with_wa`] for user-supplied values.
     #[must_use]
     pub fn lifetime_years_with_wa(&self, pf: OverProvisioning, wa: f64) -> f64 {
         assert!(wa >= 1.0, "write amplification cannot be below 1, got {wa}");
@@ -92,6 +90,48 @@ impl LifetimeModel {
         );
         self.program_erase_cycles * pf.physical_capacity_factor()
             / (365.0 * self.disk_writes_per_day * wa * self.compression_rate)
+    }
+
+    /// Validates the model parameters: all must be positive and finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`UnitError`] naming the first invalid parameter.
+    pub fn validate(&self) -> Result<(), UnitError> {
+        for (name, value) in [
+            ("program/erase cycles", self.program_erase_cycles),
+            ("disk writes per day", self.disk_writes_per_day),
+            ("compression rate", self.compression_rate),
+        ] {
+            if !value.is_finite() {
+                return Err(UnitError::non_finite(name, value));
+            }
+            if value <= 0.0 {
+                return Err(UnitError::out_of_domain(name, value, "a positive number"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Checked variant of [`Self::lifetime_years_with_wa`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`UnitError`] if `wa` is non-finite or below 1, or any
+    /// model parameter is non-positive.
+    pub fn try_lifetime_years_with_wa(
+        &self,
+        pf: OverProvisioning,
+        wa: f64,
+    ) -> Result<f64, UnitError> {
+        if !wa.is_finite() {
+            return Err(UnitError::non_finite("write amplification", wa));
+        }
+        if wa < 1.0 {
+            return Err(UnitError::out_of_domain("write amplification", wa, "at least 1.0"));
+        }
+        self.validate()?;
+        Ok(self.lifetime_years_with_wa(pf, wa))
     }
 }
 
@@ -162,5 +202,20 @@ mod tests {
     #[should_panic(expected = "cannot be below 1")]
     fn sub_unity_wa_rejected() {
         let _ = LifetimeModel::default().lifetime_years_with_wa(pf(0.1), 0.5);
+    }
+
+    #[test]
+    fn try_lifetime_agrees_and_rejects_bad_inputs() {
+        let model = LifetimeModel::default();
+        assert_eq!(
+            model.try_lifetime_years_with_wa(pf(0.16), 5.0).unwrap(),
+            model.lifetime_years_with_wa(pf(0.16), 5.0)
+        );
+        assert!(model.try_lifetime_years_with_wa(pf(0.1), 0.5).is_err());
+        assert!(model.try_lifetime_years_with_wa(pf(0.1), f64::NAN).is_err());
+        let bad = LifetimeModel { compression_rate: -1.0, ..LifetimeModel::default() };
+        assert!(bad.try_lifetime_years_with_wa(pf(0.1), 2.0).is_err());
+        assert!(bad.validate().is_err());
+        assert!(LifetimeModel::default().validate().is_ok());
     }
 }

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use act_units::UnitError;
 use serde::{Deserialize, Serialize};
 
 use crate::lifetime::LifetimeModel;
@@ -22,22 +23,11 @@ use crate::lifetime::LifetimeModel;
 pub struct OverProvisioning(f64);
 
 /// Error returned for a non-positive or non-finite over-provisioning factor.
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub struct OverProvisioningError {
-    value: f64,
-}
-
-impl fmt::Display for OverProvisioningError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "over-provisioning factor must be a positive finite fraction, got {}",
-            self.value
-        )
-    }
-}
-
-impl std::error::Error for OverProvisioningError {}
+///
+/// Since the workspace-wide error migration this is the shared
+/// [`UnitError`]; the alias is kept so existing signatures keep reading
+/// naturally.
+pub type OverProvisioningError = UnitError;
 
 impl OverProvisioning {
     /// Creates a factor.
@@ -48,8 +38,10 @@ impl OverProvisioning {
     pub fn new(pf: f64) -> Result<Self, OverProvisioningError> {
         if pf.is_finite() && pf > 0.0 && pf <= 1.0 {
             Ok(Self(pf))
+        } else if !pf.is_finite() {
+            Err(UnitError::non_finite("over-provisioning factor", pf))
         } else {
-            Err(OverProvisioningError { value: pf })
+            Err(UnitError::out_of_domain("over-provisioning factor", pf, "within (0, 1]"))
         }
     }
 
@@ -102,7 +94,8 @@ impl fmt::Display for OverProvisioning {
 ///
 /// # Panics
 ///
-/// Panics if `horizon_years` is not positive.
+/// Panics if `horizon_years` is not positive. Use [`try_effective_embodied`]
+/// for user-supplied horizons.
 ///
 /// # Examples
 ///
@@ -125,6 +118,31 @@ pub fn effective_embodied(
     let lifetime = model.lifetime_years(pf);
     let replacements = (horizon_years / lifetime).max(1.0);
     pf.physical_capacity_factor() * replacements
+}
+
+/// Checked variant of [`effective_embodied`].
+///
+/// # Errors
+///
+/// Returns a [`UnitError`] if `horizon_years` is non-finite or not positive,
+/// or the lifetime model's parameters are invalid.
+pub fn try_effective_embodied(
+    pf: OverProvisioning,
+    horizon_years: f64,
+    model: &LifetimeModel,
+) -> Result<f64, UnitError> {
+    if !horizon_years.is_finite() {
+        return Err(UnitError::non_finite("deployment horizon", horizon_years));
+    }
+    if horizon_years <= 0.0 {
+        return Err(UnitError::out_of_domain(
+            "deployment horizon",
+            horizon_years,
+            "a positive number of years",
+        ));
+    }
+    model.validate()?;
+    Ok(effective_embodied(pf, horizon_years, model))
 }
 
 #[cfg(test)]
@@ -188,5 +206,29 @@ mod tests {
             0.0,
             &LifetimeModel::default(),
         );
+    }
+
+    #[test]
+    fn try_effective_embodied_agrees_and_rejects_bad_horizons() {
+        let pf = OverProvisioning::new(0.16).unwrap();
+        let model = LifetimeModel::default();
+        assert_eq!(
+            try_effective_embodied(pf, 2.0, &model).unwrap(),
+            effective_embodied(pf, 2.0, &model)
+        );
+        assert!(try_effective_embodied(pf, 0.0, &model).is_err());
+        assert!(try_effective_embodied(pf, f64::NAN, &model).is_err());
+        let bad = LifetimeModel { disk_writes_per_day: 0.0, ..LifetimeModel::default() };
+        assert!(try_effective_embodied(pf, 2.0, &bad).is_err());
+    }
+
+    #[test]
+    fn error_classifies_cause() {
+        use act_units::UnitErrorKind;
+        assert_eq!(
+            OverProvisioning::new(f64::NAN).unwrap_err().kind(),
+            UnitErrorKind::NonFinite
+        );
+        assert_eq!(OverProvisioning::new(1.5).unwrap_err().kind(), UnitErrorKind::OutOfDomain);
     }
 }

@@ -57,10 +57,7 @@ impl WriteTrace {
                 (0.0..1.0).contains(&hot_fraction) && hot_fraction > 0.0,
                 "hot_fraction must be in (0, 1)"
             );
-            assert!(
-                (0.0..=1.0).contains(&hot_share),
-                "hot_share must be in [0, 1]"
-            );
+            assert!((0.0..=1.0).contains(&hot_share), "hot_share must be in [0, 1]");
         }
         Self { pattern, logical_pages, rng: StdRng::seed_from_u64(seed), cursor: 0 }
     }
@@ -155,10 +152,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "hot_fraction")]
     fn bad_skew_rejected() {
-        let _ = WriteTrace::new(
-            TracePattern::Skewed { hot_fraction: 1.5, hot_share: 0.5 },
-            10,
-            0,
-        );
+        let _ =
+            WriteTrace::new(TracePattern::Skewed { hot_fraction: 1.5, hot_share: 0.5 }, 10, 0);
     }
 }

@@ -1,0 +1,137 @@
+//! The unit-level validation error: the leaf of the workspace error taxonomy.
+//!
+//! Every fallible `try_*` constructor in this crate — and the quantity-level
+//! validation hooks in the model crates — reports failures as a [`UnitError`]
+//! naming the offending quantity, the rejected value and the expected domain.
+//! Higher layers (`act-core`'s `ModelError`) wrap it and expose it through
+//! [`std::error::Error::source`], so a zero fab yield rejected here is still
+//! identifiable after it has bubbled through a sweep.
+
+use std::fmt;
+
+/// Machine-readable classification of a [`UnitError`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UnitErrorKind {
+    /// The value was NaN or infinite.
+    NonFinite,
+    /// The value was finite but outside the quantity's valid domain.
+    OutOfDomain,
+}
+
+/// Error returned when a physical quantity is constructed from — or evaluates
+/// to — a value outside its valid domain.
+///
+/// # Examples
+///
+/// ```
+/// use act_units::{MassCo2, UnitError, UnitErrorKind};
+///
+/// let err = MassCo2::try_grams(f64::NAN).unwrap_err();
+/// assert_eq!(err.kind(), UnitErrorKind::NonFinite);
+/// assert!(err.value().is_nan());
+/// assert!(err.to_string().contains("MassCo2"));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct UnitError {
+    kind: UnitErrorKind,
+    quantity: &'static str,
+    value: f64,
+    expected: &'static str,
+}
+
+impl UnitError {
+    /// A NaN or infinite value where a finite one is required.
+    #[must_use]
+    pub fn non_finite(quantity: &'static str, value: f64) -> Self {
+        Self { kind: UnitErrorKind::NonFinite, quantity, value, expected: "a finite number" }
+    }
+
+    /// A finite value outside the quantity's domain; `expected` describes the
+    /// valid domain (e.g. `"within (0, 1]"`).
+    #[must_use]
+    pub fn out_of_domain(quantity: &'static str, value: f64, expected: &'static str) -> Self {
+        Self { kind: UnitErrorKind::OutOfDomain, quantity, value, expected }
+    }
+
+    /// What went wrong.
+    #[must_use]
+    pub fn kind(&self) -> UnitErrorKind {
+        self.kind
+    }
+
+    /// The quantity (or parameter) that was being validated.
+    #[must_use]
+    pub fn quantity(&self) -> &'static str {
+        self.quantity
+    }
+
+    /// The rejected value.
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Description of the valid domain.
+    #[must_use]
+    pub fn expected(&self) -> &'static str {
+        self.expected
+    }
+}
+
+impl fmt::Display for UnitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} must be {}, got {}", self.quantity, self.expected, self.value)
+    }
+}
+
+impl std::error::Error for UnitError {}
+
+/// Validates a constructor magnitude: finite and non-negative.
+pub(crate) fn check_magnitude(quantity: &'static str, value: f64) -> Result<f64, UnitError> {
+    if !value.is_finite() {
+        Err(UnitError::non_finite(quantity, value))
+    } else if value < 0.0 {
+        Err(UnitError::out_of_domain(quantity, value, "a finite, non-negative number"))
+    } else {
+        Ok(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_quantity_domain_and_value() {
+        let err = UnitError::out_of_domain("fab yield", 2.0, "within (0, 1]");
+        assert_eq!(err.to_string(), "fab yield must be within (0, 1], got 2");
+        assert_eq!(err.kind(), UnitErrorKind::OutOfDomain);
+        assert_eq!(err.quantity(), "fab yield");
+        assert!((err.value() - 2.0).abs() < 1e-12);
+        assert_eq!(err.expected(), "within (0, 1]");
+    }
+
+    #[test]
+    fn non_finite_constructor() {
+        let err = UnitError::non_finite("energy", f64::INFINITY);
+        assert_eq!(err.kind(), UnitErrorKind::NonFinite);
+        assert!(err.to_string().contains("finite"));
+    }
+
+    #[test]
+    fn check_magnitude_domains() {
+        assert!(check_magnitude("q", 0.0).is_ok());
+        assert!(check_magnitude("q", 1.5).is_ok());
+        assert_eq!(check_magnitude("q", -1.0).unwrap_err().kind(), UnitErrorKind::OutOfDomain);
+        assert_eq!(
+            check_magnitude("q", f64::NAN).unwrap_err().kind(),
+            UnitErrorKind::NonFinite
+        );
+    }
+
+    #[test]
+    fn implements_std_error() {
+        let err: Box<dyn std::error::Error> = Box::new(UnitError::non_finite("q", f64::NAN));
+        assert!(err.source().is_none());
+    }
+}

@@ -4,6 +4,8 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use crate::UnitError;
+
 /// A dimensionless value guaranteed to lie within `[0.0, 1.0]`.
 ///
 /// The ACT model uses fractions for fab yield `Y`, lifetime utilization,
@@ -26,26 +28,11 @@ use serde::{Deserialize, Serialize};
 pub struct Fraction(f64);
 
 /// Error returned when constructing a [`Fraction`] outside `[0, 1]`.
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub struct FractionError {
-    value: f64,
-}
-
-impl FractionError {
-    /// The rejected value.
-    #[must_use]
-    pub fn value(&self) -> f64 {
-        self.value
-    }
-}
-
-impl fmt::Display for FractionError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "fraction must lie within [0, 1], got {}", self.value)
-    }
-}
-
-impl std::error::Error for FractionError {}
+///
+/// Since the workspace-wide error migration this is the shared
+/// [`UnitError`]; the alias is kept so existing signatures keep reading
+/// naturally.
+pub type FractionError = UnitError;
 
 impl Fraction {
     /// The zero fraction.
@@ -61,8 +48,10 @@ impl Fraction {
     pub fn new(value: f64) -> Result<Self, FractionError> {
         if value.is_finite() && (0.0..=1.0).contains(&value) {
             Ok(Self(value))
+        } else if !value.is_finite() {
+            Err(UnitError::non_finite("fraction", value))
         } else {
-            Err(FractionError { value })
+            Err(UnitError::out_of_domain("fraction", value, "within [0, 1]"))
         }
     }
 

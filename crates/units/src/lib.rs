@@ -22,14 +22,38 @@
 //! let die = Area::square_millimeters(94.0);
 //! assert!((die.as_square_centimeters() - 0.94).abs() < 1e-12);
 //! ```
+//!
+//! # Panicking vs. fallible construction
+//!
+//! Every quantity has two constructor families:
+//!
+//! * The infallible ones (`MassCo2::grams`, `Area::square_millimeters`, …)
+//!   are `const`, debug-assert finiteness, and are meant for literals and
+//!   trusted model constants.
+//! * The `try_*` ones (`MassCo2::try_grams`, `Area::try_square_millimeters`,
+//!   `Quantity::try_from_base`, …) validate untrusted inputs, rejecting NaN,
+//!   infinite and negative magnitudes with a [`UnitError`].
+//!
+//! Computed values can still be poisoned by arithmetic (division by a zero
+//! quantity); the `ensure_finite` method on every quantity converts such
+//! poisoning into a [`UnitError`] instead of letting it propagate silently.
+//!
+//! ```
+//! use act_units::{Area, UnitErrorKind};
+//!
+//! let err = Area::try_square_millimeters(f64::NAN).unwrap_err();
+//! assert_eq!(err.kind(), UnitErrorKind::NonFinite);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod error;
 mod fraction;
 mod quantity;
 mod rates;
 
+pub use error::{UnitError, UnitErrorKind};
 pub use fraction::{Fraction, FractionError};
 pub use quantity::{Area, Capacity, Energy, MassCo2, Power, Throughput, TimeSpan};
 pub use rates::{CarbonIntensity, EnergyPerArea, MassPerArea, MassPerCapacity};

@@ -32,15 +32,54 @@ macro_rules! quantity {
             }
 
             /// Constructs directly from the base unit magnitude.
+            ///
+            /// Debug builds assert the magnitude is finite; release builds
+            /// accept any value. Use [`Self::try_from_base`] to validate
+            /// untrusted inputs in every build.
             #[must_use]
             pub const fn from_base(value: f64) -> Self {
+                debug_assert!(
+                    value.is_finite(),
+                    concat!("non-finite ", stringify!($name), " magnitude")
+                );
                 Self(value)
+            }
+
+            /// Fallible constructor from the base unit magnitude.
+            ///
+            /// # Errors
+            ///
+            /// Returns a [`crate::UnitError`] if `value` is NaN, infinite or
+            /// negative.
+            pub fn try_from_base(value: f64) -> Result<Self, crate::UnitError> {
+                crate::error::check_magnitude(stringify!($name), value).map(Self)
             }
 
             /// Returns `true` if the magnitude is a finite number.
             #[must_use]
             pub fn is_finite(self) -> bool {
                 self.0.is_finite()
+            }
+
+            /// Poisoning check: passes the quantity through unchanged if its
+            /// magnitude is finite, and reports a [`crate::UnitError`] naming
+            /// `context` otherwise.
+            ///
+            /// Non-finite magnitudes cannot arise from `try_*` constructors,
+            /// but arithmetic (division by a zero quantity, overflow) can
+            /// still poison a value; checked model entry points call this
+            /// before letting results escape.
+            ///
+            /// # Errors
+            ///
+            /// Returns a [`crate::UnitError`] if the magnitude is NaN or
+            /// infinite.
+            pub fn ensure_finite(self, context: &'static str) -> Result<Self, crate::UnitError> {
+                if self.0.is_finite() {
+                    Ok(self)
+                } else {
+                    Err(crate::UnitError::non_finite(context, self.0))
+                }
             }
 
             /// The smaller of two quantities.
@@ -173,25 +212,52 @@ impl MassCo2 {
     /// Creates a mass from grams of CO₂.
     #[must_use]
     pub const fn grams(g: f64) -> Self {
-        Self(g)
+        Self::from_base(g)
     }
 
     /// Creates a mass from kilograms of CO₂.
     #[must_use]
     pub const fn kilograms(kg: f64) -> Self {
-        Self(kg * 1e3)
+        Self::from_base(kg * 1e3)
     }
 
     /// Creates a mass from metric tonnes of CO₂.
     #[must_use]
     pub const fn tonnes(t: f64) -> Self {
-        Self(t * 1e6)
+        Self::from_base(t * 1e6)
     }
 
     /// Creates a mass from micrograms of CO₂ (per-inference footprints).
     #[must_use]
     pub const fn micrograms(ug: f64) -> Self {
-        Self(ug * 1e-6)
+        Self::from_base(ug * 1e-6)
+    }
+
+    /// Validating variant of [`Self::grams`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects NaN, infinite and negative masses with a [`crate::UnitError`].
+    pub fn try_grams(g: f64) -> Result<Self, crate::UnitError> {
+        Self::try_from_base(g)
+    }
+
+    /// Validating variant of [`Self::kilograms`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects NaN, infinite and negative masses with a [`crate::UnitError`].
+    pub fn try_kilograms(kg: f64) -> Result<Self, crate::UnitError> {
+        Self::try_from_base(kg * 1e3)
+    }
+
+    /// Validating variant of [`Self::tonnes`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects NaN, infinite and negative masses with a [`crate::UnitError`].
+    pub fn try_tonnes(t: f64) -> Result<Self, crate::UnitError> {
+        Self::try_from_base(t * 1e6)
     }
 
     /// Magnitude in grams.
@@ -229,25 +295,45 @@ impl Energy {
     /// Creates an energy from joules.
     #[must_use]
     pub const fn joules(j: f64) -> Self {
-        Self(j)
+        Self::from_base(j)
     }
 
     /// Creates an energy from millijoules.
     #[must_use]
     pub const fn millijoules(mj: f64) -> Self {
-        Self(mj * 1e-3)
+        Self::from_base(mj * 1e-3)
     }
 
     /// Creates an energy from watt-hours.
     #[must_use]
     pub const fn watt_hours(wh: f64) -> Self {
-        Self(wh * 3600.0)
+        Self::from_base(wh * 3600.0)
     }
 
     /// Creates an energy from kilowatt-hours.
     #[must_use]
     pub const fn kilowatt_hours(kwh: f64) -> Self {
-        Self(kwh * JOULES_PER_KWH)
+        Self::from_base(kwh * JOULES_PER_KWH)
+    }
+
+    /// Validating variant of [`Self::joules`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects NaN, infinite and negative energies with a
+    /// [`crate::UnitError`].
+    pub fn try_joules(j: f64) -> Result<Self, crate::UnitError> {
+        Self::try_from_base(j)
+    }
+
+    /// Validating variant of [`Self::kilowatt_hours`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects NaN, infinite and negative energies with a
+    /// [`crate::UnitError`].
+    pub fn try_kilowatt_hours(kwh: f64) -> Result<Self, crate::UnitError> {
+        Self::try_from_base(kwh * JOULES_PER_KWH)
     }
 
     /// Magnitude in joules.
@@ -286,13 +372,22 @@ impl Power {
     /// Creates a power from watts.
     #[must_use]
     pub const fn watts(w: f64) -> Self {
-        Self(w)
+        Self::from_base(w)
     }
 
     /// Creates a power from milliwatts.
     #[must_use]
     pub const fn milliwatts(mw: f64) -> Self {
-        Self(mw * 1e-3)
+        Self::from_base(mw * 1e-3)
+    }
+
+    /// Validating variant of [`Self::watts`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects NaN, infinite and negative powers with a [`crate::UnitError`].
+    pub fn try_watts(w: f64) -> Result<Self, crate::UnitError> {
+        Self::try_from_base(w)
     }
 
     /// Magnitude in watts.
@@ -325,13 +420,31 @@ impl Area {
     /// Creates an area from square centimeters.
     #[must_use]
     pub const fn square_centimeters(cm2: f64) -> Self {
-        Self(cm2)
+        Self::from_base(cm2)
     }
 
     /// Creates an area from square millimeters (the die-size unit).
     #[must_use]
     pub const fn square_millimeters(mm2: f64) -> Self {
-        Self(mm2 / 100.0)
+        Self::from_base(mm2 / 100.0)
+    }
+
+    /// Validating variant of [`Self::square_centimeters`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects NaN, infinite and negative areas with a [`crate::UnitError`].
+    pub fn try_square_centimeters(cm2: f64) -> Result<Self, crate::UnitError> {
+        Self::try_from_base(cm2)
+    }
+
+    /// Validating variant of [`Self::square_millimeters`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects NaN, infinite and negative areas with a [`crate::UnitError`].
+    pub fn try_square_millimeters(mm2: f64) -> Result<Self, crate::UnitError> {
+        Self::try_from_base(mm2 / 100.0)
     }
 
     /// Magnitude in square centimeters.
@@ -363,13 +476,33 @@ impl Capacity {
     /// Creates a capacity from gigabytes.
     #[must_use]
     pub const fn gigabytes(gb: f64) -> Self {
-        Self(gb)
+        Self::from_base(gb)
     }
 
     /// Creates a capacity from terabytes (1 TB = 1024 GB).
     #[must_use]
     pub const fn terabytes(tb: f64) -> Self {
-        Self(tb * 1024.0)
+        Self::from_base(tb * 1024.0)
+    }
+
+    /// Validating variant of [`Self::gigabytes`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects NaN, infinite and negative capacities with a
+    /// [`crate::UnitError`].
+    pub fn try_gigabytes(gb: f64) -> Result<Self, crate::UnitError> {
+        Self::try_from_base(gb)
+    }
+
+    /// Validating variant of [`Self::terabytes`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects NaN, infinite and negative capacities with a
+    /// [`crate::UnitError`].
+    pub fn try_terabytes(tb: f64) -> Result<Self, crate::UnitError> {
+        Self::try_from_base(tb * 1024.0)
     }
 
     /// Magnitude in gigabytes.
@@ -397,31 +530,51 @@ impl TimeSpan {
     /// Creates a time span from seconds.
     #[must_use]
     pub const fn seconds(s: f64) -> Self {
-        Self(s)
+        Self::from_base(s)
     }
 
     /// Creates a time span from milliseconds.
     #[must_use]
     pub const fn milliseconds(ms: f64) -> Self {
-        Self(ms * 1e-3)
+        Self::from_base(ms * 1e-3)
     }
 
     /// Creates a time span from hours.
     #[must_use]
     pub const fn hours(h: f64) -> Self {
-        Self(h * 3600.0)
+        Self::from_base(h * 3600.0)
     }
 
     /// Creates a time span from days.
     #[must_use]
     pub const fn days(d: f64) -> Self {
-        Self(d * 24.0 * 3600.0)
+        Self::from_base(d * 24.0 * 3600.0)
     }
 
     /// Creates a time span from 365-day years (the ACT lifetime convention).
     #[must_use]
     pub const fn years(y: f64) -> Self {
-        Self(y * SECONDS_PER_YEAR)
+        Self::from_base(y * SECONDS_PER_YEAR)
+    }
+
+    /// Validating variant of [`Self::seconds`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects NaN, infinite and negative durations with a
+    /// [`crate::UnitError`].
+    pub fn try_seconds(s: f64) -> Result<Self, crate::UnitError> {
+        Self::try_from_base(s)
+    }
+
+    /// Validating variant of [`Self::years`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects NaN, infinite and negative durations with a
+    /// [`crate::UnitError`].
+    pub fn try_years(y: f64) -> Result<Self, crate::UnitError> {
+        Self::try_from_base(y * SECONDS_PER_YEAR)
     }
 
     /// Magnitude in seconds.
@@ -462,7 +615,16 @@ impl Throughput {
     /// Creates a throughput from events per second.
     #[must_use]
     pub const fn per_second(rate: f64) -> Self {
-        Self(rate)
+        Self::from_base(rate)
+    }
+
+    /// Validating variant of [`Self::per_second`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects NaN, infinite and negative rates with a [`crate::UnitError`].
+    pub fn try_per_second(rate: f64) -> Result<Self, crate::UnitError> {
+        Self::try_from_base(rate)
     }
 
     /// Magnitude in events per second.
@@ -643,5 +805,38 @@ mod tests {
     fn finiteness_check() {
         assert!(MassCo2::grams(1.0).is_finite());
         assert!(!(MassCo2::grams(1.0) / 0.0).is_finite());
+    }
+
+    #[test]
+    fn try_constructors_accept_valid_magnitudes() {
+        assert_eq!(MassCo2::try_grams(2.5).unwrap(), MassCo2::grams(2.5));
+        assert_eq!(MassCo2::try_kilograms(1.0).unwrap(), MassCo2::kilograms(1.0));
+        assert_eq!(Energy::try_joules(0.0).unwrap(), Energy::ZERO);
+        assert_eq!(Power::try_watts(6.6).unwrap(), Power::watts(6.6));
+        assert_eq!(Area::try_square_millimeters(90.0).unwrap(), Area::square_millimeters(90.0));
+        assert_eq!(Capacity::try_gigabytes(8.0).unwrap(), Capacity::gigabytes(8.0));
+        assert_eq!(TimeSpan::try_years(3.0).unwrap(), TimeSpan::years(3.0));
+        assert_eq!(Throughput::try_per_second(30.0).unwrap(), Throughput::per_second(30.0));
+    }
+
+    #[test]
+    fn try_constructors_reject_poisoned_magnitudes() {
+        assert!(MassCo2::try_grams(f64::NAN).is_err());
+        assert!(MassCo2::try_tonnes(f64::INFINITY).is_err());
+        assert!(Energy::try_kilowatt_hours(f64::NEG_INFINITY).is_err());
+        assert!(Power::try_watts(-1.0).is_err());
+        assert!(Area::try_square_centimeters(-0.5).is_err());
+        assert!(Capacity::try_terabytes(f64::NAN).is_err());
+        assert!(TimeSpan::try_seconds(-3600.0).is_err());
+        assert!(Throughput::try_per_second(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn ensure_finite_passes_and_poisons() {
+        let ok = MassCo2::grams(1.0).ensure_finite("mass").unwrap();
+        assert_eq!(ok, MassCo2::grams(1.0));
+        let err = (MassCo2::grams(1.0) / 0.0).ensure_finite("mass").unwrap_err();
+        assert_eq!(err.quantity(), "mass");
+        assert_eq!(err.kind(), crate::UnitErrorKind::NonFinite);
     }
 }

@@ -38,6 +38,16 @@ impl CarbonIntensity {
         self.base()
     }
 
+    /// Validating variant of [`Self::grams_per_kwh`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects NaN, infinite and negative intensities with a
+    /// [`crate::UnitError`].
+    pub fn try_grams_per_kwh(g: f64) -> Result<Self, crate::UnitError> {
+        Self::try_from_base(g)
+    }
+
     /// Linear blend of two intensities: `share` of `other`, the rest of
     /// `self`. Used for partially renewable grids (e.g. a fab procuring 25 %
     /// solar on top of the Taiwan grid).
@@ -47,13 +57,25 @@ impl CarbonIntensity {
     /// Panics if `share` is not within `0.0..=1.0`.
     #[must_use]
     pub fn blended_with(self, other: Self, share: f64) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&share),
-            "blend share must be within [0, 1], got {share}"
-        );
+        assert!((0.0..=1.0).contains(&share), "blend share must be within [0, 1], got {share}");
         Self::grams_per_kwh(
             self.as_grams_per_kwh() * (1.0 - share) + other.as_grams_per_kwh() * share,
         )
+    }
+
+    /// Fallible variant of [`Self::blended_with`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`crate::UnitError`] if `share` is NaN or outside `[0, 1]`.
+    pub fn try_blended_with(self, other: Self, share: f64) -> Result<Self, crate::UnitError> {
+        if !share.is_finite() {
+            return Err(crate::UnitError::non_finite("blend share", share));
+        }
+        if !(0.0..=1.0).contains(&share) {
+            return Err(crate::UnitError::out_of_domain("blend share", share, "within [0, 1]"));
+        }
+        Ok(self.blended_with(other, share))
     }
 }
 
@@ -97,6 +119,15 @@ impl EnergyPerArea {
     #[must_use]
     pub const fn as_kwh_per_cm2(self) -> f64 {
         self.base()
+    }
+
+    /// Validating variant of [`Self::kwh_per_cm2`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects NaN, infinite and negative rates with a [`crate::UnitError`].
+    pub fn try_kwh_per_cm2(kwh: f64) -> Result<Self, crate::UnitError> {
+        Self::try_from_base(kwh)
     }
 }
 
@@ -153,6 +184,15 @@ impl MassPerArea {
     pub fn as_kilograms_per_cm2(self) -> f64 {
         self.base() / 1e3
     }
+
+    /// Validating variant of [`Self::grams_per_cm2`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects NaN, infinite and negative rates with a [`crate::UnitError`].
+    pub fn try_grams_per_cm2(g: f64) -> Result<Self, crate::UnitError> {
+        Self::try_from_base(g)
+    }
 }
 
 impl Mul<Area> for MassPerArea {
@@ -195,6 +235,15 @@ impl MassPerCapacity {
     #[must_use]
     pub const fn as_grams_per_gb(self) -> f64 {
         self.base()
+    }
+
+    /// Validating variant of [`Self::grams_per_gb`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects NaN, infinite and negative rates with a [`crate::UnitError`].
+    pub fn try_grams_per_gb(g: f64) -> Result<Self, crate::UnitError> {
+        Self::try_from_base(g)
     }
 }
 
@@ -274,13 +323,7 @@ mod tests {
 
     #[test]
     fn rate_display() {
-        assert_eq!(
-            format!("{:.0}", CarbonIntensity::grams_per_kwh(820.0)),
-            "820 g CO2/kWh"
-        );
-        assert_eq!(
-            format!("{:.2}", MassPerCapacity::grams_per_gb(48.0)),
-            "48.00 g CO2/GB"
-        );
+        assert_eq!(format!("{:.0}", CarbonIntensity::grams_per_kwh(820.0)), "820 g CO2/kWh");
+        assert_eq!(format!("{:.2}", MassPerCapacity::grams_per_gb(48.0)), "48.00 g CO2/GB");
     }
 }

@@ -2,9 +2,15 @@
 
 use act_units::{
     Area, Capacity, CarbonIntensity, Energy, Fraction, MassCo2, MassPerArea, MassPerCapacity,
-    Power, TimeSpan,
+    Power, Throughput, TimeSpan, UnitErrorKind,
 };
 use proptest::prelude::*;
+
+/// Magnitudes that every `try_*` constructor must reject: NaN, ±∞ and
+/// finite negatives.
+fn invalid_magnitude() -> impl Strategy<Value = f64> {
+    prop_oneof![Just(f64::NAN), Just(f64::INFINITY), Just(f64::NEG_INFINITY), -1e12f64..-1e-12,]
+}
 
 fn finite() -> impl Strategy<Value = f64> {
     -1e9..1e9
@@ -120,5 +126,54 @@ proptest! {
         let a = MassCo2::grams(g);
         let b = MassCo2::grams(g * k);
         prop_assert!((b.ratio(a) - k).abs() <= k * 1e-9);
+    }
+
+    #[test]
+    fn try_constructors_reject_invalid_magnitudes(v in invalid_magnitude()) {
+        prop_assert!(MassCo2::try_grams(v).is_err());
+        prop_assert!(MassCo2::try_kilograms(v).is_err());
+        prop_assert!(MassCo2::try_tonnes(v).is_err());
+        prop_assert!(Energy::try_joules(v).is_err());
+        prop_assert!(Energy::try_kilowatt_hours(v).is_err());
+        prop_assert!(Power::try_watts(v).is_err());
+        prop_assert!(Area::try_square_centimeters(v).is_err());
+        prop_assert!(Area::try_square_millimeters(v).is_err());
+        prop_assert!(Capacity::try_gigabytes(v).is_err());
+        prop_assert!(Capacity::try_terabytes(v).is_err());
+        prop_assert!(TimeSpan::try_seconds(v).is_err());
+        prop_assert!(TimeSpan::try_years(v).is_err());
+        prop_assert!(Throughput::try_per_second(v).is_err());
+        prop_assert!(CarbonIntensity::try_grams_per_kwh(v).is_err());
+    }
+
+    #[test]
+    fn try_constructor_error_kind_matches_cause(v in invalid_magnitude()) {
+        let err = MassCo2::try_grams(v).unwrap_err();
+        let expected = if v.is_finite() {
+            UnitErrorKind::OutOfDomain
+        } else {
+            UnitErrorKind::NonFinite
+        };
+        prop_assert_eq!(err.kind(), expected);
+        // The error always carries the offending value verbatim.
+        prop_assert!(err.value().is_nan() == v.is_nan());
+        if !v.is_nan() {
+            prop_assert_eq!(err.value(), v);
+        }
+    }
+
+    #[test]
+    fn try_constructors_accept_valid_magnitudes(v in 0.0f64..1e12) {
+        let m = MassCo2::try_grams(v).unwrap();
+        prop_assert!((m.as_grams() - v).abs() <= v.abs() * 1e-12);
+        prop_assert!(Energy::try_kilowatt_hours(v).is_ok());
+        prop_assert!(Area::try_square_millimeters(v).is_ok());
+        prop_assert!(TimeSpan::try_years(v).is_ok());
+    }
+
+    #[test]
+    fn ensure_finite_accepts_finite_products(w in positive(), s in positive()) {
+        let e = Power::watts(w) * TimeSpan::seconds(s);
+        prop_assert!(e.ensure_finite("energy").is_ok());
     }
 }

@@ -55,7 +55,12 @@ fn main() {
             .iter()
             .min_by(|a, b| metric.score(&a.1).partial_cmp(&metric.score(&b.1)).unwrap())
             .unwrap();
-        println!("  {:<5} -> {:>4} MACs ({})", metric.to_string(), best.0.macs(), metric.use_case());
+        println!(
+            "  {:<5} -> {:>4} MACs ({})",
+            metric.to_string(),
+            best.0.macs(),
+            metric.use_case()
+        );
     }
 
     // The QoS-driven carbon optimum.

@@ -39,9 +39,8 @@ fn main() {
     // Perspective: the server's own embodied carbon, amortized per day of
     // a 4-year life, is on the same scale as everything scheduling can
     // save — so manufacturing can no longer be ignored (the ACT thesis).
-    let server = SystemSpec::from_bom(&devices::DELL_R740)
-        .embodied(&FabScenario::default())
-        .total();
+    let server =
+        SystemSpec::from_bom(&devices::DELL_R740).embodied(&FabScenario::default()).total();
     let per_day = server * (1.0 / (4.0 * 365.0));
     println!(
         "Server embodied carbon: {:.0} kg total, {:.0} g per day of a 4-year life.",

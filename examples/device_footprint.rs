@@ -13,10 +13,9 @@ use act::lca::{table12, top_down_ic_estimate, EioLca};
 fn main() {
     let fab = FabScenario::default();
 
-    for (bom, report) in [
-        (&devices::IPHONE_11, &reports::IPHONE_11),
-        (&devices::IPAD, &reports::IPAD),
-    ] {
+    for (bom, report) in
+        [(&devices::IPHONE_11, &reports::IPHONE_11), (&devices::IPAD, &reports::IPAD)]
+    {
         let act = SystemSpec::from_bom(bom).embodied(&fab);
         println!("{} — ACT bottom-up estimate:", bom.name);
         for component in act.components() {

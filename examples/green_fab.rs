@@ -46,7 +46,8 @@ fn main() {
     let extra_embodied = cpa * profile(Engine::Gpu).block_area();
     let saving = profile(Engine::Cpu).energy_per_inference()
         - profile(Engine::Gpu).energy_per_inference();
-    for source in [EnergySource::Coal, EnergySource::Gas, EnergySource::Solar, EnergySource::Wind]
+    for source in
+        [EnergySource::Coal, EnergySource::Gas, EnergySource::Solar, EnergySource::Wind]
     {
         let op = OperationalModel::new(source.carbon_intensity());
         let per_inference = op.footprint(saving);

@@ -27,12 +27,8 @@ fn main() {
             .embodied(&fab)
             .total();
         let delay = TimeSpan::seconds(1e6 / result.score);
-        let point = DesignPoint {
-            embodied,
-            energy: soc.tdp() * delay,
-            delay,
-            area: soc.die_area(),
-        };
+        let point =
+            DesignPoint { embodied, energy: soc.tdp() * delay, delay, area: soc.die_area() };
         rows.push((soc, result, point));
     }
 
@@ -59,9 +55,7 @@ fn main() {
             .unwrap();
         println!("  {:<5} -> {}", metric.to_string(), best.0.name);
     }
-    let min_embodied = rows
-        .iter()
-        .min_by(|a, b| a.2.embodied.partial_cmp(&b.2.embodied).unwrap())
-        .unwrap();
+    let min_embodied =
+        rows.iter().min_by(|a, b| a.2.embodied.partial_cmp(&b.2.embodied).unwrap()).unwrap();
     println!("  lowest embodied -> {}", min_embodied.0.name);
 }

@@ -44,16 +44,12 @@ fn main() {
         spec.embodied(&fab).total().as_kilograms()
     });
 
+    println!("\nMonte Carlo over yield x fab CI x abatement ({} samples):", stats.samples);
     println!(
-        "\nMonte Carlo over yield x fab CI x abatement ({} samples):",
-        stats.samples
+        "  mean {:.1} kg   p05 {:.1} kg   median {:.1} kg   p95 {:.1} kg",
+        stats.mean, stats.p05, stats.p50, stats.p95
     );
-    println!("  mean {:.1} kg   p05 {:.1} kg   median {:.1} kg   p95 {:.1} kg",
-        stats.mean, stats.p05, stats.p50, stats.p95);
-    println!(
-        "  relative p05-p95 spread: {:.0}% of the mean",
-        stats.relative_spread() * 100.0
-    );
+    println!("  relative p05-p95 spread: {:.0}% of the mean", stats.relative_spread() * 100.0);
     println!(
         "\nA device carbon label quoted without its fab assumptions can be \
          off by tens of percent — publish the scenario with the number."

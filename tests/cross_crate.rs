@@ -27,12 +27,8 @@ fn phone_pipeline_soc_sim_feeds_carbon_model() {
 
     let op = OperationalModel::new(Location::World.carbon_intensity());
     let suite_time: TimeSpan = run.runs.iter().map(|r| r.time).sum();
-    let cf = total_footprint(
-        op.footprint(run.energy),
-        embodied,
-        suite_time,
-        TimeSpan::years(3.0),
-    );
+    let cf =
+        total_footprint(op.footprint(run.energy), embodied, suite_time, TimeSpan::years(3.0));
     // One suite run amortizes a vanishing share of lifetime embodied carbon.
     assert!(cf > op.footprint(run.energy));
     assert!(cf < op.footprint(run.energy) + embodied * 1e-3);
@@ -106,17 +102,13 @@ fn storage_pipeline_reliability_to_platform_footprint() {
 fn dvfs_policy_affects_the_carbon_bottom_line() {
     // A governor decision made inside the SoC simulator is visible in the
     // final carbon number.
-    let soc = MOBILE_SOCS
-        .iter()
-        .find(|s| s.name == "Snapdragon 845")
-        .expect("present");
+    let soc = MOBILE_SOCS.iter().find(|s| s.name == "Snapdragon 845").expect("present");
     let suite = geekbench_suite();
     let op = OperationalModel::new(Location::UnitedStates.carbon_intensity());
 
     let perf = SocSimulator::new(soc).run_suite(&suite);
-    let ondemand = SocSimulator::new(soc)
-        .with_governor(DvfsGovernor::OnDemand)
-        .run_suite(&suite);
+    let ondemand =
+        SocSimulator::new(soc).with_governor(DvfsGovernor::OnDemand).run_suite(&suite);
 
     assert!(op.footprint(ondemand.energy) < op.footprint(perf.energy));
 }

@@ -15,9 +15,8 @@ fn full_lifecycle_assembly_from_act_components() {
     // Build the iPhone 11's four phases: ACT manufacturing, modeled
     // transport, report use/EOL — and confirm the assembly still tells the
     // Figure 1 story (manufacturing-dominated).
-    let manufacturing_ics = SystemSpec::from_bom(&devices::IPHONE_11)
-        .embodied(&FabScenario::default())
-        .total();
+    let manufacturing_ics =
+        SystemSpec::from_bom(&devices::IPHONE_11).embodied(&FabScenario::default()).total();
     // ICs are ~44 % of manufacturing; scale up to whole-device.
     let manufacturing = manufacturing_ics / reports::IC_SHARE_OF_MANUFACTURING;
 
@@ -30,8 +29,8 @@ fn full_lifecycle_assembly_from_act_components() {
     )
     .footprint();
 
-    let lifecycle = LifecycleEstimate::from_report(&reports::IPHONE_11)
-        .with_manufacturing(manufacturing);
+    let lifecycle =
+        LifecycleEstimate::from_report(&reports::IPHONE_11).with_manufacturing(manufacturing);
     let assembled = LifecycleEstimate { transport, ..lifecycle };
 
     assert!(assembled.is_embodied_dominated());
@@ -69,8 +68,7 @@ fn monte_carlo_brackets_the_point_estimate() {
 fn params_facade_round_trips_through_json_config() {
     // A downstream tool can store a Table-1 config and re-evaluate it.
     let mut params = ModelParams::mobile_reference();
-    params.use_intensity_g_per_kwh =
-        Location::Europe.carbon_intensity().as_grams_per_kwh();
+    params.use_intensity_g_per_kwh = Location::Europe.carbon_intensity().as_grams_per_kwh();
     let json = serde_json::to_string(&params).unwrap();
     let restored: ModelParams = serde_json::from_str(&json).unwrap();
     assert_eq!(restored.footprint(), params.footprint());
@@ -81,19 +79,13 @@ fn params_facade_round_trips_through_json_config() {
 fn fab_bounds_contain_all_named_scenarios() {
     let spec = SystemSpec::from_bom(&devices::IPAD);
     let (lo, hi) = spec.embodied_bounds(&FabScenario::default());
-    for fab in [
-        FabScenario::default(),
-        FabScenario::taiwan_grid(),
-        FabScenario::renewable(),
-    ] {
+    for fab in [FabScenario::default(), FabScenario::taiwan_grid(), FabScenario::renewable()] {
         let e = spec.embodied(&fab).total();
         assert!(lo <= e && e <= hi, "{e} outside [{lo}, {hi}]");
     }
     // Carbon-free fabs with maximal abatement can undercut the solar bound:
     // the band is an energy-source band, not an absolute floor.
-    let free = spec
-        .embodied(&FabScenario::carbon_free())
-        .total();
+    let free = spec.embodied(&FabScenario::carbon_free()).total();
     assert!(free <= hi);
 }
 

@@ -17,8 +17,7 @@ fn reduce_claim_carbon_aware_dse_cuts_accelerator_footprint_by_about_3x() {
     // accelerators by up to 3x" (perf-optimal vs QoS-feasible carbon
     // optimum).
     let fig13 = act::experiments::fig13::run();
-    let ratio =
-        fig13.qos.performance_optimal().embodied / fig13.qos.carbon_optimal().embodied;
+    let ratio = fig13.qos.performance_optimal().embodied / fig13.qos.carbon_optimal().embodied;
     assert!((2.8..=3.8).contains(&ratio), "ratio {ratio}");
 }
 

@@ -7,9 +7,7 @@ use act::core::{
 };
 use act::data::{DramTechnology, ProcessNode, SsdTechnology};
 use act::ssd::{analytical_write_amplification, LifetimeModel, OverProvisioning};
-use act::units::{
-    Area, Capacity, CarbonIntensity, Energy, Fraction, MassCo2, TimeSpan,
-};
+use act::units::{Area, Capacity, CarbonIntensity, Energy, Fraction, MassCo2, TimeSpan};
 use proptest::prelude::*;
 
 fn any_node() -> impl Strategy<Value = ProcessNode> {
