@@ -73,7 +73,7 @@ mod tests {
         let wide = AccelConfig::new(2048);
         let wide_single = wide.evaluate(&net).energy();
         let wide_batched = wide.evaluate_batched(&net, 8).energy();
-        assert!((wide_batched / wide_single - 1.0).abs() < 1e-9);
+        assert!((wide_batched.ratio(wide_single) - 1.0).abs() < 1e-9);
     }
 
     #[test]

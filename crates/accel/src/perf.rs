@@ -140,7 +140,7 @@ mod tests {
     #[test]
     fn scaling_is_sublinear_at_the_wide_end() {
         // Diminishing returns: 8x the MACs buys well under 8x the speed.
-        let speedup = eval(256).latency() / eval(2048).latency();
+        let speedup = eval(256).latency().ratio(eval(2048).latency());
         assert!((4.0..7.9).contains(&speedup), "speedup {speedup}");
     }
 
@@ -199,7 +199,7 @@ mod tests {
         let net = Network::mobile_vision();
         let slow = AccelConfig::new(512).evaluate(&net);
         let fast = AccelConfig::new(512).with_frequency_ghz(1.0).evaluate(&net);
-        assert!((slow.latency() / fast.latency() - 2.0).abs() < 1e-9);
+        assert!((slow.latency().ratio(fast.latency()) - 2.0).abs() < 1e-9);
     }
 
     #[test]

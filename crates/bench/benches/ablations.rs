@@ -19,7 +19,7 @@ fn ablate_yield(c: &mut Criterion) {
         b.iter(|| {
             let mut total = 0.0;
             for y in [0.5, 0.625, 0.75, 0.875, 1.0] {
-                let fab = FabScenario::default().with_yield(Fraction::new(y).unwrap());
+                let fab = FabScenario::default().with_yield(Fraction::new_const(y));
                 total += (fab.carbon_per_area(ProcessNode::N7)
                     * Area::square_millimeters(90.0))
                 .as_grams();
@@ -67,7 +67,7 @@ fn ablate_fab_ci(c: &mut Criterion) {
 
 /// Analytical vs simulated write amplification at the first-life optimum.
 fn ablate_wa_model(c: &mut Criterion) {
-    let pf = OverProvisioning::new(0.16).unwrap();
+    let pf = OverProvisioning::new_const(0.16);
     let mut group = c.benchmark_group("wa_model");
     group.sample_size(10);
     group.bench_function("ablate_wa_model/analytical", |b| {

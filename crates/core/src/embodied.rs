@@ -396,7 +396,7 @@ mod tests {
         let spec = SystemSpec::from_bom(&devices::IPHONE_11);
         let report = spec.embodied(&FabScenario::default());
         let sum: MassCo2 = ComponentKind::ALL.iter().map(|k| report.by_kind(*k)).sum();
-        assert!((report.total() / sum - 1.0).abs() < 1e-12);
+        assert!((report.total().ratio(sum) - 1.0).abs() < 1e-12);
     }
 
     #[test]
@@ -450,7 +450,7 @@ mod tests {
         assert!(lo < point && point < hi, "{lo} < {point} < {hi}");
         // Memory, storage and packaging don't spread, so the band is
         // moderate for a device dominated by packaging and report factors.
-        assert!(hi / lo < 2.0, "band {lo}..{hi}");
+        assert!(hi.ratio(lo) < 2.0, "band {lo}..{hi}");
     }
 
     #[test]

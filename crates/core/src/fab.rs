@@ -35,19 +35,15 @@ pub struct FabScenario {
     pub fab_yield: Fraction,
 }
 
-/// The paper's default yield assumption.
-const DEFAULT_YIELD: f64 = 0.875;
+/// The paper's default yield assumption, validated at compile time.
+const DEFAULT_YIELD: Fraction = Fraction::new_const(0.875);
 
 impl FabScenario {
     /// A fab with an explicit energy carbon intensity, the default 97 %
     /// abatement and 0.875 yield.
     #[must_use]
     pub fn with_intensity(energy_intensity: CarbonIntensity) -> Self {
-        Self {
-            energy_intensity,
-            abatement: Abatement::default(),
-            fab_yield: Fraction::new(DEFAULT_YIELD).expect("constant yield is valid"),
-        }
+        Self { energy_intensity, abatement: Abatement::default(), fab_yield: DEFAULT_YIELD }
     }
 
     /// The paper's upper-bound fab: powered by the average Taiwan grid.
@@ -301,7 +297,7 @@ mod tests {
         let full = FabScenario::default().with_yield(Fraction::ONE);
         let half = FabScenario::default().with_yield(Fraction::new(0.5).unwrap());
         let node = ProcessNode::N7;
-        let ratio = half.carbon_per_area(node) / full.carbon_per_area(node);
+        let ratio = half.carbon_per_area(node).ratio(full.carbon_per_area(node));
         assert!((ratio - 2.0).abs() < 1e-9);
     }
 
@@ -343,7 +339,7 @@ mod tests {
         let b = FabScenario::default().cpa_breakdown(ProcessNode::N28);
         let sum = b.energy + b.gas + b.materials;
         assert_eq!(b.before_yield(), sum);
-        assert!((b.total() / b.before_yield() - 1.0 / 0.875).abs() < 1e-9);
+        assert!((b.total().ratio(b.before_yield()) - 1.0 / 0.875).abs() < 1e-9);
     }
 
     #[test]

@@ -117,10 +117,9 @@ impl IntensityProfile {
         (0..24)
             .min_by(|&a, &b| {
                 self.window_footprint(a, duration_hours, probe)
-                    .partial_cmp(&self.window_footprint(b, duration_hours, probe))
-                    .expect("footprints are finite")
+                    .total_cmp(&self.window_footprint(b, duration_hours, probe))
             })
-            .expect("a day has hours")
+            .unwrap_or(0)
     }
 
     /// Carbon saved by shifting a job from the *dirtiest* window into the
@@ -139,12 +138,12 @@ impl IntensityProfile {
         );
         let worst = (0..24)
             .map(|s| self.window_footprint(s, duration_hours, probe))
-            .max_by(|a, b| a.partial_cmp(b).expect("finite"))
-            .expect("a day has hours");
+            .max_by(MassCo2::total_cmp)
+            .unwrap_or(MassCo2::ZERO);
         if worst == MassCo2::ZERO {
             0.0
         } else {
-            1.0 - best / worst
+            1.0 - best.ratio(worst)
         }
     }
 
@@ -157,7 +156,8 @@ impl IntensityProfile {
         duration: TimeSpan,
         energy: Energy,
     ) -> MassCo2 {
-        let hours = (duration.as_seconds() / 3600.0).ceil().max(1.0) as usize;
+        let hours =
+            (duration.as_seconds() / act_units::SECONDS_PER_HOUR).ceil().max(1.0) as usize;
         self.window_footprint(start_hour, hours, energy)
     }
 }

@@ -79,7 +79,7 @@ impl LifecycleEstimate {
     pub fn manufacturing_share(&self) -> f64 {
         let total = self.total();
         assert!(total > MassCo2::ZERO, "cannot take shares of a zero footprint");
-        self.manufacturing / total
+        self.manufacturing.ratio(total)
     }
 
     /// `true` when manufacturing exceeds every other phase — the modern
@@ -100,7 +100,7 @@ mod tests {
     #[test]
     fn report_split_reconciles_with_total() {
         let e = LifecycleEstimate::from_report(&IPHONE_11);
-        assert!((e.total() / IPHONE_11.total() - 1.0).abs() < 1e-12);
+        assert!((e.total().ratio(IPHONE_11.total()) - 1.0).abs() < 1e-12);
         assert!((e.manufacturing_share() - 0.79).abs() < 1e-9);
     }
 

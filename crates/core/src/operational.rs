@@ -175,7 +175,7 @@ mod tests {
         let base = OperationalModel::new(EnergySource::Gas.carbon_intensity());
         let pue = base.with_effectiveness(1.5);
         let e = Energy::kilowatt_hours(1.0);
-        assert!((pue.footprint(e) / base.footprint(e) - 1.5).abs() < 1e-12);
+        assert!((pue.footprint(e).ratio(base.footprint(e)) - 1.5).abs() < 1e-12);
         assert_eq!(pue.effectiveness(), 1.5);
     }
 

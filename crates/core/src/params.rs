@@ -112,7 +112,7 @@ impl ModelParams {
     #[must_use]
     pub fn mobile_reference() -> Self {
         Self {
-            execution_time_s: 3600.0,
+            execution_time_s: act_units::SECONDS_PER_HOUR,
             lifetime_years: 3.0,
             packaged_ic_count: 3,
             soc_area_mm2: 90.0,
@@ -123,7 +123,7 @@ impl ModelParams {
             dram: vec![(DramTechnology::Lpddr4, 8.0)],
             ssd: vec![(SsdTechnology::V3NandTlc, 128.0)],
             hdd: vec![],
-            energy_j: 2.0 * 3600.0, // 2 W for an hour
+            energy_j: 2.0 * act_units::SECONDS_PER_HOUR, // 2 W for an hour
         }
     }
 
@@ -136,8 +136,7 @@ impl ModelParams {
         if !(self.execution_time_s >= 0.0 && self.execution_time_s.is_finite()) {
             return Err(err_from_unit(
                 "execution time must be non-negative and finite",
-                TimeSpan::try_seconds(self.execution_time_s)
-                    .expect_err("rejected by the range check"),
+                domain_error("execution time", self.execution_time_s, "non-negative seconds"),
             ));
         }
         if !(0.1..=50.0).contains(&self.lifetime_years) {
@@ -156,8 +155,7 @@ impl ModelParams {
         if self.soc_area_mm2 < 0.0 || !self.soc_area_mm2.is_finite() {
             return Err(err_from_unit(
                 "SoC area must be non-negative",
-                Area::try_square_millimeters(self.soc_area_mm2)
-                    .expect_err("rejected by the range check"),
+                domain_error("SoC area", self.soc_area_mm2, "non-negative mm^2"),
             ));
         }
         for (label, ci) in
@@ -186,14 +184,14 @@ impl ModelParams {
             if gb < 0.0 || !gb.is_finite() {
                 return Err(err_from_unit(
                     "capacities must be non-negative",
-                    Capacity::try_gigabytes(gb).expect_err("rejected by the range check"),
+                    domain_error("storage capacity", gb, "non-negative GB"),
                 ));
             }
         }
         if self.energy_j < 0.0 || !self.energy_j.is_finite() {
             return Err(err_from_unit(
                 "energy must be non-negative",
-                Energy::try_joules(self.energy_j).expect_err("rejected by the range check"),
+                domain_error("application energy", self.energy_j, "non-negative joules"),
             ));
         }
         Ok(())
@@ -206,11 +204,10 @@ impl ModelParams {
     /// Panics if the parameters do not [`validate`](Self::validate).
     #[must_use]
     pub fn fab_scenario(&self) -> FabScenario {
-        self.validate().expect("parameters must validate");
-        FabScenario::with_intensity(CarbonIntensity::grams_per_kwh(
-            self.fab_intensity_g_per_kwh,
-        ))
-        .with_yield(Fraction::new(self.fab_yield).expect("validated"))
+        match self.try_fab_scenario() {
+            Ok(scenario) => scenario,
+            Err(err) => panic!("parameters must validate: {err}"),
+        }
     }
 
     /// The hardware description these parameters imply.
@@ -220,22 +217,10 @@ impl ModelParams {
     /// Panics if the parameters do not [`validate`](Self::validate).
     #[must_use]
     pub fn system_spec(&self) -> SystemSpec {
-        self.validate().expect("parameters must validate");
-        let mut builder = SystemSpec::builder().soc(
-            "application processor",
-            Area::square_millimeters(self.soc_area_mm2),
-            self.process_node,
-        );
-        for (tech, gb) in &self.dram {
-            builder = builder.dram(*tech, Capacity::gigabytes(*gb));
+        match self.try_system_spec() {
+            Ok(spec) => spec,
+            Err(err) => panic!("parameters must validate: {err}"),
         }
-        for (tech, gb) in &self.ssd {
-            builder = builder.ssd(*tech, Capacity::gigabytes(*gb));
-        }
-        for (model, gb) in &self.hdd {
-            builder = builder.hdd(*model, Capacity::gigabytes(*gb));
-        }
-        builder.packaged_ics(self.packaged_ic_count).build()
     }
 
     /// Embodied footprint `ECF` (eq. 3).
@@ -429,7 +414,7 @@ mod tests {
         let mut p = ModelParams::mobile_reference();
         p.execution_time_s = TimeSpan::years(p.lifetime_years).as_seconds();
         let expected = p.operational() + p.embodied();
-        assert!((p.footprint() / expected - 1.0).abs() < 1e-12);
+        assert!((p.footprint().ratio(expected) - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -38,6 +38,24 @@ pub enum DramTechnology {
     Ddr4_10nm,
 }
 
+/// Table 9 embodied carbon per gigabyte, g CO₂/GB, in
+/// [`DramTechnology::ALL`] order.
+const CPS_G_PER_GB: [f64; 8] = [600.0, 315.0, 230.0, 201.0, 184.0, 159.0, 48.0, 65.0];
+
+// Compile-time audit of Table 9: every footprint is positive, and within
+// the DDR3 family (rows 0–2) newer nodes are strictly cleaner per GB.
+const _: () = {
+    let mut i = 0;
+    while i < CPS_G_PER_GB.len() {
+        assert!(CPS_G_PER_GB[i] > 0.0, "Table 9: CPS must be positive");
+        i += 1;
+    }
+    assert!(
+        CPS_G_PER_GB[2] < CPS_G_PER_GB[1] && CPS_G_PER_GB[1] < CPS_G_PER_GB[0],
+        "Table 9: DDR3 scaling must improve per-GB carbon"
+    );
+};
+
 impl DramTechnology {
     /// All technologies in Table 9 order.
     pub const ALL: [Self; 8] = [
@@ -54,17 +72,7 @@ impl DramTechnology {
     /// Embodied carbon per gigabyte (Table 9).
     #[must_use]
     pub fn carbon_per_gb(self) -> MassPerCapacity {
-        let g_per_gb = match self {
-            Self::Ddr3_50nm => 600.0,
-            Self::Ddr3_40nm => 315.0,
-            Self::Ddr3_30nm => 230.0,
-            Self::Lpddr3_30nm => 201.0,
-            Self::Lpddr3_20nm => 184.0,
-            Self::Lpddr2_20nm => 159.0,
-            Self::Lpddr4 => 48.0,
-            Self::Ddr4_10nm => 65.0,
-        };
-        MassPerCapacity::grams_per_gb(g_per_gb)
+        MassPerCapacity::grams_per_gb(CPS_G_PER_GB[self as usize])
     }
 }
 
@@ -121,8 +129,8 @@ mod tests {
     #[test]
     fn modern_parts_are_an_order_cleaner_than_50nm() {
         let legacy = DramTechnology::Ddr3_50nm.carbon_per_gb();
-        assert!(legacy / DramTechnology::Lpddr4.carbon_per_gb() > 10.0);
-        assert!(legacy / DramTechnology::Ddr4_10nm.carbon_per_gb() > 9.0);
+        assert!(legacy.ratio(DramTechnology::Lpddr4.carbon_per_gb()) > 10.0);
+        assert!(legacy.ratio(DramTechnology::Ddr4_10nm.carbon_per_gb()) > 9.0);
     }
 
     #[test]

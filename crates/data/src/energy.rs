@@ -37,6 +37,33 @@ pub enum EnergySource {
     Wind,
 }
 
+/// Table 5 average carbon intensity, g CO₂/kWh, in [`EnergySource::ALL`]
+/// order (dirtiest first).
+const CI_G_PER_KWH: [f64; 8] = [820.0, 490.0, 230.0, 41.0, 38.0, 24.0, 12.0, 11.0];
+
+/// Table 5 typical energy-payback time, months, in [`EnergySource::ALL`]
+/// order. Ranges in the paper are represented by their midpoint; "≤ 12"
+/// by 12.
+const PAYBACK_MONTHS: [f64; 8] = [2.0, 1.0, 12.0, 36.0, 72.0, 24.0, 2.0, 12.0];
+
+// Compile-time audit of Table 5: intensities positive and sorted dirtiest
+// first (the ordering the figures and blending helpers rely on), payback
+// times positive.
+const _: () = {
+    let mut i = 0;
+    while i < CI_G_PER_KWH.len() {
+        assert!(CI_G_PER_KWH[i] > 0.0, "Table 5: carbon intensity must be positive");
+        assert!(PAYBACK_MONTHS[i] > 0.0, "Table 5: payback time must be positive");
+        if i > 0 {
+            assert!(
+                CI_G_PER_KWH[i - 1] >= CI_G_PER_KWH[i],
+                "Table 5: sources must be ordered dirtiest first"
+            );
+        }
+        i += 1;
+    }
+};
+
 impl EnergySource {
     /// All sources in Table 5 order (dirtiest first).
     pub const ALL: [Self; 8] = [
@@ -53,33 +80,14 @@ impl EnergySource {
     /// Average carbon intensity of this source (Table 5).
     #[must_use]
     pub fn carbon_intensity(self) -> CarbonIntensity {
-        let g_per_kwh = match self {
-            Self::Coal => 820.0,
-            Self::Gas => 490.0,
-            Self::Biomass => 230.0,
-            Self::Solar => 41.0,
-            Self::Geothermal => 38.0,
-            Self::Hydropower => 24.0,
-            Self::Nuclear => 12.0,
-            Self::Wind => 11.0,
-        };
-        CarbonIntensity::grams_per_kwh(g_per_kwh)
+        CarbonIntensity::grams_per_kwh(CI_G_PER_KWH[self as usize])
     }
 
     /// Typical energy-payback time in months (Table 5). Ranges in the paper
     /// are represented by their midpoint; "≤ 12" by 12.
     #[must_use]
     pub fn energy_payback_months(self) -> f64 {
-        match self {
-            Self::Coal => 2.0,
-            Self::Gas => 1.0,
-            Self::Biomass => 12.0,
-            Self::Solar => 36.0,
-            Self::Geothermal => 72.0,
-            Self::Hydropower => 24.0,
-            Self::Nuclear => 2.0,
-            Self::Wind => 12.0,
-        }
+        PAYBACK_MONTHS[self as usize]
     }
 
     /// Whether the source is conventionally counted as renewable.

@@ -50,6 +50,19 @@ pub enum HddModel {
     Exos10e2400,
 }
 
+/// Table 11 embodied carbon per gigabyte, g CO₂/GB, in [`HddModel::ALL`]
+/// order.
+const CPS_G_PER_GB: [f64; 10] = [4.57, 10.32, 2.35, 5.1, 9.1, 1.65, 1.14, 1.33, 20.5, 10.3];
+
+// Compile-time audit of Table 11: every per-GB footprint is positive.
+const _: () = {
+    let mut i = 0;
+    while i < CPS_G_PER_GB.len() {
+        assert!(CPS_G_PER_GB[i] > 0.0, "Table 11: CPS must be positive");
+        i += 1;
+    }
+};
+
 impl HddModel {
     /// All models in Table 11 order.
     pub const ALL: [Self; 10] = [
@@ -68,19 +81,7 @@ impl HddModel {
     /// Embodied carbon per gigabyte (Table 11).
     #[must_use]
     pub fn carbon_per_gb(self) -> MassPerCapacity {
-        let g_per_gb = match self {
-            Self::BarraCuda => 4.57,
-            Self::BarraCuda2 => 10.32,
-            Self::BarraCudaPro => 2.35,
-            Self::FireCuda => 5.1,
-            Self::FireCuda2 => 9.1,
-            Self::Exos2x14 => 1.65,
-            Self::ExosX12 => 1.14,
-            Self::ExosX16 => 1.33,
-            Self::Exos15e900 => 20.5,
-            Self::Exos10e2400 => 10.3,
-        };
-        MassPerCapacity::grams_per_gb(g_per_gb)
+        MassPerCapacity::grams_per_gb(CPS_G_PER_GB[self as usize])
     }
 
     /// Market segment (Table 11's "Type" column).
@@ -155,7 +156,7 @@ mod tests {
         // The helium-era Exos X drives amortize mechanics over huge capacity.
         let min = HddModel::ALL
             .iter()
-            .min_by(|a, b| a.carbon_per_gb().partial_cmp(&b.carbon_per_gb()).unwrap())
+            .min_by(|a, b| a.carbon_per_gb().total_cmp(&b.carbon_per_gb()))
             .copied()
             .unwrap();
         assert_eq!(min, HddModel::ExosX12);

@@ -39,6 +39,27 @@ pub enum Location {
     Iceland,
 }
 
+/// Table 6 average grid carbon intensity, g CO₂/kWh, in [`Location::ALL`]
+/// order.
+const CI_G_PER_KWH: [f64; 9] = [301.0, 725.0, 597.0, 583.0, 495.0, 380.0, 295.0, 82.0, 28.0];
+
+// Compile-time audit of Table 6: every grid intensity is positive, country
+// rows (1..) are sorted dirtiest first, and the renewable-dominated grids
+// stay below the world average.
+const _: () = {
+    let mut i = 0;
+    while i < CI_G_PER_KWH.len() {
+        assert!(CI_G_PER_KWH[i] > 0.0, "Table 6: grid intensity must be positive");
+        if i > 1 {
+            assert!(
+                CI_G_PER_KWH[i - 1] >= CI_G_PER_KWH[i],
+                "Table 6: grids must be ordered dirtiest first"
+            );
+        }
+        i += 1;
+    }
+};
+
 impl Location {
     /// All locations in Table 6 order.
     pub const ALL: [Self; 9] = [
@@ -56,18 +77,7 @@ impl Location {
     /// Average grid carbon intensity (Table 6).
     #[must_use]
     pub fn carbon_intensity(self) -> CarbonIntensity {
-        let g_per_kwh = match self {
-            Self::World => 301.0,
-            Self::India => 725.0,
-            Self::Australia => 597.0,
-            Self::Taiwan => 583.0,
-            Self::Singapore => 495.0,
-            Self::UnitedStates => 380.0,
-            Self::Europe => 295.0,
-            Self::Brazil => 82.0,
-            Self::Iceland => 28.0,
-        };
-        CarbonIntensity::grams_per_kwh(g_per_kwh)
+        CarbonIntensity::grams_per_kwh(CI_G_PER_KWH[self as usize])
     }
 
     /// Dominant generation sources for the grid, if the paper lists any.

@@ -60,6 +60,51 @@ pub enum Abatement {
     Percent99,
 }
 
+/// Table 7 fab energy per area (`EPA`), kWh/cm², in [`ProcessNode::ALL`]
+/// order.
+const EPA_KWH_PER_CM2: [f64; 9] = [0.9, 1.2, 1.2, 1.475, 1.52, 2.15, 2.15, 2.75, 2.75];
+
+/// Table 7 fab gas emissions per area (`GPA`), g CO₂/cm², as
+/// `(95 % abated, 99 % abated)` bounds, in [`ProcessNode::ALL`] order.
+const GPA_G_PER_CM2: [(f64, f64); 9] = [
+    (175.0, 100.0),
+    (190.0, 110.0),
+    (200.0, 125.0),
+    (240.0, 150.0),
+    (350.0, 200.0),
+    (350.0, 200.0),
+    (350.0, 200.0),
+    (430.0, 225.0),
+    (470.0, 275.0),
+];
+
+// Compile-time audit of the Table 7 characterization: fab energy and gas
+// footprints must be positive, better abatement must strictly lower
+// emissions, and both must grow monotonically toward newer nodes (the
+// paper's central "newer nodes cost more embodied carbon" trend). A typo in
+// the constants above fails the build rather than skewing every figure.
+const _: () = {
+    let mut i = 0;
+    while i < EPA_KWH_PER_CM2.len() {
+        assert!(EPA_KWH_PER_CM2[i] > 0.0, "Table 7: EPA must be positive");
+        let (g95, g99) = GPA_G_PER_CM2[i];
+        assert!(g99 > 0.0, "Table 7: GPA must be positive");
+        assert!(g99 < g95, "Table 7: 99% abatement must beat 95%");
+        if i > 0 {
+            assert!(
+                EPA_KWH_PER_CM2[i - 1] <= EPA_KWH_PER_CM2[i],
+                "Table 7: EPA must be monotone toward newer nodes"
+            );
+            assert!(
+                GPA_G_PER_CM2[i - 1].0 <= g95 && GPA_G_PER_CM2[i - 1].1 <= g99,
+                "Table 7: GPA must be monotone toward newer nodes"
+            );
+        }
+        i += 1;
+    }
+    assert!(MPA.as_grams_per_cm2() > 0.0, "Table 8: MPA must be positive");
+};
+
 impl ProcessNode {
     /// All nodes in Table 7 order (oldest first).
     pub const ALL: [Self; 9] = [
@@ -74,34 +119,22 @@ impl ProcessNode {
         Self::N3,
     ];
 
+    /// Position in [`Self::ALL`] / the Table 7 row order.
+    const fn row(self) -> usize {
+        self as usize
+    }
+
     /// Fab energy consumed per manufactured area, `EPA` (Table 7).
     #[must_use]
     pub fn energy_per_area(self) -> EnergyPerArea {
-        let kwh_per_cm2 = match self {
-            Self::N28 => 0.9,
-            Self::N20 => 1.2,
-            Self::N14 => 1.2,
-            Self::N10 => 1.475,
-            Self::N7 => 1.52,
-            Self::N7Euv | Self::N7EuvDp => 2.15,
-            Self::N5 | Self::N3 => 2.75,
-        };
-        EnergyPerArea::kwh_per_cm2(kwh_per_cm2)
+        EnergyPerArea::kwh_per_cm2(EPA_KWH_PER_CM2[self.row()])
     }
 
     /// Fab gas/chemical emissions per manufactured area, `GPA` (Table 7),
     /// under the given abatement strategy.
     #[must_use]
     pub fn gas_per_area(self, abatement: Abatement) -> MassPerArea {
-        let (abated95, abated99) = match self {
-            Self::N28 => (175.0, 100.0),
-            Self::N20 => (190.0, 110.0),
-            Self::N14 => (200.0, 125.0),
-            Self::N10 => (240.0, 150.0),
-            Self::N7 | Self::N7Euv | Self::N7EuvDp => (350.0, 200.0),
-            Self::N5 => (430.0, 225.0),
-            Self::N3 => (470.0, 275.0),
-        };
+        let (abated95, abated99) = GPA_G_PER_CM2[self.row()];
         let g_per_cm2 = match abatement {
             Abatement::Percent95 => abated95,
             Abatement::Percent97 => (abated95 + abated99) / 2.0,

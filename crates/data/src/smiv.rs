@@ -170,15 +170,19 @@ mod tests {
         let cpu = measurement(Platform::Cpu, App::Ai).energy();
         let asic = measurement(Platform::Accel, App::Ai).energy();
         let fpga = measurement(Platform::Fpga, App::Ai).energy();
-        assert!((cpu / asic - 44.0).abs() < 0.5, "CPU/ASIC AI energy {}", cpu / asic);
-        assert!((fpga / asic - 5.0).abs() < 0.2, "FPGA/ASIC AI energy {}", fpga / asic);
+        assert!((cpu.ratio(asic) - 44.0).abs() < 0.5, "CPU/ASIC AI energy {}", cpu.ratio(asic));
+        assert!(
+            (fpga.ratio(asic) - 5.0).abs() < 0.2,
+            "FPGA/ASIC AI energy {}",
+            fpga.ratio(asic)
+        );
     }
 
     #[test]
     fn embodied_area_ratios_match_paper() {
         let cpu = silicon_area(Platform::Cpu);
-        assert!((silicon_area(Platform::Accel) / cpu - 1.3).abs() < 1e-9);
-        assert!((silicon_area(Platform::Fpga) / cpu - 1.8).abs() < 1e-9);
+        assert!((silicon_area(Platform::Accel).ratio(cpu) - 1.3).abs() < 1e-9);
+        assert!((silicon_area(Platform::Fpga).ratio(cpu) - 1.8).abs() < 1e-9);
     }
 
     #[test]

@@ -96,10 +96,22 @@ pub const PROFILES: [EngineProfile; 3] = [
     EngineProfile { engine: Engine::Gpu, latency_ms: 9.2, power_w: 2.0, block_area_mm2: 12.2 },
 ];
 
+// Row order must agree with the lookup below; checked at build time.
+const _: () = {
+    assert!(matches!(PROFILES[0].engine, Engine::Cpu));
+    assert!(matches!(PROFILES[1].engine, Engine::Dsp));
+    assert!(matches!(PROFILES[2].engine, Engine::Gpu));
+};
+
 /// Looks up the profile for an engine.
 #[must_use]
 pub fn profile(engine: Engine) -> &'static EngineProfile {
-    PROFILES.iter().find(|p| p.engine == engine).expect("all engines are profiled")
+    let row = match engine {
+        Engine::Cpu => 0,
+        Engine::Dsp => 1,
+        Engine::Gpu => 2,
+    };
+    &PROFILES[row]
 }
 
 #[cfg(test)]

@@ -49,6 +49,34 @@ pub enum SsdTechnology {
     Nytro3331,
 }
 
+/// Table 10 embodied carbon per gigabyte, g CO₂/GB, in
+/// [`SsdTechnology::ALL`] order.
+const CPS_G_PER_GB: [f64; 12] =
+    [30.0, 15.0, 10.0, 5.6, 6.3, 24.4, 17.9, 12.5, 10.7, 3.95, 6.21, 16.92];
+
+// Compile-time audit of Table 10: every footprint is positive, planar NAND
+// scaling (rows 0–2) strictly improves per GB, and the Western Digital
+// fleet (rows 5–8) improves year over year.
+const _: () = {
+    let mut i = 0;
+    while i < CPS_G_PER_GB.len() {
+        assert!(CPS_G_PER_GB[i] > 0.0, "Table 10: CPS must be positive");
+        i += 1;
+    }
+    assert!(
+        CPS_G_PER_GB[2] < CPS_G_PER_GB[1] && CPS_G_PER_GB[1] < CPS_G_PER_GB[0],
+        "Table 10: planar NAND scaling must improve per-GB carbon"
+    );
+    let mut y = 5;
+    while y < 8 {
+        assert!(
+            CPS_G_PER_GB[y + 1] < CPS_G_PER_GB[y],
+            "Table 10: WD fleet must improve year over year"
+        );
+        y += 1;
+    }
+};
+
 impl SsdTechnology {
     /// All entries in Table 10 order.
     pub const ALL: [Self; 12] = [
@@ -69,21 +97,7 @@ impl SsdTechnology {
     /// Embodied carbon per gigabyte (Table 10).
     #[must_use]
     pub fn carbon_per_gb(self) -> MassPerCapacity {
-        let g_per_gb = match self {
-            Self::Nand30nm => 30.0,
-            Self::Nand20nm => 15.0,
-            Self::Nand10nm => 10.0,
-            Self::Nand1zTlc => 5.6,
-            Self::V3NandTlc => 6.3,
-            Self::WesternDigital2016 => 24.4,
-            Self::WesternDigital2017 => 17.9,
-            Self::WesternDigital2018 => 12.5,
-            Self::WesternDigital2019 => 10.7,
-            Self::Nytro1551 => 3.95,
-            Self::Nytro3530 => 6.21,
-            Self::Nytro3331 => 16.92,
-        };
-        MassPerCapacity::grams_per_gb(g_per_gb)
+        MassPerCapacity::grams_per_gb(CPS_G_PER_GB[self as usize])
     }
 
     /// `true` for device-level semiconductor characterization (the black bars

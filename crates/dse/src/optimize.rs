@@ -18,7 +18,7 @@ pub fn argmin_by<T>(items: &[T], mut cost: impl FnMut(&T) -> f64) -> Option<usiz
             let c = cost(item);
             c.is_finite().then_some((i, c))
         })
-        .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite costs are comparable"))
+        .min_by(|(_, a), (_, b)| a.total_cmp(b))
         .map(|(i, _)| i)
 }
 
@@ -48,7 +48,7 @@ pub fn argmin_feasible<T>(
             let c = cost(item);
             c.is_finite().then_some((i, c))
         })
-        .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite costs are comparable"))
+        .min_by(|(_, a), (_, b)| a.total_cmp(b))
         .map(|(i, _)| i)
 }
 
@@ -87,7 +87,7 @@ pub fn knee_point<T>(
             let db = (b[i] - b_min) / b_span;
             (i, da * da + db * db)
         })
-        .min_by(|(_, x), (_, y)| x.partial_cmp(y).expect("distances are finite"))
+        .min_by(|(_, x), (_, y)| x.total_cmp(y))
         .map(|(i, _)| i)
 }
 
@@ -126,7 +126,7 @@ pub fn normalize_to(values: &[f64], baseline: f64) -> Vec<f64> {
 /// Panics if `values` is empty or the last element is zero.
 #[must_use]
 pub fn normalize_to_last(values: &[f64]) -> Vec<f64> {
-    let last = *values.last().expect("cannot normalize an empty series");
+    let Some(&last) = values.last() else { panic!("cannot normalize an empty series") };
     normalize_to(values, last)
 }
 

@@ -57,7 +57,7 @@ pub fn run() -> AblationsResult {
         series: [0.5, 0.625, 0.75, 0.875, 1.0]
             .into_iter()
             .map(|y| {
-                let fab = FabScenario::default().with_yield(Fraction::new(y).expect("valid"));
+                let fab = FabScenario::default().with_yield(Fraction::new_const(y));
                 (format!("Y={y}"), (fab.carbon_per_area(node) * die).as_grams())
             })
             .collect(),
@@ -96,7 +96,7 @@ pub fn run() -> AblationsResult {
         series: [0.16, 0.34]
             .into_iter()
             .flat_map(|op| {
-                let pf = OverProvisioning::new(op).expect("valid");
+                let pf = OverProvisioning::new_const(op);
                 let config = FtlConfig::small(pf);
                 let mut ftl = FtlSimulator::new(config);
                 let mut trace =

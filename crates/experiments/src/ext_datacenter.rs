@@ -65,7 +65,7 @@ pub fn run() -> DatacenterResult {
     .map(|location| {
         let op = OperationalModel::new(location.carbon_intensity()).with_effectiveness(PUE);
         let first_year = op.footprint(yearly_energy);
-        let embodied_ratio = server_embodied / first_year;
+        let embodied_ratio = server_embodied.ratio(first_year);
         let model = ReplacementModel {
             horizon_years: 10,
             embodied_per_device: embodied_ratio,

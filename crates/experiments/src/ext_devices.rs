@@ -96,7 +96,7 @@ mod tests {
         let r = run();
         let smallest = r.rows.first().unwrap().embodied;
         let largest = r.rows.last().unwrap().embodied;
-        assert!(largest / smallest > 50.0, "span {}", largest / smallest);
+        assert!(largest.ratio(smallest) > 50.0, "span {}", largest.ratio(smallest));
     }
 
     #[test]

@@ -22,7 +22,7 @@ impl Fig1Result {
     /// (the paper reports ~2.5×).
     #[must_use]
     pub fn operational_reduction(&self) -> f64 {
-        self.iphone3.operational() / self.iphone11.operational()
+        self.iphone3.operational().ratio(self.iphone11.operational())
     }
 }
 

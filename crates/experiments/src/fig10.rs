@@ -2,6 +2,7 @@
 //! *manufacturing* (bottom) moves the optimal provisioning choice between
 //! general-purpose CPUs and specialized co-processors.
 
+use crate::Present;
 use std::fmt;
 
 use act_core::{FabScenario, OperationalModel};
@@ -62,8 +63,8 @@ impl ScenarioGroup {
     pub fn winner(&self) -> Engine {
         self.cells
             .iter()
-            .min_by(|a, b| a.total().partial_cmp(&b.total()).expect("finite"))
-            .expect("nonempty")
+            .min_by(|a, b| a.total().total_cmp(&b.total()))
+            .present("nonempty")
             .engine
     }
 }
@@ -164,17 +165,17 @@ impl Fig10Result {
             .use_sweep
             .iter()
             .find(|g| g.level.label == "Carbon Free")
-            .expect("carbon-free level present");
+            .present("carbon-free level present");
         let cpu =
-            group.cells.iter().find(|c| c.engine == Engine::Cpu).expect("CPU present").total();
+            group.cells.iter().find(|c| c.engine == Engine::Cpu).present("CPU present").total();
         let best_co = group
             .cells
             .iter()
             .filter(|c| c.engine != Engine::Cpu)
             .map(ScenarioCell::total)
-            .min_by(|a, b| a.partial_cmp(b).expect("finite"))
-            .expect("co-processors present");
-        best_co / cpu
+            .min_by(|a, b| a.total_cmp(b))
+            .present("co-processors present");
+        best_co.ratio(cpu)
     }
 }
 
@@ -266,7 +267,7 @@ mod tests {
                 .iter()
                 .map(|g| {
                     let c = &g.cells[engine_idx];
-                    c.operational / c.total()
+                    c.operational.ratio(c.total())
                 })
                 .collect();
             for pair in shares.windows(2) {

@@ -2,6 +2,7 @@
 //! on FIR / AES / AI — performance, energy and embodied carbon, and the
 //! metric view that makes the FPGA the balanced choice.
 
+use crate::Present;
 use std::fmt;
 
 use act_core::{DesignPoint, FabScenario, OptimizationMetric};
@@ -40,7 +41,7 @@ pub fn speedup(platform: Platform, app: App) -> f64 {
 /// Per-app energy reduction of a platform over the CPU.
 #[must_use]
 pub fn energy_reduction(platform: Platform, app: App) -> f64 {
-    measurement(Platform::Cpu, app).energy() / measurement(platform, app).energy()
+    measurement(Platform::Cpu, app).energy().ratio(measurement(platform, app).energy())
 }
 
 /// Embodied footprint of a platform's silicon under the default fab.
@@ -69,12 +70,9 @@ pub fn winner(metric: OptimizationMetric) -> Platform {
     *Platform::ALL
         .iter()
         .min_by(|a, b| {
-            metric
-                .score(&design_point(**a))
-                .partial_cmp(&metric.score(&design_point(**b)))
-                .expect("finite")
+            metric.score(&design_point(**a)).total_cmp(&metric.score(&design_point(**b)))
         })
-        .expect("nonempty")
+        .present("nonempty")
 }
 
 /// Runs the study.
@@ -130,8 +128,9 @@ mod tests {
         // 26x faster and 44x / 5x more energy-efficient on AI.
         assert!((speedup(Platform::Accel, App::Ai) - 26.0).abs() < 0.1);
         assert!((energy_reduction(Platform::Accel, App::Ai) - 44.0).abs() < 0.5);
-        let fpga_vs_asic = measurement(Platform::Fpga, App::Ai).energy()
-            / measurement(Platform::Accel, App::Ai).energy();
+        let fpga_vs_asic = measurement(Platform::Fpga, App::Ai)
+            .energy()
+            .ratio(measurement(Platform::Accel, App::Ai).energy());
         assert!((fpga_vs_asic - 5.0).abs() < 0.2);
     }
 
@@ -140,8 +139,8 @@ mod tests {
         // "CPU incurs 1.3x and 1.8x lower footprint compared to ASIC and
         // FPGA-based designs."
         let cpu = embodied(Platform::Cpu);
-        assert!((embodied(Platform::Accel) / cpu - 1.3).abs() < 0.01);
-        assert!((embodied(Platform::Fpga) / cpu - 1.8).abs() < 0.01);
+        assert!((embodied(Platform::Accel).ratio(cpu) - 1.3).abs() < 0.01);
+        assert!((embodied(Platform::Fpga).ratio(cpu) - 1.8).abs() < 0.01);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Figure 12: the NVDLA MAC-array sweep — performance/EDP pick the widest
 //! array, while each carbon metric picks a successively leaner design.
 
+use crate::Present;
 use std::fmt;
 
 use act_accel::{AccelConfig, Network};
@@ -64,10 +65,8 @@ impl Fig12Result {
     pub fn optimum(&self, metric: OptimizationMetric) -> u32 {
         self.rows
             .iter()
-            .min_by(|a, b| {
-                metric.score(&a.design).partial_cmp(&metric.score(&b.design)).expect("finite")
-            })
-            .expect("sweep is nonempty")
+            .min_by(|a, b| metric.score(&a.design).total_cmp(&metric.score(&b.design)))
+            .present("sweep is nonempty")
             .macs
     }
 
@@ -76,8 +75,8 @@ impl Fig12Result {
     pub fn performance_optimum(&self) -> u32 {
         self.rows
             .iter()
-            .max_by(|a, b| a.fps.partial_cmp(&b.fps).expect("finite"))
-            .expect("sweep is nonempty")
+            .max_by(|a, b| a.fps.total_cmp(&b.fps))
+            .present("sweep is nonempty")
             .macs
     }
 }

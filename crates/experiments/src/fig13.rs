@@ -2,6 +2,7 @@
 //! optimization (left) and area-budgeted technology comparison (right,
 //! Jevons paradox).
 
+use crate::Present;
 use std::fmt;
 
 use act_accel::{AccelConfig, Network};
@@ -40,26 +41,20 @@ impl QosStudy {
     #[must_use]
     pub fn carbon_optimal(&self) -> &QosRow {
         let idx = argmin_feasible(&self.rows, |r| r.embodied.as_grams(), |r| r.fps >= QOS_FPS)
-            .expect("some configuration meets QoS");
+            .present("some configuration meets QoS");
         &self.rows[idx]
     }
 
     /// The performance-optimal configuration (max FPS).
     #[must_use]
     pub fn performance_optimal(&self) -> &QosRow {
-        self.rows
-            .iter()
-            .max_by(|a, b| a.fps.partial_cmp(&b.fps).expect("finite"))
-            .expect("nonempty")
+        self.rows.iter().max_by(|a, b| a.fps.total_cmp(&b.fps)).present("nonempty")
     }
 
     /// The energy-optimal configuration (min energy per inference).
     #[must_use]
     pub fn energy_optimal(&self) -> &QosRow {
-        self.rows
-            .iter()
-            .min_by(|a, b| a.energy_mj.partial_cmp(&b.energy_mj).expect("finite"))
-            .expect("nonempty")
+        self.rows.iter().min_by(|a, b| a.energy_mj.total_cmp(&b.energy_mj)).present("nonempty")
     }
 }
 
@@ -92,13 +87,13 @@ impl BudgetStudy {
         self.cells
             .iter()
             .find(|c| (c.cap_mm2 - cap_mm2).abs() < 1e-9 && c.nanometers == nanometers)
-            .expect("cell exists")
+            .present("cell exists")
     }
 
     /// The Jevons ratio at a cap: 16 nm footprint over 28 nm footprint.
     #[must_use]
     pub fn newer_node_footprint_increase(&self, cap_mm2: f64) -> f64 {
-        self.cell(cap_mm2, 16).embodied / self.cell(cap_mm2, 28).embodied
+        self.cell(cap_mm2, 16).embodied.ratio(self.cell(cap_mm2, 28).embodied)
     }
 }
 
@@ -139,7 +134,7 @@ pub fn run() -> Fig13Result {
                 .map(|m| AccelConfig::new(m).with_nanometers(nanometers))
                 .filter(|c| c.area().as_square_millimeters() <= cap_mm2)
                 .collect();
-            let widest = fitting.last().expect("some configuration fits the cap");
+            let widest = fitting.last().present("some configuration fits the cap");
             cells.push(BudgetCell {
                 cap_mm2,
                 nanometers,
@@ -223,7 +218,7 @@ mod tests {
     fn performance_optimum_carries_about_3x_the_footprint() {
         // Paper: 3.3x higher embodied for the performance-optimal design.
         let r = run();
-        let ratio = r.qos.performance_optimal().embodied / r.qos.carbon_optimal().embodied;
+        let ratio = r.qos.performance_optimal().embodied.ratio(r.qos.carbon_optimal().embodied);
         assert!((2.8..=3.8).contains(&ratio), "perf/carbon embodied ratio {ratio}");
     }
 
@@ -231,7 +226,7 @@ mod tests {
     fn energy_optimum_carries_about_1_4x_the_footprint() {
         let r = run();
         assert_eq!(r.qos.energy_optimal().macs, 512);
-        let ratio = r.qos.energy_optimal().embodied / r.qos.carbon_optimal().embodied;
+        let ratio = r.qos.energy_optimal().embodied.ratio(r.qos.carbon_optimal().embodied);
         assert!((1.2..=1.5).contains(&ratio), "energy/carbon embodied ratio {ratio}");
     }
 

@@ -2,6 +2,7 @@
 //! (top), effective embodied carbon for first- and second-life horizons
 //! (bottom), with the FTL simulator cross-checking the analytical WA curve.
 
+use crate::Present;
 use std::fmt;
 
 use act_ssd::{
@@ -21,9 +22,7 @@ pub const SECOND_LIFE_YEARS: f64 = 4.0;
 /// The over-provisioning grid of the study (4 % … 40 % in 6 % steps).
 #[must_use]
 pub fn op_grid() -> Vec<OverProvisioning> {
-    (0..7)
-        .map(|i| OverProvisioning::new(0.04 + 0.06 * f64::from(i)).expect("grid is valid"))
-        .collect()
+    (0..7).map(|i| OverProvisioning::new_const(0.04 + 0.06 * f64::from(i))).collect()
 }
 
 /// One over-provisioning point.
@@ -81,10 +80,7 @@ pub fn run() -> Fig15Result {
 
 impl Fig15Result {
     fn optimal_by<F: Fn(&OpRow) -> f64>(&self, cost: F) -> &OpRow {
-        self.rows
-            .iter()
-            .min_by(|a, b| cost(a).partial_cmp(&cost(b)).expect("finite"))
-            .expect("grid is nonempty")
+        self.rows.iter().min_by(|a, b| cost(a).total_cmp(&cost(b))).present("grid is nonempty")
     }
 
     /// The first-life-optimal over-provisioning (paper: 16 %).

@@ -1,6 +1,7 @@
 //! Figure 16: the Fairphone 3 LCA breakdown — by module, by component type,
 //! and within the core module.
 
+use crate::Present;
 use std::fmt;
 
 use act_data::reports::{
@@ -41,7 +42,7 @@ impl Fig16Result {
     /// paper cites roughly 70 %.
     #[must_use]
     pub fn ic_share(&self) -> f64 {
-        let core = self.by_module.iter().find(|s| s.label == "Core module").expect("core");
+        let core = self.by_module.iter().find(|s| s.label == "Core module").present("core");
         let ic_in_core: f64 = self
             .core_module
             .iter()

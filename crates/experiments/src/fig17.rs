@@ -1,6 +1,7 @@
 //! Figure 17: the Dell R740 LCA breakdown — storage dominates a modern
 //! server's embodied footprint.
 
+use crate::Present;
 use std::fmt;
 
 use act_data::reports::{
@@ -36,11 +37,11 @@ impl Fig17Result {
     /// mainboard's CPU share) — the paper cites roughly 80 %.
     #[must_use]
     pub fn ic_share(&self) -> f64 {
-        let ssd = self.server.iter().find(|s| s.label == "SSD").expect("ssd").share;
+        let ssd = self.server.iter().find(|s| s.label == "SSD").present("ssd").share;
         let mainboard =
-            self.server.iter().find(|s| s.label == "Mainboard").expect("mainboard").share;
+            self.server.iter().find(|s| s.label == "Mainboard").present("mainboard").share;
         let cpu_in_mainboard =
-            self.mainboard.iter().find(|s| s.label.contains("CPU")).expect("cpu").share;
+            self.mainboard.iter().find(|s| s.label.contains("CPU")).present("cpu").share;
         ssd + mainboard * cpu_in_mainboard
     }
 }

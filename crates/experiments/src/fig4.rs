@@ -105,7 +105,7 @@ mod tests {
     fn act_sits_below_the_topdown_lca_for_both_devices() {
         let r = run();
         for d in [&r.iphone, &r.ipad] {
-            let ratio = d.lca / d.act_total();
+            let ratio = d.lca.ratio(d.act_total());
             assert!((1.15..=1.55).contains(&ratio), "{}: LCA/ACT ratio {ratio}", d.name);
         }
     }

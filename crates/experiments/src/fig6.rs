@@ -2,6 +2,7 @@
 //! fab energy per area (top), gas emissions under abatement bounds (middle),
 //! and aggregate carbon per area under fab-energy scenarios (bottom).
 
+use crate::Present;
 use std::fmt;
 
 use act_core::FabScenario;
@@ -66,9 +67,9 @@ impl Fig6Result {
     /// per-area footprint grows across the decade of scaling.
     #[must_use]
     pub fn cpa_growth_28nm_to_3nm(&self) -> f64 {
-        let first = self.rows.first().expect("28 nm present");
-        let last = self.rows.last().expect("3 nm present");
-        last.cpa_default / first.cpa_default
+        let first = self.rows.first().present("28 nm present");
+        let last = self.rows.last().present("3 nm present");
+        last.cpa_default.ratio(first.cpa_default)
     }
 }
 

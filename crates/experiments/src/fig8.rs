@@ -7,6 +7,7 @@
 //! included per row as a cross-check). Embodied carbon is the ACT model on
 //! each SoC's die, era-appropriate DRAM and packaging.
 
+use crate::Present;
 use std::fmt;
 
 use act_core::{DesignPoint, FabScenario, OptimizationMetric, SystemSpec};
@@ -76,13 +77,8 @@ impl Fig8Result {
     pub fn winner(&self, metric: OptimizationMetric) -> &SocRow {
         self.rows
             .iter()
-            .min_by(|a, b| {
-                metric
-                    .score(&a.design)
-                    .partial_cmp(&metric.score(&b.design))
-                    .expect("scores are finite")
-            })
-            .expect("survey is nonempty")
+            .min_by(|a, b| metric.score(&a.design).total_cmp(&metric.score(&b.design)))
+            .present("survey is nonempty")
     }
 
     /// The SoC with the lowest embodied footprint (Figure 8c's minimum).
@@ -90,8 +86,8 @@ impl Fig8Result {
     pub fn embodied_minimum(&self) -> &SocRow {
         self.rows
             .iter()
-            .min_by(|a, b| a.embodied.partial_cmp(&b.embodied).expect("finite"))
-            .expect("survey is nonempty")
+            .min_by(|a, b| a.embodied.total_cmp(&b.embodied))
+            .present("survey is nonempty")
     }
 
     /// Figure 8(d): metric values within one family, normalized to the
@@ -104,7 +100,7 @@ impl Fig8Result {
     ) -> Vec<(String, f64)> {
         let in_family: Vec<&SocRow> =
             self.rows.iter().filter(|r| r.soc.family == family).collect();
-        let newest = in_family.iter().max_by_key(|r| r.soc.year).expect("family is nonempty");
+        let newest = in_family.iter().max_by_key(|r| r.soc.year).present("family is nonempty");
         let base = metric.score(&newest.design);
         in_family
             .iter()

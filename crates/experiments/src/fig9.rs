@@ -2,6 +2,7 @@
 //! metrics — embodied-centric metrics pick the CPU, operational-centric
 //! metrics pick a co-processor.
 
+use crate::Present;
 use std::fmt;
 
 use act_core::{DesignPoint, OptimizationMetric};
@@ -51,8 +52,8 @@ impl Fig9Result {
     /// Metric score normalized to the CPU design.
     #[must_use]
     pub fn normalized(&self, engine: Engine, metric: OptimizationMetric) -> f64 {
-        let cpu = self.engines.iter().find(|e| e.engine == Engine::Cpu).expect("CPU present");
-        let target = self.engines.iter().find(|e| e.engine == engine).expect("engine present");
+        let cpu = self.engines.iter().find(|e| e.engine == Engine::Cpu).present("CPU present");
+        let target = self.engines.iter().find(|e| e.engine == engine).present("engine present");
         metric.score(&target.design) / metric.score(&cpu.design)
     }
 
@@ -61,10 +62,8 @@ impl Fig9Result {
     pub fn winner(&self, metric: OptimizationMetric) -> Engine {
         self.engines
             .iter()
-            .min_by(|a, b| {
-                metric.score(&a.design).partial_cmp(&metric.score(&b.design)).expect("finite")
-            })
-            .expect("nonempty")
+            .min_by(|a, b| metric.score(&a.design).total_cmp(&metric.score(&b.design)))
+            .present("nonempty")
             .engine
     }
 }

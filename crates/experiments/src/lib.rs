@@ -91,8 +91,12 @@ pub fn render_experiment(id: &str) -> Option<String> {
         "devices" => ext_devices::run().to_string(),
         "all" => {
             let mut out = String::new();
-            for id in EXPERIMENT_IDS.iter().filter(|id| **id != "all") {
-                out.push_str(&render_experiment(id).expect("known id"));
+            for text in EXPERIMENT_IDS
+                .iter()
+                .filter(|id| **id != "all")
+                .filter_map(|id| render_experiment(id))
+            {
+                out.push_str(&text);
                 out.push('\n');
             }
             out
@@ -113,7 +117,10 @@ pub fn render_experiment(id: &str) -> Option<String> {
 #[must_use]
 pub fn render_experiment_json(id: &str) -> Option<String> {
     fn json<T: serde::Serialize>(value: &T) -> String {
-        serde_json::to_string_pretty(value).expect("experiment results serialize")
+        match serde_json::to_string_pretty(value) {
+            Ok(body) => body,
+            Err(err) => panic!("experiment results serialize: {err}"),
+        }
     }
     let out = match id {
         "fig1" => json(&fig1::run()),
@@ -140,11 +147,10 @@ pub fn render_experiment_json(id: &str) -> Option<String> {
             let entries: Vec<serde_json::Value> = EXPERIMENT_IDS
                 .iter()
                 .filter(|id| **id != "all")
-                .map(|id| {
-                    let body = render_experiment_json(id).expect("known id");
-                    let result: serde_json::Value =
-                        serde_json::from_str(&body).expect("experiment results serialize");
-                    serde_json::json!({ "id": id, "result": result })
+                .filter_map(|id| {
+                    let body = render_experiment_json(id)?;
+                    let result: serde_json::Value = serde_json::from_str(&body).ok()?;
+                    Some(serde_json::json!({ "id": id, "result": result }))
                 })
                 .collect();
             json(&entries)
@@ -194,6 +200,24 @@ impl std::fmt::Display for ExperimentError {
 }
 
 impl std::error::Error for ExperimentError {}
+
+/// Postfix lookup for elements that exist by construction of the result
+/// structs (every `run()` builds its rows from fixed configuration tables).
+/// A miss means the experiment itself is broken, so this panics with a
+/// message naming the violated invariant instead of a bare `expect`.
+pub(crate) trait Present<T> {
+    /// Unwraps, naming the construction invariant that guarantees presence.
+    fn present(self, invariant: &str) -> T;
+}
+
+impl<T> Present<T> for Option<T> {
+    fn present(self, invariant: &str) -> T {
+        match self {
+            Some(value) => value,
+            None => panic!("experiment invariant violated: {invariant}"),
+        }
+    }
+}
 
 /// Extracts a human-readable message from a panic payload.
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {

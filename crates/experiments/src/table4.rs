@@ -2,6 +2,7 @@
 //! operational and embodied footprint of CPU, GPU and DSP engines, plus the
 //! break-even utilizations the prose derives from them.
 
+use crate::Present;
 use std::fmt;
 
 use act_core::{FabScenario, OperationalModel};
@@ -75,7 +76,7 @@ impl Table4Result {
     /// Row lookup.
     #[must_use]
     pub fn row(&self, engine: Engine) -> &Table4Row {
-        self.rows.iter().find(|r| r.engine == engine).expect("all engines present")
+        self.rows.iter().find(|r| r.engine == engine).present("all engines present")
     }
 
     /// Lifetime utilization at which a co-processor's energy savings have
@@ -98,7 +99,7 @@ impl Table4Result {
         // Utilization: fraction of the lifetime the *CPU-latency* workload
         // stream must run to reach that inference count.
         let busy = cpu.profile.latency() * inferences_needed;
-        Some(busy / TimeSpan::years(LIFETIME_YEARS))
+        Some(busy.ratio(TimeSpan::years(LIFETIME_YEARS)))
     }
 }
 
@@ -171,8 +172,8 @@ mod tests {
         // embodied footprint by 1.9x and 1.8x" (vs the CPU block alone).
         let r = run();
         let cpu = r.row(Engine::Cpu).ecf_system;
-        let gpu = r.row(Engine::Gpu).ecf_system / cpu;
-        let dsp = r.row(Engine::Dsp).ecf_system / cpu;
+        let gpu = r.row(Engine::Gpu).ecf_system.ratio(cpu);
+        let dsp = r.row(Engine::Dsp).ecf_system.ratio(cpu);
         assert!((1.6..=2.0).contains(&gpu), "GPU system ratio {gpu}");
         assert!((1.6..=2.0).contains(&dsp), "DSP system ratio {dsp}");
     }

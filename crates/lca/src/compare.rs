@@ -23,7 +23,7 @@ impl NodeComparison {
     /// over-estimation factor of legacy-node LCAs.
     #[must_use]
     pub fn lca_overestimate(&self) -> f64 {
-        MassCo2::kilograms(self.row.lca_kg) / self.ours_node2
+        MassCo2::kilograms(self.row.lca_kg).ratio(self.ours_node2)
     }
 }
 

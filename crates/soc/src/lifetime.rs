@@ -153,7 +153,7 @@ impl ReplacementModel {
     pub fn optimal_lifetime_years(&self) -> u32 {
         (1..=self.horizon_years)
             .min_by(|a, b| self.total(*a).total_cmp(&self.total(*b)))
-            .expect("horizon is at least one year")
+            .unwrap_or(1)
     }
 
     /// Checked variant of [`Self::optimal_lifetime_years`]: validates the

@@ -483,7 +483,7 @@ mod tests {
         let sim = SocSimulator::new(by_name("Exynos 9820"));
         let run = sim.run(&Workload::new("w", 5.0, 0.3, 4.0));
         let product = run.power * run.time;
-        assert!((run.energy / product - 1.0).abs() < 1e-12);
+        assert!((run.energy.ratio(product) - 1.0).abs() < 1e-12);
     }
 
     #[test]

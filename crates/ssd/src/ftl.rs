@@ -200,8 +200,8 @@ impl FtlSimulator {
     /// wear-leveling quality indicator (0 = perfectly even).
     #[must_use]
     pub fn wear_spread(&self) -> f64 {
-        let max = *self.erase_counts.iter().max().expect("blocks exist");
-        let min = *self.erase_counts.iter().min().expect("blocks exist");
+        let max = self.erase_counts.iter().copied().max().unwrap_or(0);
+        let min = self.erase_counts.iter().copied().min().unwrap_or(0);
         let sum: u64 = self.erase_counts.iter().sum();
         if sum == 0 {
             0.0
@@ -321,9 +321,7 @@ impl FtlSimulator {
                 .expect("a full victim block always exists"),
             GcPolicy::CostBenefit => candidates
                 .max_by(|&a, &b| {
-                    self.cost_benefit_score(a)
-                        .partial_cmp(&self.cost_benefit_score(b))
-                        .expect("scores are comparable")
+                    self.cost_benefit_score(a).total_cmp(&self.cost_benefit_score(b))
                 })
                 .expect("a full victim block always exists"),
         };

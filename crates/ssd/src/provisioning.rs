@@ -45,6 +45,19 @@ impl OverProvisioning {
         }
     }
 
+    /// Creates a factor in `const` context. Intended for trusted model
+    /// constants: when evaluated at compile time an out-of-range value
+    /// fails the build.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < pf <= 1`.
+    #[must_use]
+    pub const fn new_const(pf: f64) -> Self {
+        assert!(pf > 0.0 && pf <= 1.0, "over-provisioning factor must be within (0, 1]");
+        Self(pf)
+    }
+
     /// The factor as a fraction of user capacity.
     #[must_use]
     pub const fn get(self) -> f64 {

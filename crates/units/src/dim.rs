@@ -1,0 +1,301 @@
+//! Dimension vectors over the ACT base axes and their type-level algebra.
+//!
+//! A dimension is a point in ℤ⁵: the exponents of the five base axes the
+//! carbon model is written in —
+//!
+//! | axis | base unit | carries |
+//! |------|-----------|---------|
+//! | carbon   | g CO₂ | emitted mass of CO₂-equivalent |
+//! | energy   | kWh   | electrical energy |
+//! | time     | s     | run times and lifetimes |
+//! | area     | cm²   | manufactured silicon area |
+//! | capacity | GB    | storage / memory capacity |
+//!
+//! [`Quantity`](crate::Quantity) is generic over a [`Dimension`];
+//! multiplication and division derive the result dimension *statically*
+//! through [`DimMul`]/[`DimDiv`], so `CarbonIntensity × Energy = MassCo2`
+//! holds by construction and unit mistakes are compile errors rather than
+//! silently corrupted figures:
+//!
+//! ```compile_fail
+//! use act_units::{Area, Energy};
+//! // Adding an energy to an area is dimensionally meaningless.
+//! let _ = Energy::joules(1.0) + Area::square_centimeters(1.0);
+//! ```
+//!
+//! ```compile_fail
+//! use act_units::{MassCo2, TimeSpan};
+//! // So is subtracting a duration from a mass of CO2.
+//! let _ = MassCo2::grams(1.0) - TimeSpan::seconds(1.0);
+//! ```
+//!
+//! ```compile_fail
+//! use act_units::{Area, CarbonIntensity, MassCo2};
+//! // g/kWh x cm^2 is a valid quantity, but it is NOT a mass of CO2; the
+//! // annotation does not typecheck.
+//! let _: MassCo2 = CarbonIntensity::grams_per_kwh(1.0) * Area::square_centimeters(1.0);
+//! ```
+//!
+//! ```compile_fail
+//! use act_units::{Energy, Power};
+//! // Quantities of different dimensions are not comparable.
+//! let _ = Power::watts(1.0) < Energy::joules(1.0);
+//! ```
+//!
+//! ```compile_fail
+//! use act_units::{Energy, Power};
+//! // ... and cannot be accumulated into one another.
+//! let mut total = Energy::ZERO;
+//! total += Power::watts(1.0);
+//! ```
+
+use std::marker::PhantomData;
+
+use crate::typelevel::{IntAdd, IntSub, TypeInt, N1, P1, Z0};
+use crate::JOULES_PER_KWH;
+
+/// A dimension: type-level exponents over the base axes
+/// `(carbon, energy, time, area, capacity)`.
+///
+/// `Dim<P1, Z0, Z0, Z0, Z0>` is a mass of CO₂; `Dim<P1, N1, Z0, Z0, Z0>` is
+/// a carbon intensity (g CO₂ · kWh⁻¹); `Dim<Z0, …, Z0>` is dimensionless.
+/// The named aliases ([`MassDim`], [`EnergyDim`], …) cover every dimension
+/// the ACT model uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Dim<C, E, T, A, G>(PhantomData<fn() -> (C, E, T, A, G)>);
+
+/// Seals [`Dimension`]: the only implementor is [`Dim`].
+mod private {
+    pub trait Sealed {}
+}
+
+impl<C, E, T, A, G> private::Sealed for Dim<C, E, T, A, G> {}
+
+/// A type implementing this trait denotes a physical dimension; the five
+/// associated constants recover the exponent vector at runtime (for display
+/// and error messages).
+pub trait Dimension: private::Sealed + Copy + Default + 'static {
+    /// Exponent of the carbon axis (base unit g CO₂).
+    const CARBON: i8;
+    /// Exponent of the energy axis (base unit kWh).
+    const ENERGY: i8;
+    /// Exponent of the time axis (base unit s).
+    const TIME: i8;
+    /// Exponent of the area axis (base unit cm²).
+    const AREA: i8;
+    /// Exponent of the capacity axis (base unit GB).
+    const CAPACITY: i8;
+    /// The exponent vector `(carbon, energy, time, area, capacity)`.
+    const EXPONENTS: [i8; 5] =
+        [Self::CARBON, Self::ENERGY, Self::TIME, Self::AREA, Self::CAPACITY];
+}
+
+impl<C: TypeInt, E: TypeInt, T: TypeInt, A: TypeInt, G: TypeInt> Dimension
+    for Dim<C, E, T, A, G>
+{
+    const CARBON: i8 = C::VALUE;
+    const ENERGY: i8 = E::VALUE;
+    const TIME: i8 = T::VALUE;
+    const AREA: i8 = A::VALUE;
+    const CAPACITY: i8 = G::VALUE;
+}
+
+/// Dimension of a product: axis-wise exponent sum. The single generic
+/// `Mul` impl on [`Quantity`](crate::Quantity) projects through this trait.
+pub trait DimMul<Rhs: Dimension>: Dimension {
+    /// The product dimension.
+    type Output: Dimension;
+}
+
+/// Dimension of a quotient: axis-wise exponent difference. The single
+/// generic `Div` impl on [`Quantity`](crate::Quantity) projects through
+/// this trait.
+pub trait DimDiv<Rhs: Dimension>: Dimension {
+    /// The quotient dimension.
+    type Output: Dimension;
+}
+
+impl<C1, E1, T1, A1, G1, C2, E2, T2, A2, G2> DimMul<Dim<C2, E2, T2, A2, G2>>
+    for Dim<C1, E1, T1, A1, G1>
+where
+    C1: IntAdd<C2>,
+    E1: IntAdd<E2>,
+    T1: IntAdd<T2>,
+    A1: IntAdd<A2>,
+    G1: IntAdd<G2>,
+    C2: TypeInt,
+    E2: TypeInt,
+    T2: TypeInt,
+    A2: TypeInt,
+    G2: TypeInt,
+{
+    type Output = Dim<
+        <C1 as IntAdd<C2>>::Output,
+        <E1 as IntAdd<E2>>::Output,
+        <T1 as IntAdd<T2>>::Output,
+        <A1 as IntAdd<A2>>::Output,
+        <G1 as IntAdd<G2>>::Output,
+    >;
+}
+
+impl<C1, E1, T1, A1, G1, C2, E2, T2, A2, G2> DimDiv<Dim<C2, E2, T2, A2, G2>>
+    for Dim<C1, E1, T1, A1, G1>
+where
+    C1: IntSub<C2>,
+    E1: IntSub<E2>,
+    T1: IntSub<T2>,
+    A1: IntSub<A2>,
+    G1: IntSub<G2>,
+    C2: TypeInt,
+    E2: TypeInt,
+    T2: TypeInt,
+    A2: TypeInt,
+    G2: TypeInt,
+{
+    type Output = Dim<
+        <C1 as IntSub<C2>>::Output,
+        <E1 as IntSub<E2>>::Output,
+        <T1 as IntSub<T2>>::Output,
+        <A1 as IntSub<A2>>::Output,
+        <G1 as IntSub<G2>>::Output,
+    >;
+}
+
+/// The dimensionless vector `(0, 0, 0, 0, 0)`: ratios and event counts.
+pub type NoDim = Dim<Z0, Z0, Z0, Z0, Z0>;
+/// Mass of CO₂-equivalent (g CO₂).
+pub type MassDim = Dim<P1, Z0, Z0, Z0, Z0>;
+/// Energy (kWh canonical; joule constructors/accessors convert).
+pub type EnergyDim = Dim<Z0, P1, Z0, Z0, Z0>;
+/// Power: energy per time.
+pub type PowerDim = Dim<Z0, P1, N1, Z0, Z0>;
+/// Duration (s).
+pub type TimeDim = Dim<Z0, Z0, P1, Z0, Z0>;
+/// Silicon area (cm²).
+pub type AreaDim = Dim<Z0, Z0, Z0, P1, Z0>;
+/// Storage capacity (GB).
+pub type CapacityDim = Dim<Z0, Z0, Z0, Z0, P1>;
+/// Event rate (s⁻¹).
+pub type ThroughputDim = Dim<Z0, Z0, N1, Z0, Z0>;
+/// Carbon intensity of electricity (g CO₂ · kWh⁻¹): `CIuse`, `CIfab`.
+pub type CarbonIntensityDim = Dim<P1, N1, Z0, Z0, Z0>;
+/// Fab energy per area (kWh · cm⁻²): `EPA`.
+pub type EnergyPerAreaDim = Dim<Z0, P1, Z0, N1, Z0>;
+/// Carbon per area (g CO₂ · cm⁻²): `GPA`, `MPA`, `CPA`.
+pub type MassPerAreaDim = Dim<P1, Z0, Z0, N1, Z0>;
+/// Carbon per capacity (g CO₂ · GB⁻¹): the `CPS` factors.
+pub type MassPerCapacityDim = Dim<P1, Z0, Z0, Z0, N1>;
+
+/// How a dimension renders: its display symbol, the factor converting the
+/// canonical-axis magnitude into the displayed unit, and the quantity name
+/// used in error messages.
+pub(crate) struct UnitInfo {
+    pub(crate) symbol: &'static str,
+    pub(crate) display_scale: f64,
+    pub(crate) name: &'static str,
+}
+
+/// Display/diagnostic info for the named dimensions; `None` falls back to a
+/// composed symbol via [`compose_symbol`].
+pub(crate) fn unit_info(exponents: [i8; 5]) -> Option<UnitInfo> {
+    let info = |symbol, display_scale, name| UnitInfo { symbol, display_scale, name };
+    match exponents {
+        [0, 0, 0, 0, 0] => Some(info("", 1.0, "Ratio")),
+        [1, 0, 0, 0, 0] => Some(info("g CO2", 1.0, "MassCo2")),
+        // Energy and power are stored on the kWh axis but displayed in the
+        // SI units the rest of the literature uses.
+        [0, 1, 0, 0, 0] => Some(info("J", JOULES_PER_KWH, "Energy")),
+        [0, 1, -1, 0, 0] => Some(info("W", JOULES_PER_KWH, "Power")),
+        [0, 0, 1, 0, 0] => Some(info("s", 1.0, "TimeSpan")),
+        [0, 0, 0, 1, 0] => Some(info("cm^2", 1.0, "Area")),
+        [0, 0, 0, 0, 1] => Some(info("GB", 1.0, "Capacity")),
+        [0, 0, -1, 0, 0] => Some(info("1/s", 1.0, "Throughput")),
+        [1, -1, 0, 0, 0] => Some(info("g CO2/kWh", 1.0, "CarbonIntensity")),
+        [0, 1, 0, -1, 0] => Some(info("kWh/cm^2", 1.0, "EnergyPerArea")),
+        [1, 0, 0, -1, 0] => Some(info("g CO2/cm^2", 1.0, "MassPerArea")),
+        [1, 0, 0, 0, -1] => Some(info("g CO2/GB", 1.0, "MassPerCapacity")),
+        _ => None,
+    }
+}
+
+/// Composes a `g CO2 kWh^-2 …` symbol for dimensions without a named unit.
+/// The magnitude is shown on the canonical axes (no display scaling).
+pub(crate) fn compose_symbol(exponents: [i8; 5]) -> String {
+    const AXES: [&str; 5] = ["g CO2", "kWh", "s", "cm^2", "GB"];
+    let mut parts = Vec::new();
+    for (axis, &exp) in AXES.iter().zip(exponents.iter()) {
+        match exp {
+            0 => {}
+            1 => parts.push((*axis).to_owned()),
+            _ => parts.push(format!("{axis}^{exp}")),
+        }
+    }
+    parts.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_dimensions_expose_their_exponents() {
+        assert_eq!(MassDim::EXPONENTS, [1, 0, 0, 0, 0]);
+        assert_eq!(PowerDim::EXPONENTS, [0, 1, -1, 0, 0]);
+        assert_eq!(CarbonIntensityDim::EXPONENTS, [1, -1, 0, 0, 0]);
+        assert_eq!(MassPerCapacityDim::EXPONENTS, [1, 0, 0, 0, -1]);
+        assert_eq!(NoDim::EXPONENTS, [0; 5]);
+    }
+
+    #[test]
+    fn product_dimensions_add_exponents() {
+        fn product<A: DimMul<B>, B: Dimension>() -> [i8; 5] {
+            <A as DimMul<B>>::Output::EXPONENTS
+        }
+        // g/kWh x kWh = g.
+        assert_eq!(product::<CarbonIntensityDim, EnergyDim>(), MassDim::EXPONENTS);
+        // g/kWh x kWh/cm^2 = g/cm^2 (the CIfab x EPA term of eq. 5).
+        assert_eq!(
+            product::<CarbonIntensityDim, EnergyPerAreaDim>(),
+            MassPerAreaDim::EXPONENTS
+        );
+        // kWh/s x s = kWh.
+        assert_eq!(product::<PowerDim, TimeDim>(), EnergyDim::EXPONENTS);
+    }
+
+    #[test]
+    fn quotient_dimensions_subtract_exponents() {
+        fn quotient<A: DimDiv<B>, B: Dimension>() -> [i8; 5] {
+            <A as DimDiv<B>>::Output::EXPONENTS
+        }
+        assert_eq!(quotient::<EnergyDim, TimeDim>(), PowerDim::EXPONENTS);
+        assert_eq!(quotient::<MassDim, EnergyDim>(), CarbonIntensityDim::EXPONENTS);
+        assert_eq!(quotient::<TimeDim, TimeDim>(), NoDim::EXPONENTS);
+    }
+
+    #[test]
+    fn every_named_dimension_has_unit_info() {
+        for exps in [
+            NoDim::EXPONENTS,
+            MassDim::EXPONENTS,
+            EnergyDim::EXPONENTS,
+            PowerDim::EXPONENTS,
+            TimeDim::EXPONENTS,
+            AreaDim::EXPONENTS,
+            CapacityDim::EXPONENTS,
+            ThroughputDim::EXPONENTS,
+            CarbonIntensityDim::EXPONENTS,
+            EnergyPerAreaDim::EXPONENTS,
+            MassPerAreaDim::EXPONENTS,
+            MassPerCapacityDim::EXPONENTS,
+        ] {
+            assert!(unit_info(exps).is_some(), "missing unit info for {exps:?}");
+        }
+    }
+
+    #[test]
+    fn anonymous_dimensions_compose_a_symbol() {
+        assert_eq!(compose_symbol([2, 0, 0, -1, 0]), "g CO2^2 cm^2^-1");
+        assert_eq!(compose_symbol([0, 1, 0, 0, 0]), "kWh");
+        assert_eq!(compose_symbol([0; 5]), "");
+    }
+}

@@ -55,6 +55,19 @@ impl Fraction {
         }
     }
 
+    /// Creates a fraction in `const` context. Intended for trusted model
+    /// constants: when evaluated at compile time an out-of-range value fails
+    /// the build.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN or outside `[0, 1]`.
+    #[must_use]
+    pub const fn new_const(value: f64) -> Self {
+        assert!(value >= 0.0 && value <= 1.0, "fraction must be within [0, 1]");
+        Self(value)
+    }
+
     /// Creates a fraction from a percentage in `[0, 100]`.
     ///
     /// # Errors

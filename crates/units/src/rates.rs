@@ -1,29 +1,27 @@
 //! Rate quantities: the per-kWh, per-area and per-capacity intensities that
 //! parameterize the ACT embodied and operational models.
+//!
+//! Each rate is an alias of [`Quantity`] at a derived dimension, so products
+//! like `CarbonIntensity * Energy = MassCo2` or `EnergyPerArea * Area =
+//! Energy` need no operator impls here — the generic `Mul`/`Div` in
+//! [`crate::quantity`] derives them, and dimensionally illegal combinations
+//! fail to compile.
 
-use std::fmt;
-use std::iter::Sum;
-use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+use crate::dim::{CarbonIntensityDim, EnergyPerAreaDim, MassPerAreaDim, MassPerCapacityDim};
+use crate::quantity::Quantity;
 
-use serde::{Deserialize, Serialize};
-
-use crate::quantity::quantity;
-use crate::{Area, Capacity, Energy, MassCo2};
-
-quantity!(
-    /// Carbon intensity of electricity: `CIuse` / `CIfab` in the ACT model.
-    /// Base unit: grams of CO₂ per kilowatt-hour.
-    ///
-    /// # Examples
-    ///
-    /// ```
-    /// use act_units::{CarbonIntensity, Energy};
-    /// let coal = CarbonIntensity::grams_per_kwh(820.0);
-    /// let footprint = coal * Energy::kilowatt_hours(2.0);
-    /// assert!((footprint.as_grams() - 1640.0).abs() < 1e-9);
-    /// ```
-    CarbonIntensity, base = "g CO2 per kWh", display = "g CO2/kWh"
-);
+/// Carbon intensity of electricity: `CIuse` / `CIfab` in the ACT model.
+/// Base unit: grams of CO₂ per kilowatt-hour.
+///
+/// # Examples
+///
+/// ```
+/// use act_units::{CarbonIntensity, Energy};
+/// let coal = CarbonIntensity::grams_per_kwh(820.0);
+/// let footprint = coal * Energy::kilowatt_hours(2.0);
+/// assert!((footprint.as_grams() - 1640.0).abs() < 1e-9);
+/// ```
+pub type CarbonIntensity = Quantity<CarbonIntensityDim>;
 
 impl CarbonIntensity {
     /// Creates a carbon intensity from grams of CO₂ per kilowatt-hour.
@@ -79,34 +77,18 @@ impl CarbonIntensity {
     }
 }
 
-impl Mul<Energy> for CarbonIntensity {
-    type Output = MassCo2;
-    fn mul(self, rhs: Energy) -> MassCo2 {
-        MassCo2::grams(self.as_grams_per_kwh() * rhs.as_kilowatt_hours())
-    }
-}
-
-impl Mul<CarbonIntensity> for Energy {
-    type Output = MassCo2;
-    fn mul(self, rhs: CarbonIntensity) -> MassCo2 {
-        rhs * self
-    }
-}
-
-quantity!(
-    /// Fab energy per manufactured area: `EPA` in the ACT model.
-    /// Base unit: kilowatt-hours per square centimeter.
-    ///
-    /// # Examples
-    ///
-    /// ```
-    /// use act_units::{Area, EnergyPerArea};
-    /// let epa = EnergyPerArea::kwh_per_cm2(1.2);
-    /// let e = epa * Area::square_centimeters(0.5);
-    /// assert!((e.as_kilowatt_hours() - 0.6).abs() < 1e-12);
-    /// ```
-    EnergyPerArea, base = "kWh per cm^2", display = "kWh/cm^2"
-);
+/// Fab energy per manufactured area: `EPA` in the ACT model.
+/// Base unit: kilowatt-hours per square centimeter.
+///
+/// # Examples
+///
+/// ```
+/// use act_units::{Area, EnergyPerArea};
+/// let epa = EnergyPerArea::kwh_per_cm2(1.2);
+/// let e = epa * Area::square_centimeters(0.5);
+/// assert!((e.as_kilowatt_hours() - 0.6).abs() < 1e-12);
+/// ```
+pub type EnergyPerArea = Quantity<EnergyPerAreaDim>;
 
 impl EnergyPerArea {
     /// Creates an energy-per-area from kilowatt-hours per square centimeter.
@@ -131,34 +113,18 @@ impl EnergyPerArea {
     }
 }
 
-impl Mul<Area> for EnergyPerArea {
-    type Output = Energy;
-    fn mul(self, rhs: Area) -> Energy {
-        Energy::kilowatt_hours(self.as_kwh_per_cm2() * rhs.as_square_centimeters())
-    }
-}
-
-impl Mul<EnergyPerArea> for Area {
-    type Output = Energy;
-    fn mul(self, rhs: EnergyPerArea) -> Energy {
-        rhs * self
-    }
-}
-
-quantity!(
-    /// Carbon per manufactured area: `GPA`, `MPA` and `CPA` in the ACT model.
-    /// Base unit: grams of CO₂ per square centimeter.
-    ///
-    /// # Examples
-    ///
-    /// ```
-    /// use act_units::{Area, MassPerArea};
-    /// let cpa = MassPerArea::kilograms_per_cm2(1.5);
-    /// let e = cpa * Area::square_millimeters(100.0);
-    /// assert!((e.as_kilograms() - 1.5).abs() < 1e-9);
-    /// ```
-    MassPerArea, base = "g CO2 per cm^2", display = "g CO2/cm^2"
-);
+/// Carbon per manufactured area: `GPA`, `MPA` and `CPA` in the ACT model.
+/// Base unit: grams of CO₂ per square centimeter.
+///
+/// # Examples
+///
+/// ```
+/// use act_units::{Area, MassPerArea};
+/// let cpa = MassPerArea::kilograms_per_cm2(1.5);
+/// let e = cpa * Area::square_millimeters(100.0);
+/// assert!((e.as_kilograms() - 1.5).abs() < 1e-9);
+/// ```
+pub type MassPerArea = Quantity<MassPerAreaDim>;
 
 impl MassPerArea {
     /// Creates a mass-per-area from grams of CO₂ per square centimeter.
@@ -195,34 +161,18 @@ impl MassPerArea {
     }
 }
 
-impl Mul<Area> for MassPerArea {
-    type Output = MassCo2;
-    fn mul(self, rhs: Area) -> MassCo2 {
-        MassCo2::grams(self.as_grams_per_cm2() * rhs.as_square_centimeters())
-    }
-}
-
-impl Mul<MassPerArea> for Area {
-    type Output = MassCo2;
-    fn mul(self, rhs: MassPerArea) -> MassCo2 {
-        rhs * self
-    }
-}
-
-quantity!(
-    /// Carbon per storage capacity: the `CPS` factors of eqs. 6–8.
-    /// Base unit: grams of CO₂ per gigabyte.
-    ///
-    /// # Examples
-    ///
-    /// ```
-    /// use act_units::{Capacity, MassPerCapacity};
-    /// let cps = MassPerCapacity::grams_per_gb(48.0);
-    /// let e = cps * Capacity::gigabytes(8.0);
-    /// assert!((e.as_grams() - 384.0).abs() < 1e-9);
-    /// ```
-    MassPerCapacity, base = "g CO2 per GB", display = "g CO2/GB"
-);
+/// Carbon per storage capacity: the `CPS` factors of eqs. 6–8.
+/// Base unit: grams of CO₂ per gigabyte.
+///
+/// # Examples
+///
+/// ```
+/// use act_units::{Capacity, MassPerCapacity};
+/// let cps = MassPerCapacity::grams_per_gb(48.0);
+/// let e = cps * Capacity::gigabytes(8.0);
+/// assert!((e.as_grams() - 384.0).abs() < 1e-9);
+/// ```
+pub type MassPerCapacity = Quantity<MassPerCapacityDim>;
 
 impl MassPerCapacity {
     /// Creates a mass-per-capacity from grams of CO₂ per gigabyte.
@@ -247,24 +197,10 @@ impl MassPerCapacity {
     }
 }
 
-impl Mul<Capacity> for MassPerCapacity {
-    type Output = MassCo2;
-    fn mul(self, rhs: Capacity) -> MassCo2 {
-        MassCo2::grams(self.as_grams_per_gb() * rhs.as_gigabytes())
-    }
-}
-
-impl Mul<MassPerCapacity> for Capacity {
-    type Output = MassCo2;
-    fn mul(self, rhs: MassPerCapacity) -> MassCo2 {
-        rhs * self
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::TimeSpan;
+    use crate::{Area, Capacity, Energy, TimeSpan};
 
     #[test]
     fn intensity_times_energy_commutes() {
@@ -319,6 +255,20 @@ mod tests {
         let footprint = CarbonIntensity::grams_per_kwh(380.0) * energy;
         // 6.6 W * 8760 h = 57.8 kWh -> about 22 kg.
         assert!((footprint.as_kilograms() - 21.97).abs() < 0.1);
+    }
+
+    #[test]
+    fn rate_algebra_is_closed_over_the_model() {
+        // CPA = CIfab * EPA + GPA + MPA, per cm^2 (eq. 5 numerator).
+        let cpa: MassPerArea = CarbonIntensity::grams_per_kwh(500.0)
+            * EnergyPerArea::kwh_per_cm2(2.0)
+            + MassPerArea::grams_per_cm2(200.0)
+            + MassPerArea::grams_per_cm2(500.0);
+        assert!((cpa.as_grams_per_cm2() - 1700.0).abs() < 1e-9);
+
+        // Recovering a per-GB factor from a mass and a capacity.
+        let cps: MassPerCapacity = crate::MassCo2::grams(384.0) / Capacity::gigabytes(8.0);
+        assert!((cps.as_grams_per_gb() - 48.0).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,47 @@
+//! Transparent serde support for [`Quantity`]: a quantity serializes as its
+//! bare canonical-unit `f64`, exactly like the `#[serde(transparent)]`
+//! newtypes it replaced, so every existing JSON fixture and scenario file
+//! keeps its shape.
+//!
+//! Deserialization is deliberately *raw* (no finiteness/positivity
+//! validation): configuration loaders validate at the model boundary via
+//! `try_*` constructors and [`Quantity::ensure_finite`], matching the PR-1
+//! poisoning contract.
+
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+use crate::dim::Dimension;
+use crate::quantity::Quantity;
+
+impl<D: Dimension> Serialize for Quantity<D> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.base().serialize(serializer)
+    }
+}
+
+impl<'de, D: Dimension> Deserialize<'de> for Quantity<D> {
+    fn deserialize<De: Deserializer<'de>>(deserializer: De) -> Result<Self, De::Error> {
+        f64::deserialize(deserializer).map(Self::raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{CarbonIntensity, Energy, MassCo2};
+
+    #[test]
+    fn quantities_serialize_as_bare_numbers() {
+        assert_eq!(serde_json::to_string(&MassCo2::grams(42.5)).unwrap(), "42.5");
+        assert_eq!(
+            serde_json::to_string(&CarbonIntensity::grams_per_kwh(820.0)).unwrap(),
+            "820.0"
+        );
+    }
+
+    #[test]
+    fn round_trip_preserves_canonical_magnitude() {
+        let e = Energy::kilowatt_hours(57.8);
+        let back: Energy = serde_json::from_str(&serde_json::to_string(&e).unwrap()).unwrap();
+        assert_eq!(back, e);
+    }
+}

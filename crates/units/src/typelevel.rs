@@ -1,0 +1,197 @@
+//! Type-level integers in `[-4, 4]`: the exponent alphabet of the
+//! dimensional-analysis core.
+//!
+//! A [`Dim`](crate::Dim) is a vector of five exponents, one per base axis
+//! (g CO₂, kWh, s, cm², GB). Multiplying two quantities adds their exponent
+//! vectors and dividing subtracts them, so the arithmetic has to happen *in
+//! the type system*. Stable Rust cannot evaluate `{ A + B }` inside a const
+//! generic, so the exponents are ordinary types (`N4` … `Z0` … `P4`) and
+//! addition/subtraction are trait projections ([`IntAdd`], [`IntSub`]) whose
+//! impls tabulate every in-range pair.
+//!
+//! The range `[-4, 4]` is far beyond anything the ACT model produces (the
+//! paper's equations never exceed squared units); a product whose exponent
+//! would leave the range simply has no `IntAdd`/`IntSub` impl and fails to
+//! compile:
+//!
+//! ```compile_fail
+//! use act_units::Area;
+//! let a = Area::square_centimeters(1.0);
+//! let a2 = a * a;
+//! let a4 = a2 * a2;
+//! // cm^10 overflows the supported exponent range [-4, 4].
+//! let _ = a4 * a4 * a2;
+//! ```
+
+/// Seals [`TypeInt`] so the exponent alphabet stays closed.
+mod private {
+    pub trait Sealed {}
+}
+
+/// A type-level integer in `[-4, 4]`.
+///
+/// Implemented only by the unit structs in this module; [`VALUE`] recovers
+/// the runtime value for display and diagnostics.
+///
+/// [`VALUE`]: TypeInt::VALUE
+pub trait TypeInt: private::Sealed + Copy + Default + 'static {
+    /// The integer this type denotes.
+    const VALUE: i8;
+}
+
+/// Type-level addition: `Self + Rhs`, defined only while the sum stays
+/// within `[-4, 4]`.
+pub trait IntAdd<Rhs: TypeInt>: TypeInt {
+    /// The type-level sum.
+    type Output: TypeInt;
+}
+
+/// Type-level subtraction: `Self - Rhs`, defined only while the difference
+/// stays within `[-4, 4]`.
+pub trait IntSub<Rhs: TypeInt>: TypeInt {
+    /// The type-level difference.
+    type Output: TypeInt;
+}
+
+macro_rules! type_int {
+    ($(#[$meta:meta])* $name:ident = $value:literal) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+        pub struct $name;
+
+        impl private::Sealed for $name {}
+
+        impl TypeInt for $name {
+            const VALUE: i8 = $value;
+        }
+    };
+}
+
+type_int!(
+    /// Type-level `-4`.
+    N4 = -4
+);
+type_int!(
+    /// Type-level `-3`.
+    N3 = -3
+);
+type_int!(
+    /// Type-level `-2`.
+    N2 = -2
+);
+type_int!(
+    /// Type-level `-1`.
+    N1 = -1
+);
+type_int!(
+    /// Type-level `0`.
+    Z0 = 0
+);
+type_int!(
+    /// Type-level `+1`.
+    P1 = 1
+);
+type_int!(
+    /// Type-level `+2`.
+    P2 = 2
+);
+type_int!(
+    /// Type-level `+3`.
+    P3 = 3
+);
+type_int!(
+    /// Type-level `+4`.
+    P4 = 4
+);
+
+macro_rules! int_add {
+    ($($a:ty, $b:ty => $out:ty;)*) => {
+        $(impl IntAdd<$b> for $a { type Output = $out; })*
+    };
+}
+
+macro_rules! int_sub {
+    ($($a:ty, $b:ty => $out:ty;)*) => {
+        $(impl IntSub<$b> for $a { type Output = $out; })*
+    };
+}
+
+// Every (a, b) pair with a + b within [-4, 4]; generated exhaustively.
+int_add! {
+    N4, Z0 => N4; N4, P1 => N3; N4, P2 => N2; N4, P3 => N1; N4, P4 => Z0;
+    N3, N1 => N4; N3, Z0 => N3; N3, P1 => N2; N3, P2 => N1; N3, P3 => Z0;
+    N3, P4 => P1;
+    N2, N2 => N4; N2, N1 => N3; N2, Z0 => N2; N2, P1 => N1; N2, P2 => Z0;
+    N2, P3 => P1; N2, P4 => P2;
+    N1, N3 => N4; N1, N2 => N3; N1, N1 => N2; N1, Z0 => N1; N1, P1 => Z0;
+    N1, P2 => P1; N1, P3 => P2; N1, P4 => P3;
+    Z0, N4 => N4; Z0, N3 => N3; Z0, N2 => N2; Z0, N1 => N1; Z0, Z0 => Z0;
+    Z0, P1 => P1; Z0, P2 => P2; Z0, P3 => P3; Z0, P4 => P4;
+    P1, N4 => N3; P1, N3 => N2; P1, N2 => N1; P1, N1 => Z0; P1, Z0 => P1;
+    P1, P1 => P2; P1, P2 => P3; P1, P3 => P4;
+    P2, N4 => N2; P2, N3 => N1; P2, N2 => Z0; P2, N1 => P1; P2, Z0 => P2;
+    P2, P1 => P3; P2, P2 => P4;
+    P3, N4 => N1; P3, N3 => Z0; P3, N2 => P1; P3, N1 => P2; P3, Z0 => P3;
+    P3, P1 => P4;
+    P4, N4 => Z0; P4, N3 => P1; P4, N2 => P2; P4, N1 => P3; P4, Z0 => P4;
+}
+
+// Every (a, b) pair with a - b within [-4, 4]; generated exhaustively.
+int_sub! {
+    N4, N4 => Z0; N4, N3 => N1; N4, N2 => N2; N4, N1 => N3; N4, Z0 => N4;
+    N3, N4 => P1; N3, N3 => Z0; N3, N2 => N1; N3, N1 => N2; N3, Z0 => N3;
+    N3, P1 => N4;
+    N2, N4 => P2; N2, N3 => P1; N2, N2 => Z0; N2, N1 => N1; N2, Z0 => N2;
+    N2, P1 => N3; N2, P2 => N4;
+    N1, N4 => P3; N1, N3 => P2; N1, N2 => P1; N1, N1 => Z0; N1, Z0 => N1;
+    N1, P1 => N2; N1, P2 => N3; N1, P3 => N4;
+    Z0, N4 => P4; Z0, N3 => P3; Z0, N2 => P2; Z0, N1 => P1; Z0, Z0 => Z0;
+    Z0, P1 => N1; Z0, P2 => N2; Z0, P3 => N3; Z0, P4 => N4;
+    P1, N3 => P4; P1, N2 => P3; P1, N1 => P2; P1, Z0 => P1; P1, P1 => Z0;
+    P1, P2 => N1; P1, P3 => N2; P1, P4 => N3;
+    P2, N2 => P4; P2, N1 => P3; P2, Z0 => P2; P2, P1 => P1; P2, P2 => Z0;
+    P2, P3 => N1; P2, P4 => N2;
+    P3, N1 => P4; P3, Z0 => P3; P3, P1 => P2; P3, P2 => P1; P3, P3 => Z0;
+    P3, P4 => N1;
+    P4, Z0 => P4; P4, P1 => P3; P4, P2 => P2; P4, P3 => P1; P4, P4 => Z0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn add<A: IntAdd<B>, B: TypeInt>() -> i8 {
+        <A as IntAdd<B>>::Output::VALUE
+    }
+
+    fn sub<A: IntSub<B>, B: TypeInt>() -> i8 {
+        <A as IntSub<B>>::Output::VALUE
+    }
+
+    #[test]
+    fn values_span_the_range() {
+        assert_eq!(N4::VALUE, -4);
+        assert_eq!(N1::VALUE, -1);
+        assert_eq!(Z0::VALUE, 0);
+        assert_eq!(P1::VALUE, 1);
+        assert_eq!(P4::VALUE, 4);
+    }
+
+    #[test]
+    fn addition_table_is_arithmetic() {
+        assert_eq!(add::<P1, P1>(), 2);
+        assert_eq!(add::<P2, N1>(), 1);
+        assert_eq!(add::<N4, P4>(), 0);
+        assert_eq!(add::<Z0, N3>(), -3);
+        assert_eq!(add::<P3, P1>(), 4);
+    }
+
+    #[test]
+    fn subtraction_table_is_arithmetic() {
+        assert_eq!(sub::<P1, P1>(), 0);
+        assert_eq!(sub::<Z0, P1>(), -1);
+        assert_eq!(sub::<N2, N4>(), 2);
+        assert_eq!(sub::<P4, P1>(), 3);
+        assert_eq!(sub::<N1, P3>(), -4);
+    }
+}

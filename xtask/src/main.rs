@@ -1,0 +1,97 @@
+//! `cargo xtask` — workspace maintenance commands.
+//!
+//! ```text
+//! cargo xtask lint              # run the ACT static-analysis rules
+//! cargo xtask lint --root DIR   # lint a different checkout
+//! ```
+//!
+//! Exit codes: `0` clean, `1` violations (or stale allowlist entries),
+//! `2` usage or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> String {
+    "xtask — ACT workspace static analysis\n\n\
+     usage: cargo xtask lint [--root DIR]\n\n\
+     Rules (see xtask/src/lib.rs for the catalogue):\n\
+       ACT001  no `.base()` raw-f64 escape outside act-units/act-data\n\
+       ACT002  no unwrap()/expect() in library code (CLI main + tests exempt)\n\
+       ACT003  no unit-conversion f64 literals outside act-units/act-data\n\
+       ACT004  no infallible `from_base` outside act-units/act-data\n\
+       ACT005  no dbg!/todo!/unimplemented! anywhere\n\n\
+     Allowlist: xtask/lint.allow, lines of\n\
+       RULE|path-suffix|line-substring|justification\n\n\
+     exit codes: 0 clean, 1 violations, 2 usage/I-O error"
+        .to_owned()
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else {
+        eprintln!("{}", usage());
+        return ExitCode::from(2);
+    };
+    match command.as_str() {
+        "-h" | "--help" => {
+            println!("{}", usage());
+            ExitCode::SUCCESS
+        }
+        "lint" => {
+            let mut root = PathBuf::from(".");
+            let mut rest = args;
+            while let Some(arg) = rest.next() {
+                match arg.as_str() {
+                    "--root" => match rest.next() {
+                        Some(dir) => root = PathBuf::from(dir),
+                        None => {
+                            eprintln!("--root needs a directory\n\n{}", usage());
+                            return ExitCode::from(2);
+                        }
+                    },
+                    other => {
+                        eprintln!("unknown argument `{other}`\n\n{}", usage());
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            run_lint(&root)
+        }
+        other => {
+            eprintln!("unknown command `{other}`\n\n{}", usage());
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_lint(root: &std::path::Path) -> ExitCode {
+    let report = match xtask::lint_workspace(root) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("error: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    for finding in &report.findings {
+        println!("{finding}");
+    }
+    for entry in &report.stale {
+        println!(
+            "xtask/lint.allow: stale entry `{}|{}|{}` matches nothing — remove it",
+            entry.rule, entry.path_suffix, entry.line_substring
+        );
+    }
+    let clean = report.findings.is_empty() && report.stale.is_empty();
+    eprintln!(
+        "lint: {} file(s) scanned, {} violation(s), {} suppressed, {} stale allow entr(y/ies)",
+        report.files_scanned,
+        report.findings.len(),
+        report.suppressed.len(),
+        report.stale.len()
+    );
+    if clean {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,42 @@
+//! Fixture full of decoys that must NOT trigger any rule: banned tokens
+//! inside comments, strings, raw strings, char literals, doc examples,
+//! and `#[cfg(test)]` code.
+
+// .unwrap() and 3600.0 in a line comment are fine.
+/* Block comment: q.base() and from_base(1.0) and dbg!(x).
+   /* nested: todo!() */ still a comment. */
+
+/// Doc example — `.expect("fine")` here is documentation:
+///
+/// ```
+/// let v = Some(1).unwrap();
+/// ```
+pub fn decoys() -> String {
+    let s = "call .unwrap() with 3600.0 then from_base(2.0)";
+    let raw = r#"more decoys: .expect("x") dbg!(y) 86400.0"#;
+    let lifetime: &'static str = "named lifetime, not a char literal";
+    let ch = '"'; // a quote char must not open a string
+    let escaped = '\''; // escaped quote char
+    format!("{s}{raw}{lifetime}{ch}{escaped}")
+}
+
+pub fn try_from_base_is_fine(raw: f64) -> Result<act_units::Energy, act_units::UnitError> {
+    act_units::Energy::try_from_base(raw)
+}
+
+pub fn near_miss_literals(x: f64) -> f64 {
+    // Boundary checks: these contain banned digits but are different numbers.
+    x * 13600.0 + 3600.05 + 1024.5
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        assert_eq!(Some(2).expect("present"), 2);
+        let seconds_per_hour = 3600.0;
+        assert!(seconds_per_hour > 0.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Integration tests for the lint harness: fixture files with known
+//! violations (rule IDs and file:line asserted), decoy files that must
+//! stay clean, allowlist behavior, and a clean run over the real tree.
+
+use std::path::Path;
+
+use xtask::{
+    apply_allowlist, lint_source, lint_workspace, parse_allowlist, Finding, LintError,
+};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn ids(findings: &[Finding]) -> Vec<(&'static str, usize)> {
+    findings.iter().map(|f| (f.rule, f.line)).collect()
+}
+
+#[test]
+fn violations_fixture_flags_every_rule_with_position() {
+    let findings = lint_source("crates/fixture/src/violations.rs", &fixture("violations.rs"));
+    assert_eq!(
+        ids(&findings),
+        vec![
+            ("ACT001", 5),
+            ("ACT002", 9),
+            ("ACT002", 13),
+            ("ACT003", 17),
+            ("ACT004", 21),
+            ("ACT005", 25),
+        ],
+        "got: {findings:#?}"
+    );
+    // file:line:col rendering, pointing at the offending token.
+    let first = findings[0].to_string();
+    assert!(first.starts_with("crates/fixture/src/violations.rs:5:7: ACT001"), "{first}");
+}
+
+#[test]
+fn clean_fixture_has_no_findings() {
+    let findings = lint_source("crates/fixture/src/clean.rs", &fixture("clean.rs"));
+    assert!(findings.is_empty(), "decoys should not trigger rules: {findings:#?}");
+}
+
+#[test]
+fn unit_home_crates_may_touch_the_raw_boundary() {
+    let src = "pub fn f(q: Energy) -> f64 { q.base() + Energy::from_base(3600.0).base() }\n";
+    assert!(lint_source("crates/units/src/x.rs", src).is_empty());
+    assert!(lint_source("crates/data/src/x.rs", src).is_empty());
+    let outside = lint_source("crates/core/src/x.rs", src);
+    // Sorted by column: q.base(), from_base(, 3600.0, .base() again.
+    let rules: Vec<&str> = outside.iter().map(|f| f.rule).collect();
+    assert_eq!(rules, vec!["ACT001", "ACT004", "ACT003", "ACT001"], "{outside:#?}");
+}
+
+#[test]
+fn cli_binary_is_exempt_from_act002_only() {
+    let src = "fn main() { run().unwrap(); dbg!(1); }\n";
+    let findings = lint_source("crates/cli/src/main.rs", src);
+    assert_eq!(ids(&findings), vec![("ACT005", 1)], "{findings:#?}");
+}
+
+#[test]
+fn act005_applies_even_inside_tests() {
+    let src = "#[cfg(test)]\nmod tests {\n    fn f() { todo!() }\n}\n";
+    let findings = lint_source("crates/core/src/x.rs", src);
+    assert_eq!(ids(&findings), vec![("ACT005", 3)]);
+}
+
+#[test]
+fn cfg_test_region_covers_only_the_gated_item() {
+    let src = "#[cfg(test)]\nmod tests {\n    fn f(v: Option<u32>) -> u32 { v.unwrap() }\n}\n\
+               pub fn g(v: Option<u32>) -> u32 {\n    v.unwrap()\n}\n";
+    let findings = lint_source("crates/core/src/x.rs", src);
+    assert_eq!(ids(&findings), vec![("ACT002", 6)], "{findings:#?}");
+}
+
+#[test]
+fn allowlist_suppresses_matching_findings_and_reports_stale_entries() {
+    let findings = lint_source("crates/fixture/src/violations.rs", &fixture("violations.rs"));
+    let entries = parse_allowlist(
+        "# comment\n\
+         ACT001|src/violations.rs|q.base()|fixture demonstrates the raw escape\n\
+         ACT002|src/other.rs|nothing here|stale entry that matches no finding\n",
+    )
+    .expect("well-formed allowlist");
+    let (kept, suppressed, stale) = apply_allowlist(findings, &entries);
+    assert_eq!(suppressed.len(), 1);
+    assert_eq!(suppressed[0].rule, "ACT001");
+    assert!(kept.iter().all(|f| f.rule != "ACT001"));
+    assert_eq!(stale.len(), 1);
+    assert_eq!(stale[0].path_suffix, "src/other.rs");
+}
+
+#[test]
+fn allowlist_justification_is_mandatory() {
+    let err = parse_allowlist("ACT002|a.rs|line|\n").expect_err("empty justification");
+    assert!(matches!(err, LintError::MalformedAllowEntry { line: 1, .. }), "{err}");
+    let err = parse_allowlist("ACT002|a.rs|line\n").expect_err("three fields only");
+    assert!(err.to_string().contains("RULE|path-suffix|line-substring|justification"));
+}
+
+#[test]
+fn the_real_workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..");
+    let report = lint_workspace(&root).expect("lintable tree");
+    assert!(report.files_scanned > 50, "only {} files scanned", report.files_scanned);
+    let rendered: Vec<String> = report.findings.iter().map(ToString::to_string).collect();
+    assert!(report.findings.is_empty(), "violations: {rendered:#?}");
+    assert!(report.stale.is_empty(), "stale allowlist entries: {:#?}", report.stale);
+    assert!(!report.suppressed.is_empty(), "the vetted ftl.rs invariants should be suppressed");
+}
