@@ -1,11 +1,16 @@
 //! Criterion benchmark harness for the ACT reproduction.
 //!
-//! Two bench targets exist:
+//! Three bench targets exist:
 //!
 //! * `paper` — one benchmark per figure/table; each iteration regenerates
 //!   the artifact end to end (`bench_fig1` … `bench_table12`).
 //! * `ablations` — the design-choice sensitivity studies DESIGN.md calls
 //!   out (yield, abatement, fab energy source, WA model, DRAM-node
 //!   assignment).
+//! * `engine` — the parallel evaluation engine: serial-vs-parallel sweep
+//!   and Monte-Carlo throughput, and the skyline `pareto_indices` against
+//!   the quadratic reference.
 //!
-//! Run with `cargo bench --workspace`.
+//! Run with `cargo bench --workspace`. For the machine-readable
+//! wall-clock trajectory (figure timings, sweep throughput, `act all`
+//! speedup) use `cargo xtask bench`, which writes `BENCH_results.json`.

@@ -3,11 +3,18 @@
 //! ```text
 //! act list            # list experiment IDs
 //! act fig12           # reproduce Figure 12
-//! act table4 fig9     # several at once
+//! act table4 fig9     # several at once (evaluated in parallel)
 //! act --json fig12    # typed result as JSON
 //! act --json all      # every result as one JSON array
 //! act all             # everything, in paper order
+//! act all --serial    # same output, single-threaded
+//! act bench-sweep     # synthetic 10k-point sweep throughput probe (JSON)
 //! ```
+//!
+//! Requested experiments evaluate **in parallel** by default (including
+//! the figures inside `all`), while output stays in request/paper order
+//! and is byte-identical to a serial run. `--serial` disables threading
+//! entirely; `ACT_THREADS=N` caps the worker count.
 //!
 //! Experiments are fault-isolated: a failing or unknown experiment prints
 //! a structured error to stderr and the remaining requested experiments
@@ -17,22 +24,37 @@
 //! errors (unknown flags).
 
 use std::process::ExitCode;
+use std::time::Instant;
 
-use act_experiments::{try_render_experiment, ExperimentError, OutputFormat, EXPERIMENT_IDS};
+use act_dse::{par_map_ordered, Parallelism};
+use act_experiments::{
+    par_try_render_experiment, try_render_experiment, ExperimentError, OutputFormat,
+    EXPERIMENT_IDS,
+};
 
 /// Exit code for a run where at least one experiment failed.
 const EXIT_EXPERIMENT_FAILED: u8 = 1;
 /// Exit code for a malformed invocation (unknown flag).
 const EXIT_USAGE: u8 = 2;
 
+/// Default point count for `act bench-sweep`.
+const BENCH_SWEEP_POINTS: usize = 10_000;
+
 fn usage() -> String {
     format!(
         "act — ACT (ISCA 2022) experiment runner\n\n\
-         usage: act [--json] [--strict] <experiment>...\n\
-                act list\n\n\
+         usage: act [--json] [--strict] [--serial] <experiment>...\n\
+                act list\n\
+                act bench-sweep [points]\n\n\
          options:\n\
            --json     emit typed results as JSON\n\
-           --strict   stop at the first failing experiment\n\n\
+           --strict   stop at the first failing experiment\n\
+           --serial   evaluate single-threaded (parallel is the default)\n\n\
+         environment:\n\
+           ACT_THREADS=N  cap the parallel evaluation workers at N\n\n\
+         bench-sweep runs a synthetic parameter sweep serially and in\n\
+         parallel and prints throughput/speedup as JSON (the `cargo xtask\n\
+         bench` trajectory harness consumes it).\n\n\
          exit codes: 0 success, 1 experiment failure, 2 usage error\n\n\
          experiments: {}",
         EXPERIMENT_IDS.join(", ")
@@ -56,9 +78,67 @@ fn report_error(err: &ExperimentError, json: bool) {
     }
 }
 
+/// The synthetic per-point model for `bench-sweep`: a few hundred
+/// transcendental ops, the cost shape of one embodied-carbon evaluation.
+fn bench_sweep_model(x: &f64) -> f64 {
+    let mut acc = *x;
+    for _ in 0..256 {
+        acc = (acc + 1.0).sqrt() + (acc + 2.0).ln();
+    }
+    acc
+}
+
+/// `act bench-sweep [points]`: times the same sweep serially and in
+/// parallel, verifies the results are bitwise identical, and prints a JSON
+/// throughput record.
+fn run_bench_sweep(points_arg: Option<&str>, serial_only: bool) -> ExitCode {
+    let points = match points_arg {
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) if n >= 2 => n,
+            _ => {
+                eprintln!("bench-sweep needs a point count >= 2, got `{raw}`\n\n{}", usage());
+                return ExitCode::from(EXIT_USAGE);
+            }
+        },
+        None => BENCH_SWEEP_POINTS,
+    };
+    let inputs = act_dse::logspace(1.0, 1000.0, points);
+
+    let serial_start = Instant::now();
+    let serial_results = act_dse::sweep(inputs.clone(), bench_sweep_model);
+    let serial_ms = serial_start.elapsed().as_secs_f64() * 1e3;
+
+    let parallelism = if serial_only { Parallelism::Serial } else { Parallelism::Auto };
+    let parallel_start = Instant::now();
+    let parallel_results = act_dse::par_sweep_with(parallelism, inputs, bench_sweep_model);
+    let parallel_ms = parallel_start.elapsed().as_secs_f64() * 1e3;
+
+    let serial_sum: f64 = serial_results.iter().map(|(_, r)| r).sum();
+    let parallel_sum: f64 = parallel_results.iter().map(|(_, r)| r).sum();
+    if serial_sum.to_bits() != parallel_sum.to_bits() {
+        eprintln!("bench-sweep: parallel results diverged from serial (engine bug)");
+        return ExitCode::from(EXIT_EXPERIMENT_FAILED);
+    }
+
+    let speedup = serial_ms / parallel_ms.max(1e-9);
+    let evals_per_sec = points as f64 / (parallel_ms / 1e3).max(1e-12);
+    let body = serde_json::json!({
+        "points": points,
+        "threads": parallelism.worker_count(),
+        "serial_ms": serial_ms,
+        "parallel_ms": parallel_ms,
+        "speedup": speedup,
+        "evals_per_sec": evals_per_sec,
+        "checksum": parallel_sum,
+    });
+    println!("{body}");
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let mut json = false;
     let mut strict = false;
+    let mut serial = false;
     let mut ids = Vec::new();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
@@ -68,6 +148,7 @@ fn main() -> ExitCode {
             }
             "--json" => json = true,
             "--strict" => strict = true,
+            "--serial" => serial = true,
             flag if flag.starts_with('-') => {
                 eprintln!("unknown flag `{flag}`\n\n{}", usage());
                 return ExitCode::from(EXIT_USAGE);
@@ -83,7 +164,18 @@ fn main() -> ExitCode {
         for id in EXPERIMENT_IDS {
             println!("{id}");
         }
+        eprintln!(
+            "(experiments evaluate in parallel by default; \
+             --serial disables threads, ACT_THREADS=N caps workers)"
+        );
         return ExitCode::SUCCESS;
+    }
+    if ids[0] == "bench-sweep" {
+        if ids.len() > 2 {
+            eprintln!("bench-sweep takes at most one point count\n\n{}", usage());
+            return ExitCode::from(EXIT_USAGE);
+        }
+        return run_bench_sweep(ids.get(1).map(String::as_str), serial);
     }
 
     let format = if json { OutputFormat::Json } else { OutputFormat::Text };
@@ -93,19 +185,36 @@ fn main() -> ExitCode {
     let default_hook = std::panic::take_hook();
     std::panic::set_hook(Box::new(|_| {}));
     let mut failures = 0u32;
-    for id in &ids {
-        match try_render_experiment(id, format) {
-            Ok(text) => {
-                print!("{text}");
-                if json {
-                    println!();
+    if serial {
+        // The original streaming path: evaluate and print one experiment at
+        // a time; `--strict` stops before evaluating anything further.
+        for id in &ids {
+            match try_render_experiment(id, format) {
+                Ok(text) => print_rendered(&text, json),
+                Err(err) => {
+                    failures += 1;
+                    report_error(&err, json);
+                    if strict {
+                        break;
+                    }
                 }
             }
-            Err(err) => {
-                failures += 1;
-                report_error(&err, json);
-                if strict {
-                    break;
+        }
+    } else {
+        // Parallel path: requested experiments evaluate concurrently (and
+        // `all` fans out internally); results print in request order.
+        let rendered = par_map_ordered(Parallelism::Auto, &ids, |_, id| {
+            par_try_render_experiment(id, format, Parallelism::Auto)
+        });
+        for result in rendered {
+            match result {
+                Ok(text) => print_rendered(&text, json),
+                Err(err) => {
+                    failures += 1;
+                    report_error(&err, json);
+                    if strict {
+                        break;
+                    }
                 }
             }
         }
@@ -116,5 +225,14 @@ fn main() -> ExitCode {
         ExitCode::from(EXIT_EXPERIMENT_FAILED)
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+/// Prints one successfully rendered experiment, newline-terminating JSON
+/// bodies exactly as the serial runner always has.
+fn print_rendered(text: &str, json: bool) {
+    print!("{text}");
+    if json {
+        println!();
     }
 }

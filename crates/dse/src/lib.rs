@@ -12,6 +12,16 @@
 //! points are skipped and recorded in the returned [`SweepOutcome`] /
 //! [`McOutcome`] rather than panicking mid-exploration.
 //!
+//! Large design spaces evaluate in parallel through the `par_*` twins
+//! ([`par_sweep`], [`par_try_sweep`], [`par_sweep_finite`],
+//! [`par_monte_carlo`], [`par_try_monte_carlo`]): results come back in
+//! input order and — via per-sample seed-splitting for Monte-Carlo — are
+//! bit-for-bit identical to their serial counterparts for any thread
+//! count. The [`Parallelism`] policy picks the worker count (`Serial`,
+//! `Auto` honoring `ACT_THREADS`, or explicit `Threads(n)`); disabling the
+//! default `parallel` cargo feature removes the threading entirely while
+//! keeping every `par_*` API compiling (serial fallback).
+//!
 //! # Examples
 //!
 //! ```
@@ -34,13 +44,19 @@
 
 mod montecarlo;
 mod optimize;
+mod parallel;
 mod pareto;
 mod sweep;
 
-pub use montecarlo::{monte_carlo, triangular, try_monte_carlo, McError, McOutcome, McStats};
+pub use montecarlo::{
+    mc_sample_seed, monte_carlo, par_monte_carlo, par_monte_carlo_with, par_try_monte_carlo,
+    par_try_monte_carlo_with, triangular, try_monte_carlo, McError, McOutcome, McStats,
+};
 pub use optimize::{argmin_by, argmin_feasible, knee_point, normalize_to, normalize_to_last};
-pub use pareto::{dominates, pareto_indices};
+pub use parallel::{par_map_ordered, par_map_range, Parallelism};
+pub use pareto::{dominates, pareto_indices, pareto_indices_reference};
 pub use sweep::{
-    linspace, logspace, powers_of_two, sweep, sweep_finite, try_sweep, RejectedPoint,
-    SweepOutcome,
+    linspace, linspace_iter, logspace, logspace_iter, par_sweep, par_sweep_finite,
+    par_sweep_finite_with, par_sweep_with, par_try_sweep, par_try_sweep_with, powers_of_two,
+    powers_of_two_iter, sweep, sweep_finite, try_sweep, RejectedPoint, SweepOutcome,
 };

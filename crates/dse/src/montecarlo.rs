@@ -9,6 +9,8 @@ use rand::Rng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
+use crate::parallel::{par_map_range, Parallelism};
+
 /// Summary statistics of a Monte-Carlo run.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct McStats {
@@ -25,11 +27,27 @@ pub struct McStats {
 }
 
 impl McStats {
-    /// The p05–p95 spread relative to the mean — a unitless uncertainty
-    /// indicator.
+    /// The p05–p95 spread relative to the magnitude of the mean — a
+    /// unitless uncertainty indicator.
+    ///
+    /// Never returns NaN: a zero spread is `0.0` regardless of the mean
+    /// (even an all-zero run is "perfectly certain"), and a nonzero spread
+    /// over a mean too small to normalize by (`|mean| <
+    /// f64::MIN_POSITIVE`, or a non-finite mean from poisoned statistics)
+    /// reports `f64::INFINITY` — "infinitely uncertain" — instead of
+    /// dividing by ~zero. The divisor is `|mean|`, so the indicator is
+    /// non-negative for negative-mean models too.
     #[must_use]
     pub fn relative_spread(&self) -> f64 {
-        (self.p95 - self.p05) / self.mean
+        let spread = self.p95 - self.p05;
+        if spread == 0.0 {
+            return 0.0;
+        }
+        let scale = self.mean.abs();
+        if spread.is_nan() || !scale.is_finite() || scale < f64::MIN_POSITIVE {
+            return f64::INFINITY;
+        }
+        spread / scale
     }
 }
 
@@ -157,6 +175,149 @@ pub fn try_monte_carlo(
     Ok(McOutcome { stats: summarize(values), rejected })
 }
 
+/// Derives the independent RNG seed for sample `index` of a run keyed by
+/// `master` — the seed-splitting scheme behind [`par_monte_carlo`].
+///
+/// This is the SplitMix64 output function evaluated at position
+/// `index + 1` of the stream seeded by `master`: every sample gets its own
+/// statistically independent `StdRng`, no RNG state is shared between
+/// samples, and the draw for sample `i` depends only on `(master, i)` —
+/// never on which thread evaluated it or in what order. That is the whole
+/// determinism argument: parallel and serial runs see bit-identical draws.
+#[must_use]
+pub fn mc_sample_seed(master: u64, index: u64) -> u64 {
+    const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut z = master.wrapping_add(index.wrapping_add(1).wrapping_mul(GOLDEN_GAMMA));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic parallel Monte-Carlo under the default
+/// [`Parallelism::Auto`] policy.
+///
+/// Unlike [`monte_carlo`] — which threads one RNG through every draw and
+/// is therefore inherently serial — each sample `i` gets its own `StdRng`
+/// seeded with [`mc_sample_seed`]`(seed, i)`. Sample values consequently
+/// depend only on `(seed, i)`, so the returned statistics are **bit-for-bit
+/// identical** for any thread count, including [`Parallelism::Serial`] —
+/// pinned by property tests. The draws differ from [`monte_carlo`]'s for
+/// the same seed (a different, parallelizable RNG schedule), but are
+/// sampled from exactly the same distributions.
+///
+/// # Panics
+///
+/// Panics if `samples` is zero or the model produces non-finite outputs.
+///
+/// # Examples
+///
+/// ```
+/// use act_dse::par_monte_carlo;
+/// use rand::Rng;
+///
+/// let stats = par_monte_carlo(2_000, 42, |rng| {
+///     let y: f64 = rng.gen_range(0.7..1.0);
+///     0.9 * 1370.0 / y
+/// });
+/// assert!(stats.p05 < stats.mean && stats.mean < stats.p95);
+/// ```
+pub fn par_monte_carlo(
+    samples: usize,
+    seed: u64,
+    model: impl Fn(&mut StdRng) -> f64 + Sync,
+) -> McStats {
+    par_monte_carlo_with(Parallelism::Auto, samples, seed, model)
+}
+
+/// Deterministic parallel Monte-Carlo under an explicit [`Parallelism`]
+/// policy. See [`par_monte_carlo`] for the determinism guarantee.
+///
+/// # Panics
+///
+/// Panics if `samples` is zero or the model produces non-finite outputs.
+pub fn par_monte_carlo_with(
+    parallelism: Parallelism,
+    samples: usize,
+    seed: u64,
+    model: impl Fn(&mut StdRng) -> f64 + Sync,
+) -> McStats {
+    assert!(samples > 0, "need at least one sample");
+    let values = par_map_range(parallelism, samples, |i| {
+        let mut rng = StdRng::seed_from_u64(mc_sample_seed(seed, i as u64));
+        let v = model(&mut rng);
+        assert!(v.is_finite(), "model produced a non-finite sample");
+        v
+    });
+    summarize(values)
+}
+
+/// Fault-tolerant deterministic parallel Monte-Carlo under the default
+/// [`Parallelism::Auto`] policy: non-finite draws are skipped and counted
+/// exactly as in [`try_monte_carlo`], and — like [`par_monte_carlo`] — the
+/// outcome is bit-for-bit identical for any thread count.
+///
+/// # Errors
+///
+/// Returns [`McError::NoSamples`] if `samples` is zero and
+/// [`McError::AllRejected`] if every draw was non-finite.
+///
+/// # Examples
+///
+/// ```
+/// use act_dse::par_try_monte_carlo;
+/// use rand::Rng;
+///
+/// let outcome = par_try_monte_carlo(1_000, 42, |rng| {
+///     let y: f64 = rng.gen_range(-0.1..1.0);
+///     1370.0 / y.max(0.0) // y <= 0 -> +inf, rejected
+/// })?;
+/// assert!(outcome.rejected > 0);
+/// assert_eq!(outcome.stats.samples + outcome.rejected, 1_000);
+/// # Ok::<(), act_dse::McError>(())
+/// ```
+pub fn par_try_monte_carlo(
+    samples: usize,
+    seed: u64,
+    model: impl Fn(&mut StdRng) -> f64 + Sync,
+) -> Result<McOutcome, McError> {
+    par_try_monte_carlo_with(Parallelism::Auto, samples, seed, model)
+}
+
+/// Fault-tolerant deterministic parallel Monte-Carlo under an explicit
+/// [`Parallelism`] policy.
+///
+/// # Errors
+///
+/// Returns [`McError::NoSamples`] if `samples` is zero and
+/// [`McError::AllRejected`] if every draw was non-finite.
+pub fn par_try_monte_carlo_with(
+    parallelism: Parallelism,
+    samples: usize,
+    seed: u64,
+    model: impl Fn(&mut StdRng) -> f64 + Sync,
+) -> Result<McOutcome, McError> {
+    if samples == 0 {
+        return Err(McError::NoSamples);
+    }
+    let draws = par_map_range(parallelism, samples, |i| {
+        let mut rng = StdRng::seed_from_u64(mc_sample_seed(seed, i as u64));
+        model(&mut rng)
+    });
+    let mut values = Vec::with_capacity(samples);
+    let mut rejected = 0usize;
+    for v in draws {
+        if v.is_finite() {
+            values.push(v);
+        } else {
+            rejected += 1;
+        }
+    }
+    if values.is_empty() {
+        return Err(McError::AllRejected { rejected });
+    }
+    Ok(McOutcome { stats: summarize(values), rejected })
+}
+
 /// Sorts the finite samples and extracts the summary statistics.
 fn summarize(mut values: Vec<f64>) -> McStats {
     let samples = values.len();
@@ -266,6 +427,93 @@ mod tests {
         assert!(outcome.rejected > 0, "expected some rejections");
         assert_eq!(outcome.stats.samples + outcome.rejected, 4_000);
         assert!(outcome.stats.p05 >= 0.25);
+    }
+
+    #[test]
+    fn relative_spread_is_nan_free() {
+        // Zero spread, zero mean: certain, not NaN.
+        let zero = McStats { mean: 0.0, p05: 0.0, p50: 0.0, p95: 0.0, samples: 10 };
+        assert_eq!(zero.relative_spread(), 0.0);
+        // Nonzero spread around a zero mean: infinitely uncertain.
+        let centered = McStats { mean: 0.0, p05: -1.0, p50: 0.0, p95: 1.0, samples: 10 };
+        assert_eq!(centered.relative_spread(), f64::INFINITY);
+        // Near-zero (subnormal-adjacent) mean: still no blow-up into NaN.
+        let tiny = McStats { mean: 1e-320, p05: 0.0, p50: 1e-320, p95: 1.0, samples: 10 };
+        assert_eq!(tiny.relative_spread(), f64::INFINITY);
+        // Negative mean: indicator stays non-negative.
+        let negative = McStats { mean: -2.0, p05: -3.0, p50: -2.0, p95: -1.0, samples: 10 };
+        assert_eq!(negative.relative_spread(), 1.0);
+        // Poisoned stats never produce NaN either.
+        let poisoned = McStats { mean: f64::NAN, p05: 0.0, p50: 1.0, p95: 2.0, samples: 10 };
+        assert_eq!(poisoned.relative_spread(), f64::INFINITY);
+    }
+
+    #[test]
+    fn par_monte_carlo_is_thread_count_invariant() {
+        let f = |rng: &mut StdRng| rng.gen_range(0.0..1.0);
+        let serial = par_monte_carlo_with(Parallelism::Serial, 5_000, 7, f);
+        let two = par_monte_carlo_with(Parallelism::threads(2), 5_000, 7, f);
+        let eight = par_monte_carlo_with(Parallelism::threads(8), 5_000, 7, f);
+        assert_eq!(serial, two);
+        assert_eq!(serial, eight);
+        assert!((serial.mean - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn par_monte_carlo_matches_manual_seed_split_loop() {
+        let f = |rng: &mut StdRng| rng.gen_range(0.0..1.0);
+        let parallel = par_monte_carlo_with(Parallelism::threads(4), 2_000, 11, f);
+        let values: Vec<f64> = (0..2_000u64)
+            .map(|i| {
+                let mut rng = StdRng::seed_from_u64(mc_sample_seed(11, i));
+                f(&mut rng)
+            })
+            .collect();
+        let reference = summarize(values);
+        assert_eq!(parallel, reference);
+    }
+
+    #[test]
+    fn par_try_monte_carlo_is_thread_count_invariant() {
+        let f = |rng: &mut StdRng| {
+            let v: f64 = rng.gen_range(0.0..1.0);
+            if v < 0.25 {
+                f64::NAN
+            } else {
+                v
+            }
+        };
+        let serial = par_try_monte_carlo_with(Parallelism::Serial, 4_000, 13, f).unwrap();
+        let parallel = par_try_monte_carlo_with(Parallelism::threads(8), 4_000, 13, f).unwrap();
+        assert_eq!(serial, parallel);
+        assert!(parallel.rejected > 0);
+        assert_eq!(parallel.stats.samples + parallel.rejected, 4_000);
+    }
+
+    #[test]
+    fn par_try_monte_carlo_reports_degenerate_runs() {
+        assert_eq!(par_try_monte_carlo(0, 0, |_| 1.0), Err(McError::NoSamples));
+        assert_eq!(
+            par_try_monte_carlo(10, 0, |_| f64::INFINITY),
+            Err(McError::AllRejected { rejected: 10 })
+        );
+    }
+
+    #[test]
+    fn sample_seeds_are_well_spread() {
+        // Consecutive indices and nearby masters must not collide.
+        let mut seen = std::collections::HashSet::new();
+        for master in 0..8u64 {
+            for index in 0..1_000u64 {
+                assert!(seen.insert(mc_sample_seed(master, index)));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn par_zero_samples_rejected() {
+        let _ = par_monte_carlo(0, 0, |_| 1.0);
     }
 
     #[test]

@@ -1,0 +1,253 @@
+//! Deterministic thread-parallel evaluation primitives.
+//!
+//! The engine is built on `std::thread::scope` — no external thread-pool
+//! dependency — so `act-dse` stays embeddable and dependency-light. Work is
+//! handed out through an atomic index (dynamic load balancing for skewed
+//! models), each worker collects `(index, result)` pairs, and the merged
+//! results are returned in **input order**: parallel evaluation is
+//! observationally identical to the serial loop for any pure model.
+//!
+//! Thread count is a [`Parallelism`] policy: `Serial` (no threads at all),
+//! `Auto` (the `ACT_THREADS` environment variable, else every available
+//! core) or an explicit `Threads(n)`. The whole module compiles with the
+//! `parallel` cargo feature disabled too — every `par_*` entry point then
+//! degrades to the serial loop, so downstream code never needs `cfg` guards.
+
+use std::num::NonZeroUsize;
+
+/// Thread-count policy for the `par_*` evaluation primitives.
+///
+/// # Examples
+///
+/// ```
+/// use act_dse::Parallelism;
+///
+/// assert_eq!(Parallelism::Serial.worker_count(), 1);
+/// assert!(Parallelism::Auto.worker_count() >= 1);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Parallelism {
+    /// One worker on the calling thread: no threads are spawned and
+    /// evaluation order matches the serial loop exactly.
+    Serial,
+    /// Honors the `ACT_THREADS` environment variable when it parses as a
+    /// positive integer, else uses the machine's available parallelism.
+    Auto,
+    /// Exactly this many workers.
+    Threads(NonZeroUsize),
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Self::Auto
+    }
+}
+
+impl Parallelism {
+    /// Resolves the policy to a concrete worker count (always ≥ 1).
+    #[must_use]
+    pub fn worker_count(self) -> usize {
+        match self {
+            Self::Serial => 1,
+            Self::Threads(n) => n.get(),
+            Self::Auto => env_threads().unwrap_or_else(default_threads),
+        }
+    }
+
+    /// Convenience constructor clamping `n` up to 1, for callers holding a
+    /// plain `usize` (e.g. parsed CLI input).
+    #[must_use]
+    pub fn threads(n: usize) -> Self {
+        match NonZeroUsize::new(n) {
+            Some(n) => Self::Threads(n),
+            None => Self::Serial,
+        }
+    }
+}
+
+/// The `ACT_THREADS` override: a positive integer forces that worker count.
+fn env_threads() -> Option<usize> {
+    std::env::var("ACT_THREADS").ok()?.trim().parse::<usize>().ok().filter(|&n| n >= 1)
+}
+
+#[cfg(feature = "parallel")]
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+#[cfg(not(feature = "parallel"))]
+fn default_threads() -> usize {
+    1
+}
+
+/// Applies `f(index, item)` to every element of a conceptual range
+/// `0..len`, in parallel, returning results in index order.
+///
+/// This is the engine under [`par_map_ordered`] and the `par_*` sweep and
+/// Monte-Carlo entry points; it is public so model code can parallelize
+/// index-driven work (e.g. per-sample seeding) without materializing an
+/// input slice.
+///
+/// A panicking `f` propagates its payload to the caller after every worker
+/// has stopped, matching the serial loop's failure mode.
+///
+/// # Examples
+///
+/// ```
+/// use act_dse::{par_map_range, Parallelism};
+///
+/// let squares = par_map_range(Parallelism::Auto, 5, |i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+/// ```
+pub fn par_map_range<R, F>(parallelism: Parallelism, len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = parallelism.worker_count().min(len.max(1));
+    if workers <= 1 {
+        return (0..len).map(f).collect();
+    }
+    par_map_threaded(workers, len, &f)
+}
+
+/// Applies `f(index, &item)` to every element of `items`, in parallel,
+/// returning results in input order.
+///
+/// # Examples
+///
+/// ```
+/// use act_dse::{par_map_ordered, Parallelism};
+///
+/// let doubled = par_map_ordered(Parallelism::Auto, &[1, 2, 3], |_, x| x * 2);
+/// assert_eq!(doubled, vec![2, 4, 6]);
+/// ```
+pub fn par_map_ordered<T, R, F>(parallelism: Parallelism, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_range(parallelism, items.len(), |index| f(index, &items[index]))
+}
+
+#[cfg(feature = "parallel")]
+fn par_map_threaded<R, F>(workers: usize, len: usize, f: &F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let next = AtomicUsize::new(0);
+    let mut buckets: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        if index >= len {
+                            break;
+                        }
+                        local.push((index, f(index)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(local) => buckets.push(local),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    let mut indexed: Vec<(usize, R)> = buckets.into_iter().flatten().collect();
+    indexed.sort_by_key(|&(index, _)| index);
+    indexed.into_iter().map(|(_, result)| result).collect()
+}
+
+#[cfg(not(feature = "parallel"))]
+fn par_map_threaded<R, F>(_workers: usize, len: usize, f: &F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    (0..len).map(f).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn four() -> Parallelism {
+        Parallelism::threads(4)
+    }
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let serial = par_map_ordered(Parallelism::Serial, &items, |_, x| x * 3);
+        let parallel = par_map_ordered(four(), &items, |_, x| x * 3);
+        assert_eq!(serial, parallel);
+        assert_eq!(parallel[17], 51);
+    }
+
+    #[test]
+    fn skewed_workloads_still_order_correctly() {
+        // Later items finish first; ordering must still hold.
+        let items: Vec<u64> = (0..64).collect();
+        let out = par_map_ordered(four(), &items, |i, x| {
+            if i < 8 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            *x
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map_ordered(four(), &empty, |_, x| *x).is_empty());
+        assert_eq!(par_map_range(four(), 0, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map_ordered(four(), &[9], |_, x| *x + 1), vec![10]);
+    }
+
+    #[test]
+    fn worker_count_resolution() {
+        assert_eq!(Parallelism::Serial.worker_count(), 1);
+        assert_eq!(Parallelism::threads(6).worker_count(), 6);
+        assert_eq!(Parallelism::threads(0).worker_count(), 1);
+        assert!(Parallelism::Auto.worker_count() >= 1);
+        assert_eq!(Parallelism::default(), Parallelism::Auto);
+    }
+
+    #[test]
+    fn index_is_passed_through() {
+        let out = par_map_range(four(), 10, |i| i * i);
+        assert_eq!(out, (0..10).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panics_propagate_with_payload() {
+        let caught = std::panic::catch_unwind(|| {
+            par_map_range(four(), 100, |i| {
+                assert!(i != 37, "poisoned index");
+                i
+            })
+        });
+        let payload = caught.expect_err("worker panic must propagate");
+        // A no-args `assert!` message panics with a `&'static str` payload;
+        // formatted ones carry a `String`. Accept either.
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_owned())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(message.contains("poisoned index"), "got: {message}");
+    }
+}

@@ -1,4 +1,16 @@
 //! Pareto-dominance utilities for multi-objective (minimization) spaces.
+//!
+//! [`pareto_indices`] keeps its original public contract — indices of the
+//! non-dominated points, in input order, duplicates all kept — but no
+//! longer runs the all-pairs O(n²) scan for the common cases: 2-D inputs
+//! take a sort-then-scan skyline (O(n log n)), 1-D inputs a min scan
+//! (O(n)), and k-D inputs a lexicographic-sort + non-dominated-archive
+//! pruning pass that only ever compares against current frontier members.
+//! The old quadratic implementation survives as
+//! [`pareto_indices_reference`], the oracle for the randomized
+//! equivalence tests and the baseline for the criterion benchmarks.
+
+use std::cmp::Ordering;
 
 /// Returns `true` if point `a` dominates point `b`: `a` is no worse on every
 /// objective and strictly better on at least one. All objectives minimize.
@@ -32,6 +44,17 @@ pub fn dominates(a: &[f64], b: &[f64]) -> bool {
 /// Indices of the Pareto-optimal (non-dominated) points, in input order.
 /// All objectives minimize. Duplicate points are all kept.
 ///
+/// 2-D inputs run in O(n log n), 1-D in O(n); higher dimensions use a
+/// pruning pass that compares only against the frontier found so far.
+/// Inputs containing NaN coordinates fall back to
+/// [`pareto_indices_reference`] so the (degenerate) NaN comparison
+/// semantics stay exactly as before.
+///
+/// # Panics
+///
+/// Panics if the points have different dimensionality (two or more
+/// points).
+///
 /// # Examples
 ///
 /// ```
@@ -46,11 +69,126 @@ pub fn dominates(a: &[f64], b: &[f64]) -> bool {
 /// ```
 #[must_use]
 pub fn pareto_indices(points: &[Vec<f64>]) -> Vec<usize> {
+    if points.len() <= 1 {
+        return (0..points.len()).collect();
+    }
+    let dims = points[0].len();
+    for p in points {
+        assert_eq!(p.len(), dims, "objective vectors must have equal length");
+    }
+    if dims == 0 {
+        // Zero objectives: nothing can be strictly better, everything is
+        // non-dominated (matching the reference scan).
+        return (0..points.len()).collect();
+    }
+    if points.iter().any(|p| p.iter().any(|v| v.is_nan())) {
+        return pareto_indices_reference(points);
+    }
+    match dims {
+        1 => skyline_1d(points),
+        2 => skyline_2d(points),
+        _ => skyline_kd(points),
+    }
+}
+
+/// The original all-pairs O(n²) frontier scan, kept as the behavioral
+/// reference: the randomized oracle tests assert `pareto_indices` agrees
+/// with it exactly, and the `engine` criterion benchmarks measure the fast
+/// paths against it.
+#[must_use]
+pub fn pareto_indices_reference(points: &[Vec<f64>]) -> Vec<usize> {
     (0..points.len())
         .filter(|&i| {
             !points.iter().enumerate().any(|(j, other)| j != i && dominates(other, &points[i]))
         })
         .collect()
+}
+
+/// Normalizes `-0.0` to `+0.0` so `f64::total_cmp` agrees with the `<`/`==`
+/// comparisons the dominance relation is defined over (no NaN by the time
+/// the fast paths run).
+fn key(v: f64) -> f64 {
+    v + 0.0
+}
+
+/// 1-D frontier: every point equal to the minimum (ties all kept).
+fn skyline_1d(points: &[Vec<f64>]) -> Vec<usize> {
+    let mut min = f64::INFINITY;
+    for p in points {
+        if p[0] < min {
+            min = p[0];
+        }
+    }
+    (0..points.len()).filter(|&i| key(points[i][0]) == key(min)).collect()
+}
+
+/// 2-D skyline: sort by (x, y), then one scan. A point survives iff it has
+/// the lowest y within its x-group and beats the best y of every strictly
+/// smaller x.
+fn skyline_2d(points: &[Vec<f64>]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_by(|&a, &b| {
+        key(points[a][0])
+            .total_cmp(&key(points[b][0]))
+            .then_with(|| key(points[a][1]).total_cmp(&key(points[b][1])))
+    });
+    let mut frontier = Vec::new();
+    // Lowest y over all x-groups strictly to the left; `None` before the
+    // first group so an all-infinite first group still survives.
+    let mut best_left_y: Option<f64> = None;
+    let mut i = 0;
+    while i < order.len() {
+        let x = key(points[order[i]][0]);
+        let mut j = i;
+        while j < order.len() && key(points[order[j]][0]) == x {
+            j += 1;
+        }
+        // Within the group the sort put the lowest y first; only points
+        // tying it can survive (anything above is dominated same-x).
+        let group_min_y = key(points[order[i]][1]);
+        if best_left_y.is_none_or(|left| group_min_y < left) {
+            for &idx in &order[i..j] {
+                if key(points[idx][1]) == group_min_y {
+                    frontier.push(idx);
+                }
+            }
+        }
+        best_left_y = Some(match best_left_y {
+            Some(left) if left < group_min_y => left,
+            _ => group_min_y,
+        });
+        i = j;
+    }
+    frontier.sort_unstable();
+    frontier
+}
+
+/// k-D pruning pass: lexicographic sort guarantees every dominator of a
+/// point sorts strictly before it, so each point only needs checking
+/// against the non-dominated archive built so far (dominance is
+/// transitive, so dominated points never need to be consulted).
+fn skyline_kd(points: &[Vec<f64>]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_by(|&a, &b| lex_cmp(&points[a], &points[b]));
+    let mut frontier: Vec<usize> = Vec::new();
+    for &idx in &order {
+        let dominated = frontier.iter().any(|&f| dominates(&points[f], &points[idx]));
+        if !dominated {
+            frontier.push(idx);
+        }
+    }
+    frontier.sort_unstable();
+    frontier
+}
+
+fn lex_cmp(a: &[f64], b: &[f64]) -> Ordering {
+    for (x, y) in a.iter().zip(b) {
+        let ord = key(*x).total_cmp(&key(*y));
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
 }
 
 #[cfg(test)]
@@ -103,5 +241,62 @@ mod tests {
     fn one_dimensional_frontier_is_the_minimum() {
         let points = vec![vec![3.0], vec![1.0], vec![2.0], vec![1.0]];
         assert_eq!(pareto_indices(&points), vec![1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_point_dims_panic() {
+        let _ = pareto_indices(&[vec![1.0, 2.0], vec![1.0]]);
+    }
+
+    #[test]
+    fn negative_zero_ties_positive_zero() {
+        // -0.0 == 0.0 under the dominance comparisons, so neither point
+        // dominates: both stay, exactly as the reference scan decides.
+        let points = vec![vec![-0.0, 5.0], vec![0.0, 5.0]];
+        assert_eq!(pareto_indices(&points), pareto_indices_reference(&points));
+        assert_eq!(pareto_indices(&points), vec![0, 1]);
+        // And an actual same-x domination across the 0.0/-0.0 boundary.
+        let points = vec![vec![0.0, 5.0], vec![-0.0, 4.0]];
+        assert_eq!(pareto_indices(&points), pareto_indices_reference(&points));
+        assert_eq!(pareto_indices(&points), vec![1]);
+    }
+
+    #[test]
+    fn infinite_coordinates_match_reference() {
+        let points = vec![
+            vec![0.0, f64::INFINITY],
+            vec![1.0, f64::INFINITY],
+            vec![f64::INFINITY, 0.0],
+            vec![f64::INFINITY, f64::INFINITY],
+        ];
+        assert_eq!(pareto_indices(&points), pareto_indices_reference(&points));
+        assert_eq!(pareto_indices(&points), vec![0, 2]);
+    }
+
+    #[test]
+    fn nan_points_fall_back_to_reference_semantics() {
+        let points = vec![vec![f64::NAN, 1.0], vec![0.5, 2.0], vec![0.5, 0.5]];
+        assert_eq!(pareto_indices(&points), pareto_indices_reference(&points));
+    }
+
+    #[test]
+    fn zero_dimensional_points_are_all_kept() {
+        let points = vec![Vec::new(), Vec::new(), Vec::new()];
+        assert_eq!(pareto_indices(&points), pareto_indices_reference(&points));
+        assert_eq!(pareto_indices(&points), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn three_dimensional_frontier_matches_reference() {
+        let points = vec![
+            vec![1.0, 2.0, 3.0],
+            vec![2.0, 1.0, 3.0],
+            vec![3.0, 3.0, 3.0], // dominated by both above
+            vec![1.0, 2.0, 3.0], // duplicate of 0: kept
+            vec![0.5, 2.5, 3.5],
+        ];
+        assert_eq!(pareto_indices(&points), pareto_indices_reference(&points));
+        assert_eq!(pareto_indices(&points), vec![0, 1, 3, 4]);
     }
 }

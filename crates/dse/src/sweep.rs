@@ -2,6 +2,28 @@
 
 use serde::Serialize;
 
+use crate::parallel::{par_map_ordered, Parallelism};
+
+/// Streaming variant of [`powers_of_two`]: yields the powers of two from
+/// `lo` to `hi` inclusive without allocating, for use directly inside hot
+/// sweep loops.
+///
+/// # Panics
+///
+/// Panics if `lo` is zero or `lo > hi`.
+///
+/// # Examples
+///
+/// ```
+/// use act_dse::powers_of_two_iter;
+/// assert_eq!(powers_of_two_iter(64, 512).collect::<Vec<_>>(), vec![64, 128, 256, 512]);
+/// ```
+pub fn powers_of_two_iter(lo: u32, hi: u32) -> impl Iterator<Item = u32> {
+    assert!(lo > 0, "lower bound must be positive");
+    assert!(lo <= hi, "lower bound {lo} exceeds upper bound {hi}");
+    std::iter::successors(Some(lo), |v| v.checked_mul(2)).take_while(move |v| *v <= hi)
+}
+
 /// Powers of two from `lo` to `hi` inclusive (the paper's MAC-count axis).
 ///
 /// # Panics
@@ -16,18 +38,26 @@ use serde::Serialize;
 /// ```
 #[must_use]
 pub fn powers_of_two(lo: u32, hi: u32) -> Vec<u32> {
-    assert!(lo > 0, "lower bound must be positive");
-    assert!(lo <= hi, "lower bound {lo} exceeds upper bound {hi}");
-    let mut out = Vec::new();
-    let mut v = lo;
-    while v <= hi {
-        out.push(v);
-        match v.checked_mul(2) {
-            Some(next) => v = next,
-            None => break,
-        }
-    }
-    out
+    powers_of_two_iter(lo, hi).collect()
+}
+
+/// Streaming variant of [`linspace`]: yields `n` evenly spaced values from
+/// `start` to `end` inclusive without allocating.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+///
+/// # Examples
+///
+/// ```
+/// use act_dse::linspace_iter;
+/// assert_eq!(linspace_iter(0.0, 1.0, 3).collect::<Vec<_>>(), vec![0.0, 0.5, 1.0]);
+/// ```
+pub fn linspace_iter(start: f64, end: f64, n: usize) -> impl Iterator<Item = f64> {
+    assert!(n >= 2, "linspace needs at least two points");
+    let step = (end - start) / (n - 1) as f64;
+    (0..n).map(move |i| start + step * i as f64)
 }
 
 /// `n` evenly spaced values from `start` to `end` inclusive.
@@ -44,9 +74,26 @@ pub fn powers_of_two(lo: u32, hi: u32) -> Vec<u32> {
 /// ```
 #[must_use]
 pub fn linspace(start: f64, end: f64, n: usize) -> Vec<f64> {
-    assert!(n >= 2, "linspace needs at least two points");
-    let step = (end - start) / (n - 1) as f64;
-    (0..n).map(|i| start + step * i as f64).collect()
+    linspace_iter(start, end, n).collect()
+}
+
+/// Streaming variant of [`logspace`]: yields `n` logarithmically spaced
+/// values from `start` to `end` inclusive without allocating.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or either endpoint is not positive.
+///
+/// # Examples
+///
+/// ```
+/// use act_dse::logspace_iter;
+/// let v: Vec<f64> = logspace_iter(1.0, 100.0, 3).collect();
+/// assert!((v[1] - 10.0).abs() < 1e-9);
+/// ```
+pub fn logspace_iter(start: f64, end: f64, n: usize) -> impl Iterator<Item = f64> {
+    assert!(start > 0.0 && end > 0.0, "logspace endpoints must be positive");
+    linspace_iter(start.ln(), end.ln(), n).map(f64::exp)
 }
 
 /// `n` logarithmically spaced values from `start` to `end` inclusive.
@@ -64,8 +111,7 @@ pub fn linspace(start: f64, end: f64, n: usize) -> Vec<f64> {
 /// ```
 #[must_use]
 pub fn logspace(start: f64, end: f64, n: usize) -> Vec<f64> {
-    assert!(start > 0.0 && end > 0.0, "logspace endpoints must be positive");
-    linspace(start.ln(), end.ln(), n).into_iter().map(f64::exp).collect()
+    logspace_iter(start, end, n).collect()
 }
 
 /// Evaluates `f` on every parameter, pairing inputs with results.
@@ -204,6 +250,148 @@ pub fn sweep_finite<P>(
     })
 }
 
+/// Parallel [`sweep`] under the default [`Parallelism::Auto`] policy.
+///
+/// Results come back in input order, so for any pure model
+/// `par_sweep(params, f) == sweep(params, f)` — pinned by property tests.
+///
+/// # Examples
+///
+/// ```
+/// use act_dse::par_sweep;
+/// let squares = par_sweep([1, 2, 3], |x| x * x);
+/// assert_eq!(squares, vec![(1, 1), (2, 4), (3, 9)]);
+/// ```
+pub fn par_sweep<P, R>(
+    params: impl IntoIterator<Item = P>,
+    f: impl Fn(&P) -> R + Sync,
+) -> Vec<(P, R)>
+where
+    P: Sync,
+    R: Send,
+{
+    par_sweep_with(Parallelism::Auto, params, f)
+}
+
+/// Parallel [`sweep`] under an explicit [`Parallelism`] policy.
+///
+/// # Examples
+///
+/// ```
+/// use act_dse::{par_sweep_with, Parallelism};
+/// let serial = par_sweep_with(Parallelism::Serial, 0..100u32, |x| x + 1);
+/// let parallel = par_sweep_with(Parallelism::threads(4), 0..100u32, |x| x + 1);
+/// assert_eq!(serial, parallel);
+/// ```
+pub fn par_sweep_with<P, R>(
+    parallelism: Parallelism,
+    params: impl IntoIterator<Item = P>,
+    f: impl Fn(&P) -> R + Sync,
+) -> Vec<(P, R)>
+where
+    P: Sync,
+    R: Send,
+{
+    let params: Vec<P> = params.into_iter().collect();
+    let results = par_map_ordered(parallelism, &params, |_, p| f(p));
+    params.into_iter().zip(results).collect()
+}
+
+/// Parallel [`try_sweep`] under the default [`Parallelism::Auto`] policy:
+/// evaluates every parameter concurrently while preserving the serial
+/// skip-and-record semantics — successes in sweep order, rejections
+/// carrying their original sweep index and rendered reason.
+///
+/// # Examples
+///
+/// ```
+/// use act_dse::par_try_sweep;
+///
+/// let outcome = par_try_sweep([1.0, -1.0, 4.0], |x| {
+///     if *x >= 0.0 { Ok(x.sqrt()) } else { Err("negative input") }
+/// });
+/// assert_eq!(outcome.results.len(), 2);
+/// assert_eq!(outcome.rejected[0].index, 1);
+/// ```
+pub fn par_try_sweep<P, R, E>(
+    params: impl IntoIterator<Item = P>,
+    f: impl Fn(&P) -> Result<R, E> + Sync,
+) -> SweepOutcome<P, R>
+where
+    P: Sync,
+    R: Send,
+    E: std::fmt::Display,
+{
+    par_try_sweep_with(Parallelism::Auto, params, f)
+}
+
+/// Parallel [`try_sweep`] under an explicit [`Parallelism`] policy.
+pub fn par_try_sweep_with<P, R, E>(
+    parallelism: Parallelism,
+    params: impl IntoIterator<Item = P>,
+    f: impl Fn(&P) -> Result<R, E> + Sync,
+) -> SweepOutcome<P, R>
+where
+    P: Sync,
+    R: Send,
+    E: std::fmt::Display,
+{
+    let params: Vec<P> = params.into_iter().collect();
+    let evaluated =
+        par_map_ordered(parallelism, &params, |_, p| f(p).map_err(|e| e.to_string()));
+    let mut results = Vec::new();
+    let mut rejected = Vec::new();
+    for (index, (p, outcome)) in params.into_iter().zip(evaluated).enumerate() {
+        match outcome {
+            Ok(r) => results.push((p, r)),
+            Err(reason) => rejected.push(RejectedPoint { index, reason }),
+        }
+    }
+    SweepOutcome { results, rejected }
+}
+
+/// Parallel [`sweep_finite`] under the default [`Parallelism::Auto`]
+/// policy: rejects NaN/infinite results with the same reason strings as
+/// the serial path.
+///
+/// # Examples
+///
+/// ```
+/// use act_dse::par_sweep_finite;
+///
+/// let outcome = par_sweep_finite([4.0, 0.0, 1.0], |x| 1.0 / x);
+/// assert_eq!(outcome.results.len(), 2);
+/// assert_eq!(outcome.rejected[0].index, 1);
+/// ```
+pub fn par_sweep_finite<P>(
+    params: impl IntoIterator<Item = P>,
+    f: impl Fn(&P) -> f64 + Sync,
+) -> SweepOutcome<P, f64>
+where
+    P: Sync,
+{
+    par_sweep_finite_with(Parallelism::Auto, params, f)
+}
+
+/// Parallel [`sweep_finite`] under an explicit [`Parallelism`] policy.
+pub fn par_sweep_finite_with<P>(
+    parallelism: Parallelism,
+    params: impl IntoIterator<Item = P>,
+    f: impl Fn(&P) -> f64 + Sync,
+) -> SweepOutcome<P, f64>
+where
+    P: Sync,
+{
+    par_try_sweep_with(parallelism, params, |p| {
+        let v = f(p);
+        if v.is_finite() {
+            Ok(v)
+        } else {
+            Err(format!("model produced a non-finite result ({v})"))
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,5 +479,49 @@ mod tests {
         let outcome = sweep_finite([0.0], |x| 1.0 / x);
         let json = serde_json::to_string(&outcome.rejected).unwrap();
         assert!(json.contains("\"index\":0"));
+    }
+
+    #[test]
+    fn iterator_variants_match_vec_variants() {
+        assert_eq!(powers_of_two_iter(3, 20).collect::<Vec<_>>(), powers_of_two(3, 20));
+        assert_eq!(powers_of_two_iter(8, 8).collect::<Vec<_>>(), vec![8]);
+        let overflow: Vec<u32> = powers_of_two_iter(1 << 30, u32::MAX).collect();
+        assert_eq!(overflow, vec![1 << 30, 1 << 31]);
+        assert_eq!(linspace_iter(1.0, 10.0, 10).collect::<Vec<_>>(), linspace(1.0, 10.0, 10));
+        assert_eq!(logspace_iter(1.0, 16.0, 5).collect::<Vec<_>>(), logspace(1.0, 16.0, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds upper bound")]
+    fn powers_of_two_iter_rejects_inverted_range() {
+        let _ = powers_of_two_iter(16, 8);
+    }
+
+    #[test]
+    fn par_sweep_matches_serial_sweep() {
+        let params = powers_of_two(1, 1 << 20);
+        let serial = sweep(params.clone(), |m| u64::from(*m) * 3);
+        let parallel = par_sweep_with(Parallelism::threads(4), params, |m| u64::from(*m) * 3);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn par_try_sweep_matches_serial_try_sweep() {
+        let check = |i: &i32| if i % 3 == 0 { Ok(i * 10) } else { Err("not divisible") };
+        let serial = try_sweep(0..50, check);
+        let parallel = par_try_sweep_with(Parallelism::threads(4), 0..50, check);
+        assert_eq!(serial.results, parallel.results);
+        assert_eq!(serial.rejected, parallel.rejected);
+    }
+
+    #[test]
+    fn par_sweep_finite_matches_serial_reasons() {
+        let model = |x: &f64| 1.0 / x;
+        let params = [1.0, 0.0, -2.0, f64::NAN];
+        let serial = sweep_finite(params, model);
+        let parallel = par_sweep_finite_with(Parallelism::threads(3), params, model);
+        assert_eq!(serial.results, parallel.results);
+        assert_eq!(serial.rejected, parallel.rejected);
+        assert_eq!(parallel.rejected[0].reason, "model produced a non-finite result (inf)");
     }
 }

@@ -6,7 +6,7 @@ use std::fmt;
 
 use act_accel::{AccelConfig, Network};
 use act_core::{DesignPoint, FabScenario, OptimizationMetric};
-use act_dse::powers_of_two;
+use act_dse::powers_of_two_iter;
 use act_units::MassCo2;
 use serde::Serialize;
 
@@ -37,8 +37,7 @@ pub struct Fig12Result {
 pub fn run() -> Fig12Result {
     let fab = FabScenario::default();
     let network = Network::mobile_vision();
-    let rows = powers_of_two(64, 2048)
-        .into_iter()
+    let rows = powers_of_two_iter(64, 2048)
         .map(|macs| {
             let config = AccelConfig::new(macs);
             let eval = config.evaluate(&network);

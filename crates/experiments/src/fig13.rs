@@ -7,7 +7,7 @@ use std::fmt;
 
 use act_accel::{AccelConfig, Network};
 use act_core::FabScenario;
-use act_dse::{argmin_feasible, powers_of_two};
+use act_dse::{argmin_feasible, powers_of_two_iter};
 use act_units::{Area, MassCo2};
 use serde::Serialize;
 
@@ -112,8 +112,7 @@ pub fn run() -> Fig13Result {
     let fab = FabScenario::default();
     let network = Network::mobile_vision();
 
-    let rows = powers_of_two(64, 2048)
-        .into_iter()
+    let rows = powers_of_two_iter(64, 2048)
         .map(|macs| {
             let config = AccelConfig::new(macs);
             let eval = config.evaluate(&network);
@@ -129,8 +128,7 @@ pub fn run() -> Fig13Result {
     let mut cells = Vec::new();
     for cap_mm2 in [1.0, 2.0] {
         for nanometers in [28u32, 16] {
-            let fitting: Vec<AccelConfig> = powers_of_two(64, 2048)
-                .into_iter()
+            let fitting: Vec<AccelConfig> = powers_of_two_iter(64, 2048)
                 .map(|m| AccelConfig::new(m).with_nanometers(nanometers))
                 .filter(|c| c.area().as_square_millimeters() <= cap_mm2)
                 .collect();

@@ -106,6 +106,15 @@ pub fn render_experiment(id: &str) -> Option<String> {
     Some(out)
 }
 
+/// Pretty-serializes a result struct, panicking on the (impossible)
+/// failure path — experiment results contain only plain data.
+fn json<T: serde::Serialize>(value: &T) -> String {
+    match serde_json::to_string_pretty(value) {
+        Ok(body) => body,
+        Err(err) => panic!("experiment results serialize: {err}"),
+    }
+}
+
 /// Serializes one experiment's typed result to pretty JSON. For `"all"`,
 /// emits a JSON array of `{"id": ..., "result": ...}` objects, one per
 /// concrete experiment in paper order. Returns `None` for unknown IDs.
@@ -116,12 +125,6 @@ pub fn render_experiment(id: &str) -> Option<String> {
 /// data and always serialize).
 #[must_use]
 pub fn render_experiment_json(id: &str) -> Option<String> {
-    fn json<T: serde::Serialize>(value: &T) -> String {
-        match serde_json::to_string_pretty(value) {
-            Ok(body) => body,
-            Err(err) => panic!("experiment results serialize: {err}"),
-        }
-    }
     let out = match id {
         "fig1" => json(&fig1::run()),
         "fig4" => json(&fig4::run()),
@@ -272,6 +275,94 @@ pub fn try_render_experiment(
     }
 }
 
+/// The concrete experiment IDs — [`EXPERIMENT_IDS`] without the `"all"`
+/// meta-entry — in paper order.
+#[must_use]
+pub fn concrete_experiment_ids() -> Vec<&'static str> {
+    EXPERIMENT_IDS.iter().copied().filter(|id| *id != "all").collect()
+}
+
+/// Wraps a concrete experiment's failure as an `"all"` failure, preserving
+/// the serial contract (a failure inside `all` is reported against `all`)
+/// while keeping the failing sub-experiment named in the message.
+fn lift_all_error(err: &ExperimentError) -> ExperimentError {
+    ExperimentError::Failed { id: "all".to_owned(), message: err.to_string() }
+}
+
+/// Parallel variant of [`try_render_experiment`].
+///
+/// For a concrete ID this is exactly [`try_render_experiment`]. For
+/// `"all"` the concrete experiments evaluate **concurrently** — each one
+/// fault-isolated in its worker — and the output is assembled in paper
+/// order, byte-identical to the serial rendering whenever every
+/// experiment succeeds. [`Parallelism::Serial`] reproduces the serial
+/// schedule exactly (no threads are spawned).
+///
+/// # Errors
+///
+/// Returns [`ExperimentError::UnknownId`] for IDs outside
+/// [`EXPERIMENT_IDS`]. A failing sub-experiment of `"all"` surfaces as
+/// [`ExperimentError::Failed`] with `id == "all"` (matching the serial
+/// contract, where the panic unwinds out of the whole `all` rendering)
+/// and a message naming the concrete experiment that failed.
+///
+/// # Examples
+///
+/// ```
+/// use act_dse::Parallelism;
+/// use act_experiments::{par_try_render_experiment, try_render_experiment, OutputFormat};
+///
+/// let parallel =
+///     par_try_render_experiment("fig12", OutputFormat::Text, Parallelism::Auto).unwrap();
+/// assert_eq!(parallel, try_render_experiment("fig12", OutputFormat::Text).unwrap());
+/// ```
+pub fn par_try_render_experiment(
+    id: &str,
+    format: OutputFormat,
+    parallelism: act_dse::Parallelism,
+) -> Result<String, ExperimentError> {
+    if id != "all" {
+        return try_render_experiment(id, format);
+    }
+    let ids = concrete_experiment_ids();
+    let parts = act_dse::par_map_ordered(parallelism, &ids, |_, sub| {
+        try_render_experiment(sub, format)
+    });
+    match format {
+        OutputFormat::Text => {
+            let mut out = String::new();
+            for part in parts {
+                match part {
+                    Ok(text) => {
+                        out.push_str(&text);
+                        out.push('\n');
+                    }
+                    Err(err) => return Err(lift_all_error(&err)),
+                }
+            }
+            Ok(out)
+        }
+        OutputFormat::Json => {
+            let mut entries = Vec::with_capacity(ids.len());
+            for (sub, part) in ids.iter().zip(parts) {
+                match part {
+                    Ok(body) => {
+                        // Mirrors the serial assembly, which also skips
+                        // (never observed) unparseable bodies.
+                        let Ok(result) = serde_json::from_str::<serde_json::Value>(&body)
+                        else {
+                            continue;
+                        };
+                        entries.push(serde_json::json!({ "id": sub, "result": result }));
+                    }
+                    Err(err) => return Err(lift_all_error(&err)),
+                }
+            }
+            Ok(json(&entries))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -321,6 +412,39 @@ mod tests {
         assert_eq!(text, render_experiment("fig12").unwrap());
         let json = try_render_experiment("fig12", OutputFormat::Json).unwrap();
         assert_eq!(json, render_experiment_json("fig12").unwrap());
+    }
+
+    #[test]
+    fn parallel_all_matches_serial_all_byte_for_byte() {
+        use act_dse::Parallelism;
+        for format in [OutputFormat::Text, OutputFormat::Json] {
+            let serial = try_render_experiment("all", format).unwrap();
+            let seq = par_try_render_experiment("all", format, Parallelism::Serial).unwrap();
+            let par =
+                par_try_render_experiment("all", format, Parallelism::threads(4)).unwrap();
+            assert_eq!(serial, seq, "{format:?}");
+            assert_eq!(serial, par, "{format:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_concrete_ids_delegate_to_serial() {
+        use act_dse::Parallelism;
+        let serial = try_render_experiment("table4", OutputFormat::Json).unwrap();
+        let par =
+            par_try_render_experiment("table4", OutputFormat::Json, Parallelism::Auto).unwrap();
+        assert_eq!(serial, par);
+        let err = par_try_render_experiment("fig99", OutputFormat::Text, Parallelism::Auto)
+            .unwrap_err();
+        assert_eq!(err, ExperimentError::UnknownId("fig99".to_owned()));
+    }
+
+    #[test]
+    fn concrete_ids_exclude_the_all_meta_entry() {
+        let ids = concrete_experiment_ids();
+        assert_eq!(ids.len(), EXPERIMENT_IDS.len() - 1);
+        assert!(!ids.contains(&"all"));
+        assert_eq!(ids[0], "fig1");
     }
 
     #[test]

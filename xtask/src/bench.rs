@@ -1,0 +1,358 @@
+//! `cargo xtask bench` — the bench-trajectory harness.
+//!
+//! Builds the workspace in release mode, times every paper artifact
+//! through the `act` binary, measures the parallel-vs-serial `act all`
+//! speedup and the synthetic sweep throughput (`act bench-sweep`), and
+//! writes the lot as machine-readable JSON (default `BENCH_results.json`)
+//! so successive commits leave a comparable performance trajectory.
+//!
+//! The harness shells out to `cargo`/`act` but renders its report with a
+//! tiny hand-rolled JSON writer: xtask stays dependency-free.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::Instant;
+
+/// What to run and where to put the report.
+#[derive(Clone, Debug)]
+pub struct BenchConfig {
+    /// Workspace root (where `Cargo.toml` and `target/` live).
+    pub root: PathBuf,
+    /// Output path for the JSON report.
+    pub out: PathBuf,
+    /// Timing repeats per artifact; the best (minimum) wall-clock wins.
+    pub repeats: usize,
+    /// Point count handed to `act bench-sweep`.
+    pub sweep_points: usize,
+    /// Also run `cargo bench --workspace -- --test` as a smoke pass.
+    pub criterion_smoke: bool,
+}
+
+impl BenchConfig {
+    /// The standard configuration rooted at `root`.
+    #[must_use]
+    pub fn new(root: PathBuf) -> Self {
+        Self {
+            root,
+            out: PathBuf::from("BENCH_results.json"),
+            repeats: 3,
+            sweep_points: 10_000,
+            criterion_smoke: false,
+        }
+    }
+
+    /// CI-friendly variant: single repeat, smaller sweep.
+    pub fn quick(&mut self) {
+        self.repeats = 1;
+        self.sweep_points = 2_000;
+    }
+}
+
+/// Wall-clock timings for one run of the harness.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchReport {
+    /// Release-build time in milliseconds (0 when already warm).
+    pub build_ms: f64,
+    /// Best-of-N milliseconds per concrete experiment, in `act list` order.
+    pub figures: Vec<(String, f64)>,
+    /// Best-of-N milliseconds for parallel `act all`.
+    pub all_parallel_ms: f64,
+    /// Best-of-N milliseconds for `act all --serial`.
+    pub all_serial_ms: f64,
+    /// Raw JSON line captured from `act bench-sweep` (verbatim).
+    pub sweep: String,
+    /// Whether the criterion smoke pass ran and succeeded (None = skipped).
+    pub criterion_ok: Option<bool>,
+    /// Timing repeats used.
+    pub repeats: usize,
+}
+
+impl BenchReport {
+    /// Serial wall-clock over parallel wall-clock for `act all`.
+    #[must_use]
+    pub fn all_speedup(&self) -> f64 {
+        if self.all_parallel_ms > 0.0 {
+            self.all_serial_ms / self.all_parallel_ms
+        } else {
+            0.0
+        }
+    }
+
+    /// Sum of the per-figure best times — the serial lower bound for `all`.
+    #[must_use]
+    pub fn figure_total_ms(&self) -> f64 {
+        self.figures.iter().map(|(_, ms)| ms).sum()
+    }
+}
+
+/// Escapes a string for embedding in a JSON document.
+#[must_use]
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a millisecond reading with fixed (3-decimal) precision so
+/// reports diff cleanly across commits.
+fn json_ms(ms: f64) -> String {
+    if ms.is_finite() {
+        format!("{ms:.3}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Renders the report as pretty-printed JSON. The `sweep` field is spliced
+/// in verbatim (it is already a JSON object emitted by `act bench-sweep`);
+/// an empty capture renders as `null`.
+#[must_use]
+pub fn render_report(report: &BenchReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"act-bench-trajectory/1\",");
+    let _ = writeln!(out, "  \"repeats\": {},", report.repeats);
+    let _ = writeln!(out, "  \"build_ms\": {},", json_ms(report.build_ms));
+    out.push_str("  \"figures\": {\n");
+    for (i, (id, ms)) in report.figures.iter().enumerate() {
+        let comma = if i + 1 == report.figures.len() { "" } else { "," };
+        let _ = writeln!(out, "    \"{}\": {}{comma}", json_escape(id), json_ms(*ms));
+    }
+    out.push_str("  },\n");
+    let _ = writeln!(out, "  \"figure_total_ms\": {},", json_ms(report.figure_total_ms()));
+    out.push_str("  \"all\": {\n");
+    let _ = writeln!(out, "    \"parallel_ms\": {},", json_ms(report.all_parallel_ms));
+    let _ = writeln!(out, "    \"serial_ms\": {},", json_ms(report.all_serial_ms));
+    let _ = writeln!(out, "    \"speedup\": {}", json_ms(report.all_speedup()));
+    out.push_str("  },\n");
+    let sweep = report.sweep.trim();
+    if sweep.is_empty() {
+        out.push_str("  \"sweep\": null,\n");
+    } else {
+        let _ = writeln!(out, "  \"sweep\": {sweep},");
+    }
+    match report.criterion_ok {
+        None => out.push_str("  \"criterion_smoke\": null\n"),
+        Some(ok) => {
+            let _ = writeln!(out, "  \"criterion_smoke\": {ok}");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Milliseconds elapsed while running `f`.
+fn time_ms<T>(f: impl FnOnce() -> T) -> (f64, T) {
+    let start = Instant::now();
+    let value = f();
+    (start.elapsed().as_secs_f64() * 1e3, value)
+}
+
+/// Runs a command with output discarded; `Ok(())` iff it exited zero.
+fn run_silent(cmd: &mut Command) -> Result<(), String> {
+    let label = format!("{cmd:?}");
+    let status = cmd
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .map_err(|e| format!("failed to spawn {label}: {e}"))?;
+    if status.success() {
+        Ok(())
+    } else {
+        Err(format!("{label} exited with {status}"))
+    }
+}
+
+/// Runs a command capturing stdout; `Ok(stdout)` iff it exited zero.
+fn run_capture(cmd: &mut Command) -> Result<String, String> {
+    let label = format!("{cmd:?}");
+    let output = cmd
+        .stderr(Stdio::null())
+        .output()
+        .map_err(|e| format!("failed to spawn {label}: {e}"))?;
+    if output.status.success() {
+        String::from_utf8(output.stdout).map_err(|e| format!("{label}: non-UTF-8 stdout: {e}"))
+    } else {
+        Err(format!("{label} exited with {}", output.status))
+    }
+}
+
+/// Path to the release `act` binary under `root`.
+fn act_binary(root: &Path) -> PathBuf {
+    root.join("target").join("release").join("act")
+}
+
+/// Best-of-`repeats` wall-clock for one `act` invocation.
+fn best_act_ms(root: &Path, args: &[&str], repeats: usize) -> Result<f64, String> {
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats.max(1) {
+        let (ms, result) = time_ms(|| run_silent(Command::new(act_binary(root)).args(args)));
+        result?;
+        best = best.min(ms);
+    }
+    Ok(best)
+}
+
+/// Runs the full harness: build, per-figure timings, `all` speedup, sweep
+/// probe, optional criterion smoke. Returns the report without writing it.
+pub fn run_bench(config: &BenchConfig) -> Result<BenchReport, String> {
+    let root = &config.root;
+    let (build_ms, built) = time_ms(|| {
+        run_silent(Command::new("cargo").args(["build", "--release"]).current_dir(root))
+    });
+    built?;
+
+    let listing = run_capture(Command::new(act_binary(root)).arg("list"))?;
+    let ids: Vec<String> = listing
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && *l != "all")
+        .map(str::to_owned)
+        .collect();
+    if ids.is_empty() {
+        return Err("`act list` reported no experiments".to_owned());
+    }
+
+    let mut figures = Vec::with_capacity(ids.len());
+    for id in &ids {
+        let ms = best_act_ms(root, &[id.as_str()], config.repeats)?;
+        figures.push((id.clone(), ms));
+    }
+
+    let all_parallel_ms = best_act_ms(root, &["all"], config.repeats)?;
+    let all_serial_ms = best_act_ms(root, &["all", "--serial"], config.repeats)?;
+
+    let points = config.sweep_points.to_string();
+    let sweep = run_capture(Command::new(act_binary(root)).args(["bench-sweep", &points]))?;
+
+    let criterion_ok = if config.criterion_smoke {
+        Some(
+            run_silent(
+                Command::new("cargo")
+                    .args(["bench", "--workspace", "--", "--test"])
+                    .current_dir(root),
+            )
+            .is_ok(),
+        )
+    } else {
+        None
+    };
+
+    Ok(BenchReport {
+        build_ms,
+        figures,
+        all_parallel_ms,
+        all_serial_ms,
+        sweep,
+        criterion_ok,
+        repeats: config.repeats.max(1),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> BenchReport {
+        BenchReport {
+            build_ms: 1234.5678,
+            figures: vec![("fig1".to_owned(), 10.0), ("table5-11".to_owned(), 2.5)],
+            all_parallel_ms: 40.0,
+            all_serial_ms: 100.0,
+            sweep: "{\"points\":100,\"speedup\":2.0}\n".to_owned(),
+            criterion_ok: Some(true),
+            repeats: 3,
+        }
+    }
+
+    #[test]
+    fn speedup_is_serial_over_parallel() {
+        assert!((sample_report().all_speedup() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_of_degenerate_timing_is_zero_not_nan() {
+        let mut r = sample_report();
+        r.all_parallel_ms = 0.0;
+        assert_eq!(r.all_speedup(), 0.0);
+    }
+
+    #[test]
+    fn figure_total_sums_entries() {
+        assert!((sample_report().figure_total_ms() - 12.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_renders_all_sections() {
+        let text = render_report(&sample_report());
+        for needle in [
+            "\"schema\": \"act-bench-trajectory/1\"",
+            "\"repeats\": 3",
+            "\"fig1\": 10.000",
+            "\"table5-11\": 2.500",
+            "\"figure_total_ms\": 12.500",
+            "\"parallel_ms\": 40.000",
+            "\"serial_ms\": 100.000",
+            "\"speedup\": 2.500",
+            "\"sweep\": {\"points\":100,\"speedup\":2.0}",
+            "\"criterion_smoke\": true",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn empty_sweep_capture_renders_null() {
+        let mut r = sample_report();
+        r.sweep = String::new();
+        r.criterion_ok = None;
+        let text = render_report(&r);
+        assert!(text.contains("\"sweep\": null"));
+        assert!(text.contains("\"criterion_smoke\": null"));
+    }
+
+    #[test]
+    fn non_finite_timings_render_null_not_inf() {
+        let mut r = sample_report();
+        r.all_parallel_ms = f64::INFINITY;
+        let text = render_report(&r);
+        assert!(text.contains("\"parallel_ms\": null"));
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn quick_mode_shrinks_the_run() {
+        let mut config = BenchConfig::new(PathBuf::from("."));
+        config.quick();
+        assert_eq!(config.repeats, 1);
+        assert!(config.sweep_points < 10_000);
+    }
+
+    #[test]
+    fn last_figure_entry_has_no_trailing_comma() {
+        let text = render_report(&sample_report());
+        let figures_block =
+            text.split("\"figures\": {").nth(1).and_then(|s| s.split('}').next()).unwrap();
+        let last_entry = figures_block.trim_end().lines().last().unwrap();
+        assert!(!last_entry.trim_end().ends_with(','), "trailing comma in:\n{figures_block}");
+    }
+}

@@ -26,6 +26,8 @@
 use std::fmt;
 use std::path::{Path, PathBuf};
 
+pub mod bench;
+
 /// One rule violation at a source position.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Finding {

@@ -3,6 +3,8 @@
 //! ```text
 //! cargo xtask lint              # run the ACT static-analysis rules
 //! cargo xtask lint --root DIR   # lint a different checkout
+//! cargo xtask bench             # wall-clock trajectory -> BENCH_results.json
+//! cargo xtask bench --quick     # CI-sized run (1 repeat, small sweep)
 //! ```
 //!
 //! Exit codes: `0` clean, `1` violations (or stale allowlist entries),
@@ -12,8 +14,9 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> String {
-    "xtask — ACT workspace static analysis\n\n\
-     usage: cargo xtask lint [--root DIR]\n\n\
+    "xtask — ACT workspace static analysis & benchmarking\n\n\
+     usage: cargo xtask lint [--root DIR]\n\
+            cargo xtask bench [--root DIR] [--out FILE] [--quick] [--criterion]\n\n\
      Rules (see xtask/src/lib.rs for the catalogue):\n\
        ACT001  no `.base()` raw-f64 escape outside act-units/act-data\n\
        ACT002  no unwrap()/expect() in library code (CLI main + tests exempt)\n\
@@ -22,6 +25,13 @@ fn usage() -> String {
        ACT005  no dbg!/todo!/unimplemented! anywhere\n\n\
      Allowlist: xtask/lint.allow, lines of\n\
        RULE|path-suffix|line-substring|justification\n\n\
+     bench builds the workspace in release mode, times every experiment\n\
+     via the `act` binary (best of N repeats), measures the parallel vs\n\
+     --serial `act all` speedup and sweep throughput, and writes\n\
+     machine-readable JSON (default BENCH_results.json).\n\
+       --out FILE    output path\n\
+       --quick       1 repeat + smaller sweep (CI smoke)\n\
+       --criterion   also run `cargo bench --workspace -- --test`\n\n\
      exit codes: 0 clean, 1 violations, 2 usage/I-O error"
         .to_owned()
 }
@@ -57,11 +67,62 @@ fn main() -> ExitCode {
             }
             run_lint(&root)
         }
+        "bench" => {
+            let mut config = xtask::bench::BenchConfig::new(PathBuf::from("."));
+            let mut rest = args;
+            while let Some(arg) = rest.next() {
+                match arg.as_str() {
+                    "--root" => match rest.next() {
+                        Some(dir) => config.root = PathBuf::from(dir),
+                        None => {
+                            eprintln!("--root needs a directory\n\n{}", usage());
+                            return ExitCode::from(2);
+                        }
+                    },
+                    "--out" => match rest.next() {
+                        Some(file) => config.out = PathBuf::from(file),
+                        None => {
+                            eprintln!("--out needs a file path\n\n{}", usage());
+                            return ExitCode::from(2);
+                        }
+                    },
+                    "--quick" => config.quick(),
+                    "--criterion" => config.criterion_smoke = true,
+                    other => {
+                        eprintln!("unknown argument `{other}`\n\n{}", usage());
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            run_bench(&config)
+        }
         other => {
             eprintln!("unknown command `{other}`\n\n{}", usage());
             ExitCode::from(2)
         }
     }
+}
+
+fn run_bench(config: &xtask::bench::BenchConfig) -> ExitCode {
+    let report = match xtask::bench::run_bench(config) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("error: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    let body = xtask::bench::render_report(&report);
+    if let Err(err) = std::fs::write(&config.out, &body) {
+        eprintln!("error: cannot write {}: {err}", config.out.display());
+        return ExitCode::from(2);
+    }
+    eprintln!(
+        "bench: {} experiment(s), `act all` speedup {:.2}x, report -> {}",
+        report.figures.len(),
+        report.all_speedup(),
+        config.out.display()
+    );
+    ExitCode::SUCCESS
 }
 
 fn run_lint(root: &std::path::Path) -> ExitCode {
