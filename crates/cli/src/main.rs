@@ -16,6 +16,10 @@
 //! and is byte-identical to a serial run. `--serial` disables threading
 //! entirely; `ACT_THREADS=N` caps the worker count.
 //!
+//! Model sub-terms are memoized by default (`act_core::memo`); `--naive`
+//! disables the caches for A/B timing. Cached values are bit-identical to
+//! the direct computation, so output never depends on the flag.
+//!
 //! Experiments are fault-isolated: a failing or unknown experiment prints
 //! a structured error to stderr and the remaining requested experiments
 //! still run. Pass `--strict` to stop at the first failure instead.
@@ -26,7 +30,8 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
-use act_dse::{par_map_ordered, Parallelism};
+use act_core::{CompiledFootprint, FreeAxis, ModelParams};
+use act_dse::{par_map_ordered, BatchOutput, Parallelism, PointBatch};
 use act_experiments::{
     par_try_render_experiment, try_render_experiment, ExperimentError, OutputFormat,
     EXPERIMENT_IDS,
@@ -43,18 +48,21 @@ const BENCH_SWEEP_POINTS: usize = 10_000;
 fn usage() -> String {
     format!(
         "act — ACT (ISCA 2022) experiment runner\n\n\
-         usage: act [--json] [--strict] [--serial] <experiment>...\n\
+         usage: act [--json] [--strict] [--serial] [--naive] <experiment>...\n\
                 act list\n\
                 act bench-sweep [points]\n\n\
          options:\n\
            --json     emit typed results as JSON\n\
            --strict   stop at the first failing experiment\n\
-           --serial   evaluate single-threaded (parallel is the default)\n\n\
+           --serial   evaluate single-threaded (parallel is the default)\n\
+           --naive    disable the memoized/compiled fast paths (A/B timing;\n\
+                      output is bit-identical either way)\n\n\
          environment:\n\
            ACT_THREADS=N  cap the parallel evaluation workers at N\n\n\
          bench-sweep runs a synthetic parameter sweep serially and in\n\
-         parallel and prints throughput/speedup as JSON (the `cargo xtask\n\
-         bench` trajectory harness consumes it).\n\n\
+         parallel, then times the ACT footprint model per-point (naive)\n\
+         versus as a compiled kernel, and prints throughput/speedup as JSON\n\
+         (the `cargo xtask bench` trajectory harness consumes it).\n\n\
          exit codes: 0 success, 1 experiment failure, 2 usage error\n\n\
          experiments: {}",
         EXPERIMENT_IDS.join(", ")
@@ -68,6 +76,9 @@ fn report_error(err: &ExperimentError, json: bool) {
         let (kind, id, message) = match err {
             ExperimentError::UnknownId(id) => ("unknown-id", id.as_str(), err.to_string()),
             ExperimentError::Failed { id, .. } => ("failed", id.as_str(), err.to_string()),
+            // `ExperimentError` is non-exhaustive: report future variants
+            // generically instead of failing to compile against them.
+            other => ("error", "", other.to_string()),
         };
         let body = serde_json::json!({
             "error": { "kind": kind, "id": id, "message": message }
@@ -89,8 +100,9 @@ fn bench_sweep_model(x: &f64) -> f64 {
 }
 
 /// `act bench-sweep [points]`: times the same sweep serially and in
-/// parallel, verifies the results are bitwise identical, and prints a JSON
-/// throughput record.
+/// parallel, then times the real footprint model per-point (naive) versus
+/// as a compiled kernel, verifies every pair of paths is bitwise
+/// identical, and prints a JSON throughput record.
 fn run_bench_sweep(points_arg: Option<&str>, serial_only: bool) -> ExitCode {
     let points = match points_arg {
         Some(raw) => match raw.parse::<usize>() {
@@ -120,6 +132,60 @@ fn run_bench_sweep(points_arg: Option<&str>, serial_only: bool) -> ExitCode {
         return ExitCode::from(EXIT_EXPERIMENT_FAILED);
     }
 
+    // The model A/B: the mobile reference footprint swept over the SoC-area
+    // axis, once through the full per-point pipeline (fab scenario + system
+    // spec rebuilt for every point) and once through the compiled kernel.
+    // Both legs run single-threaded so the ratio isolates per-point cost.
+    let params = ModelParams::mobile_reference();
+    let areas = act_dse::logspace(10.0, 1000.0, points);
+
+    let naive_start = Instant::now();
+    let naive_results = act_dse::sweep(areas.clone(), |area| {
+        let mut point = params.clone();
+        point.soc_area_mm2 = *area;
+        point.footprint().as_grams()
+    });
+    let naive_ms = naive_start.elapsed().as_secs_f64() * 1e3;
+
+    let kernel = match CompiledFootprint::try_compile(&params, &[FreeAxis::SocArea]) {
+        Ok(kernel) => kernel,
+        Err(err) => {
+            eprintln!("bench-sweep: compiling the footprint kernel failed: {err}");
+            return ExitCode::from(EXIT_EXPERIMENT_FAILED);
+        }
+    };
+    let batch = PointBatch::single_axis(areas);
+    let mut compiled_out = BatchOutput::new();
+    let compiled_start = Instant::now();
+    act_dse::sweep_compiled(&batch, |point| kernel.eval(point), &mut compiled_out);
+    let compiled_ms = compiled_start.elapsed().as_secs_f64() * 1e3;
+
+    // The compiled path must agree with the naive path to the last bit,
+    // point for point — and the parallel batch path with the serial one.
+    for ((_, naive), compiled) in naive_results.iter().zip(compiled_out.values()) {
+        if naive.to_bits() != compiled.to_bits() {
+            eprintln!(
+                "bench-sweep: compiled kernel diverged from per-point model (engine bug)"
+            );
+            return ExitCode::from(EXIT_EXPERIMENT_FAILED);
+        }
+    }
+    let mut par_out = BatchOutput::new();
+    act_dse::par_sweep_compiled_with(
+        parallelism,
+        &batch,
+        |point| kernel.eval(point),
+        &mut par_out,
+    );
+    if par_out.values() != compiled_out.values() {
+        eprintln!("bench-sweep: parallel compiled sweep diverged from serial (engine bug)");
+        return ExitCode::from(EXIT_EXPERIMENT_FAILED);
+    }
+
+    let model_checksum: f64 = compiled_out.values().iter().sum();
+    let naive_pps = points as f64 / (naive_ms / 1e3).max(1e-12);
+    let compiled_pps = points as f64 / (compiled_ms / 1e3).max(1e-12);
+
     let speedup = serial_ms / parallel_ms.max(1e-9);
     let evals_per_sec = points as f64 / (parallel_ms / 1e3).max(1e-12);
     let body = serde_json::json!({
@@ -130,6 +196,16 @@ fn run_bench_sweep(points_arg: Option<&str>, serial_only: bool) -> ExitCode {
         "speedup": speedup,
         "evals_per_sec": evals_per_sec,
         "checksum": parallel_sum,
+        "naive": {
+            "ms": naive_ms,
+            "points_per_sec": naive_pps,
+        },
+        "compiled": {
+            "ms": compiled_ms,
+            "points_per_sec": compiled_pps,
+            "speedup_vs_naive": naive_ms / compiled_ms.max(1e-9),
+        },
+        "model_checksum": model_checksum,
     });
     println!("{body}");
     ExitCode::SUCCESS
@@ -149,6 +225,7 @@ fn main() -> ExitCode {
             "--json" => json = true,
             "--strict" => strict = true,
             "--serial" => serial = true,
+            "--naive" => act_core::memo::set_enabled(false),
             flag if flag.starts_with('-') => {
                 eprintln!("unknown flag `{flag}`\n\n{}", usage());
                 return ExitCode::from(EXIT_USAGE);

@@ -1,0 +1,689 @@
+//! Partially-evaluated footprint kernels: eq. 1 compiled down to a
+//! handful of FLOPs per design point.
+//!
+//! Every point of a sweep or Monte-Carlo run that goes through
+//! [`ModelParams::footprint`] re-derives the whole pipeline — a fresh
+//! [`crate::FabScenario`], a fresh [`crate::SystemSpec`] (heap-allocated
+//! component list), per-GB table lookups — even when only one axis varies.
+//! [`CompiledFootprint`] partially evaluates a `ModelParams` against a set
+//! of declared [`FreeAxis`] values: every sweep-invariant sub-term
+//! (per-component embodied gCO₂, the CPA numerator pieces of eq. 5, the
+//! operational coefficient of eq. 2, the `T/LT` amortization ratio of
+//! eq. 1) is folded into a plain `f64` coefficient at compile time, so
+//! [`CompiledFootprint::eval`] runs with **zero heap allocation**.
+//!
+//! Folding replays the *exact* floating-point operation sequence of the
+//! interpreted model (same associativity, same division-vs-multiply
+//! choices, same component order in the eq. 3 sum), so results are
+//! bit-for-bit identical to [`ModelParams::try_footprint`] — the old
+//! per-point path stays public as the oracle, and the property tests in
+//! `crates/core/tests/compiled.rs` pin the equivalence. Expensive
+//! discrete sub-terms (CPA, per-device storage footprints) are interned
+//! through [`crate::memo`] at compile time, so repeated configurations
+//! across kernels share work.
+//!
+//! # Examples
+//!
+//! ```
+//! use act_core::{CompiledFootprint, FreeAxis, ModelParams};
+//!
+//! let params = ModelParams::mobile_reference();
+//! let kernel = CompiledFootprint::try_compile(&params, &[FreeAxis::SocArea])?;
+//! // Evaluating the kernel at the baseline area reproduces the oracle
+//! // bit-for-bit.
+//! let compiled = kernel.eval(&[params.soc_area_mm2]);
+//! let oracle = params.try_footprint()?.as_grams();
+//! assert_eq!(compiled.to_bits(), oracle.to_bits());
+//! # Ok::<(), act_core::ModelError>(())
+//! ```
+
+use std::fmt;
+
+use act_units::{Area, Capacity, CarbonIntensity, Energy, TimeSpan, UnitError};
+use serde::Serialize;
+
+use crate::{memo, ModelError, ModelParams, OperationalModel, PACKAGING_FOOTPRINT};
+
+/// One `ModelParams` field (or storage-population entry) left *free* — i.e.
+/// supplied per point at [`CompiledFootprint::eval`] time instead of folded
+/// into the kernel's constants.
+///
+/// Point coordinates are given in the same units as the corresponding
+/// `ModelParams` field (seconds, years, mm², g CO₂/kWh, a yield fraction,
+/// joules, GB).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize)]
+pub enum FreeAxis {
+    /// `T` — application execution time in seconds.
+    ExecutionTime,
+    /// `LT` — hardware lifetime in years.
+    Lifetime,
+    /// `A` — application-processor die area in mm².
+    SocArea,
+    /// `CIuse` — use-phase carbon intensity in g CO₂/kWh.
+    UseIntensity,
+    /// `CIfab` — fab carbon intensity in g CO₂/kWh.
+    FabIntensity,
+    /// `Y` — fab yield in `(0, 1]`.
+    FabYield,
+    /// Application energy over `T`, in joules.
+    Energy,
+    /// Capacity (GB) of the `i`-th DRAM population entry.
+    DramCapacity(usize),
+    /// Capacity (GB) of the `i`-th SSD population entry.
+    SsdCapacity(usize),
+    /// Capacity (GB) of the `i`-th HDD population entry.
+    HddCapacity(usize),
+}
+
+impl fmt::Display for FreeAxis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ExecutionTime => f.write_str("execution time (s)"),
+            Self::Lifetime => f.write_str("lifetime (years)"),
+            Self::SocArea => f.write_str("SoC area (mm^2)"),
+            Self::UseIntensity => f.write_str("use carbon intensity (g/kWh)"),
+            Self::FabIntensity => f.write_str("fab carbon intensity (g/kWh)"),
+            Self::FabYield => f.write_str("fab yield"),
+            Self::Energy => f.write_str("application energy (J)"),
+            Self::DramCapacity(i) => write!(f, "DRAM[{i}] capacity (GB)"),
+            Self::SsdCapacity(i) => write!(f, "SSD[{i}] capacity (GB)"),
+            Self::HddCapacity(i) => write!(f, "HDD[{i}] capacity (GB)"),
+        }
+    }
+}
+
+impl FreeAxis {
+    /// Validates one point coordinate against the same Table 1 range the
+    /// corresponding [`ModelParams`] field enforces.
+    fn check(self, value: f64) -> Result<(), ModelError> {
+        let domain = |quantity: &'static str, expected: &'static str| {
+            let err = if value.is_finite() {
+                UnitError::out_of_domain(quantity, value, expected)
+            } else {
+                UnitError::non_finite(quantity, value)
+            };
+            Err(ModelError::from(err))
+        };
+        match self {
+            Self::ExecutionTime if !(value >= 0.0 && value.is_finite()) => {
+                domain("execution time", "non-negative seconds")
+            }
+            Self::Lifetime if !(0.1..=50.0).contains(&value) => {
+                domain("hardware lifetime", "within [0.1, 50] years")
+            }
+            Self::SocArea if !(value >= 0.0 && value.is_finite()) => {
+                domain("SoC area", "non-negative mm^2")
+            }
+            Self::UseIntensity | Self::FabIntensity if !(0.0..=2000.0).contains(&value) => {
+                domain("carbon intensity", "within [0, 2000] g CO2/kWh")
+            }
+            Self::FabYield if !(value > 0.0 && value <= 1.0) => {
+                domain("fab yield", "within (0, 1]")
+            }
+            Self::Energy if !(value >= 0.0 && value.is_finite()) => {
+                domain("application energy", "non-negative joules")
+            }
+            Self::DramCapacity(_) | Self::SsdCapacity(_) | Self::HddCapacity(_)
+                if !(value >= 0.0 && value.is_finite()) =>
+            {
+                domain("storage capacity", "non-negative GB")
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+/// A scalar operand of the compiled kernel: either folded to a constant or
+/// read from a point coordinate (already in the oracle's base unit).
+#[derive(Clone, Copy, Debug, Serialize)]
+enum Scalar {
+    Const(f64),
+    Axis(usize),
+}
+
+impl Scalar {
+    #[inline]
+    fn get(self, point: &[f64]) -> f64 {
+        match self {
+            Self::Const(value) => value,
+            Self::Axis(index) => point[index],
+        }
+    }
+}
+
+/// The operational term of eq. 2, `CIuse × (E × effectiveness)`.
+#[derive(Clone, Copy, Debug, Serialize)]
+enum OpTerm {
+    /// Fully invariant: the folded gCO₂ value.
+    Const(f64),
+    /// At least one operand varies per point.
+    Dynamic { intensity: Scalar, energy: EnergySource },
+}
+
+/// Where the per-point useful energy (kWh) comes from.
+#[derive(Clone, Copy, Debug, Serialize)]
+enum EnergySource {
+    /// Invariant energy, pre-converted to the model's kWh base.
+    KwhConst(f64),
+    /// Free axis carrying joules; converted per point exactly like the
+    /// oracle's `Energy::joules` constructor.
+    JoulesAxis(usize),
+}
+
+/// Where the per-point SoC die area (cm²) comes from.
+#[derive(Clone, Copy, Debug, Serialize)]
+enum AreaSource {
+    /// Invariant area, pre-converted to the model's cm² base.
+    Cm2Const(f64),
+    /// Free axis carrying mm²; converted per point exactly like the
+    /// oracle's `Area::square_millimeters` constructor.
+    Mm2Axis(usize),
+}
+
+/// One addend of the eq. 3 embodied sum, in component order.
+#[derive(Clone, Copy, Debug, Serialize)]
+enum EmbodiedTerm {
+    /// Fully invariant component: its folded gCO₂ footprint.
+    Const(f64),
+    /// SoC with an invariant CPA but a free die area: `CPA × A` (eq. 4).
+    SocAreaScaled { cpa_g_per_cm2: f64, area: AreaSource },
+    /// SoC whose CPA itself varies (free fab intensity and/or yield):
+    /// the full eq. 5 residual `(CI·EPA + GPA + MPA) / Y × A`.
+    SocCpa {
+        epa_kwh_per_cm2: f64,
+        gpa_g_per_cm2: f64,
+        mpa_g_per_cm2: f64,
+        intensity: Scalar,
+        fab_yield: Scalar,
+        area: AreaSource,
+    },
+    /// Storage entry with a free capacity: `CPS × capacity` (eqs. 6–8).
+    StorageScaled { grams_per_gb: f64, capacity_axis: usize },
+}
+
+impl EmbodiedTerm {
+    #[inline]
+    fn eval(&self, point: &[f64]) -> f64 {
+        match self {
+            Self::Const(value) => *value,
+            Self::SocAreaScaled { cpa_g_per_cm2, area } => cpa_g_per_cm2 * area.get(point),
+            Self::SocCpa {
+                epa_kwh_per_cm2,
+                gpa_g_per_cm2,
+                mpa_g_per_cm2,
+                intensity,
+                fab_yield,
+                area,
+            } => {
+                // Exactly eq. 5 as `FabScenario::cpa_breakdown` + `total()`
+                // compute it: CI×EPA, then left-associated additions, then
+                // the yield division, then eq. 4's area multiply.
+                let energy = intensity.get(point) * epa_kwh_per_cm2;
+                let before_yield = (energy + gpa_g_per_cm2) + mpa_g_per_cm2;
+                let cpa = before_yield / fab_yield.get(point);
+                cpa * area.get(point)
+            }
+            Self::StorageScaled { grams_per_gb, capacity_axis } => {
+                grams_per_gb * point[*capacity_axis]
+            }
+        }
+    }
+}
+
+impl EnergySource {
+    #[inline]
+    fn get(self, point: &[f64]) -> f64 {
+        match self {
+            Self::KwhConst(value) => value,
+            Self::JoulesAxis(index) => Energy::joules(point[index]).as_kilowatt_hours(),
+        }
+    }
+}
+
+impl AreaSource {
+    #[inline]
+    fn get(self, point: &[f64]) -> f64 {
+        match self {
+            Self::Cm2Const(value) => value,
+            Self::Mm2Axis(index) => {
+                Area::square_millimeters(point[index]).as_square_centimeters()
+            }
+        }
+    }
+}
+
+/// The embodied sum of eq. 3: either folded entirely or a term list that
+/// is re-summed per point in the oracle's component order (f64 addition is
+/// not associative, so constants are *not* merged across terms).
+#[derive(Clone, Debug, Serialize)]
+enum EcfTerm {
+    Const(f64),
+    Terms(Vec<EmbodiedTerm>),
+}
+
+/// The `T / LT` amortization ratio of eq. 1.
+#[derive(Clone, Copy, Debug, Serialize)]
+enum AmortTerm {
+    Const(f64),
+    Dynamic { run_time: TimeSource, lifetime: TimeSource },
+}
+
+/// Where a per-point time span (seconds) comes from.
+#[derive(Clone, Copy, Debug, Serialize)]
+enum TimeSource {
+    SecondsConst(f64),
+    /// Free axis carrying seconds (already the model's base unit).
+    SecondsAxis(usize),
+    /// Free axis carrying years; converted per point exactly like the
+    /// oracle's `TimeSpan::years` constructor.
+    YearsAxis(usize),
+}
+
+impl TimeSource {
+    #[inline]
+    fn get(self, point: &[f64]) -> f64 {
+        match self {
+            Self::SecondsConst(value) => value,
+            Self::SecondsAxis(index) => point[index],
+            Self::YearsAxis(index) => TimeSpan::years(point[index]).as_seconds(),
+        }
+    }
+}
+
+/// A partially-evaluated eq. 1 kernel: see the [module docs](self).
+///
+/// Compile once with [`Self::try_compile`], then call [`Self::eval`] per
+/// point — a handful of FLOPs, no heap allocation, bit-for-bit identical
+/// to [`ModelParams::try_footprint`] with the free axes substituted.
+#[derive(Clone, Debug, Serialize)]
+pub struct CompiledFootprint {
+    axes: Vec<FreeAxis>,
+    op: OpTerm,
+    ecf: EcfTerm,
+    amortization: AmortTerm,
+}
+
+impl CompiledFootprint {
+    /// Partially evaluates `params` against `axes`.
+    ///
+    /// The baseline `params` must fully validate (free fields included —
+    /// their baseline values are simply never read at eval time), matching
+    /// the contract of every other `ModelParams` entry point.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ModelError`] if the baseline parameters do not
+    /// validate, an axis is listed twice, or a storage axis indexes past
+    /// the corresponding population vector.
+    pub fn try_compile(params: &ModelParams, axes: &[FreeAxis]) -> Result<Self, ModelError> {
+        params.validate()?;
+        for (i, axis) in axes.iter().enumerate() {
+            if axes[..i].contains(axis) {
+                return Err(ModelError::invariant(format!("free axis {axis} is listed twice")));
+            }
+            let (population, in_range) = match axis {
+                FreeAxis::DramCapacity(k) => ("DRAM", *k < params.dram.len()),
+                FreeAxis::SsdCapacity(k) => ("SSD", *k < params.ssd.len()),
+                FreeAxis::HddCapacity(k) => ("HDD", *k < params.hdd.len()),
+                _ => continue,
+            };
+            if !in_range {
+                return Err(ModelError::invariant(format!(
+                    "free axis {axis} indexes past the {population} population"
+                )));
+            }
+        }
+        let position = |wanted: FreeAxis| axes.iter().position(|axis| *axis == wanted);
+
+        // Operational term (eq. 2).
+        let use_intensity = match position(FreeAxis::UseIntensity) {
+            Some(index) => Scalar::Axis(index),
+            None => Scalar::Const(params.use_intensity_g_per_kwh),
+        };
+        let energy = match position(FreeAxis::Energy) {
+            Some(index) => EnergySource::JoulesAxis(index),
+            None => EnergySource::KwhConst(Energy::joules(params.energy_j).as_kilowatt_hours()),
+        };
+        let op = match (use_intensity, energy) {
+            (Scalar::Const(_), EnergySource::KwhConst(_)) => OpTerm::Const(
+                // Fold by replaying the oracle's own call chain.
+                OperationalModel::new(CarbonIntensity::grams_per_kwh(
+                    params.use_intensity_g_per_kwh,
+                ))
+                .footprint(Energy::joules(params.energy_j))
+                .as_grams(),
+            ),
+            (intensity, energy) => OpTerm::Dynamic { intensity, energy },
+        };
+
+        // Embodied terms (eq. 3), in `SystemSpec::embodied` component
+        // order: SoC, DRAM entries, SSD entries, HDD entries, packaging.
+        let fab = params.try_fab_scenario()?;
+        let fab_intensity = match position(FreeAxis::FabIntensity) {
+            Some(index) => Scalar::Axis(index),
+            None => Scalar::Const(params.fab_intensity_g_per_kwh),
+        };
+        let fab_yield = match position(FreeAxis::FabYield) {
+            Some(index) => Scalar::Axis(index),
+            None => Scalar::Const(params.fab_yield),
+        };
+        let area = match position(FreeAxis::SocArea) {
+            Some(index) => AreaSource::Mm2Axis(index),
+            None => AreaSource::Cm2Const(
+                Area::square_millimeters(params.soc_area_mm2).as_square_centimeters(),
+            ),
+        };
+        let mut terms = Vec::new();
+        terms.push(match (fab_intensity, fab_yield, area) {
+            (Scalar::Const(_), Scalar::Const(_), AreaSource::Cm2Const(_)) => {
+                EmbodiedTerm::Const(
+                    (memo::carbon_per_area(&fab, params.process_node)
+                        * Area::square_millimeters(params.soc_area_mm2))
+                    .as_grams(),
+                )
+            }
+            (Scalar::Const(_), Scalar::Const(_), area) => EmbodiedTerm::SocAreaScaled {
+                cpa_g_per_cm2: memo::carbon_per_area(&fab, params.process_node)
+                    .as_grams_per_cm2(),
+                area,
+            },
+            (intensity, fab_yield, area) => {
+                let node = params.process_node;
+                EmbodiedTerm::SocCpa {
+                    epa_kwh_per_cm2: node.energy_per_area().as_kwh_per_cm2(),
+                    gpa_g_per_cm2: node.gas_per_area(fab.abatement).as_grams_per_cm2(),
+                    mpa_g_per_cm2: node.materials_per_area().as_grams_per_cm2(),
+                    intensity,
+                    fab_yield,
+                    area,
+                }
+            }
+        });
+        for (k, (technology, gb)) in params.dram.iter().enumerate() {
+            terms.push(match position(FreeAxis::DramCapacity(k)) {
+                Some(index) => EmbodiedTerm::StorageScaled {
+                    grams_per_gb: technology.carbon_per_gb().as_grams_per_gb(),
+                    capacity_axis: index,
+                },
+                None => EmbodiedTerm::Const(
+                    memo::dram_embodied(*technology, Capacity::gigabytes(*gb)).as_grams(),
+                ),
+            });
+        }
+        for (k, (technology, gb)) in params.ssd.iter().enumerate() {
+            terms.push(match position(FreeAxis::SsdCapacity(k)) {
+                Some(index) => EmbodiedTerm::StorageScaled {
+                    grams_per_gb: technology.carbon_per_gb().as_grams_per_gb(),
+                    capacity_axis: index,
+                },
+                None => EmbodiedTerm::Const(
+                    memo::ssd_embodied(*technology, Capacity::gigabytes(*gb)).as_grams(),
+                ),
+            });
+        }
+        for (k, (model, gb)) in params.hdd.iter().enumerate() {
+            terms.push(match position(FreeAxis::HddCapacity(k)) {
+                Some(index) => EmbodiedTerm::StorageScaled {
+                    grams_per_gb: model.carbon_per_gb().as_grams_per_gb(),
+                    capacity_axis: index,
+                },
+                None => EmbodiedTerm::Const(
+                    memo::hdd_embodied(*model, Capacity::gigabytes(*gb)).as_grams(),
+                ),
+            });
+        }
+        if params.packaged_ic_count > 0 {
+            terms.push(EmbodiedTerm::Const(
+                (PACKAGING_FOOTPRINT * f64::from(params.packaged_ic_count)).as_grams(),
+            ));
+        }
+        let all_const = terms.iter().all(|term| matches!(term, EmbodiedTerm::Const(_)));
+        let ecf = if all_const {
+            // Replay the oracle's `.sum()` fold (0.0, then += per
+            // component, in order) so the folded constant carries the same
+            // rounding as the interpreted sum.
+            EcfTerm::Const(terms.iter().fold(0.0, |acc, term| acc + term.eval(&[])))
+        } else {
+            EcfTerm::Terms(terms)
+        };
+
+        // Amortization (eq. 1's T / LT).
+        let run_time = match position(FreeAxis::ExecutionTime) {
+            Some(index) => TimeSource::SecondsAxis(index),
+            None => TimeSource::SecondsConst(
+                TimeSpan::seconds(params.execution_time_s).as_seconds(),
+            ),
+        };
+        let lifetime = match position(FreeAxis::Lifetime) {
+            Some(index) => TimeSource::YearsAxis(index),
+            None => {
+                TimeSource::SecondsConst(TimeSpan::years(params.lifetime_years).as_seconds())
+            }
+        };
+        let amortization = match (run_time, lifetime) {
+            (TimeSource::SecondsConst(t), TimeSource::SecondsConst(lt)) => {
+                AmortTerm::Const(t / lt)
+            }
+            (run_time, lifetime) => AmortTerm::Dynamic { run_time, lifetime },
+        };
+
+        Ok(Self { axes: axes.to_vec(), op, ecf, amortization })
+    }
+
+    /// Panicking convenience for [`Self::try_compile`] — for baselines and
+    /// axis sets known statically, mirroring [`ModelParams::footprint`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Self::try_compile`] would return an error.
+    #[must_use]
+    pub fn compile(params: &ModelParams, axes: &[FreeAxis]) -> Self {
+        match Self::try_compile(params, axes) {
+            Ok(kernel) => kernel,
+            Err(err) => panic!("parameters must compile: {err}"),
+        }
+    }
+
+    /// The free axes, in point-coordinate order.
+    #[must_use]
+    pub fn axes(&self) -> &[FreeAxis] {
+        &self.axes
+    }
+
+    /// Number of point coordinates [`Self::eval`] expects.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.axes.len()
+    }
+
+    /// Evaluates eq. 1 at one design point, returning the total footprint
+    /// in grams CO₂ — a handful of FLOPs, no heap allocation.
+    ///
+    /// Coordinates are in the axis units documented on [`FreeAxis`] and
+    /// are assumed to be in range (use [`Self::try_eval`] for untrusted
+    /// points); any non-finite coordinate yields `NaN`, which the batch
+    /// drivers in `act-dse` skip-and-record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point.len() != self.arity()`.
+    #[must_use]
+    pub fn eval(&self, point: &[f64]) -> f64 {
+        assert_eq!(
+            point.len(),
+            self.axes.len(),
+            "point arity must match the compiled free axes"
+        );
+        if !point.iter().all(|value| value.is_finite()) {
+            return f64::NAN;
+        }
+        let operational = match &self.op {
+            OpTerm::Const(value) => *value,
+            OpTerm::Dynamic { intensity, energy } => {
+                // Eq. 2 exactly as `OperationalModel::footprint`:
+                // CI × (E × effectiveness), effectiveness folded at 1.0.
+                intensity.get(point) * (energy.get(point) * 1.0)
+            }
+        };
+        let embodied = match &self.ecf {
+            EcfTerm::Const(value) => *value,
+            EcfTerm::Terms(terms) => terms.iter().fold(0.0, |acc, term| acc + term.eval(point)),
+        };
+        let ratio = match self.amortization {
+            AmortTerm::Const(value) => value,
+            AmortTerm::Dynamic { run_time, lifetime } => {
+                run_time.get(point) / lifetime.get(point)
+            }
+        };
+        operational + embodied * ratio
+    }
+
+    /// Checked variant of [`Self::eval`]: validates every coordinate
+    /// against its axis's Table 1 range, then verifies the result is
+    /// finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ModelError`] on an arity mismatch, an out-of-range
+    /// coordinate, or a non-finite result.
+    pub fn try_eval(&self, point: &[f64]) -> Result<f64, ModelError> {
+        if point.len() != self.axes.len() {
+            return Err(ModelError::invariant(format!(
+                "expected {} point coordinate(s), got {}",
+                self.axes.len(),
+                point.len()
+            )));
+        }
+        for (axis, value) in self.axes.iter().zip(point) {
+            axis.check(*value)?;
+        }
+        let value = self.eval(point);
+        if value.is_finite() {
+            Ok(value)
+        } else {
+            Err(ModelError::non_finite("total footprint"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oracle_with(params: &ModelParams, axes: &[FreeAxis], point: &[f64]) -> f64 {
+        let mut substituted = params.clone();
+        for (axis, value) in axes.iter().zip(point) {
+            match axis {
+                FreeAxis::ExecutionTime => substituted.execution_time_s = *value,
+                FreeAxis::Lifetime => substituted.lifetime_years = *value,
+                FreeAxis::SocArea => substituted.soc_area_mm2 = *value,
+                FreeAxis::UseIntensity => substituted.use_intensity_g_per_kwh = *value,
+                FreeAxis::FabIntensity => substituted.fab_intensity_g_per_kwh = *value,
+                FreeAxis::FabYield => substituted.fab_yield = *value,
+                FreeAxis::Energy => substituted.energy_j = *value,
+                FreeAxis::DramCapacity(k) => substituted.dram[*k].1 = *value,
+                FreeAxis::SsdCapacity(k) => substituted.ssd[*k].1 = *value,
+                FreeAxis::HddCapacity(k) => substituted.hdd[*k].1 = *value,
+            }
+        }
+        substituted.try_footprint().expect("substituted params evaluate").as_grams()
+    }
+
+    #[test]
+    fn fully_folded_kernel_matches_oracle_bitwise() {
+        let params = ModelParams::mobile_reference();
+        let kernel = CompiledFootprint::try_compile(&params, &[]).expect("compiles");
+        assert_eq!(kernel.arity(), 0);
+        let oracle = params.try_footprint().expect("evaluates").as_grams();
+        assert_eq!(kernel.eval(&[]).to_bits(), oracle.to_bits());
+    }
+
+    #[test]
+    fn each_single_axis_matches_oracle_bitwise() {
+        let params = ModelParams::mobile_reference();
+        let cases: [(FreeAxis, f64); 9] = [
+            (FreeAxis::ExecutionTime, 7200.0),
+            (FreeAxis::Lifetime, 4.5),
+            (FreeAxis::SocArea, 123.75),
+            (FreeAxis::UseIntensity, 41.0),
+            (FreeAxis::FabIntensity, 583.0),
+            (FreeAxis::FabYield, 0.61),
+            (FreeAxis::Energy, 9999.5),
+            (FreeAxis::DramCapacity(0), 12.0),
+            (FreeAxis::SsdCapacity(0), 512.0),
+        ];
+        for (axis, value) in cases {
+            let kernel = CompiledFootprint::try_compile(&params, &[axis]).expect("compiles");
+            let compiled = kernel.eval(&[value]);
+            let oracle = oracle_with(&params, &[axis], &[value]);
+            assert_eq!(
+                compiled.to_bits(),
+                oracle.to_bits(),
+                "axis {axis}: compiled {compiled} vs oracle {oracle}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_axes_free_matches_oracle_bitwise() {
+        let params = ModelParams::mobile_reference();
+        let axes = [
+            FreeAxis::ExecutionTime,
+            FreeAxis::Lifetime,
+            FreeAxis::SocArea,
+            FreeAxis::UseIntensity,
+            FreeAxis::FabIntensity,
+            FreeAxis::FabYield,
+            FreeAxis::Energy,
+            FreeAxis::DramCapacity(0),
+            FreeAxis::SsdCapacity(0),
+        ];
+        let point = [1800.0, 2.5, 101.3, 300.0, 700.0, 0.9, 3600.0, 16.0, 256.0];
+        let kernel = CompiledFootprint::try_compile(&params, &axes).expect("compiles");
+        let compiled = kernel.eval(&point);
+        let oracle = oracle_with(&params, &axes, &point);
+        assert_eq!(compiled.to_bits(), oracle.to_bits());
+    }
+
+    #[test]
+    fn rejects_duplicate_axes_and_bad_storage_indices() {
+        let params = ModelParams::mobile_reference();
+        assert!(CompiledFootprint::try_compile(
+            &params,
+            &[FreeAxis::SocArea, FreeAxis::SocArea]
+        )
+        .is_err());
+        assert!(
+            CompiledFootprint::try_compile(&params, &[FreeAxis::HddCapacity(0)]).is_err(),
+            "mobile reference has no HDD population"
+        );
+        assert!(CompiledFootprint::try_compile(&params, &[FreeAxis::DramCapacity(1)]).is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_baselines() {
+        let mut params = ModelParams::mobile_reference();
+        params.fab_yield = 0.0;
+        assert!(CompiledFootprint::try_compile(&params, &[FreeAxis::FabYield]).is_err());
+    }
+
+    #[test]
+    fn try_eval_enforces_axis_ranges() {
+        let params = ModelParams::mobile_reference();
+        let kernel =
+            CompiledFootprint::try_compile(&params, &[FreeAxis::FabYield]).expect("compiles");
+        assert!(kernel.try_eval(&[0.5]).is_ok());
+        assert!(kernel.try_eval(&[0.0]).is_err());
+        assert!(kernel.try_eval(&[f64::NAN]).is_err());
+        assert!(kernel.try_eval(&[0.5, 0.5]).is_err(), "arity mismatch");
+    }
+
+    #[test]
+    fn non_finite_coordinates_poison_to_nan_in_eval() {
+        let params = ModelParams::mobile_reference();
+        let kernel =
+            CompiledFootprint::try_compile(&params, &[FreeAxis::SocArea]).expect("compiles");
+        assert!(kernel.eval(&[f64::NAN]).is_nan());
+        assert!(kernel.eval(&[f64::INFINITY]).is_nan());
+    }
+}

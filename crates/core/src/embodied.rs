@@ -1,6 +1,7 @@
 //! The embodied-carbon model of eqs. 3–8: per-component footprints for
 //! application processors, DRAM, SSD and HDD storage, plus IC packaging.
 
+use std::borrow::Cow;
 use std::fmt;
 
 use act_data::devices::DeviceBom;
@@ -51,7 +52,7 @@ impl fmt::Display for ComponentKind {
 /// One hardware component of a [`SystemSpec`].
 #[derive(Clone, Debug, PartialEq, Serialize)]
 enum Component {
-    Soc { label: String, area: Area, node: ProcessNode },
+    Soc { label: Cow<'static, str>, area: Area, node: ProcessNode },
     Dram { technology: DramTechnology, capacity: Capacity },
     Ssd { technology: SsdTechnology, capacity: Capacity },
     Hdd { model: HddModel, capacity: Capacity },
@@ -174,23 +175,26 @@ impl SystemSpec {
             let (kind, label, mass) = match component {
                 Component::Soc { label, area, node } => (
                     ComponentKind::Soc,
-                    label.clone(),
-                    // Eq. 4: E_SoC = Area x CPA.
-                    fab.carbon_per_area(*node) * *area,
+                    label.clone().into_owned(),
+                    // Eq. 4: E_SoC = Area x CPA (memoized — bit-identical
+                    // to `fab.carbon_per_area(*node) * *area`).
+                    crate::memo::carbon_per_area(fab, *node) * *area,
                 ),
                 Component::Dram { technology, capacity } => (
                     ComponentKind::Dram,
                     technology.to_string(),
-                    technology.carbon_per_gb() * *capacity,
+                    crate::memo::dram_embodied(*technology, *capacity),
                 ),
                 Component::Ssd { technology, capacity } => (
                     ComponentKind::Ssd,
                     technology.to_string(),
-                    technology.carbon_per_gb() * *capacity,
+                    crate::memo::ssd_embodied(*technology, *capacity),
                 ),
-                Component::Hdd { model, capacity } => {
-                    (ComponentKind::Hdd, model.to_string(), model.carbon_per_gb() * *capacity)
-                }
+                Component::Hdd { model, capacity } => (
+                    ComponentKind::Hdd,
+                    model.to_string(),
+                    crate::memo::hdd_embodied(*model, *capacity),
+                ),
             };
             components.push(EmbodiedComponent { kind, label, footprint: mass });
         }
@@ -257,8 +261,17 @@ pub struct SystemSpecBuilder {
 
 impl SystemSpecBuilder {
     /// Adds a logic die (application processor, co-processor, controller…).
+    ///
+    /// The label accepts both `&'static str` (no allocation — this is the
+    /// sweep hot path, where a per-point `String` allocation used to
+    /// dominate) and owned `String`s for dynamically-built labels.
     #[must_use]
-    pub fn soc(mut self, label: impl Into<String>, area: Area, node: ProcessNode) -> Self {
+    pub fn soc(
+        mut self,
+        label: impl Into<Cow<'static, str>>,
+        area: Area,
+        node: ProcessNode,
+    ) -> Self {
         self.components.push(Component::Soc { label: label.into(), area, node });
         self
     }

@@ -47,16 +47,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod compiled;
 mod embodied;
 mod error;
 mod fab;
 mod intensity;
 mod lifecycle;
+pub mod memo;
 mod metrics;
 mod operational;
 mod params;
 mod transport;
 
+pub use compiled::{CompiledFootprint, FreeAxis};
 pub use embodied::{
     ComponentKind, EmbodiedComponent, EmbodiedReport, SystemSpec, SystemSpecBuilder,
     PACKAGING_FOOTPRINT,

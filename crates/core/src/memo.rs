@@ -1,0 +1,327 @@
+//! Thread-safe memoization of expensive discrete model sub-terms.
+//!
+//! The ACT model's costliest scalar sub-terms are drawn from small discrete
+//! domains: carbon-per-area (eq. 5) is a function of `(ProcessNode, fab
+//! carbon intensity, gas abatement, yield)` and per-device storage
+//! footprints (eqs. 6–8) of `(technology, capacity)`. Sweeps and
+//! Monte-Carlo runs re-derive the same handful of values millions of times;
+//! this module interns them in sharded [`RwLock`] caches so repeated
+//! configurations hit a hash lookup instead of the full derivation.
+//!
+//! Every cached function is **pure**: the key fully determines the value
+//! (f64 inputs are keyed by their exact bit pattern via
+//! [`f64::to_bits`]), so there is no invalidation story — entries never
+//! go stale, and a racing double-compute inserts the identical bits.
+//! Cached values are bit-for-bit identical to the uncached computation,
+//! which the property tests in `crates/core/tests/compiled.rs` pin.
+//!
+//! [`set_enabled`]`(false)` (the CLI's `--naive` escape hatch) turns every
+//! helper into a pass-through to the underlying computation for A/B
+//! timing; results are unchanged either way.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{OnceLock, PoisonError, RwLock};
+
+use act_data::{Abatement, DramTechnology, HddModel, ProcessNode, SsdTechnology};
+use act_units::{Capacity, MassCo2, MassPerArea};
+
+use crate::FabScenario;
+
+/// Shard count for [`MemoCache`]. A small power of two: the cached domains
+/// hold at most a few hundred entries, so this is about spreading lock
+/// contention across sweep threads, not about capacity.
+const SHARDS: usize = 16;
+
+/// A small thread-safe memoization cache: a fixed array of
+/// [`RwLock`]-guarded hash maps, sharded by key hash.
+///
+/// Lookups take a shard read lock; only a miss takes the write lock, and
+/// the value is computed *outside* any lock, so two threads may race to
+/// compute the same entry — the first insert wins, which is safe because
+/// every cached function is pure. Hit/miss counters are kept with relaxed
+/// atomics for observability.
+///
+/// # Examples
+///
+/// ```
+/// use act_core::memo::MemoCache;
+///
+/// let cache: MemoCache<u32, f64> = MemoCache::new();
+/// assert_eq!(cache.get_or_insert_with(7, || 1.5), 1.5);
+/// assert_eq!(cache.get_or_insert_with(7, || unreachable!()), 1.5);
+/// assert_eq!(cache.stats().hits, 1);
+/// ```
+#[derive(Debug)]
+pub struct MemoCache<K, V> {
+    shards: [RwLock<HashMap<K, V>>; SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Observed hit/miss/occupancy counters of a [`MemoCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute the value.
+    pub misses: u64,
+    /// Distinct keys currently interned.
+    pub entries: usize,
+}
+
+impl<K, V> Default for MemoCache<K, V> {
+    fn default() -> Self {
+        Self {
+            shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+}
+
+impl<K: Hash + Eq, V: Copy> MemoCache<K, V> {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn shard(&self, key: &K) -> &RwLock<HashMap<K, V>> {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        // Truncation is fine: only the low bits pick one of SHARDS buckets.
+        #[allow(clippy::cast_possible_truncation)]
+        let index = hasher.finish() as usize % SHARDS;
+        &self.shards[index]
+    }
+
+    /// Returns the interned value for `key`, computing and inserting it on
+    /// first use. `compute` runs outside the shard locks; under a race the
+    /// first inserted value wins (callers must pass pure functions).
+    pub fn get_or_insert_with(&self, key: K, compute: impl FnOnce() -> V) -> V {
+        let shard = self.shard(&key);
+        {
+            let guard = shard.read().unwrap_or_else(PoisonError::into_inner);
+            if let Some(value) = guard.get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return *value;
+            }
+        }
+        let value = compute();
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut guard = shard.write().unwrap_or_else(PoisonError::into_inner);
+        *guard.entry(key).or_insert(value)
+    }
+
+    /// Hit/miss counters and current occupancy.
+    pub fn stats(&self) -> MemoStats {
+        let entries = self
+            .shards
+            .iter()
+            .map(|shard| shard.read().unwrap_or_else(PoisonError::into_inner).len())
+            .sum();
+        MemoStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries,
+        }
+    }
+
+    /// Drops every interned entry and resets the counters (test support;
+    /// values are pure so this is never required for correctness).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.write().unwrap_or_else(PoisonError::into_inner).clear();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Whether the global caches intern at all (default: yes). The CLI's
+/// `--naive` flag clears this for A/B timing.
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Globally enables or disables interning. Disabled helpers compute
+/// directly — same bits, no cache traffic.
+pub fn set_enabled(enabled: bool) {
+    ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether the global caches are currently interning.
+#[must_use]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Cache key for carbon-per-area: the full discrete+bitwise domain of
+/// [`FabScenario::carbon_per_area`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct CpaKey {
+    node: ProcessNode,
+    intensity_bits: u64,
+    abatement: Abatement,
+    yield_bits: u64,
+}
+
+/// Cache key for per-device storage footprints (eqs. 6–8).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum StorageKey {
+    Dram(DramTechnology, u64),
+    Ssd(SsdTechnology, u64),
+    Hdd(HddModel, u64),
+}
+
+fn cpa_cache() -> &'static MemoCache<CpaKey, MassPerArea> {
+    static CACHE: OnceLock<MemoCache<CpaKey, MassPerArea>> = OnceLock::new();
+    CACHE.get_or_init(MemoCache::new)
+}
+
+fn storage_cache() -> &'static MemoCache<StorageKey, MassCo2> {
+    static CACHE: OnceLock<MemoCache<StorageKey, MassCo2>> = OnceLock::new();
+    CACHE.get_or_init(MemoCache::new)
+}
+
+/// Memoized [`FabScenario::carbon_per_area`] (eq. 5). Bit-for-bit
+/// identical to the direct call; repeated `(scenario, node)` pairs across
+/// sweep points hit the cache.
+///
+/// # Panics
+///
+/// Panics if the scenario's yield is zero, exactly like the direct call.
+/// Validate the scenario first (or use [`FabScenario::try_carbon_per_area`])
+/// for untrusted inputs.
+///
+/// # Examples
+///
+/// ```
+/// use act_core::{memo, FabScenario};
+/// use act_data::ProcessNode;
+///
+/// let fab = FabScenario::default();
+/// let cached = memo::carbon_per_area(&fab, ProcessNode::N7);
+/// assert_eq!(cached, fab.carbon_per_area(ProcessNode::N7));
+/// ```
+#[must_use]
+pub fn carbon_per_area(fab: &FabScenario, node: ProcessNode) -> MassPerArea {
+    if !enabled() {
+        return fab.carbon_per_area(node);
+    }
+    let key = CpaKey {
+        node,
+        intensity_bits: fab.energy_intensity.as_grams_per_kwh().to_bits(),
+        abatement: fab.abatement,
+        yield_bits: fab.fab_yield.get().to_bits(),
+    };
+    cpa_cache().get_or_insert_with(key, || fab.carbon_per_area(node))
+}
+
+/// Memoized DRAM embodied footprint `CPS_DRAM × capacity` (eq. 6).
+#[must_use]
+pub fn dram_embodied(technology: DramTechnology, capacity: Capacity) -> MassCo2 {
+    if !enabled() {
+        return technology.carbon_per_gb() * capacity;
+    }
+    let key = StorageKey::Dram(technology, capacity.as_gigabytes().to_bits());
+    storage_cache().get_or_insert_with(key, || technology.carbon_per_gb() * capacity)
+}
+
+/// Memoized SSD embodied footprint `CPS_SSD × capacity` (eq. 8).
+#[must_use]
+pub fn ssd_embodied(technology: SsdTechnology, capacity: Capacity) -> MassCo2 {
+    if !enabled() {
+        return technology.carbon_per_gb() * capacity;
+    }
+    let key = StorageKey::Ssd(technology, capacity.as_gigabytes().to_bits());
+    storage_cache().get_or_insert_with(key, || technology.carbon_per_gb() * capacity)
+}
+
+/// Memoized HDD embodied footprint `CPS_HDD × capacity` (eq. 7).
+#[must_use]
+pub fn hdd_embodied(model: HddModel, capacity: Capacity) -> MassCo2 {
+    if !enabled() {
+        return model.carbon_per_gb() * capacity;
+    }
+    let key = StorageKey::Hdd(model, capacity.as_gigabytes().to_bits());
+    storage_cache().get_or_insert_with(key, || model.carbon_per_gb() * capacity)
+}
+
+/// Counters of the global carbon-per-area cache.
+#[must_use]
+pub fn cpa_stats() -> MemoStats {
+    cpa_cache().stats()
+}
+
+/// Counters of the global storage-footprint cache.
+#[must_use]
+pub fn storage_stats() -> MemoStats {
+    storage_cache().stats()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use act_units::Fraction;
+
+    #[test]
+    fn cpa_matches_direct_computation_bitwise() {
+        let scenarios = [
+            FabScenario::default(),
+            FabScenario::taiwan_grid(),
+            FabScenario::default().with_yield(Fraction::new_const(0.5)),
+        ];
+        for fab in &scenarios {
+            for node in [ProcessNode::N7, ProcessNode::N10, ProcessNode::N28] {
+                let direct = fab.carbon_per_area(node).as_grams_per_cm2();
+                let cached = carbon_per_area(fab, node).as_grams_per_cm2();
+                assert_eq!(direct.to_bits(), cached.to_bits());
+                // Second lookup (a guaranteed hit) returns the same bits.
+                let again = carbon_per_area(fab, node).as_grams_per_cm2();
+                assert_eq!(cached.to_bits(), again.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn storage_helpers_match_direct_computation_bitwise() {
+        let capacity = Capacity::gigabytes(128.0);
+        let direct = (SsdTechnology::V3NandTlc.carbon_per_gb() * capacity).as_grams();
+        let cached = ssd_embodied(SsdTechnology::V3NandTlc, capacity).as_grams();
+        assert_eq!(direct.to_bits(), cached.to_bits());
+
+        let dram_direct = (DramTechnology::Lpddr4.carbon_per_gb() * capacity).as_grams();
+        let dram_cached = dram_embodied(DramTechnology::Lpddr4, capacity).as_grams();
+        assert_eq!(dram_direct.to_bits(), dram_cached.to_bits());
+    }
+
+    #[test]
+    fn disabling_bypasses_the_cache_without_changing_results() {
+        let fab = FabScenario::default();
+        let cached = carbon_per_area(&fab, ProcessNode::N14);
+        set_enabled(false);
+        let bypassed = carbon_per_area(&fab, ProcessNode::N14);
+        set_enabled(true);
+        assert_eq!(cached, bypassed);
+    }
+
+    #[test]
+    fn cache_counts_hits_and_misses() {
+        let cache: MemoCache<(u8, u8), f64> = MemoCache::new();
+        for round in 0..3_u8 {
+            for key in 0..10_u8 {
+                let value = cache.get_or_insert_with((key, 0), || f64::from(key) * 2.0);
+                assert_eq!(value, f64::from(key) * 2.0);
+                let _ = round;
+            }
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 10);
+        assert_eq!(stats.hits, 20);
+        assert_eq!(stats.entries, 10);
+        cache.clear();
+        assert_eq!(cache.stats(), MemoStats::default());
+    }
+}

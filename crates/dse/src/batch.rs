@@ -1,0 +1,630 @@
+//! Structure-of-arrays batch evaluation for compiled kernels.
+//!
+//! The per-point sweep API ([`sweep`](crate::sweep()), `par_sweep`) hands the
+//! model an owned parameter and collects `(param, result)` pairs — fine for
+//! dozens of points, wasteful for millions. This module is the batch twin:
+//! design points live in a [`PointBatch`] (one contiguous column per free
+//! axis), results land in a caller-owned reusable [`BatchOutput`], and the
+//! model is any `Fn(&[f64]) -> f64` kernel — typically
+//! `act_core::CompiledFootprint::eval` — so the hot loop performs **zero
+//! heap allocations per point**.
+//!
+//! Semantics mirror the per-point path exactly:
+//!
+//! * **skip-and-record** — a non-finite kernel result does not abort the
+//!   sweep; the point's output slot is poisoned to NaN and a
+//!   [`RejectedPoint`] with the same reason string as
+//!   [`sweep_finite`](crate::sweep_finite) is recorded, in sweep order;
+//! * **thread-count invariance** — the parallel entry points partition the
+//!   output buffer into contiguous chunks (`slice::chunks_mut`, no
+//!   `unsafe`), and each point's value depends only on its coordinates, so
+//!   serial and parallel runs are bit-for-bit identical;
+//! * **deterministic seed-splitting** — [`par_monte_carlo_compiled`] seeds
+//!   sample `i` with [`mc_sample_seed`]`(seed, i)` exactly like
+//!   [`par_try_monte_carlo`](crate::par_try_monte_carlo), so its outcome is
+//!   invariant under the thread count too.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::montecarlo::{mc_sample_seed, summarize_slice, McError, McOutcome};
+use crate::parallel::Parallelism;
+use crate::sweep::RejectedPoint;
+
+/// A structure-of-arrays block of design points: one `f64` column per free
+/// axis, all columns the same length.
+///
+/// Column `a` holds coordinate `a` of every point, so a single-axis sweep
+/// is just the swept values and a kernel reads point `i` as
+/// `&[col0[i], col1[i], ...]` gathered into a scratch slice.
+///
+/// # Examples
+///
+/// ```
+/// use act_dse::PointBatch;
+///
+/// let batch = PointBatch::single_axis(vec![1.0, 2.0, 3.0]);
+/// assert_eq!(batch.len(), 3);
+/// assert_eq!(batch.axis_count(), 1);
+///
+/// let grid = PointBatch::from_columns(vec![vec![1.0, 2.0], vec![10.0, 20.0]]);
+/// let mut point = [0.0; 2];
+/// grid.gather(1, &mut point);
+/// assert_eq!(point, [2.0, 20.0]);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct PointBatch {
+    columns: Vec<Vec<f64>>,
+    len: usize,
+}
+
+impl PointBatch {
+    /// Batch over a single free axis: each value is one design point.
+    #[must_use]
+    pub fn single_axis(values: Vec<f64>) -> Self {
+        let len = values.len();
+        Self { columns: vec![values], len }
+    }
+
+    /// Batch over several free axes, one column per axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `columns` is empty or the columns disagree on length.
+    #[must_use]
+    pub fn from_columns(columns: Vec<Vec<f64>>) -> Self {
+        assert!(!columns.is_empty(), "a point batch needs at least one axis column");
+        let len = columns[0].len();
+        for (axis, column) in columns.iter().enumerate() {
+            assert!(
+                column.len() == len,
+                "axis column {axis} has {} points but column 0 has {len}",
+                column.len()
+            );
+        }
+        Self { columns, len }
+    }
+
+    /// Number of design points in the batch.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the batch holds no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of free axes (columns).
+    #[must_use]
+    pub fn axis_count(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The values of axis `axis` across every point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis` is out of range.
+    #[must_use]
+    pub fn column(&self, axis: usize) -> &[f64] {
+        &self.columns[axis]
+    }
+
+    /// Copies point `index` into `scratch` (one slot per axis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range or `scratch` is not exactly
+    /// [`axis_count`](Self::axis_count) long.
+    pub fn gather(&self, index: usize, scratch: &mut [f64]) {
+        assert!(
+            scratch.len() == self.columns.len(),
+            "scratch has {} slots for {} axes",
+            scratch.len(),
+            self.columns.len()
+        );
+        for (slot, column) in scratch.iter_mut().zip(&self.columns) {
+            *slot = column[index];
+        }
+    }
+}
+
+/// Reusable output buffer for [`sweep_compiled`] / [`par_sweep_compiled`]:
+/// one value per design point plus the skip-and-record rejection log.
+///
+/// Rejected points keep their slot in [`values`](Self::values) — poisoned to
+/// NaN — so output index `i` always corresponds to batch point `i`.
+/// Reusing one buffer across sweeps amortizes its allocation to zero.
+#[derive(Clone, Debug, Default)]
+pub struct BatchOutput {
+    values: Vec<f64>,
+    rejected: Vec<RejectedPoint>,
+}
+
+impl BatchOutput {
+    /// An empty buffer; the first sweep sizes it.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Per-point results, in batch order. Rejected points hold NaN.
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The rejected points, in sweep order.
+    #[must_use]
+    pub fn rejected(&self) -> &[RejectedPoint] {
+        &self.rejected
+    }
+
+    /// Number of rejected points.
+    #[must_use]
+    pub fn rejected_count(&self) -> usize {
+        self.rejected.len()
+    }
+
+    /// `true` when no point was rejected.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.rejected.is_empty()
+    }
+
+    /// Drops the previous sweep's contents and sizes the value buffer for
+    /// `len` points, retaining allocated capacity.
+    pub fn reset(&mut self, len: usize) {
+        self.values.clear();
+        self.values.resize(len, f64::NAN);
+        self.rejected.clear();
+    }
+
+    /// Empties the buffer entirely (capacity is retained).
+    pub fn clear(&mut self) {
+        self.values.clear();
+        self.rejected.clear();
+    }
+}
+
+/// The reason string shared with [`sweep_finite`](crate::sweep_finite) —
+/// byte-identical so batch and per-point rejection logs agree.
+fn non_finite_reason(v: f64) -> String {
+    format!("model produced a non-finite result ({v})")
+}
+
+/// Evaluates `kernel` on every point of `batch`, serially, writing results
+/// into `out`.
+///
+/// Non-finite results are skipped and recorded exactly like
+/// [`sweep_finite`](crate::sweep_finite): the slot is poisoned to NaN and a
+/// [`RejectedPoint`] carries the index and reason. The hot loop allocates
+/// nothing per point (one scratch slice per call).
+///
+/// # Examples
+///
+/// ```
+/// use act_dse::{sweep_compiled, BatchOutput, PointBatch};
+///
+/// let batch = PointBatch::single_axis(vec![4.0, 0.0, 1.0]);
+/// let mut out = BatchOutput::new();
+/// sweep_compiled(&batch, |p| 1.0 / p[0], &mut out);
+/// assert_eq!(out.values()[0], 0.25);
+/// assert!(out.values()[1].is_nan()); // 1/0 = inf, rejected
+/// assert_eq!(out.rejected()[0].index, 1);
+/// ```
+pub fn sweep_compiled(
+    batch: &PointBatch,
+    kernel: impl Fn(&[f64]) -> f64,
+    out: &mut BatchOutput,
+) {
+    out.reset(batch.len());
+    let mut scratch = vec![0.0; batch.axis_count()];
+    for (index, slot) in out.values.iter_mut().enumerate() {
+        batch.gather(index, &mut scratch);
+        let v = kernel(&scratch);
+        if v.is_finite() {
+            *slot = v;
+        } else {
+            *slot = f64::NAN;
+            out.rejected.push(RejectedPoint { index, reason: non_finite_reason(v) });
+        }
+    }
+}
+
+/// Parallel [`sweep_compiled`] under the default [`Parallelism::Auto`]
+/// policy. Bit-for-bit identical to the serial path for any thread count.
+pub fn par_sweep_compiled(
+    batch: &PointBatch,
+    kernel: impl Fn(&[f64]) -> f64 + Sync,
+    out: &mut BatchOutput,
+) {
+    par_sweep_compiled_with(Parallelism::Auto, batch, kernel, out);
+}
+
+/// Parallel [`sweep_compiled`] under an explicit [`Parallelism`] policy.
+///
+/// The output buffer is statically partitioned into one contiguous chunk
+/// per worker (`slice::chunks_mut` — no `unsafe`, no locks on the hot
+/// path); each worker keeps a local rejection log that is merged back in
+/// chunk order, so [`BatchOutput::rejected`] stays in sweep order.
+pub fn par_sweep_compiled_with(
+    parallelism: Parallelism,
+    batch: &PointBatch,
+    kernel: impl Fn(&[f64]) -> f64 + Sync,
+    out: &mut BatchOutput,
+) {
+    let len = batch.len();
+    let workers = parallelism.worker_count().min(len.max(1));
+    if workers <= 1 {
+        sweep_compiled(batch, kernel, out);
+        return;
+    }
+    out.reset(len);
+    fill_chunked(
+        workers,
+        &mut out.values,
+        &mut out.rejected,
+        &kernel,
+        |scratch, index| {
+            batch.gather(index, scratch);
+        },
+        batch.axis_count(),
+    );
+}
+
+/// Reusable sample buffer for [`par_monte_carlo_compiled`]: the raw draws
+/// (finite and not) plus the compacted finite subset the statistics are
+/// computed over. Reuse one buffer across runs to amortize allocation.
+#[derive(Clone, Debug, Default)]
+pub struct McBuffer {
+    draws: Vec<f64>,
+    finite: Vec<f64>,
+}
+
+impl McBuffer {
+    /// An empty buffer; the first run sizes it.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Every draw of the last run, in sample order; rejected (non-finite)
+    /// draws appear as NaN regardless of whether the model produced NaN or
+    /// ±∞.
+    #[must_use]
+    pub fn draws(&self) -> &[f64] {
+        &self.draws
+    }
+}
+
+/// Deterministic, fault-tolerant Monte-Carlo over a compiled kernel under
+/// the default [`Parallelism::Auto`] policy; see
+/// [`par_monte_carlo_compiled_with`].
+///
+/// # Errors
+///
+/// Returns [`McError::NoSamples`] if `samples` is zero and
+/// [`McError::AllRejected`] if every draw was non-finite.
+pub fn par_monte_carlo_compiled(
+    samples: usize,
+    seed: u64,
+    axes: usize,
+    sampler: impl Fn(&mut StdRng, &mut [f64]) + Sync,
+    kernel: impl Fn(&[f64]) -> f64 + Sync,
+    buf: &mut McBuffer,
+) -> Result<McOutcome, McError> {
+    par_monte_carlo_compiled_with(Parallelism::Auto, samples, seed, axes, sampler, kernel, buf)
+}
+
+/// Deterministic, fault-tolerant Monte-Carlo over a compiled kernel under
+/// an explicit [`Parallelism`] policy.
+///
+/// Sample `i` gets its own `StdRng` seeded with [`mc_sample_seed`]
+/// `(seed, i)`; `sampler` draws the point's coordinates into a scratch
+/// slice of `axes` slots and `kernel` maps them to a value — together they
+/// play the role of the `model` closure in
+/// [`par_try_monte_carlo`](crate::par_try_monte_carlo), with identical
+/// seed-splitting, so a per-point model decomposed into `(sampler, kernel)`
+/// produces the **bit-identical outcome**. Non-finite draws are skipped and
+/// counted in sample order; statistics come from
+/// the same summarization as every other Monte-Carlo entry point.
+///
+/// # Errors
+///
+/// Returns [`McError::NoSamples`] if `samples` is zero and
+/// [`McError::AllRejected`] if every draw was non-finite.
+///
+/// # Examples
+///
+/// ```
+/// use act_dse::{par_monte_carlo_compiled, par_try_monte_carlo, McBuffer};
+/// use rand::Rng;
+///
+/// let mut buf = McBuffer::new();
+/// let compiled = par_monte_carlo_compiled(
+///     2_000, 42, 1,
+///     |rng, point| point[0] = rng.gen_range(0.7..1.0),
+///     |point| 0.9 * 1370.0 / point[0],
+///     &mut buf,
+/// )?;
+/// let reference = par_try_monte_carlo(2_000, 42, |rng| {
+///     let y: f64 = rng.gen_range(0.7..1.0);
+///     0.9 * 1370.0 / y
+/// })?;
+/// assert_eq!(compiled, reference);
+/// # Ok::<(), act_dse::McError>(())
+/// ```
+pub fn par_monte_carlo_compiled_with(
+    parallelism: Parallelism,
+    samples: usize,
+    seed: u64,
+    axes: usize,
+    sampler: impl Fn(&mut StdRng, &mut [f64]) + Sync,
+    kernel: impl Fn(&[f64]) -> f64 + Sync,
+    buf: &mut McBuffer,
+) -> Result<McOutcome, McError> {
+    if samples == 0 {
+        return Err(McError::NoSamples);
+    }
+    buf.draws.clear();
+    buf.draws.resize(samples, f64::NAN);
+    let draw = |scratch: &mut [f64], index: usize| {
+        let mut rng = StdRng::seed_from_u64(mc_sample_seed(seed, index as u64));
+        sampler(&mut rng, scratch);
+    };
+    let workers = parallelism.worker_count().min(samples.max(1));
+    if workers <= 1 {
+        let mut scratch = vec![0.0; axes];
+        for (index, slot) in buf.draws.iter_mut().enumerate() {
+            draw(&mut scratch, index);
+            let v = kernel(&scratch);
+            // Canonicalize non-finite draws to NaN (as `fill_chunked` does)
+            // so `draws()` is identical for every thread count; the caller
+            // only counts them, so ±∞ and NaN are equivalent.
+            *slot = if v.is_finite() { v } else { f64::NAN };
+        }
+    } else {
+        // The rejection log is discarded: the Monte-Carlo contract reports
+        // a rejected *count*, not indexed reasons.
+        let mut discarded: Vec<RejectedPoint> = Vec::new();
+        fill_chunked(workers, &mut buf.draws, &mut discarded, &kernel, draw, axes);
+    }
+    buf.finite.clear();
+    buf.finite.extend(buf.draws.iter().copied().filter(|v| v.is_finite()));
+    let rejected = samples - buf.finite.len();
+    if buf.finite.is_empty() {
+        return Err(McError::AllRejected { rejected });
+    }
+    Ok(McOutcome { stats: summarize_slice(&mut buf.finite), rejected })
+}
+
+/// The shared chunked-parallel fill: partitions `values` into one
+/// contiguous chunk per worker, evaluates `kernel` on the point `load`
+/// writes into each worker's private scratch slice, and merges worker-local
+/// rejection logs back in chunk order. Panics in workers propagate with
+/// their payload after every worker has stopped.
+#[cfg(feature = "parallel")]
+fn fill_chunked(
+    workers: usize,
+    values: &mut [f64],
+    rejected: &mut Vec<RejectedPoint>,
+    kernel: &(impl Fn(&[f64]) -> f64 + Sync),
+    load: impl Fn(&mut [f64], usize) + Sync,
+    axes: usize,
+) {
+    let len = values.len();
+    if len == 0 {
+        return;
+    }
+    let chunk = len.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let load = &load;
+        let handles: Vec<_> = values
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(worker, slice)| {
+                scope.spawn(move || {
+                    let start = worker * chunk;
+                    let mut scratch = vec![0.0; axes];
+                    let mut local = Vec::new();
+                    for (offset, slot) in slice.iter_mut().enumerate() {
+                        let index = start + offset;
+                        load(&mut scratch, index);
+                        let v = kernel(&scratch);
+                        if v.is_finite() {
+                            *slot = v;
+                        } else {
+                            *slot = f64::NAN;
+                            local.push(RejectedPoint { index, reason: non_finite_reason(v) });
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(local) => rejected.extend(local),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+}
+
+/// Serial fallback when the `parallel` feature is disabled: same output,
+/// one worker.
+#[cfg(not(feature = "parallel"))]
+fn fill_chunked(
+    _workers: usize,
+    values: &mut [f64],
+    rejected: &mut Vec<RejectedPoint>,
+    kernel: &(impl Fn(&[f64]) -> f64 + Sync),
+    load: impl Fn(&mut [f64], usize) + Sync,
+    axes: usize,
+) {
+    let mut scratch = vec![0.0; axes];
+    for (index, slot) in values.iter_mut().enumerate() {
+        load(&mut scratch, index);
+        let v = kernel(&scratch);
+        if v.is_finite() {
+            *slot = v;
+        } else {
+            *slot = f64::NAN;
+            rejected.push(RejectedPoint { index, reason: non_finite_reason(v) });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::montecarlo::par_try_monte_carlo_with;
+    use crate::sweep::par_sweep_finite_with;
+    use rand::Rng;
+
+    fn kernel(point: &[f64]) -> f64 {
+        1.0 / point[0]
+    }
+
+    #[test]
+    fn batch_construction_and_gather() {
+        let batch = PointBatch::from_columns(vec![vec![1.0, 2.0, 3.0], vec![10.0, 20.0, 30.0]]);
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch.axis_count(), 2);
+        assert_eq!(batch.column(1), &[10.0, 20.0, 30.0]);
+        let mut point = [0.0; 2];
+        batch.gather(2, &mut point);
+        assert_eq!(point, [3.0, 30.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one axis")]
+    fn empty_batch_rejected() {
+        let _ = PointBatch::from_columns(Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "column 0 has")]
+    fn ragged_batch_rejected() {
+        let _ = PointBatch::from_columns(vec![vec![1.0, 2.0], vec![1.0]]);
+    }
+
+    #[test]
+    fn serial_sweep_matches_per_point_path() {
+        let params = vec![4.0, 0.0, -2.0, f64::NAN, 1.0];
+        let reference = par_sweep_finite_with(Parallelism::Serial, params.clone(), kernel_ref);
+        let batch = PointBatch::single_axis(params);
+        let mut out = BatchOutput::new();
+        sweep_compiled(&batch, kernel, &mut out);
+        assert_eq!(out.rejected(), &reference.rejected[..]);
+        let mut finite = out.values().iter().copied().filter(|v| v.is_finite());
+        for (_, expected) in &reference.results {
+            assert_eq!(finite.next().unwrap().to_bits(), expected.to_bits());
+        }
+        assert!(finite.next().is_none());
+    }
+
+    fn kernel_ref(x: &f64) -> f64 {
+        1.0 / x
+    }
+
+    #[test]
+    fn parallel_sweep_is_thread_count_invariant() {
+        let params: Vec<f64> = (0..1000).map(|i| f64::from(i) - 500.0).collect();
+        let batch = PointBatch::single_axis(params);
+        let mut serial = BatchOutput::new();
+        sweep_compiled(&batch, kernel, &mut serial);
+        for threads in [2usize, 3, 8] {
+            let mut parallel = BatchOutput::new();
+            par_sweep_compiled_with(
+                Parallelism::threads(threads),
+                &batch,
+                kernel,
+                &mut parallel,
+            );
+            assert_eq!(parallel.rejected(), serial.rejected());
+            assert_eq!(parallel.values().len(), serial.values().len());
+            for (a, b) in parallel.values().iter().zip(serial.values()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn rejected_slots_are_nan_and_ordered() {
+        let batch = PointBatch::single_axis(vec![1.0, 0.0, 2.0, 0.0]);
+        let mut out = BatchOutput::new();
+        par_sweep_compiled_with(Parallelism::threads(4), &batch, kernel, &mut out);
+        assert!(out.values()[1].is_nan() && out.values()[3].is_nan());
+        assert_eq!(out.rejected().iter().map(|r| r.index).collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(out.rejected()[0].reason, "model produced a non-finite result (inf)");
+        assert!(!out.is_clean());
+        assert_eq!(out.rejected_count(), 2);
+    }
+
+    #[test]
+    fn buffer_reuse_resets_state() {
+        let mut out = BatchOutput::new();
+        sweep_compiled(&PointBatch::single_axis(vec![0.0, 0.0]), kernel, &mut out);
+        assert_eq!(out.rejected_count(), 2);
+        sweep_compiled(&PointBatch::single_axis(vec![1.0]), kernel, &mut out);
+        assert_eq!(out.rejected_count(), 0);
+        assert_eq!(out.values(), &[1.0]);
+        out.clear();
+        assert!(out.values().is_empty() && out.is_clean());
+    }
+
+    #[test]
+    fn empty_batch_sweeps_cleanly() {
+        let batch = PointBatch::single_axis(Vec::new());
+        let mut out = BatchOutput::new();
+        par_sweep_compiled_with(Parallelism::threads(8), &batch, kernel, &mut out);
+        assert!(out.values().is_empty());
+        assert!(out.is_clean());
+    }
+
+    #[test]
+    fn mc_compiled_matches_per_point_monte_carlo() {
+        let model = |rng: &mut StdRng| {
+            let y: f64 = rng.gen_range(-0.1..1.0);
+            1370.0 / y.max(0.0)
+        };
+        let mut buf = McBuffer::new();
+        for threads in [1usize, 2, 8] {
+            let compiled = par_monte_carlo_compiled_with(
+                Parallelism::threads(threads),
+                2_000,
+                13,
+                1,
+                |rng, point| point[0] = rng.gen_range(-0.1..1.0),
+                |point| 1370.0 / point[0].max(0.0),
+                &mut buf,
+            )
+            .unwrap();
+            let reference =
+                par_try_monte_carlo_with(Parallelism::Serial, 2_000, 13, model).unwrap();
+            assert_eq!(compiled, reference);
+            assert!(compiled.rejected > 0);
+        }
+    }
+
+    #[test]
+    fn mc_compiled_reports_degenerate_runs() {
+        let mut buf = McBuffer::new();
+        let sampler = |_: &mut StdRng, point: &mut [f64]| point[0] = 0.0;
+        assert_eq!(
+            par_monte_carlo_compiled(0, 0, 1, sampler, kernel, &mut buf),
+            Err(McError::NoSamples)
+        );
+        assert_eq!(
+            par_monte_carlo_compiled(10, 0, 1, sampler, kernel, &mut buf),
+            Err(McError::AllRejected { rejected: 10 })
+        );
+        assert_eq!(buf.draws().len(), 10);
+        assert!(buf.draws().iter().all(|v| v.is_nan()));
+    }
+}

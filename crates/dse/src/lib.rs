@@ -22,6 +22,15 @@
 //! default `parallel` cargo feature removes the threading entirely while
 //! keeping every `par_*` API compiling (serial fallback).
 //!
+//! Million-point explorations use the compiled batch path ([`PointBatch`],
+//! [`sweep_compiled`], [`par_sweep_compiled`],
+//! [`par_monte_carlo_compiled`]): design points live in
+//! structure-of-arrays columns, results land in reusable buffers, and the
+//! model is a precompiled `Fn(&[f64]) -> f64` kernel (e.g.
+//! `act_core::CompiledFootprint::eval`) — zero per-point heap allocation
+//! with the same skip-and-record and seed-splitting semantics as the
+//! per-point API.
+//!
 //! # Examples
 //!
 //! ```
@@ -42,12 +51,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod montecarlo;
 mod optimize;
 mod parallel;
 mod pareto;
 mod sweep;
 
+pub use batch::{
+    par_monte_carlo_compiled, par_monte_carlo_compiled_with, par_sweep_compiled,
+    par_sweep_compiled_with, sweep_compiled, BatchOutput, McBuffer, PointBatch,
+};
 pub use montecarlo::{
     mc_sample_seed, monte_carlo, par_monte_carlo, par_monte_carlo_with, par_try_monte_carlo,
     par_try_monte_carlo_with, triangular, try_monte_carlo, McError, McOutcome, McStats,

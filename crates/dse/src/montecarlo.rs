@@ -320,6 +320,14 @@ pub fn par_try_monte_carlo_with(
 
 /// Sorts the finite samples and extracts the summary statistics.
 fn summarize(mut values: Vec<f64>) -> McStats {
+    summarize_slice(&mut values)
+}
+
+/// Slice-borrowing core of [`summarize`]: sorts `values` in place and
+/// extracts the summary statistics without taking ownership, so the batch
+/// path can summarize a reusable buffer without reallocating. Bit-identical
+/// to the owning wrapper — same sort, same fold, same percentile indexing.
+pub(crate) fn summarize_slice(values: &mut [f64]) -> McStats {
     let samples = values.len();
     values.sort_by(f64::total_cmp);
     let mean = values.iter().sum::<f64>() / samples as f64;

@@ -119,7 +119,7 @@ fn group(
     level: IntensityLevel,
 ) -> ScenarioGroup {
     let op = OperationalModel::new(use_intensity);
-    let cpa = fab.carbon_per_area(NODE);
+    let cpa = act_core::memo::carbon_per_area(fab, NODE);
     let n = lifetime_inferences();
     let cpu_block = cpa * profile(Engine::Cpu).block_area();
     let cells = PROFILES

@@ -50,7 +50,7 @@ pub struct Table4Result {
 pub fn run() -> Table4Result {
     let fab = FabScenario::default();
     let op = OperationalModel::new(US_INTENSITY);
-    let cpa = fab.carbon_per_area(NODE);
+    let cpa = act_core::memo::carbon_per_area(&fab, NODE);
     let cpu_block = cpa * profile(Engine::Cpu).block_area();
     let rows = PROFILES
         .iter()

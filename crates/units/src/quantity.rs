@@ -127,6 +127,12 @@ impl<D: Dimension> Quantity<D> {
         Self::raw(self.0.max(0.0))
     }
 
+    /// The absolute magnitude, dimension preserved.
+    #[must_use]
+    pub fn abs(self) -> Self {
+        Self::raw(self.0.abs())
+    }
+
     /// Dimensionless ratio `self / other` as a plain `f64`.
     ///
     /// Identical in value to `(self / other).value()` but reads better in
@@ -394,6 +400,62 @@ impl Ratio {
     #[must_use]
     pub const fn value(self) -> f64 {
         self.0
+    }
+}
+
+// A dimensionless quantity IS a scalar, so it compares directly against
+// plain floats — `ratio > 30.0` without unwrapping through `.value()`.
+impl PartialEq<f64> for Ratio {
+    fn eq(&self, other: &f64) -> bool {
+        self.0 == *other
+    }
+}
+
+impl PartialEq<Ratio> for f64 {
+    fn eq(&self, other: &Ratio) -> bool {
+        *self == other.0
+    }
+}
+
+impl PartialOrd<f64> for Ratio {
+    fn partial_cmp(&self, other: &f64) -> Option<Ordering> {
+        self.0.partial_cmp(other)
+    }
+}
+
+impl PartialOrd<Ratio> for f64 {
+    fn partial_cmp(&self, other: &Ratio) -> Option<Ordering> {
+        self.partial_cmp(&other.0)
+    }
+}
+
+// … and shifts by scalar offsets, so residuals like `ratio - 1.0` read
+// like the formulas they implement.
+impl Add<f64> for Ratio {
+    type Output = Ratio;
+    fn add(self, rhs: f64) -> Ratio {
+        Ratio::raw(self.0 + rhs)
+    }
+}
+
+impl Sub<f64> for Ratio {
+    type Output = Ratio;
+    fn sub(self, rhs: f64) -> Ratio {
+        Ratio::raw(self.0 - rhs)
+    }
+}
+
+impl Add<Ratio> for f64 {
+    type Output = Ratio;
+    fn add(self, rhs: Ratio) -> Ratio {
+        Ratio::raw(self + rhs.0)
+    }
+}
+
+impl Sub<Ratio> for f64 {
+    type Output = Ratio;
+    fn sub(self, rhs: Ratio) -> Ratio {
+        Ratio::raw(self - rhs.0)
     }
 }
 

@@ -2,9 +2,24 @@
 //!
 //! Builds the workspace in release mode, times every paper artifact
 //! through the `act` binary, measures the parallel-vs-serial `act all`
-//! speedup and the synthetic sweep throughput (`act bench-sweep`), and
-//! writes the lot as machine-readable JSON (default `BENCH_results.json`)
-//! so successive commits leave a comparable performance trajectory.
+//! speedup and the sweep throughput (`act bench-sweep`, including the
+//! naive-vs-compiled model kernel A/B), and **appends** the lot as one
+//! timestamped record to a machine-readable JSON trajectory (default
+//! `BENCH_results.json`, schema `act-bench-trajectory/2`) so successive
+//! commits accumulate a comparable performance history instead of
+//! overwriting it. A legacy single-record `act-bench-trajectory/1` file is
+//! wrapped into the trajectory on first append.
+//!
+//! When the trajectory already carries a compiled-kernel throughput
+//! reading, the harness doubles as a **regression guard**: a new record
+//! whose compiled points/sec drops below 70 % of the last committed one
+//! fails the run with exit code 2 (the record is still appended, so the
+//! regression itself is visible in the trajectory).
+//!
+//! Environments that cannot build the workspace (e.g. offline CI without a
+//! registry mirror) degrade gracefully: the harness appends a record whose
+//! timings are `null` and whose `error` field says why, instead of
+//! aborting with nothing written.
 //!
 //! The harness shells out to `cargo`/`act` but renders its report with a
 //! tiny hand-rolled JSON writer: xtask stays dependency-free.
@@ -19,7 +34,7 @@ use std::time::Instant;
 pub struct BenchConfig {
     /// Workspace root (where `Cargo.toml` and `target/` live).
     pub root: PathBuf,
-    /// Output path for the JSON report.
+    /// Output path for the JSON trajectory.
     pub out: PathBuf,
     /// Timing repeats per artifact; the best (minimum) wall-clock wins.
     pub repeats: usize,
@@ -27,6 +42,8 @@ pub struct BenchConfig {
     pub sweep_points: usize,
     /// Also run `cargo bench --workspace -- --test` as a smoke pass.
     pub criterion_smoke: bool,
+    /// Optional human-readable tag stored in the appended record.
+    pub label: Option<String>,
 }
 
 impl BenchConfig {
@@ -39,6 +56,7 @@ impl BenchConfig {
             repeats: 3,
             sweep_points: 10_000,
             criterion_smoke: false,
+            label: None,
         }
     }
 
@@ -66,6 +84,13 @@ pub struct BenchReport {
     pub criterion_ok: Option<bool>,
     /// Timing repeats used.
     pub repeats: usize,
+    /// Optional tag from [`BenchConfig::label`].
+    pub label: Option<String>,
+    /// Seconds since the Unix epoch when the run started.
+    pub unix_time: u64,
+    /// Why the run degraded (e.g. the release build was unavailable);
+    /// `None` for a complete run.
+    pub error: Option<String>,
 }
 
 impl BenchReport {
@@ -116,14 +141,27 @@ fn json_ms(ms: f64) -> String {
     }
 }
 
-/// Renders the report as pretty-printed JSON. The `sweep` field is spliced
-/// in verbatim (it is already a JSON object emitted by `act bench-sweep`);
-/// an empty capture renders as `null`.
+/// Renders one trajectory record as pretty-printed JSON. The `sweep` field
+/// is spliced in verbatim (it is already a JSON object emitted by
+/// `act bench-sweep`); an empty capture renders as `null`. Records carry no
+/// `schema` field of their own — the enclosing trajectory document does.
 #[must_use]
-pub fn render_report(report: &BenchReport) -> String {
+pub fn render_record(report: &BenchReport) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": \"act-bench-trajectory/1\",");
+    let _ = writeln!(out, "  \"unix_time\": {},", report.unix_time);
+    match &report.label {
+        None => out.push_str("  \"label\": null,\n"),
+        Some(label) => {
+            let _ = writeln!(out, "  \"label\": \"{}\",", json_escape(label));
+        }
+    }
+    match &report.error {
+        None => out.push_str("  \"error\": null,\n"),
+        Some(error) => {
+            let _ = writeln!(out, "  \"error\": \"{}\",", json_escape(error));
+        }
+    }
     let _ = writeln!(out, "  \"repeats\": {},", report.repeats);
     let _ = writeln!(out, "  \"build_ms\": {},", json_ms(report.build_ms));
     out.push_str("  \"figures\": {\n");
@@ -132,11 +170,14 @@ pub fn render_report(report: &BenchReport) -> String {
         let _ = writeln!(out, "    \"{}\": {}{comma}", json_escape(id), json_ms(*ms));
     }
     out.push_str("  },\n");
-    let _ = writeln!(out, "  \"figure_total_ms\": {},", json_ms(report.figure_total_ms()));
+    let figure_total =
+        if report.figures.is_empty() { f64::NAN } else { report.figure_total_ms() };
+    let _ = writeln!(out, "  \"figure_total_ms\": {},", json_ms(figure_total));
     out.push_str("  \"all\": {\n");
     let _ = writeln!(out, "    \"parallel_ms\": {},", json_ms(report.all_parallel_ms));
     let _ = writeln!(out, "    \"serial_ms\": {},", json_ms(report.all_serial_ms));
-    let _ = writeln!(out, "    \"speedup\": {}", json_ms(report.all_speedup()));
+    let speedup = if report.all_parallel_ms > 0.0 { report.all_speedup() } else { f64::NAN };
+    let _ = writeln!(out, "    \"speedup\": {}", json_ms(speedup));
     out.push_str("  },\n");
     let sweep = report.sweep.trim();
     if sweep.is_empty() {
@@ -152,6 +193,156 @@ pub fn render_report(report: &BenchReport) -> String {
     }
     out.push_str("}\n");
     out
+}
+
+/// Extracts the verbatim inner body of the `"records": [...]` array from a
+/// schema-v2 trajectory document. Returns `None` when `text` is not one
+/// (e.g. a legacy v1 single-record file). The scanner is string-aware, so
+/// brackets inside JSON strings don't confuse it.
+#[must_use]
+pub fn records_body(text: &str) -> Option<&str> {
+    if !text.contains("\"act-bench-trajectory/2\"") {
+        return None;
+    }
+    let key = text.find("\"records\"")?;
+    let open = key + text[key..].find('[')?;
+    let bytes = text.as_bytes();
+    let mut depth = 1usize;
+    let mut in_string = false;
+    let mut i = open + 1;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if in_string {
+            match b {
+                b'\\' => i += 1,
+                b'"' => in_string = false,
+                _ => {}
+            }
+        } else {
+            match b {
+                b'"' => in_string = true,
+                b'[' | b'{' => depth += 1,
+                b']' | b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(&text[open + 1..i]);
+                    }
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Appends one rendered record to an existing trajectory, producing a
+/// schema-v2 document. Pure: takes the current file contents (possibly
+/// empty), returns the new contents.
+///
+/// - empty/missing file → a fresh trajectory with one record;
+/// - schema-v2 file → the record joins the end of `records`;
+/// - legacy schema-v1 single-record file → the old object is wrapped as the
+///   first record and the new one appended after it.
+#[must_use]
+pub fn append_record(existing: &str, record: &str) -> String {
+    let record = record.trim();
+    let mut body = String::new();
+    let trimmed = existing.trim();
+    if let Some(prior) = records_body(trimmed) {
+        let prior = prior.trim();
+        if !prior.is_empty() {
+            body.push_str(prior);
+            body.push_str(",\n");
+        }
+    } else if !trimmed.is_empty() {
+        body.push_str(trimmed);
+        body.push_str(",\n");
+    }
+    body.push_str(record);
+    format!(
+        "{{\n  \"schema\": \"act-bench-trajectory/2\",\n  \"records\": [\n{body}\n  ]\n}}\n"
+    )
+}
+
+/// Number of records in a trajectory document: the top-level objects of a
+/// v2 `records` array, `1` for a legacy v1 single-record file, `0` for an
+/// empty file.
+#[must_use]
+pub fn record_count(text: &str) -> usize {
+    let Some(bodytext) = records_body(text) else {
+        return usize::from(!text.trim().is_empty());
+    };
+    let bytes = bodytext.as_bytes();
+    let mut count = 0usize;
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if in_string {
+            match b {
+                b'\\' => i += 1,
+                b'"' => in_string = false,
+                _ => {}
+            }
+        } else {
+            match b {
+                b'"' => in_string = true,
+                b'{' => {
+                    if depth == 0 {
+                        count += 1;
+                    }
+                    depth += 1;
+                }
+                b'[' => depth += 1,
+                b'}' | b']' => depth = depth.saturating_sub(1),
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    count
+}
+
+/// Pulls the most recent compiled-kernel sweep throughput
+/// (`"compiled": {..., "points_per_sec": N, ...}`) out of a trajectory or a
+/// single record. Returns `None` when no record carries a finite positive
+/// reading — e.g. a degraded offline record whose sweep is `null`.
+#[must_use]
+pub fn extract_compiled_throughput(text: &str) -> Option<f64> {
+    let at = text.rfind("\"compiled\"")?;
+    let tail = &text[at..];
+    let key = tail.find("\"points_per_sec\"")?;
+    let after = tail[key + "\"points_per_sec\"".len()..].trim_start();
+    let after = after.strip_prefix(':')?.trim_start();
+    let end = after
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(after.len());
+    after[..end].parse::<f64>().ok().filter(|v| v.is_finite() && *v > 0.0)
+}
+
+/// Fraction of the baseline throughput a new reading must retain to pass
+/// the regression guard (0.7 ⇒ fail on a >30 % drop).
+pub const GUARD_RETAIN_FRACTION: f64 = 0.7;
+
+/// Regression-guard verdict: `Some((baseline, current))` when the new
+/// record's compiled throughput fell below [`GUARD_RETAIN_FRACTION`] of the
+/// trajectory's last reading; `None` when it passed or either side has no
+/// reading (first run, or a degraded record).
+#[must_use]
+pub fn guard_regression(existing: &str, record: &str) -> Option<(f64, f64)> {
+    let baseline = extract_compiled_throughput(existing)?;
+    let current = extract_compiled_throughput(record)?;
+    (current < GUARD_RETAIN_FRACTION * baseline).then_some((baseline, current))
+}
+
+/// Seconds since the Unix epoch, `0` if the clock is before it.
+fn unix_time_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
 }
 
 /// Milliseconds elapsed while running `f`.
@@ -208,12 +399,30 @@ fn best_act_ms(root: &Path, args: &[&str], repeats: usize) -> Result<f64, String
 
 /// Runs the full harness: build, per-figure timings, `all` speedup, sweep
 /// probe, optional criterion smoke. Returns the report without writing it.
+///
+/// A failed release build does not abort the run: it yields a degraded
+/// report (`error` set, timings NaN → rendered `null`) so offline
+/// environments still append an honest trajectory record.
 pub fn run_bench(config: &BenchConfig) -> Result<BenchReport, String> {
+    let unix_time = unix_time_now();
     let root = &config.root;
     let (build_ms, built) = time_ms(|| {
         run_silent(Command::new("cargo").args(["build", "--release"]).current_dir(root))
     });
-    built?;
+    if let Err(err) = built {
+        return Ok(BenchReport {
+            build_ms: f64::NAN,
+            figures: Vec::new(),
+            all_parallel_ms: f64::NAN,
+            all_serial_ms: f64::NAN,
+            sweep: String::new(),
+            criterion_ok: None,
+            repeats: config.repeats.max(1),
+            label: config.label.clone(),
+            unix_time,
+            error: Some(format!("release build unavailable: {err}")),
+        });
+    }
 
     let listing = run_capture(Command::new(act_binary(root)).arg("list"))?;
     let ids: Vec<String> = listing
@@ -259,6 +468,9 @@ pub fn run_bench(config: &BenchConfig) -> Result<BenchReport, String> {
         sweep,
         criterion_ok,
         repeats: config.repeats.max(1),
+        label: config.label.clone(),
+        unix_time,
+        error: None,
     })
 }
 
@@ -272,9 +484,13 @@ mod tests {
             figures: vec![("fig1".to_owned(), 10.0), ("table5-11".to_owned(), 2.5)],
             all_parallel_ms: 40.0,
             all_serial_ms: 100.0,
-            sweep: "{\"points\":100,\"speedup\":2.0}\n".to_owned(),
+            sweep: "{\"points\":100,\"speedup\":2.0,\"compiled\":{\"ms\":1.0,\"points_per_sec\":4000.0}}\n"
+                .to_owned(),
             criterion_ok: Some(true),
             repeats: 3,
+            label: Some("sample".to_owned()),
+            unix_time: 1_754_500_000,
+            error: None,
         }
     }
 
@@ -296,10 +512,12 @@ mod tests {
     }
 
     #[test]
-    fn report_renders_all_sections() {
-        let text = render_report(&sample_report());
+    fn record_renders_all_sections() {
+        let text = render_record(&sample_report());
         for needle in [
-            "\"schema\": \"act-bench-trajectory/1\"",
+            "\"unix_time\": 1754500000",
+            "\"label\": \"sample\"",
+            "\"error\": null",
             "\"repeats\": 3",
             "\"fig1\": 10.000",
             "\"table5-11\": 2.500",
@@ -307,7 +525,7 @@ mod tests {
             "\"parallel_ms\": 40.000",
             "\"serial_ms\": 100.000",
             "\"speedup\": 2.500",
-            "\"sweep\": {\"points\":100,\"speedup\":2.0}",
+            "\"sweep\": {\"points\":100,\"speedup\":2.0",
             "\"criterion_smoke\": true",
         ] {
             assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
@@ -319,7 +537,7 @@ mod tests {
         let mut r = sample_report();
         r.sweep = String::new();
         r.criterion_ok = None;
-        let text = render_report(&r);
+        let text = render_record(&r);
         assert!(text.contains("\"sweep\": null"));
         assert!(text.contains("\"criterion_smoke\": null"));
     }
@@ -328,8 +546,123 @@ mod tests {
     fn non_finite_timings_render_null_not_inf() {
         let mut r = sample_report();
         r.all_parallel_ms = f64::INFINITY;
-        let text = render_report(&r);
+        let text = render_record(&r);
         assert!(text.contains("\"parallel_ms\": null"));
+    }
+
+    fn degraded_report() -> BenchReport {
+        BenchReport {
+            build_ms: f64::NAN,
+            figures: Vec::new(),
+            all_parallel_ms: f64::NAN,
+            all_serial_ms: f64::NAN,
+            sweep: String::new(),
+            criterion_ok: None,
+            repeats: 1,
+            label: None,
+            unix_time: 1_754_500_100,
+            error: Some("release build unavailable: no registry".to_owned()),
+        }
+    }
+
+    #[test]
+    fn degraded_record_is_null_timings_plus_reason() {
+        let text = render_record(&degraded_report());
+        for needle in [
+            "\"label\": null",
+            "\"error\": \"release build unavailable: no registry\"",
+            "\"build_ms\": null",
+            "\"figure_total_ms\": null",
+            "\"speedup\": null",
+            "\"sweep\": null",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn append_to_empty_starts_a_trajectory() {
+        let text = append_record("", &render_record(&sample_report()));
+        assert!(text.starts_with("{\n  \"schema\": \"act-bench-trajectory/2\""));
+        assert_eq!(record_count(&text), 1);
+    }
+
+    #[test]
+    fn append_accumulates_records_in_order() {
+        let first = append_record("", &render_record(&sample_report()));
+        let second = append_record(&first, &render_record(&degraded_report()));
+        assert_eq!(record_count(&second), 2);
+        let sample_at = second.find("\"label\": \"sample\"").unwrap();
+        let degraded_at = second.find("\"unix_time\": 1754500100").unwrap();
+        assert!(sample_at < degraded_at, "records out of order:\n{second}");
+        // Appending must be lossless: the earlier record survives verbatim.
+        assert!(second.contains("\"fig1\": 10.000"));
+    }
+
+    #[test]
+    fn append_wraps_a_legacy_v1_file_as_the_first_record() {
+        let legacy = "{\n  \"schema\": \"act-bench-trajectory/1\",\n  \"build_ms\": 5.0\n}\n";
+        let text = append_record(legacy, &render_record(&sample_report()));
+        assert_eq!(record_count(&text), 2);
+        assert!(text.contains("\"act-bench-trajectory/1\""));
+        let v1_at = text.find("act-bench-trajectory/1").unwrap();
+        let new_at = text.find("\"label\": \"sample\"").unwrap();
+        assert!(v1_at < new_at);
+    }
+
+    #[test]
+    fn records_body_ignores_brackets_inside_strings() {
+        let doc =
+            append_record("", "{\n  \"label\": \"tricky ] } [ {\",\n  \"unix_time\": 1\n}");
+        assert_eq!(record_count(&doc), 1);
+        let appended = append_record(&doc, "{\n  \"unix_time\": 2\n}");
+        assert_eq!(record_count(&appended), 2);
+    }
+
+    #[test]
+    fn records_body_rejects_non_v2_documents() {
+        assert!(records_body("{\"schema\": \"act-bench-trajectory/1\"}").is_none());
+        assert!(records_body("").is_none());
+        assert_eq!(record_count(""), 0);
+        assert_eq!(record_count("{\"schema\": \"act-bench-trajectory/1\"}"), 1);
+    }
+
+    #[test]
+    fn compiled_throughput_reads_the_last_record() {
+        let older = "{\n  \"sweep\": {\"compiled\": {\"points_per_sec\": 1000.0}}\n}";
+        let newer = "{\n  \"sweep\": {\"compiled\": {\"points_per_sec\": 2500.5}}\n}";
+        let doc = append_record(&append_record("", older), newer);
+        let got = match extract_compiled_throughput(&doc) {
+            Some(v) => v,
+            None => panic!("throughput missing from:\n{doc}"),
+        };
+        assert!((got - 2500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compiled_throughput_absent_from_degraded_records() {
+        assert!(extract_compiled_throughput(&render_record(&degraded_report())).is_none());
+        assert!(
+            extract_compiled_throughput("{\"compiled\": {\"points_per_sec\": null}}").is_none()
+        );
+        assert!(extract_compiled_throughput("").is_none());
+    }
+
+    #[test]
+    fn guard_trips_only_on_a_real_regression() {
+        let baseline = append_record("", &render_record(&sample_report())); // 4000 pts/s
+        let fast = "{\"sweep\": {\"compiled\": {\"points_per_sec\": 3500.0}}}";
+        let slow = "{\"sweep\": {\"compiled\": {\"points_per_sec\": 2000.0}}}";
+        assert!(guard_regression(&baseline, fast).is_none(), "25% drop is within tolerance");
+        let (base, cur) = match guard_regression(&baseline, slow) {
+            Some(pair) => pair,
+            None => panic!("50% drop must trip the guard"),
+        };
+        assert!((base - 4000.0).abs() < 1e-9 && (cur - 2000.0).abs() < 1e-9);
+        // No baseline reading (fresh file) or no current reading (degraded
+        // run) both skip the guard rather than failing it.
+        assert!(guard_regression("", slow).is_none());
+        assert!(guard_regression(&baseline, &render_record(&degraded_report())).is_none());
     }
 
     #[test]
@@ -349,7 +682,7 @@ mod tests {
 
     #[test]
     fn last_figure_entry_has_no_trailing_comma() {
-        let text = render_report(&sample_report());
+        let text = render_record(&sample_report());
         let figures_block =
             text.split("\"figures\": {").nth(1).and_then(|s| s.split('}').next()).unwrap();
         let last_entry = figures_block.trim_end().lines().last().unwrap();

@@ -27,12 +27,21 @@ fn usage() -> String {
        RULE|path-suffix|line-substring|justification\n\n\
      bench builds the workspace in release mode, times every experiment\n\
      via the `act` binary (best of N repeats), measures the parallel vs\n\
-     --serial `act all` speedup and sweep throughput, and writes\n\
-     machine-readable JSON (default BENCH_results.json).\n\
-       --out FILE    output path\n\
+     --serial `act all` speedup and the naive-vs-compiled sweep\n\
+     throughput, and APPENDS one timestamped record to a JSON trajectory\n\
+     (default BENCH_results.json, schema act-bench-trajectory/2; a legacy\n\
+     v1 file is wrapped on first append). When both the trajectory and the\n\
+     new record carry a compiled points/sec reading, the run fails with\n\
+     exit 2 if throughput regressed more than 30% — the record is still\n\
+     appended so the regression stays visible. When the release build is\n\
+     unavailable (offline), a degraded record with null timings and an\n\
+     `error` field is appended instead of aborting.\n\
+       --out FILE    trajectory path\n\
        --quick       1 repeat + smaller sweep (CI smoke)\n\
-       --criterion   also run `cargo bench --workspace -- --test`\n\n\
-     exit codes: 0 clean, 1 violations, 2 usage/I-O error"
+       --criterion   also run `cargo bench --workspace -- --test`\n\
+       --label NAME  tag the appended record (e.g. a PR or commit name)\n\n\
+     exit codes: 0 clean, 1 violations, 2 usage/I-O error or bench\n\
+     throughput regression"
         .to_owned()
 }
 
@@ -88,6 +97,13 @@ fn main() -> ExitCode {
                     },
                     "--quick" => config.quick(),
                     "--criterion" => config.criterion_smoke = true,
+                    "--label" => match rest.next() {
+                        Some(label) => config.label = Some(label),
+                        None => {
+                            eprintln!("--label needs a name\n\n{}", usage());
+                            return ExitCode::from(2);
+                        }
+                    },
                     other => {
                         eprintln!("unknown argument `{other}`\n\n{}", usage());
                         return ExitCode::from(2);
@@ -111,17 +127,37 @@ fn run_bench(config: &xtask::bench::BenchConfig) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let body = xtask::bench::render_report(&report);
+    let record = xtask::bench::render_record(&report);
+    let existing = std::fs::read_to_string(&config.out).unwrap_or_default();
+    let regression = xtask::bench::guard_regression(&existing, &record);
+    let body = xtask::bench::append_record(&existing, &record);
     if let Err(err) = std::fs::write(&config.out, &body) {
         eprintln!("error: cannot write {}: {err}", config.out.display());
         return ExitCode::from(2);
     }
+    if let Some(error) = &report.error {
+        eprintln!(
+            "bench: degraded run ({error}); null-timing record appended -> {} ({} record(s))",
+            config.out.display(),
+            xtask::bench::record_count(&body)
+        );
+        return ExitCode::SUCCESS;
+    }
     eprintln!(
-        "bench: {} experiment(s), `act all` speedup {:.2}x, report -> {}",
+        "bench: {} experiment(s), `act all` speedup {:.2}x, record appended -> {} ({} record(s))",
         report.figures.len(),
         report.all_speedup(),
-        config.out.display()
+        config.out.display(),
+        xtask::bench::record_count(&body)
     );
+    if let Some((baseline, current)) = regression {
+        eprintln!(
+            "bench: REGRESSION — compiled sweep throughput {current:.0} points/s is below \
+             {:.0}% of the trajectory baseline {baseline:.0} points/s",
+            xtask::bench::GUARD_RETAIN_FRACTION * 100.0
+        );
+        return ExitCode::from(2);
+    }
     ExitCode::SUCCESS
 }
 
