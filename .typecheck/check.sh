@@ -1,0 +1,7 @@
+#!/bin/sh
+# Offline typecheck harness: stub registry + disabled manual serde impls.
+# NEVER commit .typecheck/ or Cargo.lock; restore serde_impls before commit.
+cd /root/repo
+exec cargo --config 'source.crates-io.replace-with="stubs"' \
+  --config 'source.stubs.directory=".typecheck/vendor"' \
+  check --workspace "$@"

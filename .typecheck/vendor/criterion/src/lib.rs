@@ -1,0 +1,1 @@
+//! Typecheck stub (dev-dep resolution only; never compiled for lib checks).

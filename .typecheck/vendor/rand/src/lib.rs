@@ -1,0 +1,111 @@
+//! Typecheck stub for the rand 0.8 surface the workspace uses.
+//! Deterministic SplitMix64 core — NOT numerically compatible with the
+//! real crate; never run statistical tests against this stub.
+
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub trait SampleUniform: Sized + Copy {
+    fn sample_in(low: Self, high: Self, bits: u64) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            fn sample_in(low: Self, high: Self, bits: u64) -> Self {
+                let span = high.wrapping_sub(low).max(1);
+                low.wrapping_add((bits % (span as u64)) as Self)
+            }
+        }
+    )*};
+}
+impl_sample_int!(u8, u16, u32, u64, usize);
+
+impl SampleUniform for f64 {
+    fn sample_in(low: Self, high: Self, bits: u64) -> Self {
+        let unit = (bits >> 11) as f64 / (1u64 << 53) as f64;
+        low + unit * (high - low)
+    }
+}
+
+pub trait Rng: RngCore {
+    fn gen<T>(&mut self) -> T
+    where
+        T: SampleUniform + From<u8>,
+        Self: Sized,
+    {
+        T::sample_in(T::from(0), T::from(1), self.next_u64())
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample_in(0.0, 1.0, self.next_u64()) < p
+    }
+
+    fn gen_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_in(range.start, range.end, self.next_u64())
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+pub mod rngs {
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl super::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            Self { state }
+        }
+    }
+}
+
+pub mod distributions {
+    use super::{Rng, SampleUniform};
+
+    pub trait Distribution<T> {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    #[derive(Clone, Copy, Debug)]
+    pub struct Uniform<T> {
+        low: T,
+        high: T,
+    }
+
+    impl<T: SampleUniform> Uniform<T> {
+        pub fn new(low: T, high: T) -> Self {
+            Self { low, high }
+        }
+    }
+
+    impl<T: SampleUniform> Distribution<T> for Uniform<T> {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+            let mut shim = move || rng.next_u64();
+            T::sample_in(self.low, self.high, shim())
+        }
+    }
+}

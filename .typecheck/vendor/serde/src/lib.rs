@@ -1,0 +1,18 @@
+//! Typecheck stub: every type is Serialize/Deserialize via blanket impls.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+pub trait Serializer {
+    type Ok;
+    type Error;
+}
+
+pub trait Deserializer<'de> {
+    type Error;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
