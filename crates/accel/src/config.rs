@@ -2,7 +2,6 @@
 
 use act_data::ProcessNode;
 use act_units::{Area, UnitError};
-use serde::{Deserialize, Serialize};
 
 use crate::layer::Network;
 use crate::perf::Evaluation;
@@ -36,12 +35,15 @@ const FIXED_SCALING_EXP: f64 = 0.6;
 /// let in_28nm = AccelConfig::new(2048).with_nanometers(28);
 /// assert!(in_28nm.area() > nvdla_large.area());
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct AccelConfig {
     macs: u32,
     nanometers: u32,
     frequency_ghz: f64,
 }
+
+act_json::impl_to_json!(AccelConfig { macs, nanometers, frequency_ghz });
+act_json::impl_from_json!(AccelConfig { macs, nanometers, frequency_ghz });
 
 impl AccelConfig {
     /// A 16 nm configuration at the 500 MHz the study assumes.

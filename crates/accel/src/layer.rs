@@ -1,10 +1,8 @@
 //! DNN layer shapes and networks for the accelerator model.
 
-use serde::{Deserialize, Serialize};
-
 /// One layer of a neural network, described by the quantities the
 /// accelerator model needs: its MAC count and its available parallelism.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Layer {
     /// A 2-D convolution.
     Conv {
@@ -32,6 +30,62 @@ pub enum Layer {
         /// Output features.
         out_features: u32,
     },
+}
+
+impl act_json::ToJson for Layer {
+    fn to_json(&self) -> act_json::JsonValue {
+        match self {
+            Self::Conv { name, out_h, out_w, out_c, in_c, k_h, k_w } => act_json::obj! {
+                "Conv": act_json::obj! {
+                    "name": name,
+                    "out_h": out_h,
+                    "out_w": out_w,
+                    "out_c": out_c,
+                    "in_c": in_c,
+                    "k_h": k_h,
+                    "k_w": k_w,
+                },
+            },
+            Self::Fc { name, in_features, out_features } => act_json::obj! {
+                "Fc": act_json::obj! {
+                    "name": name,
+                    "in_features": in_features,
+                    "out_features": out_features,
+                },
+            },
+        }
+    }
+}
+
+impl act_json::FromJson for Layer {
+    fn from_json(value: &act_json::JsonValue) -> Result<Self, act_json::JsonError> {
+        use act_json::JsonError;
+        let object = value
+            .as_object()
+            .ok_or_else(|| JsonError::type_mismatch("a layer object", value))?;
+        let field = |body: &act_json::JsonValue, name: &str| {
+            body.get(name).cloned().ok_or_else(|| JsonError::missing_field(name))
+        };
+        if let Some(body) = object.get("Conv") {
+            Ok(Self::Conv {
+                name: String::from_json(&field(body, "name")?)?,
+                out_h: u32::from_json(&field(body, "out_h")?)?,
+                out_w: u32::from_json(&field(body, "out_w")?)?,
+                out_c: u32::from_json(&field(body, "out_c")?)?,
+                in_c: u32::from_json(&field(body, "in_c")?)?,
+                k_h: u32::from_json(&field(body, "k_h")?)?,
+                k_w: u32::from_json(&field(body, "k_w")?)?,
+            })
+        } else if let Some(body) = object.get("Fc") {
+            Ok(Self::Fc {
+                name: String::from_json(&field(body, "name")?)?,
+                in_features: u32::from_json(&field(body, "in_features")?)?,
+                out_features: u32::from_json(&field(body, "out_features")?)?,
+            })
+        } else {
+            Err(JsonError::new("expected a `Conv` or `Fc` layer variant"))
+        }
+    }
 }
 
 /// Mapping-efficiency scale: how many MACs one unit of layer parallelism
@@ -111,11 +165,14 @@ impl Layer {
 }
 
 /// A feed-forward network: an ordered list of layers.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Network {
     name: String,
     layers: Vec<Layer>,
 }
+
+act_json::impl_to_json!(Network { name, layers });
+act_json::impl_from_json!(Network { name, layers });
 
 impl Network {
     /// Creates a network from layers.

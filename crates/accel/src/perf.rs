@@ -2,14 +2,13 @@
 //! derating.
 
 use act_units::{Energy, Throughput, TimeSpan};
-use serde::{Deserialize, Serialize};
 
 use crate::config::AccelConfig;
 use crate::energy;
 use crate::layer::Network;
 
 /// Per-layer cycle accounting: where an inference spends its time.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct LayerReport {
     /// Layer label.
     pub name: String,
@@ -20,6 +19,9 @@ pub struct LayerReport {
     /// Fraction of total inference cycles.
     pub share: f64,
 }
+
+act_json::impl_to_json!(LayerReport { name, cycles, utilization, share });
+act_json::impl_from_json!(LayerReport { name, cycles, utilization, share });
 
 /// Per-layer breakdown of an inference — the view a designer uses to find
 /// the layers that starve a wide array.
@@ -62,11 +64,14 @@ pub fn layer_breakdown(config: &AccelConfig, network: &Network) -> Vec<LayerRepo
 /// // A 256-MAC array at 500 MHz clears the paper's 30 FPS QoS bar.
 /// assert!(eval.throughput().as_per_second() > 30.0);
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Evaluation {
     latency: TimeSpan,
     energy: Energy,
 }
+
+act_json::impl_to_json!(Evaluation { latency, energy });
+act_json::impl_from_json!(Evaluation { latency, energy });
 
 impl Evaluation {
     pub(crate) fn compute(config: &AccelConfig, network: &Network) -> Self {

@@ -3,6 +3,7 @@
 //! the affected artifact, while the printed-once summary shows the
 //! sensitivity.
 
+use act_bench::{black_box, Harness};
 use act_core::{FabScenario, SystemSpec};
 use act_data::{Abatement, DramTechnology, ProcessNode};
 use act_ssd::{
@@ -10,101 +11,68 @@ use act_ssd::{
     WriteTrace,
 };
 use act_units::{Area, Capacity, Fraction};
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 
-/// Yield sensitivity: ECF of a 7 nm flagship die across Y ∈ [0.5, 1.0].
-fn ablate_yield(c: &mut Criterion) {
-    c.bench_function("ablate_yield", |b| {
-        b.iter(|| {
-            let mut total = 0.0;
-            for y in [0.5, 0.625, 0.75, 0.875, 1.0] {
-                let fab = FabScenario::default().with_yield(Fraction::new_const(y));
-                total += (fab.carbon_per_area(ProcessNode::N7)
-                    * Area::square_millimeters(90.0))
+fn main() {
+    let mut h = Harness::from_env();
+
+    // Yield sensitivity: ECF of a 7 nm flagship die across Y in [0.5, 1.0].
+    h.bench("ablate_yield", || {
+        let mut total = 0.0;
+        for y in [0.5, 0.625, 0.75, 0.875, 1.0] {
+            let fab = FabScenario::default().with_yield(Fraction::new_const(y));
+            total += (fab.carbon_per_area(ProcessNode::N7) * Area::square_millimeters(90.0))
                 .as_grams();
-            }
-            black_box(total)
-        })
+        }
+        black_box(total)
     });
-}
 
-/// Abatement sensitivity: CPA across all nodes under 95/97/99 % abatement.
-fn ablate_abatement(c: &mut Criterion) {
-    c.bench_function("ablate_abatement", |b| {
-        b.iter(|| {
-            let mut total = 0.0;
-            for abatement in Abatement::ALL {
-                let fab = FabScenario::default().with_abatement(abatement);
-                for node in ProcessNode::ALL {
-                    total += fab.carbon_per_area(node).as_grams_per_cm2();
-                }
+    // Abatement sensitivity: CPA across all nodes under 95/97/99 % abatement.
+    h.bench("ablate_abatement", || {
+        let mut total = 0.0;
+        for abatement in Abatement::ALL {
+            let fab = FabScenario::default().with_abatement(abatement);
+            for node in ProcessNode::ALL {
+                total += fab.carbon_per_area(node).as_grams_per_cm2();
             }
-            black_box(total)
-        })
+        }
+        black_box(total)
     });
-}
 
-/// Fab energy-source sensitivity: device embodied footprint under four fab
-/// scenarios.
-fn ablate_fab_ci(c: &mut Criterion) {
+    // Fab energy-source sensitivity: device embodied footprint under four
+    // fab scenarios.
     let spec = SystemSpec::from_bom(&act_data::devices::IPHONE_11);
-    c.bench_function("ablate_fab_ci", |b| {
-        b.iter(|| {
-            let mut total = 0.0;
-            for fab in [
-                FabScenario::coal(),
-                FabScenario::taiwan_grid(),
-                FabScenario::default(),
-                FabScenario::renewable(),
-            ] {
-                total += spec.embodied(&fab).total().as_kilograms();
-            }
-            black_box(total)
-        })
+    h.bench("ablate_fab_ci", || {
+        let mut total = 0.0;
+        for fab in [
+            FabScenario::coal(),
+            FabScenario::taiwan_grid(),
+            FabScenario::default(),
+            FabScenario::renewable(),
+        ] {
+            total += spec.embodied(&fab).total().as_kilograms();
+        }
+        black_box(total)
     });
-}
 
-/// Analytical vs simulated write amplification at the first-life optimum.
-fn ablate_wa_model(c: &mut Criterion) {
+    // Analytical vs simulated write amplification at the first-life optimum.
     let pf = OverProvisioning::new_const(0.16);
-    let mut group = c.benchmark_group("wa_model");
-    group.sample_size(10);
-    group.bench_function("ablate_wa_model/analytical", |b| {
-        b.iter(|| black_box(analytical_write_amplification(pf)))
+    h.bench("ablate_wa_model/analytical", || black_box(analytical_write_amplification(pf)));
+    h.bench("ablate_wa_model/ftl_simulated", || {
+        let config = FtlConfig::small(pf);
+        let mut ftl = FtlSimulator::new(config);
+        let mut trace = WriteTrace::new(TracePattern::UniformRandom, config.logical_pages(), 3);
+        black_box(ftl.measure_steady_state_wa(&mut trace, 20_000))
     });
-    group.bench_function("ablate_wa_model/ftl_simulated", |b| {
-        b.iter(|| {
-            let config = FtlConfig::small(pf);
-            let mut ftl = FtlSimulator::new(config);
-            let mut trace =
-                WriteTrace::new(TracePattern::UniformRandom, config.logical_pages(), 3);
-            black_box(ftl.measure_steady_state_wa(&mut trace, 20_000))
-        })
-    });
-    group.finish();
-}
 
-/// DRAM-node assignment sensitivity: a 4 GB phone's memory footprint under
-/// every characterized DRAM technology.
-fn ablate_dram_node(c: &mut Criterion) {
-    c.bench_function("ablate_dram_node", |b| {
-        b.iter(|| {
-            let mut total = 0.0;
-            for tech in DramTechnology::ALL {
-                total += (tech.carbon_per_gb() * Capacity::gigabytes(4.0)).as_grams();
-            }
-            black_box(total)
-        })
+    // DRAM-node assignment sensitivity: a 4 GB phone's memory footprint
+    // under every characterized DRAM technology.
+    h.bench("ablate_dram_node", || {
+        let mut total = 0.0;
+        for tech in DramTechnology::ALL {
+            total += (tech.carbon_per_gb() * Capacity::gigabytes(4.0)).as_grams();
+        }
+        black_box(total)
     });
-}
 
-criterion_group!(
-    ablations,
-    ablate_yield,
-    ablate_abatement,
-    ablate_fab_ci,
-    ablate_wa_model,
-    ablate_dram_node,
-);
-criterion_main!(ablations);
+    h.finish();
+}

@@ -1,23 +1,20 @@
 //! Compiled-kernel benchmarks: the per-point footprint pipeline versus
 //! [`CompiledFootprint`] over a 10k-point single-axis sweep — the numbers
-//! behind the ISSUE acceptance bar (≥5× on the compiled path) and the
+//! behind the ISSUE acceptance bar (>=5x on the compiled path) and the
 //! `cargo xtask bench` regression guard. Every bench cross-checks that the
 //! fast path is bit-identical to the slow one before timing it.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-
+use act_bench::{black_box, Harness};
 use act_core::{memo, CompiledFootprint, FreeAxis, ModelParams};
 use act_dse::{
     logspace, par_monte_carlo_compiled_with, sweep_compiled, BatchOutput, McBuffer,
     Parallelism, PointBatch,
 };
-use rand::Rng;
 
 /// Point count for the headline single-axis sweep.
 const SWEEP_POINTS: usize = 10_000;
 
-/// The swept axis: SoC area in mm² across a mobile-to-server range.
+/// The swept axis: SoC area in mm2 across a mobile-to-server range.
 fn area_axis() -> Vec<f64> {
     logspace(10.0, 1000.0, SWEEP_POINTS)
 }
@@ -30,29 +27,38 @@ fn naive_eval(params: &ModelParams, area_mm2: f64) -> f64 {
     point.footprint().as_grams()
 }
 
-/// The per-point path: full `ModelParams` pipeline per evaluation (fab
-/// scenario, system spec, component vector rebuilt every point).
-fn per_point_sweep(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_env();
     let params = ModelParams::mobile_reference();
     let areas = area_axis();
-    c.bench_function("footprint_sweep_per_point_10k", |b| {
-        b.iter(|| {
-            let mut total = 0.0;
-            for area in &areas {
-                total += naive_eval(&params, *area);
-            }
-            black_box(total)
-        })
-    });
-}
 
-/// The compiled path: partial evaluation once, then a handful of FLOPs per
-/// point with zero heap allocation.
-fn compiled_sweep(c: &mut Criterion) {
-    let params = ModelParams::mobile_reference();
-    let areas = area_axis();
+    // The per-point path: full `ModelParams` pipeline per evaluation (fab
+    // scenario, system spec, component vector rebuilt every point),
+    // uncached.
+    memo::set_enabled(false);
+    h.bench("footprint_sweep_per_point_10k", || {
+        let mut total = 0.0;
+        for area in &areas {
+            total += naive_eval(&params, *area);
+        }
+        black_box(total)
+    });
+
+    // The memoized per-point path (cache hot): measures how much of the
+    // gap interning alone closes without compiling.
+    memo::set_enabled(true);
+    h.bench("footprint_sweep_memoized_10k", || {
+        let mut total = 0.0;
+        for area in &areas {
+            total += naive_eval(&params, *area);
+        }
+        black_box(total)
+    });
+
+    // The compiled path: partial evaluation once, then a handful of FLOPs
+    // per point with zero heap allocation. Cross-check bit-identity
+    // against the per-point path before timing.
     let kernel = CompiledFootprint::compile(&params, &[FreeAxis::SocArea]);
-    // Cross-check bit-identity against the per-point path before timing.
     for area in &areas {
         assert_eq!(
             kernel.eval(&[*area]).to_bits(),
@@ -62,65 +68,35 @@ fn compiled_sweep(c: &mut Criterion) {
     }
     let batch = PointBatch::single_axis(areas);
     let mut out = BatchOutput::new();
-    c.bench_function("footprint_sweep_compiled_10k", |b| {
-        b.iter(|| {
-            sweep_compiled(&batch, |point| kernel.eval(point), &mut out);
-            black_box(out.values().last().copied())
-        })
+    h.bench("footprint_sweep_compiled_10k", || {
+        sweep_compiled(&batch, |point| kernel.eval(point), &mut out);
+        black_box(out.values().last().copied())
     });
-}
 
-/// The memoized per-point path (`--naive` off, cache hot): measures how
-/// much of the gap interning alone closes without compiling.
-fn memoized_per_point_sweep(c: &mut Criterion) {
-    let params = ModelParams::mobile_reference();
-    let areas = area_axis();
-    memo::set_enabled(true);
-    c.bench_function("footprint_sweep_memoized_10k", |b| {
-        b.iter(|| {
-            let mut total = 0.0;
-            for area in &areas {
-                total += naive_eval(&params, *area);
-            }
-            black_box(total)
-        })
-    });
-}
-
-/// Compiled Monte-Carlo: uncertain fab yield through a two-axis kernel,
-/// reusing the sample buffer across iterations.
-fn compiled_monte_carlo(c: &mut Criterion) {
-    let params = ModelParams::mobile_reference();
-    let kernel = CompiledFootprint::compile(&params, &[FreeAxis::SocArea, FreeAxis::FabYield]);
+    // Compiled Monte-Carlo: uncertain fab yield through a two-axis kernel,
+    // reusing the sample buffer across iterations.
+    let mc_kernel =
+        CompiledFootprint::compile(&params, &[FreeAxis::SocArea, FreeAxis::FabYield]);
     let mut buf = McBuffer::new();
-    c.bench_function("footprint_mc_compiled_20k", |b| {
-        b.iter(|| {
-            let result = par_monte_carlo_compiled_with(
-                Parallelism::Serial,
-                20_000,
-                42,
-                2,
-                |rng, point| {
-                    point[0] = rng.gen_range(60.0..120.0);
-                    point[1] = rng.gen_range(0.7..1.0);
-                },
-                |point| kernel.eval(point),
-                &mut buf,
-            );
-            let outcome = match result {
-                Ok(outcome) => outcome,
-                Err(err) => panic!("mobile reference stays finite: {err}"),
-            };
-            black_box(outcome.stats.mean)
-        })
+    h.bench("footprint_mc_compiled_20k", || {
+        let result = par_monte_carlo_compiled_with(
+            Parallelism::Serial,
+            20_000,
+            42,
+            2,
+            |rng, point| {
+                point[0] = rng.gen_range(60.0..120.0);
+                point[1] = rng.gen_range(0.7..1.0);
+            },
+            |point| mc_kernel.eval(point),
+            &mut buf,
+        );
+        let outcome = match result {
+            Ok(outcome) => outcome,
+            Err(err) => panic!("mobile reference stays finite: {err}"),
+        };
+        black_box(outcome.stats.mean)
     });
-}
 
-criterion_group!(
-    benches,
-    per_point_sweep,
-    memoized_per_point_sweep,
-    compiled_sweep,
-    compiled_monte_carlo
-);
-criterion_main!(benches);
+    h.finish();
+}

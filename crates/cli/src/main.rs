@@ -80,9 +80,9 @@ fn report_error(err: &ExperimentError, json: bool) {
             // generically instead of failing to compile against them.
             other => ("error", "", other.to_string()),
         };
-        let body = serde_json::json!({
-            "error": { "kind": kind, "id": id, "message": message }
-        });
+        let body = act_json::obj! {
+            "error": act_json::obj! { "kind": kind, "id": id, "message": message },
+        };
         eprintln!("{body}");
     } else {
         eprintln!("error: {err}");
@@ -188,7 +188,7 @@ fn run_bench_sweep(points_arg: Option<&str>, serial_only: bool) -> ExitCode {
 
     let speedup = serial_ms / parallel_ms.max(1e-9);
     let evals_per_sec = points as f64 / (parallel_ms / 1e3).max(1e-12);
-    let body = serde_json::json!({
+    let body = act_json::obj! {
         "points": points,
         "threads": parallelism.worker_count(),
         "serial_ms": serial_ms,
@@ -196,19 +196,31 @@ fn run_bench_sweep(points_arg: Option<&str>, serial_only: bool) -> ExitCode {
         "speedup": speedup,
         "evals_per_sec": evals_per_sec,
         "checksum": parallel_sum,
-        "naive": {
+        "naive": act_json::obj! {
             "ms": naive_ms,
             "points_per_sec": naive_pps,
         },
-        "compiled": {
+        "compiled": act_json::obj! {
             "ms": compiled_ms,
             "points_per_sec": compiled_pps,
             "speedup_vs_naive": naive_ms / compiled_ms.max(1e-9),
         },
         "model_checksum": model_checksum,
-    });
+    };
     println!("{body}");
     ExitCode::SUCCESS
+}
+
+/// Tells the user — once per process — when an `ACT_THREADS` override is
+/// set but unusable, so a typo'd value degrades loudly to the machine
+/// default instead of silently running on an unexpected worker count.
+fn warn_once_on_ignored_threads_override() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        if let (_, Some(warning)) = Parallelism::Auto.resolve() {
+            eprintln!("warning: {warning}");
+        }
+    });
 }
 
 fn main() -> ExitCode {
@@ -232,6 +244,9 @@ fn main() -> ExitCode {
             }
             _ => ids.push(arg),
         }
+    }
+    if !serial {
+        warn_once_on_ignored_threads_override();
     }
     if ids.is_empty() {
         println!("{}", usage());

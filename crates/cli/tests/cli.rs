@@ -44,7 +44,7 @@ fn parallel_and_serial_json_runs_are_byte_identical() {
     assert_eq!(parallel.stdout, serial.stdout);
     // And the payload is still valid JSON per line.
     for line in stdout(&parallel).lines() {
-        let _: serde_json::Value = serde_json::from_str(line).expect("json line");
+        let _ = act_json::JsonValue::parse(line).expect("json line");
     }
 }
 
@@ -100,7 +100,7 @@ fn failures_are_isolated_and_exit_nonzero() {
 fn bench_sweep_emits_a_throughput_record() {
     let out = act(&["bench-sweep", "500"]);
     assert!(out.status.success(), "stderr: {}", stderr(&out));
-    let record: serde_json::Value = serde_json::from_str(stdout(&out).trim()).expect("json");
+    let record = act_json::JsonValue::parse(stdout(&out).trim()).expect("json");
     assert_eq!(record["points"], 500);
     for key in ["serial_ms", "parallel_ms", "speedup", "evals_per_sec", "checksum"] {
         assert!(record[key].is_number(), "missing {key}: {record}");

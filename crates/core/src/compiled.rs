@@ -40,7 +40,6 @@
 use std::fmt;
 
 use act_units::{Area, Capacity, CarbonIntensity, Energy, TimeSpan, UnitError};
-use serde::Serialize;
 
 use crate::{memo, ModelError, ModelParams, OperationalModel, PACKAGING_FOOTPRINT};
 
@@ -51,7 +50,7 @@ use crate::{memo, ModelError, ModelParams, OperationalModel, PACKAGING_FOOTPRINT
 /// Point coordinates are given in the same units as the corresponding
 /// `ModelParams` field (seconds, years, mm², g CO₂/kWh, a yield fraction,
 /// joules, GB).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum FreeAxis {
     /// `T` — application execution time in seconds.
     ExecutionTime,
@@ -135,7 +134,7 @@ impl FreeAxis {
 
 /// A scalar operand of the compiled kernel: either folded to a constant or
 /// read from a point coordinate (already in the oracle's base unit).
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 enum Scalar {
     Const(f64),
     Axis(usize),
@@ -152,7 +151,7 @@ impl Scalar {
 }
 
 /// The operational term of eq. 2, `CIuse × (E × effectiveness)`.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 enum OpTerm {
     /// Fully invariant: the folded gCO₂ value.
     Const(f64),
@@ -161,7 +160,7 @@ enum OpTerm {
 }
 
 /// Where the per-point useful energy (kWh) comes from.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 enum EnergySource {
     /// Invariant energy, pre-converted to the model's kWh base.
     KwhConst(f64),
@@ -171,7 +170,7 @@ enum EnergySource {
 }
 
 /// Where the per-point SoC die area (cm²) comes from.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 enum AreaSource {
     /// Invariant area, pre-converted to the model's cm² base.
     Cm2Const(f64),
@@ -181,7 +180,7 @@ enum AreaSource {
 }
 
 /// One addend of the eq. 3 embodied sum, in component order.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 enum EmbodiedTerm {
     /// Fully invariant component: its folded gCO₂ footprint.
     Const(f64),
@@ -255,21 +254,21 @@ impl AreaSource {
 /// The embodied sum of eq. 3: either folded entirely or a term list that
 /// is re-summed per point in the oracle's component order (f64 addition is
 /// not associative, so constants are *not* merged across terms).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 enum EcfTerm {
     Const(f64),
     Terms(Vec<EmbodiedTerm>),
 }
 
 /// The `T / LT` amortization ratio of eq. 1.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 enum AmortTerm {
     Const(f64),
     Dynamic { run_time: TimeSource, lifetime: TimeSource },
 }
 
 /// Where a per-point time span (seconds) comes from.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 enum TimeSource {
     SecondsConst(f64),
     /// Free axis carrying seconds (already the model's base unit).
@@ -295,7 +294,7 @@ impl TimeSource {
 /// Compile once with [`Self::try_compile`], then call [`Self::eval`] per
 /// point — a handful of FLOPs, no heap allocation, bit-for-bit identical
 /// to [`ModelParams::try_footprint`] with the free axes substituted.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct CompiledFootprint {
     axes: Vec<FreeAxis>,
     op: OpTerm,

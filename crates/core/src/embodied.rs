@@ -7,7 +7,6 @@ use std::fmt;
 use act_data::devices::DeviceBom;
 use act_data::{DramTechnology, HddModel, ProcessNode, SsdTechnology};
 use act_units::{Area, Capacity, MassCo2, UnitError};
-use serde::Serialize;
 
 use crate::{FabScenario, ModelError, Validate};
 
@@ -17,7 +16,7 @@ pub const PACKAGING_FOOTPRINT: MassCo2 = MassCo2::grams(150.0);
 
 /// The component class an embodied contribution belongs to (the categories
 /// of eq. 3 plus packaging).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ComponentKind {
     /// Application processors and other logic dies (eq. 4).
     Soc,
@@ -30,6 +29,8 @@ pub enum ComponentKind {
     /// IC packaging overhead (`Nr × Kr`).
     Packaging,
 }
+
+act_json::impl_json_enum!(ComponentKind { Soc, Dram, Ssd, Hdd, Packaging });
 
 impl ComponentKind {
     /// All kinds in eq. 3 order.
@@ -50,12 +51,31 @@ impl fmt::Display for ComponentKind {
 }
 
 /// One hardware component of a [`SystemSpec`].
-#[derive(Clone, Debug, PartialEq, Serialize)]
+#[derive(Clone, Debug, PartialEq)]
 enum Component {
     Soc { label: Cow<'static, str>, area: Area, node: ProcessNode },
     Dram { technology: DramTechnology, capacity: Capacity },
     Ssd { technology: SsdTechnology, capacity: Capacity },
     Hdd { model: HddModel, capacity: Capacity },
+}
+
+impl act_json::ToJson for Component {
+    fn to_json(&self) -> act_json::JsonValue {
+        match self {
+            Self::Soc { label, area, node } => act_json::obj! {
+                "Soc": act_json::obj! { "label": label, "area": area, "node": node },
+            },
+            Self::Dram { technology, capacity } => act_json::obj! {
+                "Dram": act_json::obj! { "technology": technology, "capacity": capacity },
+            },
+            Self::Ssd { technology, capacity } => act_json::obj! {
+                "Ssd": act_json::obj! { "technology": technology, "capacity": capacity },
+            },
+            Self::Hdd { model, capacity } => act_json::obj! {
+                "Hdd": act_json::obj! { "model": model, "capacity": capacity },
+            },
+        }
+    }
 }
 
 /// Checks every component magnitude a spec (or builder) holds: die areas
@@ -111,11 +131,13 @@ fn validate_components(components: &[Component]) -> Result<(), ModelError> {
 /// let report = ssd_device.embodied(&FabScenario::default());
 /// assert!(report.total().as_kilograms() > 3.0);
 /// ```
-#[derive(Clone, Debug, PartialEq, Serialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SystemSpec {
     components: Vec<Component>,
     packaged_ic_count: u32,
 }
+
+act_json::impl_to_json!(SystemSpec { components, packaged_ic_count });
 
 impl SystemSpec {
     /// Starts building a system description.
@@ -329,7 +351,7 @@ impl Validate for SystemSpecBuilder {
 }
 
 /// One component's contribution to an [`EmbodiedReport`].
-#[derive(Clone, Debug, PartialEq, Serialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct EmbodiedComponent {
     /// Component class.
     pub kind: ComponentKind,
@@ -339,13 +361,17 @@ pub struct EmbodiedComponent {
     pub footprint: MassCo2,
 }
 
+act_json::impl_to_json!(EmbodiedComponent { kind, label, footprint });
+
 /// The result of evaluating the embodied model: eq. 3's sum, kept
 /// per-component so designers can see the breakdown Figure 4 argues LCAs
 /// cannot provide.
-#[derive(Clone, Debug, PartialEq, Serialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct EmbodiedReport {
     components: Vec<EmbodiedComponent>,
 }
+
+act_json::impl_to_json!(EmbodiedReport { components });
 
 impl EmbodiedReport {
     /// Total embodied footprint, `ECF` (eq. 3).

@@ -3,7 +3,6 @@
 
 use act_data::{Abatement, EnergySource, Location, ProcessNode};
 use act_units::{CarbonIntensity, Fraction, MassPerArea, UnitError};
-use serde::{Deserialize, Serialize};
 
 use crate::{ModelError, Validate};
 
@@ -25,7 +24,7 @@ use crate::{ModelError, Validate};
 /// let node = ProcessNode::N7Euv;
 /// assert!(green_fab.carbon_per_area(node) < default_fab.carbon_per_area(node));
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct FabScenario {
     /// Carbon intensity of the electricity the fab consumes (`CIfab`).
     pub energy_intensity: CarbonIntensity,
@@ -34,6 +33,9 @@ pub struct FabScenario {
     /// Fab yield `Y`; good dies per wafer dies.
     pub fab_yield: Fraction,
 }
+
+act_json::impl_to_json!(FabScenario { energy_intensity, abatement, fab_yield });
+act_json::impl_from_json!(FabScenario { energy_intensity, abatement, fab_yield });
 
 /// The paper's default yield assumption, validated at compile time.
 const DEFAULT_YIELD: Fraction = Fraction::new_const(0.875);
@@ -188,7 +190,7 @@ impl Validate for FabScenario {
 
 /// The components of `CPA` for one node under one fab scenario (the stacked
 /// quantities of Figure 6).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct CpaBreakdown {
     /// Carbon from fab electricity: `CIfab × EPA`.
     pub energy: MassPerArea,
@@ -199,6 +201,9 @@ pub struct CpaBreakdown {
     /// Yield the total is derated by.
     pub fab_yield: Fraction,
 }
+
+act_json::impl_to_json!(CpaBreakdown { energy, gas, materials, fab_yield });
+act_json::impl_from_json!(CpaBreakdown { energy, gas, materials, fab_yield });
 
 impl CpaBreakdown {
     /// Pre-yield sum of the components.

@@ -7,7 +7,6 @@
 //! an hourly intensity profile and window selection over it.
 
 use act_units::{CarbonIntensity, Energy, MassCo2, TimeSpan};
-use serde::{Deserialize, Serialize};
 
 /// A 24-hour carbon-intensity profile with hourly resolution.
 ///
@@ -30,10 +29,13 @@ use serde::{Deserialize, Serialize};
 /// let worst = grid.window_footprint(0, 4, Energy::kilowatt_hours(1.0));
 /// assert!(best <= worst);
 /// ```
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct IntensityProfile {
     hourly: [CarbonIntensity; 24],
 }
+
+act_json::impl_to_json!(IntensityProfile { hourly });
+act_json::impl_from_json!(IntensityProfile { hourly });
 
 impl IntensityProfile {
     /// A flat profile (the paper's average-value assumption).

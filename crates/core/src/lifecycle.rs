@@ -5,7 +5,6 @@
 
 use act_data::reports::ProductReport;
 use act_units::MassCo2;
-use serde::{Deserialize, Serialize};
 
 /// A complete device life-cycle footprint split into the paper's four
 /// phases.
@@ -23,7 +22,7 @@ use serde::{Deserialize, Serialize};
 /// let hybrid = reported.with_manufacturing(MassCo2::kilograms(40.0));
 /// assert!(hybrid.total() < reported.total());
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LifecycleEstimate {
     /// Hardware manufacturing (production) emissions.
     pub manufacturing: MassCo2,
@@ -34,6 +33,14 @@ pub struct LifecycleEstimate {
     /// End-of-life processing emissions.
     pub end_of_life: MassCo2,
 }
+
+act_json::impl_to_json!(LifecycleEstimate { manufacturing, transport, use_phase, end_of_life });
+act_json::impl_from_json!(LifecycleEstimate {
+    manufacturing,
+    transport,
+    use_phase,
+    end_of_life
+});
 
 impl LifecycleEstimate {
     /// Splits a product environmental report's total by its phase shares.

@@ -35,6 +35,15 @@ use crate::FabScenario;
 /// contention across sweep threads, not about capacity.
 const SHARDS: usize = 16;
 
+/// Default per-shard entry cap for [`MemoCache::new`]. The intended
+/// domains are small and discrete (process nodes × abatement levels ×
+/// a handful of yields), so
+/// well-behaved workloads never approach it; the cap exists so an
+/// adversarial workload — a Monte-Carlo run keying on a continuous draw,
+/// say — degrades to pass-through computation instead of growing the
+/// process without bound. 4096 × 16 shards ≈ 64 K entries worst case.
+pub const DEFAULT_SHARD_CAPACITY: usize = 4096;
+
 /// A small thread-safe memoization cache: a fixed array of
 /// [`RwLock`]-guarded hash maps, sharded by key hash.
 ///
@@ -43,6 +52,13 @@ const SHARDS: usize = 16;
 /// compute the same entry — the first insert wins, which is safe because
 /// every cached function is pure. Hit/miss counters are kept with relaxed
 /// atomics for observability.
+///
+/// Occupancy is **bounded**: each shard caps its entry count (default
+/// [`DEFAULT_SHARD_CAPACITY`] via [`MemoCache::new`], explicit via
+/// [`MemoCache::with_shard_capacity`]). Once a shard is full, further
+/// distinct keys are computed and returned without being interned —
+/// results are unchanged, the cache just stops absorbing new keys — and
+/// counted in [`MemoStats::rejected_inserts`].
 ///
 /// # Examples
 ///
@@ -57,8 +73,11 @@ const SHARDS: usize = 16;
 #[derive(Debug)]
 pub struct MemoCache<K, V> {
     shards: [RwLock<HashMap<K, V>>; SHARDS],
+    /// Entry cap per shard; full shards bypass insertion (pass-through).
+    shard_capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    rejected: AtomicU64,
 }
 
 /// Observed hit/miss/occupancy counters of a [`MemoCache`].
@@ -70,20 +89,38 @@ pub struct MemoStats {
     pub misses: u64,
     /// Distinct keys currently interned.
     pub entries: usize,
+    /// Computed values NOT interned because their shard was at capacity.
+    /// A growing count means the workload's key domain has outgrown the
+    /// cache — results stay correct, the cache just stops paying off.
+    pub rejected_inserts: u64,
+    /// Upper bound on `entries` (shard capacity × shard count).
+    pub capacity: usize,
 }
 
 impl<K, V> Default for MemoCache<K, V> {
     fn default() -> Self {
+        Self::with_shard_capacity(DEFAULT_SHARD_CAPACITY)
+    }
+}
+
+impl<K, V> MemoCache<K, V> {
+    /// Creates an empty cache with an explicit per-shard entry cap.
+    /// A cap of zero disables interning entirely (every lookup computes).
+    #[must_use]
+    pub fn with_shard_capacity(shard_capacity: usize) -> Self {
         Self {
             shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+            shard_capacity,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
         }
     }
 }
 
 impl<K: Hash + Eq, V: Copy> MemoCache<K, V> {
-    /// Creates an empty cache.
+    /// Creates an empty cache with the default bound
+    /// ([`DEFAULT_SHARD_CAPACITY`] entries per shard).
     #[must_use]
     pub fn new() -> Self {
         Self::default()
@@ -100,7 +137,10 @@ impl<K: Hash + Eq, V: Copy> MemoCache<K, V> {
 
     /// Returns the interned value for `key`, computing and inserting it on
     /// first use. `compute` runs outside the shard locks; under a race the
-    /// first inserted value wins (callers must pass pure functions).
+    /// first inserted value wins (callers must pass pure functions). When
+    /// the key's shard is at capacity the computed value is returned
+    /// WITHOUT being interned, so memory stays bounded no matter how many
+    /// distinct keys a workload produces.
     pub fn get_or_insert_with(&self, key: K, compute: impl FnOnce() -> V) -> V {
         let shard = self.shard(&key);
         {
@@ -113,10 +153,14 @@ impl<K: Hash + Eq, V: Copy> MemoCache<K, V> {
         let value = compute();
         self.misses.fetch_add(1, Ordering::Relaxed);
         let mut guard = shard.write().unwrap_or_else(PoisonError::into_inner);
+        if guard.len() >= self.shard_capacity && !guard.contains_key(&key) {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return value;
+        }
         *guard.entry(key).or_insert(value)
     }
 
-    /// Hit/miss counters and current occupancy.
+    /// Hit/miss/rejection counters and current occupancy.
     pub fn stats(&self) -> MemoStats {
         let entries = self
             .shards
@@ -127,6 +171,8 @@ impl<K: Hash + Eq, V: Copy> MemoCache<K, V> {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries,
+            rejected_inserts: self.rejected.load(Ordering::Relaxed),
+            capacity: self.shard_capacity.saturating_mul(SHARDS),
         }
     }
 
@@ -138,6 +184,7 @@ impl<K: Hash + Eq, V: Copy> MemoCache<K, V> {
         }
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.rejected.store(0, Ordering::Relaxed);
     }
 }
 
@@ -321,7 +368,52 @@ mod tests {
         assert_eq!(stats.misses, 10);
         assert_eq!(stats.hits, 20);
         assert_eq!(stats.entries, 10);
+        assert_eq!(stats.rejected_inserts, 0);
+        assert_eq!(stats.capacity, DEFAULT_SHARD_CAPACITY * 16);
         cache.clear();
-        assert_eq!(cache.stats(), MemoStats::default());
+        let cleared = cache.stats();
+        assert_eq!((cleared.hits, cleared.misses, cleared.entries), (0, 0, 0));
+        assert_eq!(cleared.rejected_inserts, 0);
+    }
+
+    /// The regression the bound exists for: a workload keying on a
+    /// continuous value floods the cache with unique keys. Occupancy must
+    /// stay at the configured cap, every overflow must be counted, and
+    /// results must stay correct (pass-through, not eviction).
+    #[test]
+    fn unique_key_floods_stay_bounded() {
+        let cache: MemoCache<u64, f64> = MemoCache::with_shard_capacity(32);
+        const FLOOD: u64 = 1_000_000;
+        for key in 0..FLOOD {
+            #[allow(clippy::cast_precision_loss)]
+            let value = cache.get_or_insert_with(key, || key as f64 * 0.5);
+            #[allow(clippy::cast_precision_loss)]
+            let expected = key as f64 * 0.5;
+            assert_eq!(value.to_bits(), expected.to_bits(), "key {key}");
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.capacity, 32 * 16);
+        assert!(stats.entries <= stats.capacity, "{} entries", stats.entries);
+        assert_eq!(stats.misses, FLOOD);
+        // Everything past the interned population was rejected, not stored.
+        #[allow(clippy::cast_possible_truncation)]
+        let interned = stats.entries as u64;
+        assert_eq!(stats.rejected_inserts, FLOOD - interned);
+        // Interned keys still hit.
+        let again = cache.get_or_insert_with(0, || unreachable!());
+        assert_eq!(again, 0.0);
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    /// A zero capacity turns the cache into a pure pass-through.
+    #[test]
+    fn zero_capacity_disables_interning() {
+        let cache: MemoCache<u8, f64> = MemoCache::with_shard_capacity(0);
+        assert_eq!(cache.get_or_insert_with(1, || 2.0), 2.0);
+        assert_eq!(cache.get_or_insert_with(1, || 3.0), 3.0);
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.rejected_inserts, 2);
+        assert_eq!(stats.capacity, 0);
     }
 }

@@ -4,7 +4,6 @@
 use std::fmt;
 
 use act_units::{Area, Energy, MassCo2, TimeSpan};
-use serde::{Deserialize, Serialize};
 
 /// The coordinates of one hardware design in the optimization space:
 /// embodied carbon `C`, energy `E`, delay `D` and area `A`.
@@ -23,7 +22,7 @@ use serde::{Deserialize, Serialize};
 /// };
 /// assert!(OptimizationMetric::Cdp.score(&cpu) > 0.0);
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct DesignPoint {
     /// Embodied carbon footprint `C`.
     pub embodied: MassCo2,
@@ -35,9 +34,12 @@ pub struct DesignPoint {
     pub area: Area,
 }
 
+act_json::impl_to_json!(DesignPoint { embodied, energy, delay, area });
+act_json::impl_from_json!(DesignPoint { embodied, energy, delay, area });
+
 /// A hardware optimization metric from ACT's Table 2. Lower is better for
 /// all of them.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum OptimizationMetric {
     /// Energy-delay product: classic operational-energy optimization
     /// (e.g. mobile).
@@ -57,6 +59,8 @@ pub enum OptimizationMetric {
     /// "brown" energy.
     Ce2p,
 }
+
+act_json::impl_json_enum!(OptimizationMetric { Edp, Edap, Cdp, Cep, C2ep, Ce2p });
 
 impl OptimizationMetric {
     /// All metrics in Table 2 order.

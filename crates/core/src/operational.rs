@@ -3,7 +3,6 @@
 //! paper folds into the energy term.
 
 use act_units::{CarbonIntensity, Energy, MassCo2, UnitError};
-use serde::{Deserialize, Serialize};
 
 use crate::{ModelError, Validate};
 
@@ -26,11 +25,14 @@ use crate::{ModelError, Validate};
 /// let footprint = op.footprint(Energy::kilowatt_hours(1.0));
 /// assert!((footprint.as_grams() - 418.0).abs() < 1e-9);
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct OperationalModel {
     intensity: CarbonIntensity,
     effectiveness: f64,
 }
+
+act_json::impl_to_json!(OperationalModel { intensity, effectiveness });
+act_json::impl_from_json!(OperationalModel { intensity, effectiveness });
 
 impl OperationalModel {
     /// A model with unit effectiveness (all wall energy is useful energy).

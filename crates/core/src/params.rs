@@ -6,7 +6,6 @@ use act_data::{DramTechnology, HddModel, ProcessNode, SsdTechnology};
 use act_units::{
     Area, Capacity, CarbonIntensity, Energy, Fraction, MassCo2, TimeSpan, UnitError,
 };
-use serde::{Deserialize, Serialize};
 
 use crate::{
     total_footprint, EmbodiedReport, FabScenario, ModelError, OperationalModel, SystemSpec,
@@ -26,13 +25,15 @@ use crate::{
 /// ```
 /// use act_core::ModelParams;
 ///
+/// use act_json::{FromJson, JsonValue, ToJson};
+///
 /// let params = ModelParams::mobile_reference();
-/// let json = serde_json::to_string(&params).unwrap();
-/// let back: ModelParams = serde_json::from_str(&json).unwrap();
+/// let json = params.to_json().render_compact();
+/// let back = ModelParams::from_json(&JsonValue::parse(&json).unwrap()).unwrap();
 /// let cf = back.footprint();
 /// assert!(cf.as_grams() > 0.0);
 /// ```
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ModelParams {
     /// `T` — application execution time in seconds.
     pub execution_time_s: f64,
@@ -59,6 +60,35 @@ pub struct ModelParams {
     /// Application energy over `T`, in joules.
     pub energy_j: f64,
 }
+
+act_json::impl_to_json!(ModelParams {
+    execution_time_s,
+    lifetime_years,
+    packaged_ic_count,
+    soc_area_mm2,
+    process_node,
+    use_intensity_g_per_kwh,
+    fab_intensity_g_per_kwh,
+    fab_yield,
+    dram,
+    ssd,
+    hdd,
+    energy_j
+});
+act_json::impl_from_json!(ModelParams {
+    execution_time_s,
+    lifetime_years,
+    packaged_ic_count,
+    soc_area_mm2,
+    process_node,
+    use_intensity_g_per_kwh,
+    fab_intensity_g_per_kwh,
+    fab_yield,
+    dram,
+    ssd,
+    hdd,
+    energy_j
+});
 
 /// Error returned when [`ModelParams`] violates Table 1's ranges.
 ///
@@ -366,9 +396,10 @@ mod tests {
 
     #[test]
     fn json_round_trip() {
+        use act_json::{FromJson, JsonValue, ToJson};
         let p = ModelParams::mobile_reference();
-        let json = serde_json::to_string_pretty(&p).unwrap();
-        let back: ModelParams = serde_json::from_str(&json).unwrap();
+        let json = p.to_json().render_pretty();
+        let back = ModelParams::from_json(&JsonValue::parse(&json).unwrap()).unwrap();
         assert_eq!(back, p);
         assert_eq!(back.footprint(), p.footprint());
     }

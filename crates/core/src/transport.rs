@@ -5,12 +5,11 @@
 //! it. Factors are standard freight intensities per tonne-kilometer.
 
 use act_units::{MassCo2, UnitError};
-use serde::{Deserialize, Serialize};
 
 use crate::{ModelError, Validate};
 
 /// A freight mode with its carbon intensity.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum FreightMode {
     /// Long-haul air freight (~600 g CO₂ per tonne-km) — how flagship
     /// phones ship at launch.
@@ -22,6 +21,8 @@ pub enum FreightMode {
     /// Rail freight (~25 g CO₂ per tonne-km).
     Rail,
 }
+
+act_json::impl_json_enum!(FreightMode { Air, Sea, Road, Rail });
 
 impl FreightMode {
     /// All modes.
@@ -40,13 +41,16 @@ impl FreightMode {
 }
 
 /// One leg of a product's journey from fab to user.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TransportLeg {
     /// Freight mode of the leg.
     pub mode: FreightMode,
     /// Distance in kilometers.
     pub distance_km: f64,
 }
+
+act_json::impl_to_json!(TransportLeg { mode, distance_km });
+act_json::impl_from_json!(TransportLeg { mode, distance_km });
 
 /// A transport model: the product's shipped mass (device plus packaging)
 /// and its journey legs.
@@ -67,11 +71,14 @@ pub struct TransportLeg {
 /// let footprint = shipping.footprint();
 /// assert!((footprint.as_kilograms() - 2.42).abs() < 0.01);
 /// ```
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TransportModel {
     shipped_mass_kg: f64,
     legs: Vec<TransportLeg>,
 }
+
+act_json::impl_to_json!(TransportModel { shipped_mass_kg, legs });
+act_json::impl_from_json!(TransportModel { shipped_mass_kg, legs });
 
 impl TransportModel {
     /// Creates a model.

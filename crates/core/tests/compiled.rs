@@ -1,14 +1,20 @@
-//! Property tests pinning the compiled-kernel contract: for every valid
+//! Deterministic tests pinning the compiled-kernel contract: for valid
 //! `ModelParams` and every subset of free axes, [`CompiledFootprint::eval`]
 //! is **bit-for-bit** identical to substituting the point into the params
 //! and calling the interpreted oracle [`ModelParams::try_footprint`] — and
 //! the `act_core::memo` caches never change a result, under concurrency
 //! included.
+//!
+//! The randomized-input (proptest) companion lives in
+//! `external-dev/tests/core_compiled.rs`; this suite drives the same
+//! properties from a seeded `act_rng` stream, so the hermetic std-only
+//! workspace covers a wide — and exactly reproducible — slice of the same
+//! case space.
 
 use act_core::{memo, CompiledFootprint, FreeAxis, ModelParams};
 use act_data::{DramTechnology, HddModel, ProcessNode, SsdTechnology};
+use act_rng::Rng;
 use act_units::Capacity;
-use proptest::prelude::*;
 
 /// The seven scalar (non-storage) axes, in a fixed order for masking.
 const SCALAR_AXES: [FreeAxis; 7] = [
@@ -21,41 +27,47 @@ const SCALAR_AXES: [FreeAxis; 7] = [
     FreeAxis::Energy,
 ];
 
-/// Randomized `ModelParams` drawn strictly inside Table 1's valid ranges,
-/// with 0–2 entries per storage population.
-fn arb_params() -> impl Strategy<Value = ModelParams> {
-    let scalars = (
-        0.0f64..1e6,    // execution_time_s
-        0.1f64..50.0,   // lifetime_years
-        0u32..8,        // packaged_ic_count
-        0.0f64..1500.0, // soc_area_mm2
-        0usize..ProcessNode::ALL.len(),
-        0.0f64..2000.0, // use intensity
-        0.0f64..2000.0, // fab intensity
-        0.05f64..1.0,   // fab yield
-        0.0f64..1e9,    // energy_j
-    );
-    let dram =
-        proptest::collection::vec((0usize..DramTechnology::ALL.len(), 0.0f64..2048.0), 0..3);
-    let ssd =
-        proptest::collection::vec((0usize..SsdTechnology::ALL.len(), 0.0f64..4096.0), 0..3);
-    let hdd = proptest::collection::vec((0usize..HddModel::ALL.len(), 0.0f64..8192.0), 0..3);
-    (scalars, dram, ssd, hdd).prop_map(
-        |((t, lt, nr, area, node, ciu, cif, y, e), dram, ssd, hdd)| ModelParams {
-            execution_time_s: t,
-            lifetime_years: lt,
-            packaged_ic_count: nr,
-            soc_area_mm2: area,
-            process_node: ProcessNode::ALL[node],
-            use_intensity_g_per_kwh: ciu,
-            fab_intensity_g_per_kwh: cif,
-            fab_yield: y,
-            dram: dram.into_iter().map(|(i, gb)| (DramTechnology::ALL[i], gb)).collect(),
-            ssd: ssd.into_iter().map(|(i, gb)| (SsdTechnology::ALL[i], gb)).collect(),
-            hdd: hdd.into_iter().map(|(i, gb)| (HddModel::ALL[i], gb)).collect(),
-            energy_j: e,
-        },
-    )
+/// Randomized cases per property — each derives its params, mask and point
+/// from one seeded stream, so failures replay exactly.
+const CASES: u64 = 64;
+
+/// Draws `ModelParams` strictly inside Table 1's valid ranges, with 0–2
+/// entries per storage population.
+fn draw_params(rng: &mut Rng) -> ModelParams {
+    let node = ProcessNode::ALL[rng.gen_range(0..ProcessNode::ALL.len())];
+    let storage_len = |rng: &mut Rng| rng.gen_range(0..3_usize);
+    let dram = (0..storage_len(rng))
+        .map(|_| {
+            let i = rng.gen_range(0..DramTechnology::ALL.len());
+            (DramTechnology::ALL[i], rng.gen_range(0.0..2048.0))
+        })
+        .collect();
+    let ssd = (0..storage_len(rng))
+        .map(|_| {
+            let i = rng.gen_range(0..SsdTechnology::ALL.len());
+            (SsdTechnology::ALL[i], rng.gen_range(0.0..4096.0))
+        })
+        .collect();
+    let hdd = (0..storage_len(rng))
+        .map(|_| {
+            let i = rng.gen_range(0..HddModel::ALL.len());
+            (HddModel::ALL[i], rng.gen_range(0.0..8192.0))
+        })
+        .collect();
+    ModelParams {
+        execution_time_s: rng.gen_range(0.0..1e6),
+        lifetime_years: rng.gen_range(0.1..50.0),
+        packaged_ic_count: rng.gen_range(0..8_u32),
+        soc_area_mm2: rng.gen_range(0.0..1500.0),
+        process_node: node,
+        use_intensity_g_per_kwh: rng.gen_range(0.0..2000.0),
+        fab_intensity_g_per_kwh: rng.gen_range(0.0..2000.0),
+        fab_yield: rng.gen_range(0.05..1.0),
+        dram,
+        ssd,
+        hdd,
+        energy_j: rng.gen_range(0.0..1e9),
+    }
 }
 
 /// Selects a subset of the axes available for `params` from the bits of
@@ -100,6 +112,11 @@ fn coordinate(axis: FreeAxis, u: f64) -> f64 {
     }
 }
 
+/// Draws an in-range point for `axes` from the case's unit-draw stream.
+fn draw_point(rng: &mut Rng, axes: &[FreeAxis]) -> Vec<f64> {
+    axes.iter().map(|axis| coordinate(*axis, rng.gen::<f64>())).collect()
+}
+
 /// The interpreted oracle: substitute the point into a clone of `params`
 /// field-by-field, then run the full per-point pipeline.
 fn oracle(params: &ModelParams, axes: &[FreeAxis], point: &[f64]) -> f64 {
@@ -121,95 +138,87 @@ fn oracle(params: &ModelParams, axes: &[FreeAxis], point: &[f64]) -> f64 {
     substituted.try_footprint().expect("substituted params stay valid").as_grams()
 }
 
-proptest! {
-    /// The headline property: any axis subset, any in-range point —
-    /// compiled and interpreted paths agree to the last bit.
-    #[test]
-    fn compiled_eval_matches_try_footprint_bitwise(
-        params in arb_params(),
-        mask in any::<u32>(),
-        draws in proptest::collection::vec(0.0f64..1.0, 16),
-    ) {
+/// The headline property: any axis subset, any in-range point — compiled
+/// and interpreted paths agree to the last bit.
+#[test]
+fn compiled_eval_matches_try_footprint_bitwise() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(act_rng::split_seed(0xC0DE, case));
+        let params = draw_params(&mut rng);
+        let mask: u32 = rng.gen();
         let axes = free_axes(&params, mask);
         let kernel = match CompiledFootprint::try_compile(&params, &axes) {
             Ok(kernel) => kernel,
-            Err(err) => panic!("valid params must compile: {err}"),
+            Err(err) => panic!("case {case}: valid params must compile: {err}"),
         };
-        prop_assert_eq!(kernel.arity(), axes.len());
-        prop_assert_eq!(kernel.axes(), axes.as_slice());
-        let point: Vec<f64> = axes
-            .iter()
-            .zip(&draws)
-            .map(|(axis, u)| coordinate(*axis, *u))
-            .collect();
+        assert_eq!(kernel.arity(), axes.len());
+        assert_eq!(kernel.axes(), axes.as_slice());
+        let point = draw_point(&mut rng, &axes);
         let compiled = kernel.eval(&point);
         let interpreted = oracle(&params, &axes, &point);
-        prop_assert_eq!(
+        assert_eq!(
             compiled.to_bits(),
             interpreted.to_bits(),
-            "axes {:?}: compiled {} vs interpreted {}",
-            axes, compiled, interpreted
+            "case {case}, axes {axes:?}: compiled {compiled} vs interpreted {interpreted}"
         );
     }
+}
 
-    /// Arity-zero kernels fold the whole model into one constant equal to
-    /// the oracle's result for the baseline.
-    #[test]
-    fn fully_folded_kernel_matches_baseline_footprint(params in arb_params()) {
+/// Arity-zero kernels fold the whole model into one constant equal to the
+/// oracle's result for the baseline.
+#[test]
+fn fully_folded_kernel_matches_baseline_footprint() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(act_rng::split_seed(0xF01D, case));
+        let params = draw_params(&mut rng);
         let kernel = match CompiledFootprint::try_compile(&params, &[]) {
             Ok(kernel) => kernel,
-            Err(err) => panic!("valid params must compile: {err}"),
+            Err(err) => panic!("case {case}: valid params must compile: {err}"),
         };
         let baseline = params.try_footprint().expect("valid params evaluate").as_grams();
-        prop_assert_eq!(kernel.eval(&[]).to_bits(), baseline.to_bits());
+        assert_eq!(kernel.eval(&[]).to_bits(), baseline.to_bits(), "case {case}");
     }
+}
 
-    /// `try_eval` never disagrees with `eval` on in-range points.
-    #[test]
-    fn try_eval_agrees_with_eval_on_valid_points(
-        params in arb_params(),
-        mask in any::<u32>(),
-        draws in proptest::collection::vec(0.0f64..1.0, 16),
-    ) {
+/// `try_eval` never disagrees with `eval` on in-range points.
+#[test]
+fn try_eval_agrees_with_eval_on_valid_points() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(act_rng::split_seed(0x7E57, case));
+        let params = draw_params(&mut rng);
+        let mask: u32 = rng.gen();
         let axes = free_axes(&params, mask);
         let kernel = match CompiledFootprint::try_compile(&params, &axes) {
             Ok(kernel) => kernel,
-            Err(err) => panic!("valid params must compile: {err}"),
+            Err(err) => panic!("case {case}: valid params must compile: {err}"),
         };
-        let point: Vec<f64> = axes
-            .iter()
-            .zip(&draws)
-            .map(|(axis, u)| coordinate(*axis, *u))
-            .collect();
+        let point = draw_point(&mut rng, &axes);
         let unchecked = kernel.eval(&point);
         match kernel.try_eval(&point) {
-            Ok(checked) => prop_assert_eq!(checked.to_bits(), unchecked.to_bits()),
+            Ok(checked) => assert_eq!(checked.to_bits(), unchecked.to_bits(), "case {case}"),
             // `try_eval` additionally rejects non-finite totals; `eval`
             // must then have produced exactly such a value.
-            Err(_) => prop_assert!(!unchecked.is_finite()),
+            Err(_) => assert!(!unchecked.is_finite(), "case {case}"),
         }
     }
+}
 
-    /// The memo caches are transparent: kernels compiled with interning
-    /// disabled and enabled evaluate identically (the cache may only ever
-    /// return what the direct computation would).
-    #[test]
-    fn memoization_never_changes_a_compiled_result(
-        params in arb_params(),
-        mask in any::<u32>(),
-        draws in proptest::collection::vec(0.0f64..1.0, 16),
-    ) {
+/// The memo caches are transparent: kernels compiled with interning
+/// disabled and enabled evaluate identically (the cache may only ever
+/// return what the direct computation would).
+#[test]
+fn memoization_never_changes_a_compiled_result() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(act_rng::split_seed(0x3E30, case));
+        let params = draw_params(&mut rng);
+        let mask: u32 = rng.gen();
         let axes = free_axes(&params, mask);
-        let point: Vec<f64> = axes
-            .iter()
-            .zip(&draws)
-            .map(|(axis, u)| coordinate(*axis, *u))
-            .collect();
+        let point = draw_point(&mut rng, &axes);
         memo::set_enabled(false);
         let cold = CompiledFootprint::compile(&params, &axes).eval(&point);
         memo::set_enabled(true);
         let warm = CompiledFootprint::compile(&params, &axes).eval(&point);
-        prop_assert_eq!(cold.to_bits(), warm.to_bits());
+        assert_eq!(cold.to_bits(), warm.to_bits(), "case {case}");
     }
 }
 

@@ -8,12 +8,11 @@
 //! Figure 4 results (iPhone 11 ≈ 17 kg, iPad ≈ 21 kg of IC embodied carbon).
 
 use act_units::{Area, Capacity};
-use serde::Serialize;
 
 use crate::{DramTechnology, HddModel, ProcessNode, SsdTechnology};
 
 /// A logic/analog die (or aggregate of dies) on a device board.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ChipEntry {
     /// Human-readable label, e.g. `"A13 Bionic"`.
     pub name: &'static str,
@@ -25,6 +24,8 @@ pub struct ChipEntry {
     pub count: u32,
 }
 
+act_json::impl_to_json!(ChipEntry { name, node, area_mm2, count });
+
 impl ChipEntry {
     /// Total silicon area as a typed quantity.
     #[must_use]
@@ -34,13 +35,15 @@ impl ChipEntry {
 }
 
 /// A DRAM population on the board.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct DramEntry {
     /// Manufacturing technology of the parts.
     pub technology: DramTechnology,
     /// Capacity in GB.
     pub capacity_gb: f64,
 }
+
+act_json::impl_to_json!(DramEntry { technology, capacity_gb });
 
 impl DramEntry {
     /// Capacity as a typed quantity.
@@ -51,13 +54,15 @@ impl DramEntry {
 }
 
 /// A NAND/SSD population on the board.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SsdEntry {
     /// Manufacturing technology of the parts.
     pub technology: SsdTechnology,
     /// Capacity in GB.
     pub capacity_gb: f64,
 }
+
+act_json::impl_to_json!(SsdEntry { technology, capacity_gb });
 
 impl SsdEntry {
     /// Capacity as a typed quantity.
@@ -68,7 +73,7 @@ impl SsdEntry {
 }
 
 /// An HDD population (servers only).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct HddEntry {
     /// Drive model with its per-GB characterization.
     pub model: HddModel,
@@ -76,9 +81,11 @@ pub struct HddEntry {
     pub capacity_gb: f64,
 }
 
+act_json::impl_to_json!(HddEntry { model, capacity_gb });
+
 /// A device bill of materials: every IC that ACT's bottom-up platform
 /// estimate aggregates.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct DeviceBom {
     /// Device name as in the paper.
     pub name: &'static str,
@@ -93,6 +100,8 @@ pub struct DeviceBom {
     /// Number of packaged ICs (`Nr` in eq. 3, each incurring `Kr`).
     pub packaged_ic_count: u32,
 }
+
+act_json::impl_to_json!(DeviceBom { name, chips, dram, ssd, hdd, packaged_ic_count });
 
 impl DeviceBom {
     /// Total logic silicon area across all chip entries.

@@ -3,7 +3,6 @@
 use std::fmt;
 
 use act_units::MassPerCapacity;
-use serde::{Deserialize, Serialize};
 
 /// A DRAM manufacturing technology with its embodied carbon per gigabyte
 /// (ACT Table 9).
@@ -17,7 +16,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(modern.carbon_per_gb().as_grams_per_gb(), 48.0);
 /// assert!(modern.carbon_per_gb() < DramTechnology::Ddr3_50nm.carbon_per_gb());
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[allow(non_camel_case_types)]
 pub enum DramTechnology {
     /// 50 nm DDR3 (600 g CO₂/GB) — the node legacy LCAs assume.
@@ -37,6 +36,17 @@ pub enum DramTechnology {
     /// 1x nm-class (10 nm) DDR4 (65 g CO₂/GB).
     Ddr4_10nm,
 }
+
+act_json::impl_json_enum!(DramTechnology {
+    Ddr3_50nm,
+    Ddr3_40nm,
+    Ddr3_30nm,
+    Lpddr3_30nm,
+    Lpddr3_20nm,
+    Lpddr2_20nm,
+    Lpddr4,
+    Ddr4_10nm
+});
 
 /// Table 9 embodied carbon per gigabyte, g CO₂/GB, in
 /// [`DramTechnology::ALL`] order.

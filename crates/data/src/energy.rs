@@ -3,7 +3,6 @@
 use std::fmt;
 
 use act_units::CarbonIntensity;
-use serde::{Deserialize, Serialize};
 
 /// An electricity-generation source with its average carbon intensity and
 /// energy-payback time, as tabulated in ACT's Table 5.
@@ -17,7 +16,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(wind.carbon_intensity().as_grams_per_kwh(), 11.0);
 /// assert!(wind.carbon_intensity() < EnergySource::Coal.carbon_intensity());
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum EnergySource {
     /// Coal-fired generation (820 g CO₂/kWh).
     Coal,
@@ -36,6 +35,17 @@ pub enum EnergySource {
     /// Onshore/offshore wind (11 g CO₂/kWh).
     Wind,
 }
+
+act_json::impl_json_enum!(EnergySource {
+    Coal,
+    Gas,
+    Biomass,
+    Solar,
+    Geothermal,
+    Hydropower,
+    Nuclear,
+    Wind
+});
 
 /// Table 5 average carbon intensity, g CO₂/kWh, in [`EnergySource::ALL`]
 /// order (dirtiest first).

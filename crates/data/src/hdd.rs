@@ -3,16 +3,17 @@
 use std::fmt;
 
 use act_units::MassPerCapacity;
-use serde::{Deserialize, Serialize};
 
 /// Market segment of an HDD product line.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum HddClass {
     /// Consumer drives (BarraCuda, FireCuda).
     Consumer,
     /// Enterprise drives (Exos).
     Enterprise,
 }
+
+act_json::impl_json_enum!(HddClass { Consumer, Enterprise });
 
 /// A Seagate HDD product with its embodied carbon per gigabyte (ACT Table 11,
 /// from Seagate product sustainability reports).
@@ -26,7 +27,7 @@ pub enum HddClass {
 /// assert_eq!(exos.class(), HddClass::Enterprise);
 /// assert_eq!(exos.carbon_per_gb().as_grams_per_gb(), 1.14);
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum HddModel {
     /// BarraCuda 3.5" (4.57 g CO₂/GB).
     BarraCuda,
@@ -49,6 +50,19 @@ pub enum HddModel {
     /// Exos 10E2400 (10.3 g CO₂/GB).
     Exos10e2400,
 }
+
+act_json::impl_json_enum!(HddModel {
+    BarraCuda,
+    BarraCuda2,
+    BarraCudaPro,
+    FireCuda,
+    FireCuda2,
+    Exos2x14,
+    ExosX12,
+    ExosX16,
+    Exos15e900,
+    Exos10e2400
+});
 
 /// Table 11 embodied carbon per gigabyte, g CO₂/GB, in [`HddModel::ALL`]
 /// order.

@@ -3,7 +3,6 @@
 use std::fmt;
 
 use act_units::CarbonIntensity;
-use serde::{Deserialize, Serialize};
 
 use crate::EnergySource;
 
@@ -17,7 +16,7 @@ use crate::EnergySource;
 /// assert_eq!(Location::UnitedStates.carbon_intensity().as_grams_per_kwh(), 380.0);
 /// assert!(Location::Iceland.carbon_intensity() < Location::India.carbon_intensity());
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Location {
     /// World average (301 g CO₂/kWh).
     World,
@@ -38,6 +37,18 @@ pub enum Location {
     /// Iceland (28 g CO₂/kWh, hydropower dominated).
     Iceland,
 }
+
+act_json::impl_json_enum!(Location {
+    World,
+    India,
+    Australia,
+    Taiwan,
+    Singapore,
+    UnitedStates,
+    Europe,
+    Brazil,
+    Iceland
+});
 
 /// Table 6 average grid carbon intensity, g CO₂/kWh, in [`Location::ALL`]
 /// order.

@@ -5,7 +5,6 @@ use std::fmt;
 use std::str::FromStr;
 
 use act_units::{EnergyPerArea, MassPerArea};
-use serde::{Deserialize, Serialize};
 
 /// Raw-material procurement footprint per wafer area (Table 8): 500 g CO₂/cm².
 pub const MPA: MassPerArea = MassPerArea::grams_per_cm2(500.0);
@@ -24,7 +23,7 @@ pub const MPA: MassPerArea = MassPerArea::grams_per_cm2(500.0);
 /// // 16 nm-class designs map onto the 14 nm characterization.
 /// assert_eq!(ProcessNode::from_nanometers(16), ProcessNode::N14);
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ProcessNode {
     /// 28 nm planar.
     N28,
@@ -46,10 +45,12 @@ pub enum ProcessNode {
     N3,
 }
 
+act_json::impl_json_enum!(ProcessNode { N28, N20, N14, N10, N7, N7Euv, N7EuvDp, N5, N3 });
+
 /// Fab gaseous-abatement effectiveness. Table 7 tabulates the 95 % and 99 %
 /// columns; 97 % — the level TSMC reports — is linearly interpolated and is
 /// ACT's default.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum Abatement {
     /// 95 % of fab gases abated (upper-bound emissions).
     Percent95,
@@ -59,6 +60,8 @@ pub enum Abatement {
     /// 99 % abated (lower-bound emissions).
     Percent99,
 }
+
+act_json::impl_json_enum!(Abatement { Percent95, Percent97, Percent99 });
 
 /// Table 7 fab energy per area (`EPA`), kWh/cm², in [`ProcessNode::ALL`]
 /// order.

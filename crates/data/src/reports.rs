@@ -2,10 +2,9 @@
 //! ACT is compared against in Figures 1, 4, 16, 17 and Table 12.
 
 use act_units::MassCo2;
-use serde::Serialize;
 
 /// Life-cycle phase shares reported by a product environmental report.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ProductReport {
     /// Device name.
     pub name: &'static str,
@@ -22,6 +21,16 @@ pub struct ProductReport {
     /// Share of emissions from end-of-life processing.
     pub end_of_life_share: f64,
 }
+
+act_json::impl_to_json!(ProductReport {
+    name,
+    year,
+    total_kg,
+    manufacturing_share,
+    use_share,
+    transport_share,
+    end_of_life_share
+});
 
 impl ProductReport {
     /// Total life-cycle footprint.
@@ -91,13 +100,15 @@ pub const IPAD: ProductReport = ProductReport {
 };
 
 /// One slice of an LCA breakdown pie (Figures 16 and 17).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct BreakdownSlice {
     /// Slice label as printed in the figure.
     pub label: &'static str,
     /// Share of the parent total, in `[0, 1]`.
     pub share: f64,
 }
+
+act_json::impl_to_json!(BreakdownSlice { label, share });
 
 /// Fairphone 3 LCA: manufacturing footprint by module (Figure 16a).
 pub const FAIRPHONE3_BY_MODULE: [BreakdownSlice; 7] = [
@@ -158,7 +169,7 @@ pub const DELL_R740_MANUFACTURING_KG: f64 = 6300.0;
 /// One row of Table 12: an LCA estimate next to ACT's re-estimates under the
 /// LCA's legacy node assumption ("node 1") and the actual hardware node
 /// ("node 2").
-#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LcaComparisonRow {
     /// IC category, e.g. `"RAM"`.
     pub category: &'static str,
@@ -175,6 +186,16 @@ pub struct LcaComparisonRow {
     /// Paper's ACT estimate under the actual node, kg CO₂.
     pub act_node2_kg: f64,
 }
+
+act_json::impl_to_json!(LcaComparisonRow {
+    category,
+    device,
+    actual_node,
+    lca_node,
+    lca_kg,
+    act_node1_kg,
+    act_node2_kg
+});
 
 /// Table 12 as printed in the paper (rows with a single-device scope).
 pub const TABLE12: [LcaComparisonRow; 8] = [

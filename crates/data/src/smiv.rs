@@ -12,12 +12,11 @@
 use std::fmt;
 
 use act_units::{Area, Energy, Power, TimeSpan};
-use serde::{Deserialize, Serialize};
 
 use crate::ProcessNode;
 
 /// The three applications of Figure 11.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum App {
     /// Finite-impulse-response filtering.
     Fir,
@@ -26,6 +25,8 @@ pub enum App {
     /// AI (DNN) inference.
     Ai,
 }
+
+act_json::impl_json_enum!(App { Fir, Aes, Ai });
 
 impl App {
     /// All applications in plotting order.
@@ -44,7 +45,7 @@ impl fmt::Display for App {
 }
 
 /// The three hardware provisioning choices of Figure 11.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Platform {
     /// Dual-core Cortex-A53 CPU only.
     Cpu,
@@ -53,6 +54,8 @@ pub enum Platform {
     /// CPU plus an embedded FPGA.
     Fpga,
 }
+
+act_json::impl_json_enum!(Platform { Cpu, Accel, Fpga });
 
 impl Platform {
     /// All platforms in plotting order.
@@ -71,13 +74,16 @@ impl fmt::Display for Platform {
 }
 
 /// Latency and power of one (platform, app) pair.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Measurement {
     /// Task latency in milliseconds.
     pub latency_ms: f64,
     /// Average power in watts.
     pub power_w: f64,
 }
+
+act_json::impl_to_json!(Measurement { latency_ms, power_w });
+act_json::impl_from_json!(Measurement { latency_ms, power_w });
 
 impl Measurement {
     /// Latency as a typed quantity.

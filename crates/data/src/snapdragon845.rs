@@ -15,12 +15,11 @@
 use std::fmt;
 
 use act_units::{Area, Energy, Power, TimeSpan};
-use serde::{Deserialize, Serialize};
 
 use crate::ProcessNode;
 
 /// The compute engine used for AI inference in the provisioning study.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Engine {
     /// The programmable CPU cluster alone.
     Cpu,
@@ -29,6 +28,8 @@ pub enum Engine {
     /// CPU plus the Hexagon-class DSP co-processor.
     Dsp,
 }
+
+act_json::impl_json_enum!(Engine { Cpu, Gpu, Dsp });
 
 impl Engine {
     /// All engines in Table 4 order.
@@ -47,7 +48,7 @@ impl fmt::Display for Engine {
 }
 
 /// One Table 4 row: measured AI-inference behaviour of an engine.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct EngineProfile {
     /// Which engine the row describes.
     pub engine: Engine,
@@ -59,6 +60,9 @@ pub struct EngineProfile {
     /// module docs).
     pub block_area_mm2: f64,
 }
+
+act_json::impl_to_json!(EngineProfile { engine, latency_ms, power_w, block_area_mm2 });
+act_json::impl_from_json!(EngineProfile { engine, latency_ms, power_w, block_area_mm2 });
 
 impl EngineProfile {
     /// Inference latency as a typed quantity.

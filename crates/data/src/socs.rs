@@ -12,12 +12,11 @@
 use std::fmt;
 
 use act_units::{Area, Capacity, Power};
-use serde::{Deserialize, Serialize};
 
 use crate::{DramTechnology, ProcessNode};
 
 /// A mobile SoC family (vendor line) surveyed in Figure 8.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum SocFamily {
     /// Samsung Exynos.
     Exynos,
@@ -26,6 +25,8 @@ pub enum SocFamily {
     /// HiSilicon Kirin.
     Kirin,
 }
+
+act_json::impl_json_enum!(SocFamily { Exynos, Snapdragon, Kirin });
 
 impl SocFamily {
     /// All families in the paper's plotting order.
@@ -44,7 +45,7 @@ impl fmt::Display for SocFamily {
 }
 
 /// A homogeneous CPU cluster inside an SoC (one big.LITTLE tier).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ClusterSpec {
     /// Marketing name of the core microarchitecture.
     pub core: &'static str,
@@ -56,8 +57,10 @@ pub struct ClusterSpec {
     pub ipc_index: f64,
 }
 
+act_json::impl_to_json!(ClusterSpec { core, count, freq_ghz, ipc_index });
+
 /// One mobile SoC entry of the Figure 8 survey.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SocSpec {
     /// Vendor family.
     pub family: SocFamily,
@@ -81,6 +84,19 @@ pub struct SocSpec {
     /// CPU cluster configuration, biggest tier first.
     pub clusters: &'static [ClusterSpec],
 }
+
+act_json::impl_to_json!(SocSpec {
+    family,
+    name,
+    year,
+    node,
+    die_mm2,
+    tdp_w,
+    dram_gb,
+    dram,
+    reference_score,
+    clusters
+});
 
 impl SocSpec {
     /// Die area as a typed quantity.

@@ -3,7 +3,6 @@
 use std::fmt;
 
 use act_units::MassPerCapacity;
-use serde::{Deserialize, Serialize};
 
 /// An SSD/NAND manufacturing technology or characterized product with its
 /// embodied carbon per gigabyte (ACT Table 10).
@@ -21,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(v3.carbon_per_gb().as_grams_per_gb(), 6.3);
 /// assert!(v3.is_device_level());
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum SsdTechnology {
     /// 30 nm planar NAND (30 g CO₂/GB).
     Nand30nm,
@@ -48,6 +47,21 @@ pub enum SsdTechnology {
     /// Seagate Nytro 3331 (16.92 g CO₂/GB).
     Nytro3331,
 }
+
+act_json::impl_json_enum!(SsdTechnology {
+    Nand30nm,
+    Nand20nm,
+    Nand10nm,
+    Nand1zTlc,
+    V3NandTlc,
+    WesternDigital2016,
+    WesternDigital2017,
+    WesternDigital2018,
+    WesternDigital2019,
+    Nytro1551,
+    Nytro3530,
+    Nytro3331
+});
 
 /// Table 10 embodied carbon per gigabyte, g CO₂/GB, in
 /// [`SsdTechnology::ALL`] order.

@@ -24,8 +24,7 @@
 //!   [`par_try_monte_carlo`](crate::par_try_monte_carlo), so its outcome is
 //!   invariant under the thread count too.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use act_rng::Rng;
 
 use crate::montecarlo::{mc_sample_seed, summarize_slice, McError, McOutcome};
 use crate::parallel::Parallelism;
@@ -313,7 +312,7 @@ pub fn par_monte_carlo_compiled(
     samples: usize,
     seed: u64,
     axes: usize,
-    sampler: impl Fn(&mut StdRng, &mut [f64]) + Sync,
+    sampler: impl Fn(&mut Rng, &mut [f64]) + Sync,
     kernel: impl Fn(&[f64]) -> f64 + Sync,
     buf: &mut McBuffer,
 ) -> Result<McOutcome, McError> {
@@ -323,7 +322,7 @@ pub fn par_monte_carlo_compiled(
 /// Deterministic, fault-tolerant Monte-Carlo over a compiled kernel under
 /// an explicit [`Parallelism`] policy.
 ///
-/// Sample `i` gets its own `StdRng` seeded with [`mc_sample_seed`]
+/// Sample `i` gets its own `Rng` seeded with [`mc_sample_seed`]
 /// `(seed, i)`; `sampler` draws the point's coordinates into a scratch
 /// slice of `axes` slots and `kernel` maps them to a value — together they
 /// play the role of the `model` closure in
@@ -342,7 +341,6 @@ pub fn par_monte_carlo_compiled(
 ///
 /// ```
 /// use act_dse::{par_monte_carlo_compiled, par_try_monte_carlo, McBuffer};
-/// use rand::Rng;
 ///
 /// let mut buf = McBuffer::new();
 /// let compiled = par_monte_carlo_compiled(
@@ -363,7 +361,7 @@ pub fn par_monte_carlo_compiled_with(
     samples: usize,
     seed: u64,
     axes: usize,
-    sampler: impl Fn(&mut StdRng, &mut [f64]) + Sync,
+    sampler: impl Fn(&mut Rng, &mut [f64]) + Sync,
     kernel: impl Fn(&[f64]) -> f64 + Sync,
     buf: &mut McBuffer,
 ) -> Result<McOutcome, McError> {
@@ -373,7 +371,7 @@ pub fn par_monte_carlo_compiled_with(
     buf.draws.clear();
     buf.draws.resize(samples, f64::NAN);
     let draw = |scratch: &mut [f64], index: usize| {
-        let mut rng = StdRng::seed_from_u64(mc_sample_seed(seed, index as u64));
+        let mut rng = Rng::seed_from_u64(mc_sample_seed(seed, index as u64));
         sampler(&mut rng, scratch);
     };
     let workers = parallelism.worker_count().min(samples.max(1));
@@ -484,7 +482,6 @@ mod tests {
     use super::*;
     use crate::montecarlo::par_try_monte_carlo_with;
     use crate::sweep::par_sweep_finite_with;
-    use rand::Rng;
 
     fn kernel(point: &[f64]) -> f64 {
         1.0 / point[0]
@@ -589,7 +586,7 @@ mod tests {
 
     #[test]
     fn mc_compiled_matches_per_point_monte_carlo() {
-        let model = |rng: &mut StdRng| {
+        let model = |rng: &mut Rng| {
             let y: f64 = rng.gen_range(-0.1..1.0);
             1370.0 / y.max(0.0)
         };
@@ -615,7 +612,7 @@ mod tests {
     #[test]
     fn mc_compiled_reports_degenerate_runs() {
         let mut buf = McBuffer::new();
-        let sampler = |_: &mut StdRng, point: &mut [f64]| point[0] = 0.0;
+        let sampler = |_: &mut Rng, point: &mut [f64]| point[0] = 0.0;
         assert_eq!(
             par_monte_carlo_compiled(0, 0, 1, sampler, kernel, &mut buf),
             Err(McError::NoSamples)

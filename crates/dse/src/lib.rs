@@ -67,7 +67,9 @@ pub use montecarlo::{
     par_try_monte_carlo_with, triangular, try_monte_carlo, McError, McOutcome, McStats,
 };
 pub use optimize::{argmin_by, argmin_feasible, knee_point, normalize_to, normalize_to_last};
-pub use parallel::{par_map_ordered, par_map_range, Parallelism};
+pub use parallel::{
+    par_map_ordered, par_map_range, Parallelism, ThreadsWarning, ThreadsWarningReason,
+};
 pub use pareto::{dominates, pareto_indices, pareto_indices_reference};
 pub use sweep::{
     linspace, linspace_iter, logspace, logspace_iter, par_sweep, par_sweep_finite,

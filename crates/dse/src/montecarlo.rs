@@ -4,15 +4,12 @@
 //! intensities, abatement effectiveness. Sampling the model under a
 //! distribution of inputs turns a point estimate into a defensible range.
 
-use rand::rngs::StdRng;
-use rand::Rng;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use act_rng::Rng;
 
 use crate::parallel::{par_map_range, Parallelism};
 
 /// Summary statistics of a Monte-Carlo run.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct McStats {
     /// Sample mean.
     pub mean: f64,
@@ -25,6 +22,9 @@ pub struct McStats {
     /// Number of samples.
     pub samples: usize,
 }
+
+act_json::impl_to_json!(McStats { mean, p05, p50, p95, samples });
+act_json::impl_from_json!(McStats { mean, p05, p50, p95, samples });
 
 impl McStats {
     /// The p05–p95 spread relative to the magnitude of the mean — a
@@ -79,13 +79,16 @@ impl std::error::Error for McError {}
 
 /// The result of a fault-tolerant Monte-Carlo run: statistics over the
 /// finite draws plus the count of rejected (non-finite) ones.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct McOutcome {
     /// Statistics over the finite samples.
     pub stats: McStats,
     /// Number of draws discarded because the model returned NaN or ±∞.
     pub rejected: usize,
 }
+
+act_json::impl_to_json!(McOutcome { stats, rejected });
+act_json::impl_from_json!(McOutcome { stats, rejected });
 
 /// Runs `samples` evaluations of `model`, each fed a fresh RNG-driven
 /// input draw, and summarizes the outputs. Deterministic for a fixed
@@ -99,7 +102,6 @@ pub struct McOutcome {
 ///
 /// ```
 /// use act_dse::monte_carlo;
-/// use rand::Rng;
 ///
 /// // Footprint = area x CPA where yield is uncertain in [0.7, 1.0].
 /// let stats = monte_carlo(2_000, 42, |rng| {
@@ -111,10 +113,10 @@ pub struct McOutcome {
 pub fn monte_carlo(
     samples: usize,
     seed: u64,
-    mut model: impl FnMut(&mut StdRng) -> f64,
+    mut model: impl FnMut(&mut Rng) -> f64,
 ) -> McStats {
     assert!(samples > 0, "need at least one sample");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let values: Vec<f64> = (0..samples)
         .map(|_| {
             let v = model(&mut rng);
@@ -139,7 +141,6 @@ pub fn monte_carlo(
 ///
 /// ```
 /// use act_dse::try_monte_carlo;
-/// use rand::Rng;
 ///
 /// // A model with a pole: some yield draws divide by zero.
 /// let outcome = try_monte_carlo(1_000, 42, |rng| {
@@ -153,12 +154,12 @@ pub fn monte_carlo(
 pub fn try_monte_carlo(
     samples: usize,
     seed: u64,
-    mut model: impl FnMut(&mut StdRng) -> f64,
+    mut model: impl FnMut(&mut Rng) -> f64,
 ) -> Result<McOutcome, McError> {
     if samples == 0 {
         return Err(McError::NoSamples);
     }
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut values = Vec::with_capacity(samples);
     let mut rejected = 0usize;
     for _ in 0..samples {
@@ -180,7 +181,7 @@ pub fn try_monte_carlo(
 ///
 /// This is the SplitMix64 output function evaluated at position
 /// `index + 1` of the stream seeded by `master`: every sample gets its own
-/// statistically independent `StdRng`, no RNG state is shared between
+/// statistically independent `Rng`, no RNG state is shared between
 /// samples, and the draw for sample `i` depends only on `(master, i)` —
 /// never on which thread evaluated it or in what order. That is the whole
 /// determinism argument: parallel and serial runs see bit-identical draws.
@@ -197,7 +198,7 @@ pub fn mc_sample_seed(master: u64, index: u64) -> u64 {
 /// [`Parallelism::Auto`] policy.
 ///
 /// Unlike [`monte_carlo`] — which threads one RNG through every draw and
-/// is therefore inherently serial — each sample `i` gets its own `StdRng`
+/// is therefore inherently serial — each sample `i` gets its own `Rng`
 /// seeded with [`mc_sample_seed`]`(seed, i)`. Sample values consequently
 /// depend only on `(seed, i)`, so the returned statistics are **bit-for-bit
 /// identical** for any thread count, including [`Parallelism::Serial`] —
@@ -213,7 +214,6 @@ pub fn mc_sample_seed(master: u64, index: u64) -> u64 {
 ///
 /// ```
 /// use act_dse::par_monte_carlo;
-/// use rand::Rng;
 ///
 /// let stats = par_monte_carlo(2_000, 42, |rng| {
 ///     let y: f64 = rng.gen_range(0.7..1.0);
@@ -224,7 +224,7 @@ pub fn mc_sample_seed(master: u64, index: u64) -> u64 {
 pub fn par_monte_carlo(
     samples: usize,
     seed: u64,
-    model: impl Fn(&mut StdRng) -> f64 + Sync,
+    model: impl Fn(&mut Rng) -> f64 + Sync,
 ) -> McStats {
     par_monte_carlo_with(Parallelism::Auto, samples, seed, model)
 }
@@ -239,11 +239,11 @@ pub fn par_monte_carlo_with(
     parallelism: Parallelism,
     samples: usize,
     seed: u64,
-    model: impl Fn(&mut StdRng) -> f64 + Sync,
+    model: impl Fn(&mut Rng) -> f64 + Sync,
 ) -> McStats {
     assert!(samples > 0, "need at least one sample");
     let values = par_map_range(parallelism, samples, |i| {
-        let mut rng = StdRng::seed_from_u64(mc_sample_seed(seed, i as u64));
+        let mut rng = Rng::seed_from_u64(mc_sample_seed(seed, i as u64));
         let v = model(&mut rng);
         assert!(v.is_finite(), "model produced a non-finite sample");
         v
@@ -265,7 +265,6 @@ pub fn par_monte_carlo_with(
 ///
 /// ```
 /// use act_dse::par_try_monte_carlo;
-/// use rand::Rng;
 ///
 /// let outcome = par_try_monte_carlo(1_000, 42, |rng| {
 ///     let y: f64 = rng.gen_range(-0.1..1.0);
@@ -278,7 +277,7 @@ pub fn par_monte_carlo_with(
 pub fn par_try_monte_carlo(
     samples: usize,
     seed: u64,
-    model: impl Fn(&mut StdRng) -> f64 + Sync,
+    model: impl Fn(&mut Rng) -> f64 + Sync,
 ) -> Result<McOutcome, McError> {
     par_try_monte_carlo_with(Parallelism::Auto, samples, seed, model)
 }
@@ -294,13 +293,13 @@ pub fn par_try_monte_carlo_with(
     parallelism: Parallelism,
     samples: usize,
     seed: u64,
-    model: impl Fn(&mut StdRng) -> f64 + Sync,
+    model: impl Fn(&mut Rng) -> f64 + Sync,
 ) -> Result<McOutcome, McError> {
     if samples == 0 {
         return Err(McError::NoSamples);
     }
     let draws = par_map_range(parallelism, samples, |i| {
-        let mut rng = StdRng::seed_from_u64(mc_sample_seed(seed, i as u64));
+        let mut rng = Rng::seed_from_u64(mc_sample_seed(seed, i as u64));
         model(&mut rng)
     });
     let mut values = Vec::with_capacity(samples);
@@ -344,7 +343,7 @@ pub(crate) fn summarize_slice(values: &mut [f64]) -> McStats {
 /// # Panics
 ///
 /// Panics unless `low <= mode <= high` and `low < high`.
-pub fn triangular(rng: &mut StdRng, low: f64, mode: f64, high: f64) -> f64 {
+pub fn triangular(rng: &mut Rng, low: f64, mode: f64, high: f64) -> f64 {
     assert!(low < high && (low..=high).contains(&mode), "invalid triangular parameters");
     let u: f64 = rng.gen();
     let cut = (mode - low) / (high - low);
@@ -361,7 +360,7 @@ mod tests {
 
     #[test]
     fn stats_are_ordered_and_deterministic() {
-        let f = |rng: &mut StdRng| rng.gen_range(0.0..1.0);
+        let f = |rng: &mut Rng| rng.gen_range(0.0..1.0);
         let a = monte_carlo(5_000, 7, f);
         let b = monte_carlo(5_000, 7, f);
         assert_eq!(a, b);
@@ -379,7 +378,7 @@ mod tests {
 
     #[test]
     fn triangular_respects_bounds_and_mode() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let mut below = 0;
         let n = 20_000;
         for _ in 0..n {
@@ -409,13 +408,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "triangular")]
     fn bad_triangular_rejected() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Rng::seed_from_u64(0);
         let _ = triangular(&mut rng, 1.0, 0.5, 0.9);
     }
 
     #[test]
     fn try_monte_carlo_matches_panicking_variant_on_clean_models() {
-        let f = |rng: &mut StdRng| rng.gen_range(0.0..1.0);
+        let f = |rng: &mut Rng| rng.gen_range(0.0..1.0);
         let outcome = try_monte_carlo(2_000, 7, f).unwrap();
         assert_eq!(outcome.rejected, 0);
         assert_eq!(outcome.stats, monte_carlo(2_000, 7, f));
@@ -423,7 +422,7 @@ mod tests {
 
     #[test]
     fn try_monte_carlo_skips_and_counts_poisoned_draws() {
-        let f = |rng: &mut StdRng| {
+        let f = |rng: &mut Rng| {
             let v: f64 = rng.gen_range(0.0..1.0);
             if v < 0.25 {
                 f64::NAN
@@ -458,7 +457,7 @@ mod tests {
 
     #[test]
     fn par_monte_carlo_is_thread_count_invariant() {
-        let f = |rng: &mut StdRng| rng.gen_range(0.0..1.0);
+        let f = |rng: &mut Rng| rng.gen_range(0.0..1.0);
         let serial = par_monte_carlo_with(Parallelism::Serial, 5_000, 7, f);
         let two = par_monte_carlo_with(Parallelism::threads(2), 5_000, 7, f);
         let eight = par_monte_carlo_with(Parallelism::threads(8), 5_000, 7, f);
@@ -469,11 +468,11 @@ mod tests {
 
     #[test]
     fn par_monte_carlo_matches_manual_seed_split_loop() {
-        let f = |rng: &mut StdRng| rng.gen_range(0.0..1.0);
+        let f = |rng: &mut Rng| rng.gen_range(0.0..1.0);
         let parallel = par_monte_carlo_with(Parallelism::threads(4), 2_000, 11, f);
         let values: Vec<f64> = (0..2_000u64)
             .map(|i| {
-                let mut rng = StdRng::seed_from_u64(mc_sample_seed(11, i));
+                let mut rng = Rng::seed_from_u64(mc_sample_seed(11, i));
                 f(&mut rng)
             })
             .collect();
@@ -483,7 +482,7 @@ mod tests {
 
     #[test]
     fn par_try_monte_carlo_is_thread_count_invariant() {
-        let f = |rng: &mut StdRng| {
+        let f = |rng: &mut Rng| {
             let v: f64 = rng.gen_range(0.0..1.0);
             if v < 0.25 {
                 f64::NAN

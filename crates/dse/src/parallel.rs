@@ -25,7 +25,7 @@ use std::num::NonZeroUsize;
 /// assert_eq!(Parallelism::Serial.worker_count(), 1);
 /// assert!(Parallelism::Auto.worker_count() >= 1);
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum Parallelism {
     /// One worker on the calling thread: no threads are spawned and
@@ -33,25 +33,51 @@ pub enum Parallelism {
     Serial,
     /// Honors the `ACT_THREADS` environment variable when it parses as a
     /// positive integer, else uses the machine's available parallelism.
+    #[default]
     Auto,
     /// Exactly this many workers.
     Threads(NonZeroUsize),
 }
 
-impl Default for Parallelism {
-    fn default() -> Self {
-        Self::Auto
-    }
-}
-
 impl Parallelism {
     /// Resolves the policy to a concrete worker count (always ≥ 1).
+    ///
+    /// Equivalent to [`Parallelism::resolve`] with the warning discarded;
+    /// use `resolve` when a rejected `ACT_THREADS` value should be
+    /// surfaced to the user instead of silently falling back.
     #[must_use]
     pub fn worker_count(self) -> usize {
+        self.resolve().0
+    }
+
+    /// Resolves the policy to a concrete worker count (always ≥ 1),
+    /// reporting whether an `ACT_THREADS` override was **ignored**.
+    ///
+    /// `Serial` and `Threads(n)` never warn. `Auto` warns exactly when the
+    /// `ACT_THREADS` environment variable is set but unusable (empty,
+    /// non-numeric, zero, or too large for `usize`); the returned count is
+    /// then the machine default, and the [`ThreadsWarning`] says what was
+    /// rejected and why so callers can tell the user rather than silently
+    /// running on a different thread count than they asked for.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use act_dse::Parallelism;
+    ///
+    /// let (workers, warning) = Parallelism::Serial.resolve();
+    /// assert_eq!((workers, warning), (1, None));
+    /// ```
+    #[must_use]
+    pub fn resolve(self) -> (usize, Option<ThreadsWarning>) {
         match self {
-            Self::Serial => 1,
-            Self::Threads(n) => n.get(),
-            Self::Auto => env_threads().unwrap_or_else(default_threads),
+            Self::Serial => (1, None),
+            Self::Threads(n) => (n.get(), None),
+            Self::Auto => match env_threads() {
+                Ok(Some(n)) => (n, None),
+                Ok(None) => (default_threads(), None),
+                Err(warning) => (default_threads(), Some(warning)),
+            },
         }
     }
 
@@ -66,9 +92,67 @@ impl Parallelism {
     }
 }
 
-/// The `ACT_THREADS` override: a positive integer forces that worker count.
-fn env_threads() -> Option<usize> {
-    std::env::var("ACT_THREADS").ok()?.trim().parse::<usize>().ok().filter(|&n| n >= 1)
+/// A set-but-unusable `ACT_THREADS` value, reported by
+/// [`Parallelism::resolve`] so the rejection is observable instead of a
+/// silent fallback to the machine default.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ThreadsWarning {
+    /// The raw `ACT_THREADS` value that was rejected, verbatim.
+    pub raw: String,
+    /// Why it was rejected.
+    pub reason: ThreadsWarningReason,
+}
+
+/// Why an `ACT_THREADS` value was rejected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ThreadsWarningReason {
+    /// The variable was set but empty or whitespace-only.
+    Empty,
+    /// The value did not parse as a base-10 unsigned integer (this
+    /// includes values too large for `usize`).
+    NotAPositiveInteger,
+    /// The value parsed as `0`, which is not a valid worker count.
+    Zero,
+}
+
+impl std::fmt::Display for ThreadsWarning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let detail = match self.reason {
+            ThreadsWarningReason::Empty => "it is empty",
+            ThreadsWarningReason::NotAPositiveInteger => "it is not a positive integer",
+            ThreadsWarningReason::Zero => "a worker count must be at least 1",
+        };
+        write!(f, "ignoring ACT_THREADS={:?} ({detail}); using the machine default", self.raw)
+    }
+}
+
+impl std::error::Error for ThreadsWarning {}
+
+/// The `ACT_THREADS` override: `Ok(Some(n))` forces `n` workers,
+/// `Ok(None)` means the variable is unset (or not unicode), `Err` means it
+/// is set but unusable.
+fn env_threads() -> Result<Option<usize>, ThreadsWarning> {
+    match std::env::var("ACT_THREADS") {
+        Ok(raw) => parse_threads(&raw).map(Some),
+        Err(_) => Ok(None),
+    }
+}
+
+/// Pure parser behind [`env_threads`], split out so the rejection cases
+/// are testable without touching process-global environment state (which
+/// would race under the parallel test harness).
+fn parse_threads(raw: &str) -> Result<usize, ThreadsWarning> {
+    let reject = |reason| ThreadsWarning { raw: raw.to_owned(), reason };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Err(reject(ThreadsWarningReason::Empty));
+    }
+    match trimmed.parse::<usize>() {
+        Ok(0) => Err(reject(ThreadsWarningReason::Zero)),
+        Ok(n) => Ok(n),
+        Err(_) => Err(reject(ThreadsWarningReason::NotAPositiveInteger)),
+    }
 }
 
 #[cfg(feature = "parallel")]
@@ -224,6 +308,54 @@ mod tests {
         assert_eq!(Parallelism::threads(0).worker_count(), 1);
         assert!(Parallelism::Auto.worker_count() >= 1);
         assert_eq!(Parallelism::default(), Parallelism::Auto);
+    }
+
+    #[test]
+    fn explicit_policies_never_warn() {
+        assert_eq!(Parallelism::Serial.resolve(), (1, None));
+        assert_eq!(Parallelism::threads(6).resolve(), (6, None));
+        // `threads(0)` clamps to Serial at construction, before resolve.
+        assert_eq!(Parallelism::threads(0).resolve(), (1, None));
+    }
+
+    #[test]
+    fn valid_thread_overrides_parse() {
+        assert_eq!(parse_threads("1"), Ok(1));
+        assert_eq!(parse_threads("8"), Ok(8));
+        // Surrounding whitespace is tolerated, matching historic behavior.
+        assert_eq!(parse_threads("  4\n"), Ok(4));
+        // Huge-but-representable counts are accepted; the thread engine
+        // clamps workers to the work-item count, not here.
+        assert_eq!(parse_threads("1000000"), Ok(1_000_000));
+    }
+
+    #[test]
+    fn rejected_thread_overrides_say_why() {
+        let cases = [
+            ("0", ThreadsWarningReason::Zero),
+            ("  0 ", ThreadsWarningReason::Zero),
+            ("", ThreadsWarningReason::Empty),
+            ("   ", ThreadsWarningReason::Empty),
+            ("\t\n", ThreadsWarningReason::Empty),
+            ("four", ThreadsWarningReason::NotAPositiveInteger),
+            ("-2", ThreadsWarningReason::NotAPositiveInteger),
+            ("3.5", ThreadsWarningReason::NotAPositiveInteger),
+            // Larger than any usize: overflow is a rejection, not a wrap.
+            ("99999999999999999999999", ThreadsWarningReason::NotAPositiveInteger),
+        ];
+        for (raw, reason) in cases {
+            let warning = parse_threads(raw).expect_err(raw);
+            assert_eq!(warning.reason, reason, "raw = {raw:?}");
+            assert_eq!(warning.raw, raw, "raw value must round-trip verbatim");
+        }
+    }
+
+    #[test]
+    fn warning_display_names_the_variable_and_value() {
+        let warning = parse_threads("banana").expect_err("not a number");
+        let message = warning.to_string();
+        assert!(message.contains("ACT_THREADS"), "got: {message}");
+        assert!(message.contains("banana"), "got: {message}");
     }
 
     #[test]

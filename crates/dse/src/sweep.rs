@@ -1,7 +1,5 @@
 //! Parameter-sweep helpers.
 
-use serde::Serialize;
-
 use crate::parallel::{par_map_ordered, Parallelism};
 
 /// Streaming variant of [`powers_of_two`]: yields the powers of two from
@@ -138,13 +136,15 @@ pub fn sweep<P, R>(
 
 /// One design point a fallible sweep rejected, with its position in the
 /// original parameter sequence and the model's reason.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RejectedPoint {
     /// Zero-based index of the point in the swept parameter sequence.
     pub index: usize,
     /// The model error, rendered.
     pub reason: String,
 }
+
+act_json::impl_to_json!(RejectedPoint { index, reason });
 
 /// The result of a fallible sweep: the design points that evaluated cleanly
 /// plus a record of every rejected one.
@@ -201,7 +201,7 @@ impl<P, R> SweepOutcome<P, R> {
 /// ```
 /// use act_dse::try_sweep;
 ///
-/// let outcome = try_sweep([1.0, -1.0, 4.0], |x| {
+/// let outcome = try_sweep([1.0_f64, -1.0, 4.0], |x| {
 ///     if *x >= 0.0 { Ok(x.sqrt()) } else { Err("negative input") }
 /// });
 /// assert_eq!(outcome.results.len(), 2);
@@ -307,7 +307,7 @@ where
 /// ```
 /// use act_dse::par_try_sweep;
 ///
-/// let outcome = par_try_sweep([1.0, -1.0, 4.0], |x| {
+/// let outcome = par_try_sweep([1.0_f64, -1.0, 4.0], |x| {
 ///     if *x >= 0.0 { Ok(x.sqrt()) } else { Err("negative input") }
 /// });
 /// assert_eq!(outcome.results.len(), 2);
@@ -476,8 +476,9 @@ mod tests {
 
     #[test]
     fn rejected_points_serialize() {
+        use act_json::ToJson;
         let outcome = sweep_finite([0.0], |x| 1.0 / x);
-        let json = serde_json::to_string(&outcome.rejected).unwrap();
+        let json = outcome.rejected.to_json().render_compact();
         assert!(json.contains("\"index\":0"));
     }
 

@@ -10,18 +10,19 @@ use act_ssd::{
     WriteTrace,
 };
 use act_units::{Area, Capacity, Fraction, MassCo2};
-use serde::Serialize;
 
 use crate::render::TextTable;
 
 /// One sensitivity series: a swept parameter and the resulting outputs.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Sensitivity {
     /// What is being swept.
     pub parameter: String,
     /// (setting label, output value) pairs.
     pub series: Vec<(String, f64)>,
 }
+
+act_json::impl_to_json!(Sensitivity { parameter, series });
 
 impl Sensitivity {
     /// Max output over min output — how much the assumption matters.
@@ -39,11 +40,13 @@ impl Sensitivity {
 }
 
 /// All ablations.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct AblationsResult {
     /// The sensitivity series, one per calibration choice.
     pub studies: Vec<Sensitivity>,
 }
+
+act_json::impl_to_json!(AblationsResult { studies });
 
 /// Runs every ablation.
 #[must_use]

@@ -13,7 +13,6 @@ use act_core::{FabScenario, OperationalModel, SystemSpec};
 use act_data::{devices, Location};
 use act_soc::ReplacementModel;
 use act_units::{MassCo2, Power, TimeSpan};
-use serde::Serialize;
 
 use crate::render::TextTable;
 
@@ -27,7 +26,7 @@ pub const PUE: f64 = 1.2;
 pub const SERVER_IMPROVEMENT: f64 = 1.15;
 
 /// One hosting-grid scenario.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct GridRow {
     /// Hosting location.
     pub location: Location,
@@ -39,14 +38,23 @@ pub struct GridRow {
     pub optimal_lifetime_years: u32,
 }
 
+act_json::impl_to_json!(GridRow {
+    location,
+    first_year_operational,
+    embodied_ratio,
+    optimal_lifetime_years
+});
+
 /// The study.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct DatacenterResult {
     /// Embodied carbon of one server.
     pub server_embodied: MassCo2,
     /// One row per hosting grid.
     pub rows: Vec<GridRow>,
 }
+
+act_json::impl_to_json!(DatacenterResult { server_embodied, rows });
 
 /// Runs the study over a spectrum of grids.
 #[must_use]

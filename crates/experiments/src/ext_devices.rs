@@ -8,12 +8,11 @@ use std::fmt;
 use act_core::{FabScenario, SystemSpec};
 use act_data::devices;
 use act_units::MassCo2;
-use serde::Serialize;
 
 use crate::render::{kg, TextTable};
 
 /// One device class.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct DeviceClassRow {
     /// Device name.
     pub name: String,
@@ -25,12 +24,16 @@ pub struct DeviceClassRow {
     pub upper: MassCo2,
 }
 
+act_json::impl_to_json!(DeviceClassRow { name, embodied, lower, upper });
+
 /// The survey.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct DevicesResult {
     /// Rows ordered smallest to largest device class.
     pub rows: Vec<DeviceClassRow>,
 }
+
+act_json::impl_to_json!(DevicesResult { rows });
 
 /// Runs the survey.
 #[must_use]

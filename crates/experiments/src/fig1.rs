@@ -4,18 +4,19 @@
 use std::fmt;
 
 use act_data::reports::{ProductReport, IPHONE_11, IPHONE_3};
-use serde::Serialize;
 
 use crate::render::TextTable;
 
 /// Life-cycle phase shares for the two generations.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig1Result {
     /// The 2009-era report.
     pub iphone3: ProductReport,
     /// The 2019-era report.
     pub iphone11: ProductReport,
 }
+
+act_json::impl_to_json!(Fig1Result { iphone3, iphone11 });
 
 impl Fig1Result {
     /// How much the operational footprint shrank across the decade

@@ -9,7 +9,6 @@ use act_core::{FabScenario, OperationalModel};
 use act_data::snapdragon845::{profile, Engine, NODE, PROFILES};
 use act_data::{EnergySource, Location};
 use act_units::{CarbonIntensity, MassCo2, TimeSpan};
-use serde::Serialize;
 
 use crate::render::TextTable;
 
@@ -21,7 +20,7 @@ pub const UTILIZATION: f64 = 0.04;
 pub const LIFETIME_YEARS: f64 = 3.0;
 
 /// A named carbon-intensity level of the sweep.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct IntensityLevel {
     /// Label as printed on the figure's x-axis.
     pub label: &'static str,
@@ -29,8 +28,10 @@ pub struct IntensityLevel {
     pub intensity: CarbonIntensity,
 }
 
+act_json::impl_to_json!(IntensityLevel { label, intensity });
+
 /// Per-engine per-inference footprint under one scenario.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct ScenarioCell {
     /// The engine.
     pub engine: Engine,
@@ -39,6 +40,8 @@ pub struct ScenarioCell {
     /// Operational footprint per inference.
     pub operational: MassCo2,
 }
+
+act_json::impl_to_json!(ScenarioCell { engine, embodied, operational });
 
 impl ScenarioCell {
     /// Combined per-inference footprint.
@@ -49,13 +52,15 @@ impl ScenarioCell {
 }
 
 /// One x-axis group: an intensity level with all three engines.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct ScenarioGroup {
     /// The swept intensity level.
     pub level: IntensityLevel,
     /// CPU, DSP, GPU cells.
     pub cells: Vec<ScenarioCell>,
 }
+
+act_json::impl_to_json!(ScenarioGroup { level, cells });
 
 impl ScenarioGroup {
     /// The engine with the lowest combined footprint.
@@ -70,13 +75,15 @@ impl ScenarioGroup {
 }
 
 /// Both sweeps of Figure 10.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig10Result {
     /// Top: use-phase intensity sweep with a Taiwan-grid fab.
     pub use_sweep: Vec<ScenarioGroup>,
     /// Bottom: fab intensity sweep with solar-powered use.
     pub fab_sweep: Vec<ScenarioGroup>,
 }
+
+act_json::impl_to_json!(Fig10Result { use_sweep, fab_sweep });
 
 fn levels_use() -> [IntensityLevel; 4] {
     [

@@ -8,12 +8,11 @@ use std::fmt;
 use act_core::{DesignPoint, FabScenario, OptimizationMetric};
 use act_data::smiv::{measurement, silicon_area, App, Platform, NODE};
 use act_units::{Energy, MassCo2, TimeSpan};
-use serde::Serialize;
 
 use crate::render::{geomean, TextTable};
 
 /// One platform's aggregate view.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct PlatformSummary {
     /// The platform.
     pub platform: Platform,
@@ -25,12 +24,21 @@ pub struct PlatformSummary {
     pub geomean_energy_reduction: f64,
 }
 
+act_json::impl_to_json!(PlatformSummary {
+    platform,
+    embodied,
+    geomean_speedup,
+    geomean_energy_reduction
+});
+
 /// The full study.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig11Result {
     /// Per-platform summaries (CPU, Accel, FPGA).
     pub platforms: Vec<PlatformSummary>,
 }
+
+act_json::impl_to_json!(Fig11Result { platforms });
 
 /// Per-app speedup of a platform over the CPU.
 #[must_use]

@@ -8,12 +8,11 @@ use act_accel::{AccelConfig, Network};
 use act_core::{DesignPoint, FabScenario, OptimizationMetric};
 use act_dse::powers_of_two_iter;
 use act_units::MassCo2;
-use serde::Serialize;
 
 use crate::render::TextTable;
 
 /// One configuration's coordinates.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct MacRow {
     /// MAC-array width.
     pub macs: u32,
@@ -25,12 +24,16 @@ pub struct MacRow {
     pub design: DesignPoint,
 }
 
+act_json::impl_to_json!(MacRow { macs, embodied, fps, design });
+
 /// The sweep.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig12Result {
     /// Rows for 64…2048 MACs.
     pub rows: Vec<MacRow>,
 }
+
+act_json::impl_to_json!(Fig12Result { rows });
 
 /// Runs the 16 nm sweep on the mobile-vision network under the default fab.
 #[must_use]

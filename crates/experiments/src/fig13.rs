@@ -9,7 +9,6 @@ use act_accel::{AccelConfig, Network};
 use act_core::FabScenario;
 use act_dse::{argmin_feasible, powers_of_two_iter};
 use act_units::{Area, MassCo2};
-use serde::Serialize;
 
 use crate::render::TextTable;
 
@@ -17,7 +16,7 @@ use crate::render::TextTable;
 pub const QOS_FPS: f64 = 30.0;
 
 /// One configuration in the QoS study.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct QosRow {
     /// MAC-array width.
     pub macs: u32,
@@ -29,12 +28,16 @@ pub struct QosRow {
     pub embodied: MassCo2,
 }
 
+act_json::impl_to_json!(QosRow { macs, fps, energy_mj, embodied });
+
 /// The QoS-constrained study (Figure 13 left).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct QosStudy {
     /// The 16 nm sweep.
     pub rows: Vec<QosRow>,
 }
+
+act_json::impl_to_json!(QosStudy { rows });
 
 impl QosStudy {
     /// Leanest configuration meeting the QoS bar — the carbon optimum.
@@ -59,7 +62,7 @@ impl QosStudy {
 }
 
 /// One cap × node cell of the area-budget study.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct BudgetCell {
     /// Area cap in mm².
     pub cap_mm2: f64,
@@ -73,12 +76,16 @@ pub struct BudgetCell {
     pub embodied: MassCo2,
 }
 
+act_json::impl_to_json!(BudgetCell { cap_mm2, nanometers, macs, area, embodied });
+
 /// The area-budget study (Figure 13 right).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct BudgetStudy {
     /// Cells for {1, 2} mm² × {28, 16} nm.
     pub cells: Vec<BudgetCell>,
 }
+
+act_json::impl_to_json!(BudgetStudy { cells });
 
 impl BudgetStudy {
     /// Cell lookup.
@@ -98,13 +105,15 @@ impl BudgetStudy {
 }
 
 /// Both studies.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig13Result {
     /// Left: QoS-constrained design.
     pub qos: QosStudy,
     /// Right: area-budgeted technology comparison.
     pub budget: BudgetStudy,
 }
+
+act_json::impl_to_json!(Fig13Result { qos, budget });
 
 /// Runs both studies under the default fab.
 #[must_use]

@@ -6,12 +6,11 @@ use std::fmt;
 
 use act_data::MOBILE_SOCS;
 use act_soc::{annual_efficiency_improvement, ReplacementModel};
-use serde::Serialize;
 
 use crate::render::TextTable;
 
 /// One lifetime choice of the sweep.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct LifetimeRow {
     /// Replacement cadence in years.
     pub lifetime_years: u32,
@@ -23,6 +22,8 @@ pub struct LifetimeRow {
     pub operational: f64,
 }
 
+act_json::impl_to_json!(LifetimeRow { lifetime_years, devices, embodied, operational });
+
 impl LifetimeRow {
     /// Combined footprint.
     #[must_use]
@@ -32,7 +33,7 @@ impl LifetimeRow {
 }
 
 /// The full study.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig14Result {
     /// Measured annual efficiency improvement (paper: ≈1.21×).
     pub annual_improvement: f64,
@@ -41,6 +42,8 @@ pub struct Fig14Result {
     /// Rows for 1…10-year lifetimes.
     pub rows: Vec<LifetimeRow>,
 }
+
+act_json::impl_to_json!(Fig14Result { annual_improvement, model, rows });
 
 /// Runs the study with the efficiency trend measured from the SoC database.
 #[must_use]

@@ -10,7 +10,6 @@ use act_ssd::{
     analytical_write_amplification, effective_embodied, FtlConfig, FtlSimulator, LifetimeModel,
     OverProvisioning, TracePattern, WriteTrace,
 };
-use serde::Serialize;
 
 use crate::render::TextTable;
 
@@ -27,7 +26,7 @@ pub fn op_grid() -> Vec<OverProvisioning> {
 }
 
 /// One over-provisioning point.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct OpRow {
     /// The over-provisioning factor.
     pub pf: OverProvisioning,
@@ -45,12 +44,23 @@ pub struct OpRow {
     pub second_life: f64,
 }
 
+act_json::impl_to_json!(OpRow {
+    pf,
+    wa_analytical,
+    wa_simulated,
+    lifetime_years,
+    first_life,
+    second_life
+});
+
 /// The full study.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig15Result {
     /// Rows over the over-provisioning grid.
     pub rows: Vec<OpRow>,
 }
+
+act_json::impl_to_json!(Fig15Result { rows });
 
 /// Runs the study.
 #[must_use]

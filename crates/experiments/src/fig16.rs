@@ -8,12 +8,11 @@ use act_data::reports::{
     BreakdownSlice, FAIRPHONE3_BY_COMPONENT, FAIRPHONE3_BY_MODULE, FAIRPHONE3_CORE_MODULE,
     FAIRPHONE3_MANUFACTURING_KG,
 };
-use serde::Serialize;
 
 use crate::render::TextTable;
 
 /// The three breakdown panels.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig16Result {
     /// Total manufacturing footprint the shares apply to, kg CO₂.
     pub total_kg: f64,
@@ -24,6 +23,8 @@ pub struct Fig16Result {
     /// Panel (c): within the core module.
     pub core_module: Vec<BreakdownSlice>,
 }
+
+act_json::impl_to_json!(Fig16Result { total_kg, by_module, by_component, core_module });
 
 /// Runs the experiment.
 #[must_use]

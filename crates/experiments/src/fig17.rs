@@ -7,12 +7,11 @@ use std::fmt;
 use act_data::reports::{
     BreakdownSlice, DELL_R740_BREAKDOWN, DELL_R740_MAINBOARD, DELL_R740_MANUFACTURING_KG,
 };
-use serde::Serialize;
 
 use crate::render::TextTable;
 
 /// Both breakdown panels.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig17Result {
     /// Total manufacturing footprint, kg CO₂.
     pub total_kg: f64,
@@ -21,6 +20,8 @@ pub struct Fig17Result {
     /// Mainboard breakdown.
     pub mainboard: Vec<BreakdownSlice>,
 }
+
+act_json::impl_to_json!(Fig17Result { total_kg, server, mainboard });
 
 /// Runs the experiment.
 #[must_use]

@@ -9,12 +9,11 @@ use act_data::devices;
 use act_data::reports;
 use act_lca::top_down_ic_estimate;
 use act_units::MassCo2;
-use serde::Serialize;
 
 use crate::render::{kg, TextTable};
 
 /// One device's bottom-up vs top-down comparison.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct DeviceEstimate {
     /// Device name.
     pub name: String,
@@ -23,6 +22,8 @@ pub struct DeviceEstimate {
     /// The LCA-based top-down IC estimate.
     pub lca: MassCo2,
 }
+
+act_json::impl_to_json!(DeviceEstimate { name, act, lca });
 
 impl DeviceEstimate {
     /// ACT total across ICs.
@@ -33,13 +34,15 @@ impl DeviceEstimate {
 }
 
 /// Both devices of Figure 4.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig4Result {
     /// iPhone 11 (paper: ACT 17 kg vs LCA 23 kg).
     pub iphone: DeviceEstimate,
     /// iPad (paper: ACT 21 kg vs LCA 28 kg).
     pub ipad: DeviceEstimate,
 }
+
+act_json::impl_to_json!(Fig4Result { iphone, ipad });
 
 /// Runs the experiment under the paper's default fab scenario.
 #[must_use]

@@ -8,12 +8,11 @@ use std::fmt;
 use act_core::FabScenario;
 use act_data::{Abatement, ProcessNode};
 use act_units::{EnergyPerArea, MassPerArea};
-use serde::Serialize;
 
 use crate::render::TextTable;
 
 /// One node's column of the figure.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct NodeRow {
     /// Process node.
     pub node: ProcessNode,
@@ -33,12 +32,25 @@ pub struct NodeRow {
     pub cpa_solar: MassPerArea,
 }
 
+act_json::impl_to_json!(NodeRow {
+    node,
+    epa,
+    gpa_95,
+    gpa_97,
+    gpa_99,
+    cpa_taiwan,
+    cpa_default,
+    cpa_solar
+});
+
 /// The full node sweep.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig6Result {
     /// Rows from 28 nm down to 3 nm.
     pub rows: Vec<NodeRow>,
 }
+
+act_json::impl_to_json!(Fig6Result { rows });
 
 /// Runs the sweep.
 #[must_use]

@@ -4,12 +4,11 @@
 use std::fmt;
 
 use act_data::{DramTechnology, HddModel, SsdTechnology};
-use serde::Serialize;
 
 use crate::render::TextTable;
 
 /// One bar of the figure.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Bar {
     /// Technology/product label.
     pub label: String,
@@ -20,8 +19,10 @@ pub struct Bar {
     pub device_level: bool,
 }
 
+act_json::impl_to_json!(Bar { label, grams_per_gb, device_level });
+
 /// The three panels.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig7Result {
     /// DRAM technologies (left panel).
     pub dram: Vec<Bar>,
@@ -30,6 +31,8 @@ pub struct Fig7Result {
     /// HDD products (right panel).
     pub hdd: Vec<Bar>,
 }
+
+act_json::impl_to_json!(Fig7Result { dram, ssd, hdd });
 
 /// Runs the experiment.
 #[must_use]

@@ -14,7 +14,6 @@ use act_core::{DesignPoint, FabScenario, OptimizationMetric, SystemSpec};
 use act_data::{SocFamily, SocSpec, MOBILE_SOCS};
 use act_soc::{geekbench_suite, SocSimulator};
 use act_units::{MassCo2, TimeSpan};
-use serde::Serialize;
 
 use crate::render::{kg, TextTable};
 
@@ -23,7 +22,7 @@ use crate::render::{kg, TextTable};
 const SCORE_TIME_CONSTANT: f64 = 1e6;
 
 /// One SoC's coordinates in the design space.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct SocRow {
     /// The SoC under evaluation.
     pub soc: &'static SocSpec,
@@ -35,12 +34,16 @@ pub struct SocRow {
     pub design: DesignPoint,
 }
 
+act_json::impl_to_json!(SocRow { soc, embodied, simulated_score, design });
+
 /// The full survey.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig8Result {
     /// One row per SoC, in the paper's plotting order.
     pub rows: Vec<SocRow>,
 }
+
+act_json::impl_to_json!(Fig8Result { rows });
 
 /// Runs the survey under the default fab scenario.
 #[must_use]

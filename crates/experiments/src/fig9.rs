@@ -7,13 +7,12 @@ use std::fmt;
 
 use act_core::{DesignPoint, OptimizationMetric};
 use act_data::snapdragon845::Engine;
-use serde::Serialize;
 
 use crate::render::TextTable;
 use crate::table4;
 
 /// One engine's design point and metric scores normalized to the CPU.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct EngineScores {
     /// The engine.
     pub engine: Engine,
@@ -21,12 +20,16 @@ pub struct EngineScores {
     pub design: DesignPoint,
 }
 
+act_json::impl_to_json!(EngineScores { engine, design });
+
 /// The metric comparison.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig9Result {
     /// CPU, DSP, GPU design points.
     pub engines: Vec<EngineScores>,
 }
+
+act_json::impl_to_json!(Fig9Result { engines });
 
 /// Runs the comparison on the Table 4 study.
 #[must_use]

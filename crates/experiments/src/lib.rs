@@ -106,16 +106,16 @@ pub fn render_experiment(id: &str) -> Option<String> {
     Some(out)
 }
 
-/// Pretty-serializes a result struct, panicking on the (impossible)
-/// failure path — experiment results contain only plain data.
-fn json<T: serde::Serialize>(value: &T) -> String {
-    match serde_json::to_string_pretty(value) {
-        Ok(body) => body,
-        Err(err) => panic!("experiment results serialize: {err}"),
-    }
+/// Serializes a result struct to one compact JSON line — experiment
+/// results contain only plain data, and `ToJson` is total, so this cannot
+/// fail. Compact (not pretty) so each experiment is a single line on
+/// stdout: `act --json a b c` emits newline-delimited JSON that per-line
+/// consumers (`jq`, the CLI tests) can parse without a streaming parser.
+fn json<T: act_json::ToJson>(value: &T) -> String {
+    value.to_json().render_compact()
 }
 
-/// Serializes one experiment's typed result to pretty JSON. For `"all"`,
+/// Serializes one experiment's typed result to compact JSON. For `"all"`,
 /// emits a JSON array of `{"id": ..., "result": ...}` objects, one per
 /// concrete experiment in paper order. Returns `None` for unknown IDs.
 ///
@@ -147,13 +147,13 @@ pub fn render_experiment_json(id: &str) -> Option<String> {
         "datacenter" => json(&ext_datacenter::run()),
         "devices" => json(&ext_devices::run()),
         "all" => {
-            let entries: Vec<serde_json::Value> = EXPERIMENT_IDS
+            let entries: Vec<act_json::JsonValue> = EXPERIMENT_IDS
                 .iter()
                 .filter(|id| **id != "all")
                 .filter_map(|id| {
                     let body = render_experiment_json(id)?;
-                    let result: serde_json::Value = serde_json::from_str(&body).ok()?;
-                    Some(serde_json::json!({ "id": id, "result": result }))
+                    let result = act_json::JsonValue::parse(&body).ok()?;
+                    Some(act_json::obj! { "id": id, "result": result })
                 })
                 .collect();
             json(&entries)
@@ -168,7 +168,7 @@ pub fn render_experiment_json(id: &str) -> Option<String> {
 pub enum OutputFormat {
     /// The human-readable rendering of [`render_experiment`].
     Text,
-    /// The pretty JSON rendering of [`render_experiment_json`].
+    /// The compact one-line JSON rendering of [`render_experiment_json`].
     Json,
 }
 
@@ -349,11 +349,10 @@ pub fn par_try_render_experiment(
                     Ok(body) => {
                         // Mirrors the serial assembly, which also skips
                         // (never observed) unparseable bodies.
-                        let Ok(result) = serde_json::from_str::<serde_json::Value>(&body)
-                        else {
+                        let Ok(result) = act_json::JsonValue::parse(&body) else {
                             continue;
                         };
-                        entries.push(serde_json::json!({ "id": sub, "result": result }));
+                        entries.push(act_json::obj! { "id": sub, "result": result });
                     }
                     Err(err) => return Err(lift_all_error(&err)),
                 }
@@ -385,8 +384,8 @@ mod tests {
         for id in EXPERIMENT_IDS.iter().filter(|id| **id != "all") {
             let json =
                 render_experiment_json(id).unwrap_or_else(|| panic!("{id} should serialize"));
-            let parsed: serde_json::Value =
-                serde_json::from_str(&json).unwrap_or_else(|e| panic!("{id}: {e}"));
+            let parsed =
+                act_json::JsonValue::parse(&json).unwrap_or_else(|e| panic!("{id}: {e}"));
             assert!(parsed.is_object() || parsed.is_array() || parsed.is_null(), "{id}");
         }
     }
@@ -394,7 +393,7 @@ mod tests {
     #[test]
     fn all_serializes_to_a_json_array_of_every_experiment() {
         let json = render_experiment_json("all").expect("`all` should serialize");
-        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let parsed = act_json::JsonValue::parse(&json).unwrap();
         let entries = parsed.as_array().expect("`all` should be a JSON array");
         assert_eq!(entries.len(), EXPERIMENT_IDS.len() - 1);
         for (entry, id) in entries.iter().zip(EXPERIMENT_IDS) {

@@ -5,16 +5,17 @@ use std::fmt;
 
 use act_core::FabScenario;
 use act_lca::{table12, NodeComparison};
-use serde::Serialize;
 
 use crate::render::TextTable;
 
 /// The comparison table.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Table12Result {
     /// One comparison per published row.
     pub rows: Vec<NodeComparison>,
 }
+
+act_json::impl_to_json!(Table12Result { rows });
 
 /// Runs the comparison under the default fab scenario.
 #[must_use]

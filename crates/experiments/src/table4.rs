@@ -9,7 +9,6 @@ use act_core::{FabScenario, OperationalModel};
 use act_data::snapdragon845::{profile, Engine, EngineProfile, NODE, PROFILES};
 use act_data::EnergySource;
 use act_units::{CarbonIntensity, Energy, MassCo2, TimeSpan};
-use serde::Serialize;
 
 use crate::render::TextTable;
 
@@ -21,7 +20,7 @@ pub const US_INTENSITY: CarbonIntensity = CarbonIntensity::grams_per_kwh(300.0);
 pub const LIFETIME_YEARS: f64 = 3.0;
 
 /// One row of Table 4 with computed footprints.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Table4Row {
     /// The engine.
     pub engine: Engine,
@@ -38,12 +37,16 @@ pub struct Table4Row {
     pub ecf_system: MassCo2,
 }
 
+act_json::impl_to_json!(Table4Row { engine, profile, energy, opcf, ecf_block, ecf_system });
+
 /// The full provisioning study.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Table4Result {
     /// Rows in Table 4 order (CPU, DSP, GPU).
     pub rows: Vec<Table4Row>,
 }
+
+act_json::impl_to_json!(Table4Result { rows });
 
 /// Runs the study under the paper's default fab scenario.
 #[must_use]

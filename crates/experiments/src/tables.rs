@@ -6,13 +6,26 @@ use act_data::{
     Abatement, DramTechnology, EnergySource, HddModel, Location, ProcessNode, SsdTechnology,
     MPA,
 };
-use serde::Serialize;
 
 use crate::render::TextTable;
 
 /// A marker result whose `Display` prints every appendix table.
-#[derive(Clone, Copy, Debug, Default, Serialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct TablesResult;
+
+impl act_json::ToJson for TablesResult {
+    /// A marker object. The former `Serialize` derive rendered this unit
+    /// struct as `null`, which contradicted the `all`-rendering contract
+    /// that every experiment contributes a non-null result; the appendix
+    /// tables are text-only (`Display`), so the JSON form just points
+    /// there.
+    fn to_json(&self) -> act_json::JsonValue {
+        act_json::obj! {
+            "tables": vec!["table5", "table6", "table7", "table8", "table9", "table10", "table11"],
+            "format": "text",
+        }
+    }
+}
 
 /// Runs the experiment (the data is static; this exists for symmetry).
 #[must_use]

@@ -1,7 +1,6 @@
 //! Economic input-output LCA emulation: carbon from dollars.
 
 use act_units::MassCo2;
-use serde::{Deserialize, Serialize};
 
 /// An EIO-LCA-style estimator: emissions are the product of a component's
 /// economic cost and an industry-wide carbon-per-dollar factor.
@@ -22,10 +21,13 @@ use serde::{Deserialize, Serialize};
 /// // Doubling the price doubles the "footprint" — price, not physics.
 /// assert!((pricier_soc / soc - 2.0).abs() < 1e-12);
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct EioLca {
     kg_co2_per_dollar: f64,
 }
+
+act_json::impl_to_json!(EioLca { kg_co2_per_dollar });
+act_json::impl_from_json!(EioLca { kg_co2_per_dollar });
 
 impl EioLca {
     /// An estimator with an explicit sector factor (kg CO₂ per US dollar).

@@ -2,7 +2,6 @@
 //! embodied against operational emissions over a deployment horizon.
 
 use act_units::UnitError;
-use serde::{Deserialize, Serialize};
 
 /// Models a user who always owns one device over a fixed horizon, replacing
 /// it every `lifetime` years with the then-current generation. Longer
@@ -22,7 +21,7 @@ use serde::{Deserialize, Serialize};
 /// // The paper finds the optimum around 5 years over a 10-year horizon.
 /// assert_eq!(model.optimal_lifetime_years(), 5);
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ReplacementModel {
     /// Deployment horizon in whole years.
     pub horizon_years: u32,
@@ -33,6 +32,17 @@ pub struct ReplacementModel {
     /// (e.g. 1.21 = 21 %/year).
     pub improvement_rate: f64,
 }
+
+act_json::impl_to_json!(ReplacementModel {
+    horizon_years,
+    embodied_per_device,
+    improvement_rate
+});
+act_json::impl_from_json!(ReplacementModel {
+    horizon_years,
+    embodied_per_device,
+    improvement_rate
+});
 
 impl ReplacementModel {
     /// The paper's mobile study: a 10-year horizon with mobile-IC embodied

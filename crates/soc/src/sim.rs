@@ -3,12 +3,11 @@
 
 use act_data::{ClusterSpec, SocSpec};
 use act_units::{Energy, Power, TimeSpan};
-use serde::{Deserialize, Serialize};
 
 use crate::workload::Workload;
 
 /// DVFS policy applied uniformly across clusters during a run.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub enum DvfsGovernor {
     /// Run at maximum frequency.
     #[default]
@@ -41,7 +40,7 @@ impl DvfsGovernor {
 }
 
 /// The outcome of one workload run.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RunResult {
     /// Wall-clock run time.
     pub time: TimeSpan,
@@ -51,8 +50,11 @@ pub struct RunResult {
     pub power: Power,
 }
 
+act_json::impl_to_json!(RunResult { time, energy, power });
+act_json::impl_from_json!(RunResult { time, energy, power });
+
 /// The outcome of running the whole suite.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SuiteResult {
     /// Geometric-mean performance score across workloads (higher = faster),
     /// scaled to Geekbench-5-like magnitudes.
@@ -62,6 +64,9 @@ pub struct SuiteResult {
     /// Per-workload results in suite order.
     pub runs: Vec<RunResult>,
 }
+
+act_json::impl_to_json!(SuiteResult { score, energy, runs });
+act_json::impl_from_json!(SuiteResult { score, energy, runs });
 
 /// Leakage share of TDP at maximum frequency.
 const LEAKAGE_SHARE: f64 = 0.15;
@@ -79,13 +84,16 @@ const LEAKAGE_SHARE: f64 = 0.15;
 /// assert_eq!(t.frequency_cap(1.0), 1.0);
 /// assert!(t.frequency_cap(600.0) < 1.0);
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ThermalModel {
     /// Fraction of TDP sustainable indefinitely.
     pub sustained_power_fraction: f64,
     /// Seconds of full-power headroom before throttling engages.
     pub burst_seconds: f64,
 }
+
+act_json::impl_to_json!(ThermalModel { sustained_power_fraction, burst_seconds });
+act_json::impl_from_json!(ThermalModel { sustained_power_fraction, burst_seconds });
 
 impl ThermalModel {
     /// A passively cooled phone: ~60 % of TDP sustained, 30 s of burst.
@@ -129,7 +137,7 @@ const MEMORY_RATE_2015: f64 = 1.2;
 const MEMORY_RATE_PER_YEAR: f64 = 0.25;
 
 /// Thread-placement policy across big.LITTLE clusters.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum Placement {
     /// Fill the fastest clusters first (performance scheduling).
     #[default]
@@ -138,6 +146,8 @@ pub enum Placement {
     /// scheduling, as mobile EAS does for background work).
     LittleFirst,
 }
+
+act_json::impl_json_enum!(Placement { BigFirst, LittleFirst });
 
 /// A simulator bound to one SoC description.
 ///

@@ -3,8 +3,6 @@
 //! image compression, face detection, speech recognition and AI-based image
 //! classification.
 
-use serde::{Deserialize, Serialize};
-
 /// An abstract mobile workload.
 ///
 /// * `giga_instructions` — total dynamic instruction volume,
@@ -19,13 +17,16 @@ use serde::{Deserialize, Serialize};
 /// let aes = Workload::new("AES", 8.0, 0.15, 4.0);
 /// assert_eq!(aes.name(), "AES");
 /// ```
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Workload {
     name: String,
     giga_instructions: f64,
     memory_intensity: f64,
     parallelism: f64,
 }
+
+act_json::impl_to_json!(Workload { name, giga_instructions, memory_intensity, parallelism });
+act_json::impl_from_json!(Workload { name, giga_instructions, memory_intensity, parallelism });
 
 impl Workload {
     /// Creates a workload.

@@ -7,13 +7,11 @@
 //! live pages forward. Write amplification is measured as NAND page writes
 //! per host page write.
 
-use serde::{Deserialize, Serialize};
-
 use crate::provisioning::OverProvisioning;
 use crate::trace::WriteTrace;
 
 /// Garbage-collection victim-selection policy.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum GcPolicy {
     /// Reclaim the block with the fewest valid pages (min-copy).
     #[default]
@@ -24,8 +22,10 @@ pub enum GcPolicy {
     CostBenefit,
 }
 
+act_json::impl_json_enum!(GcPolicy { Greedy, CostBenefit });
+
 /// Geometry and policy of the simulated SSD.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct FtlConfig {
     /// Number of physical erase blocks.
     pub blocks: u32,
@@ -38,6 +38,21 @@ pub struct FtlConfig {
     /// Victim-selection policy.
     pub gc_policy: GcPolicy,
 }
+
+act_json::impl_to_json!(FtlConfig {
+    blocks,
+    pages_per_block,
+    over_provisioning,
+    gc_free_block_threshold,
+    gc_policy
+});
+act_json::impl_from_json!(FtlConfig {
+    blocks,
+    pages_per_block,
+    over_provisioning,
+    gc_free_block_threshold,
+    gc_policy
+});
 
 impl FtlConfig {
     /// A small but representative device: 256 blocks × 64 pages.
@@ -84,7 +99,7 @@ impl FtlConfig {
 }
 
 /// Counters accumulated by the simulator.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct FtlStats {
     /// Pages written by the host.
     pub host_writes: u64,
@@ -95,6 +110,9 @@ pub struct FtlStats {
     /// Blocks erased.
     pub erases: u64,
 }
+
+act_json::impl_to_json!(FtlStats { host_writes, nand_writes, gc_copies, erases });
+act_json::impl_from_json!(FtlStats { host_writes, nand_writes, gc_copies, erases });
 
 impl FtlStats {
     /// Measured write amplification: NAND writes per host write.

@@ -1,7 +1,6 @@
 //! The analytical write-amplification and lifetime models.
 
 use act_units::UnitError;
-use serde::{Deserialize, Serialize};
 
 use crate::provisioning::OverProvisioning;
 
@@ -49,7 +48,7 @@ pub fn analytical_write_amplification(pf: OverProvisioning) -> f64 {
 /// assert!(short < 1.0 && long > 4.0);
 /// # Ok::<(), act_ssd::OverProvisioningError>(())
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LifetimeModel {
     /// Rated program/erase cycles of the flash, `PEC`.
     pub program_erase_cycles: f64,
@@ -58,6 +57,17 @@ pub struct LifetimeModel {
     /// Storage compression rate, `Rcompress`.
     pub compression_rate: f64,
 }
+
+act_json::impl_to_json!(LifetimeModel {
+    program_erase_cycles,
+    disk_writes_per_day,
+    compression_rate
+});
+act_json::impl_from_json!(LifetimeModel {
+    program_erase_cycles,
+    disk_writes_per_day,
+    compression_rate
+});
 
 impl Default for LifetimeModel {
     fn default() -> Self {

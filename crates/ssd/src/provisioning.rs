@@ -3,7 +3,6 @@
 use std::fmt;
 
 use act_units::UnitError;
-use serde::{Deserialize, Serialize};
 
 use crate::lifetime::LifetimeModel;
 
@@ -18,9 +17,23 @@ use crate::lifetime::LifetimeModel;
 /// assert!((pf.physical_capacity_factor() - 1.28).abs() < 1e-12);
 /// # Ok::<(), act_ssd::OverProvisioningError>(())
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, PartialOrd, Serialize, Deserialize)]
-#[serde(try_from = "f64", into = "f64")]
+#[derive(Clone, Copy, Debug, PartialEq, PartialOrd)]
 pub struct OverProvisioning(f64);
+
+impl act_json::ToJson for OverProvisioning {
+    fn to_json(&self) -> act_json::JsonValue {
+        act_json::JsonValue::Float(self.0)
+    }
+}
+
+impl act_json::FromJson for OverProvisioning {
+    /// Validating read: a bare number, rejected outside `(0, 1]` — the
+    /// same contract the `#[serde(try_from = "f64")]` attribute enforced.
+    fn from_json(value: &act_json::JsonValue) -> Result<Self, act_json::JsonError> {
+        let raw = f64::from_json(value)?;
+        Self::new(raw).map_err(|err| act_json::JsonError::new(err.to_string()))
+    }
+}
 
 /// Error returned for a non-positive or non-finite over-provisioning factor.
 ///
@@ -187,10 +200,11 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip_validates() {
-        let pf: OverProvisioning = serde_json::from_str("0.34").unwrap();
+    fn json_round_trip_validates() {
+        use act_json::{FromJson, JsonValue};
+        let pf = OverProvisioning::from_json(&JsonValue::parse("0.34").unwrap()).unwrap();
         assert!((pf.get() - 0.34).abs() < 1e-12);
-        assert!(serde_json::from_str::<OverProvisioning>("-0.5").is_err());
+        assert!(OverProvisioning::from_json(&JsonValue::Float(-0.5)).is_err());
     }
 
     #[test]

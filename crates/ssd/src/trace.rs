@@ -1,12 +1,9 @@
 //! Synthetic write-trace generators for the FTL simulator.
 
-use rand::distributions::{Distribution, Uniform};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use act_rng::Rng;
 
 /// The access pattern of a synthetic write workload.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum TracePattern {
     /// Uniform random page writes over the whole logical space — the
     /// pattern the analytical greedy-GC model assumes.
@@ -21,6 +18,47 @@ pub enum TracePattern {
         /// Share of writes directed at the hot pages.
         hot_share: f64,
     },
+}
+
+impl act_json::ToJson for TracePattern {
+    fn to_json(&self) -> act_json::JsonValue {
+        match self {
+            Self::UniformRandom => act_json::JsonValue::String("UniformRandom".to_owned()),
+            Self::Sequential => act_json::JsonValue::String("Sequential".to_owned()),
+            Self::Skewed { hot_fraction, hot_share } => act_json::obj! {
+                "Skewed": act_json::obj! {
+                    "hot_fraction": hot_fraction,
+                    "hot_share": hot_share,
+                },
+            },
+        }
+    }
+}
+
+impl act_json::FromJson for TracePattern {
+    fn from_json(value: &act_json::JsonValue) -> Result<Self, act_json::JsonError> {
+        use act_json::JsonError;
+        match value.as_str() {
+            Some("UniformRandom") => return Ok(Self::UniformRandom),
+            Some("Sequential") => return Ok(Self::Sequential),
+            Some(other) => {
+                return Err(JsonError::new(format!("unknown TracePattern variant `{other}`")))
+            }
+            None => {}
+        }
+        let body = value
+            .get("Skewed")
+            .ok_or_else(|| JsonError::type_mismatch("a TracePattern", value))?;
+        Ok(Self::Skewed {
+            hot_fraction: f64::from_json(
+                body.get("hot_fraction")
+                    .ok_or_else(|| JsonError::missing_field("hot_fraction"))?,
+            )?,
+            hot_share: f64::from_json(
+                body.get("hot_share").ok_or_else(|| JsonError::missing_field("hot_share"))?,
+            )?,
+        })
+    }
 }
 
 /// A deterministic (seeded) generator of logical-page write addresses.
@@ -38,7 +76,7 @@ pub enum TracePattern {
 pub struct WriteTrace {
     pattern: TracePattern,
     logical_pages: u64,
-    rng: StdRng,
+    rng: Rng,
     cursor: u64,
 }
 
@@ -59,7 +97,7 @@ impl WriteTrace {
             );
             assert!((0.0..=1.0).contains(&hot_share), "hot_share must be in [0, 1]");
         }
-        Self { pattern, logical_pages, rng: StdRng::seed_from_u64(seed), cursor: 0 }
+        Self { pattern, logical_pages, rng: Rng::seed_from_u64(seed), cursor: 0 }
     }
 
     /// The logical address space size.
@@ -71,9 +109,7 @@ impl WriteTrace {
     /// Draws the next logical page to write.
     pub fn next_page(&mut self) -> u64 {
         match self.pattern {
-            TracePattern::UniformRandom => {
-                Uniform::new(0, self.logical_pages).sample(&mut self.rng)
-            }
+            TracePattern::UniformRandom => self.rng.gen_range(0..self.logical_pages),
             TracePattern::Sequential => {
                 let page = self.cursor;
                 self.cursor = (self.cursor + 1) % self.logical_pages;
@@ -82,13 +118,13 @@ impl WriteTrace {
             TracePattern::Skewed { hot_fraction, hot_share } => {
                 let hot_pages = ((self.logical_pages as f64) * hot_fraction).max(1.0) as u64;
                 if self.rng.gen_bool(hot_share) {
-                    Uniform::new(0, hot_pages).sample(&mut self.rng)
+                    self.rng.gen_range(0..hot_pages)
                 } else {
                     let cold = self.logical_pages - hot_pages;
                     if cold == 0 {
-                        Uniform::new(0, self.logical_pages).sample(&mut self.rng)
+                        self.rng.gen_range(0..self.logical_pages)
                     } else {
-                        hot_pages + Uniform::new(0, cold).sample(&mut self.rng)
+                        hot_pages + self.rng.gen_range(0..cold)
                     }
                 }
             }

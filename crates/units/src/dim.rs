@@ -62,6 +62,9 @@ use crate::JOULES_PER_KWH;
 /// The named aliases ([`MassDim`], [`EnergyDim`], …) cover every dimension
 /// the ACT model uses.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+// The phantom fn-pointer tuple is the standard variance/auto-trait trick,
+// not a type worth naming; clippy's type-complexity lint misfires on it.
+#[allow(clippy::type_complexity)]
 pub struct Dim<C, E, T, A, G>(PhantomData<fn() -> (C, E, T, A, G)>);
 
 /// Seals [`Dimension`]: the only implementor is [`Dim`].

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::UnitError;
 
 /// A dimensionless value guaranteed to lie within `[0.0, 1.0]`.
@@ -23,9 +21,23 @@ use crate::UnitError;
 /// assert!((yield_.complement().get() - 0.125).abs() < 1e-12);
 /// # Ok::<(), act_units::FractionError>(())
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, PartialOrd, Serialize, Deserialize)]
-#[serde(try_from = "f64", into = "f64")]
+#[derive(Clone, Copy, Debug, PartialEq, PartialOrd)]
 pub struct Fraction(f64);
+
+impl act_json::ToJson for Fraction {
+    fn to_json(&self) -> act_json::JsonValue {
+        act_json::JsonValue::Float(self.0)
+    }
+}
+
+impl act_json::FromJson for Fraction {
+    /// Validating read: a bare number, rejected outside `[0, 1]` — the
+    /// same contract the `#[serde(try_from = "f64")]` attribute enforced.
+    fn from_json(value: &act_json::JsonValue) -> Result<Self, act_json::JsonError> {
+        let raw = f64::from_json(value)?;
+        Self::new(raw).map_err(|err| act_json::JsonError::new(err.to_string()))
+    }
+}
 
 /// Error returned when constructing a [`Fraction`] outside `[0, 1]`.
 ///
@@ -181,11 +193,12 @@ mod tests {
     }
 
     #[test]
-    fn serde_rejects_bad_values() {
-        let ok: Fraction = serde_json::from_str("0.5").unwrap();
+    fn json_rejects_bad_values() {
+        use act_json::{FromJson, JsonValue, ToJson};
+        let ok = Fraction::from_json(&JsonValue::Float(0.5)).unwrap();
         assert_eq!(ok, Fraction::new(0.5).unwrap());
-        let bad: Result<Fraction, _> = serde_json::from_str("1.5");
+        let bad = Fraction::from_json(&JsonValue::Float(1.5));
         assert!(bad.is_err());
-        assert_eq!(serde_json::to_string(&ok).unwrap(), "0.5");
+        assert_eq!(ok.to_json().render_compact(), "0.5");
     }
 }

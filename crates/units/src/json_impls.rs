@@ -1,0 +1,48 @@
+//! Transparent JSON support for [`Quantity`]: a quantity serializes as its
+//! bare canonical-unit `f64`, exactly like the `#[serde(transparent)]`
+//! newtypes it replaced, so every existing JSON fixture and scenario file
+//! keeps its shape.
+//!
+//! Reading back is deliberately *raw* (no finiteness/positivity
+//! validation): configuration loaders validate at the model boundary via
+//! `try_*` constructors and [`Quantity::ensure_finite`], matching the PR-1
+//! poisoning contract. Contrast [`crate::Fraction`], whose `FromJson`
+//! validates, because a fraction's range *is* its type contract.
+
+use act_json::{FromJson, JsonError, JsonValue, ToJson};
+
+use crate::dim::Dimension;
+use crate::quantity::Quantity;
+
+impl<D: Dimension> ToJson for Quantity<D> {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Float(self.base())
+    }
+}
+
+impl<D: Dimension> FromJson for Quantity<D> {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        f64::from_json(value).map(Self::raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use act_json::{FromJson, JsonValue, ToJson};
+
+    use crate::{CarbonIntensity, Energy, MassCo2};
+
+    #[test]
+    fn quantities_serialize_as_bare_numbers() {
+        assert_eq!(MassCo2::grams(42.5).to_json().render_compact(), "42.5");
+        assert_eq!(CarbonIntensity::grams_per_kwh(820.0).to_json().render_compact(), "820.0");
+    }
+
+    #[test]
+    fn round_trip_preserves_canonical_magnitude() {
+        let e = Energy::kilowatt_hours(57.8);
+        let text = e.to_json().render_compact();
+        let back = Energy::from_json(&JsonValue::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, e);
+    }
+}

@@ -80,8 +80,8 @@
 
 mod error;
 mod fraction;
+mod json_impls;
 mod quantity;
-mod serde_impls;
 
 pub mod dim;
 pub mod typelevel;

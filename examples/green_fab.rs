@@ -51,7 +51,7 @@ fn main() {
     {
         let op = OperationalModel::new(source.carbon_intensity());
         let per_inference = op.footprint(saving);
-        let inferences = extra_embodied / per_inference;
+        let inferences = extra_embodied.ratio(per_inference);
         let at_30fps = TimeSpan::seconds(inferences / 30.0);
         println!(
             "  {:<12} {:>12.2e} inferences ({:>6.1} days at 30 FPS)",

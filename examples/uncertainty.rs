@@ -10,7 +10,6 @@ use act::core::{FabScenario, SystemSpec};
 use act::data::{devices, Abatement};
 use act::dse::{monte_carlo, triangular};
 use act::units::{CarbonIntensity, Fraction};
-use rand::Rng;
 
 fn main() {
     let spec = SystemSpec::from_bom(&devices::IPHONE_11);
@@ -33,7 +32,7 @@ fn main() {
         // Fab energy CI: anywhere between mostly-solar and the full grid.
         let ci = rng.gen_range(150.0..583.0);
         // Abatement: fabs report 95-99 %.
-        let abatement = match rng.gen_range(0..3) {
+        let abatement = match rng.gen_range(0..3_u32) {
             0 => Abatement::Percent95,
             1 => Abatement::Percent97,
             _ => Abatement::Percent99,

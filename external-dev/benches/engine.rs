@@ -1,0 +1,89 @@
+//! Parallel-engine benchmarks: serial-vs-parallel sweep throughput,
+//! Monte-Carlo scaling, and the skyline `pareto_indices` against the
+//! quadratic reference. These are the numbers behind the ISSUE acceptance
+//! bar (>=2x on a 10k-point sweep) and feed `cargo xtask bench`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use act_dse::{
+    monte_carlo, par_monte_carlo_with, par_sweep_with, pareto_indices,
+    pareto_indices_reference, sweep, Parallelism,
+};
+use act_rng::Rng;
+
+/// Point count for the headline sweep comparison.
+const SWEEP_POINTS: usize = 10_000;
+/// Monte-Carlo sample count.
+const MC_SAMPLES: usize = 20_000;
+/// Point-cloud size where the quadratic reference is still affordable.
+const PARETO_POINTS: usize = 5_000;
+/// Larger cloud for the skyline-only scaling measurement.
+const PARETO_POINTS_LARGE: usize = 50_000;
+
+/// A deliberately arithmetic-heavy per-point model, shaped like one
+/// embodied-carbon evaluation (hundreds of flops, no allocation).
+fn heavy_model(x: &f64) -> f64 {
+    let mut acc = *x;
+    for _ in 0..256 {
+        acc = (acc + 1.0).sqrt() + (acc + 2.0).ln();
+    }
+    acc
+}
+
+/// Deterministic 2-D point cloud from a splitmix-style generator so the
+/// pareto benches measure the same input every run without `rand`.
+fn point_cloud(n: usize) -> Vec<Vec<f64>> {
+    let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut next = move || {
+        state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+        let mantissa = (state >> 11) as f64;
+        mantissa / (1u64 << 53) as f64
+    };
+    (0..n).map(|_| vec![next(), next()]).collect()
+}
+
+fn bench_sweep_10k(c: &mut Criterion) {
+    let inputs = act_dse::logspace(1.0, 1_000.0, SWEEP_POINTS);
+    let mut group = c.benchmark_group("sweep_10k");
+    group.sample_size(10);
+    group
+        .bench_function("serial", |b| b.iter(|| black_box(sweep(inputs.clone(), heavy_model))));
+    group.bench_function("parallel", |b| {
+        b.iter(|| black_box(par_sweep_with(Parallelism::Auto, inputs.clone(), heavy_model)))
+    });
+    group.finish();
+}
+
+fn bench_monte_carlo(c: &mut Criterion) {
+    let model = |rng: &mut Rng| {
+        let yield_fraction: f64 = rng.gen_range(0.5..1.0);
+        let energy: f64 = rng.gen_range(10.0..100.0);
+        energy / yield_fraction
+    };
+    let mut group = c.benchmark_group("monte_carlo_20k");
+    group.sample_size(10);
+    group.bench_function("serial_legacy", |b| {
+        b.iter(|| black_box(monte_carlo(MC_SAMPLES, 7, model)))
+    });
+    group.bench_function("parallel", |b| {
+        b.iter(|| black_box(par_monte_carlo_with(Parallelism::Auto, MC_SAMPLES, 7, model)))
+    });
+    group.finish();
+}
+
+fn bench_pareto(c: &mut Criterion) {
+    let cloud = point_cloud(PARETO_POINTS);
+    let large = point_cloud(PARETO_POINTS_LARGE);
+    let mut group = c.benchmark_group("pareto");
+    group.sample_size(10);
+    group.bench_function("reference_quadratic_5k", |b| {
+        b.iter(|| black_box(pareto_indices_reference(&cloud)))
+    });
+    group.bench_function("skyline_5k", |b| b.iter(|| black_box(pareto_indices(&cloud))));
+    group.bench_function("skyline_50k", |b| b.iter(|| black_box(pareto_indices(&large))));
+    group.finish();
+}
+
+criterion_group!(engine, bench_sweep_10k, bench_monte_carlo, bench_pareto);
+criterion_main!(engine);

@@ -1,0 +1,106 @@
+//! One benchmark per paper artifact: each iteration regenerates the full
+//! figure/table and prints nothing. The measured time is the cost of the
+//! complete reproduction pipeline (model evaluation, sweeps, simulation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig1(c: &mut Criterion) {
+    c.bench_function("bench_fig1", |b| b.iter(|| black_box(act_experiments::fig1::run())));
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    c.bench_function("bench_fig4", |b| b.iter(|| black_box(act_experiments::fig4::run())));
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    c.bench_function("bench_fig6", |b| b.iter(|| black_box(act_experiments::fig6::run())));
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    c.bench_function("bench_fig7", |b| b.iter(|| black_box(act_experiments::fig7::run())));
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    c.bench_function("bench_fig8", |b| b.iter(|| black_box(act_experiments::fig8::run())));
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    c.bench_function("bench_fig9", |b| b.iter(|| black_box(act_experiments::fig9::run())));
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    c.bench_function("bench_fig10", |b| b.iter(|| black_box(act_experiments::fig10::run())));
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    c.bench_function("bench_fig11", |b| b.iter(|| black_box(act_experiments::fig11::run())));
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    c.bench_function("bench_fig12", |b| b.iter(|| black_box(act_experiments::fig12::run())));
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    c.bench_function("bench_fig13", |b| b.iter(|| black_box(act_experiments::fig13::run())));
+}
+
+fn bench_fig14(c: &mut Criterion) {
+    c.bench_function("bench_fig14", |b| b.iter(|| black_box(act_experiments::fig14::run())));
+}
+
+fn bench_fig15(c: &mut Criterion) {
+    // The FTL simulation makes this the heaviest artifact; keep sampling
+    // modest so `cargo bench` stays interactive.
+    let mut group = c.benchmark_group("fig15");
+    group.sample_size(10);
+    group
+        .bench_function("bench_fig15", |b| b.iter(|| black_box(act_experiments::fig15::run())));
+    group.finish();
+}
+
+fn bench_fig16(c: &mut Criterion) {
+    c.bench_function("bench_fig16", |b| b.iter(|| black_box(act_experiments::fig16::run())));
+}
+
+fn bench_fig17(c: &mut Criterion) {
+    c.bench_function("bench_fig17", |b| b.iter(|| black_box(act_experiments::fig17::run())));
+}
+
+fn bench_table4(c: &mut Criterion) {
+    c.bench_function("bench_table4", |b| b.iter(|| black_box(act_experiments::table4::run())));
+}
+
+fn bench_tables(c: &mut Criterion) {
+    c.bench_function("bench_tables", |b| {
+        b.iter(|| black_box(act_experiments::tables::run().to_string()))
+    });
+}
+
+fn bench_table12(c: &mut Criterion) {
+    c.bench_function("bench_table12", |b| {
+        b.iter(|| black_box(act_experiments::table12::run()))
+    });
+}
+
+criterion_group!(
+    paper,
+    bench_fig1,
+    bench_fig4,
+    bench_fig6,
+    bench_fig7,
+    bench_fig8,
+    bench_fig9,
+    bench_fig10,
+    bench_fig11,
+    bench_fig12,
+    bench_fig13,
+    bench_fig14,
+    bench_fig15,
+    bench_fig16,
+    bench_fig17,
+    bench_table4,
+    bench_tables,
+    bench_table12,
+);
+criterion_main!(paper);

@@ -1,0 +1,5 @@
+//! Intentionally empty: this package exists to host the proptest test
+//! suites (`tests/`) and criterion benchmarks (`benches/`) that need
+//! registry dependencies. The main workspace is hermetic — see the
+//! manifest header and DESIGN.md ("Dependency policy") for why these
+//! suites cannot live next to the code they test.

@@ -1,0 +1,259 @@
+//! Property tests pinning the compiled-kernel contract: for every valid
+//! `ModelParams` and every subset of free axes, [`CompiledFootprint::eval`]
+//! is **bit-for-bit** identical to substituting the point into the params
+//! and calling the interpreted oracle [`ModelParams::try_footprint`] — and
+//! the `act_core::memo` caches never change a result, under concurrency
+//! included.
+
+use act_core::{memo, CompiledFootprint, FreeAxis, ModelParams};
+use act_data::{DramTechnology, HddModel, ProcessNode, SsdTechnology};
+use act_units::Capacity;
+use proptest::prelude::*;
+
+/// The seven scalar (non-storage) axes, in a fixed order for masking.
+const SCALAR_AXES: [FreeAxis; 7] = [
+    FreeAxis::ExecutionTime,
+    FreeAxis::Lifetime,
+    FreeAxis::SocArea,
+    FreeAxis::UseIntensity,
+    FreeAxis::FabIntensity,
+    FreeAxis::FabYield,
+    FreeAxis::Energy,
+];
+
+/// Randomized `ModelParams` drawn strictly inside Table 1's valid ranges,
+/// with 0–2 entries per storage population.
+fn arb_params() -> impl Strategy<Value = ModelParams> {
+    let scalars = (
+        0.0f64..1e6,    // execution_time_s
+        0.1f64..50.0,   // lifetime_years
+        0u32..8,        // packaged_ic_count
+        0.0f64..1500.0, // soc_area_mm2
+        0usize..ProcessNode::ALL.len(),
+        0.0f64..2000.0, // use intensity
+        0.0f64..2000.0, // fab intensity
+        0.05f64..1.0,   // fab yield
+        0.0f64..1e9,    // energy_j
+    );
+    let dram =
+        proptest::collection::vec((0usize..DramTechnology::ALL.len(), 0.0f64..2048.0), 0..3);
+    let ssd =
+        proptest::collection::vec((0usize..SsdTechnology::ALL.len(), 0.0f64..4096.0), 0..3);
+    let hdd = proptest::collection::vec((0usize..HddModel::ALL.len(), 0.0f64..8192.0), 0..3);
+    (scalars, dram, ssd, hdd).prop_map(
+        |((t, lt, nr, area, node, ciu, cif, y, e), dram, ssd, hdd)| ModelParams {
+            execution_time_s: t,
+            lifetime_years: lt,
+            packaged_ic_count: nr,
+            soc_area_mm2: area,
+            process_node: ProcessNode::ALL[node],
+            use_intensity_g_per_kwh: ciu,
+            fab_intensity_g_per_kwh: cif,
+            fab_yield: y,
+            dram: dram.into_iter().map(|(i, gb)| (DramTechnology::ALL[i], gb)).collect(),
+            ssd: ssd.into_iter().map(|(i, gb)| (SsdTechnology::ALL[i], gb)).collect(),
+            hdd: hdd.into_iter().map(|(i, gb)| (HddModel::ALL[i], gb)).collect(),
+            energy_j: e,
+        },
+    )
+}
+
+/// Selects a subset of the axes available for `params` from the bits of
+/// `mask`: seven scalar axes first, then one capacity axis per storage
+/// population entry.
+fn free_axes(params: &ModelParams, mask: u32) -> Vec<FreeAxis> {
+    let mut axes = Vec::new();
+    let mut bit = 0u32;
+    let mut take = |axis: FreeAxis| {
+        if mask & (1 << bit) != 0 {
+            axes.push(axis);
+        }
+        bit += 1;
+    };
+    for axis in SCALAR_AXES {
+        take(axis);
+    }
+    for k in 0..params.dram.len() {
+        take(FreeAxis::DramCapacity(k));
+    }
+    for k in 0..params.ssd.len() {
+        take(FreeAxis::SsdCapacity(k));
+    }
+    for k in 0..params.hdd.len() {
+        take(FreeAxis::HddCapacity(k));
+    }
+    axes
+}
+
+/// Maps a unit draw `u ∈ [0, 1)` onto a valid coordinate for `axis`.
+fn coordinate(axis: FreeAxis, u: f64) -> f64 {
+    match axis {
+        FreeAxis::ExecutionTime => u * 1e6,
+        FreeAxis::Lifetime => 0.1 + u * 49.0,
+        FreeAxis::SocArea => u * 1500.0,
+        FreeAxis::UseIntensity | FreeAxis::FabIntensity => u * 2000.0,
+        FreeAxis::FabYield => 0.05 + u * 0.95,
+        FreeAxis::Energy => u * 1e9,
+        FreeAxis::DramCapacity(_) | FreeAxis::SsdCapacity(_) | FreeAxis::HddCapacity(_) => {
+            u * 4096.0
+        }
+    }
+}
+
+/// The interpreted oracle: substitute the point into a clone of `params`
+/// field-by-field, then run the full per-point pipeline.
+fn oracle(params: &ModelParams, axes: &[FreeAxis], point: &[f64]) -> f64 {
+    let mut substituted = params.clone();
+    for (axis, value) in axes.iter().zip(point) {
+        match axis {
+            FreeAxis::ExecutionTime => substituted.execution_time_s = *value,
+            FreeAxis::Lifetime => substituted.lifetime_years = *value,
+            FreeAxis::SocArea => substituted.soc_area_mm2 = *value,
+            FreeAxis::UseIntensity => substituted.use_intensity_g_per_kwh = *value,
+            FreeAxis::FabIntensity => substituted.fab_intensity_g_per_kwh = *value,
+            FreeAxis::FabYield => substituted.fab_yield = *value,
+            FreeAxis::Energy => substituted.energy_j = *value,
+            FreeAxis::DramCapacity(k) => substituted.dram[*k].1 = *value,
+            FreeAxis::SsdCapacity(k) => substituted.ssd[*k].1 = *value,
+            FreeAxis::HddCapacity(k) => substituted.hdd[*k].1 = *value,
+        }
+    }
+    substituted.try_footprint().expect("substituted params stay valid").as_grams()
+}
+
+proptest! {
+    /// The headline property: any axis subset, any in-range point —
+    /// compiled and interpreted paths agree to the last bit.
+    #[test]
+    fn compiled_eval_matches_try_footprint_bitwise(
+        params in arb_params(),
+        mask in any::<u32>(),
+        draws in proptest::collection::vec(0.0f64..1.0, 16),
+    ) {
+        let axes = free_axes(&params, mask);
+        let kernel = match CompiledFootprint::try_compile(&params, &axes) {
+            Ok(kernel) => kernel,
+            Err(err) => panic!("valid params must compile: {err}"),
+        };
+        prop_assert_eq!(kernel.arity(), axes.len());
+        prop_assert_eq!(kernel.axes(), axes.as_slice());
+        let point: Vec<f64> = axes
+            .iter()
+            .zip(&draws)
+            .map(|(axis, u)| coordinate(*axis, *u))
+            .collect();
+        let compiled = kernel.eval(&point);
+        let interpreted = oracle(&params, &axes, &point);
+        prop_assert_eq!(
+            compiled.to_bits(),
+            interpreted.to_bits(),
+            "axes {:?}: compiled {} vs interpreted {}",
+            axes, compiled, interpreted
+        );
+    }
+
+    /// Arity-zero kernels fold the whole model into one constant equal to
+    /// the oracle's result for the baseline.
+    #[test]
+    fn fully_folded_kernel_matches_baseline_footprint(params in arb_params()) {
+        let kernel = match CompiledFootprint::try_compile(&params, &[]) {
+            Ok(kernel) => kernel,
+            Err(err) => panic!("valid params must compile: {err}"),
+        };
+        let baseline = params.try_footprint().expect("valid params evaluate").as_grams();
+        prop_assert_eq!(kernel.eval(&[]).to_bits(), baseline.to_bits());
+    }
+
+    /// `try_eval` never disagrees with `eval` on in-range points.
+    #[test]
+    fn try_eval_agrees_with_eval_on_valid_points(
+        params in arb_params(),
+        mask in any::<u32>(),
+        draws in proptest::collection::vec(0.0f64..1.0, 16),
+    ) {
+        let axes = free_axes(&params, mask);
+        let kernel = match CompiledFootprint::try_compile(&params, &axes) {
+            Ok(kernel) => kernel,
+            Err(err) => panic!("valid params must compile: {err}"),
+        };
+        let point: Vec<f64> = axes
+            .iter()
+            .zip(&draws)
+            .map(|(axis, u)| coordinate(*axis, *u))
+            .collect();
+        let unchecked = kernel.eval(&point);
+        match kernel.try_eval(&point) {
+            Ok(checked) => prop_assert_eq!(checked.to_bits(), unchecked.to_bits()),
+            // `try_eval` additionally rejects non-finite totals; `eval`
+            // must then have produced exactly such a value.
+            Err(_) => prop_assert!(!unchecked.is_finite()),
+        }
+    }
+
+    /// The memo caches are transparent: kernels compiled with interning
+    /// disabled and enabled evaluate identically (the cache may only ever
+    /// return what the direct computation would).
+    #[test]
+    fn memoization_never_changes_a_compiled_result(
+        params in arb_params(),
+        mask in any::<u32>(),
+        draws in proptest::collection::vec(0.0f64..1.0, 16),
+    ) {
+        let axes = free_axes(&params, mask);
+        let point: Vec<f64> = axes
+            .iter()
+            .zip(&draws)
+            .map(|(axis, u)| coordinate(*axis, *u))
+            .collect();
+        memo::set_enabled(false);
+        let cold = CompiledFootprint::compile(&params, &axes).eval(&point);
+        memo::set_enabled(true);
+        let warm = CompiledFootprint::compile(&params, &axes).eval(&point);
+        prop_assert_eq!(cold.to_bits(), warm.to_bits());
+    }
+}
+
+/// Hammers the sharded caches from eight threads with a shared key set and
+/// checks every hit against the direct computation, bit for bit.
+#[test]
+fn memo_cache_is_bitwise_consistent_under_concurrent_access() {
+    memo::set_enabled(true);
+    let params = ModelParams::mobile_reference();
+    let fab = params.try_fab_scenario().expect("reference fab scenario");
+    let capacities = [0.0, 1.0, 8.0, 128.0, 2048.0];
+
+    // Direct (uncached) expectations, computed once up front.
+    let expected_cpa: Vec<u64> = ProcessNode::ALL
+        .iter()
+        .map(|node| fab.carbon_per_area(*node).as_grams_per_cm2().to_bits())
+        .collect();
+    let expected_dram: Vec<u64> = capacities
+        .iter()
+        .map(|gb| {
+            (DramTechnology::Lpddr4.carbon_per_gb() * Capacity::gigabytes(*gb))
+                .as_grams()
+                .to_bits()
+        })
+        .collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            scope.spawn(|| {
+                for _ in 0..200 {
+                    for (node, want) in ProcessNode::ALL.iter().zip(&expected_cpa) {
+                        let got = memo::carbon_per_area(&fab, *node).as_grams_per_cm2();
+                        assert_eq!(got.to_bits(), *want, "cpa({node:?}) diverged");
+                    }
+                    for (gb, want) in capacities.iter().zip(&expected_dram) {
+                        let got = memo::dram_embodied(
+                            DramTechnology::Lpddr4,
+                            Capacity::gigabytes(*gb),
+                        )
+                        .as_grams();
+                        assert_eq!(got.to_bits(), *want, "dram({gb} GB) diverged");
+                    }
+                }
+            });
+        }
+    });
+}

@@ -1,0 +1,168 @@
+//! Determinism and equivalence properties of the parallel evaluation
+//! engine: `par_sweep == sweep`, parallel-vs-serial Monte-Carlo bitwise
+//! equality, and the skyline `pareto_indices` against the quadratic
+//! reference oracle.
+
+use act_dse::{
+    monte_carlo, par_monte_carlo_with, par_sweep_finite_with, par_sweep_with,
+    par_try_monte_carlo_with, par_try_sweep_with, pareto_indices, pareto_indices_reference,
+    sweep, sweep_finite, try_monte_carlo, try_sweep, Parallelism,
+};
+use act_rng::Rng;
+use proptest::prelude::*;
+
+fn threads(n: usize) -> Parallelism {
+    Parallelism::threads(n)
+}
+
+proptest! {
+    #[test]
+    fn par_sweep_equals_serial_sweep(
+        params in proptest::collection::vec(-1e6f64..1e6, 0..200),
+        workers in 1usize..9,
+    ) {
+        let model = |x: &f64| x.mul_add(3.0, 1.0).abs().sqrt();
+        let serial = sweep(params.clone(), model);
+        let parallel = par_sweep_with(threads(workers), params, model);
+        prop_assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn par_try_sweep_equals_serial_try_sweep(
+        params in proptest::collection::vec(-100i64..100, 0..200),
+        workers in 1usize..9,
+    ) {
+        let model = |x: &i64| {
+            if x % 7 == 0 { Err(format!("multiple of seven: {x}")) } else { Ok(x * x) }
+        };
+        let serial = try_sweep(params.clone(), model);
+        let parallel = par_try_sweep_with(threads(workers), params, model);
+        prop_assert_eq!(&serial.results, &parallel.results);
+        prop_assert_eq!(&serial.rejected, &parallel.rejected);
+    }
+
+    #[test]
+    fn par_sweep_finite_equals_serial_sweep_finite(
+        params in proptest::collection::vec(-10.0f64..10.0, 0..200),
+        workers in 1usize..9,
+    ) {
+        // Poles at 0 produce infinities that must be rejected identically.
+        let model = |x: &f64| 1.0 / x;
+        let serial = sweep_finite(params.clone(), model);
+        let parallel = par_sweep_finite_with(threads(workers), params, model);
+        prop_assert_eq!(&serial.results, &parallel.results);
+        prop_assert_eq!(&serial.rejected, &parallel.rejected);
+    }
+
+    #[test]
+    fn par_monte_carlo_is_bitwise_thread_count_invariant(
+        seed in any::<u64>(),
+        samples in 1usize..3000,
+        workers in 2usize..9,
+    ) {
+        let model = |rng: &mut Rng| {
+            let y: f64 = rng.gen_range(0.5..1.5);
+            1370.0 / y
+        };
+        let serial = par_monte_carlo_with(Parallelism::Serial, samples, seed, model);
+        let parallel = par_monte_carlo_with(threads(workers), samples, seed, model);
+        // PartialEq on McStats is f64 equality — bit-for-bit stats.
+        prop_assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn par_try_monte_carlo_is_bitwise_thread_count_invariant(
+        seed in any::<u64>(),
+        samples in 1usize..3000,
+        workers in 2usize..9,
+    ) {
+        let model = |rng: &mut Rng| {
+            let y: f64 = rng.gen_range(-0.2..1.0);
+            1.0 / y.max(0.0)
+        };
+        let serial = par_try_monte_carlo_with(Parallelism::Serial, samples, seed, model);
+        let parallel = par_try_monte_carlo_with(threads(workers), samples, seed, model);
+        prop_assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn serial_apis_unchanged_by_engine(
+        seed in any::<u64>(),
+        samples in 1usize..500,
+    ) {
+        // The legacy single-RNG entry points still agree with themselves
+        // run-to-run (regression guard for the shared-RNG schedule).
+        let model = |rng: &mut Rng| rng.gen_range(0.0..1.0);
+        prop_assert_eq!(monte_carlo(samples, seed, model), monte_carlo(samples, seed, model));
+        let a = try_monte_carlo(samples, seed, model);
+        let b = try_monte_carlo(samples, seed, model);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pareto_skyline_matches_quadratic_oracle_2d(
+        points in proptest::collection::vec(
+            proptest::collection::vec(-5.0f64..5.0, 2), 0..120),
+    ) {
+        prop_assert_eq!(pareto_indices(&points), pareto_indices_reference(&points));
+    }
+
+    #[test]
+    fn pareto_skyline_matches_quadratic_oracle_kd(
+        dims in 1usize..5,
+        n in 0usize..80,
+        raw in proptest::collection::vec(-3.0f64..3.0, 0..400),
+    ) {
+        let points: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..dims).map(|d| raw.get((i * dims + d) % raw.len().max(1)).copied()
+                .unwrap_or(0.0)).collect())
+            .collect();
+        prop_assert_eq!(pareto_indices(&points), pareto_indices_reference(&points));
+    }
+
+    #[test]
+    fn pareto_skyline_keeps_duplicates_like_oracle(
+        base in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..2.0, 2), 1..40),
+        dupes in 1usize..4,
+    ) {
+        // Duplicate a prefix of the cloud so exact ties are guaranteed.
+        let mut points = base.clone();
+        for _ in 0..dupes {
+            points.extend(base.iter().take(3).cloned());
+        }
+        prop_assert_eq!(pareto_indices(&points), pareto_indices_reference(&points));
+    }
+
+    #[test]
+    fn pareto_skyline_handles_discrete_grids(
+        points in proptest::collection::vec(
+            proptest::collection::vec(0i8..4, 3), 0..60),
+    ) {
+        // Integer-valued coordinates force heavy tie/duplicate pressure.
+        let points: Vec<Vec<f64>> =
+            points.into_iter().map(|p| p.into_iter().map(f64::from).collect()).collect();
+        prop_assert_eq!(pareto_indices(&points), pareto_indices_reference(&points));
+    }
+}
+
+#[test]
+fn pareto_nan_and_signed_zero_edge_cases_match_reference() {
+    let clouds: Vec<Vec<Vec<f64>>> = vec![
+        vec![vec![f64::NAN, 0.0], vec![0.0, 0.0], vec![1.0, 1.0]],
+        vec![vec![-0.0, 0.0], vec![0.0, -0.0], vec![0.0, 0.0]],
+        vec![vec![f64::INFINITY, 1.0], vec![1.0, f64::INFINITY], vec![2.0, 2.0]],
+        vec![vec![f64::NEG_INFINITY, 5.0], vec![0.0, 5.0]],
+    ];
+    for cloud in clouds {
+        assert_eq!(pareto_indices(&cloud), pareto_indices_reference(&cloud), "cloud {cloud:?}");
+    }
+}
+
+#[test]
+fn one_dimensional_oracle_including_ties() {
+    let points: Vec<Vec<f64>> =
+        [3.0, 1.0, 2.0, 1.0, 1.0, 9.0].iter().map(|&v| vec![v]).collect();
+    assert_eq!(pareto_indices(&points), pareto_indices_reference(&points));
+    assert_eq!(pareto_indices(&points), vec![1, 3, 4]);
+}

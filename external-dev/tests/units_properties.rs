@@ -1,0 +1,179 @@
+//! Property-based tests for the unit algebra.
+
+use act_units::{
+    Area, Capacity, CarbonIntensity, Energy, Fraction, MassCo2, MassPerArea, MassPerCapacity,
+    Power, Throughput, TimeSpan, UnitErrorKind,
+};
+use proptest::prelude::*;
+
+/// Magnitudes that every `try_*` constructor must reject: NaN, ±∞ and
+/// finite negatives.
+fn invalid_magnitude() -> impl Strategy<Value = f64> {
+    prop_oneof![Just(f64::NAN), Just(f64::INFINITY), Just(f64::NEG_INFINITY), -1e12f64..-1e-12,]
+}
+
+fn finite() -> impl Strategy<Value = f64> {
+    -1e9..1e9
+}
+
+fn positive() -> impl Strategy<Value = f64> {
+    1e-6..1e9
+}
+
+proptest! {
+    #[test]
+    fn mass_addition_commutes(a in finite(), b in finite()) {
+        let (x, y) = (MassCo2::grams(a), MassCo2::grams(b));
+        prop_assert_eq!(x + y, y + x);
+    }
+
+    #[test]
+    fn mass_addition_associates(a in -1e6f64..1e6, b in -1e6f64..1e6, c in -1e6f64..1e6) {
+        let (x, y, z) = (MassCo2::grams(a), MassCo2::grams(b), MassCo2::grams(c));
+        let lhs = (x + y) + z;
+        let rhs = x + (y + z);
+        prop_assert!((lhs.as_grams() - rhs.as_grams()).abs() <= 1e-6);
+    }
+
+    #[test]
+    fn subtraction_inverts_addition(a in finite(), b in finite()) {
+        let (x, y) = (MassCo2::grams(a), MassCo2::grams(b));
+        let round = (x + y) - y;
+        prop_assert!((round.as_grams() - a).abs() <= a.abs().max(b.abs()) * 1e-12 + 1e-12);
+    }
+
+    #[test]
+    fn kg_gram_round_trip(kg in finite()) {
+        let m = MassCo2::kilograms(kg);
+        prop_assert!((m.as_kilograms() - kg).abs() <= kg.abs() * 1e-12 + 1e-15);
+    }
+
+    #[test]
+    fn kwh_joule_round_trip(kwh in finite()) {
+        let e = Energy::kilowatt_hours(kwh);
+        prop_assert!((e.as_kilowatt_hours() - kwh).abs() <= kwh.abs() * 1e-12 + 1e-15);
+    }
+
+    #[test]
+    fn area_mm2_cm2_round_trip(mm2 in finite()) {
+        let a = Area::square_millimeters(mm2);
+        prop_assert!((a.as_square_millimeters() - mm2).abs() <= mm2.abs() * 1e-12 + 1e-15);
+    }
+
+    #[test]
+    fn years_seconds_round_trip(y in finite()) {
+        let t = TimeSpan::years(y);
+        prop_assert!((t.as_years() - y).abs() <= y.abs() * 1e-12 + 1e-15);
+    }
+
+    #[test]
+    fn power_time_energy_consistency(w in positive(), s in positive()) {
+        let e = Power::watts(w) * TimeSpan::seconds(s);
+        prop_assert!((e.as_joules() - w * s).abs() <= (w * s).abs() * 1e-12);
+        let p = e / TimeSpan::seconds(s);
+        prop_assert!((p.as_watts() - w).abs() <= w * 1e-9);
+    }
+
+    #[test]
+    fn intensity_scaling_is_linear(ci in positive(), kwh in positive(), k in 1e-3f64..1e3) {
+        let intensity = CarbonIntensity::grams_per_kwh(ci);
+        let base = intensity * Energy::kilowatt_hours(kwh);
+        let scaled = intensity * Energy::kilowatt_hours(kwh * k);
+        prop_assert!((scaled.as_grams() - base.as_grams() * k).abs()
+            <= (base.as_grams() * k).abs() * 1e-9);
+    }
+
+    #[test]
+    fn cpa_distributes_over_area(cpa in positive(), a in positive(), b in positive()) {
+        let rate = MassPerArea::grams_per_cm2(cpa);
+        let whole = rate * Area::square_centimeters(a + b);
+        let parts = rate * Area::square_centimeters(a) + rate * Area::square_centimeters(b);
+        prop_assert!((whole.as_grams() - parts.as_grams()).abs()
+            <= whole.as_grams().abs() * 1e-9);
+    }
+
+    #[test]
+    fn cps_monotone_in_capacity(cps in positive(), small in positive(), extra in positive()) {
+        let rate = MassPerCapacity::grams_per_gb(cps);
+        let lo = rate * Capacity::gigabytes(small);
+        let hi = rate * Capacity::gigabytes(small + extra);
+        prop_assert!(hi >= lo);
+    }
+
+    #[test]
+    fn blend_stays_between_endpoints(lo in 0.0f64..500.0, hi in 500.0f64..1000.0, s in 0.0f64..1.0) {
+        let a = CarbonIntensity::grams_per_kwh(hi);
+        let b = CarbonIntensity::grams_per_kwh(lo);
+        let mix = a.blended_with(b, s);
+        prop_assert!(mix.as_grams_per_kwh() <= hi + 1e-9);
+        prop_assert!(mix.as_grams_per_kwh() >= lo - 1e-9);
+    }
+
+    #[test]
+    fn fraction_construction_matches_range(v in -2.0f64..3.0) {
+        let result = Fraction::new(v);
+        prop_assert_eq!(result.is_ok(), (0.0..=1.0).contains(&v));
+    }
+
+    #[test]
+    fn fraction_complement_involution(v in 0.0f64..=1.0) {
+        let f = Fraction::new(v).unwrap();
+        prop_assert!((f.complement().complement().get() - v).abs() <= 1e-12);
+    }
+
+    #[test]
+    fn ratio_is_scale_free(g in positive(), k in 1e-3f64..1e3) {
+        let a = MassCo2::grams(g);
+        let b = MassCo2::grams(g * k);
+        prop_assert!((b.ratio(a) - k).abs() <= k * 1e-9);
+    }
+
+    #[test]
+    fn try_constructors_reject_invalid_magnitudes(v in invalid_magnitude()) {
+        prop_assert!(MassCo2::try_grams(v).is_err());
+        prop_assert!(MassCo2::try_kilograms(v).is_err());
+        prop_assert!(MassCo2::try_tonnes(v).is_err());
+        prop_assert!(Energy::try_joules(v).is_err());
+        prop_assert!(Energy::try_kilowatt_hours(v).is_err());
+        prop_assert!(Power::try_watts(v).is_err());
+        prop_assert!(Area::try_square_centimeters(v).is_err());
+        prop_assert!(Area::try_square_millimeters(v).is_err());
+        prop_assert!(Capacity::try_gigabytes(v).is_err());
+        prop_assert!(Capacity::try_terabytes(v).is_err());
+        prop_assert!(TimeSpan::try_seconds(v).is_err());
+        prop_assert!(TimeSpan::try_years(v).is_err());
+        prop_assert!(Throughput::try_per_second(v).is_err());
+        prop_assert!(CarbonIntensity::try_grams_per_kwh(v).is_err());
+    }
+
+    #[test]
+    fn try_constructor_error_kind_matches_cause(v in invalid_magnitude()) {
+        let err = MassCo2::try_grams(v).unwrap_err();
+        let expected = if v.is_finite() {
+            UnitErrorKind::OutOfDomain
+        } else {
+            UnitErrorKind::NonFinite
+        };
+        prop_assert_eq!(err.kind(), expected);
+        // The error always carries the offending value verbatim.
+        prop_assert!(err.value().is_nan() == v.is_nan());
+        if !v.is_nan() {
+            prop_assert_eq!(err.value(), v);
+        }
+    }
+
+    #[test]
+    fn try_constructors_accept_valid_magnitudes(v in 0.0f64..1e12) {
+        let m = MassCo2::try_grams(v).unwrap();
+        prop_assert!((m.as_grams() - v).abs() <= v.abs() * 1e-12);
+        prop_assert!(Energy::try_kilowatt_hours(v).is_ok());
+        prop_assert!(Area::try_square_millimeters(v).is_ok());
+        prop_assert!(TimeSpan::try_years(v).is_ok());
+    }
+
+    #[test]
+    fn ensure_finite_accepts_finite_products(w in positive(), s in positive()) {
+        let e = Power::watts(w) * TimeSpan::seconds(s);
+        prop_assert!(e.ensure_finite("energy").is_ok());
+    }
+}

@@ -1,0 +1,217 @@
+//! Cross-crate property-based tests: invariants of the carbon model and
+//! the substrates under randomized inputs.
+
+use act::accel::{AccelConfig, Network};
+use act::core::{
+    total_footprint, DesignPoint, FabScenario, OperationalModel, OptimizationMetric, SystemSpec,
+};
+use act::data::{DramTechnology, ProcessNode, SsdTechnology};
+use act::ssd::{analytical_write_amplification, LifetimeModel, OverProvisioning};
+use act::units::{Area, Capacity, CarbonIntensity, Energy, Fraction, MassCo2, TimeSpan};
+use proptest::prelude::*;
+
+fn any_node() -> impl Strategy<Value = ProcessNode> {
+    prop::sample::select(ProcessNode::ALL.to_vec())
+}
+
+fn any_dram() -> impl Strategy<Value = DramTechnology> {
+    prop::sample::select(DramTechnology::ALL.to_vec())
+}
+
+fn any_ssd() -> impl Strategy<Value = SsdTechnology> {
+    prop::sample::select(SsdTechnology::ALL.to_vec())
+}
+
+proptest! {
+    #[test]
+    fn embodied_is_monotone_in_die_area(
+        node in any_node(),
+        area in 1.0f64..500.0,
+        extra in 1.0f64..500.0,
+    ) {
+        let fab = FabScenario::default();
+        let small = SystemSpec::builder()
+            .soc("die", Area::square_millimeters(area), node)
+            .build()
+            .embodied(&fab)
+            .total();
+        let big = SystemSpec::builder()
+            .soc("die", Area::square_millimeters(area + extra), node)
+            .build()
+            .embodied(&fab)
+            .total();
+        prop_assert!(big > small);
+    }
+
+    #[test]
+    fn embodied_is_additive_over_components(
+        node in any_node(),
+        dram in any_dram(),
+        ssd in any_ssd(),
+        area in 1.0f64..400.0,
+        dram_gb in 1.0f64..64.0,
+        ssd_gb in 8.0f64..2048.0,
+        ics in 0u32..64,
+    ) {
+        let fab = FabScenario::default();
+        let combined = SystemSpec::builder()
+            .soc("die", Area::square_millimeters(area), node)
+            .dram(dram, Capacity::gigabytes(dram_gb))
+            .ssd(ssd, Capacity::gigabytes(ssd_gb))
+            .packaged_ics(ics)
+            .build()
+            .embodied(&fab)
+            .total();
+        let parts = SystemSpec::builder()
+            .soc("die", Area::square_millimeters(area), node)
+            .build()
+            .embodied(&fab)
+            .total()
+            + SystemSpec::builder()
+                .dram(dram, Capacity::gigabytes(dram_gb))
+                .build()
+                .embodied(&fab)
+                .total()
+            + SystemSpec::builder()
+                .ssd(ssd, Capacity::gigabytes(ssd_gb))
+                .build()
+                .embodied(&fab)
+                .total()
+            + SystemSpec::builder().packaged_ics(ics).build().embodied(&fab).total();
+        prop_assert!((combined.as_grams() - parts.as_grams()).abs()
+            <= combined.as_grams().abs() * 1e-12 + 1e-9);
+    }
+
+    #[test]
+    fn lower_yield_never_lowers_cpa(
+        node in any_node(),
+        y1 in 0.3f64..1.0,
+        y2 in 0.3f64..1.0,
+    ) {
+        let (lo, hi) = if y1 <= y2 { (y1, y2) } else { (y2, y1) };
+        let low = FabScenario::default().with_yield(Fraction::new(lo).unwrap());
+        let high = FabScenario::default().with_yield(Fraction::new(hi).unwrap());
+        prop_assert!(low.carbon_per_area(node) >= high.carbon_per_area(node));
+    }
+
+    #[test]
+    fn cleaner_fab_energy_never_raises_cpa(
+        node in any_node(),
+        ci1 in 0.0f64..900.0,
+        ci2 in 0.0f64..900.0,
+    ) {
+        let (lo, hi) = if ci1 <= ci2 { (ci1, ci2) } else { (ci2, ci1) };
+        let clean = FabScenario::with_intensity(CarbonIntensity::grams_per_kwh(lo));
+        let dirty = FabScenario::with_intensity(CarbonIntensity::grams_per_kwh(hi));
+        prop_assert!(clean.carbon_per_area(node) <= dirty.carbon_per_area(node));
+    }
+
+    #[test]
+    fn total_footprint_is_monotone_in_runtime(
+        op_g in 0.0f64..1e6,
+        emb_g in 0.0f64..1e6,
+        t1 in 0.0f64..10.0,
+        t2 in 0.0f64..10.0,
+        lt in 0.5f64..10.0,
+    ) {
+        let (short, long) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        let f = |t: f64| total_footprint(
+            MassCo2::grams(op_g),
+            MassCo2::grams(emb_g),
+            TimeSpan::years(t),
+            TimeSpan::years(lt),
+        );
+        prop_assert!(f(short) <= f(long));
+    }
+
+    #[test]
+    fn full_lifetime_use_charges_full_embodied(
+        op_g in 0.0f64..1e6,
+        emb_g in 0.0f64..1e6,
+        lt in 0.5f64..10.0,
+    ) {
+        let cf = total_footprint(
+            MassCo2::grams(op_g),
+            MassCo2::grams(emb_g),
+            TimeSpan::years(lt),
+            TimeSpan::years(lt),
+        );
+        prop_assert!((cf.as_grams() - (op_g + emb_g)).abs() <= (op_g + emb_g) * 1e-12 + 1e-9);
+    }
+
+    #[test]
+    fn operational_model_is_linear(
+        ci in 0.0f64..1000.0,
+        kwh in 0.0f64..1e4,
+        k in 0.1f64..10.0,
+    ) {
+        let op = OperationalModel::new(CarbonIntensity::grams_per_kwh(ci));
+        let base = op.footprint(Energy::kilowatt_hours(kwh));
+        let scaled = op.footprint(Energy::kilowatt_hours(kwh * k));
+        prop_assert!((scaled.as_grams() - base.as_grams() * k).abs()
+            <= scaled.as_grams().abs() * 1e-9 + 1e-9);
+    }
+
+    #[test]
+    fn metric_scores_scale_with_their_exponents(
+        c in 1.0f64..1e4,
+        e in 1.0f64..1e4,
+        d in 1e-3f64..1e2,
+        a in 1e-2f64..1e2,
+        k in 1.1f64..4.0,
+    ) {
+        let point = DesignPoint {
+            embodied: MassCo2::grams(c),
+            energy: Energy::joules(e),
+            delay: TimeSpan::seconds(d),
+            area: Area::square_centimeters(a),
+        };
+        let doubled_c = DesignPoint { embodied: MassCo2::grams(c * k), ..point };
+        // CDP and CEP are linear in C; C2EP is quadratic.
+        let lin = OptimizationMetric::Cep.score(&doubled_c)
+            / OptimizationMetric::Cep.score(&point);
+        let quad = OptimizationMetric::C2ep.score(&doubled_c)
+            / OptimizationMetric::C2ep.score(&point);
+        prop_assert!((lin - k).abs() <= k * 1e-9);
+        prop_assert!((quad - k * k).abs() <= k * k * 1e-9);
+    }
+
+    #[test]
+    fn wa_is_monotone_and_floored(pf1 in 0.01f64..1.0, pf2 in 0.01f64..1.0) {
+        let (lo, hi) = if pf1 <= pf2 { (pf1, pf2) } else { (pf2, pf1) };
+        let wa_lo = analytical_write_amplification(OverProvisioning::new(lo).unwrap());
+        let wa_hi = analytical_write_amplification(OverProvisioning::new(hi).unwrap());
+        prop_assert!(wa_lo >= wa_hi);
+        prop_assert!(wa_hi >= 1.0);
+    }
+
+    #[test]
+    fn ssd_lifetime_grows_with_over_provisioning(
+        pf1 in 0.01f64..1.0,
+        pf2 in 0.01f64..1.0,
+    ) {
+        let (lo, hi) = if pf1 <= pf2 { (pf1, pf2) } else { (pf2, pf1) };
+        let model = LifetimeModel::default();
+        prop_assert!(
+            model.lifetime_years(OverProvisioning::new(lo).unwrap())
+                <= model.lifetime_years(OverProvisioning::new(hi).unwrap())
+        );
+    }
+
+    #[test]
+    fn wider_accelerators_are_faster_but_heavier(m in 6u32..11) {
+        let narrow = AccelConfig::new(1 << m);
+        let wide = AccelConfig::new(1 << (m + 1));
+        let network = Network::mobile_vision();
+        prop_assert!(wide.evaluate(&network).latency() < narrow.evaluate(&network).latency());
+        prop_assert!(wide.area() > narrow.area());
+    }
+
+    #[test]
+    fn accelerator_energy_bounded_under_node_scaling(nm in 7u32..40) {
+        let config = AccelConfig::new(512).with_nanometers(nm);
+        let eval = config.evaluate(&Network::mobile_vision());
+        prop_assert!(eval.energy().as_joules() > 0.0);
+        prop_assert!(eval.energy().as_joules() < 1.0, "runaway energy at {nm} nm");
+    }
+}

@@ -1,0 +1,49 @@
+//! Randomized companions to the workspace validation tests (the
+//! deterministic versions live at `tests/validation.rs` in the main
+//! workspace): fallible model APIs stay total over randomized in-domain
+//! and adversarial inputs.
+
+use act::core::ModelParams;
+use act::dse::try_sweep;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn in_domain_params_always_yield_finite_nonnegative_footprints(
+        exec_s in 60.0f64..1e6,
+        lifetime in 0.5f64..10.0,
+        area in 1.0f64..500.0,
+        use_ci in 10.0f64..1500.0,
+        fab_ci in 10.0f64..1500.0,
+        fab_yield in 0.5f64..1.0,
+        energy in 0.0f64..1e9,
+    ) {
+        let mut p = ModelParams::mobile_reference();
+        p.execution_time_s = exec_s;
+        p.lifetime_years = lifetime;
+        p.soc_area_mm2 = area;
+        p.use_intensity_g_per_kwh = use_ci;
+        p.fab_intensity_g_per_kwh = fab_ci;
+        p.fab_yield = fab_yield;
+        p.energy_j = energy;
+        let footprint = p.try_footprint().expect("params are in-domain");
+        prop_assert!(footprint.as_grams().is_finite());
+        prop_assert!(footprint.as_grams() >= 0.0);
+        let embodied = p.try_embodied().expect("params are in-domain");
+        prop_assert!(embodied.total().as_grams().is_finite());
+    }
+
+    #[test]
+    fn arbitrary_lifetime_sweeps_never_panic(
+        lifetimes in prop::collection::vec(prop::num::f64::ANY, 0..20),
+    ) {
+        let n = lifetimes.len();
+        let outcome = try_sweep(lifetimes, |lt| {
+            let mut p = ModelParams::mobile_reference();
+            p.lifetime_years = *lt;
+            p.try_footprint()
+        });
+        prop_assert_eq!(outcome.total_points(), n);
+        prop_assert_eq!(outcome.results.len() + outcome.rejected_count(), n);
+    }
+}

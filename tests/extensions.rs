@@ -69,8 +69,9 @@ fn params_facade_round_trips_through_json_config() {
     // A downstream tool can store a Table-1 config and re-evaluate it.
     let mut params = ModelParams::mobile_reference();
     params.use_intensity_g_per_kwh = Location::Europe.carbon_intensity().as_grams_per_kwh();
-    let json = serde_json::to_string(&params).unwrap();
-    let restored: ModelParams = serde_json::from_str(&json).unwrap();
+    use act_json::{FromJson, ToJson};
+    let json = params.to_json().render_compact();
+    let restored = ModelParams::from_json(&act_json::JsonValue::parse(&json).unwrap()).unwrap();
     assert_eq!(restored.footprint(), params.footprint());
     assert!(restored.footprint() > MassCo2::ZERO);
 }
