@@ -9,6 +9,7 @@
 //! act all             # everything, in paper order
 //! act all --serial    # same output, single-threaded
 //! act bench-sweep     # synthetic 10k-point sweep throughput probe (JSON)
+//! act serve           # NDJSON model service on 127.0.0.1 (act-server)
 //! ```
 //!
 //! Requested experiments evaluate **in parallel** by default (including
@@ -50,7 +51,10 @@ fn usage() -> String {
         "act — ACT (ISCA 2022) experiment runner\n\n\
          usage: act [--json] [--strict] [--serial] [--naive] <experiment>...\n\
                 act list\n\
-                act bench-sweep [points]\n\n\
+                act bench-sweep [points]\n\
+                act serve [--addr HOST:PORT] [--workers N] [--queue N]\n\
+                          [--deadline-ms N] [--drain-ms N] [--faults SPEC]\n\
+                          [--allow-remote-shutdown]  (see `act serve --help`)\n\n\
          options:\n\
            --json     emit typed results as JSON\n\
            --strict   stop at the first failing experiment\n\
@@ -188,9 +192,16 @@ fn run_bench_sweep(points_arg: Option<&str>, serial_only: bool) -> ExitCode {
 
     let speedup = serial_ms / parallel_ms.max(1e-9);
     let evals_per_sec = points as f64 / (parallel_ms / 1e3).max(1e-12);
+    // Resolved-parallelism observability: how many workers actually ran,
+    // where the count came from (policy/env/machine) and what the machine
+    // could have offered — so a ≈1× "speedup" on a 1-CPU host reads as
+    // correct behavior instead of a silent misconfiguration.
+    let resolved = parallelism.resolve_detailed();
     let body = act_json::obj! {
         "points": points,
-        "threads": parallelism.worker_count(),
+        "threads": resolved.workers,
+        "threads_source": resolved.source.as_str(),
+        "machine_threads": resolved.machine,
         "serial_ms": serial_ms,
         "parallel_ms": parallel_ms,
         "speedup": speedup,
@@ -211,6 +222,191 @@ fn run_bench_sweep(points_arg: Option<&str>, serial_only: bool) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The `act serve --help` text.
+fn serve_usage() -> &'static str {
+    "act serve — NDJSON carbon-model service (act-server)\n\n\
+     usage: act serve [options]\n\n\
+     options:\n\
+       --addr HOST:PORT         bind address (default 127.0.0.1:0 = ephemeral;\n\
+                                the actual address is printed as the first\n\
+                                NDJSON line on stdout)\n\
+       --workers N              worker threads (default 4)\n\
+       --queue N                admission-queue capacity; beyond it requests\n\
+                                are shed with 503 + Retry-After (default 64)\n\
+       --deadline-ms N          per-request wall-clock budget (default 10000)\n\
+       --drain-ms N             graceful-shutdown drain budget (default 15000)\n\
+       --max-body-bytes N       largest accepted request body (default 1 MiB)\n\
+       --faults SPEC            deterministic fault injection, e.g.\n\
+                                seed=42,p_slow=0.2,slow_read_ms=50,p_panic=0.05\n\
+                                (also read from ACT_FAULTS when unset)\n\
+       --allow-remote-shutdown  honor POST /admin/shutdown (harness use)\n\n\
+     endpoints: GET /healthz /v1/stats /v1/experiments /v1/experiments/<id>\n\
+                POST /v1/footprint /v1/sweep /v1/montecarlo\n\n\
+     SIGINT/SIGTERM stop accepting, drain in-flight requests under the drain\n\
+     budget, then print a final {\"shutdown\":true,\"stats\":{...}} line."
+}
+
+/// Installs SIGINT/SIGTERM handlers that flip the server's shutdown flag.
+/// The handler only stores an atomic, which is async-signal-safe.
+#[cfg(unix)]
+mod signals {
+    use std::sync::OnceLock;
+
+    use act_server::ShutdownHandle;
+
+    /// SIGINT (ctrl-c).
+    const SIGINT: i32 = 2;
+    /// SIGTERM (kill default).
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    static HANDLE: OnceLock<ShutdownHandle> = OnceLock::new();
+
+    extern "C" fn on_signal(_signum: i32) {
+        if let Some(handle) = HANDLE.get() {
+            handle.request();
+        }
+    }
+
+    /// Registers the handlers for `handle` (first caller wins).
+    pub fn install(handle: ShutdownHandle) {
+        let _ = HANDLE.set(handle);
+        // SAFETY: `signal(2)` with a function pointer that only performs
+        // async-signal-safe work (two atomic loads and a store).
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod signals {
+    use act_server::ShutdownHandle;
+
+    /// No-op off Unix: `/admin/shutdown` remains the stop mechanism.
+    pub fn install(_handle: ShutdownHandle) {}
+}
+
+/// `act serve [options]`: run the hardened NDJSON model service until a
+/// signal (or an authorized `/admin/shutdown`) stops it.
+fn run_serve(args: &[String]) -> ExitCode {
+    use std::io::Write;
+
+    let mut config = act_server::ServerConfig::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut numeric = |what: &str| -> Result<u64, ExitCode> {
+            match iter.next().and_then(|raw| raw.parse::<u64>().ok()) {
+                Some(value) => Ok(value),
+                None => {
+                    eprintln!("serve: {what} needs an integer value\n\n{}", serve_usage());
+                    Err(ExitCode::from(EXIT_USAGE))
+                }
+            }
+        };
+        match arg.as_str() {
+            "-h" | "--help" => {
+                println!("{}", serve_usage());
+                return ExitCode::SUCCESS;
+            }
+            "--addr" => {
+                let Some(addr) = iter.next().and_then(|raw| raw.parse().ok()) else {
+                    eprintln!("serve: --addr needs HOST:PORT\n\n{}", serve_usage());
+                    return ExitCode::from(EXIT_USAGE);
+                };
+                config.addr = addr;
+            }
+            "--workers" => match numeric("--workers") {
+                Ok(n) => config.workers = (n as usize).max(1),
+                Err(code) => return code,
+            },
+            "--queue" => match numeric("--queue") {
+                Ok(n) => config.queue_capacity = (n as usize).max(1),
+                Err(code) => return code,
+            },
+            "--deadline-ms" => match numeric("--deadline-ms") {
+                Ok(n) => config.request_deadline = std::time::Duration::from_millis(n),
+                Err(code) => return code,
+            },
+            "--drain-ms" => match numeric("--drain-ms") {
+                Ok(n) => config.drain_deadline = std::time::Duration::from_millis(n),
+                Err(code) => return code,
+            },
+            "--max-body-bytes" => match numeric("--max-body-bytes") {
+                Ok(n) => config.max_body_bytes = n as usize,
+                Err(code) => return code,
+            },
+            "--faults" => {
+                let Some(spec) = iter.next() else {
+                    eprintln!("serve: --faults needs a spec\n\n{}", serve_usage());
+                    return ExitCode::from(EXIT_USAGE);
+                };
+                match act_server::faults::FaultPlan::parse(spec) {
+                    Ok(plan) => config.faults = Some(plan),
+                    Err(err) => {
+                        eprintln!("serve: {err}\n\n{}", serve_usage());
+                        return ExitCode::from(EXIT_USAGE);
+                    }
+                }
+            }
+            "--allow-remote-shutdown" => config.allow_remote_shutdown = true,
+            other => {
+                eprintln!("serve: unknown argument `{other}`\n\n{}", serve_usage());
+                return ExitCode::from(EXIT_USAGE);
+            }
+        }
+    }
+    if config.faults.is_none() {
+        if let Ok(spec) = std::env::var("ACT_FAULTS") {
+            match act_server::faults::FaultPlan::parse(&spec) {
+                Ok(plan) => config.faults = Some(plan),
+                Err(err) => {
+                    eprintln!("serve: ACT_FAULTS: {err}");
+                    return ExitCode::from(EXIT_USAGE);
+                }
+            }
+        }
+    }
+
+    let workers = config.workers.max(1);
+    let server = match act_server::Server::bind(config) {
+        Ok(server) => server,
+        Err(err) => {
+            eprintln!("serve: bind failed: {err}");
+            return ExitCode::from(EXIT_EXPERIMENT_FAILED);
+        }
+    };
+    signals::install(server.shutdown_handle());
+
+    // Readiness line: one NDJSON object the harness can parse for the
+    // actual address. Flush explicitly — stdout is block-buffered when
+    // piped, and the harness waits on this line.
+    let ready = act_json::obj! {
+        "listening": server.local_addr().to_string(),
+        "workers": workers,
+        "pid": u64::from(std::process::id()),
+    };
+    println!("{ready}");
+    let _ = std::io::stdout().flush();
+
+    match server.serve() {
+        Ok(stats) => {
+            let line = act_json::obj! { "shutdown": true, "stats": stats };
+            println!("{line}");
+            let _ = std::io::stdout().flush();
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("serve: accept loop failed: {err}");
+            ExitCode::from(EXIT_EXPERIMENT_FAILED)
+        }
+    }
+}
+
 /// Tells the user — once per process — when an `ACT_THREADS` override is
 /// set but unusable, so a typo'd value degrades loudly to the machine
 /// default instead of silently running on an unexpected worker count.
@@ -224,11 +420,17 @@ fn warn_once_on_ignored_threads_override() {
 }
 
 fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // `serve` owns its own flag grammar; dispatch before the experiment
+    // flag loop so `--addr` & co. aren't rejected as unknown flags.
+    if args.first().map(String::as_str) == Some("serve") {
+        return run_serve(&args[1..]);
+    }
     let mut json = false;
     let mut strict = false;
     let mut serial = false;
     let mut ids = Vec::new();
-    for arg in std::env::args().skip(1) {
+    for arg in args {
         match arg.as_str() {
             "-h" | "--help" => {
                 println!("{}", usage());

@@ -109,6 +109,26 @@ fn bench_sweep_emits_a_throughput_record() {
 }
 
 #[test]
+fn bench_sweep_reports_resolved_parallelism() {
+    // An explicit ACT_THREADS override must surface as source "env" with
+    // exactly that worker count.
+    let out = act_with_env(&["bench-sweep", "100"], "ACT_THREADS", "2");
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let record = act_json::JsonValue::parse(stdout(&out).trim()).expect("json");
+    assert_eq!(record["threads"], 2);
+    assert_eq!(record["threads_source"], "env");
+    let machine = record["machine_threads"].as_u64().expect("machine_threads");
+    assert!(machine >= 1, "machine_threads must be positive: {record}");
+
+    // `--serial` pins the policy, and the record says so.
+    let out = act(&["bench-sweep", "100", "--serial"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let record = act_json::JsonValue::parse(stdout(&out).trim()).expect("json");
+    assert_eq!(record["threads"], 1);
+    assert_eq!(record["threads_source"], "policy");
+}
+
+#[test]
 fn bench_sweep_rejects_bad_point_counts() {
     for bad in ["1", "0", "-3", "many"] {
         let out = act(&["bench-sweep", bad]);

@@ -24,11 +24,113 @@
 //!   [`par_try_monte_carlo`](crate::par_try_monte_carlo), so its outcome is
 //!   invariant under the thread count too.
 
+use std::time::Instant;
+
 use act_rng::Rng;
 
 use crate::montecarlo::{mc_sample_seed, summarize_slice, McError, McOutcome};
 use crate::parallel::Parallelism;
 use crate::sweep::RejectedPoint;
+
+/// A cooperative evaluation budget for batch loops: a wall-clock deadline
+/// checked every [`check_interval`](Self::check_interval) points, so a
+/// hot loop stays allocation-free and branch-cheap but can still be cut
+/// off mid-batch. This is the hook `act-server` uses to enforce
+/// per-request deadlines inside long sweeps — the socket timeouts bound
+/// I/O, this bounds compute.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::{Duration, Instant};
+/// use act_dse::EvalBudget;
+///
+/// let unlimited = EvalBudget::unlimited();
+/// assert!(!unlimited.is_exhausted());
+///
+/// let expired = EvalBudget::with_deadline(Instant::now() - Duration::from_millis(1));
+/// assert!(expired.is_exhausted());
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct EvalBudget {
+    deadline: Option<Instant>,
+    check_interval: usize,
+}
+
+impl EvalBudget {
+    /// How many points a budgeted loop evaluates between deadline checks
+    /// by default. `Instant::now` costs tens of nanoseconds; a compiled
+    /// kernel point costs a few — checking every 1024 points keeps the
+    /// overhead under 1 % while bounding overshoot to ~a microsecond.
+    pub const DEFAULT_CHECK_INTERVAL: usize = 1024;
+
+    /// A budget that never expires: budgeted loops behave exactly like
+    /// their unbudgeted twins.
+    #[must_use]
+    pub fn unlimited() -> Self {
+        Self { deadline: None, check_interval: Self::DEFAULT_CHECK_INTERVAL }
+    }
+
+    /// A budget that expires at `deadline`.
+    #[must_use]
+    pub fn with_deadline(deadline: Instant) -> Self {
+        Self { deadline: Some(deadline), check_interval: Self::DEFAULT_CHECK_INTERVAL }
+    }
+
+    /// Overrides the points-between-checks interval (clamped up to 1).
+    /// Smaller intervals tighten deadline precision at the cost of more
+    /// clock reads; tests use `1` for exact cut-off points.
+    #[must_use]
+    pub fn check_every(mut self, interval: usize) -> Self {
+        self.check_interval = interval.max(1);
+        self
+    }
+
+    /// The configured points-between-checks interval.
+    #[must_use]
+    pub fn check_interval(&self) -> usize {
+        self.check_interval
+    }
+
+    /// `true` once the deadline has passed (always `false` when unlimited).
+    #[must_use]
+    pub fn is_exhausted(&self) -> bool {
+        match self.deadline {
+            Some(deadline) => Instant::now() >= deadline,
+            None => false,
+        }
+    }
+
+    /// The cheap per-point check: consults the clock only on interval
+    /// boundaries (and never for an unlimited budget).
+    #[inline]
+    fn exhausted_at(&self, index: usize) -> bool {
+        self.deadline.is_some()
+            && index.is_multiple_of(self.check_interval)
+            && self.is_exhausted()
+    }
+}
+
+/// How a budgeted batch run ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchRun {
+    /// Every point was evaluated.
+    Completed,
+    /// The [`EvalBudget`] expired after `completed` points; the remaining
+    /// output slots hold NaN and recorded no rejections.
+    DeadlineExceeded {
+        /// Number of leading points that were evaluated before cut-off.
+        completed: usize,
+    },
+}
+
+impl BatchRun {
+    /// `true` when every point was evaluated.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        matches!(self, Self::Completed)
+    }
+}
 
 /// A structure-of-arrays block of design points: one `f64` column per free
 /// axis, all columns the same length.
@@ -232,6 +334,98 @@ pub fn sweep_compiled(
             out.rejected.push(RejectedPoint { index, reason: non_finite_reason(v) });
         }
     }
+}
+
+/// [`sweep_compiled`] under a cooperative [`EvalBudget`]: evaluates points
+/// in batch order until the budget expires, then stops — the completed
+/// prefix is bit-for-bit identical to an unbudgeted run, untouched slots
+/// hold NaN, and the return value says how far it got.
+///
+/// The serial loop is the deliberate choice here: `act-server` gets its
+/// parallelism from the worker pool (many requests at once), so each
+/// request evaluates serially and the budget check stays a plain branch.
+///
+/// # Examples
+///
+/// ```
+/// use act_dse::{sweep_compiled_budgeted, BatchRun, BatchOutput, EvalBudget, PointBatch};
+///
+/// let batch = PointBatch::single_axis(vec![1.0, 2.0, 4.0]);
+/// let mut out = BatchOutput::new();
+/// let run = sweep_compiled_budgeted(&batch, |p| 1.0 / p[0], &mut out, &EvalBudget::unlimited());
+/// assert_eq!(run, BatchRun::Completed);
+/// assert_eq!(out.values(), &[1.0, 0.5, 0.25]);
+/// ```
+pub fn sweep_compiled_budgeted(
+    batch: &PointBatch,
+    kernel: impl Fn(&[f64]) -> f64,
+    out: &mut BatchOutput,
+    budget: &EvalBudget,
+) -> BatchRun {
+    out.reset(batch.len());
+    let mut scratch = vec![0.0; batch.axis_count()];
+    for (index, slot) in out.values.iter_mut().enumerate() {
+        if budget.exhausted_at(index) {
+            return BatchRun::DeadlineExceeded { completed: index };
+        }
+        batch.gather(index, &mut scratch);
+        let v = kernel(&scratch);
+        if v.is_finite() {
+            *slot = v;
+        } else {
+            *slot = f64::NAN;
+            out.rejected.push(RejectedPoint { index, reason: non_finite_reason(v) });
+        }
+    }
+    BatchRun::Completed
+}
+
+/// Budgeted serial twin of [`par_monte_carlo_compiled`]: draws samples in
+/// order (seeded with [`mc_sample_seed`], so the completed prefix is
+/// bit-identical to the unbudgeted run) until the [`EvalBudget`] expires,
+/// then summarizes **the completed prefix**.
+///
+/// # Errors
+///
+/// Returns [`McError::NoSamples`] when `samples` is zero or the budget
+/// expired before the first draw, and [`McError::AllRejected`] when every
+/// completed draw was non-finite.
+pub fn monte_carlo_compiled_budgeted(
+    samples: usize,
+    seed: u64,
+    axes: usize,
+    sampler: impl Fn(&mut Rng, &mut [f64]),
+    kernel: impl Fn(&[f64]) -> f64,
+    buf: &mut McBuffer,
+    budget: &EvalBudget,
+) -> Result<(McOutcome, BatchRun), McError> {
+    if samples == 0 {
+        return Err(McError::NoSamples);
+    }
+    buf.draws.clear();
+    let mut scratch = vec![0.0; axes];
+    let mut run = BatchRun::Completed;
+    for index in 0..samples {
+        if budget.exhausted_at(index) {
+            run = BatchRun::DeadlineExceeded { completed: index };
+            break;
+        }
+        let mut rng = Rng::seed_from_u64(mc_sample_seed(seed, index as u64));
+        sampler(&mut rng, &mut scratch);
+        let v = kernel(&scratch);
+        buf.draws.push(if v.is_finite() { v } else { f64::NAN });
+    }
+    let completed = buf.draws.len();
+    if completed == 0 {
+        return Err(McError::NoSamples);
+    }
+    buf.finite.clear();
+    buf.finite.extend(buf.draws.iter().copied().filter(|v| v.is_finite()));
+    let rejected = completed - buf.finite.len();
+    if buf.finite.is_empty() {
+        return Err(McError::AllRejected { rejected });
+    }
+    Ok((McOutcome { stats: summarize_slice(&mut buf.finite), rejected }, run))
 }
 
 /// Parallel [`sweep_compiled`] under the default [`Parallelism::Auto`]
@@ -607,6 +801,128 @@ mod tests {
             assert_eq!(compiled, reference);
             assert!(compiled.rejected > 0);
         }
+    }
+
+    #[test]
+    fn unlimited_budget_matches_unbudgeted_sweep_bitwise() {
+        let batch = PointBatch::single_axis(vec![4.0, 0.0, -2.0, f64::NAN, 1.0]);
+        let mut plain = BatchOutput::new();
+        sweep_compiled(&batch, kernel, &mut plain);
+        let mut budgeted = BatchOutput::new();
+        let run =
+            sweep_compiled_budgeted(&batch, kernel, &mut budgeted, &EvalBudget::unlimited());
+        assert_eq!(run, BatchRun::Completed);
+        assert!(run.is_complete());
+        assert_eq!(budgeted.rejected(), plain.rejected());
+        for (a, b) in budgeted.values().iter().zip(plain.values()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn expired_budget_stops_before_the_first_point() {
+        let deadline = Instant::now() - std::time::Duration::from_millis(1);
+        let batch = PointBatch::single_axis(vec![1.0, 2.0, 3.0]);
+        let mut out = BatchOutput::new();
+        let run = sweep_compiled_budgeted(
+            &batch,
+            kernel,
+            &mut out,
+            &EvalBudget::with_deadline(deadline).check_every(1),
+        );
+        assert_eq!(run, BatchRun::DeadlineExceeded { completed: 0 });
+        assert!(out.values().iter().all(|v| v.is_nan()));
+        assert!(out.is_clean(), "cut-off points must not be recorded as rejections");
+    }
+
+    #[test]
+    fn mid_run_expiry_keeps_a_bitwise_identical_prefix() {
+        // A kernel that burns the clock past the deadline on point 2, with
+        // the check interval at 1 so the cut-off lands exactly on point 3.
+        let deadline = Instant::now() + std::time::Duration::from_millis(100);
+        let slow = |p: &[f64]| {
+            if p[0] == 2.0 {
+                while Instant::now() < deadline + std::time::Duration::from_millis(1) {
+                    std::hint::spin_loop();
+                }
+            }
+            1.0 / p[0]
+        };
+        let batch = PointBatch::single_axis(vec![4.0, 0.0, 2.0, 8.0, 16.0]);
+        let mut out = BatchOutput::new();
+        let run = sweep_compiled_budgeted(
+            &batch,
+            slow,
+            &mut out,
+            &EvalBudget::with_deadline(deadline).check_every(1),
+        );
+        assert_eq!(run, BatchRun::DeadlineExceeded { completed: 3 });
+        let mut reference = BatchOutput::new();
+        sweep_compiled(&batch, kernel, &mut reference);
+        for (i, (got, want)) in out.values()[..3].iter().zip(reference.values()).enumerate() {
+            assert!(
+                got.to_bits() == want.to_bits() || (got.is_nan() && want.is_nan()),
+                "prefix diverged at {i}"
+            );
+        }
+        assert!(out.values()[3].is_nan() && out.values()[4].is_nan());
+        // The rejection log covers only the completed prefix (point 1).
+        assert_eq!(out.rejected().iter().map(|r| r.index).collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn budget_check_interval_clamps_and_reports() {
+        assert_eq!(
+            EvalBudget::unlimited().check_interval(),
+            EvalBudget::DEFAULT_CHECK_INTERVAL
+        );
+        assert_eq!(EvalBudget::unlimited().check_every(0).check_interval(), 1);
+        assert!(!EvalBudget::unlimited().is_exhausted());
+    }
+
+    #[test]
+    fn budgeted_mc_completes_like_the_parallel_path() {
+        let mut buf = McBuffer::new();
+        let sampler = |rng: &mut Rng, point: &mut [f64]| point[0] = rng.gen_range(-0.1..1.0);
+        let mc_kernel = |point: &[f64]| 1370.0 / point[0].max(0.0);
+        let (outcome, run) = monte_carlo_compiled_budgeted(
+            2_000,
+            13,
+            1,
+            sampler,
+            mc_kernel,
+            &mut buf,
+            &EvalBudget::unlimited(),
+        )
+        .unwrap();
+        assert_eq!(run, BatchRun::Completed);
+        let mut reference_buf = McBuffer::new();
+        let reference = par_monte_carlo_compiled_with(
+            Parallelism::Serial,
+            2_000,
+            13,
+            1,
+            sampler,
+            mc_kernel,
+            &mut reference_buf,
+        )
+        .unwrap();
+        assert_eq!(outcome, reference);
+    }
+
+    #[test]
+    fn budgeted_mc_summarizes_the_completed_prefix() {
+        let mut buf = McBuffer::new();
+        let sampler = |rng: &mut Rng, point: &mut [f64]| point[0] = rng.gen_range(0.5..1.0);
+        let mc_kernel = |point: &[f64]| point[0];
+        // Deadline already passed: zero draws complete -> NoSamples.
+        let expired =
+            EvalBudget::with_deadline(Instant::now() - std::time::Duration::from_millis(1))
+                .check_every(1);
+        assert_eq!(
+            monte_carlo_compiled_budgeted(100, 7, 1, sampler, mc_kernel, &mut buf, &expired),
+            Err(McError::NoSamples)
+        );
     }
 
     #[test]

@@ -59,8 +59,9 @@ mod pareto;
 mod sweep;
 
 pub use batch::{
-    par_monte_carlo_compiled, par_monte_carlo_compiled_with, par_sweep_compiled,
-    par_sweep_compiled_with, sweep_compiled, BatchOutput, McBuffer, PointBatch,
+    monte_carlo_compiled_budgeted, par_monte_carlo_compiled, par_monte_carlo_compiled_with,
+    par_sweep_compiled, par_sweep_compiled_with, sweep_compiled, sweep_compiled_budgeted,
+    BatchOutput, BatchRun, EvalBudget, McBuffer, PointBatch,
 };
 pub use montecarlo::{
     mc_sample_seed, monte_carlo, par_monte_carlo, par_monte_carlo_with, par_try_monte_carlo,
@@ -68,7 +69,8 @@ pub use montecarlo::{
 };
 pub use optimize::{argmin_by, argmin_feasible, knee_point, normalize_to, normalize_to_last};
 pub use parallel::{
-    par_map_ordered, par_map_range, Parallelism, ThreadsWarning, ThreadsWarningReason,
+    machine_parallelism, par_map_ordered, par_map_range, Parallelism, ResolvedParallelism,
+    ThreadsSource, ThreadsWarning, ThreadsWarningReason,
 };
 pub use pareto::{dominates, pareto_indices, pareto_indices_reference};
 pub use sweep::{

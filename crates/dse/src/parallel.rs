@@ -70,13 +70,61 @@ impl Parallelism {
     /// ```
     #[must_use]
     pub fn resolve(self) -> (usize, Option<ThreadsWarning>) {
+        let detail = self.resolve_detailed();
+        (detail.workers, detail.warning)
+    }
+
+    /// Resolves the policy to a concrete worker count **and says where the
+    /// number came from** — the observability hook behind the `threads` /
+    /// `threads_source` fields in `act bench-sweep` JSON, added after a
+    /// bench record shipped with a silently-1× "parallel" speedup and
+    /// nothing in the output explained why (the host had one core).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use act_dse::{Parallelism, ThreadsSource};
+    ///
+    /// let detail = Parallelism::Serial.resolve_detailed();
+    /// assert_eq!(detail.workers, 1);
+    /// assert_eq!(detail.source, ThreadsSource::Policy);
+    /// assert!(detail.machine >= 1);
+    /// ```
+    #[must_use]
+    pub fn resolve_detailed(self) -> ResolvedParallelism {
+        let machine = machine_parallelism();
         match self {
-            Self::Serial => (1, None),
-            Self::Threads(n) => (n.get(), None),
+            Self::Serial => ResolvedParallelism {
+                workers: 1,
+                source: ThreadsSource::Policy,
+                machine,
+                warning: None,
+            },
+            Self::Threads(n) => ResolvedParallelism {
+                workers: n.get(),
+                source: ThreadsSource::Policy,
+                machine,
+                warning: None,
+            },
             Self::Auto => match env_threads() {
-                Ok(Some(n)) => (n, None),
-                Ok(None) => (default_threads(), None),
-                Err(warning) => (default_threads(), Some(warning)),
+                Ok(Some(n)) => ResolvedParallelism {
+                    workers: n,
+                    source: ThreadsSource::Env,
+                    machine,
+                    warning: None,
+                },
+                Ok(None) => ResolvedParallelism {
+                    workers: machine,
+                    source: ThreadsSource::Machine,
+                    machine,
+                    warning: None,
+                },
+                Err(warning) => ResolvedParallelism {
+                    workers: machine,
+                    source: ThreadsSource::Machine,
+                    machine,
+                    warning: Some(warning),
+                },
             },
         }
     }
@@ -90,6 +138,54 @@ impl Parallelism {
             None => Self::Serial,
         }
     }
+}
+
+/// A fully resolved [`Parallelism`] policy: the worker count, where it came
+/// from, and what the machine itself reports — enough for a bench record or
+/// service log to explain an unexpected 1× speedup instead of hiding it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResolvedParallelism {
+    /// The concrete worker count (always ≥ 1).
+    pub workers: usize,
+    /// What decided `workers`.
+    pub source: ThreadsSource,
+    /// What [`machine_parallelism`] reports, regardless of `source`.
+    pub machine: usize,
+    /// A rejected `ACT_THREADS` override, when one was ignored.
+    pub warning: Option<ThreadsWarning>,
+}
+
+/// Where a resolved worker count came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ThreadsSource {
+    /// An explicit policy: `Serial` or `Threads(n)`.
+    Policy,
+    /// A valid `ACT_THREADS` environment override.
+    Env,
+    /// The machine's available parallelism (the `Auto` default).
+    Machine,
+}
+
+impl ThreadsSource {
+    /// Stable lower-case name for machine-readable output.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Policy => "policy",
+            Self::Env => "env",
+            Self::Machine => "machine",
+        }
+    }
+}
+
+/// The host's available parallelism as the engine sees it: what
+/// [`std::thread::available_parallelism`] reports (which honors cgroup and
+/// affinity limits), clamped to 1 when the call fails, and 1 whenever the
+/// `parallel` feature is compiled out.
+#[must_use]
+pub fn machine_parallelism() -> usize {
+    default_threads()
 }
 
 /// A set-but-unusable `ACT_THREADS` value, reported by
@@ -308,6 +404,58 @@ mod tests {
         assert_eq!(Parallelism::threads(0).worker_count(), 1);
         assert!(Parallelism::Auto.worker_count() >= 1);
         assert_eq!(Parallelism::default(), Parallelism::Auto);
+    }
+
+    /// Regression test for the pr5-hermetic bench mystery (`act all`
+    /// speedup ≈1×): `Auto` must resolve to the machine's full available
+    /// parallelism — in particular **more than one worker on a multi-core
+    /// host** — unless a valid `ACT_THREADS` override says otherwise. On a
+    /// genuinely single-core host (as the pr5 bench machine turned out to
+    /// be) the correct resolution is 1 and the source still says why.
+    #[test]
+    fn auto_resolves_to_machine_parallelism() {
+        let detail = Parallelism::Auto.resolve_detailed();
+        assert!(detail.workers >= 1);
+        assert_eq!(detail.machine, machine_parallelism());
+        match std::env::var("ACT_THREADS") {
+            Ok(raw) => match parse_threads(&raw) {
+                Ok(n) => {
+                    assert_eq!(detail.source, ThreadsSource::Env);
+                    assert_eq!(detail.workers, n);
+                    assert!(detail.warning.is_none());
+                }
+                Err(_) => {
+                    assert_eq!(detail.source, ThreadsSource::Machine);
+                    assert_eq!(detail.workers, detail.machine);
+                    assert!(detail.warning.is_some());
+                }
+            },
+            Err(_) => {
+                assert_eq!(detail.source, ThreadsSource::Machine);
+                assert_eq!(detail.workers, detail.machine);
+                assert!(detail.warning.is_none());
+                // The actual multi-core regression assertion: a host with
+                // more than one core must never fall back to one worker
+                // (with the `parallel` feature compiled out, 1 is correct).
+                if cfg!(feature = "parallel")
+                    && std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+                        > 1
+                {
+                    assert!(
+                        detail.workers > 1,
+                        "Auto resolved to 1 worker on a multi-core host"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn threads_source_names_are_stable() {
+        assert_eq!(ThreadsSource::Policy.as_str(), "policy");
+        assert_eq!(ThreadsSource::Env.as_str(), "env");
+        assert_eq!(ThreadsSource::Machine.as_str(), "machine");
+        assert_eq!(Parallelism::threads(3).resolve_detailed().source, ThreadsSource::Policy);
     }
 
     #[test]

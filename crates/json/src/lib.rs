@@ -43,6 +43,41 @@ use std::fmt;
 /// instead of risking stack exhaustion on adversarial input.
 const MAX_PARSE_DEPTH: usize = 128;
 
+/// Default maximum document size accepted by [`JsonValue::parse`] (8 MiB).
+/// Documents in this workspace are a few KiB; anything near this limit is
+/// hostile or a bug, and rejecting it up front bounds parser memory.
+const MAX_PARSE_BYTES: usize = 8 * 1024 * 1024;
+
+/// Default maximum length of a single number token. JSON numbers that a
+/// finite `f64` can represent fit in well under 64 bytes; a kilobyte-long
+/// digit string is an attack on the float parser, not data.
+const MAX_NUMBER_LEN: usize = 512;
+
+/// Resource limits for [`JsonValue::parse_with_limits`] — the knobs a
+/// service exposed to untrusted input tightens, with [`Default`] values
+/// matching what [`JsonValue::parse`] has always enforced (plus the size
+/// guards introduced alongside `act-server`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParseLimits {
+    /// Maximum container nesting depth (arrays/objects).
+    pub max_depth: usize,
+    /// Maximum input length in bytes; longer documents are rejected before
+    /// a single byte is parsed.
+    pub max_bytes: usize,
+    /// Maximum byte length of one number token.
+    pub max_number_len: usize,
+}
+
+impl Default for ParseLimits {
+    fn default() -> Self {
+        Self {
+            max_depth: MAX_PARSE_DEPTH,
+            max_bytes: MAX_PARSE_BYTES,
+            max_number_len: MAX_NUMBER_LEN,
+        }
+    }
+}
+
 /// The shared `null` returned by out-of-range [`JsonValue`] indexing.
 static NULL: JsonValue = JsonValue::Null;
 
@@ -328,7 +363,33 @@ impl JsonValue {
     /// Returns a [`JsonError`] carrying the byte offset of the first
     /// malformed construct.
     pub fn parse(text: &str) -> Result<Self, JsonError> {
-        let mut parser = Parser { bytes: text.as_bytes(), pos: 0 };
+        Self::parse_with_limits(text, &ParseLimits::default())
+    }
+
+    /// [`parse`](Self::parse) under explicit [`ParseLimits`] — the entry
+    /// point for documents from untrusted peers (e.g. `act-server` request
+    /// bodies), where depth and size ceilings are part of the service's
+    /// robustness contract.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] whose [`kind`](JsonError::kind) is
+    /// [`JsonErrorKind::TooLarge`] / [`TooDeep`](JsonErrorKind::TooDeep) /
+    /// [`NumberTooLong`](JsonErrorKind::NumberTooLong) when a limit is hit,
+    /// and [`Syntax`](JsonErrorKind::Syntax) for malformed input.
+    pub fn parse_with_limits(text: &str, limits: &ParseLimits) -> Result<Self, JsonError> {
+        if text.len() > limits.max_bytes {
+            return Err(JsonError::limit(
+                JsonErrorKind::TooLarge,
+                format!(
+                    "document is {} bytes, over the {}-byte limit",
+                    text.len(),
+                    limits.max_bytes
+                ),
+                0,
+            ));
+        }
+        let mut parser = Parser { bytes: text.as_bytes(), pos: 0, limits: *limits };
         parser.skip_whitespace();
         let value = parser.parse_value(0)?;
         parser.skip_whitespace();
@@ -453,19 +514,53 @@ fn push_indent(out: &mut String, indent: usize) {
 pub struct JsonError {
     message: String,
     offset: Option<usize>,
+    kind: JsonErrorKind,
+}
+
+/// Classifies a [`JsonError`] so callers can tell resource-limit rejections
+/// (which a service maps to "request too large"-style responses) from plain
+/// syntax errors and from [`FromJson`] shape mismatches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum JsonErrorKind {
+    /// Malformed JSON text.
+    Syntax,
+    /// The document nests deeper than [`ParseLimits::max_depth`].
+    TooDeep,
+    /// The document is longer than [`ParseLimits::max_bytes`].
+    TooLarge,
+    /// A number token is longer than [`ParseLimits::max_number_len`].
+    NumberTooLong,
+    /// A number token parsed to an infinite value (e.g. `1e999`), which no
+    /// JSON document can faithfully represent.
+    NumberOutOfRange,
+    /// A [`FromJson`] conversion mismatch (wrong type, missing field).
+    Conversion,
 }
 
 impl JsonError {
     /// A conversion error (no source offset).
     #[must_use]
     pub fn new(message: impl Into<String>) -> Self {
-        Self { message: message.into(), offset: None }
+        Self { message: message.into(), offset: None, kind: JsonErrorKind::Conversion }
     }
 
     /// A parse error at byte `offset`.
     #[must_use]
     pub fn at(message: impl Into<String>, offset: usize) -> Self {
-        Self { message: message.into(), offset: Some(offset) }
+        Self { message: message.into(), offset: Some(offset), kind: JsonErrorKind::Syntax }
+    }
+
+    /// A resource-limit rejection at byte `offset`.
+    #[must_use]
+    pub fn limit(kind: JsonErrorKind, message: impl Into<String>, offset: usize) -> Self {
+        Self { message: message.into(), offset: Some(offset), kind }
+    }
+
+    /// What class of failure this is.
+    #[must_use]
+    pub fn kind(&self) -> JsonErrorKind {
+        self.kind
     }
 
     /// A [`FromJson`] mismatch: `expected` names the JSON type wanted.
@@ -511,6 +606,7 @@ impl std::error::Error for JsonError {}
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    limits: ParseLimits,
 }
 
 impl Parser<'_> {
@@ -538,8 +634,12 @@ impl Parser<'_> {
     }
 
     fn parse_value(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
-        if depth > MAX_PARSE_DEPTH {
-            return Err(JsonError::at("document nested too deeply", self.pos));
+        if depth > self.limits.max_depth {
+            return Err(JsonError::limit(
+                JsonErrorKind::TooDeep,
+                "document nested too deeply",
+                self.pos,
+            ));
         }
         self.skip_whitespace();
         match self.peek() {
@@ -580,6 +680,13 @@ impl Parser<'_> {
                 }
                 _ => break,
             }
+            if self.pos - start > self.limits.max_number_len {
+                return Err(JsonError::limit(
+                    JsonErrorKind::NumberTooLong,
+                    format!("number longer than {} bytes", self.limits.max_number_len),
+                    start,
+                ));
+            }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| JsonError::at("malformed number", start))?;
@@ -588,9 +695,19 @@ impl Parser<'_> {
                 return Ok(JsonValue::Int(v));
             }
         }
-        text.parse::<f64>()
-            .map(JsonValue::Float)
-            .map_err(|_| JsonError::at(format!("malformed number `{text}`"), start))
+        let parsed = text
+            .parse::<f64>()
+            .map_err(|_| JsonError::at(format!("malformed number `{text}`"), start))?;
+        // `1e999` parses to +inf without an error; a document that cannot
+        // round-trip through any finite float is hostile input, not data.
+        if parsed.is_infinite() {
+            return Err(JsonError::limit(
+                JsonErrorKind::NumberOutOfRange,
+                format!("number `{text}` overflows f64"),
+                start,
+            ));
+        }
+        Ok(JsonValue::Float(parsed))
     }
 
     fn parse_string(&mut self) -> Result<String, JsonError> {
@@ -623,6 +740,15 @@ impl Parser<'_> {
                         b'u' => out.push(self.parse_unicode_escape()?),
                         _ => return Err(JsonError::at("unknown escape", self.pos - 1)),
                     }
+                }
+                // Unescaped control characters (including NUL) are invalid
+                // inside JSON strings; accepting them would let hostile
+                // frames smuggle raw terminal/log-injection bytes through.
+                0x00..=0x1F => {
+                    return Err(JsonError::at(
+                        "unescaped control character in string",
+                        self.pos,
+                    ));
                 }
                 _ => {
                     // Consume one UTF-8 code point (the input slice came
@@ -1166,6 +1292,38 @@ mod tests {
         }
         let err = JsonValue::parse(&text).unwrap_err();
         assert!(err.to_string().contains("deeply"));
+        assert_eq!(err.kind(), JsonErrorKind::TooDeep);
+    }
+
+    #[test]
+    fn parse_limits_are_tunable() {
+        let tight = ParseLimits { max_depth: 2, max_bytes: 16, max_number_len: 4 };
+        assert!(JsonValue::parse_with_limits("[[1]]", &tight).is_ok());
+        assert_eq!(
+            JsonValue::parse_with_limits("[[[1]]]", &tight).unwrap_err().kind(),
+            JsonErrorKind::TooDeep
+        );
+        assert_eq!(
+            JsonValue::parse_with_limits("[1,2,3,4,5,6,7,8]", &tight).unwrap_err().kind(),
+            JsonErrorKind::TooLarge
+        );
+        assert_eq!(
+            JsonValue::parse_with_limits("123456", &tight).unwrap_err().kind(),
+            JsonErrorKind::NumberTooLong
+        );
+    }
+
+    #[test]
+    fn error_kinds_classify_failures() {
+        assert_eq!(JsonValue::parse("{oops").unwrap_err().kind(), JsonErrorKind::Syntax);
+        assert_eq!(
+            JsonValue::parse("1e999").unwrap_err().kind(),
+            JsonErrorKind::NumberOutOfRange
+        );
+        assert_eq!(
+            bool::from_json(&JsonValue::Int(1)).unwrap_err().kind(),
+            JsonErrorKind::Conversion
+        );
     }
 
     #[test]

@@ -1,0 +1,148 @@
+//! Hostile-input corpus for the `act-json` parser.
+//!
+//! `act-server` feeds request bodies from untrusted peers straight into
+//! [`JsonValue::parse_with_limits`], so the parser must reject — with a
+//! typed error, never a panic, hang, or stack overflow — every malformed
+//! document an adversary can produce. This suite is the deterministic
+//! corpus backing that contract: truncations, NUL bytes, overlong numbers,
+//! invalid escapes, deep nesting, and oversized documents.
+
+use act_json::{JsonErrorKind, JsonValue, ParseLimits};
+
+/// Every document here must produce `Err`, and the error must render as a
+/// non-empty message (the server quotes it on the wire).
+#[test]
+fn malformed_corpus_is_rejected_with_errors() {
+    let corpus: &[&str] = &[
+        // Truncations at every structural boundary.
+        "",
+        "{",
+        "[",
+        "{\"a\"",
+        "{\"a\":",
+        "{\"a\":1",
+        "{\"a\":1,",
+        "[1,",
+        "[1, 2",
+        "\"unterminated",
+        "\"trailing escape\\",
+        "tru",
+        "nul",
+        "fals",
+        "-",
+        "1e",
+        // Trailing garbage.
+        "{} {}",
+        "1 2",
+        "[] x",
+        // Structural garbage.
+        "{\"a\" 1}",
+        "{a: 1}",
+        "{'a': 1}",
+        "[1 2]",
+        "[,]",
+        "{,}",
+        "{\"a\":1,}",
+        "[1,]",
+        ":",
+        ",",
+        "}",
+        "]",
+        // Bad keywords / bare words.
+        "True",
+        "NULL",
+        "undefined",
+        "NaN",
+        "Infinity",
+        "-Infinity",
+        // Bad numbers.
+        "0x10",
+        "+1",
+        "1e999",
+        "-1e999",
+        "--5",
+        "1..2",
+        "1ee5",
+        // Bad escapes.
+        "\"\\q\"",
+        "\"\\u12\"",
+        "\"\\uZZZZ\"",
+        "\"\\ud800\\u0020\"",
+        // Unescaped control characters (incl. NUL) inside strings.
+        "\"nul \u{0} byte\"",
+        "\"bell \u{7} char\"",
+        "\"newline \n raw\"",
+    ];
+    for doc in corpus {
+        let err = JsonValue::parse(doc)
+            .expect_err(&format!("hostile document parsed cleanly: {doc:?}"));
+        assert!(!err.to_string().is_empty(), "empty error message for {doc:?}");
+    }
+}
+
+/// Deeply nested arrays and objects hit the depth limit as a typed error —
+/// the stack is never the failing resource.
+#[test]
+fn deep_nesting_is_a_typed_error_for_both_container_kinds() {
+    let deep_arrays = "[".repeat(100_000);
+    let err = JsonValue::parse(&deep_arrays).unwrap_err();
+    assert_eq!(err.kind(), JsonErrorKind::TooDeep);
+
+    let mut deep_objects = String::new();
+    for _ in 0..100_000 {
+        deep_objects.push_str("{\"k\":");
+    }
+    let err = JsonValue::parse(&deep_objects).unwrap_err();
+    assert_eq!(err.kind(), JsonErrorKind::TooDeep);
+}
+
+/// Nesting just inside the limit still parses: the guard is a ceiling, not
+/// a behavior change for real documents.
+#[test]
+fn nesting_inside_the_limit_still_parses() {
+    let limits = ParseLimits::default();
+    let depth = limits.max_depth - 1;
+    let doc = format!("{}1{}", "[".repeat(depth), "]".repeat(depth));
+    assert!(JsonValue::parse(&doc).is_ok());
+}
+
+/// Overlong numbers are rejected by length before the float parser sees
+/// them; boundary-length numbers still parse.
+#[test]
+fn overlong_numbers_are_rejected_by_length() {
+    let huge = "9".repeat(100_000);
+    let err = JsonValue::parse(&huge).unwrap_err();
+    assert_eq!(err.kind(), JsonErrorKind::NumberTooLong);
+
+    // A long-but-legal fraction within the limit parses fine.
+    let fine = format!("0.{}", "3".repeat(64));
+    assert!(JsonValue::parse(&fine).is_ok());
+}
+
+/// Documents over the byte ceiling are rejected before parsing starts.
+#[test]
+fn oversized_documents_are_rejected_up_front() {
+    let limits = ParseLimits { max_bytes: 1024, ..ParseLimits::default() };
+    let big = format!("[{}1]", "1,".repeat(1000));
+    let err = JsonValue::parse_with_limits(&big, &limits).unwrap_err();
+    assert_eq!(err.kind(), JsonErrorKind::TooLarge);
+    // The same document passes under default limits.
+    assert!(JsonValue::parse(&big).is_ok());
+}
+
+/// Escaped control characters remain legal; only raw ones are rejected, so
+/// writer output (which always escapes) still round-trips.
+#[test]
+fn escaped_control_characters_round_trip() {
+    let original = JsonValue::String("line\nbreak\ttab\u{1}bell".to_owned());
+    let rendered = original.render_compact();
+    assert_eq!(JsonValue::parse(&rendered).unwrap(), original);
+}
+
+/// Lone surrogates in `\u` escapes degrade to U+FFFD instead of failing —
+/// tolerated, but never emitted as invalid UTF-8.
+#[test]
+fn lone_surrogates_degrade_to_replacement() {
+    let v = JsonValue::parse("\"\\ud800\"").unwrap();
+    assert_eq!(v.as_str(), Some("\u{FFFD}"));
+}

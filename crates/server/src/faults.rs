@@ -1,0 +1,267 @@
+//! Deterministic fault injection.
+//!
+//! The chaos harness needs the server to misbehave *on demand and
+//! reproducibly*: slow its reads, corrupt a request body, panic inside a
+//! handler, kill a worker thread, or stall an evaluation. A [`FaultPlan`]
+//! describes the probability mix; each connection then derives its own
+//! fault decision from `(plan seed, connection id)` via `act-rng`, so a
+//! given seed always injects the same faults at the same connections —
+//! rerunning a failing soak reproduces it exactly.
+//!
+//! Two trigger paths:
+//!
+//! * **Probabilistic** — the plan's `p_*` knobs roll per connection.
+//! * **Explicit** — a client sends `X-Act-Fault: panic` (or `kill-worker`,
+//!   `delay:<ms>`, `slow-read:<ms>`, `malformed`) and gets exactly that
+//!   fault. Honored only when a plan is active; production servers without
+//!   `--faults` ignore the header entirely.
+
+use std::time::Duration;
+
+use act_rng::Rng;
+
+/// The probability mix for injected faults, parsed from a spec string like
+/// `seed=42,p_slow=0.2,slow_read_ms=50,p_panic=0.05`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Master seed; combined with the connection id for per-connection
+    /// decisions.
+    pub seed: u64,
+    /// Probability of throttling reads on a connection.
+    pub p_slow: f64,
+    /// Per-read delay applied when the slow-read fault fires.
+    pub slow_read_ms: u64,
+    /// Probability of corrupting the request body before parsing.
+    pub p_malformed: f64,
+    /// Probability of panicking inside the handler.
+    pub p_panic: f64,
+    /// Probability of killing the worker thread outright.
+    pub p_kill: f64,
+    /// Probability of stalling before evaluation.
+    pub p_delay: f64,
+    /// Stall duration when the delay fault fires.
+    pub eval_delay_ms: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            p_slow: 0.0,
+            slow_read_ms: 0,
+            p_malformed: 0.0,
+            p_panic: 0.0,
+            p_kill: 0.0,
+            p_delay: 0.0,
+            eval_delay_ms: 0,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Parses a `key=value,key=value` spec. Unknown keys and malformed
+    /// values are errors — a typo in a chaos run must not silently disable
+    /// the fault it meant to enable.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending clause.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = Self::default();
+        for clause in spec.split(',').map(str::trim).filter(|c| !c.is_empty()) {
+            let Some((key, value)) = clause.split_once('=') else {
+                return Err(format!("fault clause `{clause}` is not key=value"));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            let bad = |what: &str| format!("fault clause `{clause}`: bad {what} `{value}`");
+            match key {
+                "seed" => plan.seed = value.parse().map_err(|_| bad("integer"))?,
+                "slow_read_ms" => {
+                    plan.slow_read_ms = value.parse().map_err(|_| bad("integer"))?;
+                }
+                "eval_delay_ms" => {
+                    plan.eval_delay_ms = value.parse().map_err(|_| bad("integer"))?;
+                }
+                "p_slow" | "p_malformed" | "p_panic" | "p_kill" | "p_delay" => {
+                    let p: f64 = value.parse().map_err(|_| bad("probability"))?;
+                    if !(0.0..=1.0).contains(&p) {
+                        return Err(bad("probability (must be in [0, 1])"));
+                    }
+                    match key {
+                        "p_slow" => plan.p_slow = p,
+                        "p_malformed" => plan.p_malformed = p,
+                        "p_panic" => plan.p_panic = p,
+                        "p_kill" => plan.p_kill = p,
+                        _ => plan.p_delay = p,
+                    }
+                }
+                _ => return Err(format!("unknown fault key `{key}`")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Rolls the dice for connection `conn_id`. Deterministic: the same
+    /// `(seed, conn_id)` always yields the same decision.
+    #[must_use]
+    pub fn decide(&self, conn_id: u64) -> FaultDecision {
+        // SplitMix-style combine keeps nearby connection ids uncorrelated.
+        let mixed = self.seed ^ conn_id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = Rng::seed_from_u64(mixed);
+        let mut roll = |p: f64| p > 0.0 && rng.gen_range(0.0..1.0) < p;
+        // Roll every knob unconditionally so one knob's probability does
+        // not shift another's random stream.
+        let slow = roll(self.p_slow);
+        let malformed = roll(self.p_malformed);
+        let panic = roll(self.p_panic);
+        let kill = roll(self.p_kill);
+        let delay = roll(self.p_delay);
+        FaultDecision {
+            slow_read: slow.then(|| Duration::from_millis(self.slow_read_ms)),
+            malformed_body: malformed,
+            panic_in_handler: panic,
+            kill_worker: kill,
+            eval_delay: delay.then(|| Duration::from_millis(self.eval_delay_ms)),
+        }
+    }
+
+    /// Parses an explicit `X-Act-Fault` header value into a decision,
+    /// overriding the probabilistic roll for this connection.
+    #[must_use]
+    pub fn from_header(value: &str) -> Option<FaultDecision> {
+        let mut decision = FaultDecision::none();
+        match value.trim() {
+            "panic" => decision.panic_in_handler = true,
+            "kill-worker" => decision.kill_worker = true,
+            "malformed" => decision.malformed_body = true,
+            other => {
+                if let Some(ms) = other.strip_prefix("delay:") {
+                    decision.eval_delay = Some(Duration::from_millis(ms.parse().ok()?));
+                } else if let Some(ms) = other.strip_prefix("slow-read:") {
+                    decision.slow_read = Some(Duration::from_millis(ms.parse().ok()?));
+                } else {
+                    return None;
+                }
+            }
+        }
+        Some(decision)
+    }
+}
+
+/// The faults to inject on one specific connection.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultDecision {
+    /// Sleep this long before every socket read.
+    pub slow_read: Option<Duration>,
+    /// Corrupt the request body before handing it to the parser.
+    pub malformed_body: bool,
+    /// Panic inside the handler (exercises `catch_unwind` → 500).
+    pub panic_in_handler: bool,
+    /// Kill the worker thread (exercises supervisor respawn).
+    pub kill_worker: bool,
+    /// Sleep this long before evaluating the model (exercises deadlines).
+    pub eval_delay: Option<Duration>,
+}
+
+impl FaultDecision {
+    /// The no-fault decision.
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// `true` when any fault is armed.
+    #[must_use]
+    pub fn any(&self) -> bool {
+        self.slow_read.is_some()
+            || self.malformed_body
+            || self.panic_in_handler
+            || self.kill_worker
+            || self.eval_delay.is_some()
+    }
+}
+
+/// Deterministically corrupts a request body in place: truncate to half
+/// and flip a byte, turning valid JSON into a framing/parse error without
+/// any randomness beyond what picked this connection.
+pub fn corrupt_body(body: &mut Vec<u8>) {
+    let half = body.len() / 2;
+    body.truncate(half);
+    if let Some(byte) = body.first_mut() {
+        *byte ^= 0x55;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_every_knob() {
+        let plan = FaultPlan::parse(
+            "seed=42, p_slow=0.25, slow_read_ms=50, p_malformed=0.1, p_panic=0.05, \
+             p_kill=0.01, p_delay=0.5, eval_delay_ms=10",
+        )
+        .unwrap();
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.slow_read_ms, 50);
+        assert_eq!(plan.eval_delay_ms, 10);
+        assert!((plan.p_slow - 0.25).abs() < 1e-12);
+        assert!((plan.p_kill - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parse_rejects_bad_specs() {
+        assert!(FaultPlan::parse("p_slow=1.5").is_err());
+        assert!(FaultPlan::parse("p_slow=abc").is_err());
+        assert!(FaultPlan::parse("bogus=1").is_err());
+        assert!(FaultPlan::parse("p_slow").is_err());
+        assert!(FaultPlan::parse("").is_ok());
+    }
+
+    #[test]
+    fn decisions_are_deterministic_per_connection() {
+        let plan = FaultPlan::parse("seed=7,p_panic=0.5,p_slow=0.5,slow_read_ms=5").unwrap();
+        for conn in 0..64 {
+            assert_eq!(plan.decide(conn), plan.decide(conn));
+        }
+        // With p=0.5 knobs, 64 connections must not all agree.
+        let first = plan.decide(0);
+        assert!((0..64).any(|c| plan.decide(c) != first));
+    }
+
+    #[test]
+    fn zero_probabilities_never_fire() {
+        let plan = FaultPlan::parse("seed=3").unwrap();
+        for conn in 0..256 {
+            assert!(!plan.decide(conn).any());
+        }
+    }
+
+    #[test]
+    fn header_overrides_parse() {
+        assert!(FaultPlan::from_header("panic").unwrap().panic_in_handler);
+        assert!(FaultPlan::from_header("kill-worker").unwrap().kill_worker);
+        assert!(FaultPlan::from_header("malformed").unwrap().malformed_body);
+        assert_eq!(
+            FaultPlan::from_header("delay:25").unwrap().eval_delay,
+            Some(Duration::from_millis(25))
+        );
+        assert_eq!(
+            FaultPlan::from_header("slow-read:9").unwrap().slow_read,
+            Some(Duration::from_millis(9))
+        );
+        assert!(FaultPlan::from_header("nonsense").is_none());
+        assert!(FaultPlan::from_header("delay:abc").is_none());
+    }
+
+    #[test]
+    fn corruption_is_deterministic() {
+        let mut a = br#"{"key": "value", "other": 123}"#.to_vec();
+        let mut b = a.clone();
+        corrupt_body(&mut a);
+        corrupt_body(&mut b);
+        assert_eq!(a, b);
+        assert!(a.len() < 30);
+    }
+}

@@ -1,0 +1,384 @@
+//! A minimal, hardened HTTP/1.1 reader/writer over `std::net::TcpStream`.
+//!
+//! This is not a general HTTP implementation — it is exactly the subset
+//! `act-server` speaks, built for hostile peers: every read is bounded by
+//! the socket read timeout the caller configured, header and body sizes
+//! are capped, and every failure is a typed [`HttpError`] that maps to one
+//! status code and one parseable NDJSON error line. Responses always carry
+//! `Connection: close`; one connection serves one request, which keeps the
+//! accounting (and the drain logic) trivially correct.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Upper bound on the request line plus all headers, in bytes.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// A parsed request: method, path, headers, body.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Upper-cased method token (`GET`, `POST`, ...).
+    pub method: String,
+    /// The request target, e.g. `/v1/footprint` (query strings included
+    /// verbatim; the service does not use them).
+    pub path: String,
+    /// Header `(name, value)` pairs; names are lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of header `name` (lower-case), if present.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read; each variant maps to one HTTP status.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HttpError {
+    /// Malformed request line, header syntax, or body framing.
+    BadRequest(String),
+    /// The socket read timed out (slowloris or stalled peer).
+    Timeout,
+    /// The peer closed the connection before a full request arrived.
+    Disconnected,
+    /// Request line + headers exceeded [`MAX_HEAD_BYTES`].
+    HeadTooLarge,
+    /// `Content-Length` exceeded the configured body cap.
+    BodyTooLarge {
+        /// The declared length.
+        declared: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+    /// A `POST` without a `Content-Length` header.
+    LengthRequired,
+    /// Any other socket error.
+    Io(String),
+}
+
+impl HttpError {
+    /// The HTTP status this error is reported as.
+    #[must_use]
+    pub fn status(&self) -> Status {
+        match self {
+            Self::BadRequest(_) => Status::BadRequest,
+            Self::Timeout => Status::RequestTimeout,
+            Self::Disconnected | Self::Io(_) => Status::BadRequest,
+            Self::HeadTooLarge => Status::HeaderTooLarge,
+            Self::BodyTooLarge { .. } => Status::PayloadTooLarge,
+            Self::LengthRequired => Status::LengthRequired,
+        }
+    }
+
+    /// Stable machine-readable kind for the NDJSON error line.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::BadRequest(_) => "bad-request",
+            Self::Timeout => "timeout",
+            Self::Disconnected => "disconnected",
+            Self::HeadTooLarge => "head-too-large",
+            Self::BodyTooLarge { .. } => "body-too-large",
+            Self::LengthRequired => "length-required",
+            Self::Io(_) => "io",
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            Self::Timeout => f.write_str("timed out reading the request"),
+            Self::Disconnected => f.write_str("peer disconnected mid-request"),
+            Self::HeadTooLarge => {
+                write!(f, "request head exceeds {MAX_HEAD_BYTES} bytes")
+            }
+            Self::BodyTooLarge { declared, limit } => {
+                write!(f, "declared body of {declared} bytes exceeds the {limit}-byte limit")
+            }
+            Self::LengthRequired => f.write_str("POST requires a Content-Length header"),
+            Self::Io(msg) => write!(f, "socket error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// The status codes the service emits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Status {
+    /// 200
+    Ok,
+    /// 400
+    BadRequest,
+    /// 404
+    NotFound,
+    /// 405
+    MethodNotAllowed,
+    /// 408
+    RequestTimeout,
+    /// 411
+    LengthRequired,
+    /// 413
+    PayloadTooLarge,
+    /// 431
+    HeaderTooLarge,
+    /// 500
+    InternalError,
+    /// 503
+    Overloaded,
+}
+
+impl Status {
+    /// `"200 OK"`-style status line tail.
+    #[must_use]
+    pub fn line(self) -> &'static str {
+        match self {
+            Self::Ok => "200 OK",
+            Self::BadRequest => "400 Bad Request",
+            Self::NotFound => "404 Not Found",
+            Self::MethodNotAllowed => "405 Method Not Allowed",
+            Self::RequestTimeout => "408 Request Timeout",
+            Self::LengthRequired => "411 Length Required",
+            Self::PayloadTooLarge => "413 Payload Too Large",
+            Self::HeaderTooLarge => "431 Request Header Fields Too Large",
+            Self::InternalError => "500 Internal Server Error",
+            Self::Overloaded => "503 Service Unavailable",
+        }
+    }
+
+    /// The numeric code.
+    #[must_use]
+    pub fn code(self) -> u16 {
+        match self {
+            Self::Ok => 200,
+            Self::BadRequest => 400,
+            Self::NotFound => 404,
+            Self::MethodNotAllowed => 405,
+            Self::RequestTimeout => 408,
+            Self::LengthRequired => 411,
+            Self::PayloadTooLarge => 413,
+            Self::HeaderTooLarge => 431,
+            Self::InternalError => 500,
+            Self::Overloaded => 503,
+        }
+    }
+}
+
+/// Classifies an I/O failure from a timed-out socket.
+fn classify_io(err: &std::io::Error) -> HttpError {
+    match err.kind() {
+        ErrorKind::WouldBlock | ErrorKind::TimedOut => HttpError::Timeout,
+        ErrorKind::UnexpectedEof | ErrorKind::ConnectionReset | ErrorKind::BrokenPipe => {
+            HttpError::Disconnected
+        }
+        _ => HttpError::Io(err.to_string()),
+    }
+}
+
+/// Reads one full request (head + body) from `stream`.
+///
+/// The caller is responsible for having set the socket read timeout; this
+/// function turns timeout/EOF conditions into typed errors instead of
+/// blocking forever. `max_body_bytes` caps the accepted `Content-Length`.
+/// `read_delay` injects an artificial pause before every read — the
+/// fault-injection hook for exercising the timeout path deterministically.
+///
+/// # Errors
+///
+/// Returns an [`HttpError`] naming the first framing/size/socket problem.
+pub fn read_request(
+    stream: &mut TcpStream,
+    max_body_bytes: usize,
+    read_delay: Option<Duration>,
+) -> Result<Request, HttpError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    // Read until the blank line that ends the head.
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::HeadTooLarge);
+        }
+        if let Some(delay) = read_delay {
+            std::thread::sleep(delay);
+        }
+        let n = stream.read(&mut chunk).map_err(|e| classify_io(&e))?;
+        if n == 0 {
+            return Err(if buf.is_empty() {
+                HttpError::BadRequest("empty request".to_owned())
+            } else {
+                HttpError::Disconnected
+            });
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::BadRequest("request head is not UTF-8".to_owned()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::BadRequest(format!("malformed request line `{request_line}`")));
+    };
+    if parts.next().is_some() || !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest(format!("malformed request line `{request_line}`")));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::BadRequest(format!("malformed header `{line}`")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let mut request =
+        Request { method: method.to_owned(), path: path.to_owned(), headers, body: Vec::new() };
+
+    let content_length = match request.header("content-length") {
+        Some(raw) => Some(
+            raw.parse::<usize>()
+                .map_err(|_| HttpError::BadRequest(format!("bad Content-Length `{raw}`")))?,
+        ),
+        None => None,
+    };
+    let declared = match content_length {
+        Some(n) => n,
+        None if request.method == "POST" => return Err(HttpError::LengthRequired),
+        None => 0,
+    };
+    if declared > max_body_bytes {
+        return Err(HttpError::BodyTooLarge { declared, limit: max_body_bytes });
+    }
+
+    // The body: whatever arrived after the head, then read the remainder.
+    let mut body: Vec<u8> = buf[head_end + 4..].to_vec();
+    // Defensive cap on the first chunk too: a peer may send more than it
+    // declared; never buffer beyond the declared length.
+    body.truncate(declared);
+    while body.len() < declared {
+        if let Some(delay) = read_delay {
+            std::thread::sleep(delay);
+        }
+        let n = stream.read(&mut chunk).map_err(|e| classify_io(&e))?;
+        if n == 0 {
+            return Err(HttpError::Disconnected);
+        }
+        let take = (declared - body.len()).min(n);
+        body.extend_from_slice(&chunk[..take]);
+    }
+    request.body = body;
+    Ok(request)
+}
+
+/// Byte offset of the `\r\n\r\n` head terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Writes a complete response with a known body (adds `Content-Length`).
+///
+/// # Errors
+///
+/// Propagates socket errors; the caller usually just drops the connection.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: Status,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {}\r\nContent-Type: application/x-ndjson\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status.line(),
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Writes a complete response with extra header lines (each must be a full
+/// `Name: value` string without the trailing CRLF).
+///
+/// # Errors
+///
+/// Propagates socket errors.
+pub fn write_response_with_headers(
+    stream: &mut TcpStream,
+    status: Status,
+    extra_headers: &[&str],
+    body: &str,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {}\r\nContent-Type: application/x-ndjson\r\nContent-Length: {}\r\nConnection: close\r\n",
+        status.line(),
+        body.len(),
+    );
+    for header in extra_headers {
+        head.push_str(header);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Starts a streamed NDJSON response: status plus headers, no
+/// `Content-Length` — the body is delimited by connection close, which is
+/// the HTTP/1.1 contract when the producer cannot know the length up
+/// front (a sweep cut off by its deadline, for instance).
+///
+/// # Errors
+///
+/// Propagates socket errors.
+pub fn write_stream_head(stream: &mut TcpStream, status: Status) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {}\r\nContent-Type: application/x-ndjson\r\nConnection: close\r\n\r\n",
+        status.line(),
+    );
+    stream.write_all(head.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_end_detection() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nrest"), Some(14));
+        assert_eq!(find_head_end(b"partial\r\n"), None);
+    }
+
+    #[test]
+    fn statuses_map_to_lines_and_codes() {
+        assert_eq!(Status::Ok.line(), "200 OK");
+        assert_eq!(Status::Overloaded.code(), 503);
+        assert_eq!(HttpError::Timeout.status(), Status::RequestTimeout);
+        assert_eq!(
+            HttpError::BodyTooLarge { declared: 10, limit: 5 }.status(),
+            Status::PayloadTooLarge
+        );
+        assert_eq!(HttpError::LengthRequired.kind(), "length-required");
+    }
+
+    #[test]
+    fn error_messages_render() {
+        let err = HttpError::BodyTooLarge { declared: 100, limit: 50 };
+        assert!(err.to_string().contains("100"));
+        assert!(err.to_string().contains("50"));
+        assert!(HttpError::Timeout.to_string().contains("timed out"));
+    }
+}

@@ -1,0 +1,550 @@
+//! Request routing and the model endpoints.
+//!
+//! Every response body is NDJSON: one complete JSON document per line,
+//! including every error path — a client (or the soak harness) can always
+//! parse line-by-line without sniffing content types. Experiment renderings
+//! are byte-identical to `act --json <id>` stdout lines: the server calls
+//! the same `try_render_experiment` and appends the same single newline.
+//!
+//! Sweeps and Monte-Carlo runs honor the per-request deadline through
+//! [`act_dse::EvalBudget`]: a request that runs out of time streams the
+//! results it finished and ends with a `{"error":"deadline",...}` trailer
+//! instead of hanging or being killed mid-write.
+
+use std::net::TcpStream;
+use std::time::Instant;
+
+use act_core::{CompiledFootprint, FreeAxis, ModelParams};
+use act_dse::{
+    monte_carlo_compiled_budgeted, sweep_compiled_budgeted, BatchOutput, BatchRun, EvalBudget,
+    McBuffer,
+};
+use act_experiments::{concrete_experiment_ids, try_render_experiment, OutputFormat};
+use act_json::{format_float, FromJson, JsonValue, ToJson};
+
+use crate::faults::FaultDecision;
+use crate::http::{write_response, write_stream_head, Request, Status};
+use crate::stats::ServerStats;
+use crate::ServerConfig;
+
+/// How a dispatched request ended, for the caller's accounting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouteOutcome {
+    /// 2xx, complete response.
+    Completed,
+    /// 4xx — the client's fault.
+    ClientError,
+    /// 2xx head, but the stream ended with a deadline trailer.
+    DeadlinePartial,
+    /// The request asked the server to shut down (and was honored).
+    ShutdownRequested,
+}
+
+/// Renders the uniform one-line error body:
+/// `{"error":{"kind":"...","message":"..."}}` plus newline.
+#[must_use]
+pub fn error_line(kind: &str, message: &str) -> String {
+    let obj = act_json::JsonObject::new().with(
+        "error",
+        JsonValue::Object(
+            act_json::JsonObject::new()
+                .with("kind", JsonValue::String(kind.to_owned()))
+                .with("message", JsonValue::String(message.to_owned())),
+        ),
+    );
+    let mut line = JsonValue::Object(obj).render_compact();
+    line.push('\n');
+    line
+}
+
+/// A validation failure mapped to one status + one error line.
+struct Reject {
+    status: Status,
+    kind: &'static str,
+    message: String,
+}
+
+impl Reject {
+    fn bad(kind: &'static str, message: impl Into<String>) -> Self {
+        Self { status: Status::BadRequest, kind, message: message.into() }
+    }
+}
+
+/// Dispatches one parsed request and writes the full response.
+///
+/// Returns the outcome for counter accounting, or the I/O error if the
+/// peer vanished mid-write (the caller just drops the connection).
+///
+/// # Errors
+///
+/// Propagates socket write errors.
+pub fn dispatch(
+    stream: &mut TcpStream,
+    request: &Request,
+    config: &ServerConfig,
+    stats: &ServerStats,
+    deadline: Instant,
+    fault: &FaultDecision,
+) -> std::io::Result<RouteOutcome> {
+    if fault.panic_in_handler {
+        panic!("injected handler panic (X-Act-Fault/plan)");
+    }
+    if let Some(delay) = fault.eval_delay {
+        std::thread::sleep(delay);
+    }
+
+    let method = request.method.as_str();
+    let path = request.path.as_str();
+    match (method, path) {
+        ("GET", "/healthz") => {
+            write_response(stream, Status::Ok, "{\"ok\":true}\n")?;
+            Ok(RouteOutcome::Completed)
+        }
+        ("GET", "/v1/stats") => {
+            let mut line = stats.snapshot().to_json().render_compact();
+            line.push('\n');
+            write_response(stream, Status::Ok, &line)?;
+            Ok(RouteOutcome::Completed)
+        }
+        ("GET", "/v1/params/reference") => {
+            // The mobile reference configuration, ready to edit and POST
+            // back to /v1/footprint — also how dependency-free harnesses
+            // obtain a valid params document.
+            let mut line = ModelParams::mobile_reference().to_json().render_compact();
+            line.push('\n');
+            write_response(stream, Status::Ok, &line)?;
+            Ok(RouteOutcome::Completed)
+        }
+        ("GET", "/v1/experiments") => {
+            let ids = concrete_experiment_ids();
+            let obj = act_json::JsonObject::new().with("experiments", ids.to_json());
+            let mut line = JsonValue::Object(obj).render_compact();
+            line.push('\n');
+            write_response(stream, Status::Ok, &line)?;
+            Ok(RouteOutcome::Completed)
+        }
+        ("GET", _) if path.starts_with("/v1/experiments/") => {
+            let id = &path["/v1/experiments/".len()..];
+            match try_render_experiment(id, OutputFormat::Json) {
+                Ok(rendered) => {
+                    // Byte-identical to `act --json <id>`: rendering + "\n".
+                    let mut body = rendered;
+                    body.push('\n');
+                    write_response(stream, Status::Ok, &body)?;
+                    Ok(RouteOutcome::Completed)
+                }
+                Err(act_experiments::ExperimentError::UnknownId(id)) => {
+                    let body =
+                        error_line("unknown-experiment", &format!("no experiment `{id}`"));
+                    write_response(stream, Status::NotFound, &body)?;
+                    Ok(RouteOutcome::ClientError)
+                }
+                Err(err) => {
+                    let body = error_line("experiment-failed", &err.to_string());
+                    write_response(stream, Status::InternalError, &body)?;
+                    Ok(RouteOutcome::ClientError)
+                }
+            }
+        }
+        ("POST", "/v1/footprint") => handle_footprint(stream, request),
+        ("POST", "/v1/sweep") => handle_sweep(stream, request, config, stats, deadline),
+        ("POST", "/v1/montecarlo") => {
+            handle_montecarlo(stream, request, config, stats, deadline)
+        }
+        ("POST", "/admin/shutdown") => {
+            if config.allow_remote_shutdown {
+                write_response(stream, Status::Ok, "{\"shutting_down\":true}\n")?;
+                Ok(RouteOutcome::ShutdownRequested)
+            } else {
+                let body = error_line("forbidden", "remote shutdown is disabled");
+                write_response(stream, Status::NotFound, &body)?;
+                Ok(RouteOutcome::ClientError)
+            }
+        }
+        ("GET" | "POST", _) => {
+            let body = error_line("not-found", &format!("no route for {method} {path}"));
+            write_response(stream, Status::NotFound, &body)?;
+            Ok(RouteOutcome::ClientError)
+        }
+        _ => {
+            let body = error_line("method-not-allowed", &format!("method {method}"));
+            write_response(stream, Status::MethodNotAllowed, &body)?;
+            Ok(RouteOutcome::ClientError)
+        }
+    }
+}
+
+/// Parses the request body as UTF-8 JSON, mapping failures to one reject.
+fn parse_body(request: &Request) -> Result<JsonValue, Reject> {
+    let text = std::str::from_utf8(&request.body)
+        .map_err(|_| Reject::bad("invalid-body", "request body is not UTF-8"))?;
+    JsonValue::parse(text).map_err(|err| Reject::bad("invalid-json", err.to_string()))
+}
+
+/// `POST /v1/footprint` — one `ModelParams` document in, one
+/// `{"gco2":...}` line out. Lowered through `CompiledFootprint` with no
+/// free axes so it exercises the same kernel path as sweeps.
+fn handle_footprint(
+    stream: &mut TcpStream,
+    request: &Request,
+) -> std::io::Result<RouteOutcome> {
+    let result = parse_body(request).and_then(|doc| {
+        let params = ModelParams::from_json(&doc)
+            .map_err(|err| Reject::bad("invalid-params", err.to_string()))?;
+        let compiled = CompiledFootprint::try_compile(&params, &[])
+            .map_err(|err| Reject::bad("invalid-params", err.to_string()))?;
+        Ok(compiled.eval(&[]))
+    });
+    match result {
+        Ok(gco2) => {
+            let body = format!("{{\"gco2\":{}}}\n", format_float(gco2));
+            write_response(stream, Status::Ok, &body)?;
+            Ok(RouteOutcome::Completed)
+        }
+        Err(reject) => {
+            let body = error_line(reject.kind, &reject.message);
+            write_response(stream, reject.status, &body)?;
+            Ok(RouteOutcome::ClientError)
+        }
+    }
+}
+
+/// Maps an axis name from the wire (`"soc_area_mm2"`, `"dram[0]"`, ...)
+/// to the corresponding [`FreeAxis`]. Names match the `ModelParams` JSON
+/// fields, so a client sweeps exactly the fields it posted.
+fn parse_axis_name(name: &str) -> Result<FreeAxis, Reject> {
+    let indexed = |prefix: &str| -> Option<usize> {
+        name.strip_prefix(prefix)?.strip_suffix(']')?.parse().ok()
+    };
+    match name {
+        "execution_time_s" => Ok(FreeAxis::ExecutionTime),
+        "lifetime_years" => Ok(FreeAxis::Lifetime),
+        "soc_area_mm2" => Ok(FreeAxis::SocArea),
+        "use_intensity_g_per_kwh" => Ok(FreeAxis::UseIntensity),
+        "fab_intensity_g_per_kwh" => Ok(FreeAxis::FabIntensity),
+        "fab_yield" => Ok(FreeAxis::FabYield),
+        "energy_j" => Ok(FreeAxis::Energy),
+        _ => {
+            if let Some(i) = indexed("dram[") {
+                Ok(FreeAxis::DramCapacity(i))
+            } else if let Some(i) = indexed("ssd[") {
+                Ok(FreeAxis::SsdCapacity(i))
+            } else if let Some(i) = indexed("hdd[") {
+                Ok(FreeAxis::HddCapacity(i))
+            } else {
+                Err(Reject::bad("unknown-axis", format!("unknown axis `{name}`")))
+            }
+        }
+    }
+}
+
+/// The decoded, validated body of a sweep request.
+struct SweepRequest {
+    compiled: CompiledFootprint,
+    columns: Vec<Vec<f64>>,
+    points: usize,
+}
+
+fn parse_sweep(request: &Request, config: &ServerConfig) -> Result<SweepRequest, Reject> {
+    let doc = parse_body(request)?;
+    let params_json =
+        doc.get("params").ok_or_else(|| Reject::bad("invalid-params", "missing `params`"))?;
+    let params = ModelParams::from_json(params_json)
+        .map_err(|err| Reject::bad("invalid-params", err.to_string()))?;
+    let axes_json = doc
+        .get("axes")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| Reject::bad("invalid-axes", "missing `axes` array"))?;
+    if axes_json.is_empty() {
+        return Err(Reject::bad("invalid-axes", "`axes` must not be empty"));
+    }
+    let mut axes = Vec::with_capacity(axes_json.len());
+    let mut columns: Vec<Vec<f64>> = Vec::with_capacity(axes_json.len());
+    let mut points = None;
+    for entry in axes_json {
+        let name = entry
+            .get("axis")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| Reject::bad("invalid-axes", "axis entry missing `axis` name"))?;
+        axes.push(parse_axis_name(name)?);
+        let values = entry.get("values").and_then(JsonValue::as_array).ok_or_else(|| {
+            Reject::bad("invalid-axes", format!("axis `{name}` missing `values` array"))
+        })?;
+        let column: Vec<f64> = values
+            .iter()
+            .map(|v| {
+                v.as_f64().ok_or_else(|| {
+                    Reject::bad("invalid-axes", format!("axis `{name}` has a non-number value"))
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        if column.is_empty() {
+            return Err(Reject::bad("invalid-axes", format!("axis `{name}` has no values")));
+        }
+        match points {
+            None => points = Some(column.len()),
+            Some(n) if n != column.len() => {
+                return Err(Reject::bad(
+                    "invalid-axes",
+                    format!("axis `{name}` has {} values, expected {n}", column.len()),
+                ));
+            }
+            Some(_) => {}
+        }
+        columns.push(column);
+    }
+    let points = points.unwrap_or(0);
+    if points > config.max_sweep_points {
+        return Err(Reject {
+            status: Status::PayloadTooLarge,
+            kind: "too-many-points",
+            message: format!(
+                "{points} points exceed the {}-point limit",
+                config.max_sweep_points
+            ),
+        });
+    }
+    let compiled = CompiledFootprint::try_compile(&params, &axes)
+        .map_err(|err| Reject::bad("invalid-params", err.to_string()))?;
+    Ok(SweepRequest { compiled, columns, points })
+}
+
+/// `POST /v1/sweep` — streams one `{"i":N,"gco2":...}` line per point
+/// (or `{"i":N,"error":reason}` for rejected points), then a trailer.
+fn handle_sweep(
+    stream: &mut TcpStream,
+    request: &Request,
+    config: &ServerConfig,
+    stats: &ServerStats,
+    deadline: Instant,
+) -> std::io::Result<RouteOutcome> {
+    let sweep = match parse_sweep(request, config) {
+        Ok(sweep) => sweep,
+        Err(reject) => {
+            let body = error_line(reject.kind, &reject.message);
+            write_response(stream, reject.status, &body)?;
+            return Ok(RouteOutcome::ClientError);
+        }
+    };
+
+    let batch = act_dse::PointBatch::from_columns(sweep.columns);
+    let mut out = BatchOutput::default();
+    let budget = EvalBudget::with_deadline(deadline);
+    let run = sweep_compiled_budgeted(&batch, |p| sweep.compiled.eval(p), &mut out, &budget);
+
+    // Evaluation is done; stream the results. Writes after this point are
+    // covered by the socket write timeout, not the eval budget.
+    write_stream_head(stream, Status::Ok)?;
+    use std::io::Write;
+    let completed = match run {
+        BatchRun::Completed => sweep.points,
+        BatchRun::DeadlineExceeded { completed } => completed,
+    };
+    let mut rejected_iter = out.rejected().iter().peekable();
+    let mut buf = String::with_capacity(64);
+    for (i, value) in out.values().iter().take(completed).enumerate() {
+        buf.clear();
+        if rejected_iter.peek().is_some_and(|r| r.index == i) {
+            let reason = rejected_iter.next().map(|r| r.reason.as_str()).unwrap_or("rejected");
+            let obj = act_json::JsonObject::new()
+                .with("i", i.to_json())
+                .with("error", JsonValue::String(reason.to_owned()));
+            buf.push_str(&JsonValue::Object(obj).render_compact());
+        } else {
+            buf.push_str(&format!("{{\"i\":{i},\"gco2\":{}}}", format_float(*value)));
+        }
+        buf.push('\n');
+        stream.write_all(buf.as_bytes())?;
+    }
+    match run {
+        BatchRun::Completed => {
+            let trailer = format!(
+                "{{\"done\":true,\"points\":{},\"rejected\":{}}}\n",
+                sweep.points,
+                out.rejected().len()
+            );
+            stream.write_all(trailer.as_bytes())?;
+            stream.flush()?;
+            Ok(RouteOutcome::Completed)
+        }
+        BatchRun::DeadlineExceeded { completed } => {
+            ServerStats::bump(&stats.deadline_trailers);
+            let trailer = format!("{{\"error\":\"deadline\",\"completed\":{completed}}}\n");
+            stream.write_all(trailer.as_bytes())?;
+            stream.flush()?;
+            Ok(RouteOutcome::DeadlinePartial)
+        }
+    }
+}
+
+/// The decoded, validated body of a Monte-Carlo request.
+struct McRequest {
+    compiled: CompiledFootprint,
+    ranges: Vec<(f64, f64)>,
+    samples: usize,
+    seed: u64,
+}
+
+fn parse_montecarlo(request: &Request, config: &ServerConfig) -> Result<McRequest, Reject> {
+    let doc = parse_body(request)?;
+    let params_json =
+        doc.get("params").ok_or_else(|| Reject::bad("invalid-params", "missing `params`"))?;
+    let params = ModelParams::from_json(params_json)
+        .map_err(|err| Reject::bad("invalid-params", err.to_string()))?;
+    let samples = doc
+        .get("samples")
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| Reject::bad("invalid-samples", "missing integer `samples`"))?
+        as usize;
+    if samples == 0 {
+        return Err(Reject::bad("invalid-samples", "`samples` must be positive"));
+    }
+    if samples > config.max_mc_samples {
+        return Err(Reject {
+            status: Status::PayloadTooLarge,
+            kind: "too-many-points",
+            message: format!(
+                "{samples} samples exceed the {}-sample limit",
+                config.max_mc_samples
+            ),
+        });
+    }
+    let seed = doc.get("seed").and_then(JsonValue::as_u64).unwrap_or(0);
+    let axes_json = doc
+        .get("axes")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| Reject::bad("invalid-axes", "missing `axes` array"))?;
+    if axes_json.is_empty() {
+        return Err(Reject::bad("invalid-axes", "`axes` must not be empty"));
+    }
+    let mut axes = Vec::with_capacity(axes_json.len());
+    let mut ranges = Vec::with_capacity(axes_json.len());
+    for entry in axes_json {
+        let name = entry
+            .get("axis")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| Reject::bad("invalid-axes", "axis entry missing `axis` name"))?;
+        axes.push(parse_axis_name(name)?);
+        let low = entry.get("low").and_then(JsonValue::as_f64);
+        let high = entry.get("high").and_then(JsonValue::as_f64);
+        let (Some(low), Some(high)) = (low, high) else {
+            return Err(Reject::bad(
+                "invalid-axes",
+                format!("axis `{name}` needs numeric `low` and `high`"),
+            ));
+        };
+        if !(low.is_finite() && high.is_finite() && low < high) {
+            return Err(Reject::bad(
+                "invalid-axes",
+                format!("axis `{name}` needs finite low < high"),
+            ));
+        }
+        ranges.push((low, high));
+    }
+    let compiled = CompiledFootprint::try_compile(&params, &axes)
+        .map_err(|err| Reject::bad("invalid-params", err.to_string()))?;
+    Ok(McRequest { compiled, ranges, samples, seed })
+}
+
+/// `POST /v1/montecarlo` — one summary line (`McOutcome` JSON), or a
+/// deadline trailer when the budget expired before any sample finished.
+fn handle_montecarlo(
+    stream: &mut TcpStream,
+    request: &Request,
+    config: &ServerConfig,
+    stats: &ServerStats,
+    deadline: Instant,
+) -> std::io::Result<RouteOutcome> {
+    let mc = match parse_montecarlo(request, config) {
+        Ok(mc) => mc,
+        Err(reject) => {
+            let body = error_line(reject.kind, &reject.message);
+            write_response(stream, reject.status, &body)?;
+            return Ok(RouteOutcome::ClientError);
+        }
+    };
+
+    let mut buf = McBuffer::default();
+    let budget = EvalBudget::with_deadline(deadline);
+    let ranges = mc.ranges;
+    let result = monte_carlo_compiled_budgeted(
+        mc.samples,
+        mc.seed,
+        ranges.len(),
+        |rng, point| {
+            for (slot, (low, high)) in point.iter_mut().zip(&ranges) {
+                *slot = rng.gen_range(*low..*high);
+            }
+        },
+        |p| mc.compiled.eval(p),
+        &mut buf,
+        &budget,
+    );
+    match result {
+        Ok((outcome, run)) => {
+            let mut line = outcome.to_json().render_compact();
+            line.push('\n');
+            match run {
+                BatchRun::Completed => {
+                    write_response(stream, Status::Ok, &line)?;
+                    Ok(RouteOutcome::Completed)
+                }
+                BatchRun::DeadlineExceeded { completed } => {
+                    ServerStats::bump(&stats.deadline_trailers);
+                    write_stream_head(stream, Status::Ok)?;
+                    use std::io::Write;
+                    stream.write_all(line.as_bytes())?;
+                    let trailer =
+                        format!("{{\"error\":\"deadline\",\"completed\":{completed}}}\n");
+                    stream.write_all(trailer.as_bytes())?;
+                    stream.flush()?;
+                    Ok(RouteOutcome::DeadlinePartial)
+                }
+            }
+        }
+        Err(err) => {
+            let body = error_line("montecarlo-failed", &err.to_string());
+            write_response(stream, Status::BadRequest, &body)?;
+            Ok(RouteOutcome::ClientError)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axis_names_cover_every_free_axis() {
+        assert_eq!(parse_axis_name("execution_time_s").ok(), Some(FreeAxis::ExecutionTime));
+        assert_eq!(parse_axis_name("lifetime_years").ok(), Some(FreeAxis::Lifetime));
+        assert_eq!(parse_axis_name("soc_area_mm2").ok(), Some(FreeAxis::SocArea));
+        assert_eq!(
+            parse_axis_name("use_intensity_g_per_kwh").ok(),
+            Some(FreeAxis::UseIntensity)
+        );
+        assert_eq!(
+            parse_axis_name("fab_intensity_g_per_kwh").ok(),
+            Some(FreeAxis::FabIntensity)
+        );
+        assert_eq!(parse_axis_name("fab_yield").ok(), Some(FreeAxis::FabYield));
+        assert_eq!(parse_axis_name("energy_j").ok(), Some(FreeAxis::Energy));
+        assert_eq!(parse_axis_name("dram[0]").ok(), Some(FreeAxis::DramCapacity(0)));
+        assert_eq!(parse_axis_name("ssd[2]").ok(), Some(FreeAxis::SsdCapacity(2)));
+        assert_eq!(parse_axis_name("hdd[1]").ok(), Some(FreeAxis::HddCapacity(1)));
+        assert!(parse_axis_name("bogus").is_err());
+        assert!(parse_axis_name("dram[x]").is_err());
+    }
+
+    #[test]
+    fn error_lines_are_parseable_json() {
+        let line = error_line("bad-request", "something \"quoted\" broke");
+        let doc = JsonValue::parse(line.trim_end()).unwrap();
+        assert_eq!(
+            doc.get("error").and_then(|e| e.get("kind")).and_then(JsonValue::as_str),
+            Some("bad-request")
+        );
+        assert!(line.ends_with('\n'));
+        assert_eq!(line.matches('\n').count(), 1);
+    }
+}

@@ -406,8 +406,12 @@ fn best_act_ms(root: &Path, args: &[&str], repeats: usize) -> Result<f64, String
 pub fn run_bench(config: &BenchConfig) -> Result<BenchReport, String> {
     let unix_time = unix_time_now();
     let root = &config.root;
+    // `--workspace` matters: the root umbrella package does not depend on
+    // `act-cli`, so a bare `cargo build --release` would skip the binary.
     let (build_ms, built) = time_ms(|| {
-        run_silent(Command::new("cargo").args(["build", "--release"]).current_dir(root))
+        run_silent(
+            Command::new("cargo").args(["build", "--release", "--workspace"]).current_dir(root),
+        )
     });
     if let Err(err) = built {
         return Ok(BenchReport {

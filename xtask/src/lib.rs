@@ -27,6 +27,7 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 pub mod bench;
+pub mod service;
 
 /// One rule violation at a source position.
 #[derive(Clone, Debug, PartialEq, Eq)]

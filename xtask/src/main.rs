@@ -5,6 +5,8 @@
 //! cargo xtask lint --root DIR   # lint a different checkout
 //! cargo xtask bench             # wall-clock trajectory -> BENCH_results.json
 //! cargo xtask bench --quick     # CI-sized run (1 repeat, small sweep)
+//! cargo xtask soak              # seeded chaos run against `act serve`
+//! cargo xtask loadtest          # p50/p99 latency record -> BENCH_results.json
 //! ```
 //!
 //! Exit codes: `0` clean, `1` violations (or stale allowlist entries),
@@ -16,7 +18,9 @@ use std::process::ExitCode;
 fn usage() -> String {
     "xtask — ACT workspace static analysis & benchmarking\n\n\
      usage: cargo xtask lint [--root DIR]\n\
-            cargo xtask bench [--root DIR] [--out FILE] [--quick] [--criterion]\n\n\
+            cargo xtask bench [--root DIR] [--out FILE] [--quick] [--criterion]\n\
+            cargo xtask soak [--root DIR] [--quick] [--seed N]\n\
+            cargo xtask loadtest [--root DIR] [--out FILE] [--quick] [--label NAME]\n\n\
      Rules (see xtask/src/lib.rs for the catalogue):\n\
        ACT001  no `.base()` raw-f64 escape outside act-units/act-data\n\
        ACT002  no unwrap()/expect() in library code (CLI main + tests exempt)\n\
@@ -40,8 +44,25 @@ fn usage() -> String {
        --quick       1 repeat + smaller sweep (CI smoke)\n\
        --criterion   also run `cargo bench --workspace -- --test`\n\
        --label NAME  tag the appended record (e.g. a PR or commit name)\n\n\
-     exit codes: 0 clean, 1 violations, 2 usage/I-O error or bench\n\
-     throughput regression"
+     soak builds the workspace in release mode, starts `act serve` with a\n\
+     seeded fault plan (slow reads, malformed bodies, worker panics and\n\
+     kills, delays) and drives a deterministic mix of good and hostile\n\
+     traffic at it, ending with a SIGTERM delivered mid-traffic. It fails\n\
+     unless: every client operation completes within its timeout (zero\n\
+     hangs), at least one forced panic is answered with a 500 and at least\n\
+     one killed worker is respawned, the drain leaves in_flight=0 and\n\
+     queued=0 with accepted == finished (zero leaked connections), and the\n\
+     server exits 0.\n\
+       --quick       ~80 connections instead of ~320 (CI smoke)\n\
+       --seed N      master seed for the traffic mix and fault plan\n\n\
+     loadtest starts a fault-free `act serve`, measures sequential\n\
+     POST /v1/footprint latency (p50/p99) and request throughput after a\n\
+     warmup, and APPENDS a labeled record to the same trajectory file as\n\
+     bench. Loadtest records carry a `server` block instead of `compiled`\n\
+     readings, so the bench throughput regression guard ignores them.\n\
+       --quick       100 measured requests instead of 400\n\n\
+     exit codes: 0 clean, 1 violations, 2 usage/I-O error, bench\n\
+     throughput regression, or a soak/loadtest contract violation"
         .to_owned()
 }
 
@@ -112,8 +133,116 @@ fn main() -> ExitCode {
             }
             run_bench(&config)
         }
+        "soak" => {
+            let mut config = xtask::service::ServiceConfig::new(PathBuf::from("."));
+            let mut rest = args;
+            while let Some(arg) = rest.next() {
+                match arg.as_str() {
+                    "--root" => match rest.next() {
+                        Some(dir) => config.root = PathBuf::from(dir),
+                        None => {
+                            eprintln!("--root needs a directory\n\n{}", usage());
+                            return ExitCode::from(2);
+                        }
+                    },
+                    "--quick" => config.quick = true,
+                    "--seed" => match rest.next().and_then(|s| s.parse().ok()) {
+                        Some(seed) => config.seed = seed,
+                        None => {
+                            eprintln!("--seed needs an unsigned integer\n\n{}", usage());
+                            return ExitCode::from(2);
+                        }
+                    },
+                    other => {
+                        eprintln!("unknown argument `{other}`\n\n{}", usage());
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            run_soak(&config)
+        }
+        "loadtest" => {
+            let mut config = xtask::service::ServiceConfig::new(PathBuf::from("."));
+            let mut rest = args;
+            while let Some(arg) = rest.next() {
+                match arg.as_str() {
+                    "--root" => match rest.next() {
+                        Some(dir) => config.root = PathBuf::from(dir),
+                        None => {
+                            eprintln!("--root needs a directory\n\n{}", usage());
+                            return ExitCode::from(2);
+                        }
+                    },
+                    "--out" => match rest.next() {
+                        Some(file) => config.out = PathBuf::from(file),
+                        None => {
+                            eprintln!("--out needs a file path\n\n{}", usage());
+                            return ExitCode::from(2);
+                        }
+                    },
+                    "--quick" => config.quick = true,
+                    "--label" => match rest.next() {
+                        Some(label) => config.label = Some(label),
+                        None => {
+                            eprintln!("--label needs a name\n\n{}", usage());
+                            return ExitCode::from(2);
+                        }
+                    },
+                    other => {
+                        eprintln!("unknown argument `{other}`\n\n{}", usage());
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            run_loadtest(&config)
+        }
         other => {
             eprintln!("unknown command `{other}`\n\n{}", usage());
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_soak(config: &xtask::service::ServiceConfig) -> ExitCode {
+    match xtask::service::run_soak(config) {
+        Ok(report) => {
+            eprintln!(
+                "soak: {} connection(s) — {} ok, {} rejected, {} dropped; server caught \
+                 {} panic(s), respawned {} worker(s), accepted == finished == {}; clean drain, \
+                 exit 0",
+                report.connections,
+                report.ok_responses,
+                report.error_responses,
+                report.dropped,
+                report.server_panics_caught,
+                report.server_workers_respawned,
+                report.server_finished
+            );
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("soak: FAILED — {err}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_loadtest(config: &xtask::service::ServiceConfig) -> ExitCode {
+    match xtask::service::run_loadtest(config) {
+        Ok(report) => {
+            eprintln!(
+                "loadtest: {} request(s) to /v1/footprint — p50 {:.2} ms, p99 {:.2} ms, \
+                 {:.0} req/s; record appended -> {}",
+                report.requests,
+                report.p50_ms,
+                report.p99_ms,
+                report.req_per_sec,
+                config.out.display()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("loadtest: FAILED — {err}");
             ExitCode::from(2)
         }
     }
