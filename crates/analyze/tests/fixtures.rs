@@ -1,0 +1,90 @@
+//! Per-rule fixture pairs: for every rule ACT001–ACT011 a positive
+//! fixture that must fire (the analyzer would exit 1 on it) and a
+//! negative fixture that must be completely clean (exit 0). The fixture
+//! is analyzed under a fake repo-relative path so the path-scoped rules
+//! (ACT007–ACT011) see it in their jurisdiction.
+
+use std::path::Path;
+
+use act_analyze::{analyze_source, apply_allowlist, parse_allowlist};
+
+/// `(rule, fake-path, fixture-stem)` — `<stem>_bad.rs` must produce only
+/// `rule` findings (at least one); `<stem>_ok.rs` must produce none at all.
+const CASES: &[(&str, &str, &str)] = &[
+    ("ACT001", "crates/model/src/energy.rs", "act001"),
+    ("ACT002", "crates/model/src/energy.rs", "act002"),
+    ("ACT003", "crates/model/src/energy.rs", "act003"),
+    ("ACT004", "crates/model/src/energy.rs", "act004"),
+    ("ACT005", "crates/model/src/energy.rs", "act005"),
+    ("ACT006", "crates/model/src/params.rs", "act006"),
+    ("ACT007", "crates/dse/src/sweep.rs", "act007"),
+    ("ACT008", "crates/model/src/energy.rs", "act008"),
+    ("ACT009", "crates/server/src/hub.rs", "act009"),
+    ("ACT010", "crates/dse/src/pareto.rs", "act010"),
+    ("ACT011", "crates/server/src/routes.rs", "act011"),
+];
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|err| panic!("fixture {} unreadable: {err}", path.display()))
+}
+
+#[test]
+fn every_rule_fires_on_its_bad_fixture() {
+    for (rule, fake_path, stem) in CASES {
+        let src = fixture(&format!("{stem}_bad.rs"));
+        let findings = analyze_source(fake_path, &src);
+        assert!(
+            findings.iter().any(|f| f.rule == *rule),
+            "{stem}_bad.rs produced no {rule} finding; got: {findings:?}"
+        );
+        for f in &findings {
+            assert_eq!(
+                f.rule, *rule,
+                "{stem}_bad.rs leaked a stray {} finding at {}:{}: {}",
+                f.rule, f.line, f.col, f.message
+            );
+        }
+    }
+}
+
+#[test]
+fn every_rule_stays_silent_on_its_ok_fixture() {
+    for (_, fake_path, stem) in CASES {
+        let src = fixture(&format!("{stem}_ok.rs"));
+        let findings = analyze_source(fake_path, &src);
+        assert!(findings.is_empty(), "{stem}_ok.rs is not clean: {findings:?}");
+    }
+}
+
+#[test]
+fn act006_bad_reproduces_the_model_params_drift_class() {
+    // The historical bug: a field added to `ModelParams` but not to the
+    // `impl_to_json!` list, so serialization silently drops it. The fixture
+    // carries that exact shape plus the enum-variant and obj!-duplicate
+    // flavors — three distinct ACT006 findings.
+    let findings = analyze_source("crates/model/src/params.rs", &fixture("act006_bad.rs"));
+    assert_eq!(findings.len(), 3, "expected struct+enum+obj drift: {findings:?}");
+    assert!(findings.iter().all(|f| f.rule == "ACT006"));
+}
+
+#[test]
+fn every_stale_allow_entry_is_reported_in_one_run() {
+    // Regression: stale detection must name ALL dead entries in a single
+    // run, across different files, not just the first one it encounters.
+    let allow = "\
+ACT002|a/real.rs|.unwrap()|vetted\n\
+ACT002|gone/one.rs|no such line|stale one\n\
+ACT001|gone/two.rs|no such line either|stale two\n";
+    let entries = parse_allowlist(allow).expect("well-formed allowlist");
+    let findings = analyze_source(
+        "crates/model/a/real.rs",
+        "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+    );
+    let (kept, suppressed, stale) = apply_allowlist(findings, &entries);
+    assert!(kept.is_empty(), "the vetted finding leaked: {kept:?}");
+    assert_eq!(suppressed.len(), 1);
+    let stale_paths: Vec<&str> = stale.iter().map(|e| e.path_suffix.as_str()).collect();
+    assert_eq!(stale_paths, ["gone/one.rs", "gone/two.rs"], "all stale entries, in order");
+}

@@ -1,0 +1,6 @@
+//! ACT001 positive fixture (analyzed as a model crate): `.base()` escapes
+//! the typed-unit layer outside act-units/act-data.
+
+pub fn joules(q: Energy) -> f64 {
+    q.base() * 2.0
+}

@@ -1,0 +1,5 @@
+//! ACT001 negative fixture: a named accessor keeps the unit visible.
+
+pub fn joules(q: Energy) -> f64 {
+    q.as_joules() * 2.0
+}

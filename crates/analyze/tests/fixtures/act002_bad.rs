@@ -1,0 +1,7 @@
+//! ACT002 positive fixture: `unwrap()`/`expect()` in library code.
+
+pub fn first(xs: &[f64]) -> f64 {
+    let head = xs.first().copied().unwrap();
+    let tail = xs.last().copied().expect("non-empty");
+    head + tail
+}

@@ -1,0 +1,7 @@
+//! ACT002 negative fixture: fallible access stays fallible.
+
+pub fn first(xs: &[f64]) -> Option<f64> {
+    let head = xs.first().copied()?;
+    let tail = xs.last().copied()?;
+    Some(head + tail)
+}

@@ -1,0 +1,6 @@
+//! ACT003 positive fixture: a unit-conversion constant retyped as a
+//! literal outside act-units/act-data.
+
+pub fn to_kwh(joules: f64) -> f64 {
+    joules / 3600.0 / 1000.0
+}

@@ -1,0 +1,7 @@
+//! ACT003 negative fixture: the named constant is the only spelling.
+
+use act_units::SECONDS_PER_HOUR;
+
+pub fn to_kwh(joules: f64) -> f64 {
+    joules / SECONDS_PER_HOUR / 1000.0
+}

@@ -1,0 +1,6 @@
+//! ACT004 positive fixture: infallible `from_base` outside the
+//! unit-definition crates.
+
+pub fn wrap(raw: f64) -> Energy {
+    Energy::from_base(raw)
+}

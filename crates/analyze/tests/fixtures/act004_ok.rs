@@ -1,0 +1,5 @@
+//! ACT004 negative fixture: model boundaries validate their floats.
+
+pub fn wrap(raw: f64) -> Result<Energy, UnitError> {
+    Energy::try_from_base(raw)
+}

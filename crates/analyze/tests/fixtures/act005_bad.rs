@@ -1,0 +1,6 @@
+//! ACT005 positive fixture: stub/debug macros left in source.
+
+pub fn embodied(area: f64) -> f64 {
+    dbg!(area);
+    todo!("model the embodied term")
+}

@@ -1,0 +1,5 @@
+//! ACT005 negative fixture: the model is implemented.
+
+pub fn embodied(area: f64) -> f64 {
+    area * 2.5
+}

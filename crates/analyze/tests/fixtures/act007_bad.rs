@@ -1,0 +1,10 @@
+//! ACT007 positive fixture (analyzed as an act-dse module): a sweep loop
+//! evaluating the compiled kernel with no `EvalBudget` in sight.
+
+pub fn sweep(kernel: &CompiledFootprint, inputs: &[ParamVector]) -> f64 {
+    let mut total = 0.0;
+    for point in inputs {
+        total += kernel.eval(point);
+    }
+    total
+}

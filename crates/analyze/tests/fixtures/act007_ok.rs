@@ -1,0 +1,17 @@
+//! ACT007 negative fixture: the sweep loop consults its `EvalBudget`
+//! before every kernel evaluation.
+
+pub fn sweep(
+    kernel: &CompiledFootprint,
+    inputs: &[ParamVector],
+    budget: &mut EvalBudget,
+) -> f64 {
+    let mut total = 0.0;
+    for point in inputs {
+        if !budget.try_consume(1) {
+            break;
+        }
+        total += kernel.eval(point);
+    }
+    total
+}

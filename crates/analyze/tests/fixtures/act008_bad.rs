@@ -1,0 +1,14 @@
+//! ACT008 positive fixture (analyzed as a library crate): wall-clock,
+//! sleeps and environment reads make model code nondeterministic.
+
+pub fn seed() -> Option<String> {
+    std::env::var("ACT_SEED").ok()
+}
+
+pub fn throttle(ms: u64) {
+    std::thread::sleep(std::time::Duration::from_millis(ms));
+}
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

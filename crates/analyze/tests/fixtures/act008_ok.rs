@@ -1,0 +1,11 @@
+//! ACT008 negative fixture: determinism by construction — the seed is a
+//! parameter and the model never consults the clock or the environment.
+
+pub fn seeded_run(seed: u64, points: &[f64]) -> f64 {
+    let mut rng = Rng::with_seed(seed);
+    let mut total = 0.0;
+    for p in points {
+        total += p * rng.next_f64();
+    }
+    total
+}

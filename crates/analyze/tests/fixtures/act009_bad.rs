@@ -1,0 +1,18 @@
+//! ACT009 positive fixture (analyzed as a server module): a mutex guard
+//! stays live across socket I/O, so one slow client stalls every worker
+//! that needs the same lock.
+
+use std::io::Write;
+use std::sync::Mutex;
+
+pub struct Hub {
+    state: Mutex<u64>,
+}
+
+impl Hub {
+    pub fn broadcast(&self, stream: &mut std::net::TcpStream) {
+        let guard = self.state.lock();
+        let _ = stream.write_all(b"tick\n");
+        let _ = guard;
+    }
+}

@@ -1,0 +1,22 @@
+//! ACT009 negative fixture: copy out under the lock, then do the I/O with
+//! the guard already dead.
+
+use std::io::Write;
+use std::sync::Mutex;
+
+pub struct Hub {
+    state: Mutex<u64>,
+}
+
+impl Hub {
+    pub fn broadcast(&self, stream: &mut std::net::TcpStream) {
+        let value = {
+            let guard = self.state.lock();
+            match guard {
+                Ok(v) => *v,
+                Err(_) => 0,
+            }
+        };
+        let _ = stream.write_all(value.to_string().as_bytes());
+    }
+}

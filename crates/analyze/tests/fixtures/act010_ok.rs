@@ -1,0 +1,12 @@
+//! ACT010 negative fixture: `total_cmp` gives NaN a fixed place in the
+//! order, so the front is stable on any input.
+
+use std::cmp::Ordering;
+
+pub fn sort_points(points: &mut Vec<Point>) {
+    points.sort_by(|a, b| a.carbon.total_cmp(&b.carbon));
+}
+
+pub fn dominates(a: f64, b: f64) -> Ordering {
+    a.total_cmp(&b)
+}

@@ -1,0 +1,9 @@
+//! ACT011 positive fixture (analyzed as `routes.rs`): slicing and indexing
+//! in a route handler — a short request line panics the worker instead of
+//! producing a 4xx.
+
+pub fn handle(path: &str, ids: &[u32]) -> u32 {
+    let tail = &path["/v1/experiments/".len()..];
+    let first = ids[0];
+    first + tail.len() as u32
+}

@@ -1,0 +1,8 @@
+//! ACT011 negative fixture: the same handler with total operations — bad
+//! input degrades to a default instead of panicking.
+
+pub fn handle(path: &str, ids: &[u32]) -> u32 {
+    let tail = path.strip_prefix("/v1/experiments/").unwrap_or_default();
+    let first = ids.first().copied().unwrap_or_default();
+    first + tail.len() as u32
+}

@@ -1,0 +1,75 @@
+//! Parser coverage over the real tree: every in-tree `.rs` file must parse
+//! with zero recovery events, i.e. the Rust subset the parser understands
+//! is exactly the subset the workspace uses. A recovery means the parser
+//! skipped tokens it could not structure — rules would silently not see
+//! that code, so coverage loss is a test failure, not a warning.
+
+use std::path::{Path, PathBuf};
+
+use act_analyze::parser::parse_source;
+
+/// Workspace sources plus the xtask harness itself.
+fn all_sources(root: &Path) -> Vec<PathBuf> {
+    let mut files = act_analyze::collect_workspace_files(root).expect("walkable tree");
+    for extra in ["xtask/src", "crates/analyze/tests"] {
+        let dir = root.join(extra);
+        if dir.is_dir() {
+            collect_rs(&dir, root, &mut files);
+        }
+    }
+    files.sort();
+    files.dedup();
+    files
+}
+
+fn collect_rs(dir: &Path, root: &Path, out: &mut Vec<PathBuf>) {
+    for entry in std::fs::read_dir(dir).expect("readable dir") {
+        let path = entry.expect("dir entry").path();
+        if path.is_dir() {
+            collect_rs(&path, root, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path.strip_prefix(root).unwrap_or(&path).to_path_buf());
+        }
+    }
+}
+
+#[test]
+fn every_workspace_source_parses_without_recovery() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let files = all_sources(&root);
+    assert!(files.len() > 50, "only {} files found", files.len());
+    let mut failures = Vec::new();
+    let mut total_items = 0usize;
+    for rel in &files {
+        let src = std::fs::read_to_string(root.join(rel)).expect("readable source");
+        let parsed = parse_source(&src);
+        total_items += parsed.items.len();
+        if parsed.recoveries != 0 {
+            failures.push(format!("{}: {} recover(y/ies)", rel.display(), parsed.recoveries));
+        }
+    }
+    assert!(failures.is_empty(), "parser lost coverage on:\n{}", failures.join("\n"));
+    assert!(total_items > 300, "suspiciously few items parsed: {total_items}");
+}
+
+#[test]
+fn parser_is_total_on_hostile_input() {
+    // Unbalanced, truncated and garbage inputs must never panic and never
+    // loop: totality is what lets the analyzer run pre-build.
+    for src in [
+        "",
+        "fn",
+        "fn f(",
+        "fn f() { let x = ",
+        "struct S { a: ",
+        "impl X for",
+        "match x {",
+        "let #### = 3;",
+        "fn f() { a.b.(); }",
+        ")))(((",
+        "fn f() { if let = else { } }",
+        "macro_rules! m",
+    ] {
+        let _ = parse_source(src);
+    }
+}

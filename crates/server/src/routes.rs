@@ -124,7 +124,7 @@ pub fn dispatch(
             Ok(RouteOutcome::Completed)
         }
         ("GET", _) if path.starts_with("/v1/experiments/") => {
-            let id = &path["/v1/experiments/".len()..];
+            let id = path.strip_prefix("/v1/experiments/").unwrap_or_default();
             match try_render_experiment(id, OutputFormat::Json) {
                 Ok(rendered) => {
                     // Byte-identical to `act --json <id>`: rendering + "\n".

@@ -1,619 +1,31 @@
-//! Project-specific static analysis for the ACT workspace.
+//! Project-specific static analysis and service harnesses for the ACT
+//! workspace.
 //!
-//! The rules enforced here are ones `clippy` cannot express because they
-//! depend on project conventions — which crates own the raw-`f64`
-//! boundary, where paper constants may live, and which code is allowed to
-//! panic. The checker is deliberately dependency-free: sources are scanned
-//! with a small hand-rolled lexer that blanks comments and string/char
-//! literals (preserving byte offsets), so rule matching never fires inside
-//! a comment, doc example, or string.
-//!
-//! # Rule catalogue
-//!
-//! | ID | Rule | Exempt |
-//! |----|------|--------|
-//! | ACT001 | no `.base()` raw-`f64` escape of a quantity | `act-units`, `act-data`, tests |
-//! | ACT002 | no `.unwrap()` / `.expect(...)` in library code | CLI binary, tests |
-//! | ACT003 | no paper/unit-conversion `f64` literals | `act-units`, `act-data`, tests |
-//! | ACT004 | no infallible `from_base` construction | `act-units`, `act-data`, tests |
-//! | ACT005 | no `dbg!` / `todo!` / `unimplemented!` | nothing |
+//! The analysis engine lives in the std-only, dependency-free
+//! [`act_analyze`] crate: a Rust-subset recursive-descent parser plus the
+//! rule catalogue ACT001–ACT011 (textual token rules and AST/dataflow
+//! rules — see `crates/analyze/src/lib.rs` for the table). This crate
+//! re-exports the engine under the names the original `cargo xtask lint`
+//! harness established, and adds the bench/soak/loadtest machinery that
+//! drives the built workspace.
 //!
 //! Vetted exceptions go in `xtask/lint.allow`, one per line:
 //! `RULE|path-suffix|line-substring|justification` — the justification is
-//! mandatory, and entries that no longer match anything are themselves
-//! reported so the allowlist cannot rot.
+//! mandatory, and every entry that no longer matches anything is reported
+//! in a single run so the allowlist cannot rot.
 
-use std::fmt;
-use std::path::{Path, PathBuf};
+pub use act_analyze::{
+    analyze_source, analyze_workspace, apply_allowlist, collect_workspace_files,
+    parse_allowlist, render_json_report, AllowEntry, AnalyzeReport, Finding, LintError,
+};
+
+// The PR 2 names, kept so existing tooling and tests keep working: `lint_*`
+// now runs the full ACT001–ACT011 catalogue, not just the textual tier.
+pub use act_analyze::analyze_source as lint_source;
+pub use act_analyze::analyze_workspace as lint_workspace;
+pub use act_analyze::lexer::scrub;
+pub use act_analyze::test_regions;
+pub use act_analyze::AnalyzeReport as LintReport;
 
 pub mod bench;
 pub mod service;
-
-/// One rule violation at a source position.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct Finding {
-    /// Repo-relative path of the offending file.
-    pub path: String,
-    /// 1-indexed line of the match.
-    pub line: usize,
-    /// 1-indexed byte column of the match.
-    pub col: usize,
-    /// Rule ID, e.g. `"ACT002"`.
-    pub rule: &'static str,
-    /// Human-readable explanation of the rule.
-    pub message: &'static str,
-    /// The full source line the match sits on (for allowlist matching).
-    pub line_text: String,
-}
-
-impl fmt::Display for Finding {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}:{}: {}: {}", self.path, self.line, self.col, self.rule, self.message)
-    }
-}
-
-/// A parsed `RULE|path-suffix|line-substring|justification` allowlist entry.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct AllowEntry {
-    /// Rule ID this entry suppresses.
-    pub rule: String,
-    /// Suffix the finding's path must end with.
-    pub path_suffix: String,
-    /// Substring the finding's source line must contain.
-    pub line_substring: String,
-    /// Why the exception is acceptable (mandatory).
-    pub justification: String,
-}
-
-/// Errors from loading or using the harness (exit code 2 territory).
-#[derive(Debug)]
-pub enum LintError {
-    /// An allowlist line did not have four non-empty `|`-separated fields.
-    MalformedAllowEntry {
-        /// 1-indexed line in the allowlist file.
-        line: usize,
-        /// The offending raw line.
-        text: String,
-    },
-    /// Filesystem error while walking or reading sources.
-    Io(std::io::Error),
-}
-
-impl fmt::Display for LintError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Self::MalformedAllowEntry { line, text } => write!(
-                f,
-                "lint.allow:{line}: malformed entry `{text}` \
-                 (expected RULE|path-suffix|line-substring|justification)"
-            ),
-            Self::Io(err) => write!(f, "I/O error: {err}"),
-        }
-    }
-}
-
-impl std::error::Error for LintError {}
-
-impl From<std::io::Error> for LintError {
-    fn from(err: std::io::Error) -> Self {
-        Self::Io(err)
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Lexer: blank out comments and string/char literals, preserving offsets.
-// ---------------------------------------------------------------------------
-
-/// Returns a copy of `src` where every comment and every string, raw
-/// string, byte string and char literal is replaced by spaces (newlines
-/// kept), so byte offsets and line numbers still line up with the input.
-#[must_use]
-pub fn scrub(src: &str) -> String {
-    let b = src.as_bytes();
-    let mut out = b.to_vec();
-    let mut i = 0;
-    while i < b.len() {
-        match b[i] {
-            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
-                while i < b.len() && b[i] != b'\n' {
-                    out[i] = b' ';
-                    i += 1;
-                }
-            }
-            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
-                let mut depth = 0usize;
-                while i < b.len() {
-                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
-                        depth += 1;
-                        blank2(&mut out, &mut i, b);
-                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
-                        depth -= 1;
-                        blank2(&mut out, &mut i, b);
-                        if depth == 0 {
-                            break;
-                        }
-                    } else {
-                        if b[i] != b'\n' {
-                            out[i] = b' ';
-                        }
-                        i += 1;
-                    }
-                }
-            }
-            b'r' | b'b' if is_raw_string_start(b, i) => {
-                i = blank_raw_string(&mut out, b, i);
-            }
-            b'b' if i + 1 < b.len() && b[i + 1] == b'"' && !prev_is_ident(b, i) => {
-                out[i] = b' ';
-                i = blank_quoted(&mut out, b, i + 1);
-            }
-            b'b' if i + 1 < b.len() && b[i + 1] == b'\'' && !prev_is_ident(b, i) => {
-                out[i] = b' ';
-                i = blank_char_literal(&mut out, b, i + 1);
-            }
-            b'"' => {
-                i = blank_quoted(&mut out, b, i);
-            }
-            b'\'' if is_char_literal(b, i) => {
-                i = blank_char_literal(&mut out, b, i);
-            }
-            _ => i += 1,
-        }
-    }
-    String::from_utf8(out).unwrap_or_default()
-}
-
-fn blank2(out: &mut [u8], i: &mut usize, b: &[u8]) {
-    for _ in 0..2 {
-        if *i < b.len() {
-            if b[*i] != b'\n' {
-                out[*i] = b' ';
-            }
-            *i += 1;
-        }
-    }
-}
-
-fn prev_is_ident(b: &[u8], i: usize) -> bool {
-    i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_')
-}
-
-/// `r"`, `r#"`, `br"`, `br#"` … (any number of `#`).
-fn is_raw_string_start(b: &[u8], i: usize) -> bool {
-    if prev_is_ident(b, i) {
-        return false;
-    }
-    let mut j = i;
-    if b[j] == b'b' {
-        j += 1;
-    }
-    if j >= b.len() || b[j] != b'r' {
-        return false;
-    }
-    j += 1;
-    while j < b.len() && b[j] == b'#' {
-        j += 1;
-    }
-    j < b.len() && b[j] == b'"'
-}
-
-fn blank_raw_string(out: &mut [u8], b: &[u8], start: usize) -> usize {
-    let mut i = start;
-    if b[i] == b'b' {
-        out[i] = b' ';
-        i += 1;
-    }
-    out[i] = b' '; // the `r`
-    i += 1;
-    let mut hashes = 0;
-    while i < b.len() && b[i] == b'#' {
-        out[i] = b' ';
-        hashes += 1;
-        i += 1;
-    }
-    out[i] = b' '; // opening quote
-    i += 1;
-    while i < b.len() {
-        if b[i] == b'"' {
-            let close = &b[i + 1..];
-            if close.len() >= hashes && close[..hashes].iter().all(|&c| c == b'#') {
-                for k in i..=i + hashes {
-                    out[k] = b' ';
-                }
-                return i + hashes + 1;
-            }
-        }
-        if b[i] != b'\n' {
-            out[i] = b' ';
-        }
-        i += 1;
-    }
-    i
-}
-
-fn blank_quoted(out: &mut [u8], b: &[u8], start: usize) -> usize {
-    let mut i = start;
-    out[i] = b' '; // opening quote
-    i += 1;
-    while i < b.len() {
-        match b[i] {
-            b'\\' => {
-                out[i] = b' ';
-                if i + 1 < b.len() && b[i + 1] != b'\n' {
-                    out[i + 1] = b' ';
-                }
-                i += 2;
-            }
-            b'"' => {
-                out[i] = b' ';
-                return i + 1;
-            }
-            b'\n' => i += 1,
-            _ => {
-                out[i] = b' ';
-                i += 1;
-            }
-        }
-    }
-    i
-}
-
-/// Distinguishes `'a'` / `'\n'` (char literals) from `'static` (lifetimes).
-fn is_char_literal(b: &[u8], i: usize) -> bool {
-    if i + 1 >= b.len() {
-        return false;
-    }
-    if b[i + 1] == b'\\' {
-        return true;
-    }
-    // `'X'` with exactly one character between the quotes.
-    i + 2 < b.len() && b[i + 2] == b'\'' && b[i + 1] != b'\''
-}
-
-fn blank_char_literal(out: &mut [u8], b: &[u8], start: usize) -> usize {
-    let mut i = start;
-    out[i] = b' ';
-    i += 1;
-    if i < b.len() && b[i] == b'\\' {
-        out[i] = b' ';
-        i += 1;
-        if i < b.len() {
-            out[i] = b' ';
-            i += 1;
-        }
-        // multi-byte escapes like \u{1F600} or \x7f
-        while i < b.len() && b[i] != b'\'' && b[i] != b'\n' {
-            out[i] = b' ';
-            i += 1;
-        }
-    } else if i < b.len() {
-        out[i] = b' ';
-        i += 1;
-    }
-    if i < b.len() && b[i] == b'\'' {
-        out[i] = b' ';
-        i += 1;
-    }
-    i
-}
-
-// ---------------------------------------------------------------------------
-// #[cfg(test)] region tracking.
-// ---------------------------------------------------------------------------
-
-/// Byte ranges of `#[cfg(test)]` items in scrubbed source: from the
-/// attribute to the matching close brace of the item it gates (or to the
-/// terminating `;` for brace-less items like `use`).
-#[must_use]
-pub fn test_regions(scrubbed: &str) -> Vec<(usize, usize)> {
-    let b = scrubbed.as_bytes();
-    let mut regions = Vec::new();
-    let mut from = 0;
-    while let Some(pos) = scrubbed[from..].find("#[cfg(test)]") {
-        let start = from + pos;
-        let mut i = start + "#[cfg(test)]".len();
-        let mut depth = 0usize;
-        let end = loop {
-            if i >= b.len() {
-                break b.len();
-            }
-            match b[i] {
-                b'{' => depth += 1,
-                b'}' => {
-                    depth -= 1;
-                    if depth == 0 {
-                        break i + 1;
-                    }
-                }
-                b';' if depth == 0 => break i + 1,
-                _ => {}
-            }
-            i += 1;
-        };
-        regions.push((start, end));
-        from = end;
-    }
-    regions
-}
-
-fn in_regions(regions: &[(usize, usize)], offset: usize) -> bool {
-    regions.iter().any(|&(s, e)| offset >= s && offset < e)
-}
-
-// ---------------------------------------------------------------------------
-// Rules.
-// ---------------------------------------------------------------------------
-
-/// Crates that own the raw-`f64` boundary and the paper constants.
-fn is_unit_home(path: &str) -> bool {
-    path.starts_with("crates/units/") || path.starts_with("crates/data/")
-}
-
-/// The CLI binary is allowed to panic at top level (ACT002 exemption).
-fn is_cli_binary(path: &str) -> bool {
-    path.starts_with("crates/cli/src/")
-}
-
-/// Unit-conversion / paper constants that must come from the named
-/// constants in `act-units` / `act-data` instead of being retyped.
-const BANNED_LITERALS: [&str; 7] =
-    ["3600.0", "86400.0", "31536000.0", "3.6e6", "3.6e+6", "8760.0", "1024.0"];
-
-const MSG_ACT001: &str = "`.base()` escapes the typed-unit layer; \
-     use a named `as_*` accessor or keep the arithmetic in `Quantity` space";
-const MSG_ACT002: &str = "`unwrap()`/`expect()` in library code; \
-     return an error (`UnitError` taxonomy) or use a checked fallback";
-const MSG_ACT003: &str = "unit-conversion constant retyped as a literal; \
-     use the named constant from `act-units`/`act-data`";
-const MSG_ACT004: &str = "infallible `from_base` outside the unit-definition crates; \
-     use `try_from_base` at model boundaries";
-const MSG_ACT005: &str = "debug/stub macro left in source";
-
-/// Lints one file. `path` is the repo-relative path used for both crate
-/// classification and reporting; `src` is the file contents.
-#[must_use]
-pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
-    let scrubbed = scrub(src);
-    let tests = test_regions(&scrubbed);
-    let lines: Vec<&str> = src.lines().collect();
-    let mut findings = Vec::new();
-
-    let mut emit = |offset: usize, rule: &'static str, message: &'static str| {
-        let line = scrubbed[..offset].bytes().filter(|&c| c == b'\n').count() + 1;
-        let col = offset - scrubbed[..offset].rfind('\n').map_or(0, |p| p + 1) + 1;
-        findings.push(Finding {
-            path: path.to_owned(),
-            line,
-            col,
-            rule,
-            message,
-            line_text: lines.get(line - 1).copied().unwrap_or_default().to_owned(),
-        });
-    };
-
-    let unit_home = is_unit_home(path);
-    let cli = is_cli_binary(path);
-
-    for (offset, token) in token_matches(&scrubbed, ".base()") {
-        if !unit_home && !in_regions(&tests, offset) {
-            emit(offset + token, "ACT001", MSG_ACT001);
-        }
-    }
-    for needle in [".unwrap()", ".expect("] {
-        for (offset, token) in token_matches(&scrubbed, needle) {
-            if !cli && !in_regions(&tests, offset) {
-                emit(offset + token, "ACT002", MSG_ACT002);
-            }
-        }
-    }
-    if !unit_home {
-        for lit in BANNED_LITERALS {
-            for offset in literal_matches(&scrubbed, lit) {
-                if !in_regions(&tests, offset) {
-                    emit(offset, "ACT003", MSG_ACT003);
-                }
-            }
-        }
-        for offset in ident_matches(&scrubbed, "from_base(") {
-            if !in_regions(&tests, offset) {
-                emit(offset, "ACT004", MSG_ACT004);
-            }
-        }
-    }
-    for needle in ["dbg!(", "todo!(", "unimplemented!("] {
-        for offset in ident_matches(&scrubbed, needle) {
-            emit(offset, "ACT005", MSG_ACT005);
-        }
-    }
-
-    findings.sort_by_key(|f| (f.line, f.col, f.rule));
-    findings
-}
-
-/// Occurrences of a `.`-prefixed call token. Returns `(offset, 1)` so the
-/// reported column points at the method name, not the dot.
-fn token_matches(scrubbed: &str, needle: &str) -> Vec<(usize, usize)> {
-    let mut hits = Vec::new();
-    let mut from = 0;
-    while let Some(pos) = scrubbed[from..].find(needle) {
-        hits.push((from + pos, 1));
-        from += pos + needle.len();
-    }
-    hits
-}
-
-/// Occurrences of `needle` not preceded by an identifier character (so
-/// `try_from_base(` never matches a search for `from_base(`).
-fn ident_matches(scrubbed: &str, needle: &str) -> Vec<usize> {
-    let b = scrubbed.as_bytes();
-    let mut hits = Vec::new();
-    let mut from = 0;
-    while let Some(pos) = scrubbed[from..].find(needle) {
-        let at = from + pos;
-        if !prev_is_ident(b, at) && (at == 0 || b[at - 1] != b'.') {
-            hits.push(at);
-        }
-        from = at + needle.len();
-    }
-    hits
-}
-
-/// Occurrences of a numeric literal with no digit/ident/`.` on either side
-/// (`13600.0` and `3600.05` both miss a search for `3600.0`).
-fn literal_matches(scrubbed: &str, lit: &str) -> Vec<usize> {
-    let b = scrubbed.as_bytes();
-    let boundary = |c: u8| c.is_ascii_alphanumeric() || c == b'_' || c == b'.';
-    let mut hits = Vec::new();
-    let mut from = 0;
-    while let Some(pos) = scrubbed[from..].find(lit) {
-        let at = from + pos;
-        let end = at + lit.len();
-        let ok_before = at == 0 || !boundary(b[at - 1]);
-        let ok_after = end >= b.len() || !boundary(b[end]);
-        if ok_before && ok_after {
-            hits.push(at);
-        }
-        from = at + lit.len();
-    }
-    hits
-}
-
-// ---------------------------------------------------------------------------
-// Allowlist.
-// ---------------------------------------------------------------------------
-
-/// Parses allowlist text (`#` comments and blank lines skipped).
-///
-/// # Errors
-///
-/// Returns [`LintError::MalformedAllowEntry`] for a line without four
-/// non-empty `|`-separated fields — the justification is not optional.
-pub fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, LintError> {
-    let mut entries = Vec::new();
-    for (idx, raw) in text.lines().enumerate() {
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let fields: Vec<&str> = line.splitn(4, '|').map(str::trim).collect();
-        if fields.len() != 4 || fields.iter().any(|f| f.is_empty()) {
-            return Err(LintError::MalformedAllowEntry { line: idx + 1, text: raw.to_owned() });
-        }
-        entries.push(AllowEntry {
-            rule: fields[0].to_owned(),
-            path_suffix: fields[1].to_owned(),
-            line_substring: fields[2].to_owned(),
-            justification: fields[3].to_owned(),
-        });
-    }
-    Ok(entries)
-}
-
-/// Splits findings into (kept, suppressed) and reports stale entries that
-/// matched nothing — a stale allowlist is itself a lint failure.
-#[must_use]
-pub fn apply_allowlist(
-    findings: Vec<Finding>,
-    entries: &[AllowEntry],
-) -> (Vec<Finding>, Vec<Finding>, Vec<AllowEntry>) {
-    let mut used = vec![false; entries.len()];
-    let mut kept = Vec::new();
-    let mut suppressed = Vec::new();
-    for finding in findings {
-        let hit = entries.iter().position(|e| {
-            e.rule == finding.rule
-                && finding.path.ends_with(&e.path_suffix)
-                && finding.line_text.contains(&e.line_substring)
-        });
-        match hit {
-            Some(idx) => {
-                used[idx] = true;
-                suppressed.push(finding);
-            }
-            None => kept.push(finding),
-        }
-    }
-    let stale =
-        entries.iter().zip(&used).filter(|(_, u)| !**u).map(|(e, _)| e.clone()).collect();
-    (kept, suppressed, stale)
-}
-
-// ---------------------------------------------------------------------------
-// Workspace walking.
-// ---------------------------------------------------------------------------
-
-/// Collects every workspace source file to lint, repo-relative and sorted:
-/// `crates/*/src/**/*.rs` plus `crates/*/benches/**/*.rs`.
-///
-/// # Errors
-///
-/// Returns [`LintError::Io`] on filesystem errors.
-pub fn collect_workspace_files(root: &Path) -> Result<Vec<PathBuf>, LintError> {
-    let mut files = Vec::new();
-    let crates = root.join("crates");
-    for entry in std::fs::read_dir(&crates)? {
-        let krate = entry?.path();
-        for sub in ["src", "benches"] {
-            let dir = krate.join(sub);
-            if dir.is_dir() {
-                walk_rs(&dir, &mut files)?;
-            }
-        }
-    }
-    for file in &mut files {
-        if let Ok(rel) = file.strip_prefix(root) {
-            *file = rel.to_path_buf();
-        }
-    }
-    files.sort();
-    Ok(files)
-}
-
-fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), LintError> {
-    for entry in std::fs::read_dir(dir)? {
-        let path = entry?.path();
-        if path.is_dir() {
-            walk_rs(&path, out)?;
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-    Ok(())
-}
-
-/// Outcome of a full workspace lint run.
-pub struct LintReport {
-    /// Violations after allowlisting, in path/line order.
-    pub findings: Vec<Finding>,
-    /// Findings suppressed by the allowlist.
-    pub suppressed: Vec<Finding>,
-    /// Allowlist entries that matched nothing.
-    pub stale: Vec<AllowEntry>,
-    /// Number of files scanned.
-    pub files_scanned: usize,
-}
-
-/// Lints the whole workspace under `root`, applying `root/xtask/lint.allow`
-/// if present.
-///
-/// # Errors
-///
-/// Returns [`LintError`] on I/O failures or a malformed allowlist.
-pub fn lint_workspace(root: &Path) -> Result<LintReport, LintError> {
-    let allow_path = root.join("xtask").join("lint.allow");
-    let entries = if allow_path.is_file() {
-        parse_allowlist(&std::fs::read_to_string(&allow_path)?)?
-    } else {
-        Vec::new()
-    };
-    let files = collect_workspace_files(root)?;
-    let mut findings = Vec::new();
-    for rel in &files {
-        let src = std::fs::read_to_string(root.join(rel))?;
-        let display = rel.to_string_lossy().replace('\\', "/");
-        findings.extend(lint_source(&display, &src));
-    }
-    let files_scanned = files.len();
-    let (kept, suppressed, stale) = apply_allowlist(findings, &entries);
-    Ok(LintReport { findings: kept, suppressed, stale, files_scanned })
-}

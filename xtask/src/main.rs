@@ -1,12 +1,13 @@
 //! `cargo xtask` — workspace maintenance commands.
 //!
 //! ```text
-//! cargo xtask lint              # run the ACT static-analysis rules
-//! cargo xtask lint --root DIR   # lint a different checkout
-//! cargo xtask bench             # wall-clock trajectory -> BENCH_results.json
-//! cargo xtask bench --quick     # CI-sized run (1 repeat, small sweep)
-//! cargo xtask soak              # seeded chaos run against `act serve`
-//! cargo xtask loadtest          # p50/p99 latency record -> BENCH_results.json
+//! cargo xtask analyze             # run the ACT static-analysis rules
+//! cargo xtask analyze --json F    # also write a machine-readable report
+//! cargo xtask lint                # alias for `analyze` (the PR 2 name)
+//! cargo xtask bench               # wall-clock trajectory -> BENCH_results.json
+//! cargo xtask bench --quick       # CI-sized run (1 repeat, small sweep)
+//! cargo xtask soak                # seeded chaos run against `act serve`
+//! cargo xtask loadtest            # p50/p99 latency record -> BENCH_results.json
 //! ```
 //!
 //! Exit codes: `0` clean, `1` violations (or stale allowlist entries),
@@ -17,18 +18,29 @@ use std::process::ExitCode;
 
 fn usage() -> String {
     "xtask — ACT workspace static analysis & benchmarking\n\n\
-     usage: cargo xtask lint [--root DIR]\n\
+     usage: cargo xtask analyze [--root DIR] [--json FILE]\n\
+            cargo xtask analyze --file F [--as PATH]   (one file, no allowlist)\n\
+            cargo xtask lint    [--root DIR] [--json FILE]   (alias)\n\
             cargo xtask bench [--root DIR] [--out FILE] [--quick] [--criterion]\n\
             cargo xtask soak [--root DIR] [--quick] [--seed N]\n\
             cargo xtask loadtest [--root DIR] [--out FILE] [--quick] [--label NAME]\n\n\
-     Rules (see xtask/src/lib.rs for the catalogue):\n\
+     Rules (see crates/analyze/src/lib.rs for the catalogue):\n\
        ACT001  no `.base()` raw-f64 escape outside act-units/act-data\n\
        ACT002  no unwrap()/expect() in library code (CLI main + tests exempt)\n\
        ACT003  no unit-conversion f64 literals outside act-units/act-data\n\
        ACT004  no infallible `from_base` outside act-units/act-data\n\
-       ACT005  no dbg!/todo!/unimplemented! anywhere\n\n\
+       ACT005  no dbg!/todo!/unimplemented! anywhere\n\
+       ACT006  JSON impl/obj! field lists must match the struct (no drift)\n\
+       ACT007  no budget-blind `CompiledFootprint::eval` loops in dse/server\n\
+       ACT008  no Instant/SystemTime/sleep/env reads in library crates\n\
+       ACT009  no Mutex/RwLock guard held across I/O or a callback (server)\n\
+       ACT010  no raw f64 comparators without total_cmp in Pareto/stats code\n\
+       ACT011  no indexing/slicing/unwrap in server route handlers\n\n\
      Allowlist: xtask/lint.allow, lines of\n\
        RULE|path-suffix|line-substring|justification\n\n\
+     analyze parses every workspace source with the in-tree Rust-subset\n\
+     parser and applies all eleven rules; --json FILE additionally writes\n\
+     a machine-readable findings report (schema act-analyze-findings/1).\n\n\
      bench builds the workspace in release mode, times every experiment\n\
      via the `act` binary (best of N repeats), measures the parallel vs\n\
      --serial `act all` speedup and the naive-vs-compiled sweep\n\
@@ -77,8 +89,11 @@ fn main() -> ExitCode {
             println!("{}", usage());
             ExitCode::SUCCESS
         }
-        "lint" => {
+        "analyze" | "lint" => {
             let mut root = PathBuf::from(".");
+            let mut json_out: Option<PathBuf> = None;
+            let mut file: Option<PathBuf> = None;
+            let mut file_as: Option<String> = None;
             let mut rest = args;
             while let Some(arg) = rest.next() {
                 match arg.as_str() {
@@ -89,13 +104,37 @@ fn main() -> ExitCode {
                             return ExitCode::from(2);
                         }
                     },
+                    "--json" => match rest.next() {
+                        Some(file) => json_out = Some(PathBuf::from(file)),
+                        None => {
+                            eprintln!("--json needs a file path\n\n{}", usage());
+                            return ExitCode::from(2);
+                        }
+                    },
+                    "--file" => match rest.next() {
+                        Some(path) => file = Some(PathBuf::from(path)),
+                        None => {
+                            eprintln!("--file needs a source path\n\n{}", usage());
+                            return ExitCode::from(2);
+                        }
+                    },
+                    "--as" => match rest.next() {
+                        Some(path) => file_as = Some(path),
+                        None => {
+                            eprintln!("--as needs a repo-relative path\n\n{}", usage());
+                            return ExitCode::from(2);
+                        }
+                    },
                     other => {
                         eprintln!("unknown argument `{other}`\n\n{}", usage());
                         return ExitCode::from(2);
                     }
                 }
             }
-            run_lint(&root)
+            match file {
+                Some(file) => run_analyze_file(&file, file_as.as_deref()),
+                None => run_analyze(&root, json_out.as_deref()),
+            }
         }
         "bench" => {
             let mut config = xtask::bench::BenchConfig::new(PathBuf::from("."));
@@ -290,8 +329,33 @@ fn run_bench(config: &xtask::bench::BenchConfig) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn run_lint(root: &std::path::Path) -> ExitCode {
-    let report = match xtask::lint_workspace(root) {
+/// `analyze --file F [--as PATH]`: run the full rule catalogue over one
+/// file, classifying it as `PATH` for the path-scoped rules. No allowlist
+/// is applied — this mode exists for fixtures and ad-hoc rule debugging.
+fn run_analyze_file(file: &std::path::Path, file_as: Option<&str>) -> ExitCode {
+    let src = match std::fs::read_to_string(file) {
+        Ok(src) => src,
+        Err(err) => {
+            eprintln!("error: cannot read {}: {err}", file.display());
+            return ExitCode::from(2);
+        }
+    };
+    let path =
+        file_as.map(str::to_owned).unwrap_or_else(|| file.to_string_lossy().into_owned());
+    let findings = xtask::analyze_source(&path, &src);
+    for finding in &findings {
+        println!("{finding}");
+    }
+    eprintln!("analyze: 1 file scanned (as `{path}`), {} violation(s)", findings.len());
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn run_analyze(root: &std::path::Path, json_out: Option<&std::path::Path>) -> ExitCode {
+    let report = match xtask::analyze_workspace(root) {
         Ok(report) => report,
         Err(err) => {
             eprintln!("error: {err}");
@@ -307,13 +371,22 @@ fn run_lint(root: &std::path::Path) -> ExitCode {
             entry.rule, entry.path_suffix, entry.line_substring
         );
     }
+    if let Some(path) = json_out {
+        let body = xtask::render_json_report(&report);
+        if let Err(err) = std::fs::write(path, body) {
+            eprintln!("error: cannot write {}: {err}", path.display());
+            return ExitCode::from(2);
+        }
+    }
     let clean = report.findings.is_empty() && report.stale.is_empty();
     eprintln!(
-        "lint: {} file(s) scanned, {} violation(s), {} suppressed, {} stale allow entr(y/ies)",
+        "analyze: {} file(s) scanned, {} violation(s), {} suppressed, {} stale allow \
+         entr(y/ies), {} parse recover(y/ies)",
         report.files_scanned,
         report.findings.len(),
         report.suppressed.len(),
-        report.stale.len()
+        report.stale.len(),
+        report.parse_recoveries
     );
     if clean {
         ExitCode::SUCCESS
