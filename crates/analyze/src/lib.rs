@@ -5,8 +5,9 @@
 //! parser ([`parser`]) over a positioned token stream ([`lexer`]), plus a
 //! rule engine with two tiers:
 //!
-//! * **Textual rules** ACT001–ACT005 (ported unchanged from `xtask`):
-//!   token-level contracts like "no `.unwrap()` in library code".
+//! * **Textual rules** ACT001–ACT005 (ported unchanged from `xtask`) and
+//!   ACT012: token-level contracts like "no `.unwrap()` in library code"
+//!   or "no raw `thread::spawn` outside the worker pool".
 //! * **AST/dataflow rules** ACT006–ACT011: contracts that need items,
 //!   bindings and call structure — JSON impls that drift from their
 //!   structs, budget-blind eval loops, nondeterministic APIs in library
@@ -28,6 +29,7 @@
 //! | ACT009 | lock guard live across I/O or a callback | `act-server` |
 //! | ACT010 | raw f64 comparison without `total_cmp` | Pareto/stats modules |
 //! | ACT011 | indexing/slicing/unwrap in route handlers | `crates/server/src/routes.rs` |
+//! | ACT012 | raw `thread::spawn`/`thread::scope` pool bypass | library crates; pool, server, CLI, bench exempt |
 //!
 //! Vetted exceptions go in `xtask/lint.allow`, one per line:
 //! `RULE|path-suffix|line-substring|justification` — the justification is

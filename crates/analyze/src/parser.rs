@@ -613,7 +613,13 @@ impl<'a> Parser<'a> {
                 saw_fn_modifier = true;
             } else if (self.at_ident("unsafe") || self.at_ident("async"))
                 && self.peek_at(1).is_some_and(|t| {
-                    t.is_ident("fn") || t.is_ident("unsafe") || t.is_ident("extern")
+                    t.is_ident("fn")
+                        || t.is_ident("unsafe")
+                        || t.is_ident("extern")
+                        // `unsafe impl Send for T {}` / `unsafe trait T {}`:
+                        // the keyword is a plain item modifier there too.
+                        || t.is_ident("impl")
+                        || t.is_ident("trait")
                 })
             {
                 self.pos += 1;
@@ -983,6 +989,12 @@ impl<'a> Parser<'a> {
                         if let Some(item) = self.item() {
                             stmts.push(Stmt::Item(item));
                         }
+                    } else if self.peek().is_some_and(|t| t.is_ident("let")) {
+                        // `#[allow(...)] let x = …;` — a statement, not the
+                        // condition-position `let` the expression parser
+                        // handles (which forbids struct literals).
+                        let _ = cfg_test;
+                        stmts.push(Stmt::Let(self.let_stmt()));
                     } else {
                         let _ = cfg_test;
                         let e = self.expr(false);
@@ -1995,5 +2007,37 @@ mod tests {
     fn cfg_test_gates_are_tracked() {
         let file = parse("#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\n");
         assert!(file.items[0].cfg_test);
+    }
+
+    #[test]
+    fn attributed_let_keeps_struct_literal_initializers() {
+        // `#[allow(...)] let x = S { … };` must parse as a let statement,
+        // not as the condition-position `let` (which forbids struct
+        // literals and would recover on the field list).
+        let file = parse(
+            "fn f(task: &(dyn Fn() + Sync)) {\n\
+             \x20   #[allow(unsafe_code)]\n\
+             \x20   let task_ref = TaskRef {\n\
+             \x20       ptr: unsafe {\n\
+             \x20           std::mem::transmute::<&(dyn Fn() + Sync), *const (dyn Fn() + Sync)>(task)\n\
+             \x20       },\n\
+             \x20   };\n\
+             \x20   drop(task_ref);\n\
+             }\n",
+        );
+        assert_eq!(file.recoveries, 0, "recovered at {:?}", file.recovered_at);
+        let ItemKind::Fn(f) = &file.items[0].kind else { panic!("fn") };
+        let body = f.body.as_ref().expect("fn body");
+        let Stmt::Let(l) = &body.stmts[0] else { panic!("let: {:?}", body.stmts[0]) };
+        assert_eq!(l.names, ["task_ref"]);
+    }
+
+    #[test]
+    fn unsafe_impl_and_unsafe_trait_parse_as_items() {
+        let file = parse(
+            "unsafe impl Send for TaskRef {}\nunsafe trait Marker {}\npub struct TaskRef;\n",
+        );
+        assert_eq!(file.recoveries, 0, "recovered at {:?}", file.recovered_at);
+        assert_eq!(file.items.len(), 3);
     }
 }

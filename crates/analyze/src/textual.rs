@@ -1,10 +1,11 @@
-//! The original lexer-level rules ACT001–ACT005, ported unchanged from the
-//! PR 2 `xtask` harness so rule IDs, positions and exemptions stay stable.
+//! The lexer-level rules: ACT001–ACT005 (ported unchanged from the PR 2
+//! `xtask` harness so rule IDs, positions and exemptions stay stable) plus
+//! ACT012, the thread-pool-bypass rule.
 //!
-//! These rules are genuinely textual — a banned literal or a `.unwrap()`
-//! token needs no structure — so they run on the scrubbed source directly
-//! rather than the AST, and keep their original `#[cfg(test)]`-region
-//! tracking.
+//! These rules are genuinely textual — a banned literal, a `.unwrap()`
+//! token or a `thread::spawn(` call needs no structure — so they run on
+//! the scrubbed source directly rather than the AST, and keep their
+//! original `#[cfg(test)]`-region tracking.
 
 use crate::lexer::scrub;
 use crate::Finding;
@@ -58,6 +59,23 @@ fn is_cli_binary(path: &str) -> bool {
     path.starts_with("crates/cli/src/")
 }
 
+/// ACT012 targets library crates: raw `thread::spawn`/`thread::scope`
+/// there bypasses the calibrated `act_dse::parallel` worker pool, so the
+/// spawn cost, `ACT_THREADS` cap and break-even fallback stop applying.
+/// Exempt: the pool engine itself (`crates/dse/src/pool.rs`,
+/// `crates/dse/src/parallel.rs`), the server shell (its accept loop and
+/// I/O workers are connection plumbing, not sweep compute), the CLI
+/// binary, and bench harnesses.
+fn act012_exempt(path: &str) -> bool {
+    !path.starts_with("crates/")
+        || !path.contains("/src/")
+        || path == "crates/dse/src/pool.rs"
+        || path == "crates/dse/src/parallel.rs"
+        || path.starts_with("crates/server/")
+        || path.starts_with("crates/cli/")
+        || path.starts_with("crates/bench/")
+}
+
 /// Unit-conversion / paper constants that must come from the named
 /// constants in `act-units` / `act-data` instead of being retyped.
 const BANNED_LITERALS: [&str; 7] =
@@ -72,6 +90,9 @@ const MSG_ACT003: &str = "unit-conversion constant retyped as a literal; \
 const MSG_ACT004: &str = "infallible `from_base` outside the unit-definition crates; \
      use `try_from_base` at model boundaries";
 const MSG_ACT005: &str = "debug/stub macro left in source";
+const MSG_ACT012: &str = "direct `thread::spawn`/`thread::scope` in a library crate \
+     bypasses the calibrated worker pool; route parallel work through \
+     `act_dse::parallel` so break-even calibration and `ACT_THREADS` apply";
 
 /// Runs ACT001–ACT005 over one file. `path` is the repo-relative path used
 /// for both crate classification and reporting; `src` is the file contents.
@@ -127,6 +148,18 @@ pub fn check(path: &str, src: &str) -> Vec<Finding> {
     for needle in ["dbg!(", "todo!(", "unimplemented!("] {
         for offset in ident_matches(&scrubbed, needle) {
             emit(offset, "ACT005", MSG_ACT005);
+        }
+    }
+    if !act012_exempt(path) {
+        // `ident_matches` makes `std::thread::spawn(` hit too (the `:`
+        // before `thread` is not an identifier character) while
+        // `my_thread::spawn(` stays clean.
+        for needle in ["thread::spawn(", "thread::scope("] {
+            for offset in ident_matches(&scrubbed, needle) {
+                if !in_regions(&tests, offset) {
+                    emit(offset, "ACT012", MSG_ACT012);
+                }
+            }
         }
     }
 

@@ -1,8 +1,8 @@
-//! Per-rule fixture pairs: for every rule ACT001–ACT011 a positive
+//! Per-rule fixture pairs: for every rule ACT001–ACT012 a positive
 //! fixture that must fire (the analyzer would exit 1 on it) and a
 //! negative fixture that must be completely clean (exit 0). The fixture
 //! is analyzed under a fake repo-relative path so the path-scoped rules
-//! (ACT007–ACT011) see it in their jurisdiction.
+//! (ACT007–ACT012) see it in their jurisdiction.
 
 use std::path::Path;
 
@@ -22,6 +22,7 @@ const CASES: &[(&str, &str, &str)] = &[
     ("ACT009", "crates/server/src/hub.rs", "act009"),
     ("ACT010", "crates/dse/src/pareto.rs", "act010"),
     ("ACT011", "crates/server/src/routes.rs", "act011"),
+    ("ACT012", "crates/lca/src/batch.rs", "act012"),
 ];
 
 fn fixture(name: &str) -> String {

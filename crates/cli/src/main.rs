@@ -45,13 +45,15 @@ const EXIT_USAGE: u8 = 2;
 
 /// Default point count for `act bench-sweep`.
 const BENCH_SWEEP_POINTS: usize = 10_000;
+/// Point count for `act bench-sweep --million`.
+const BENCH_SWEEP_MILLION_POINTS: usize = 1_000_000;
 
 fn usage() -> String {
     format!(
         "act — ACT (ISCA 2022) experiment runner\n\n\
          usage: act [--json] [--strict] [--serial] [--naive] <experiment>...\n\
                 act list\n\
-                act bench-sweep [points]\n\
+                act bench-sweep [points] [--million]\n\
                 act serve [--addr HOST:PORT] [--workers N] [--queue N]\n\
                           [--deadline-ms N] [--drain-ms N] [--faults SPEC]\n\
                           [--allow-remote-shutdown]  (see `act serve --help`)\n\n\
@@ -65,8 +67,10 @@ fn usage() -> String {
            ACT_THREADS=N  cap the parallel evaluation workers at N\n\n\
          bench-sweep runs a synthetic parameter sweep serially and in\n\
          parallel, then times the ACT footprint model per-point (naive)\n\
-         versus as a compiled kernel, and prints throughput/speedup as JSON\n\
-         (the `cargo xtask bench` trajectory harness consumes it).\n\n\
+         versus as a compiled kernel — serial and through the calibrated\n\
+         parallel engine — and prints throughput/speedup as JSON (the\n\
+         `cargo xtask bench` trajectory harness consumes it). --million\n\
+         runs the compiled kernel legs only, over 1,000,000 points.\n\n\
          exit codes: 0 success, 1 experiment failure, 2 usage error\n\n\
          experiments: {}",
         EXPERIMENT_IDS.join(", ")
@@ -103,11 +107,18 @@ fn bench_sweep_model(x: &f64) -> f64 {
     acc
 }
 
-/// `act bench-sweep [points]`: times the same sweep serially and in
-/// parallel, then times the real footprint model per-point (naive) versus
-/// as a compiled kernel, verifies every pair of paths is bitwise
-/// identical, and prints a JSON throughput record.
-fn run_bench_sweep(points_arg: Option<&str>, serial_only: bool) -> ExitCode {
+/// `act bench-sweep [points] [--million]`: times the same sweep serially
+/// and in parallel, then times the real footprint model per-point (naive)
+/// versus as a compiled kernel — serial and through the calibrated
+/// parallel engine — verifies every pair of paths is bitwise identical,
+/// and prints a JSON throughput record.
+///
+/// `--million` is the scale mode: 1,000,000 points through the compiled
+/// kernel legs only. The synthetic closure sweep and the naive per-point
+/// model are skipped there — both cost seconds per million points and
+/// measure nothing the 10k run doesn't already cover, while the compiled
+/// serial-vs-parallel A/B is exactly what changes at scale.
+fn run_bench_sweep(points_arg: Option<&str>, serial_only: bool, million: bool) -> ExitCode {
     let points = match points_arg {
         Some(raw) => match raw.parse::<usize>() {
             Ok(n) if n >= 2 => n,
@@ -116,40 +127,60 @@ fn run_bench_sweep(points_arg: Option<&str>, serial_only: bool) -> ExitCode {
                 return ExitCode::from(EXIT_USAGE);
             }
         },
+        None if million => BENCH_SWEEP_MILLION_POINTS,
         None => BENCH_SWEEP_POINTS,
     };
-    let inputs = act_dse::logspace(1.0, 1000.0, points);
-
-    let serial_start = Instant::now();
-    let serial_results = act_dse::sweep(inputs.clone(), bench_sweep_model);
-    let serial_ms = serial_start.elapsed().as_secs_f64() * 1e3;
 
     let parallelism = if serial_only { Parallelism::Serial } else { Parallelism::Auto };
-    let parallel_start = Instant::now();
-    let parallel_results = act_dse::par_sweep_with(parallelism, inputs, bench_sweep_model);
-    let parallel_ms = parallel_start.elapsed().as_secs_f64() * 1e3;
+    // Length-aware resolution: surfaces the calibrated break-even decision
+    // (parallel above threshold / serial fallback) alongside the worker
+    // count, its source, and what the machine could have offered — so a
+    // ≈1× "speedup" on a 1-CPU host reads as correct behavior instead of
+    // a silent misconfiguration.
+    let resolved = parallelism.resolve_for(points);
+    let cal = act_dse::calibration();
 
-    let serial_sum: f64 = serial_results.iter().map(|(_, r)| r).sum();
-    let parallel_sum: f64 = parallel_results.iter().map(|(_, r)| r).sum();
-    if serial_sum.to_bits() != parallel_sum.to_bits() {
-        eprintln!("bench-sweep: parallel results diverged from serial (engine bug)");
-        return ExitCode::from(EXIT_EXPERIMENT_FAILED);
+    let mut synthetic = None;
+    if !million {
+        let inputs = act_dse::logspace(1.0, 1000.0, points);
+
+        let serial_start = Instant::now();
+        let serial_results = act_dse::sweep(inputs.clone(), bench_sweep_model);
+        let serial_ms = serial_start.elapsed().as_secs_f64() * 1e3;
+
+        let parallel_start = Instant::now();
+        let parallel_results = act_dse::par_sweep_with(parallelism, inputs, bench_sweep_model);
+        let parallel_ms = parallel_start.elapsed().as_secs_f64() * 1e3;
+
+        let serial_sum: f64 = serial_results.iter().map(|(_, r)| r).sum();
+        let parallel_sum: f64 = parallel_results.iter().map(|(_, r)| r).sum();
+        if serial_sum.to_bits() != parallel_sum.to_bits() {
+            eprintln!("bench-sweep: parallel results diverged from serial (engine bug)");
+            return ExitCode::from(EXIT_EXPERIMENT_FAILED);
+        }
+        synthetic = Some((serial_ms, parallel_ms, parallel_sum));
     }
 
     // The model A/B: the mobile reference footprint swept over the SoC-area
     // axis, once through the full per-point pipeline (fab scenario + system
     // spec rebuilt for every point) and once through the compiled kernel.
-    // Both legs run single-threaded so the ratio isolates per-point cost.
+    // The serial legs run single-threaded so the ratio isolates per-point
+    // cost; the compiled-parallel leg goes through the calibrated engine.
     let params = ModelParams::mobile_reference();
     let areas = act_dse::logspace(10.0, 1000.0, points);
 
-    let naive_start = Instant::now();
-    let naive_results = act_dse::sweep(areas.clone(), |area| {
-        let mut point = params.clone();
-        point.soc_area_mm2 = *area;
-        point.footprint().as_grams()
-    });
-    let naive_ms = naive_start.elapsed().as_secs_f64() * 1e3;
+    let naive = if million {
+        None
+    } else {
+        let naive_start = Instant::now();
+        let naive_results = act_dse::sweep(areas.clone(), |area| {
+            let mut point = params.clone();
+            point.soc_area_mm2 = *area;
+            point.footprint().as_grams()
+        });
+        let naive_ms = naive_start.elapsed().as_secs_f64() * 1e3;
+        Some((naive_ms, naive_results))
+    };
 
     let kernel = match CompiledFootprint::try_compile(&params, &[FreeAxis::SocArea]) {
         Ok(kernel) => kernel,
@@ -166,57 +197,92 @@ fn run_bench_sweep(points_arg: Option<&str>, serial_only: bool) -> ExitCode {
 
     // The compiled path must agree with the naive path to the last bit,
     // point for point — and the parallel batch path with the serial one.
-    for ((_, naive), compiled) in naive_results.iter().zip(compiled_out.values()) {
-        if naive.to_bits() != compiled.to_bits() {
-            eprintln!(
-                "bench-sweep: compiled kernel diverged from per-point model (engine bug)"
-            );
-            return ExitCode::from(EXIT_EXPERIMENT_FAILED);
+    if let Some((_, naive_results)) = &naive {
+        for ((_, naive), compiled) in naive_results.iter().zip(compiled_out.values()) {
+            if naive.to_bits() != compiled.to_bits() {
+                eprintln!(
+                    "bench-sweep: compiled kernel diverged from per-point model (engine bug)"
+                );
+                return ExitCode::from(EXIT_EXPERIMENT_FAILED);
+            }
         }
     }
     let mut par_out = BatchOutput::new();
+    let par_compiled_start = Instant::now();
     act_dse::par_sweep_compiled_with(
         parallelism,
         &batch,
         |point| kernel.eval(point),
         &mut par_out,
     );
+    let par_compiled_ms = par_compiled_start.elapsed().as_secs_f64() * 1e3;
     if par_out.values() != compiled_out.values() {
         eprintln!("bench-sweep: parallel compiled sweep diverged from serial (engine bug)");
         return ExitCode::from(EXIT_EXPERIMENT_FAILED);
     }
 
     let model_checksum: f64 = compiled_out.values().iter().sum();
-    let naive_pps = points as f64 / (naive_ms / 1e3).max(1e-12);
     let compiled_pps = points as f64 / (compiled_ms / 1e3).max(1e-12);
+    let par_compiled_pps = points as f64 / (par_compiled_ms / 1e3).max(1e-12);
 
-    let speedup = serial_ms / parallel_ms.max(1e-9);
-    let evals_per_sec = points as f64 / (parallel_ms / 1e3).max(1e-12);
-    // Resolved-parallelism observability: how many workers actually ran,
-    // where the count came from (policy/env/machine) and what the machine
-    // could have offered — so a ≈1× "speedup" on a 1-CPU host reads as
-    // correct behavior instead of a silent misconfiguration.
-    let resolved = parallelism.resolve_detailed();
-    let body = act_json::obj! {
-        "points": points,
-        "threads": resolved.workers,
-        "threads_source": resolved.source.as_str(),
-        "machine_threads": resolved.machine,
-        "serial_ms": serial_ms,
-        "parallel_ms": parallel_ms,
-        "speedup": speedup,
-        "evals_per_sec": evals_per_sec,
-        "checksum": parallel_sum,
-        "naive": act_json::obj! {
-            "ms": naive_ms,
-            "points_per_sec": naive_pps,
+    // `compiled_parallel` deliberately does not contain the exact key
+    // `"compiled"`: the xtask trajectory guard scrapes the last
+    // `"compiled": {... "points_per_sec" ...}` object out of the record.
+    let compiled_parallel = act_json::obj! {
+        "ms": par_compiled_ms,
+        "points_per_sec": par_compiled_pps,
+        "speedup_vs_serial": compiled_ms / par_compiled_ms.max(1e-9),
+    };
+    let calibration = act_json::obj! {
+        "threshold_points": cal.threshold_points,
+        "source": cal.source.as_str(),
+    };
+
+    let body = match (synthetic, naive) {
+        (Some((serial_ms, parallel_ms, parallel_sum)), Some((naive_ms, _))) => {
+            let speedup = serial_ms / parallel_ms.max(1e-9);
+            let evals_per_sec = points as f64 / (parallel_ms / 1e3).max(1e-12);
+            let naive_pps = points as f64 / (naive_ms / 1e3).max(1e-12);
+            act_json::obj! {
+                "points": points,
+                "threads": resolved.workers,
+                "threads_source": resolved.source.as_str(),
+                "machine_threads": resolved.machine,
+                "decision": resolved.decision.as_str(),
+                "calibration": calibration,
+                "serial_ms": serial_ms,
+                "parallel_ms": parallel_ms,
+                "speedup": speedup,
+                "evals_per_sec": evals_per_sec,
+                "checksum": parallel_sum,
+                "naive": act_json::obj! {
+                    "ms": naive_ms,
+                    "points_per_sec": naive_pps,
+                },
+                "compiled": act_json::obj! {
+                    "ms": compiled_ms,
+                    "points_per_sec": compiled_pps,
+                    "speedup_vs_naive": naive_ms / compiled_ms.max(1e-9),
+                },
+                "compiled_parallel": compiled_parallel,
+                "model_checksum": model_checksum,
+            }
+        }
+        _ => act_json::obj! {
+            "points": points,
+            "mode": "million",
+            "threads": resolved.workers,
+            "threads_source": resolved.source.as_str(),
+            "machine_threads": resolved.machine,
+            "decision": resolved.decision.as_str(),
+            "calibration": calibration,
+            "compiled": act_json::obj! {
+                "ms": compiled_ms,
+                "points_per_sec": compiled_pps,
+            },
+            "compiled_parallel": compiled_parallel,
+            "model_checksum": model_checksum,
         },
-        "compiled": act_json::obj! {
-            "ms": compiled_ms,
-            "points_per_sec": compiled_pps,
-            "speedup_vs_naive": naive_ms / compiled_ms.max(1e-9),
-        },
-        "model_checksum": model_checksum,
     };
     println!("{body}");
     ExitCode::SUCCESS
@@ -429,6 +495,7 @@ fn main() -> ExitCode {
     let mut json = false;
     let mut strict = false;
     let mut serial = false;
+    let mut million = false;
     let mut ids = Vec::new();
     for arg in args {
         match arg.as_str() {
@@ -439,6 +506,7 @@ fn main() -> ExitCode {
             "--json" => json = true,
             "--strict" => strict = true,
             "--serial" => serial = true,
+            "--million" => million = true,
             "--naive" => act_core::memo::set_enabled(false),
             flag if flag.starts_with('-') => {
                 eprintln!("unknown flag `{flag}`\n\n{}", usage());
@@ -469,7 +537,11 @@ fn main() -> ExitCode {
             eprintln!("bench-sweep takes at most one point count\n\n{}", usage());
             return ExitCode::from(EXIT_USAGE);
         }
-        return run_bench_sweep(ids.get(1).map(String::as_str), serial);
+        return run_bench_sweep(ids.get(1).map(String::as_str), serial, million);
+    }
+    if million {
+        eprintln!("--million only applies to bench-sweep\n\n{}", usage());
+        return ExitCode::from(EXIT_USAGE);
     }
 
     let format = if json { OutputFormat::Json } else { OutputFormat::Text };

@@ -16,9 +16,11 @@
 //!   [`RejectedPoint`] with the same reason string as
 //!   [`sweep_finite`](crate::sweep_finite) is recorded, in sweep order;
 //! * **thread-count invariance** — the parallel entry points partition the
-//!   output buffer into contiguous chunks (`slice::chunks_mut`, no
-//!   `unsafe`), and each point's value depends only on its coordinates, so
-//!   serial and parallel runs are bit-for-bit identical;
+//!   output buffer into cache-friendly contiguous chunks
+//!   (`slice::chunks_mut`, no `unsafe`) and hand chunk indices to the
+//!   persistent worker pool through an atomic cursor (work stealing), and
+//!   each point's value depends only on its coordinates, so serial and
+//!   parallel runs are bit-for-bit identical;
 //! * **deterministic seed-splitting** — [`par_monte_carlo_compiled`] seeds
 //!   sample `i` with [`mc_sample_seed`]`(seed, i)` exactly like
 //!   [`par_try_monte_carlo`](crate::par_try_monte_carlo), so its outcome is
@@ -341,9 +343,11 @@ pub fn sweep_compiled(
 /// prefix is bit-for-bit identical to an unbudgeted run, untouched slots
 /// hold NaN, and the return value says how far it got.
 ///
-/// The serial loop is the deliberate choice here: `act-server` gets its
-/// parallelism from the worker pool (many requests at once), so each
-/// request evaluates serially and the budget check stays a plain branch.
+/// This is the serial leg: one thread, point-aligned cut-off, budget check
+/// a plain branch. Large batches that clear the break-even calibration go
+/// through [`par_sweep_compiled_budgeted`] instead — that is how
+/// `act-server` routes sweeps when the calibrated policy says parallel
+/// wins.
 ///
 /// # Examples
 ///
@@ -440,10 +444,16 @@ pub fn par_sweep_compiled(
 
 /// Parallel [`sweep_compiled`] under an explicit [`Parallelism`] policy.
 ///
-/// The output buffer is statically partitioned into one contiguous chunk
-/// per worker (`slice::chunks_mut` — no `unsafe`, no locks on the hot
-/// path); each worker keeps a local rejection log that is merged back in
-/// chunk order, so [`BatchOutput::rejected`] stays in sweep order.
+/// The output buffer is partitioned into cache-friendly contiguous chunks
+/// (`slice::chunks_mut` — no `unsafe`) and the persistent worker pool
+/// steals chunk *indices* from an atomic cursor, so a skewed kernel cannot
+/// strand a whole static partition on one worker. Each worker keeps
+/// per-chunk rejection logs that are merged back in chunk order, so
+/// [`BatchOutput::rejected`] stays in sweep order. A machine-default
+/// [`Parallelism::Auto`] additionally consults the break-even
+/// [`calibration`](crate::calibration): batches below the calibrated
+/// threshold run serial, because pool dispatch would cost more than it
+/// saves.
 pub fn par_sweep_compiled_with(
     parallelism: Parallelism,
     batch: &PointBatch,
@@ -451,10 +461,44 @@ pub fn par_sweep_compiled_with(
     out: &mut BatchOutput,
 ) {
     let len = batch.len();
-    let workers = parallelism.worker_count().min(len.max(1));
+    let workers = parallelism.resolve_for(len).workers.min(len.max(1));
     if workers <= 1 {
         sweep_compiled(batch, kernel, out);
         return;
+    }
+    out.reset(len);
+    let run = fill_chunked(
+        workers,
+        &mut out.values,
+        &mut out.rejected,
+        &kernel,
+        |scratch, index| {
+            batch.gather(index, scratch);
+        },
+        batch.axis_count(),
+        &EvalBudget::unlimited(),
+    );
+    debug_assert!(run.is_complete(), "an unlimited budget cannot expire");
+}
+
+/// Budgeted twin of [`par_sweep_compiled_with`]: evaluates under a
+/// cooperative [`EvalBudget`], cutting off at a **chunk-aligned completed
+/// prefix** when the deadline passes. The completed prefix is bit-for-bit
+/// identical to an unbudgeted (or serial) run, every slot past it holds
+/// NaN, and the rejection log covers exactly the completed prefix — the
+/// same contract as [`sweep_compiled_budgeted`], with the cut-off rounded
+/// to a chunk boundary instead of a single point.
+pub fn par_sweep_compiled_budgeted(
+    parallelism: Parallelism,
+    batch: &PointBatch,
+    kernel: impl Fn(&[f64]) -> f64 + Sync,
+    out: &mut BatchOutput,
+    budget: &EvalBudget,
+) -> BatchRun {
+    let len = batch.len();
+    let workers = parallelism.resolve_for(len).workers.min(len.max(1));
+    if workers <= 1 {
+        return sweep_compiled_budgeted(batch, kernel, out, budget);
     }
     out.reset(len);
     fill_chunked(
@@ -466,7 +510,8 @@ pub fn par_sweep_compiled_with(
             batch.gather(index, scratch);
         },
         batch.axis_count(),
-    );
+        budget,
+    )
 }
 
 /// Reusable sample buffer for [`par_monte_carlo_compiled`]: the raw draws
@@ -568,7 +613,7 @@ pub fn par_monte_carlo_compiled_with(
         let mut rng = Rng::seed_from_u64(mc_sample_seed(seed, index as u64));
         sampler(&mut rng, scratch);
     };
-    let workers = parallelism.worker_count().min(samples.max(1));
+    let workers = parallelism.resolve_for(samples).workers.min(samples.max(1));
     if workers <= 1 {
         let mut scratch = vec![0.0; axes];
         for (index, slot) in buf.draws.iter_mut().enumerate() {
@@ -583,7 +628,15 @@ pub fn par_monte_carlo_compiled_with(
         // The rejection log is discarded: the Monte-Carlo contract reports
         // a rejected *count*, not indexed reasons.
         let mut discarded: Vec<RejectedPoint> = Vec::new();
-        fill_chunked(workers, &mut buf.draws, &mut discarded, &kernel, draw, axes);
+        fill_chunked(
+            workers,
+            &mut buf.draws,
+            &mut discarded,
+            &kernel,
+            draw,
+            axes,
+            &EvalBudget::unlimited(),
+        );
     }
     buf.finite.clear();
     buf.finite.extend(buf.draws.iter().copied().filter(|v| v.is_finite()));
@@ -594,12 +647,94 @@ pub fn par_monte_carlo_compiled_with(
     Ok(McOutcome { stats: summarize_slice(&mut buf.finite), rejected })
 }
 
-/// The shared chunked-parallel fill: partitions `values` into one
-/// contiguous chunk per worker, evaluates `kernel` on the point `load`
-/// writes into each worker's private scratch slice, and merges worker-local
+/// Budgeted parallel Monte-Carlo over a compiled kernel: draws under a
+/// cooperative [`EvalBudget`] and — when the deadline cuts in — summarizes
+/// the **chunk-aligned completed prefix** of samples, which seed-splitting
+/// makes bit-identical to the same prefix of a serial run. After the call,
+/// [`McBuffer::draws`] holds exactly the completed prefix.
+///
+/// # Errors
+///
+/// Returns [`McError::NoSamples`] when `samples` is zero or the budget
+/// expired before the first chunk completed, and [`McError::AllRejected`]
+/// when every completed draw was non-finite.
+#[allow(clippy::too_many_arguments)]
+pub fn par_monte_carlo_compiled_budgeted(
+    parallelism: Parallelism,
+    samples: usize,
+    seed: u64,
+    axes: usize,
+    sampler: impl Fn(&mut Rng, &mut [f64]) + Sync,
+    kernel: impl Fn(&[f64]) -> f64 + Sync,
+    buf: &mut McBuffer,
+    budget: &EvalBudget,
+) -> Result<(McOutcome, BatchRun), McError> {
+    if samples == 0 {
+        return Err(McError::NoSamples);
+    }
+    let workers = parallelism.resolve_for(samples).workers.min(samples);
+    if workers <= 1 {
+        return monte_carlo_compiled_budgeted(
+            samples, seed, axes, sampler, kernel, buf, budget,
+        );
+    }
+    buf.draws.clear();
+    buf.draws.resize(samples, f64::NAN);
+    let draw = |scratch: &mut [f64], index: usize| {
+        let mut rng = Rng::seed_from_u64(mc_sample_seed(seed, index as u64));
+        sampler(&mut rng, scratch);
+    };
+    let mut discarded: Vec<RejectedPoint> = Vec::new();
+    let run =
+        fill_chunked(workers, &mut buf.draws, &mut discarded, &kernel, draw, axes, budget);
+    let completed = match run {
+        BatchRun::Completed => samples,
+        BatchRun::DeadlineExceeded { completed } => completed,
+    };
+    if completed == 0 {
+        return Err(McError::NoSamples);
+    }
+    // `draws()` reports the completed prefix only, like the serial twin.
+    buf.draws.truncate(completed);
+    buf.finite.clear();
+    buf.finite.extend(buf.draws.iter().copied().filter(|v| v.is_finite()));
+    let rejected = completed - buf.finite.len();
+    if buf.finite.is_empty() {
+        return Err(McError::AllRejected { rejected });
+    }
+    Ok((McOutcome { stats: summarize_slice(&mut buf.finite), rejected }, run))
+}
+
+/// Upper bound on points per work-stealing chunk: 4096 points are 32 KiB
+/// of output — small enough to stay cache-resident per steal, large enough
+/// that the per-chunk cursor bump and slot lock are noise.
+#[cfg(feature = "parallel")]
+const MAX_CHUNK_POINTS: usize = 4096;
+
+/// Points per chunk: at least four chunks per worker (stealing slack for
+/// skewed kernels), capped at [`MAX_CHUNK_POINTS`]. Deterministic in
+/// `(len, workers)` — though output never depends on the chunking anyway,
+/// since every point is computed from its coordinates alone.
+#[cfg(feature = "parallel")]
+fn chunk_points(len: usize, workers: usize) -> usize {
+    len.div_ceil(workers.max(1) * 4).clamp(1, MAX_CHUNK_POINTS)
+}
+
+/// The shared chunked-parallel fill: partitions `values` into contiguous
+/// chunks, hands chunk indices to the persistent worker pool through an
+/// atomic cursor (work stealing), evaluates `kernel` on the point `load`
+/// writes into each worker's private scratch slice, and merges per-chunk
 /// rejection logs back in chunk order. Panics in workers propagate with
 /// their payload after every worker has stopped.
+///
+/// The [`EvalBudget`] is checked on the same global point-index boundaries
+/// as the serial loops; expiry stops every worker at its next check and
+/// the function reports a **chunk-aligned completed prefix** (all chunks
+/// before the first unfinished one). Slots past the prefix are wiped back
+/// to NaN and its rejections dropped, so the caller sees exactly the
+/// serial budgeted contract with a coarser cut-off.
 #[cfg(feature = "parallel")]
+#[allow(clippy::too_many_arguments)]
 fn fill_chunked(
     workers: usize,
     values: &mut [f64],
@@ -607,49 +742,93 @@ fn fill_chunked(
     kernel: &(impl Fn(&[f64]) -> f64 + Sync),
     load: impl Fn(&mut [f64], usize) + Sync,
     axes: usize,
-) {
+    budget: &EvalBudget,
+) -> BatchRun {
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::{Mutex, PoisonError};
+
     let len = values.len();
     if len == 0 {
-        return;
+        return BatchRun::Completed;
     }
-    let chunk = len.div_ceil(workers);
-    std::thread::scope(|scope| {
+    let chunk = chunk_points(len, workers);
+    let completed_chunks;
+    {
+        // Each chunk is a `Mutex<Option<&mut [f64]>>` slot its claimer
+        // takes exactly once — one uncontended lock per ~4096 points keeps
+        // the engine free of `unsafe` while costing well under 0.1 %.
+        let slots: Vec<Mutex<Option<&mut [f64]>>> =
+            values.chunks_mut(chunk).map(|c| Mutex::new(Some(c))).collect();
+        let chunk_count = slots.len();
+        let done: Vec<AtomicBool> = (0..chunk_count).map(|_| AtomicBool::new(false)).collect();
+        let cursor = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
+        let logs: Mutex<Vec<(usize, Vec<RejectedPoint>)>> = Mutex::new(Vec::new());
         let load = &load;
-        let handles: Vec<_> = values
-            .chunks_mut(chunk)
-            .enumerate()
-            .map(|(worker, slice)| {
-                scope.spawn(move || {
-                    let start = worker * chunk;
-                    let mut scratch = vec![0.0; axes];
-                    let mut local = Vec::new();
-                    for (offset, slot) in slice.iter_mut().enumerate() {
-                        let index = start + offset;
-                        load(&mut scratch, index);
-                        let v = kernel(&scratch);
-                        if v.is_finite() {
-                            *slot = v;
-                        } else {
-                            *slot = f64::NAN;
-                            local.push(RejectedPoint { index, reason: non_finite_reason(v) });
-                        }
+        crate::pool::run(workers, &|| {
+            let mut scratch = vec![0.0; axes];
+            let mut local: Vec<(usize, Vec<RejectedPoint>)> = Vec::new();
+            'steal: while !stop.load(Ordering::Relaxed) {
+                let ci = cursor.fetch_add(1, Ordering::Relaxed);
+                if ci >= chunk_count {
+                    break;
+                }
+                let taken = slots[ci].lock().unwrap_or_else(PoisonError::into_inner).take();
+                let Some(slice) = taken else { continue };
+                let start = ci * chunk;
+                let mut chunk_log: Vec<RejectedPoint> = Vec::new();
+                for (offset, slot) in slice.iter_mut().enumerate() {
+                    let index = start + offset;
+                    if budget.exhausted_at(index) {
+                        // Leave this chunk unfinished: it marks the end of
+                        // the completed prefix. Other workers stop at
+                        // their next steal or budget check.
+                        stop.store(true, Ordering::Relaxed);
+                        continue 'steal;
                     }
-                    local
-                })
-            })
-            .collect();
-        for handle in handles {
-            match handle.join() {
-                Ok(local) => rejected.extend(local),
-                Err(payload) => std::panic::resume_unwind(payload),
+                    load(&mut scratch, index);
+                    let v = kernel(&scratch);
+                    if v.is_finite() {
+                        *slot = v;
+                    } else {
+                        *slot = f64::NAN;
+                        chunk_log.push(RejectedPoint { index, reason: non_finite_reason(v) });
+                    }
+                }
+                done[ci].store(true, Ordering::Release);
+                if !chunk_log.is_empty() {
+                    local.push((ci, chunk_log));
+                }
+            }
+            if !local.is_empty() {
+                logs.lock().unwrap_or_else(PoisonError::into_inner).extend(local);
+            }
+        });
+        completed_chunks = done.iter().take_while(|flag| flag.load(Ordering::Acquire)).count();
+        let mut merged = logs.into_inner().unwrap_or_else(PoisonError::into_inner);
+        merged.sort_unstable_by_key(|&(ci, _)| ci);
+        for (ci, chunk_log) in merged {
+            if ci < completed_chunks {
+                rejected.extend(chunk_log);
             }
         }
-    });
+        if completed_chunks == chunk_count {
+            return BatchRun::Completed;
+        }
+    }
+    // Deadline cut in: wipe everything past the chunk-aligned completed
+    // prefix back to NaN (chunks may finish out of order past a gap).
+    let completed = (completed_chunks * chunk).min(len);
+    for slot in &mut values[completed..] {
+        *slot = f64::NAN;
+    }
+    BatchRun::DeadlineExceeded { completed }
 }
 
 /// Serial fallback when the `parallel` feature is disabled: same output,
-/// one worker.
+/// one worker, point-aligned budget cut-off.
 #[cfg(not(feature = "parallel"))]
+#[allow(clippy::too_many_arguments)]
 fn fill_chunked(
     _workers: usize,
     values: &mut [f64],
@@ -657,9 +836,13 @@ fn fill_chunked(
     kernel: &(impl Fn(&[f64]) -> f64 + Sync),
     load: impl Fn(&mut [f64], usize) + Sync,
     axes: usize,
-) {
+    budget: &EvalBudget,
+) -> BatchRun {
     let mut scratch = vec![0.0; axes];
     for (index, slot) in values.iter_mut().enumerate() {
+        if budget.exhausted_at(index) {
+            return BatchRun::DeadlineExceeded { completed: index };
+        }
         load(&mut scratch, index);
         let v = kernel(&scratch);
         if v.is_finite() {
@@ -669,6 +852,7 @@ fn fill_chunked(
             rejected.push(RejectedPoint { index, reason: non_finite_reason(v) });
         }
     }
+    BatchRun::Completed
 }
 
 #[cfg(test)]
@@ -921,6 +1105,152 @@ mod tests {
                 .check_every(1);
         assert_eq!(
             monte_carlo_compiled_budgeted(100, 7, 1, sampler, mc_kernel, &mut buf, &expired),
+            Err(McError::NoSamples)
+        );
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn chunk_sizing_has_stealing_slack_and_cache_cap() {
+        // Small batches: at least one point per chunk, ≥ 4 chunks/worker.
+        assert_eq!(chunk_points(4, 4), 1);
+        assert_eq!(chunk_points(1000, 2), 125);
+        // Large batches cap at the cache-friendly maximum.
+        assert_eq!(chunk_points(1_000_000, 8), MAX_CHUNK_POINTS);
+        // Degenerate worker counts never panic or return zero.
+        assert!(chunk_points(10, 0) >= 1);
+        assert!(chunk_points(0, 3) >= 1);
+    }
+
+    #[test]
+    fn budgeted_parallel_sweep_matches_serial_bitwise_when_unlimited() {
+        let params: Vec<f64> = (0..5000).map(|i| f64::from(i) - 2500.0).collect();
+        let batch = PointBatch::single_axis(params);
+        let mut serial = BatchOutput::new();
+        sweep_compiled(&batch, kernel, &mut serial);
+        for threads in [2usize, 3, 8] {
+            let mut parallel = BatchOutput::new();
+            let run = par_sweep_compiled_budgeted(
+                Parallelism::threads(threads),
+                &batch,
+                kernel,
+                &mut parallel,
+                &EvalBudget::unlimited(),
+            );
+            assert_eq!(run, BatchRun::Completed);
+            assert_eq!(parallel.rejected(), serial.rejected());
+            for (a, b) in parallel.values().iter().zip(serial.values()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn budgeted_parallel_sweep_reports_an_empty_prefix_when_expired() {
+        let deadline = Instant::now() - std::time::Duration::from_millis(1);
+        let batch = PointBatch::single_axis((0..500).map(f64::from).collect());
+        let mut out = BatchOutput::new();
+        let run = par_sweep_compiled_budgeted(
+            Parallelism::threads(4),
+            &batch,
+            kernel,
+            &mut out,
+            &EvalBudget::with_deadline(deadline).check_every(1),
+        );
+        assert_eq!(run, BatchRun::DeadlineExceeded { completed: 0 });
+        assert!(out.values().iter().all(|v| v.is_nan()));
+        assert!(out.is_clean(), "cut-off points must not be recorded as rejections");
+    }
+
+    #[test]
+    fn budgeted_parallel_sweep_prefix_is_chunk_aligned_and_bitwise() {
+        // A deadline that expires mid-run: whatever prefix completes must
+        // be bitwise identical to the serial sweep, NaN after it, and the
+        // rejection log confined to the prefix.
+        let deadline = Instant::now() + std::time::Duration::from_micros(200);
+        let params: Vec<f64> = (0..20_000).map(|i| f64::from(i) - 10_000.0).collect();
+        let batch = PointBatch::single_axis(params);
+        let mut reference = BatchOutput::new();
+        sweep_compiled(&batch, kernel, &mut reference);
+        let mut out = BatchOutput::new();
+        let slow = |p: &[f64]| std::hint::black_box(kernel(p));
+        let run = par_sweep_compiled_budgeted(
+            Parallelism::threads(4),
+            &batch,
+            slow,
+            &mut out,
+            &EvalBudget::with_deadline(deadline).check_every(64),
+        );
+        let completed = match run {
+            BatchRun::Completed => batch.len(),
+            BatchRun::DeadlineExceeded { completed } => completed,
+        };
+        for (i, (got, want)) in
+            out.values()[..completed].iter().zip(reference.values()).enumerate()
+        {
+            assert!(
+                got.to_bits() == want.to_bits() || (got.is_nan() && want.is_nan()),
+                "prefix diverged at {i}"
+            );
+        }
+        assert!(out.values()[completed..].iter().all(|v| v.is_nan()));
+        assert!(out.rejected().iter().all(|r| r.index < completed));
+    }
+
+    #[test]
+    fn budgeted_parallel_mc_completes_like_the_serial_twin() {
+        let sampler = |rng: &mut Rng, point: &mut [f64]| point[0] = rng.gen_range(-0.1..1.0);
+        let mc_kernel = |point: &[f64]| 1370.0 / point[0].max(0.0);
+        let mut serial_buf = McBuffer::new();
+        let (serial, _) = monte_carlo_compiled_budgeted(
+            2_000,
+            13,
+            1,
+            sampler,
+            mc_kernel,
+            &mut serial_buf,
+            &EvalBudget::unlimited(),
+        )
+        .unwrap();
+        for threads in [2usize, 8] {
+            let mut buf = McBuffer::new();
+            let (outcome, run) = par_monte_carlo_compiled_budgeted(
+                Parallelism::threads(threads),
+                2_000,
+                13,
+                1,
+                sampler,
+                mc_kernel,
+                &mut buf,
+                &EvalBudget::unlimited(),
+            )
+            .unwrap();
+            assert_eq!(run, BatchRun::Completed);
+            assert_eq!(outcome, serial);
+            assert_eq!(buf.draws().len(), serial_buf.draws().len());
+        }
+    }
+
+    #[test]
+    fn budgeted_parallel_mc_reports_no_samples_when_expired() {
+        let mut buf = McBuffer::new();
+        let sampler = |rng: &mut Rng, point: &mut [f64]| point[0] = rng.gen_range(0.5..1.0);
+        let mc_kernel = |point: &[f64]| point[0];
+        let expired =
+            EvalBudget::with_deadline(Instant::now() - std::time::Duration::from_millis(1))
+                .check_every(1);
+        assert_eq!(
+            par_monte_carlo_compiled_budgeted(
+                Parallelism::threads(4),
+                100,
+                7,
+                1,
+                sampler,
+                mc_kernel,
+                &mut buf,
+                &expired
+            )
+            .map(|(outcome, _)| outcome),
             Err(McError::NoSamples)
         );
     }

@@ -48,7 +48,11 @@
 //! assert_eq!(pareto_indices(&points), vec![0, 1]);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the persistent worker pool (`pool` module) needs
+// two narrowly-scoped `unsafe` items to share stack-borrowed closures with
+// pool threads (crossbeam-scope-style lifetime confinement, documented
+// there). Everything else in the crate stays `unsafe`-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod batch;
@@ -56,12 +60,15 @@ mod montecarlo;
 mod optimize;
 mod parallel;
 mod pareto;
+#[cfg(feature = "parallel")]
+mod pool;
 mod sweep;
 
 pub use batch::{
-    monte_carlo_compiled_budgeted, par_monte_carlo_compiled, par_monte_carlo_compiled_with,
-    par_sweep_compiled, par_sweep_compiled_with, sweep_compiled, sweep_compiled_budgeted,
-    BatchOutput, BatchRun, EvalBudget, McBuffer, PointBatch,
+    monte_carlo_compiled_budgeted, par_monte_carlo_compiled, par_monte_carlo_compiled_budgeted,
+    par_monte_carlo_compiled_with, par_sweep_compiled, par_sweep_compiled_budgeted,
+    par_sweep_compiled_with, sweep_compiled, sweep_compiled_budgeted, BatchOutput, BatchRun,
+    EvalBudget, McBuffer, PointBatch,
 };
 pub use montecarlo::{
     mc_sample_seed, monte_carlo, par_monte_carlo, par_monte_carlo_with, par_try_monte_carlo,
@@ -69,8 +76,9 @@ pub use montecarlo::{
 };
 pub use optimize::{argmin_by, argmin_feasible, knee_point, normalize_to, normalize_to_last};
 pub use parallel::{
-    machine_parallelism, par_map_ordered, par_map_range, Parallelism, ResolvedParallelism,
-    ThreadsSource, ThreadsWarning, ThreadsWarningReason,
+    calibration, machine_parallelism, par_map_ordered, par_map_range, BatchDecision,
+    Calibration, CalibrationSource, Parallelism, ResolvedParallelism, ThreadsSource,
+    ThreadsWarning, ThreadsWarningReason,
 };
 pub use pareto::{dominates, pareto_indices, pareto_indices_reference};
 pub use sweep::{

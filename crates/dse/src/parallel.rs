@@ -1,19 +1,28 @@
 //! Deterministic thread-parallel evaluation primitives.
 //!
-//! The engine is built on `std::thread::scope` — no external thread-pool
-//! dependency — so `act-dse` stays embeddable and dependency-light. Work is
-//! handed out through an atomic index (dynamic load balancing for skewed
-//! models), each worker collects `(index, result)` pairs, and the merged
-//! results are returned in **input order**: parallel evaluation is
-//! observationally identical to the serial loop for any pure model.
+//! The engine runs on the crate's persistent worker pool (`pool` module) —
+//! no external thread-pool dependency — so `act-dse` stays embeddable and
+//! dependency-light, and steady-state dispatch costs a lock round-trip
+//! instead of spawning OS threads per call. Work is handed out through an
+//! atomic index (dynamic load balancing for skewed models), each worker
+//! collects `(index, result)` pairs, and the merged results are returned
+//! in **input order**: parallel evaluation is observationally identical to
+//! the serial loop for any pure model.
 //!
 //! Thread count is a [`Parallelism`] policy: `Serial` (no threads at all),
 //! `Auto` (the `ACT_THREADS` environment variable, else every available
-//! core) or an explicit `Threads(n)`. The whole module compiles with the
-//! `parallel` cargo feature disabled too — every `par_*` entry point then
-//! degrades to the serial loop, so downstream code never needs `cfg` guards.
+//! core) or an explicit `Threads(n)`. For batch work whose size is known,
+//! [`Parallelism::resolve_for`] additionally consults a one-shot
+//! [`Calibration`] — measured pool-dispatch overhead vs. per-point kernel
+//! cost, overridable via `ACT_PAR_THRESHOLD` — and falls back to serial
+//! below the measured break-even batch size, so `Auto` never pays dispatch
+//! overhead on batches too small to amortize it. The whole module compiles
+//! with the `parallel` cargo feature disabled too — every `par_*` entry
+//! point then degrades to the serial loop, so downstream code never needs
+//! `cfg` guards.
 
 use std::num::NonZeroUsize;
+use std::sync::OnceLock;
 
 /// Thread-count policy for the `par_*` evaluation primitives.
 ///
@@ -93,40 +102,61 @@ impl Parallelism {
     #[must_use]
     pub fn resolve_detailed(self) -> ResolvedParallelism {
         let machine = machine_parallelism();
+        let unconditional = |workers, source, warning| ResolvedParallelism {
+            workers,
+            source,
+            machine,
+            warning,
+            decision: BatchDecision::Unconditional,
+        };
         match self {
-            Self::Serial => ResolvedParallelism {
-                workers: 1,
-                source: ThreadsSource::Policy,
-                machine,
-                warning: None,
-            },
-            Self::Threads(n) => ResolvedParallelism {
-                workers: n.get(),
-                source: ThreadsSource::Policy,
-                machine,
-                warning: None,
-            },
+            Self::Serial => unconditional(1, ThreadsSource::Policy, None),
+            Self::Threads(n) => unconditional(n.get(), ThreadsSource::Policy, None),
             Self::Auto => match env_threads() {
-                Ok(Some(n)) => ResolvedParallelism {
-                    workers: n,
-                    source: ThreadsSource::Env,
-                    machine,
-                    warning: None,
-                },
-                Ok(None) => ResolvedParallelism {
-                    workers: machine,
-                    source: ThreadsSource::Machine,
-                    machine,
-                    warning: None,
-                },
-                Err(warning) => ResolvedParallelism {
-                    workers: machine,
-                    source: ThreadsSource::Machine,
-                    machine,
-                    warning: Some(warning),
-                },
+                Ok(Some(n)) => unconditional(n, ThreadsSource::Env, None),
+                Ok(None) => unconditional(machine, ThreadsSource::Machine, None),
+                Err(warning) => unconditional(machine, ThreadsSource::Machine, Some(warning)),
             },
         }
+    }
+
+    /// Resolves the policy for a batch of `len` points, applying the
+    /// break-even [`Calibration`] when the policy is a pure machine-default
+    /// `Auto`: batches below the calibrated threshold resolve to **one
+    /// worker** (serial), because pool-dispatch overhead would exceed the
+    /// parallel win. Explicit policies — `Serial`, `Threads(n)`, and a
+    /// valid `ACT_THREADS` override — bypass the threshold entirely; the
+    /// user asked for a specific worker count and gets it.
+    ///
+    /// The outcome is recorded in [`ResolvedParallelism::decision`] so bench
+    /// records and service logs can show *why* a sweep ran serial.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use act_dse::{BatchDecision, Parallelism};
+    ///
+    /// // Explicit policies never consult the calibration.
+    /// let detail = Parallelism::threads(4).resolve_for(10);
+    /// assert_eq!(detail.workers, 4);
+    /// assert_eq!(detail.decision, BatchDecision::Unconditional);
+    /// ```
+    #[must_use]
+    pub fn resolve_for(self, len: usize) -> ResolvedParallelism {
+        let mut detail = self.resolve_detailed();
+        if matches!(self, Self::Auto)
+            && detail.source == ThreadsSource::Machine
+            && detail.workers > 1
+        {
+            let threshold = calibration().threshold_points;
+            if len < threshold {
+                detail.workers = 1;
+                detail.decision = BatchDecision::SerialBelowThreshold { threshold };
+            } else {
+                detail.decision = BatchDecision::ParallelAboveThreshold { threshold };
+            }
+        }
+        detail
     }
 
     /// Convenience constructor clamping `n` up to 1, for callers holding a
@@ -153,6 +183,174 @@ pub struct ResolvedParallelism {
     pub machine: usize,
     /// A rejected `ACT_THREADS` override, when one was ignored.
     pub warning: Option<ThreadsWarning>,
+    /// The break-even outcome when resolved through
+    /// [`Parallelism::resolve_for`]; [`BatchDecision::Unconditional`] for
+    /// plain [`Parallelism::resolve_detailed`] and explicit policies.
+    pub decision: BatchDecision,
+}
+
+/// The break-even outcome of a length-aware [`Parallelism::resolve_for`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BatchDecision {
+    /// No threshold was consulted: an explicit policy, an `ACT_THREADS`
+    /// override, a single-core host, or a plain length-independent resolve.
+    Unconditional,
+    /// `Auto` dispatched in parallel: the batch cleared the calibrated
+    /// break-even threshold.
+    ParallelAboveThreshold {
+        /// The threshold that was cleared, in points.
+        threshold: usize,
+    },
+    /// `Auto` fell back to serial: the batch was below the calibrated
+    /// break-even threshold, so dispatch overhead would exceed the win.
+    SerialBelowThreshold {
+        /// The threshold that was not met, in points.
+        threshold: usize,
+    },
+}
+
+impl BatchDecision {
+    /// Stable lower-case name for machine-readable output.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Unconditional => "unconditional",
+            Self::ParallelAboveThreshold { .. } => "parallel",
+            Self::SerialBelowThreshold { .. } => "serial-below-threshold",
+        }
+    }
+}
+
+/// The process-wide break-even calibration consulted by
+/// [`Parallelism::resolve_for`]: the minimum batch size (in points) at
+/// which a machine-default `Auto` dispatches in parallel.
+///
+/// Resolution order, decided once per process and cached:
+///
+/// 1. `ACT_PAR_THRESHOLD` — a non-negative integer forces the threshold
+///    (`0` means "always parallel"); invalid values are ignored.
+/// 2. Single-core hosts (or the `parallel` feature compiled out) pin the
+///    threshold to `usize::MAX`: parallel can never win.
+/// 3. Otherwise a one-shot microcalibration measures pool-dispatch
+///    overhead against a reference kernel's per-point cost and picks the
+///    break-even batch size with a 2× safety margin.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Calibration {
+    /// Minimum batch length for a parallel `Auto` dispatch.
+    pub threshold_points: usize,
+    /// Where the threshold came from.
+    pub source: CalibrationSource,
+}
+
+/// Where a [`Calibration`] threshold came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CalibrationSource {
+    /// A valid `ACT_PAR_THRESHOLD` environment override.
+    Env,
+    /// The one-shot dispatch-vs-kernel microcalibration.
+    Measured,
+    /// A single-core host (or the `parallel` feature compiled out):
+    /// parallel dispatch can never win, threshold is `usize::MAX`.
+    SingleCore,
+}
+
+impl CalibrationSource {
+    /// Stable lower-case name for machine-readable output.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Env => "env",
+            Self::Measured => "measured",
+            Self::SingleCore => "single-core",
+        }
+    }
+}
+
+/// The cached process-wide [`Calibration`]. The first call on a multi-core
+/// host without an `ACT_PAR_THRESHOLD` override runs the microcalibration
+/// (well under a millisecond); every later call is a load.
+#[must_use]
+pub fn calibration() -> Calibration {
+    static CALIBRATION: OnceLock<Calibration> = OnceLock::new();
+    *CALIBRATION.get_or_init(calibrate)
+}
+
+fn calibrate() -> Calibration {
+    if let Some(threshold_points) = env_par_threshold() {
+        return Calibration { threshold_points, source: CalibrationSource::Env };
+    }
+    if machine_parallelism() <= 1 {
+        return Calibration {
+            threshold_points: usize::MAX,
+            source: CalibrationSource::SingleCore,
+        };
+    }
+    Calibration { threshold_points: measure_threshold(), source: CalibrationSource::Measured }
+}
+
+/// The `ACT_PAR_THRESHOLD` override, `None` when unset or unusable.
+fn env_par_threshold() -> Option<usize> {
+    match std::env::var("ACT_PAR_THRESHOLD") {
+        Ok(raw) => parse_par_threshold(&raw),
+        Err(_) => None,
+    }
+}
+
+/// Pure parser behind [`env_par_threshold`], split out for tests (same
+/// rationale as [`parse_threads`]). Unlike `ACT_THREADS`, `0` is valid
+/// here — it means "no threshold, always dispatch in parallel".
+fn parse_par_threshold(raw: &str) -> Option<usize> {
+    raw.trim().parse::<usize>().ok()
+}
+
+/// Measures the break-even batch size: pool-dispatch overhead divided by
+/// the per-point serial win of going parallel, with a 2× safety margin so
+/// borderline batches stay serial. The reference kernel approximates the
+/// flop mix of a compiled footprint point; callers with much heavier
+/// kernels can lower `ACT_PAR_THRESHOLD`, much lighter ones raise it.
+#[cfg(feature = "parallel")]
+fn measure_threshold() -> usize {
+    let workers = machine_parallelism();
+    let overhead = crate::pool::measure_dispatch_overhead(workers, 16);
+    // Per-point cost of the reference kernel, serial, best of 3 runs.
+    const POINTS: usize = 65_536;
+    let mut per_point_ns = f64::INFINITY;
+    for _ in 0..3 {
+        let start = std::time::Instant::now();
+        let mut acc = 0.0f64;
+        for i in 0..POINTS {
+            acc += reference_kernel(i as f64);
+        }
+        let elapsed = start.elapsed().as_nanos() as f64;
+        // Keep `acc` observable so the loop cannot be optimized away.
+        std::hint::black_box(acc);
+        per_point_ns = per_point_ns.min(elapsed / POINTS as f64);
+    }
+    // Parallel wins when n·c − n·c/w > overhead, i.e. beyond
+    // n = overhead / (c · (1 − 1/w)); double it for a safety margin.
+    let w = workers as f64;
+    let efficiency = 1.0 - 1.0 / w;
+    let overhead_ns = overhead.as_nanos() as f64;
+    let break_even = (2.0 * overhead_ns) / (per_point_ns.max(0.1) * efficiency.max(0.1));
+    // Clamp to sane bounds: never parallelize truly tiny batches, never
+    // refuse batches big enough that any real overhead is amortized.
+    break_even.clamp(512.0, 1_048_576.0) as usize
+}
+
+#[cfg(not(feature = "parallel"))]
+fn measure_threshold() -> usize {
+    usize::MAX
+}
+
+/// A few flops approximating one compiled-footprint evaluation.
+#[cfg(feature = "parallel")]
+#[inline]
+fn reference_kernel(x: f64) -> f64 {
+    let a = x.mul_add(1.000_000_119, 0.5);
+    let b = a.mul_add(a, x) + 1.0;
+    b / (a.abs() + 1.0) + (a * b).abs().sqrt()
 }
 
 /// Where a resolved worker count came from.
@@ -319,32 +517,28 @@ where
     F: Fn(usize) -> R + Sync,
 {
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Mutex, PoisonError};
 
     let next = AtomicUsize::new(0);
-    let mut buckets: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut local = Vec::new();
-                    loop {
-                        let index = next.fetch_add(1, Ordering::Relaxed);
-                        if index >= len {
-                            break;
-                        }
-                        local.push((index, f(index)));
-                    }
-                    local
-                })
-            })
-            .collect();
-        for handle in handles {
-            match handle.join() {
-                Ok(local) => buckets.push(local),
-                Err(payload) => std::panic::resume_unwind(payload),
+    let buckets: Mutex<Vec<Vec<(usize, R)>>> = Mutex::new(Vec::with_capacity(workers));
+    // Dispatch onto the persistent pool: the caller plus `workers - 1`
+    // pool threads each run this work-stealing loop until the shared
+    // cursor drains. A panicking `f` propagates out of `pool::run` after
+    // every participant has stopped, matching the serial failure mode.
+    crate::pool::run(workers, &|| {
+        let mut local = Vec::new();
+        loop {
+            let index = next.fetch_add(1, Ordering::Relaxed);
+            if index >= len {
+                break;
             }
+            local.push((index, f(index)));
+        }
+        if !local.is_empty() {
+            buckets.lock().unwrap_or_else(PoisonError::into_inner).push(local);
         }
     });
+    let buckets = buckets.into_inner().unwrap_or_else(PoisonError::into_inner);
     let mut indexed: Vec<(usize, R)> = buckets.into_iter().flatten().collect();
     indexed.sort_by_key(|&(index, _)| index);
     indexed.into_iter().map(|(_, result)| result).collect()
@@ -448,6 +642,87 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn par_threshold_overrides_parse() {
+        assert_eq!(parse_par_threshold("0"), Some(0));
+        assert_eq!(parse_par_threshold("4096"), Some(4096));
+        assert_eq!(parse_par_threshold(" 512\n"), Some(512));
+        assert_eq!(parse_par_threshold(""), None);
+        assert_eq!(parse_par_threshold("lots"), None);
+        assert_eq!(parse_par_threshold("-1"), None);
+        assert_eq!(parse_par_threshold("1e6"), None);
+    }
+
+    #[test]
+    fn calibration_is_cached_and_coherent() {
+        let first = calibration();
+        assert_eq!(first, calibration(), "calibration must be stable per process");
+        match first.source {
+            CalibrationSource::Env => {
+                let expected = std::env::var("ACT_PAR_THRESHOLD")
+                    .ok()
+                    .and_then(|raw| parse_par_threshold(&raw));
+                assert_eq!(Some(first.threshold_points), expected);
+            }
+            CalibrationSource::SingleCore => {
+                assert!(machine_parallelism() <= 1);
+                assert_eq!(first.threshold_points, usize::MAX);
+            }
+            CalibrationSource::Measured => {
+                assert!(machine_parallelism() > 1);
+                assert!((512..=1_048_576).contains(&first.threshold_points));
+            }
+        }
+    }
+
+    /// Break-even fallback: a tiny batch under a machine-default `Auto`
+    /// must resolve to one worker (serial) on any host — multi-core hosts
+    /// via the calibrated threshold (which is clamped ≥ 512), single-core
+    /// hosts trivially.
+    #[test]
+    fn tiny_batches_resolve_serial_under_auto() {
+        let detail = Parallelism::Auto.resolve_for(4);
+        if detail.source == ThreadsSource::Machine {
+            assert_eq!(detail.workers, 1, "4 points can never amortize dispatch");
+            if machine_parallelism() > 1 {
+                let threshold = calibration().threshold_points;
+                assert_eq!(detail.decision, BatchDecision::SerialBelowThreshold { threshold });
+            }
+        }
+    }
+
+    #[test]
+    fn huge_batches_resolve_parallel_under_auto_on_multicore() {
+        let detail = Parallelism::Auto.resolve_for(usize::MAX);
+        if detail.source == ThreadsSource::Machine && machine_parallelism() > 1 {
+            assert_eq!(detail.workers, machine_parallelism());
+            let threshold = calibration().threshold_points;
+            assert_eq!(detail.decision, BatchDecision::ParallelAboveThreshold { threshold });
+        }
+    }
+
+    #[test]
+    fn explicit_policies_bypass_the_threshold() {
+        for policy in [Parallelism::Serial, Parallelism::threads(3)] {
+            let detail = policy.resolve_for(1);
+            assert_eq!(detail.decision, BatchDecision::Unconditional);
+            assert_eq!(detail.workers, policy.worker_count());
+        }
+    }
+
+    #[test]
+    fn decision_and_calibration_names_are_stable() {
+        assert_eq!(BatchDecision::Unconditional.as_str(), "unconditional");
+        assert_eq!(BatchDecision::ParallelAboveThreshold { threshold: 1 }.as_str(), "parallel");
+        assert_eq!(
+            BatchDecision::SerialBelowThreshold { threshold: 1 }.as_str(),
+            "serial-below-threshold"
+        );
+        assert_eq!(CalibrationSource::Env.as_str(), "env");
+        assert_eq!(CalibrationSource::Measured.as_str(), "measured");
+        assert_eq!(CalibrationSource::SingleCore.as_str(), "single-core");
     }
 
     #[test]

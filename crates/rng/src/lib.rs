@@ -249,9 +249,163 @@ fn sample_below(rng: &mut Rng, bound: u64) -> u64 {
     }
 }
 
+/// A uniform `[0, bound)` sampler with the per-`bound` arithmetic hoisted
+/// out of the draw loop.
+///
+/// `Rng::gen_range(0..bound)` spends two 64-bit divisions per draw (the
+/// rejection limit and the reduction itself), which profiling showed
+/// dominated trace generation in the SSD simulator. `UniformU64::new`
+/// pays those once: the limit is cached and the reduction becomes a
+/// 128-bit multiply by a precomputed magic (Lemire's exact fast-modulo).
+///
+/// Determinism contract: `sample` consumes the generator and maps draws
+/// **bit-for-bit identically** to `rng.gen_range(0..bound)` — same
+/// rejection rule, same residues — so the two are interchangeable under
+/// every committed golden value.
+///
+/// # Examples
+///
+/// ```
+/// use act_rng::{Rng, UniformU64};
+///
+/// let dist = UniformU64::new(10_000);
+/// let mut a = Rng::seed_from_u64(7);
+/// let mut b = Rng::seed_from_u64(7);
+/// for _ in 0..100 {
+///     assert_eq!(dist.sample(&mut a), b.gen_range(0..10_000));
+/// }
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UniformU64 {
+    bound: u64,
+    /// Power-of-two bounds reduce with a mask, exactly like `gen_range`.
+    is_pow2: bool,
+    /// `bound - 1` when `bound` is a power of two, else unused.
+    mask: u64,
+    /// First draw value falling in the biased partial block (non-pow2 path).
+    limit: u64,
+    /// `ceil(2^128 / bound)`: multiplying a draw by this and taking the
+    /// high 128 bits of the product times `bound` yields `draw % bound`
+    /// exactly for every `u64` draw (bound < 2^64).
+    magic: u128,
+}
+
+impl UniformU64 {
+    /// Builds the sampler for `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bound` is zero, matching `gen_range`'s empty-range
+    /// contract.
+    #[must_use]
+    pub fn new(bound: u64) -> Self {
+        assert!(bound > 0, "cannot sample empty range");
+        if bound.is_power_of_two() {
+            Self { bound, is_pow2: true, mask: bound - 1, limit: u64::MAX, magic: 0 }
+        } else {
+            Self {
+                bound,
+                is_pow2: false,
+                mask: 0,
+                limit: u64::MAX - u64::MAX % bound,
+                magic: u128::MAX / u128::from(bound) + 1,
+            }
+        }
+    }
+
+    /// The exclusive upper bound.
+    #[must_use]
+    pub fn bound(&self) -> u64 {
+        self.bound
+    }
+
+    /// Draws one value uniformly from `[0, bound)`.
+    #[inline]
+    #[must_use]
+    pub fn sample(&self, rng: &mut Rng) -> u64 {
+        if self.is_pow2 {
+            return rng.next_u64() & self.mask;
+        }
+        loop {
+            let draw = rng.next_u64();
+            if draw < self.limit {
+                // draw % bound via the magic: high 128 bits of
+                // (magic * draw mod 2^128) * bound.
+                let lowbits = self.magic.wrapping_mul(u128::from(draw));
+                return mul_high_128(lowbits, self.bound);
+            }
+        }
+    }
+}
+
+/// `floor(a * b / 2^128)` for a 128-bit `a` and 64-bit `b`, without
+/// overflow: split `a` and recombine the partial products.
+#[inline]
+fn mul_high_128(a: u128, b: u64) -> u64 {
+    let a_hi = (a >> 64) as u64;
+    let a_lo = a as u64;
+    let carry = (u128::from(a_lo) * u128::from(b)) >> 64;
+    #[allow(clippy::cast_possible_truncation)]
+    {
+        ((u128::from(a_hi) * u128::from(b) + carry) >> 64) as u64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The magic-multiply reduction must equal `%` for every draw — spot
+    /// checked across awkward bounds (tiny, near-pow2, huge) and the full
+    /// edge set of draw values.
+    #[test]
+    fn uniform_magic_matches_modulo_exactly() {
+        let bounds = [
+            1,
+            2,
+            3,
+            5,
+            7,
+            63,
+            64,
+            65,
+            12_800,
+            15_753,
+            u32::MAX as u64,
+            u64::MAX / 2 + 1,
+            u64::MAX,
+        ];
+        let mut rng = Rng::seed_from_u64(99);
+        for &bound in &bounds {
+            let dist = UniformU64::new(bound);
+            assert_eq!(dist.bound(), bound);
+            let mut twin_a = Rng::seed_from_u64(bound);
+            let mut twin_b = twin_a.clone();
+            for _ in 0..4096 {
+                assert_eq!(
+                    dist.sample(&mut twin_a),
+                    twin_b.gen_range(0..bound),
+                    "bound {bound}"
+                );
+            }
+            if !bound.is_power_of_two() {
+                // Direct reduction check on raw values, including extremes.
+                for draw in [
+                    0,
+                    1,
+                    bound - 1,
+                    bound,
+                    bound.saturating_add(1),
+                    u64::MAX - 1,
+                    u64::MAX,
+                    rng.next_u64(),
+                ] {
+                    let lowbits = dist.magic.wrapping_mul(u128::from(draw));
+                    assert_eq!(mul_high_128(lowbits, bound), draw % bound, "bound {bound}");
+                }
+            }
+        }
+    }
 
     /// The reference output pins the implementation: xoshiro256++ seeded
     /// with SplitMix64(seed = 1). Changing either algorithm breaks this

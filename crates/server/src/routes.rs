@@ -10,14 +10,22 @@
 //! [`act_dse::EvalBudget`]: a request that runs out of time streams the
 //! results it finished and ends with a `{"error":"deadline",...}` trailer
 //! instead of hanging or being killed mid-write.
+//!
+//! Both batch endpoints consult the calibrated [`Parallelism::Auto`]
+//! policy per request: batches past the break-even threshold evaluate on
+//! the `act_dse` worker pool (bit-identical to the serial path), smaller
+//! ones stay serial. Every sweep trailer and Monte-Carlo summary carries
+//! the `threads` the evaluation actually used, so a client can see which
+//! path served it.
 
 use std::net::TcpStream;
 use std::time::Instant;
 
 use act_core::{CompiledFootprint, FreeAxis, ModelParams};
 use act_dse::{
-    monte_carlo_compiled_budgeted, sweep_compiled_budgeted, BatchOutput, BatchRun, EvalBudget,
-    McBuffer,
+    monte_carlo_compiled_budgeted, par_monte_carlo_compiled_budgeted,
+    par_sweep_compiled_budgeted, sweep_compiled_budgeted, BatchOutput, BatchRun, EvalBudget,
+    McBuffer, Parallelism,
 };
 use act_experiments::{concrete_experiment_ids, try_render_experiment, OutputFormat};
 use act_json::{format_float, FromJson, JsonValue, ToJson};
@@ -238,6 +246,14 @@ fn parse_axis_name(name: &str) -> Result<FreeAxis, Reject> {
     }
 }
 
+/// Threads the calibrated policy grants a batch of `len` points: the
+/// [`Parallelism::Auto`] resolution (machine size, `ACT_THREADS`, and the
+/// measured break-even threshold), never more than one thread per point.
+/// `1` means the serial path wins and the pool is left alone.
+fn batch_threads(len: usize) -> usize {
+    Parallelism::Auto.resolve_for(len).workers.min(len.max(1))
+}
+
 /// The decoded, validated body of a sweep request.
 struct SweepRequest {
     compiled: CompiledFootprint,
@@ -330,7 +346,21 @@ fn handle_sweep(
     let batch = act_dse::PointBatch::from_columns(sweep.columns);
     let mut out = BatchOutput::default();
     let budget = EvalBudget::with_deadline(deadline);
-    let run = sweep_compiled_budgeted(&batch, |p| sweep.compiled.eval(p), &mut out, &budget);
+    // The calibrated policy decides serial vs. pool; both paths produce
+    // bit-identical values, so clients cannot observe which ran except
+    // through the `threads` field in the trailer.
+    let threads = batch_threads(sweep.points);
+    let run = if threads > 1 {
+        par_sweep_compiled_budgeted(
+            Parallelism::threads(threads),
+            &batch,
+            |p| sweep.compiled.eval(p),
+            &mut out,
+            &budget,
+        )
+    } else {
+        sweep_compiled_budgeted(&batch, |p| sweep.compiled.eval(p), &mut out, &budget)
+    };
 
     // Evaluation is done; stream the results. Writes after this point are
     // covered by the socket write timeout, not the eval budget.
@@ -359,7 +389,7 @@ fn handle_sweep(
     match run {
         BatchRun::Completed => {
             let trailer = format!(
-                "{{\"done\":true,\"points\":{},\"rejected\":{}}}\n",
+                "{{\"done\":true,\"points\":{},\"rejected\":{},\"threads\":{threads}}}\n",
                 sweep.points,
                 out.rejected().len()
             );
@@ -369,7 +399,9 @@ fn handle_sweep(
         }
         BatchRun::DeadlineExceeded { completed } => {
             ServerStats::bump(&stats.deadline_trailers);
-            let trailer = format!("{{\"error\":\"deadline\",\"completed\":{completed}}}\n");
+            let trailer = format!(
+                "{{\"error\":\"deadline\",\"completed\":{completed},\"threads\":{threads}}}\n"
+            );
             stream.write_all(trailer.as_bytes())?;
             stream.flush()?;
             Ok(RouteOutcome::DeadlinePartial)
@@ -467,22 +499,43 @@ fn handle_montecarlo(
     let mut buf = McBuffer::default();
     let budget = EvalBudget::with_deadline(deadline);
     let ranges = mc.ranges;
-    let result = monte_carlo_compiled_budgeted(
-        mc.samples,
-        mc.seed,
-        ranges.len(),
-        |rng, point| {
-            for (slot, (low, high)) in point.iter_mut().zip(&ranges) {
-                *slot = rng.gen_range(*low..*high);
-            }
-        },
-        |p| mc.compiled.eval(p),
-        &mut buf,
-        &budget,
-    );
+    let sampler = |rng: &mut act_rng::Rng, point: &mut [f64]| {
+        for (slot, (low, high)) in point.iter_mut().zip(&ranges) {
+            *slot = rng.gen_range(*low..*high);
+        }
+    };
+    // Per-sample seeding makes the draws order-independent, so the pooled
+    // path returns the same summary bit-for-bit (see `act_dse::batch`).
+    let threads = batch_threads(mc.samples);
+    let result = if threads > 1 {
+        par_monte_carlo_compiled_budgeted(
+            Parallelism::threads(threads),
+            mc.samples,
+            mc.seed,
+            ranges.len(),
+            sampler,
+            |p| mc.compiled.eval(p),
+            &mut buf,
+            &budget,
+        )
+    } else {
+        monte_carlo_compiled_budgeted(
+            mc.samples,
+            mc.seed,
+            ranges.len(),
+            sampler,
+            |p| mc.compiled.eval(p),
+            &mut buf,
+            &budget,
+        )
+    };
     match result {
         Ok((outcome, run)) => {
-            let mut line = outcome.to_json().render_compact();
+            let mut doc = outcome.to_json();
+            if let JsonValue::Object(obj) = &mut doc {
+                obj.insert("threads", threads.to_json());
+            }
+            let mut line = doc.render_compact();
             line.push('\n');
             match run {
                 BatchRun::Completed => {
@@ -494,8 +547,9 @@ fn handle_montecarlo(
                     write_stream_head(stream, Status::Ok)?;
                     use std::io::Write;
                     stream.write_all(line.as_bytes())?;
-                    let trailer =
-                        format!("{{\"error\":\"deadline\",\"completed\":{completed}}}\n");
+                    let trailer = format!(
+                        "{{\"error\":\"deadline\",\"completed\":{completed},\"threads\":{threads}}}\n"
+                    );
                     stream.write_all(trailer.as_bytes())?;
                     stream.flush()?;
                     Ok(RouteOutcome::DeadlinePartial)

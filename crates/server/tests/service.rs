@@ -160,6 +160,17 @@ fn sweep_streams_ndjson_and_matches_compiled_eval() {
     let trailer = JsonValue::parse(lines[3]).expect("trailer parses");
     assert_eq!(trailer.get("done").and_then(JsonValue::as_bool), Some(true));
     assert_eq!(trailer.get("points").and_then(JsonValue::as_u64), Some(3));
+    // The trailer reports which path evaluated the sweep. 3 points sit
+    // far below any measured break-even threshold, so absent an
+    // `ACT_THREADS` override this runs serial.
+    let threads = trailer.get("threads").and_then(JsonValue::as_u64).expect("threads");
+    assert!(threads >= 1, "threads must be positive: {trailer:?}");
+    if std::env::var_os("ACT_THREADS").is_none()
+        && std::env::var_os("ACT_PAR_THRESHOLD").is_none()
+    {
+        // The measured break-even threshold is never below 512 points.
+        assert_eq!(threads, 1, "a 3-point sweep must stay below break-even");
+    }
     server.stop();
 }
 
@@ -181,6 +192,11 @@ fn montecarlo_summarizes_with_deterministic_seed() {
     assert_eq!(stats.get("samples").and_then(JsonValue::as_u64), Some(200));
     let mean = stats.get("mean").and_then(JsonValue::as_f64).expect("mean");
     assert!(mean.is_finite() && mean > 0.0);
+    // The summary line reports the evaluating thread count alongside the
+    // statistics; the seed-determinism assertion above already proved the
+    // chosen path cannot change the numbers.
+    let threads = doc.get("threads").and_then(JsonValue::as_u64).expect("threads");
+    assert!(threads >= 1, "threads must be positive: {doc:?}");
     server.stop();
 }
 
@@ -311,6 +327,10 @@ fn deadline_cuts_a_request_with_a_trailer() {
         trailer.get("error").and_then(JsonValue::as_str),
         Some("deadline"),
         "expected deadline trailer, got {last}"
+    );
+    assert!(
+        trailer.get("threads").and_then(JsonValue::as_u64).is_some_and(|t| t >= 1),
+        "deadline trailer must carry the thread count: {last}"
     );
     let stats = server.stop();
     assert!(stats.deadline_trailers >= 1, "{stats:?}");

@@ -128,7 +128,11 @@ impl FtlStats {
     }
 }
 
-const NO_PAGE: u64 = u64::MAX;
+// `u32`, not `u64`: page numbers are bounded by the physical page count
+// (asserted < `u32::MAX` at construction), and halving the mapping-table
+// entry size halves the randomly-accessed working set — the simulator is
+// memory-bound, so the l2p/p2l footprint is what sets its speed.
+const NO_PAGE: u32 = u32::MAX;
 
 /// The page-mapping FTL simulator.
 ///
@@ -148,9 +152,9 @@ const NO_PAGE: u64 = u64::MAX;
 pub struct FtlSimulator {
     config: FtlConfig,
     /// logical page -> physical page (NO_PAGE = unmapped).
-    l2p: Vec<u64>,
+    l2p: Vec<u32>,
     /// physical page -> logical page (NO_PAGE = invalid/free).
-    p2l: Vec<u64>,
+    p2l: Vec<u32>,
     valid_per_block: Vec<u32>,
     erase_counts: Vec<u64>,
     write_pointer: Vec<u32>,
@@ -158,7 +162,36 @@ pub struct FtlSimulator {
     free_blocks: Vec<u32>,
     active_block: u32,
     stats: FtlStats,
+    // --- hot-path caches, all derived from `config` at construction ---
+    /// `config.logical_pages()`, cached: the original does a float divide
+    /// and floor, which the per-write bounds assert made the single most
+    /// frequent arithmetic in the simulator.
+    logical_pages: u64,
+    /// `config.pages_per_block` widened once.
+    ppb: u64,
+    /// `log2(pages_per_block)` when it is a power of two (the common
+    /// geometry), letting `block_of` shift instead of divide.
+    ppb_shift: u32,
+    ppb_is_pow2: bool,
+    /// Cost-benefit needs per-block write stamps; greedy does not, so the
+    /// stamp store is skipped on the (hotter) greedy path.
+    track_stamps: bool,
+    /// Reusable staging buffer for the still-valid pages of a GC victim,
+    /// so the copy loop is two flat passes (gather, then bulk placement)
+    /// instead of one interleaved read-modify-write per page.
+    gc_scratch: Vec<u32>,
+    /// Per-block greedy-GC scan key: the block's valid count while it is a
+    /// victim candidate (full and not active), [`NOT_A_CANDIDATE`] otherwise.
+    /// Maintained incrementally so victim selection is two flat passes over
+    /// a dense `u16` array (min, then first position of the min) instead of
+    /// a branchy filtered scan — the autovectorizer turns both into SIMD.
+    gc_scan: Vec<u16>,
 }
+
+/// `gc_scan` marker for blocks that are not GC victim candidates (free,
+/// active, or partially written). `u16::MAX` sorts after every real valid
+/// count, so the min-scan skips them without a filter branch.
+const NOT_A_CANDIDATE: u16 = u16::MAX;
 
 impl FtlSimulator {
     /// Creates a simulator with all blocks erased.
@@ -172,16 +205,26 @@ impl FtlSimulator {
         assert!(config.blocks >= 8, "need at least 8 blocks");
         assert!(config.pages_per_block >= 1, "need at least one page per block");
         assert!(
+            config.pages_per_block < u32::from(u16::MAX),
+            "pages_per_block must fit the u16 GC scan key"
+        );
+        assert!(
             config.gc_free_block_threshold >= 2
                 && config.gc_free_block_threshold < config.blocks / 2,
             "GC threshold must be in [2, blocks/2)"
         );
+        assert!(
+            config.physical_pages() < u64::from(u32::MAX),
+            "physical pages must fit the u32 mapping tables"
+        );
         let physical = config.physical_pages() as usize;
         let mut free_blocks: Vec<u32> = (1..config.blocks).rev().collect();
         let active_block = 0;
+        let logical_pages = config.logical_pages();
+        let ppb = u64::from(config.pages_per_block);
         Self {
             config,
-            l2p: vec![NO_PAGE; config.logical_pages() as usize],
+            l2p: vec![NO_PAGE; logical_pages as usize],
             p2l: vec![NO_PAGE; physical],
             valid_per_block: vec![0; config.blocks as usize],
             erase_counts: vec![0; config.blocks as usize],
@@ -193,6 +236,24 @@ impl FtlSimulator {
             },
             active_block,
             stats: FtlStats::default(),
+            logical_pages,
+            ppb,
+            ppb_shift: ppb.trailing_zeros(),
+            ppb_is_pow2: ppb.is_power_of_two(),
+            track_stamps: config.gc_policy == GcPolicy::CostBenefit,
+            gc_scratch: Vec::with_capacity(config.pages_per_block as usize),
+            gc_scan: vec![NOT_A_CANDIDATE; config.blocks as usize],
+        }
+    }
+
+    /// The block containing physical page `ppn`: a shift for power-of-two
+    /// geometries, a divide otherwise. Bit-identical to `ppn / ppb`.
+    #[inline]
+    fn block_of(&self, ppn: u32) -> usize {
+        if self.ppb_is_pow2 {
+            (ppn >> self.ppb_shift) as usize
+        } else {
+            (u64::from(ppn) / self.ppb) as usize
         }
     }
 
@@ -234,11 +295,14 @@ impl FtlSimulator {
     /// # Panics
     ///
     /// Panics if `lpn` is outside the logical space.
+    #[inline]
     pub fn write(&mut self, lpn: u64) {
-        assert!(lpn < self.config.logical_pages(), "logical page {lpn} out of range");
+        assert!(lpn < self.logical_pages, "logical page {lpn} out of range");
         self.stats.host_writes += 1;
         self.ensure_space();
-        self.append(lpn, true);
+        // The assert above bounds lpn by logical_pages < u32::MAX.
+        #[allow(clippy::cast_possible_truncation)]
+        self.append(lpn as u32);
     }
 
     /// TRIMs a logical page: the mapping is dropped and the physical page
@@ -249,12 +313,12 @@ impl FtlSimulator {
     ///
     /// Panics if `lpn` is outside the logical space.
     pub fn trim(&mut self, lpn: u64) {
-        assert!(lpn < self.config.logical_pages(), "logical page {lpn} out of range");
+        assert!(lpn < self.logical_pages, "logical page {lpn} out of range");
         let ppn = self.l2p[lpn as usize];
         if ppn != NO_PAGE {
-            let block = (ppn / u64::from(self.config.pages_per_block)) as usize;
+            let block = self.block_of(ppn);
             self.p2l[ppn as usize] = NO_PAGE;
-            self.valid_per_block[block] -= 1;
+            self.invalidate_in(block);
             self.l2p[lpn as usize] = NO_PAGE;
         }
     }
@@ -276,35 +340,64 @@ impl FtlSimulator {
         trace: &mut WriteTrace,
         measure_writes: u64,
     ) -> f64 {
-        let warmup = self.config.logical_pages() * 2;
+        let warmup = self.logical_pages * 2;
         self.run(trace, warmup);
         self.reset_stats();
         self.run(trace, measure_writes);
         self.stats.write_amplification()
     }
 
-    fn append(&mut self, lpn: u64, _host: bool) {
+    #[inline]
+    fn append(&mut self, lpn: u32) {
         // Invalidate the previous location.
         let old = self.l2p[lpn as usize];
         if old != NO_PAGE {
-            let old_block = (old / u64::from(self.config.pages_per_block)) as usize;
+            let old_block = self.block_of(old);
             self.p2l[old as usize] = NO_PAGE;
-            self.valid_per_block[old_block] -= 1;
+            self.invalidate_in(old_block);
         }
-        // Place into the active block.
+        self.place(lpn);
+    }
+
+    /// Drops one valid page from `block`, keeping the GC scan key in step
+    /// when the block is currently a victim candidate.
+    #[inline]
+    fn invalidate_in(&mut self, block: usize) {
+        self.valid_per_block[block] -= 1;
+        if self.gc_scan[block] != NOT_A_CANDIDATE {
+            self.gc_scan[block] -= 1;
+        }
+    }
+
+    /// The placement half of [`append`](Self::append): writes `lpn` to the
+    /// next page of the active block. The GC copy loop calls this directly
+    /// after invalidating the source page itself (it already knows the
+    /// victim block, so the `l2p` lookup and block divide are redundant).
+    #[inline]
+    fn place(&mut self, lpn: u32) {
         if self.write_pointer[self.active_block as usize] == self.config.pages_per_block {
+            // The retiring active block becomes a GC victim candidate now —
+            // not when it filled — matching the `b != active_block` filter
+            // of the original selection scan.
+            #[allow(clippy::cast_possible_truncation)]
+            {
+                self.gc_scan[self.active_block as usize] =
+                    self.valid_per_block[self.active_block as usize] as u16;
+            }
             self.active_block =
                 self.free_blocks.pop().expect("ensure_space guarantees a free block");
         }
         let block = self.active_block as usize;
-        let ppn = u64::from(self.active_block) * u64::from(self.config.pages_per_block)
-            + u64::from(self.write_pointer[block]);
+        // u32 arithmetic cannot overflow: ppn < physical_pages < u32::MAX.
+        let ppn = self.active_block * self.config.pages_per_block + self.write_pointer[block];
         self.write_pointer[block] += 1;
         self.valid_per_block[block] += 1;
         self.l2p[lpn as usize] = ppn;
         self.p2l[ppn as usize] = lpn;
         self.stats.nand_writes += 1;
-        self.last_write_stamp[block] = self.stats.nand_writes;
+        if self.track_stamps {
+            self.last_write_stamp[block] = self.stats.nand_writes;
+        }
     }
 
     fn ensure_space(&mut self) {
@@ -329,37 +422,121 @@ impl FtlSimulator {
 
     fn collect_garbage(&mut self) {
         // Victim among full, inactive blocks, per the configured policy.
-        let candidates = (0..self.config.blocks).filter(|&b| {
-            b != self.active_block
-                && self.write_pointer[b as usize] == self.config.pages_per_block
-        });
         let victim = match self.config.gc_policy {
-            GcPolicy::Greedy => candidates
-                .min_by_key(|&b| self.valid_per_block[b as usize])
-                .expect("a full victim block always exists"),
-            GcPolicy::CostBenefit => candidates
+            // Two unconditional passes over the dense scan-key array (min,
+            // then first index holding it). Non-candidates carry
+            // `NOT_A_CANDIDATE = u16::MAX`, which never wins the min, so
+            // both passes are branch-free and the compiler vectorizes them —
+            // an order of magnitude cheaper than the equivalent
+            // filter + min_by_key scan this replaces, with the identical
+            // lowest-index tie-break.
+            GcPolicy::Greedy => {
+                let min = self.gc_scan.iter().copied().min().unwrap_or(NOT_A_CANDIDATE);
+                assert!(min != NOT_A_CANDIDATE, "a full victim block always exists");
+                // The assert above proved `min` occupies some slot, so the
+                // fallback index is unreachable — it only keeps this
+                // library-code path free of unwrap/expect.
+                #[allow(clippy::cast_possible_truncation)]
+                let victim =
+                    self.gc_scan.iter().position(|&key| key == min).unwrap_or_default() as u32;
+                debug_assert_eq!(
+                    Some(victim),
+                    (0..self.config.blocks)
+                        .filter(|&b| {
+                            b != self.active_block
+                                && self.write_pointer[b as usize] == self.config.pages_per_block
+                        })
+                        .min_by_key(|&b| self.valid_per_block[b as usize]),
+                    "scan-key victim must match the reference selection"
+                );
+                victim
+            }
+            GcPolicy::CostBenefit => (0..self.config.blocks)
+                .filter(|&b| {
+                    b != self.active_block
+                        && self.write_pointer[b as usize] == self.config.pages_per_block
+                })
                 .max_by(|&a, &b| {
                     self.cost_benefit_score(a).total_cmp(&self.cost_benefit_score(b))
                 })
                 .expect("a full victim block always exists"),
         };
-        let base = u64::from(victim) * u64::from(self.config.pages_per_block);
-        for offset in 0..u64::from(self.config.pages_per_block) {
-            let lpn = self.p2l[(base + offset) as usize];
-            if lpn != NO_PAGE {
-                self.append(lpn, false);
-                self.stats.gc_copies += 1;
-            }
+        // The victim leaves candidacy immediately (it will be erased below).
+        self.gc_scan[victim as usize] = NOT_A_CANDIDATE;
+        // Gather the victim's still-valid pages, then erase its reverse map
+        // in one memset. Mapping integrity (`l2p[p2l[x]] == x`) makes the
+        // per-page l2p lookup and block divide of a generic `append`
+        // redundant here, and batching turns the per-page bookkeeping into
+        // one update per victim.
+        let base = (u64::from(victim) * self.ppb) as usize;
+        let victim_pages = base..base + self.ppb as usize;
+        let mut scratch = std::mem::take(&mut self.gc_scratch);
+        scratch.clear();
+        scratch
+            .extend(self.p2l[victim_pages.clone()].iter().copied().filter(|&l| l != NO_PAGE));
+        self.p2l[victim_pages.clone()].fill(NO_PAGE);
+        #[allow(clippy::cast_possible_truncation)]
+        {
+            self.valid_per_block[victim as usize] -= scratch.len() as u32;
         }
-        // Erase the victim.
-        for offset in 0..u64::from(self.config.pages_per_block) {
-            self.p2l[(base + offset) as usize] = NO_PAGE;
-        }
-        self.valid_per_block[victim as usize] = 0;
+        self.stats.gc_copies += scratch.len() as u64;
+        self.place_gc_copies(&scratch);
+        self.gc_scratch = scratch;
+        // Erase the victim. The gather pass above already cleared every p2l
+        // entry and drained the valid count, so only the write pointer and
+        // wear accounting remain.
+        debug_assert_eq!(self.valid_per_block[victim as usize], 0);
+        debug_assert!(self.p2l[victim_pages].iter().all(|&l| l == NO_PAGE));
         self.write_pointer[victim as usize] = 0;
         self.erase_counts[victim as usize] += 1;
         self.stats.erases += 1;
         self.free_blocks.push(victim);
+    }
+
+    /// Bulk twin of [`place`](Self::place) for GC copies: writes `scratch`
+    /// to the write frontier in block-sized chunks — the p2l stores become
+    /// one `copy_from_slice` per chunk and the write-pointer/valid/stats
+    /// updates one addition each, leaving only the (inherently random)
+    /// l2p store per copied page. State after the call is identical to
+    /// calling `place` once per page.
+    fn place_gc_copies(&mut self, scratch: &[u32]) {
+        let ppb = self.config.pages_per_block;
+        let mut rest = scratch;
+        while !rest.is_empty() {
+            if self.write_pointer[self.active_block as usize] == ppb {
+                #[allow(clippy::cast_possible_truncation)]
+                {
+                    self.gc_scan[self.active_block as usize] =
+                        self.valid_per_block[self.active_block as usize] as u16;
+                }
+                self.active_block =
+                    self.free_blocks.pop().expect("ensure_space guarantees a free block");
+            }
+            let block = self.active_block as usize;
+            let wp = self.write_pointer[block];
+            let n = ((ppb - wp) as usize).min(rest.len());
+            let (chunk, tail) = rest.split_at(n);
+            let base_ppn = self.active_block * ppb + wp;
+            for (i, &lpn) in chunk.iter().enumerate() {
+                #[allow(clippy::cast_possible_truncation)]
+                {
+                    self.l2p[lpn as usize] = base_ppn + i as u32;
+                }
+            }
+            self.p2l[base_ppn as usize..base_ppn as usize + n].copy_from_slice(chunk);
+            #[allow(clippy::cast_possible_truncation)]
+            {
+                self.write_pointer[block] = wp + n as u32;
+                self.valid_per_block[block] += n as u32;
+            }
+            self.stats.nand_writes += n as u64;
+            if self.track_stamps {
+                // Overwritten on every placement in the one-page path, so
+                // only the post-batch value is observable — identical.
+                self.last_write_stamp[block] = self.stats.nand_writes;
+            }
+            rest = tail;
+        }
     }
 }
 
@@ -396,7 +573,7 @@ mod tests {
         // Every mapped logical page maps back to itself.
         for (lpn, &ppn) in ftl.l2p.iter().enumerate() {
             if ppn != NO_PAGE {
-                assert_eq!(ftl.p2l[ppn as usize], lpn as u64);
+                assert_eq!(u64::from(ftl.p2l[ppn as usize]), lpn as u64);
             }
         }
         // Valid counts agree with the reverse map.

@@ -1,6 +1,6 @@
 //! Synthetic write-trace generators for the FTL simulator.
 
-use act_rng::Rng;
+use act_rng::{Rng, UniformU64};
 
 /// The access pattern of a synthetic write workload.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -76,6 +76,10 @@ impl act_json::FromJson for TracePattern {
 pub struct WriteTrace {
     pattern: TracePattern,
     logical_pages: u64,
+    /// Precomputed uniform sampler over the whole logical space — hoists
+    /// the two per-draw divisions `gen_range` would pay (bit-identical
+    /// stream; see [`UniformU64`]).
+    uniform: UniformU64,
     rng: Rng,
     cursor: u64,
 }
@@ -97,7 +101,13 @@ impl WriteTrace {
             );
             assert!((0.0..=1.0).contains(&hot_share), "hot_share must be in [0, 1]");
         }
-        Self { pattern, logical_pages, rng: Rng::seed_from_u64(seed), cursor: 0 }
+        Self {
+            pattern,
+            logical_pages,
+            uniform: UniformU64::new(logical_pages),
+            rng: Rng::seed_from_u64(seed),
+            cursor: 0,
+        }
     }
 
     /// The logical address space size.
@@ -109,7 +119,7 @@ impl WriteTrace {
     /// Draws the next logical page to write.
     pub fn next_page(&mut self) -> u64 {
         match self.pattern {
-            TracePattern::UniformRandom => self.rng.gen_range(0..self.logical_pages),
+            TracePattern::UniformRandom => self.uniform.sample(&mut self.rng),
             TracePattern::Sequential => {
                 let page = self.cursor;
                 self.cursor = (self.cursor + 1) % self.logical_pages;

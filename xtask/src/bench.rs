@@ -40,6 +40,11 @@ pub struct BenchConfig {
     pub repeats: usize,
     /// Point count handed to `act bench-sweep`.
     pub sweep_points: usize,
+    /// Point count for the parallel-must-win gate sweep (see
+    /// [`gate_parallel_win`]). Runs in every mode, `--quick` included.
+    pub gate_points: usize,
+    /// Also run `act bench-sweep --million` (skipped by `--quick`).
+    pub million: bool,
     /// Also run `cargo bench --workspace -- --test` as a smoke pass.
     pub criterion_smoke: bool,
     /// Optional human-readable tag stored in the appended record.
@@ -55,15 +60,20 @@ impl BenchConfig {
             out: PathBuf::from("BENCH_results.json"),
             repeats: 3,
             sweep_points: 10_000,
+            gate_points: 100_000,
+            million: true,
             criterion_smoke: false,
             label: None,
         }
     }
 
-    /// CI-friendly variant: single repeat, smaller sweep.
+    /// CI-friendly variant: single repeat, smaller sweep, no million-point
+    /// leg. The 100k parallel-win gate still runs (it soft-fails on a
+    /// single-core host, so CI smoke keeps it).
     pub fn quick(&mut self) {
         self.repeats = 1;
         self.sweep_points = 2_000;
+        self.million = false;
     }
 }
 
@@ -80,6 +90,11 @@ pub struct BenchReport {
     pub all_serial_ms: f64,
     /// Raw JSON line captured from `act bench-sweep` (verbatim).
     pub sweep: String,
+    /// Raw JSON from the [`BenchConfig::gate_points`] gate sweep
+    /// (empty on a degraded run → rendered `null`).
+    pub sweep_gate: String,
+    /// Raw JSON from `act bench-sweep --million` (empty when skipped).
+    pub sweep_million: String,
     /// Whether the criterion smoke pass ran and succeeded (None = skipped).
     pub criterion_ok: Option<bool>,
     /// Timing repeats used.
@@ -179,6 +194,20 @@ pub fn render_record(report: &BenchReport) -> String {
     let speedup = if report.all_parallel_ms > 0.0 { report.all_speedup() } else { f64::NAN };
     let _ = writeln!(out, "    \"speedup\": {}", json_ms(speedup));
     out.push_str("  },\n");
+    // The gate/million captures render *before* the canonical sweep: the
+    // regression guard reads the **last** `"compiled"` object in the
+    // trajectory, and that must stay the fixed-size canonical sweep so
+    // baselines compare like against like.
+    for (key, capture) in
+        [("sweep_gate", &report.sweep_gate), ("sweep_million", &report.sweep_million)]
+    {
+        let capture = capture.trim();
+        if capture.is_empty() {
+            let _ = writeln!(out, "  \"{key}\": null,");
+        } else {
+            let _ = writeln!(out, "  \"{key}\": {capture},");
+        }
+    }
     let sweep = report.sweep.trim();
     if sweep.is_empty() {
         out.push_str("  \"sweep\": null,\n");
@@ -337,6 +366,110 @@ pub fn guard_regression(existing: &str, record: &str) -> Option<(f64, f64)> {
     (current < GUARD_RETAIN_FRACTION * baseline).then_some((baseline, current))
 }
 
+/// Minimum compiled parallel-over-serial speedup the 100k gate demands on
+/// a multi-core host: parallel must not lose to serial.
+pub const GATE_MIN_SPEEDUP: f64 = 1.0;
+
+/// Verdict of the parallel-must-win gate over one `act bench-sweep` record.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum GateOutcome {
+    /// Multi-core host and the compiled-parallel leg held
+    /// [`GATE_MIN_SPEEDUP`].
+    Pass {
+        /// Compiled serial ms over compiled parallel ms.
+        speedup: f64,
+        /// Worker threads the sweep resolved to.
+        threads: usize,
+    },
+    /// Single-core host: there is nothing to win, the gate soft-passes
+    /// with a warning.
+    SingleCore {
+        /// What the machine offered.
+        machine: usize,
+    },
+    /// Multi-core host but the parallel leg lost to serial.
+    Fail {
+        /// Compiled serial ms over compiled parallel ms.
+        speedup: f64,
+        /// Worker threads the sweep resolved to.
+        threads: usize,
+    },
+    /// The record carried no readable compiled serial/parallel timings
+    /// (e.g. an empty capture on a degraded run).
+    Unreadable,
+}
+
+/// First JSON number after `key` at or past `from`, scanned textually
+/// (the xtask workspace is dependency-free, so no JSON parser).
+fn number_after(text: &str, from: usize, key: &str) -> Option<f64> {
+    let at = from + text[from..].find(key)?;
+    let after = text[at + key.len()..].trim_start();
+    let after = after.strip_prefix(':')?.trim_start();
+    let end = after
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(after.len());
+    after[..end].parse::<f64>().ok().filter(|v| v.is_finite())
+}
+
+/// Applies the parallel-must-win gate to one raw `act bench-sweep` record:
+/// on a host with ≥ 2 hardware threads, the compiled-parallel leg must be
+/// at least [`GATE_MIN_SPEEDUP`] times the compiled-serial leg. Pure —
+/// callers decide how a [`GateOutcome::Fail`] maps to an exit code.
+#[must_use]
+pub fn gate_parallel_win(sweep_record: &str) -> GateOutcome {
+    let Some(machine) = number_after(sweep_record, 0, "\"machine_threads\"") else {
+        return GateOutcome::Unreadable;
+    };
+    let threads =
+        number_after(sweep_record, 0, "\"threads\"").map_or(1, |t| t.max(1.0) as usize);
+    let serial_ms = sweep_record
+        .find("\"compiled\"")
+        .and_then(|at| number_after(sweep_record, at, "\"ms\""));
+    let parallel_ms = sweep_record
+        .find("\"compiled_parallel\"")
+        .and_then(|at| number_after(sweep_record, at, "\"ms\""));
+    let (Some(serial_ms), Some(parallel_ms)) = (serial_ms, parallel_ms) else {
+        return GateOutcome::Unreadable;
+    };
+    if machine < 2.0 {
+        return GateOutcome::SingleCore { machine: machine.max(0.0) as usize };
+    }
+    let speedup = serial_ms / parallel_ms.max(1e-12);
+    if speedup >= GATE_MIN_SPEEDUP {
+        GateOutcome::Pass { speedup, threads }
+    } else {
+        GateOutcome::Fail { speedup, threads }
+    }
+}
+
+/// Tags every degraded `release build unavailable` record in a trajectory
+/// with `"superseded": true`, marking it as replaced by a later complete
+/// run so trend tooling skips it instead of reading its null timings as
+/// data points. Pure and idempotent — already-tagged records and healthy
+/// records pass through byte-for-byte. Call it only when the record being
+/// appended is itself complete.
+#[must_use]
+pub fn tag_superseded_degraded(existing: &str) -> String {
+    let mut out = String::with_capacity(existing.len() + 64);
+    let mut lines = existing.lines().peekable();
+    while let Some(line) = lines.next() {
+        out.push_str(line);
+        out.push('\n');
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("\"error\": \"release build unavailable")
+            && lines.peek().is_none_or(|next| !next.trim_start().starts_with("\"superseded\""))
+        {
+            let indent = &line[..line.len() - trimmed.len()];
+            out.push_str(indent);
+            out.push_str("\"superseded\": true,\n");
+        }
+    }
+    if !existing.ends_with('\n') && out.ends_with('\n') && !existing.is_empty() {
+        out.pop();
+    }
+    out
+}
+
 /// Seconds since the Unix epoch, `0` if the clock is before it.
 fn unix_time_now() -> u64 {
     std::time::SystemTime::now()
@@ -420,6 +553,8 @@ pub fn run_bench(config: &BenchConfig) -> Result<BenchReport, String> {
             all_parallel_ms: f64::NAN,
             all_serial_ms: f64::NAN,
             sweep: String::new(),
+            sweep_gate: String::new(),
+            sweep_million: String::new(),
             criterion_ok: None,
             repeats: config.repeats.max(1),
             label: config.label.clone(),
@@ -451,6 +586,19 @@ pub fn run_bench(config: &BenchConfig) -> Result<BenchReport, String> {
     let points = config.sweep_points.to_string();
     let sweep = run_capture(Command::new(act_binary(root)).args(["bench-sweep", &points]))?;
 
+    // The parallel-must-win gate probe: large enough that the calibrated
+    // engine should dispatch in parallel and beat serial on a multi-core
+    // host. Verdict rendering is the caller's job (see `gate_parallel_win`).
+    let gate_points = config.gate_points.to_string();
+    let sweep_gate =
+        run_capture(Command::new(act_binary(root)).args(["bench-sweep", &gate_points]))?;
+
+    let sweep_million = if config.million {
+        run_capture(Command::new(act_binary(root)).args(["bench-sweep", "--million"]))?
+    } else {
+        String::new()
+    };
+
     let criterion_ok = if config.criterion_smoke {
         Some(
             run_silent(
@@ -470,6 +618,8 @@ pub fn run_bench(config: &BenchConfig) -> Result<BenchReport, String> {
         all_parallel_ms,
         all_serial_ms,
         sweep,
+        sweep_gate,
+        sweep_million,
         criterion_ok,
         repeats: config.repeats.max(1),
         label: config.label.clone(),
@@ -490,6 +640,9 @@ mod tests {
             all_serial_ms: 100.0,
             sweep: "{\"points\":100,\"speedup\":2.0,\"compiled\":{\"ms\":1.0,\"points_per_sec\":4000.0}}\n"
                 .to_owned(),
+            sweep_gate: "{\"points\":1000,\"machine_threads\":2,\"compiled\":{\"ms\":2.0},\"compiled_parallel\":{\"ms\":1.0}}\n"
+                .to_owned(),
+            sweep_million: String::new(),
             criterion_ok: Some(true),
             repeats: 3,
             label: Some("sample".to_owned()),
@@ -530,10 +683,30 @@ mod tests {
             "\"serial_ms\": 100.000",
             "\"speedup\": 2.500",
             "\"sweep\": {\"points\":100,\"speedup\":2.0",
+            "\"sweep_gate\": {\"points\":1000,\"machine_threads\":2",
+            "\"sweep_million\": null",
             "\"criterion_smoke\": true",
         ] {
             assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
         }
+    }
+
+    #[test]
+    fn canonical_sweep_renders_after_gate_and_million_captures() {
+        // The regression guard reads the **last** `"compiled"` object; that
+        // must stay the fixed-size canonical sweep, not the gate/million
+        // probes, or baselines would compare across point counts.
+        let mut r = sample_report();
+        r.sweep_million =
+            "{\"mode\":\"million\",\"compiled\":{\"ms\":20.0,\"points_per_sec\":50000000.0}}"
+                .to_owned();
+        let text = render_record(&r);
+        let gate_at = text.find("\"sweep_gate\"").unwrap();
+        let million_at = text.find("\"sweep_million\"").unwrap();
+        let sweep_at = text.find("\"sweep\": {").unwrap();
+        assert!(gate_at < million_at && million_at < sweep_at, "order wrong:\n{text}");
+        let got = extract_compiled_throughput(&text).unwrap();
+        assert!((got - 4000.0).abs() < 1e-9, "guard read the wrong compiled object: {got}");
     }
 
     #[test]
@@ -561,6 +734,8 @@ mod tests {
             all_parallel_ms: f64::NAN,
             all_serial_ms: f64::NAN,
             sweep: String::new(),
+            sweep_gate: String::new(),
+            sweep_million: String::new(),
             criterion_ok: None,
             repeats: 1,
             label: None,
@@ -677,11 +852,88 @@ mod tests {
     }
 
     #[test]
-    fn quick_mode_shrinks_the_run() {
+    fn quick_mode_shrinks_the_run_but_keeps_the_gate() {
         let mut config = BenchConfig::new(PathBuf::from("."));
         config.quick();
         assert_eq!(config.repeats, 1);
         assert!(config.sweep_points < 10_000);
+        assert!(!config.million, "--quick must skip the million-point leg");
+        assert_eq!(config.gate_points, 100_000, "--quick must keep the 100k gate");
+    }
+
+    /// A minimal bench-sweep record for gate tests.
+    fn gate_record(machine: u32, serial_ms: f64, parallel_ms: f64) -> String {
+        format!(
+            "{{\"points\":100000,\"threads\":{machine},\"threads_source\":\"machine\",\
+             \"machine_threads\":{machine},\"decision\":\"parallel\",\
+             \"compiled\":{{\"ms\":{serial_ms},\"points_per_sec\":1.0}},\
+             \"compiled_parallel\":{{\"ms\":{parallel_ms},\"points_per_sec\":1.0,\
+             \"speedup_vs_serial\":1.0}}}}"
+        )
+    }
+
+    #[test]
+    fn gate_passes_when_parallel_wins_on_multicore() {
+        match gate_parallel_win(&gate_record(4, 20.0, 10.0)) {
+            GateOutcome::Pass { speedup, threads } => {
+                assert!((speedup - 2.0).abs() < 1e-9);
+                assert_eq!(threads, 4);
+            }
+            other => panic!("expected Pass, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gate_fails_when_parallel_loses_on_multicore() {
+        match gate_parallel_win(&gate_record(2, 10.0, 20.0)) {
+            GateOutcome::Fail { speedup, .. } => assert!(speedup < 1.0),
+            other => panic!("expected Fail, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gate_soft_passes_on_a_single_core_host() {
+        // Even a losing parallel leg is not a failure with one hardware
+        // thread — there is nothing to win.
+        assert_eq!(
+            gate_parallel_win(&gate_record(1, 10.0, 20.0)),
+            GateOutcome::SingleCore { machine: 1 }
+        );
+    }
+
+    #[test]
+    fn gate_reports_unreadable_records_instead_of_guessing() {
+        assert_eq!(gate_parallel_win(""), GateOutcome::Unreadable);
+        assert_eq!(
+            gate_parallel_win("{\"machine_threads\":4}"),
+            GateOutcome::Unreadable,
+            "missing compiled timings must not pass or fail the gate"
+        );
+    }
+
+    #[test]
+    fn tagging_marks_degraded_records_and_only_them() {
+        let doc = append_record(
+            &append_record("", &render_record(&degraded_report())),
+            &render_record(&sample_report()),
+        );
+        let tagged = tag_superseded_degraded(&doc);
+        assert_eq!(tagged.matches("\"superseded\": true").count(), 1);
+        let superseded_at = tagged.find("\"superseded\": true").unwrap();
+        let healthy_at = tagged.find("\"label\": \"sample\"").unwrap();
+        assert!(superseded_at < healthy_at, "tag landed on the wrong record:\n{tagged}");
+        // The tag must not disturb record structure or the guard baseline.
+        assert_eq!(record_count(&tagged), 2);
+        assert_eq!(extract_compiled_throughput(&tagged), extract_compiled_throughput(&doc));
+    }
+
+    #[test]
+    fn tagging_is_idempotent_and_leaves_healthy_trajectories_alone() {
+        let healthy = append_record("", &render_record(&sample_report()));
+        assert_eq!(tag_superseded_degraded(&healthy), healthy);
+        let degraded = append_record("", &render_record(&degraded_report()));
+        let once = tag_superseded_degraded(&degraded);
+        assert_eq!(tag_superseded_degraded(&once), once);
     }
 
     #[test]

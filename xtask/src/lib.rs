@@ -3,7 +3,7 @@
 //!
 //! The analysis engine lives in the std-only, dependency-free
 //! [`act_analyze`] crate: a Rust-subset recursive-descent parser plus the
-//! rule catalogue ACT001–ACT011 (textual token rules and AST/dataflow
+//! rule catalogue ACT001–ACT012 (textual token rules and AST/dataflow
 //! rules — see `crates/analyze/src/lib.rs` for the table). This crate
 //! re-exports the engine under the names the original `cargo xtask lint`
 //! harness established, and adds the bench/soak/loadtest machinery that
@@ -20,7 +20,7 @@ pub use act_analyze::{
 };
 
 // The PR 2 names, kept so existing tooling and tests keep working: `lint_*`
-// now runs the full ACT001–ACT011 catalogue, not just the textual tier.
+// now runs the full ACT001–ACT012 catalogue, not just the textual tier.
 pub use act_analyze::analyze_source as lint_source;
 pub use act_analyze::analyze_workspace as lint_workspace;
 pub use act_analyze::lexer::scrub;

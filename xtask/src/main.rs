@@ -35,11 +35,12 @@ fn usage() -> String {
        ACT008  no Instant/SystemTime/sleep/env reads in library crates\n\
        ACT009  no Mutex/RwLock guard held across I/O or a callback (server)\n\
        ACT010  no raw f64 comparators without total_cmp in Pareto/stats code\n\
-       ACT011  no indexing/slicing/unwrap in server route handlers\n\n\
+       ACT011  no indexing/slicing/unwrap in server route handlers\n\
+       ACT012  no raw thread::spawn/scope outside the act-dse worker pool\n\n\
      Allowlist: xtask/lint.allow, lines of\n\
        RULE|path-suffix|line-substring|justification\n\n\
      analyze parses every workspace source with the in-tree Rust-subset\n\
-     parser and applies all eleven rules; --json FILE additionally writes\n\
+     parser and applies all twelve rules; --json FILE additionally writes\n\
      a machine-readable findings report (schema act-analyze-findings/1).\n\n\
      bench builds the workspace in release mode, times every experiment\n\
      via the `act` binary (best of N repeats), measures the parallel vs\n\
@@ -49,11 +50,17 @@ fn usage() -> String {
      v1 file is wrapped on first append). When both the trajectory and the\n\
      new record carry a compiled points/sec reading, the run fails with\n\
      exit 2 if throughput regressed more than 30% — the record is still\n\
-     appended so the regression stays visible. When the release build is\n\
-     unavailable (offline), a degraded record with null timings and an\n\
-     `error` field is appended instead of aborting.\n\
+     appended so the regression stays visible. A 100k-point gate sweep\n\
+     then asserts the calibrated compiled-parallel leg does not lose to\n\
+     serial: exit 2 on a multi-core host, soft warning with 1 hardware\n\
+     thread. Outside --quick a million-point compiled sweep is recorded\n\
+     too. When the release build is unavailable (offline), a degraded\n\
+     record with null timings and an `error` field is appended instead of\n\
+     aborting; a later complete run tags those records `superseded` so\n\
+     trend tooling skips their null timings.\n\
        --out FILE    trajectory path\n\
-       --quick       1 repeat + smaller sweep (CI smoke)\n\
+       --quick       1 repeat + smaller sweep, no million-point leg (CI\n\
+                     smoke; the 100k gate still runs)\n\
        --criterion   also run `cargo bench --workspace -- --test`\n\
        --label NAME  tag the appended record (e.g. a PR or commit name)\n\n\
      soak builds the workspace in release mode, starts `act serve` with a\n\
@@ -296,7 +303,13 @@ fn run_bench(config: &xtask::bench::BenchConfig) -> ExitCode {
         }
     };
     let record = xtask::bench::render_record(&report);
-    let existing = std::fs::read_to_string(&config.out).unwrap_or_default();
+    let mut existing = std::fs::read_to_string(&config.out).unwrap_or_default();
+    if report.error.is_none() {
+        // This complete run supersedes any degraded (build-unavailable)
+        // records still in the trajectory: tag them so trend tooling skips
+        // their null timings instead of charting them.
+        existing = xtask::bench::tag_superseded_degraded(&existing);
+    }
     let regression = xtask::bench::guard_regression(&existing, &record);
     let body = xtask::bench::append_record(&existing, &record);
     if let Err(err) = std::fs::write(&config.out, &body) {
@@ -326,7 +339,38 @@ fn run_bench(config: &xtask::bench::BenchConfig) -> ExitCode {
         );
         return ExitCode::from(2);
     }
-    ExitCode::SUCCESS
+    match xtask::bench::gate_parallel_win(&report.sweep_gate) {
+        xtask::bench::GateOutcome::Pass { speedup, threads } => {
+            eprintln!(
+                "bench: 100k parallel gate PASSED — compiled parallel {speedup:.2}x serial \
+                 on {threads} worker(s)"
+            );
+            ExitCode::SUCCESS
+        }
+        xtask::bench::GateOutcome::SingleCore { machine } => {
+            eprintln!(
+                "bench: 100k parallel gate SKIPPED (warning) — {machine} hardware thread(s); \
+                 parallel cannot win on this host, rerun on >= 2 cores to enforce it"
+            );
+            ExitCode::SUCCESS
+        }
+        xtask::bench::GateOutcome::Fail { speedup, threads } => {
+            eprintln!(
+                "bench: 100k parallel gate FAILED — compiled parallel only {speedup:.2}x \
+                 serial on {threads} worker(s) (needs >= {:.2}x); the calibrated engine \
+                 must not lose to serial at this size",
+                xtask::bench::GATE_MIN_SPEEDUP
+            );
+            ExitCode::from(2)
+        }
+        xtask::bench::GateOutcome::Unreadable => {
+            eprintln!(
+                "bench: 100k parallel gate UNREADABLE (warning) — the gate sweep record \
+                 carried no compiled serial/parallel timings"
+            );
+            ExitCode::SUCCESS
+        }
+    }
 }
 
 /// `analyze --file F [--as PATH]`: run the full rule catalogue over one
