@@ -207,12 +207,35 @@ fn run_bench_sweep(points_arg: Option<&str>, serial_only: bool, million: bool) -
             }
         }
     }
+    // The block-vectorized leg: the same kernel lowered once to its
+    // evaluation plan, reading the SoA columns directly in LANES-wide
+    // blocks — must agree with the per-point compiled sweep to the bit.
+    let plan = kernel.plan();
+    let mut block_out = BatchOutput::new();
+    let block_start = Instant::now();
+    act_dse::sweep_compiled_block(
+        &batch,
+        |cols, range, out| plan.eval_block(cols, range, out),
+        &mut block_out,
+    );
+    let block_ms = block_start.elapsed().as_secs_f64() * 1e3;
+    let block_matches = block_out.values().len() == compiled_out.values().len()
+        && block_out
+            .values()
+            .iter()
+            .zip(compiled_out.values())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+    if !block_matches {
+        eprintln!("bench-sweep: block-vectorized sweep diverged from per-point (engine bug)");
+        return ExitCode::from(EXIT_EXPERIMENT_FAILED);
+    }
+
     let mut par_out = BatchOutput::new();
     let par_compiled_start = Instant::now();
-    act_dse::par_sweep_compiled_with(
+    act_dse::par_sweep_compiled_block_with(
         parallelism,
         &batch,
-        |point| kernel.eval(point),
+        |cols, range, out| plan.eval_block(cols, range, out),
         &mut par_out,
     );
     let par_compiled_ms = par_compiled_start.elapsed().as_secs_f64() * 1e3;
@@ -223,20 +246,28 @@ fn run_bench_sweep(points_arg: Option<&str>, serial_only: bool, million: bool) -
 
     let model_checksum: f64 = compiled_out.values().iter().sum();
     let compiled_pps = points as f64 / (compiled_ms / 1e3).max(1e-12);
+    let block_pps = points as f64 / (block_ms / 1e3).max(1e-12);
     let par_compiled_pps = points as f64 / (par_compiled_ms / 1e3).max(1e-12);
 
-    // `compiled_parallel` deliberately does not contain the exact key
-    // `"compiled"`: the xtask trajectory guard scrapes the last
-    // `"compiled": {... "points_per_sec" ...}` object out of the record.
+    // `compiled_block` and `compiled_parallel` deliberately do not contain
+    // the exact key `"compiled"` (with both quotes): the xtask trajectory
+    // guard scrapes the last `"compiled": {... "points_per_sec" ...}`
+    // object out of the record.
+    let compiled_block = act_json::obj! {
+        "ms": block_ms,
+        "points_per_sec": block_pps,
+        "speedup_vs_per_point": block_pps / compiled_pps.max(1e-9),
+    };
+    // Both legs now run the block plan, so the serial baseline for the
+    // parallel speedup is the serial *block* leg — apples to apples.
     let compiled_parallel = act_json::obj! {
         "ms": par_compiled_ms,
         "points_per_sec": par_compiled_pps,
-        "speedup_vs_serial": compiled_ms / par_compiled_ms.max(1e-9),
+        "speedup_vs_serial": block_ms / par_compiled_ms.max(1e-9),
     };
-    let calibration = act_json::obj! {
-        "threshold_points": cal.threshold_points,
-        "source": cal.source.as_str(),
-    };
+    // Through `ToJson`, which encodes the `usize::MAX` single-core pin as
+    // `null` instead of a garbage f64-rounded integer.
+    let calibration = act_json::ToJson::to_json(&cal);
 
     let body = match (synthetic, naive) {
         (Some((serial_ms, parallel_ms, parallel_sum)), Some((naive_ms, _))) => {
@@ -264,6 +295,7 @@ fn run_bench_sweep(points_arg: Option<&str>, serial_only: bool, million: bool) -
                     "points_per_sec": compiled_pps,
                     "speedup_vs_naive": naive_ms / compiled_ms.max(1e-9),
                 },
+                "compiled_block": compiled_block,
                 "compiled_parallel": compiled_parallel,
                 "model_checksum": model_checksum,
             }
@@ -280,6 +312,7 @@ fn run_bench_sweep(points_arg: Option<&str>, serial_only: bool, million: bool) -
                 "ms": compiled_ms,
                 "points_per_sec": compiled_pps,
             },
+            "compiled_block": compiled_block,
             "compiled_parallel": compiled_parallel,
             "model_checksum": model_checksum,
         },

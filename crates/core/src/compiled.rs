@@ -38,10 +38,18 @@
 //! ```
 
 use std::fmt;
+use std::ops::Range;
 
 use act_units::{Area, Capacity, CarbonIntensity, Energy, TimeSpan, UnitError};
 
 use crate::{memo, ModelError, ModelParams, OperationalModel, PACKAGING_FOOTPRINT};
+
+/// Lane width of the block-vectorized evaluation path: [`EvalPlan::eval_block`]
+/// walks design points in fixed blocks of `LANES` so every inner loop has a
+/// compile-time trip count rustc can unroll and auto-vectorize. 64 lanes of
+/// `f64` are 512 bytes per operand buffer — a handful of cache lines, well
+/// inside L1 even with several live lanes.
+pub const LANES: usize = 64;
 
 /// One `ModelParams` field (or storage-population entry) left *free* — i.e.
 /// supplied per point at [`CompiledFootprint::eval`] time instead of folded
@@ -563,6 +571,546 @@ impl CompiledFootprint {
             Err(ModelError::non_finite("total footprint"))
         }
     }
+
+    /// Lowers the kernel's term trees into a flat [`EvalPlan`] for the
+    /// block-vectorized batch path: every operand becomes either a folded
+    /// constant or a column index into a structure-of-arrays batch, so
+    /// [`EvalPlan::eval_block`] dispatches each instruction **once per
+    /// block** instead of walking the enums once per point.
+    ///
+    /// The plan replays the exact per-point floating-point operation
+    /// sequence of [`Self::eval`] (same associativity, same unit
+    /// conversions, same eq. 3 component order), so block results are
+    /// bit-for-bit identical to the per-point kernel and the interpreted
+    /// oracle.
+    #[must_use]
+    pub fn plan(&self) -> EvalPlan {
+        let op = match &self.op {
+            OpTerm::Const(value) => PlanOp::Const(*value),
+            OpTerm::Dynamic { intensity, energy } => PlanOp::Product {
+                intensity: ColOperand::from_scalar(*intensity),
+                energy: match energy {
+                    EnergySource::KwhConst(kwh) => PlanEnergy::KwhConst(*kwh),
+                    EnergySource::JoulesAxis(col) => PlanEnergy::JoulesCol(*col),
+                },
+            },
+        };
+        let embodied = match &self.ecf {
+            EcfTerm::Const(value) => PlanEmbodied::Const(*value),
+            EcfTerm::Terms(terms) => PlanEmbodied::Instrs(
+                terms
+                    .iter()
+                    .map(|term| match term {
+                        EmbodiedTerm::Const(value) => PlanInstr::AddConst(*value),
+                        EmbodiedTerm::SocAreaScaled { cpa_g_per_cm2, area } => {
+                            PlanInstr::AddAreaScaled {
+                                cpa_g_per_cm2: *cpa_g_per_cm2,
+                                area: PlanArea::from_source(*area),
+                            }
+                        }
+                        EmbodiedTerm::SocCpa {
+                            epa_kwh_per_cm2,
+                            gpa_g_per_cm2,
+                            mpa_g_per_cm2,
+                            intensity,
+                            fab_yield,
+                            area,
+                        } => PlanInstr::AddCpa {
+                            epa_kwh_per_cm2: *epa_kwh_per_cm2,
+                            gpa_g_per_cm2: *gpa_g_per_cm2,
+                            mpa_g_per_cm2: *mpa_g_per_cm2,
+                            intensity: ColOperand::from_scalar(*intensity),
+                            fab_yield: ColOperand::from_scalar(*fab_yield),
+                            area: PlanArea::from_source(*area),
+                        },
+                        EmbodiedTerm::StorageScaled { grams_per_gb, capacity_axis } => {
+                            PlanInstr::AddStorage {
+                                grams_per_gb: *grams_per_gb,
+                                capacity_col: *capacity_axis,
+                            }
+                        }
+                    })
+                    .collect(),
+            ),
+        };
+        let amort = match self.amortization {
+            AmortTerm::Const(value) => PlanAmort::Const(value),
+            AmortTerm::Dynamic { run_time, lifetime } => PlanAmort::Ratio {
+                run_time: PlanTime::from_source(run_time),
+                lifetime: PlanTime::from_source(lifetime),
+            },
+        };
+        EvalPlan { arity: self.axes.len(), op, embodied, amort }
+    }
+}
+
+/// A block-instruction operand that is either a folded constant or a raw
+/// read of column `col` (no unit conversion).
+#[derive(Clone, Copy, Debug)]
+enum ColOperand {
+    Const(f64),
+    Col(usize),
+}
+
+impl ColOperand {
+    fn from_scalar(scalar: Scalar) -> Self {
+        match scalar {
+            Scalar::Const(value) => Self::Const(value),
+            Scalar::Axis(col) => Self::Col(col),
+        }
+    }
+
+    #[inline]
+    fn at(self, columns: &[&[f64]], index: usize) -> f64 {
+        match self {
+            Self::Const(value) => value,
+            Self::Col(col) => columns[col][index],
+        }
+    }
+
+    /// Fills `dst` with this operand over `start..start + dst.len()`.
+    #[inline]
+    fn lane(self, dst: &mut [f64], columns: &[&[f64]], start: usize) {
+        match self {
+            Self::Const(value) => dst.fill(value),
+            Self::Col(col) => dst.copy_from_slice(&columns[col][start..start + dst.len()]),
+        }
+    }
+}
+
+/// Where the per-point useful energy (kWh) comes from in a plan.
+#[derive(Clone, Copy, Debug)]
+enum PlanEnergy {
+    KwhConst(f64),
+    /// Column carrying joules; converted per point exactly like the
+    /// oracle's `Energy::joules` constructor.
+    JoulesCol(usize),
+}
+
+/// Where the per-point SoC die area (cm²) comes from in a plan.
+#[derive(Clone, Copy, Debug)]
+enum PlanArea {
+    Cm2Const(f64),
+    /// Column carrying mm²; converted per point exactly like the oracle's
+    /// `Area::square_millimeters` constructor.
+    Mm2Col(usize),
+}
+
+impl PlanArea {
+    fn from_source(source: AreaSource) -> Self {
+        match source {
+            AreaSource::Cm2Const(value) => Self::Cm2Const(value),
+            AreaSource::Mm2Axis(col) => Self::Mm2Col(col),
+        }
+    }
+
+    #[inline]
+    fn at(self, columns: &[&[f64]], index: usize) -> f64 {
+        match self {
+            Self::Cm2Const(value) => value,
+            Self::Mm2Col(col) => {
+                Area::square_millimeters(columns[col][index]).as_square_centimeters()
+            }
+        }
+    }
+
+    #[inline]
+    fn lane(self, dst: &mut [f64], columns: &[&[f64]], start: usize) {
+        match self {
+            Self::Cm2Const(value) => dst.fill(value),
+            Self::Mm2Col(col) => {
+                let src = &columns[col][start..start + dst.len()];
+                for (slot, &mm2) in dst.iter_mut().zip(src) {
+                    // The unit layer rejects non-finite magnitudes; such
+                    // points are poisoned to NaN by the block's finite
+                    // mask, so any NaN placeholder is equivalent here.
+                    *slot = if mm2.is_finite() {
+                        Area::square_millimeters(mm2).as_square_centimeters()
+                    } else {
+                        f64::NAN
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// Where a per-point time span (seconds) comes from in a plan.
+#[derive(Clone, Copy, Debug)]
+enum PlanTime {
+    SecondsConst(f64),
+    SecondsCol(usize),
+    /// Column carrying years; converted per point exactly like the
+    /// oracle's `TimeSpan::years` constructor.
+    YearsCol(usize),
+}
+
+impl PlanTime {
+    fn from_source(source: TimeSource) -> Self {
+        match source {
+            TimeSource::SecondsConst(value) => Self::SecondsConst(value),
+            TimeSource::SecondsAxis(col) => Self::SecondsCol(col),
+            TimeSource::YearsAxis(col) => Self::YearsCol(col),
+        }
+    }
+
+    #[inline]
+    fn at(self, columns: &[&[f64]], index: usize) -> f64 {
+        match self {
+            Self::SecondsConst(value) => value,
+            Self::SecondsCol(col) => columns[col][index],
+            Self::YearsCol(col) => TimeSpan::years(columns[col][index]).as_seconds(),
+        }
+    }
+
+    #[inline]
+    fn lane(self, dst: &mut [f64], columns: &[&[f64]], start: usize) {
+        match self {
+            Self::SecondsConst(value) => dst.fill(value),
+            Self::SecondsCol(col) => {
+                dst.copy_from_slice(&columns[col][start..start + dst.len()]);
+            }
+            Self::YearsCol(col) => {
+                let src = &columns[col][start..start + dst.len()];
+                for (slot, &years) in dst.iter_mut().zip(src) {
+                    // Non-finite magnitudes would trip the unit layer;
+                    // the block's finite mask poisons them to NaN anyway.
+                    *slot = if years.is_finite() {
+                        TimeSpan::years(years).as_seconds()
+                    } else {
+                        f64::NAN
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// The operational term of a plan (eq. 2).
+#[derive(Clone, Copy, Debug)]
+enum PlanOp {
+    Const(f64),
+    Product { intensity: ColOperand, energy: PlanEnergy },
+}
+
+/// One flat, branch-free instruction of the embodied sum (eq. 3): each
+/// adds its term into the block's embodied accumulator lane. Instruction
+/// order is the oracle's component order — f64 addition is not
+/// associative, so the lowering never merges or reorders terms.
+#[derive(Clone, Copy, Debug)]
+enum PlanInstr {
+    AddConst(f64),
+    AddAreaScaled {
+        cpa_g_per_cm2: f64,
+        area: PlanArea,
+    },
+    AddCpa {
+        epa_kwh_per_cm2: f64,
+        gpa_g_per_cm2: f64,
+        mpa_g_per_cm2: f64,
+        intensity: ColOperand,
+        fab_yield: ColOperand,
+        area: PlanArea,
+    },
+    AddStorage {
+        grams_per_gb: f64,
+        capacity_col: usize,
+    },
+}
+
+/// The embodied sum of a plan: folded entirely or an instruction list.
+#[derive(Clone, Debug)]
+enum PlanEmbodied {
+    Const(f64),
+    Instrs(Vec<PlanInstr>),
+}
+
+/// The `T / LT` amortization of a plan (eq. 1).
+#[derive(Clone, Copy, Debug)]
+enum PlanAmort {
+    Const(f64),
+    Ratio { run_time: PlanTime, lifetime: PlanTime },
+}
+
+/// A [`CompiledFootprint`] lowered for block-vectorized batch evaluation:
+/// a flat instruction list whose operands are constants or column indices
+/// into a structure-of-arrays point batch.
+///
+/// [`Self::eval_block`] reads the columns directly — no per-point gather
+/// into a scratch slice, no per-point enum dispatch — processing
+/// [`LANES`]-wide blocks whose inner loops rustc auto-vectorizes (no
+/// `unsafe`, no intrinsics; the tail shorter than a block runs through a
+/// scalar loop). Because every per-point operation chain is identical to
+/// [`CompiledFootprint::eval`], results are **bit-for-bit identical** to
+/// the per-point kernel and the interpreted oracle; the property tests in
+/// `crates/core/tests/compiled.rs` pin the equivalence.
+///
+/// # Examples
+///
+/// ```
+/// use act_core::{CompiledFootprint, FreeAxis, ModelParams};
+///
+/// let params = ModelParams::mobile_reference();
+/// let kernel = CompiledFootprint::try_compile(&params, &[FreeAxis::SocArea])?;
+/// let plan = kernel.plan();
+/// let areas: Vec<f64> = (0..100).map(|i| 50.0 + f64::from(i)).collect();
+/// let mut block = vec![0.0; areas.len()];
+/// plan.eval_block(&[&areas], 0..areas.len(), &mut block);
+/// for (i, value) in block.iter().enumerate() {
+///     assert_eq!(value.to_bits(), kernel.eval(&[areas[i]]).to_bits());
+/// }
+/// # Ok::<(), act_core::ModelError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct EvalPlan {
+    arity: usize,
+    op: PlanOp,
+    embodied: PlanEmbodied,
+    amort: PlanAmort,
+}
+
+impl EvalPlan {
+    /// Number of structure-of-arrays columns [`Self::eval_block`] expects.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Evaluates eq. 1 for points `range` of a structure-of-arrays batch
+    /// (`columns[axis][point]`, axes in [`CompiledFootprint::axes`] order),
+    /// writing one gram-CO₂ result per point into `out`.
+    ///
+    /// Results are bit-identical to calling [`CompiledFootprint::eval`] on
+    /// each gathered point; any point with a non-finite coordinate yields
+    /// NaN, keeping its slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `columns.len() != self.arity()`, `out.len()` differs from
+    /// the range length, or a column is shorter than `range.end`.
+    pub fn eval_block(&self, columns: &[&[f64]], range: Range<usize>, out: &mut [f64]) {
+        assert_eq!(columns.len(), self.arity, "column count must match the compiled free axes");
+        assert_eq!(out.len(), range.len(), "output slot per point in the range");
+        for (axis, column) in columns.iter().enumerate() {
+            assert!(
+                column.len() >= range.end,
+                "axis column {axis} has {} points but the range ends at {}",
+                column.len(),
+                range.end
+            );
+        }
+        let mut start = range.start;
+        let mut done = 0;
+        // Cache-blocked hot path: full LANES-wide blocks with fixed-size
+        // lane buffers...
+        while out.len() - done >= LANES {
+            self.eval_lane_block(columns, start, &mut out[done..done + LANES]);
+            start += LANES;
+            done += LANES;
+        }
+        // ...and a scalar tail for the remainder.
+        for slot in &mut out[done..] {
+            *slot = self.eval_scalar(columns, start);
+            start += 1;
+        }
+    }
+
+    /// One `n ≤ LANES` block: every instruction is dispatched once, its
+    /// inner loop runs branch-free over the lane. Loop interchange (term
+    /// loops over points instead of point loops over terms) preserves each
+    /// point's operation chain exactly, so it cannot change a single bit.
+    fn eval_lane_block(&self, columns: &[&[f64]], start: usize, out: &mut [f64]) {
+        let n = out.len();
+
+        // Eq. 2, exactly `intensity * (energy * 1.0)` per point.
+        let mut op_buf = [0.0f64; LANES];
+        let op_lane = &mut op_buf[..n];
+        match self.op {
+            PlanOp::Const(value) => op_lane.fill(value),
+            PlanOp::Product { intensity, energy } => {
+                let mut energy_buf = [0.0f64; LANES];
+                let energy_lane = &mut energy_buf[..n];
+                match energy {
+                    PlanEnergy::KwhConst(kwh) => energy_lane.fill(kwh),
+                    PlanEnergy::JoulesCol(col) => {
+                        let src = &columns[col][start..start + n];
+                        for (slot, &joules) in energy_lane.iter_mut().zip(src) {
+                            // Non-finite magnitudes would trip the unit
+                            // layer; the finite mask below poisons such
+                            // points to NaN regardless of this value.
+                            *slot = if joules.is_finite() {
+                                Energy::joules(joules).as_kilowatt_hours()
+                            } else {
+                                f64::NAN
+                            };
+                        }
+                    }
+                }
+                match intensity {
+                    ColOperand::Const(ci) => {
+                        for (slot, &kwh) in op_lane.iter_mut().zip(&*energy_lane) {
+                            *slot = ci * (kwh * 1.0);
+                        }
+                    }
+                    ColOperand::Col(col) => {
+                        let src = &columns[col][start..start + n];
+                        for ((slot, &kwh), &ci) in
+                            op_lane.iter_mut().zip(&*energy_lane).zip(src)
+                        {
+                            *slot = ci * (kwh * 1.0);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Eq. 3: accumulate from 0.0 in instruction (= component) order.
+        let mut emb_buf = [0.0f64; LANES];
+        let emb_lane = &mut emb_buf[..n];
+        match &self.embodied {
+            PlanEmbodied::Const(value) => emb_lane.fill(*value),
+            PlanEmbodied::Instrs(instrs) => {
+                for instr in instrs {
+                    match *instr {
+                        PlanInstr::AddConst(value) => {
+                            for slot in emb_lane.iter_mut() {
+                                *slot += value;
+                            }
+                        }
+                        PlanInstr::AddAreaScaled { cpa_g_per_cm2, area } => {
+                            let mut area_buf = [0.0f64; LANES];
+                            let area_lane = &mut area_buf[..n];
+                            area.lane(area_lane, columns, start);
+                            for (slot, &cm2) in emb_lane.iter_mut().zip(&*area_lane) {
+                                *slot += cpa_g_per_cm2 * cm2;
+                            }
+                        }
+                        PlanInstr::AddCpa {
+                            epa_kwh_per_cm2,
+                            gpa_g_per_cm2,
+                            mpa_g_per_cm2,
+                            intensity,
+                            fab_yield,
+                            area,
+                        } => {
+                            let mut ci_buf = [0.0f64; LANES];
+                            let mut yield_buf = [0.0f64; LANES];
+                            let mut area_buf = [0.0f64; LANES];
+                            let ci_lane = &mut ci_buf[..n];
+                            let yield_lane = &mut yield_buf[..n];
+                            let area_lane = &mut area_buf[..n];
+                            intensity.lane(ci_lane, columns, start);
+                            fab_yield.lane(yield_lane, columns, start);
+                            area.lane(area_lane, columns, start);
+                            // Exactly the eq. 5 chain of the per-point
+                            // path: CI×EPA, left-associated additions,
+                            // yield division, eq. 4 area multiply.
+                            for i in 0..n {
+                                let energy = ci_lane[i] * epa_kwh_per_cm2;
+                                let before_yield = (energy + gpa_g_per_cm2) + mpa_g_per_cm2;
+                                let cpa = before_yield / yield_lane[i];
+                                emb_lane[i] += cpa * area_lane[i];
+                            }
+                        }
+                        PlanInstr::AddStorage { grams_per_gb, capacity_col } => {
+                            let src = &columns[capacity_col][start..start + n];
+                            for (slot, &gb) in emb_lane.iter_mut().zip(src) {
+                                *slot += grams_per_gb * gb;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Eq. 1's T / LT.
+        let mut ratio_buf = [0.0f64; LANES];
+        let ratio_lane = &mut ratio_buf[..n];
+        match self.amort {
+            PlanAmort::Const(value) => ratio_lane.fill(value),
+            PlanAmort::Ratio { run_time, lifetime } => {
+                let mut time_buf = [0.0f64; LANES];
+                let mut life_buf = [0.0f64; LANES];
+                let time_lane = &mut time_buf[..n];
+                let life_lane = &mut life_buf[..n];
+                run_time.lane(time_lane, columns, start);
+                lifetime.lane(life_lane, columns, start);
+                for i in 0..n {
+                    ratio_lane[i] = time_lane[i] / life_lane[i];
+                }
+            }
+        }
+
+        // Combine, then poison points with a non-finite coordinate to NaN
+        // — same outcome as `eval`'s up-front finiteness bail-out, applied
+        // as a mask so the lane loops stay branch-free.
+        let mut finite_buf = [true; LANES];
+        let finite_lane = &mut finite_buf[..n];
+        for column in columns {
+            let src = &column[start..start + n];
+            for (flag, &value) in finite_lane.iter_mut().zip(src) {
+                *flag &= value.is_finite();
+            }
+        }
+        for i in 0..n {
+            let value = op_lane[i] + emb_lane[i] * ratio_lane[i];
+            out[i] = if finite_lane[i] { value } else { f64::NAN };
+        }
+    }
+
+    /// Scalar tail: the same per-point operation chain as
+    /// [`CompiledFootprint::eval`], reading columns directly.
+    fn eval_scalar(&self, columns: &[&[f64]], index: usize) -> f64 {
+        if !columns.iter().all(|column| column[index].is_finite()) {
+            return f64::NAN;
+        }
+        let operational = match self.op {
+            PlanOp::Const(value) => value,
+            PlanOp::Product { intensity, energy } => {
+                let kwh = match energy {
+                    PlanEnergy::KwhConst(kwh) => kwh,
+                    PlanEnergy::JoulesCol(col) => {
+                        Energy::joules(columns[col][index]).as_kilowatt_hours()
+                    }
+                };
+                intensity.at(columns, index) * (kwh * 1.0)
+            }
+        };
+        let embodied = match &self.embodied {
+            PlanEmbodied::Const(value) => *value,
+            PlanEmbodied::Instrs(instrs) => instrs.iter().fold(0.0, |acc, instr| {
+                acc + match *instr {
+                    PlanInstr::AddConst(value) => value,
+                    PlanInstr::AddAreaScaled { cpa_g_per_cm2, area } => {
+                        cpa_g_per_cm2 * area.at(columns, index)
+                    }
+                    PlanInstr::AddCpa {
+                        epa_kwh_per_cm2,
+                        gpa_g_per_cm2,
+                        mpa_g_per_cm2,
+                        intensity,
+                        fab_yield,
+                        area,
+                    } => {
+                        let energy = intensity.at(columns, index) * epa_kwh_per_cm2;
+                        let before_yield = (energy + gpa_g_per_cm2) + mpa_g_per_cm2;
+                        let cpa = before_yield / fab_yield.at(columns, index);
+                        cpa * area.at(columns, index)
+                    }
+                    PlanInstr::AddStorage { grams_per_gb, capacity_col } => {
+                        grams_per_gb * columns[capacity_col][index]
+                    }
+                }
+            }),
+        };
+        let ratio = match self.amort {
+            PlanAmort::Const(value) => value,
+            PlanAmort::Ratio { run_time, lifetime } => {
+                run_time.at(columns, index) / lifetime.at(columns, index)
+            }
+        };
+        operational + embodied * ratio
+    }
 }
 
 #[cfg(test)]
@@ -684,5 +1232,181 @@ mod tests {
             CompiledFootprint::try_compile(&params, &[FreeAxis::SocArea]).expect("compiles");
         assert!(kernel.eval(&[f64::NAN]).is_nan());
         assert!(kernel.eval(&[f64::INFINITY]).is_nan());
+    }
+
+    // ---- block-path property suite -------------------------------------
+    //
+    // The block engine must be a pure loop interchange: for every axis
+    // subset and every batch length, `eval_block` must reproduce `eval`
+    // (and the interpreted oracle) bit for bit, including NaN slots.
+
+    /// Deterministic splitmix-style generator for test columns — no
+    /// external RNG dependency in act-core.
+    struct TestRng(u64);
+
+    impl TestRng {
+        fn next_unit(&mut self) -> f64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let mut z = self.0;
+            z = (z ^ (z >> 33)).wrapping_mul(0xff51afd7ed558ccd);
+            z ^= z >> 33;
+            ((z >> 11) as f64) / ((1u64 << 53) as f64)
+        }
+
+        fn in_range(&mut self, low: f64, high: f64) -> f64 {
+            low + (high - low) * self.next_unit()
+        }
+    }
+
+    /// A plausible in-domain sampling range for each free axis, so the
+    /// interpreted oracle accepts every generated point.
+    fn axis_range(axis: FreeAxis) -> (f64, f64) {
+        match axis {
+            FreeAxis::ExecutionTime => (60.0, 36_000.0),
+            FreeAxis::Lifetime => (0.5, 10.0),
+            FreeAxis::SocArea => (10.0, 250.0),
+            FreeAxis::UseIntensity => (10.0, 700.0),
+            FreeAxis::FabIntensity => (100.0, 900.0),
+            FreeAxis::FabYield => (0.5, 0.999),
+            FreeAxis::Energy => (100.0, 100_000.0),
+            FreeAxis::DramCapacity(_) => (1.0, 64.0),
+            FreeAxis::SsdCapacity(_) => (32.0, 1024.0),
+            FreeAxis::HddCapacity(_) => (100.0, 4000.0),
+        }
+    }
+
+    fn fill_columns(rng: &mut TestRng, axes: &[FreeAxis], len: usize) -> Vec<Vec<f64>> {
+        axes.iter()
+            .map(|axis| {
+                let (low, high) = axis_range(*axis);
+                (0..len).map(|_| rng.in_range(low, high)).collect()
+            })
+            .collect()
+    }
+
+    /// Every axis subset exercised by the property suite: each single
+    /// axis, a few mixed pairs/triples, and the full 9-axis kernel.
+    fn axis_subsets() -> Vec<Vec<FreeAxis>> {
+        let all = [
+            FreeAxis::ExecutionTime,
+            FreeAxis::Lifetime,
+            FreeAxis::SocArea,
+            FreeAxis::UseIntensity,
+            FreeAxis::FabIntensity,
+            FreeAxis::FabYield,
+            FreeAxis::Energy,
+            FreeAxis::DramCapacity(0),
+            FreeAxis::SsdCapacity(0),
+        ];
+        let mut subsets: Vec<Vec<FreeAxis>> = all.iter().map(|a| vec![*a]).collect();
+        subsets.push(vec![FreeAxis::SocArea, FreeAxis::FabYield]);
+        subsets.push(vec![FreeAxis::Energy, FreeAxis::UseIntensity, FreeAxis::Lifetime]);
+        subsets.push(vec![
+            FreeAxis::ExecutionTime,
+            FreeAxis::FabIntensity,
+            FreeAxis::DramCapacity(0),
+            FreeAxis::SsdCapacity(0),
+        ]);
+        subsets.push(all.to_vec());
+        subsets.push(Vec::new());
+        subsets
+    }
+
+    #[test]
+    fn eval_block_is_bitwise_identical_to_eval_and_oracle_for_every_length() {
+        let params = ModelParams::mobile_reference();
+        // Lengths straddle every lane boundary: empty, single, LANES-1,
+        // LANES, LANES+1, and a multi-block run with a ragged tail.
+        let lengths = [0, 1, LANES - 1, LANES, LANES + 1, 3 * LANES + 17];
+        let mut rng = TestRng(0x5eed_ac70_0000_0001);
+        for axes in axis_subsets() {
+            let kernel = CompiledFootprint::try_compile(&params, &axes).expect("compiles");
+            let plan = kernel.plan();
+            for &len in &lengths {
+                let columns = fill_columns(&mut rng, &axes, len);
+                let views: Vec<&[f64]> = columns.iter().map(Vec::as_slice).collect();
+                let mut out = vec![0.0; len];
+                plan.eval_block(&views, 0..len, &mut out);
+                for i in 0..len {
+                    let point: Vec<f64> = columns.iter().map(|c| c[i]).collect();
+                    let scalar = kernel.eval(&point);
+                    let oracle = oracle_with(&params, &axes, &point);
+                    assert_eq!(
+                        out[i].to_bits(),
+                        scalar.to_bits(),
+                        "block vs eval diverged at point {i}/{len} with {} axes",
+                        axes.len()
+                    );
+                    assert_eq!(
+                        out[i].to_bits(),
+                        oracle.to_bits(),
+                        "block vs oracle diverged at point {i}/{len} with {} axes",
+                        axes.len()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eval_block_subranges_match_full_range_bitwise() {
+        let params = ModelParams::mobile_reference();
+        let axes = [FreeAxis::SocArea, FreeAxis::FabYield, FreeAxis::Energy];
+        let kernel = CompiledFootprint::try_compile(&params, &axes).expect("compiles");
+        let plan = kernel.plan();
+        let len = 2 * LANES + 31;
+        let mut rng = TestRng(0xfeed_0000_0000_0002);
+        let columns = fill_columns(&mut rng, &axes, len);
+        let views: Vec<&[f64]> = columns.iter().map(Vec::as_slice).collect();
+        let mut full = vec![0.0; len];
+        plan.eval_block(&views, 0..len, &mut full);
+        // Sub-ranges starting mid-column and ending mid-lane must produce
+        // the same bits as the corresponding window of the full run —
+        // the chunked engines in act-dse depend on this.
+        for (start, end) in [(0, 1), (3, LANES + 5), (LANES - 1, 2 * LANES + 1), (7, len)] {
+            let mut window = vec![f64::NAN; end - start];
+            plan.eval_block(&views, start..end, &mut window);
+            for (offset, value) in window.iter().enumerate() {
+                assert_eq!(
+                    value.to_bits(),
+                    full[start + offset].to_bits(),
+                    "window {start}..{end} diverged at offset {offset}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eval_block_poisons_non_finite_points_without_disturbing_neighbors() {
+        let params = ModelParams::mobile_reference();
+        let axes = [FreeAxis::SocArea, FreeAxis::UseIntensity];
+        let kernel = CompiledFootprint::try_compile(&params, &axes).expect("compiles");
+        let plan = kernel.plan();
+        let len = LANES + 9;
+        let mut rng = TestRng(0xbad0_0000_0000_0003);
+        let mut columns = fill_columns(&mut rng, &axes, len);
+        // Poison a scatter of slots across both the lane body and the
+        // scalar tail, alternating NaN and infinity across the two axes.
+        let poisoned = [0, 5, LANES - 1, LANES, len - 1];
+        for (which, &i) in poisoned.iter().enumerate() {
+            columns[which % 2][i] = if which % 3 == 0 { f64::NAN } else { f64::INFINITY };
+        }
+        let views: Vec<&[f64]> = columns.iter().map(Vec::as_slice).collect();
+        let mut out = vec![0.0; len];
+        plan.eval_block(&views, 0..len, &mut out);
+        for i in 0..len {
+            let point: Vec<f64> = columns.iter().map(|c| c[i]).collect();
+            let scalar = kernel.eval(&point);
+            if poisoned.contains(&i) {
+                assert!(out[i].is_nan(), "poisoned slot {i} must stay NaN");
+                assert!(scalar.is_nan(), "eval must agree the slot is poisoned");
+            } else {
+                assert_eq!(
+                    out[i].to_bits(),
+                    scalar.to_bits(),
+                    "healthy neighbor {i} disturbed by poisoned slots"
+                );
+            }
+        }
     }
 }

@@ -59,7 +59,7 @@ mod operational;
 mod params;
 mod transport;
 
-pub use compiled::{CompiledFootprint, FreeAxis};
+pub use compiled::{CompiledFootprint, EvalPlan, FreeAxis, LANES};
 pub use embodied::{
     ComponentKind, EmbodiedComponent, EmbodiedReport, SystemSpec, SystemSpecBuilder,
     PACKAGING_FOOTPRINT,

@@ -25,7 +25,17 @@
 //!   sample `i` with [`mc_sample_seed`]`(seed, i)` exactly like
 //!   [`par_try_monte_carlo`](crate::par_try_monte_carlo), so its outcome is
 //!   invariant under the thread count too.
+//!
+//! Every entry point also has a **block-vectorized `_block` twin**
+//! ([`sweep_compiled_block`], [`par_sweep_compiled_block`],
+//! [`par_monte_carlo_compiled_block`], and their `_budgeted` variants) that
+//! hands the kernel whole column ranges instead of gathered points — pair
+//! them with `act_core::EvalPlan::eval_block` for the fast path: column
+//! reads replace the per-point gather, and the budget is consulted on
+//! block boundaries at the same check-interval granularity.
 
+use std::fmt;
+use std::ops::Range;
 use std::time::Instant;
 
 use act_rng::Rng;
@@ -134,6 +144,38 @@ impl BatchRun {
     }
 }
 
+/// Why a set of columns cannot form a [`PointBatch`]: the typed twin of
+/// the panics in [`PointBatch::from_columns`], for request paths (like
+/// `act-server`) that must turn a hostile body into an error response
+/// instead of a panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BatchShapeError {
+    /// No axis columns at all — a batch needs at least one.
+    Empty,
+    /// Column `axis` disagrees with column 0 on length.
+    Ragged {
+        /// Index of the offending column.
+        axis: usize,
+        /// Its length.
+        len: usize,
+        /// Column 0's length, which every column must match.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for BatchShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Empty => write!(f, "a point batch needs at least one axis column"),
+            Self::Ragged { axis, len, expected } => {
+                write!(f, "axis column {axis} has {len} points but column 0 has {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BatchShapeError {}
+
 /// A structure-of-arrays block of design points: one `f64` column per free
 /// axis, all columns the same length.
 ///
@@ -176,16 +218,45 @@ impl PointBatch {
     /// Panics if `columns` is empty or the columns disagree on length.
     #[must_use]
     pub fn from_columns(columns: Vec<Vec<f64>>) -> Self {
-        assert!(!columns.is_empty(), "a point batch needs at least one axis column");
+        match Self::try_from_columns(columns) {
+            Ok(batch) => batch,
+            Err(shape) => panic!("{shape}"),
+        }
+    }
+
+    /// Fallible twin of [`Self::from_columns`] for untrusted input: the
+    /// same shape checks, reported as a typed [`BatchShapeError`] instead
+    /// of a panic. `act-server` uses it so a hostile sweep body becomes a
+    /// 400 response rather than a caught panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BatchShapeError::Empty`] when `columns` is empty and
+    /// [`BatchShapeError::Ragged`] when the columns disagree on length.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use act_dse::{BatchShapeError, PointBatch};
+    ///
+    /// assert_eq!(PointBatch::try_from_columns(Vec::new()), Err(BatchShapeError::Empty));
+    /// assert_eq!(
+    ///     PointBatch::try_from_columns(vec![vec![1.0, 2.0], vec![3.0]]),
+    ///     Err(BatchShapeError::Ragged { axis: 1, len: 1, expected: 2 }),
+    /// );
+    /// assert!(PointBatch::try_from_columns(vec![vec![1.0], vec![2.0]]).is_ok());
+    /// ```
+    pub fn try_from_columns(columns: Vec<Vec<f64>>) -> Result<Self, BatchShapeError> {
+        if columns.is_empty() {
+            return Err(BatchShapeError::Empty);
+        }
         let len = columns[0].len();
         for (axis, column) in columns.iter().enumerate() {
-            assert!(
-                column.len() == len,
-                "axis column {axis} has {} points but column 0 has {len}",
-                column.len()
-            );
+            if column.len() != len {
+                return Err(BatchShapeError::Ragged { axis, len: column.len(), expected: len });
+            }
         }
-        Self { columns, len }
+        Ok(Self { columns, len })
     }
 
     /// Number of design points in the batch.
@@ -214,6 +285,15 @@ impl PointBatch {
     #[must_use]
     pub fn column(&self, axis: usize) -> &[f64] {
         &self.columns[axis]
+    }
+
+    /// All columns as borrowed slices, in axis order — the
+    /// structure-of-arrays view block kernels read directly (e.g.
+    /// `act_core::EvalPlan::eval_block`). The small per-call `Vec` of
+    /// references is amortized over the whole batch, not per point.
+    #[must_use]
+    pub fn column_slices(&self) -> Vec<&[f64]> {
+        self.columns.iter().map(Vec::as_slice).collect()
     }
 
     /// Copies point `index` into `scratch` (one slot per axis).
@@ -521,6 +601,11 @@ pub fn par_sweep_compiled_budgeted(
 pub struct McBuffer {
     draws: Vec<f64>,
     finite: Vec<f64>,
+    /// Reusable structure-of-arrays sample columns for the serial
+    /// block-vectorized path ([`monte_carlo_compiled_block_budgeted`]):
+    /// one column per axis, refilled per block, so sampling allocates
+    /// nothing per point.
+    columns: Vec<Vec<f64>>,
 }
 
 impl McBuffer {
@@ -705,10 +790,414 @@ pub fn par_monte_carlo_compiled_budgeted(
     Ok((McOutcome { stats: summarize_slice(&mut buf.finite), rejected }, run))
 }
 
+// ---------------------------------------------------------------------------
+// Block-vectorized path: whole column ranges per kernel call.
+//
+// The entry points above hand the kernel one gathered point at a time. The
+// `_block` twins below hand it a **column range**: the kernel is any
+// `Fn(&[&[f64]], Range<usize>, &mut [f64])` that evaluates points
+// `range` of a structure-of-arrays column set into an output slice —
+// typically `act_core::EvalPlan::eval_block`, which reads the columns
+// directly in LANES-wide auto-vectorized blocks with no per-point gather
+// or enum dispatch. Skip-and-record, thread-count invariance, and
+// seed-splitting semantics are identical to the per-point twins; the only
+// contract difference is the budgeted cut-off, which lands on a block
+// boundary instead of a point boundary.
+// ---------------------------------------------------------------------------
+
+/// Points per budget block on the block-vectorized path. With a deadline
+/// the block is the budget's check interval (capped at
+/// [`MAX_CHUNK_POINTS`]), so the block path consults the clock exactly as
+/// often as the per-point path's [`EvalBudget::check_interval`]; without
+/// one, the whole span goes to the kernel in a single call.
+fn block_points(budget: &EvalBudget, span: usize) -> usize {
+    if budget.deadline.is_some() {
+        budget.check_interval.clamp(1, MAX_CHUNK_POINTS)
+    } else {
+        span.max(1)
+    }
+}
+
+/// The skip-and-record scan after a block evaluation: canonicalizes
+/// non-finite results to NaN and records one [`RejectedPoint`] per
+/// offender, with `start` the global index of `slice[0]`. The reason
+/// string uses the raw value (±∞ or NaN), byte-identical to the per-point
+/// path's.
+fn record_non_finite(slice: &mut [f64], start: usize, rejected: &mut Vec<RejectedPoint>) {
+    for (offset, slot) in slice.iter_mut().enumerate() {
+        let v = *slot;
+        if !v.is_finite() {
+            *slot = f64::NAN;
+            rejected
+                .push(RejectedPoint { index: start + offset, reason: non_finite_reason(v) });
+        }
+    }
+}
+
+/// Block-vectorized [`sweep_compiled`]: evaluates the whole batch through a
+/// block kernel — `block_kernel(columns, range, out)` fills `out` with the
+/// results for points `range` of the structure-of-arrays `columns` — with
+/// the same skip-and-record semantics as the per-point path.
+///
+/// With `act_core::EvalPlan::eval_block` as the kernel, results are
+/// bit-for-bit identical to [`sweep_compiled`] over
+/// `CompiledFootprint::eval`, just several times faster: no per-point
+/// gather, no per-point enum dispatch, lane loops the compiler
+/// auto-vectorizes.
+///
+/// # Examples
+///
+/// ```
+/// use act_dse::{sweep_compiled_block, BatchOutput, PointBatch};
+///
+/// let batch = PointBatch::single_axis(vec![4.0, 0.0, 1.0]);
+/// let mut out = BatchOutput::new();
+/// sweep_compiled_block(
+///     &batch,
+///     |cols, range, out| {
+///         for (slot, &x) in out.iter_mut().zip(&cols[0][range]) {
+///             *slot = 1.0 / x;
+///         }
+///     },
+///     &mut out,
+/// );
+/// assert_eq!(out.values()[0], 0.25);
+/// assert!(out.values()[1].is_nan()); // 1/0 = inf, rejected
+/// assert_eq!(out.rejected()[0].index, 1);
+/// ```
+pub fn sweep_compiled_block(
+    batch: &PointBatch,
+    block_kernel: impl Fn(&[&[f64]], Range<usize>, &mut [f64]),
+    out: &mut BatchOutput,
+) {
+    let run = sweep_compiled_block_budgeted(batch, block_kernel, out, &EvalBudget::unlimited());
+    debug_assert!(run.is_complete(), "an unlimited budget cannot expire");
+}
+
+/// [`sweep_compiled_block`] under a cooperative [`EvalBudget`]: evaluates
+/// block by block until the budget expires, then stops at a
+/// **block-aligned completed prefix** (the block size is the budget's
+/// [`check_interval`](EvalBudget::check_interval), so deadline precision
+/// matches [`sweep_compiled_budgeted`]). The completed prefix is
+/// bit-for-bit identical to an unbudgeted run and untouched slots hold
+/// NaN.
+pub fn sweep_compiled_block_budgeted(
+    batch: &PointBatch,
+    block_kernel: impl Fn(&[&[f64]], Range<usize>, &mut [f64]),
+    out: &mut BatchOutput,
+    budget: &EvalBudget,
+) -> BatchRun {
+    let len = batch.len();
+    out.reset(len);
+    let columns = batch.column_slices();
+    let block = block_points(budget, len);
+    let mut start = 0;
+    while start < len {
+        if budget.deadline.is_some() && budget.is_exhausted() {
+            return BatchRun::DeadlineExceeded { completed: start };
+        }
+        let end = (start + block).min(len);
+        block_kernel(&columns, start..end, &mut out.values[start..end]);
+        record_non_finite(&mut out.values[start..end], start, &mut out.rejected);
+        start = end;
+    }
+    BatchRun::Completed
+}
+
+/// Parallel [`sweep_compiled_block`] under the default
+/// [`Parallelism::Auto`] policy. Bit-for-bit identical to the serial block
+/// path (and, with an `EvalPlan` kernel, to the per-point path) for any
+/// thread count.
+pub fn par_sweep_compiled_block(
+    batch: &PointBatch,
+    block_kernel: impl Fn(&[&[f64]], Range<usize>, &mut [f64]) + Sync,
+    out: &mut BatchOutput,
+) {
+    par_sweep_compiled_block_with(Parallelism::Auto, batch, block_kernel, out);
+}
+
+/// Parallel [`sweep_compiled_block`] under an explicit [`Parallelism`]
+/// policy: the same chunked work-stealing engine as
+/// [`par_sweep_compiled_with`], but each stolen ≤[`MAX_CHUNK_POINTS`]-point
+/// chunk goes to the block kernel as whole column ranges instead of
+/// point-by-point gathers.
+pub fn par_sweep_compiled_block_with(
+    parallelism: Parallelism,
+    batch: &PointBatch,
+    block_kernel: impl Fn(&[&[f64]], Range<usize>, &mut [f64]) + Sync,
+    out: &mut BatchOutput,
+) {
+    let len = batch.len();
+    let workers = parallelism.resolve_for(len).workers.min(len.max(1));
+    if workers <= 1 {
+        sweep_compiled_block(batch, block_kernel, out);
+        return;
+    }
+    out.reset(len);
+    let columns = batch.column_slices();
+    let run = fill_chunked_block(
+        workers,
+        &mut out.values,
+        &mut out.rejected,
+        &|| (),
+        &|_state, range, slice| block_kernel(&columns, range, slice),
+        &EvalBudget::unlimited(),
+    );
+    debug_assert!(run.is_complete(), "an unlimited budget cannot expire");
+}
+
+/// Budgeted twin of [`par_sweep_compiled_block_with`]: the block engine
+/// under a cooperative [`EvalBudget`], cutting off at a **chunk-aligned
+/// completed prefix** exactly like [`par_sweep_compiled_budgeted`] —
+/// inside each chunk the budget is consulted on block boundaries, so
+/// deadline precision matches the per-point engine.
+pub fn par_sweep_compiled_block_budgeted(
+    parallelism: Parallelism,
+    batch: &PointBatch,
+    block_kernel: impl Fn(&[&[f64]], Range<usize>, &mut [f64]) + Sync,
+    out: &mut BatchOutput,
+    budget: &EvalBudget,
+) -> BatchRun {
+    let len = batch.len();
+    let workers = parallelism.resolve_for(len).workers.min(len.max(1));
+    if workers <= 1 {
+        return sweep_compiled_block_budgeted(batch, block_kernel, out, budget);
+    }
+    out.reset(len);
+    let columns = batch.column_slices();
+    fill_chunked_block(
+        workers,
+        &mut out.values,
+        &mut out.rejected,
+        &|| (),
+        &|_state, range, slice| block_kernel(&columns, range, slice),
+        budget,
+    )
+}
+
+/// Budgeted serial block-vectorized Monte-Carlo: samples **directly into
+/// reusable structure-of-arrays columns** ([`McBuffer`] keeps them across
+/// runs) and evaluates whole blocks through the block kernel — no
+/// per-point scratch, no per-point enum dispatch.
+///
+/// `sampler(rng, k, columns)` draws point `k`'s coordinate into slot `k`
+/// of each axis column, with the RNG seeded per *sample* by
+/// [`mc_sample_seed`] exactly like [`monte_carlo_compiled_budgeted`] — the
+/// same draws in the same order, so with an `EvalPlan` kernel the outcome
+/// is bit-identical to the per-point path for any block size, budget, or
+/// thread count.
+///
+/// # Errors
+///
+/// Returns [`McError::NoSamples`] when `samples` is zero or the budget
+/// expired before the first block, and [`McError::AllRejected`] when every
+/// completed draw was non-finite.
+pub fn monte_carlo_compiled_block_budgeted(
+    samples: usize,
+    seed: u64,
+    axes: usize,
+    sampler: impl Fn(&mut Rng, usize, &mut [Vec<f64>]),
+    block_kernel: impl Fn(&[&[f64]], Range<usize>, &mut [f64]),
+    buf: &mut McBuffer,
+    budget: &EvalBudget,
+) -> Result<(McOutcome, BatchRun), McError> {
+    if samples == 0 {
+        return Err(McError::NoSamples);
+    }
+    buf.draws.clear();
+    buf.draws.resize(samples, f64::NAN);
+    buf.columns.resize(axes, Vec::new());
+    buf.columns.truncate(axes);
+    let block = block_points(budget, samples);
+    let mut run = BatchRun::Completed;
+    let mut start = 0;
+    while start < samples {
+        if budget.deadline.is_some() && budget.is_exhausted() {
+            run = BatchRun::DeadlineExceeded { completed: start };
+            break;
+        }
+        let end = (start + block).min(samples);
+        let n = end - start;
+        for col in &mut buf.columns {
+            col.clear();
+            col.resize(n, 0.0);
+        }
+        for k in 0..n {
+            let mut rng = Rng::seed_from_u64(mc_sample_seed(seed, (start + k) as u64));
+            sampler(&mut rng, k, &mut buf.columns);
+        }
+        let columns: Vec<&[f64]> = buf.columns.iter().map(Vec::as_slice).collect();
+        block_kernel(&columns, 0..n, &mut buf.draws[start..end]);
+        // Canonicalize non-finite draws to NaN like every other MC path;
+        // the caller only counts rejections, so ±∞ and NaN are equivalent.
+        for slot in &mut buf.draws[start..end] {
+            if !slot.is_finite() {
+                *slot = f64::NAN;
+            }
+        }
+        start = end;
+    }
+    let completed = match run {
+        BatchRun::Completed => samples,
+        BatchRun::DeadlineExceeded { completed } => completed,
+    };
+    if completed == 0 {
+        return Err(McError::NoSamples);
+    }
+    // `draws()` reports the completed prefix only, like the per-point twin.
+    buf.draws.truncate(completed);
+    buf.finite.clear();
+    buf.finite.extend(buf.draws.iter().copied().filter(|v| v.is_finite()));
+    let rejected = completed - buf.finite.len();
+    if buf.finite.is_empty() {
+        return Err(McError::AllRejected { rejected });
+    }
+    Ok((McOutcome { stats: summarize_slice(&mut buf.finite), rejected }, run))
+}
+
+/// Block-vectorized [`par_monte_carlo_compiled`] under the default
+/// [`Parallelism::Auto`] policy; see
+/// [`par_monte_carlo_compiled_block_with`].
+///
+/// # Errors
+///
+/// Returns [`McError::NoSamples`] if `samples` is zero and
+/// [`McError::AllRejected`] if every draw was non-finite.
+pub fn par_monte_carlo_compiled_block(
+    samples: usize,
+    seed: u64,
+    axes: usize,
+    sampler: impl Fn(&mut Rng, usize, &mut [Vec<f64>]) + Sync,
+    block_kernel: impl Fn(&[&[f64]], Range<usize>, &mut [f64]) + Sync,
+    buf: &mut McBuffer,
+) -> Result<McOutcome, McError> {
+    par_monte_carlo_compiled_block_with(
+        Parallelism::Auto,
+        samples,
+        seed,
+        axes,
+        sampler,
+        block_kernel,
+        buf,
+    )
+}
+
+/// Block-vectorized [`par_monte_carlo_compiled_with`]: every worker keeps
+/// its own structure-of-arrays sample columns and evaluates whole blocks
+/// through the block kernel. Seed-splitting is per *sample*
+/// ([`mc_sample_seed`]), so the outcome is bit-identical to the per-point
+/// twin — and invariant under thread count, chunking, and block size.
+///
+/// # Errors
+///
+/// Returns [`McError::NoSamples`] if `samples` is zero and
+/// [`McError::AllRejected`] if every draw was non-finite.
+#[allow(clippy::too_many_arguments)]
+pub fn par_monte_carlo_compiled_block_with(
+    parallelism: Parallelism,
+    samples: usize,
+    seed: u64,
+    axes: usize,
+    sampler: impl Fn(&mut Rng, usize, &mut [Vec<f64>]) + Sync,
+    block_kernel: impl Fn(&[&[f64]], Range<usize>, &mut [f64]) + Sync,
+    buf: &mut McBuffer,
+) -> Result<McOutcome, McError> {
+    let (outcome, run) = par_monte_carlo_compiled_block_budgeted(
+        parallelism,
+        samples,
+        seed,
+        axes,
+        sampler,
+        block_kernel,
+        buf,
+        &EvalBudget::unlimited(),
+    )?;
+    debug_assert!(run.is_complete(), "an unlimited budget cannot expire");
+    Ok(outcome)
+}
+
+/// Budgeted block-vectorized parallel Monte-Carlo: the block engine under
+/// a cooperative [`EvalBudget`], summarizing the **chunk-aligned completed
+/// prefix** when the deadline cuts in — the same contract as
+/// [`par_monte_carlo_compiled_budgeted`]. After the call,
+/// [`McBuffer::draws`] holds exactly the completed prefix.
+///
+/// # Errors
+///
+/// Returns [`McError::NoSamples`] when `samples` is zero or the budget
+/// expired before the first chunk completed, and [`McError::AllRejected`]
+/// when every completed draw was non-finite.
+#[allow(clippy::too_many_arguments)]
+pub fn par_monte_carlo_compiled_block_budgeted(
+    parallelism: Parallelism,
+    samples: usize,
+    seed: u64,
+    axes: usize,
+    sampler: impl Fn(&mut Rng, usize, &mut [Vec<f64>]) + Sync,
+    block_kernel: impl Fn(&[&[f64]], Range<usize>, &mut [f64]) + Sync,
+    buf: &mut McBuffer,
+    budget: &EvalBudget,
+) -> Result<(McOutcome, BatchRun), McError> {
+    if samples == 0 {
+        return Err(McError::NoSamples);
+    }
+    let workers = parallelism.resolve_for(samples).workers.min(samples);
+    if workers <= 1 {
+        return monte_carlo_compiled_block_budgeted(
+            samples,
+            seed,
+            axes,
+            sampler,
+            block_kernel,
+            buf,
+            budget,
+        );
+    }
+    buf.draws.clear();
+    buf.draws.resize(samples, f64::NAN);
+    // The rejection log is discarded: the Monte-Carlo contract reports a
+    // rejected *count*, not indexed reasons.
+    let mut discarded: Vec<RejectedPoint> = Vec::new();
+    let fill = |columns: &mut Vec<Vec<f64>>, range: Range<usize>, out: &mut [f64]| {
+        let n = range.len();
+        columns.resize(axes, Vec::new());
+        for col in columns.iter_mut() {
+            col.clear();
+            col.resize(n, 0.0);
+        }
+        for k in 0..n {
+            let mut rng = Rng::seed_from_u64(mc_sample_seed(seed, (range.start + k) as u64));
+            sampler(&mut rng, k, columns);
+        }
+        let column_refs: Vec<&[f64]> = columns.iter().map(Vec::as_slice).collect();
+        block_kernel(&column_refs, 0..n, out);
+    };
+    let run =
+        fill_chunked_block(workers, &mut buf.draws, &mut discarded, &Vec::new, &fill, budget);
+    let completed = match run {
+        BatchRun::Completed => samples,
+        BatchRun::DeadlineExceeded { completed } => completed,
+    };
+    if completed == 0 {
+        return Err(McError::NoSamples);
+    }
+    // `draws()` reports the completed prefix only, like the serial twin.
+    buf.draws.truncate(completed);
+    buf.finite.clear();
+    buf.finite.extend(buf.draws.iter().copied().filter(|v| v.is_finite()));
+    let rejected = completed - buf.finite.len();
+    if buf.finite.is_empty() {
+        return Err(McError::AllRejected { rejected });
+    }
+    Ok((McOutcome { stats: summarize_slice(&mut buf.finite), rejected }, run))
+}
+
 /// Upper bound on points per work-stealing chunk: 4096 points are 32 KiB
 /// of output — small enough to stay cache-resident per steal, large enough
-/// that the per-chunk cursor bump and slot lock are noise.
-#[cfg(feature = "parallel")]
+/// that the per-chunk cursor bump and slot lock are noise. The
+/// block-vectorized path shares the bound: a stolen chunk is evaluated as
+/// whole column ranges, so it is also the upper bound on points per block
+/// kernel call.
 const MAX_CHUNK_POINTS: usize = 4096;
 
 /// Points per chunk: at least four chunks per worker (stealing slack for
@@ -851,6 +1340,130 @@ fn fill_chunked(
             *slot = f64::NAN;
             rejected.push(RejectedPoint { index, reason: non_finite_reason(v) });
         }
+    }
+    BatchRun::Completed
+}
+
+/// [`fill_chunked`]'s block-vectorized twin: the same chunked
+/// work-stealing engine (slot mutexes, atomic chunk cursor, per-chunk logs
+/// merged in chunk order, chunk-aligned budget prefix), but each stolen
+/// chunk is evaluated through `fill(state, global_range, out_slice)` in
+/// whole blocks instead of point-by-point. `make_state` builds one
+/// per-worker scratch state (unit for sweeps over borrowed batch columns;
+/// reusable sample columns for Monte-Carlo), so workers share nothing
+/// mutable.
+///
+/// Inside a chunk the [`EvalBudget`] is consulted on
+/// [`block_points`]-sized boundaries — the per-point engine's
+/// check-interval granularity — and expiry leaves the chunk unfinished,
+/// producing the identical chunk-aligned completed-prefix contract.
+#[cfg(feature = "parallel")]
+fn fill_chunked_block<S>(
+    workers: usize,
+    values: &mut [f64],
+    rejected: &mut Vec<RejectedPoint>,
+    make_state: &(impl Fn() -> S + Sync),
+    fill: &(impl Fn(&mut S, Range<usize>, &mut [f64]) + Sync),
+    budget: &EvalBudget,
+) -> BatchRun {
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::{Mutex, PoisonError};
+
+    let len = values.len();
+    if len == 0 {
+        return BatchRun::Completed;
+    }
+    let chunk = chunk_points(len, workers);
+    let block = block_points(budget, chunk);
+    let completed_chunks;
+    {
+        let slots: Vec<Mutex<Option<&mut [f64]>>> =
+            values.chunks_mut(chunk).map(|c| Mutex::new(Some(c))).collect();
+        let chunk_count = slots.len();
+        let done: Vec<AtomicBool> = (0..chunk_count).map(|_| AtomicBool::new(false)).collect();
+        let cursor = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
+        let logs: Mutex<Vec<(usize, Vec<RejectedPoint>)>> = Mutex::new(Vec::new());
+        crate::pool::run(workers, &|| {
+            let mut state = make_state();
+            let mut local: Vec<(usize, Vec<RejectedPoint>)> = Vec::new();
+            'steal: while !stop.load(Ordering::Relaxed) {
+                let ci = cursor.fetch_add(1, Ordering::Relaxed);
+                if ci >= chunk_count {
+                    break;
+                }
+                let taken = slots[ci].lock().unwrap_or_else(PoisonError::into_inner).take();
+                let Some(slice) = taken else { continue };
+                let start = ci * chunk;
+                let mut offset = 0;
+                while offset < slice.len() {
+                    if budget.deadline.is_some() && budget.is_exhausted() {
+                        // Leave this chunk unfinished: it marks the end of
+                        // the completed prefix. Other workers stop at
+                        // their next steal or block boundary.
+                        stop.store(true, Ordering::Relaxed);
+                        continue 'steal;
+                    }
+                    let end = (offset + block).min(slice.len());
+                    fill(&mut state, start + offset..start + end, &mut slice[offset..end]);
+                    offset = end;
+                }
+                let mut chunk_log: Vec<RejectedPoint> = Vec::new();
+                record_non_finite(slice, start, &mut chunk_log);
+                done[ci].store(true, Ordering::Release);
+                if !chunk_log.is_empty() {
+                    local.push((ci, chunk_log));
+                }
+            }
+            if !local.is_empty() {
+                logs.lock().unwrap_or_else(PoisonError::into_inner).extend(local);
+            }
+        });
+        completed_chunks = done.iter().take_while(|flag| flag.load(Ordering::Acquire)).count();
+        let mut merged = logs.into_inner().unwrap_or_else(PoisonError::into_inner);
+        merged.sort_unstable_by_key(|&(ci, _)| ci);
+        for (ci, chunk_log) in merged {
+            if ci < completed_chunks {
+                rejected.extend(chunk_log);
+            }
+        }
+        if completed_chunks == chunk_count {
+            return BatchRun::Completed;
+        }
+    }
+    // Deadline cut in: wipe everything past the chunk-aligned completed
+    // prefix back to NaN (chunks may finish out of order past a gap, and
+    // the cut-off chunk may hold partial blocks).
+    let completed = (completed_chunks * chunk).min(len);
+    for slot in &mut values[completed..] {
+        *slot = f64::NAN;
+    }
+    BatchRun::DeadlineExceeded { completed }
+}
+
+/// Serial fallback when the `parallel` feature is disabled: same output,
+/// one worker, block-aligned budget cut-off.
+#[cfg(not(feature = "parallel"))]
+fn fill_chunked_block<S>(
+    _workers: usize,
+    values: &mut [f64],
+    rejected: &mut Vec<RejectedPoint>,
+    make_state: &(impl Fn() -> S + Sync),
+    fill: &(impl Fn(&mut S, Range<usize>, &mut [f64]) + Sync),
+    budget: &EvalBudget,
+) -> BatchRun {
+    let len = values.len();
+    let mut state = make_state();
+    let block = block_points(budget, len);
+    let mut start = 0;
+    while start < len {
+        if budget.deadline.is_some() && budget.is_exhausted() {
+            return BatchRun::DeadlineExceeded { completed: start };
+        }
+        let end = (start + block).min(len);
+        fill(&mut state, start..end, &mut values[start..end]);
+        record_non_finite(&mut values[start..end], start, rejected);
+        start = end;
     }
     BatchRun::Completed
 }

@@ -3,6 +3,14 @@
 //! Carbon accounting is built on uncertain inputs — yields, grid
 //! intensities, abatement effectiveness. Sampling the model under a
 //! distribution of inputs turns a point estimate into a defensible range.
+//!
+//! The closure-based entry points here take one sample at a time. For
+//! compiled-kernel hot loops, the block-vectorized twins in
+//! [`batch`](crate::batch) —
+//! [`crate::monte_carlo_compiled_block_budgeted`] and its pooled
+//! variants — sample straight into reusable structure-of-arrays columns
+//! and evaluate whole blocks per kernel call, with the same per-sample
+//! seed-splitting and therefore bit-identical [`McStats`].
 
 use act_rng::Rng;
 

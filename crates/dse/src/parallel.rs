@@ -268,6 +268,30 @@ impl CalibrationSource {
     }
 }
 
+impl act_json::ToJson for Calibration {
+    /// `{"threshold_points": <points|null>, "source": "<name>"}` — the one
+    /// shape shared by `act bench-sweep` records, `cargo xtask bench`
+    /// gates, and `act-server` trailers.
+    ///
+    /// The single-core pin `usize::MAX` means "unbounded: parallel can
+    /// never win" and has no faithful JSON integer form — through an `f64`
+    /// it would print as the garbage integer `18446744073709552000` — so
+    /// an unbounded threshold serializes as `null` (`"source":
+    /// "single-core"` already says why).
+    fn to_json(&self) -> act_json::JsonValue {
+        let threshold = if self.threshold_points == usize::MAX {
+            act_json::JsonValue::Null
+        } else {
+            act_json::ToJson::to_json(&self.threshold_points)
+        };
+        act_json::JsonValue::Object(
+            act_json::JsonObject::new()
+                .with("threshold_points", threshold)
+                .with("source", act_json::ToJson::to_json(self.source.as_str())),
+        )
+    }
+}
+
 /// The cached process-wide [`Calibration`]. The first call on a multi-core
 /// host without an `ACT_PAR_THRESHOLD` override runs the microcalibration
 /// (well under a millisecond); every later call is a load.
@@ -723,6 +747,28 @@ mod tests {
         assert_eq!(CalibrationSource::Env.as_str(), "env");
         assert_eq!(CalibrationSource::Measured.as_str(), "measured");
         assert_eq!(CalibrationSource::SingleCore.as_str(), "single-core");
+    }
+
+    /// The `usize::MAX` single-core pin must encode as `null`, never as
+    /// the f64-rounded garbage integer `18446744073709552000`; bounded
+    /// thresholds encode as plain integers.
+    #[test]
+    fn calibration_json_encodes_unbounded_threshold_as_null() {
+        use act_json::ToJson;
+
+        let pinned =
+            Calibration { threshold_points: usize::MAX, source: CalibrationSource::SingleCore };
+        assert_eq!(
+            pinned.to_json().render_compact(),
+            r#"{"threshold_points":null,"source":"single-core"}"#
+        );
+
+        let measured =
+            Calibration { threshold_points: 2048, source: CalibrationSource::Measured };
+        assert_eq!(
+            measured.to_json().render_compact(),
+            r#"{"threshold_points":2048,"source":"measured"}"#
+        );
     }
 
     #[test]

@@ -1,0 +1,244 @@
+//! Equivalence and determinism properties of the block-vectorized batch
+//! engine: the `_block` twins must reproduce the per-point paths bit for
+//! bit — same values, same rejection log, same Monte-Carlo summaries —
+//! for any batch length, thread count, and budget, with cut-offs landing
+//! on identical completed prefixes.
+//!
+//! The kernels here are plain closures (act-dse is model-agnostic); the
+//! `act_core::EvalPlan::eval_block` pairing is pinned by the property
+//! suite in `act-core` itself.
+
+use std::ops::Range;
+use std::time::{Duration, Instant};
+
+use act_dse::{
+    monte_carlo_compiled_block_budgeted, monte_carlo_compiled_budgeted,
+    par_monte_carlo_compiled_block_with, par_sweep_compiled_block_budgeted,
+    par_sweep_compiled_block_with, sweep_compiled, sweep_compiled_block,
+    sweep_compiled_block_budgeted, BatchOutput, BatchRun, BatchShapeError, EvalBudget,
+    McBuffer, Parallelism, PointBatch,
+};
+use act_rng::Rng;
+
+/// Batch lengths straddling the worker, budget-block (1024 default check
+/// interval) and chunk boundaries, including a ragged tail.
+const SIZES: [usize; 7] = [0, 1, 63, 64, 65, 1024, 5000];
+
+/// Worker counts covering serial, two-way and oversubscribed pools.
+const WORKERS: [usize; 4] = [1, 2, 5, 8];
+
+/// The reference model: two axes, a pole along `x == 0` so rejection
+/// slots are exercised, evaluated with one exact per-point chain.
+fn model(x: f64, y: f64) -> f64 {
+    (y.mul_add(3.0, 1.0) / x).sqrt() + x * y
+}
+
+fn point_kernel(p: &[f64]) -> f64 {
+    model(p[0], p[1])
+}
+
+fn block_kernel(cols: &[&[f64]], range: Range<usize>, out: &mut [f64]) {
+    let xs = &cols[0][range.clone()];
+    let ys = &cols[1][range];
+    for ((slot, &x), &y) in out.iter_mut().zip(xs).zip(ys) {
+        *slot = model(x, y);
+    }
+}
+
+/// A seeded two-column batch with exact zeros injected on the pole axis.
+fn batch(seed: u64, n: usize) -> PointBatch {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut xs: Vec<f64> = (0..n).map(|_| rng.gen_range(-4.0..4.0)).collect();
+    for slot in xs.iter_mut().step_by(7) {
+        *slot = 0.0;
+    }
+    let ys = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+    PointBatch::from_columns(vec![xs, ys])
+}
+
+fn assert_bitwise_eq(a: &[f64], b: &[f64], context: &str) {
+    assert_eq!(a.len(), b.len(), "{context}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{context}: bit divergence at point {i}");
+    }
+}
+
+#[test]
+fn block_sweep_equals_per_point_sweep_bitwise() {
+    for (i, n) in SIZES.into_iter().enumerate() {
+        let batch = batch(i as u64, n);
+        let mut per_point = BatchOutput::new();
+        sweep_compiled(&batch, point_kernel, &mut per_point);
+        let mut block = BatchOutput::new();
+        sweep_compiled_block(&batch, block_kernel, &mut block);
+        assert_bitwise_eq(per_point.values(), block.values(), &format!("n={n}"));
+        assert_eq!(per_point.rejected(), block.rejected(), "n={n}: rejection logs differ");
+    }
+}
+
+#[test]
+fn par_block_sweep_is_thread_count_invariant() {
+    for (i, n) in SIZES.into_iter().enumerate() {
+        let batch = batch(100 + i as u64, n);
+        let mut serial = BatchOutput::new();
+        sweep_compiled_block(&batch, block_kernel, &mut serial);
+        for workers in WORKERS {
+            let mut parallel = BatchOutput::new();
+            par_sweep_compiled_block_with(
+                Parallelism::threads(workers),
+                &batch,
+                block_kernel,
+                &mut parallel,
+            );
+            let context = format!("n={n}, workers={workers}");
+            assert_bitwise_eq(serial.values(), parallel.values(), &context);
+            assert_eq!(serial.rejected(), parallel.rejected(), "{context}: rejection logs");
+        }
+    }
+}
+
+#[test]
+fn budgeted_block_cutoff_is_a_bit_identical_prefix_for_any_thread_count() {
+    let n = 5000;
+    let batch = batch(7, n);
+    let mut reference = BatchOutput::new();
+    sweep_compiled_block(&batch, block_kernel, &mut reference);
+    // A deadline a few hundred microseconds out: the run may finish or be
+    // cut anywhere, but whatever prefix completed must match the
+    // unbudgeted bits and every untouched slot must hold NaN.
+    for workers in WORKERS {
+        let budget = EvalBudget::with_deadline(Instant::now() + Duration::from_micros(300));
+        let mut out = BatchOutput::new();
+        let run = par_sweep_compiled_block_budgeted(
+            Parallelism::threads(workers),
+            &batch,
+            block_kernel,
+            &mut out,
+            &budget,
+        );
+        let completed = match run {
+            BatchRun::Completed => n,
+            BatchRun::DeadlineExceeded { completed } => completed,
+        };
+        assert!(completed <= n);
+        let context = format!("workers={workers}, completed={completed}");
+        assert_bitwise_eq(
+            &reference.values()[..completed],
+            &out.values()[..completed],
+            &context,
+        );
+        for (i, v) in out.values()[completed..].iter().enumerate() {
+            assert!(
+                v.is_nan(),
+                "{context}: slot {} past the prefix must be NaN",
+                completed + i
+            );
+        }
+        // Every logged rejection belongs to the completed prefix and
+        // matches the reference log's order for that prefix.
+        let expected: Vec<_> =
+            reference.rejected().iter().filter(|r| r.index < completed).cloned().collect();
+        assert_eq!(expected.as_slice(), out.rejected(), "{context}: rejection prefix");
+    }
+}
+
+#[test]
+fn expired_budget_reports_an_empty_block_prefix() {
+    let batch = batch(11, 512);
+    let budget = EvalBudget::with_deadline(Instant::now() - Duration::from_millis(1));
+    let mut out = BatchOutput::new();
+    let run = sweep_compiled_block_budgeted(&batch, block_kernel, &mut out, &budget);
+    assert_eq!(run, BatchRun::DeadlineExceeded { completed: 0 });
+    assert!(out.values().iter().all(|v| v.is_nan()));
+    assert!(out.rejected().is_empty());
+}
+
+#[test]
+fn block_monte_carlo_matches_per_point_monte_carlo_bitwise() {
+    let ranges = [(-4.0_f64, 4.0_f64), (-2.0, 2.0)];
+    let per_point_sampler = |rng: &mut Rng, scratch: &mut [f64]| {
+        for (slot, (low, high)) in scratch.iter_mut().zip(&ranges) {
+            *slot = rng.gen_range(*low..*high);
+        }
+    };
+    let block_sampler = |rng: &mut Rng, k: usize, columns: &mut [Vec<f64>]| {
+        for (column, (low, high)) in columns.iter_mut().zip(&ranges) {
+            column[k] = rng.gen_range(*low..*high);
+        }
+    };
+    for seed in [0, 42, 0xAC70, u64::MAX] {
+        for samples in [1, 63, 64, 65, 1024, 3000] {
+            let mut per_point_buf = McBuffer::default();
+            let per_point = monte_carlo_compiled_budgeted(
+                samples,
+                seed,
+                2,
+                per_point_sampler,
+                point_kernel,
+                &mut per_point_buf,
+                &EvalBudget::unlimited(),
+            );
+            let mut block_buf = McBuffer::default();
+            let block = monte_carlo_compiled_block_budgeted(
+                samples,
+                seed,
+                2,
+                block_sampler,
+                block_kernel,
+                &mut block_buf,
+                &EvalBudget::unlimited(),
+            );
+            let context = format!("seed={seed}, samples={samples}");
+            match (per_point, block) {
+                (Ok((a, _)), Ok((b, _))) => {
+                    assert_eq!(a, b, "{context}: summaries diverged");
+                    assert_bitwise_eq(per_point_buf.draws(), block_buf.draws(), &context);
+                }
+                (a, b) => {
+                    assert_eq!(a.is_err(), b.is_err(), "{context}: outcome kind diverged")
+                }
+            }
+            // The pooled block engine is invariant under thread count too.
+            let serial = monte_carlo_compiled_block_budgeted(
+                samples,
+                seed,
+                2,
+                block_sampler,
+                block_kernel,
+                &mut block_buf,
+                &EvalBudget::unlimited(),
+            )
+            .map(|(outcome, _)| outcome);
+            for workers in [2, 5, 8] {
+                let mut par_buf = McBuffer::default();
+                let parallel = par_monte_carlo_compiled_block_with(
+                    Parallelism::threads(workers),
+                    samples,
+                    seed,
+                    2,
+                    block_sampler,
+                    block_kernel,
+                    &mut par_buf,
+                );
+                assert_eq!(serial, parallel, "{context}, workers={workers}");
+            }
+        }
+    }
+}
+
+#[test]
+fn try_from_columns_rejects_malformed_shapes() {
+    assert_eq!(PointBatch::try_from_columns(Vec::new()), Err(BatchShapeError::Empty));
+    let ragged = PointBatch::try_from_columns(vec![vec![1.0, 2.0], vec![3.0]]);
+    assert_eq!(ragged, Err(BatchShapeError::Ragged { axis: 1, len: 1, expected: 2 }));
+    let err = ragged.expect_err("ragged columns must be rejected");
+    assert_eq!(err.to_string(), "axis column 1 has 1 points but column 0 has 2");
+    assert_eq!(
+        BatchShapeError::Empty.to_string(),
+        "a point batch needs at least one axis column"
+    );
+    let ok = PointBatch::try_from_columns(vec![vec![1.0, 2.0], vec![3.0, 4.0]])
+        .expect("well-formed columns");
+    assert_eq!(ok.len(), 2);
+    assert_eq!(ok.axis_count(), 2);
+}

@@ -23,9 +23,9 @@ use std::time::Instant;
 
 use act_core::{CompiledFootprint, FreeAxis, ModelParams};
 use act_dse::{
-    monte_carlo_compiled_budgeted, par_monte_carlo_compiled_budgeted,
-    par_sweep_compiled_budgeted, sweep_compiled_budgeted, BatchOutput, BatchRun, EvalBudget,
-    McBuffer, Parallelism,
+    calibration, monte_carlo_compiled_block_budgeted, par_monte_carlo_compiled_block_budgeted,
+    par_sweep_compiled_block_budgeted, sweep_compiled_block_budgeted, BatchOutput, BatchRun,
+    EvalBudget, McBuffer, Parallelism, PointBatch,
 };
 use act_experiments::{concrete_experiment_ids, try_render_experiment, OutputFormat};
 use act_json::{format_float, FromJson, JsonValue, ToJson};
@@ -254,10 +254,17 @@ fn batch_threads(len: usize) -> usize {
     Parallelism::Auto.resolve_for(len).workers.min(len.max(1))
 }
 
+/// The process-wide break-even calibration as a compact JSON fragment for
+/// trailers. An unbounded threshold (the single-core pin) encodes as
+/// `null`, never as `usize::MAX` rounded through f64.
+fn calibration_fragment() -> String {
+    calibration().to_json().render_compact()
+}
+
 /// The decoded, validated body of a sweep request.
 struct SweepRequest {
     compiled: CompiledFootprint,
-    columns: Vec<Vec<f64>>,
+    batch: PointBatch,
     points: usize,
 }
 
@@ -322,7 +329,12 @@ fn parse_sweep(request: &Request, config: &ServerConfig) -> Result<SweepRequest,
     }
     let compiled = CompiledFootprint::try_compile(&params, &axes)
         .map_err(|err| Reject::bad("invalid-params", err.to_string()))?;
-    Ok(SweepRequest { compiled, columns, points })
+    // The per-axis checks above already reject empty/ragged columns, but a
+    // hostile body must never reach the panicking constructor: the typed
+    // shape check turns any slip into a 400, not a caught panic.
+    let batch = PointBatch::try_from_columns(columns)
+        .map_err(|err| Reject::bad("invalid-axes", err.to_string()))?;
+    Ok(SweepRequest { compiled, batch, points })
 }
 
 /// `POST /v1/sweep` — streams one `{"i":N,"gco2":...}` line per point
@@ -343,23 +355,29 @@ fn handle_sweep(
         }
     };
 
-    let batch = act_dse::PointBatch::from_columns(sweep.columns);
     let mut out = BatchOutput::default();
     let budget = EvalBudget::with_deadline(deadline);
+    // Lower the kernel once to its block-vectorized plan: chunks of the
+    // batch evaluate as whole column ranges (no per-point gather or enum
+    // dispatch), bit-identical to the per-point path.
+    let plan = sweep.compiled.plan();
+    let block_kernel = |cols: &[&[f64]], range: std::ops::Range<usize>, out: &mut [f64]| {
+        plan.eval_block(cols, range, out);
+    };
     // The calibrated policy decides serial vs. pool; both paths produce
     // bit-identical values, so clients cannot observe which ran except
     // through the `threads` field in the trailer.
     let threads = batch_threads(sweep.points);
     let run = if threads > 1 {
-        par_sweep_compiled_budgeted(
+        par_sweep_compiled_block_budgeted(
             Parallelism::threads(threads),
-            &batch,
-            |p| sweep.compiled.eval(p),
+            &sweep.batch,
+            block_kernel,
             &mut out,
             &budget,
         )
     } else {
-        sweep_compiled_budgeted(&batch, |p| sweep.compiled.eval(p), &mut out, &budget)
+        sweep_compiled_block_budgeted(&sweep.batch, block_kernel, &mut out, &budget)
     };
 
     // Evaluation is done; stream the results. Writes after this point are
@@ -386,10 +404,11 @@ fn handle_sweep(
         buf.push('\n');
         stream.write_all(buf.as_bytes())?;
     }
+    let calibration = calibration_fragment();
     match run {
         BatchRun::Completed => {
             let trailer = format!(
-                "{{\"done\":true,\"points\":{},\"rejected\":{},\"threads\":{threads}}}\n",
+                "{{\"done\":true,\"points\":{},\"rejected\":{},\"threads\":{threads},\"calibration\":{calibration}}}\n",
                 sweep.points,
                 out.rejected().len()
             );
@@ -400,7 +419,7 @@ fn handle_sweep(
         BatchRun::DeadlineExceeded { completed } => {
             ServerStats::bump(&stats.deadline_trailers);
             let trailer = format!(
-                "{{\"error\":\"deadline\",\"completed\":{completed},\"threads\":{threads}}}\n"
+                "{{\"error\":\"deadline\",\"completed\":{completed},\"threads\":{threads},\"calibration\":{calibration}}}\n"
             );
             stream.write_all(trailer.as_bytes())?;
             stream.flush()?;
@@ -499,32 +518,41 @@ fn handle_montecarlo(
     let mut buf = McBuffer::default();
     let budget = EvalBudget::with_deadline(deadline);
     let ranges = mc.ranges;
-    let sampler = |rng: &mut act_rng::Rng, point: &mut [f64]| {
-        for (slot, (low, high)) in point.iter_mut().zip(&ranges) {
-            *slot = rng.gen_range(*low..*high);
+    // The block sampler draws sample `k` straight into the reusable
+    // structure-of-arrays columns — same per-axis draw order as the old
+    // per-point scratch sampler, so the seed-split outcome is unchanged.
+    let sampler = |rng: &mut act_rng::Rng, k: usize, columns: &mut [Vec<f64>]| {
+        for (column, (low, high)) in columns.iter_mut().zip(&ranges) {
+            if let Some(slot) = column.get_mut(k) {
+                *slot = rng.gen_range(*low..*high);
+            }
         }
+    };
+    let plan = mc.compiled.plan();
+    let block_kernel = |cols: &[&[f64]], range: std::ops::Range<usize>, out: &mut [f64]| {
+        plan.eval_block(cols, range, out);
     };
     // Per-sample seeding makes the draws order-independent, so the pooled
     // path returns the same summary bit-for-bit (see `act_dse::batch`).
     let threads = batch_threads(mc.samples);
     let result = if threads > 1 {
-        par_monte_carlo_compiled_budgeted(
+        par_monte_carlo_compiled_block_budgeted(
             Parallelism::threads(threads),
             mc.samples,
             mc.seed,
             ranges.len(),
             sampler,
-            |p| mc.compiled.eval(p),
+            block_kernel,
             &mut buf,
             &budget,
         )
     } else {
-        monte_carlo_compiled_budgeted(
+        monte_carlo_compiled_block_budgeted(
             mc.samples,
             mc.seed,
             ranges.len(),
             sampler,
-            |p| mc.compiled.eval(p),
+            block_kernel,
             &mut buf,
             &budget,
         )
@@ -534,6 +562,7 @@ fn handle_montecarlo(
             let mut doc = outcome.to_json();
             if let JsonValue::Object(obj) = &mut doc {
                 obj.insert("threads", threads.to_json());
+                obj.insert("calibration", calibration().to_json());
             }
             let mut line = doc.render_compact();
             line.push('\n');
@@ -547,8 +576,9 @@ fn handle_montecarlo(
                     write_stream_head(stream, Status::Ok)?;
                     use std::io::Write;
                     stream.write_all(line.as_bytes())?;
+                    let calibration = calibration_fragment();
                     let trailer = format!(
-                        "{{\"error\":\"deadline\",\"completed\":{completed},\"threads\":{threads}}}\n"
+                        "{{\"error\":\"deadline\",\"completed\":{completed},\"threads\":{threads},\"calibration\":{calibration}}}\n"
                     );
                     stream.write_all(trailer.as_bytes())?;
                     stream.flush()?;

@@ -171,7 +171,24 @@ fn sweep_streams_ndjson_and_matches_compiled_eval() {
         // The measured break-even threshold is never below 512 points.
         assert_eq!(threads, 1, "a 3-point sweep must stay below break-even");
     }
+    assert_calibration_encoding(&trailer, lines[3]);
     server.stop();
+}
+
+/// The `calibration` object every batch trailer carries must encode the
+/// break-even threshold as a plain integer or — for the single-core
+/// `usize::MAX` pin — as `null`, never as the f64-rounded garbage integer
+/// `18446744073709552000`.
+fn assert_calibration_encoding(doc: &JsonValue, raw: &str) {
+    let calibration = doc.get("calibration").expect("calibration object");
+    let source = calibration.get("source").and_then(JsonValue::as_str).expect("source");
+    assert!(["env", "measured", "single-core"].contains(&source), "{source}");
+    let threshold = calibration.get("threshold_points").expect("threshold_points");
+    assert!(
+        threshold.is_null() || threshold.as_u64().is_some_and(|t| t < u64::MAX / 2),
+        "threshold must be null or a sane integer: {raw}"
+    );
+    assert!(!raw.contains("18446744073709552000"), "garbage usize::MAX round-trip: {raw}");
 }
 
 #[test]
@@ -197,6 +214,7 @@ fn montecarlo_summarizes_with_deterministic_seed() {
     // chosen path cannot change the numbers.
     let threads = doc.get("threads").and_then(JsonValue::as_u64).expect("threads");
     assert!(threads >= 1, "threads must be positive: {doc:?}");
+    assert_calibration_encoding(&doc, response_body.trim_end());
     server.stop();
 }
 

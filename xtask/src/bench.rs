@@ -422,8 +422,12 @@ pub fn gate_parallel_win(sweep_record: &str) -> GateOutcome {
     };
     let threads =
         number_after(sweep_record, 0, "\"threads\"").map_or(1, |t| t.max(1.0) as usize);
+    // The parallel leg evaluates through the block plan, so its serial
+    // baseline is the serial block leg when the record carries one;
+    // pre-block records fall back to the per-point compiled leg.
     let serial_ms = sweep_record
-        .find("\"compiled\"")
+        .find("\"compiled_block\"")
+        .or_else(|| sweep_record.find("\"compiled\""))
         .and_then(|at| number_after(sweep_record, at, "\"ms\""));
     let parallel_ms = sweep_record
         .find("\"compiled_parallel\"")
@@ -439,6 +443,59 @@ pub fn gate_parallel_win(sweep_record: &str) -> GateOutcome {
         GateOutcome::Pass { speedup, threads }
     } else {
         GateOutcome::Fail { speedup, threads }
+    }
+}
+
+/// Minimum block-over-per-point throughput ratio the retention gate
+/// demands: the block-vectorized leg must never lose to the per-point
+/// compiled leg it replaced on the hot paths.
+pub const BLOCK_GATE_MIN_RATIO: f64 = 1.0;
+
+/// Verdict of the block-path retention gate over one `act bench-sweep`
+/// record.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BlockGateOutcome {
+    /// The `compiled_block` leg held at least [`BLOCK_GATE_MIN_RATIO`]
+    /// times the per-point `compiled` throughput.
+    Pass {
+        /// Block points/sec over per-point points/sec.
+        ratio: f64,
+    },
+    /// The block leg regressed below per-point throughput.
+    Fail {
+        /// Block points/sec over per-point points/sec.
+        ratio: f64,
+    },
+    /// The record carried no readable `compiled` / `compiled_block`
+    /// throughputs (a degraded run, or a record predating the block path).
+    Unreadable,
+}
+
+/// Applies the block-path retention gate to one raw `act bench-sweep`
+/// record: the block-vectorized leg's `points_per_sec` must be at least
+/// [`BLOCK_GATE_MIN_RATIO`] times the per-point compiled leg's, on any
+/// host (the comparison is serial vs. serial, so core count is
+/// irrelevant). Pure — callers decide how a [`BlockGateOutcome::Fail`]
+/// maps to an exit code.
+#[must_use]
+pub fn gate_block_retention(sweep_record: &str) -> BlockGateOutcome {
+    let per_point = sweep_record
+        .find("\"compiled\"")
+        .and_then(|at| number_after(sweep_record, at, "\"points_per_sec\""));
+    let block = sweep_record
+        .find("\"compiled_block\"")
+        .and_then(|at| number_after(sweep_record, at, "\"points_per_sec\""));
+    let (Some(per_point), Some(block)) = (per_point, block) else {
+        return BlockGateOutcome::Unreadable;
+    };
+    if !(per_point > 0.0 && block > 0.0) {
+        return BlockGateOutcome::Unreadable;
+    }
+    let ratio = block / per_point;
+    if ratio >= BLOCK_GATE_MIN_RATIO {
+        BlockGateOutcome::Pass { ratio }
+    } else {
+        BlockGateOutcome::Fail { ratio }
     }
 }
 
@@ -909,6 +966,72 @@ mod tests {
             GateOutcome::Unreadable,
             "missing compiled timings must not pass or fail the gate"
         );
+    }
+
+    /// A bench-sweep record carrying both the per-point and block-vectorized
+    /// compiled legs, in the shape `act bench-sweep` emits since the block
+    /// engine landed (including the `null` calibration threshold).
+    fn block_record(per_point_pps: f64, block_pps: f64) -> String {
+        format!(
+            "{{\"points\":100000,\"threads\":1,\"threads_source\":\"machine\",\
+             \"machine_threads\":1,\"decision\":\"serial\",\
+             \"calibration\":{{\"threshold_points\":null,\"source\":\"single-core\"}},\
+             \"compiled\":{{\"ms\":10.0,\"points_per_sec\":{per_point_pps}}},\
+             \"compiled_block\":{{\"ms\":8.0,\"points_per_sec\":{block_pps},\
+             \"speedup_vs_per_point\":1.0}}}}"
+        )
+    }
+
+    #[test]
+    fn block_gate_passes_when_block_leg_holds_per_point_throughput() {
+        match gate_block_retention(&block_record(1.0e7, 2.5e7)) {
+            BlockGateOutcome::Pass { ratio } => assert!((ratio - 2.5).abs() < 1e-9),
+            other => panic!("expected Pass, got {other:?}"),
+        }
+        // Exactly matching per-point throughput retains the path too.
+        match gate_block_retention(&block_record(1.0e7, 1.0e7)) {
+            BlockGateOutcome::Pass { ratio } => assert!((ratio - 1.0).abs() < 1e-9),
+            other => panic!("expected Pass at parity, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn block_gate_fails_when_block_leg_regresses() {
+        match gate_block_retention(&block_record(2.0e7, 1.5e7)) {
+            BlockGateOutcome::Fail { ratio } => assert!((ratio - 0.75).abs() < 1e-9),
+            other => panic!("expected Fail, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn block_gate_reports_unreadable_records_instead_of_guessing() {
+        assert_eq!(gate_block_retention(""), BlockGateOutcome::Unreadable);
+        // Pre-block trajectory records have no compiled_block section.
+        assert_eq!(
+            gate_block_retention(&gate_record(4, 20.0, 10.0)),
+            BlockGateOutcome::Unreadable,
+            "records without a compiled_block leg must not pass or fail the gate"
+        );
+    }
+
+    #[test]
+    fn parallel_gate_prefers_the_block_leg_as_its_serial_baseline() {
+        // With a block leg present, the parallel gate measures against it:
+        // block 8ms vs parallel 4ms -> 2x speedup on a 4-thread host.
+        let record = format!(
+            "{{\"points\":100000,\"threads\":4,\"threads_source\":\"machine\",\
+             \"machine_threads\":4,\"decision\":\"parallel\",\
+             \"compiled\":{{\"ms\":10.0,\"points_per_sec\":1.0}},\
+             \"compiled_block\":{{\"ms\":8.0,\"points_per_sec\":1.0}},\
+             \"compiled_parallel\":{{\"ms\":4.0,\"points_per_sec\":1.0}}}}"
+        );
+        match gate_parallel_win(&record) {
+            GateOutcome::Pass { speedup, threads } => {
+                assert!((speedup - 2.0).abs() < 1e-9, "baseline should be the 8ms block leg");
+                assert_eq!(threads, 4);
+            }
+            other => panic!("expected Pass, got {other:?}"),
+        }
     }
 
     #[test]

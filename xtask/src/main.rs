@@ -51,9 +51,11 @@ fn usage() -> String {
      new record carry a compiled points/sec reading, the run fails with\n\
      exit 2 if throughput regressed more than 30% — the record is still\n\
      appended so the regression stays visible. A 100k-point gate sweep\n\
-     then asserts the calibrated compiled-parallel leg does not lose to\n\
-     serial: exit 2 on a multi-core host, soft warning with 1 hardware\n\
-     thread. Outside --quick a million-point compiled sweep is recorded\n\
+     then enforces two retention gates: the block-vectorized leg\n\
+     (`compiled_block`) must not lose to the per-point compiled leg on\n\
+     any host, and the calibrated compiled-parallel leg must not lose to\n\
+     serial: exit 2 on failure (the parallel gate soft-warns with 1\n\
+     hardware thread). Outside --quick a million-point compiled sweep is recorded\n\
      too. When the release build is unavailable (offline), a degraded\n\
      record with null timings and an `error` field is appended instead of\n\
      aborting; a later complete run tags those records `superseded` so\n\
@@ -339,20 +341,46 @@ fn run_bench(config: &xtask::bench::BenchConfig) -> ExitCode {
         );
         return ExitCode::from(2);
     }
-    match xtask::bench::gate_parallel_win(&report.sweep_gate) {
+    // Block-path retention gate: serial vs. serial, enforced on any host.
+    let block_failed = match xtask::bench::gate_block_retention(&report.sweep_gate) {
+        xtask::bench::BlockGateOutcome::Pass { ratio } => {
+            eprintln!(
+                "bench: 100k block gate PASSED — compiled_block {ratio:.2}x per-point \
+                 compiled throughput"
+            );
+            false
+        }
+        xtask::bench::BlockGateOutcome::Fail { ratio } => {
+            eprintln!(
+                "bench: 100k block gate FAILED — compiled_block only {ratio:.2}x per-point \
+                 compiled throughput (needs >= {:.2}x); the block-vectorized path must not \
+                 lose to the per-point path it replaced",
+                xtask::bench::BLOCK_GATE_MIN_RATIO
+            );
+            true
+        }
+        xtask::bench::BlockGateOutcome::Unreadable => {
+            eprintln!(
+                "bench: 100k block gate UNREADABLE (warning) — the gate sweep record \
+                 carried no compiled / compiled_block throughputs"
+            );
+            false
+        }
+    };
+    let parallel_failed = match xtask::bench::gate_parallel_win(&report.sweep_gate) {
         xtask::bench::GateOutcome::Pass { speedup, threads } => {
             eprintln!(
                 "bench: 100k parallel gate PASSED — compiled parallel {speedup:.2}x serial \
                  on {threads} worker(s)"
             );
-            ExitCode::SUCCESS
+            false
         }
         xtask::bench::GateOutcome::SingleCore { machine } => {
             eprintln!(
                 "bench: 100k parallel gate SKIPPED (warning) — {machine} hardware thread(s); \
                  parallel cannot win on this host, rerun on >= 2 cores to enforce it"
             );
-            ExitCode::SUCCESS
+            false
         }
         xtask::bench::GateOutcome::Fail { speedup, threads } => {
             eprintln!(
@@ -361,15 +389,20 @@ fn run_bench(config: &xtask::bench::BenchConfig) -> ExitCode {
                  must not lose to serial at this size",
                 xtask::bench::GATE_MIN_SPEEDUP
             );
-            ExitCode::from(2)
+            true
         }
         xtask::bench::GateOutcome::Unreadable => {
             eprintln!(
                 "bench: 100k parallel gate UNREADABLE (warning) — the gate sweep record \
                  carried no compiled serial/parallel timings"
             );
-            ExitCode::SUCCESS
+            false
         }
+    };
+    if block_failed || parallel_failed {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
     }
 }
 
