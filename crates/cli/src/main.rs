@@ -9,6 +9,9 @@
 //! act all             # everything, in paper order
 //! act all --serial    # same output, single-threaded
 //! act bench-sweep     # synthetic 10k-point sweep throughput probe (JSON)
+//! act scenario f.json # compile a JSON scenario: embodied + device footprint
+//! act fleet f.json    # fleet Monte-Carlo over a scenario's fleet block
+//! act fleet-bench     # fleet MC throughput probe (JSON, for xtask bench)
 //! act serve           # NDJSON model service on 127.0.0.1 (act-server)
 //! ```
 //!
@@ -54,6 +57,9 @@ fn usage() -> String {
          usage: act [--json] [--strict] [--serial] [--naive] <experiment>...\n\
                 act list\n\
                 act bench-sweep [points] [--million]\n\
+                act scenario <file.json>\n\
+                act fleet <file.json>\n\
+                act fleet-bench [samples]\n\
                 act serve [--addr HOST:PORT] [--workers N] [--queue N]\n\
                           [--deadline-ms N] [--drain-ms N] [--faults SPEC]\n\
                           [--allow-remote-shutdown]  (see `act serve --help`)\n\n\
@@ -71,6 +77,14 @@ fn usage() -> String {
          parallel engine — and prints throughput/speedup as JSON (the\n\
          `cargo xtask bench` trajectory harness consumes it). --million\n\
          runs the compiled kernel legs only, over 1,000,000 points.\n\n\
+         scenario compiles a JSON scenario file (chips, memory, storage,\n\
+         optional fab/workload sections) and prints the embodied breakdown\n\
+         plus — when a workload is present — the single-device footprint.\n\
+         fleet runs the scenario's `fleet` block as a seeded Monte-Carlo\n\
+         over N devices and prints per-device stats and the fleet total;\n\
+         the result is bit-identical for any thread count. fleet-bench\n\
+         times a built-in fleet serially and in parallel (JSON record for\n\
+         the xtask trajectory harness).\n\n\
          exit codes: 0 success, 1 experiment failure, 2 usage error\n\n\
          experiments: {}",
         EXPERIMENT_IDS.join(", ")
@@ -321,6 +335,223 @@ fn run_bench_sweep(points_arg: Option<&str>, serial_only: bool, million: bool) -
     ExitCode::SUCCESS
 }
 
+/// Built-in server-class scenario for `act fleet-bench`: a Dell
+/// R740-shaped system under a datacenter workload with uncertain
+/// lifetime, grid, and utilization. The sample count is overridden by
+/// the CLI argument.
+const FLEET_BENCH_SCENARIO: &str = r#"{
+  "name": "fleet-bench (server class)",
+  "chips": [
+    {"name": "Xeon CPUs", "node": "N14", "area_mm2": 1388.0, "count": 2},
+    {"name": "Chipset + NICs + BMC", "node": "N28", "area_mm2": 400.0, "count": 6}
+  ],
+  "dram": [{"technology": "Ddr4_10nm", "capacity_gb": 576.0}],
+  "ssd": [{"technology": "V3NandTlc", "capacity_gb": 31744.0}],
+  "packaged_ic_count": 40,
+  "workload": {
+    "power_w": 350.0, "utilization": 0.6,
+    "lifetime_years": 4.0, "use_intensity_g_per_kwh": 380.0
+  },
+  "fleet": {
+    "devices": 100000, "samples": 200000, "seed": 2022,
+    "lifetime_years": {"dist": "triangular", "low": 2.0, "mode": 4.0, "high": 7.0},
+    "use_intensity_g_per_kwh": {"dist": "normal", "mean": 380.0, "std_dev": 60.0},
+    "utilization": {"dist": "uniform", "low": 0.3, "high": 0.9}
+  }
+}"#;
+
+/// Default `act fleet-bench` sample count.
+const FLEET_BENCH_SAMPLES: usize = 200_000;
+
+/// Reads and compiles a scenario file, folding every failure into one
+/// stderr line plus the experiment-failed exit code.
+fn load_scenario(path: &str) -> Result<act_scenario::CompiledScenario, ExitCode> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("scenario: cannot read `{path}`: {err}");
+            return Err(ExitCode::from(EXIT_EXPERIMENT_FAILED));
+        }
+    };
+    match act_scenario::Scenario::parse(&text).and_then(|s| s.compile()) {
+        Ok(compiled) => Ok(compiled),
+        Err(err) => {
+            eprintln!("scenario: `{path}`: {err}");
+            Err(ExitCode::from(EXIT_EXPERIMENT_FAILED))
+        }
+    }
+}
+
+/// `act scenario <file.json>`: compile the scenario and print one JSON
+/// line — the same shape `POST /v1/scenario` serves, so shell pipelines
+/// and the server are interchangeable.
+fn run_scenario(path: Option<&str>) -> ExitCode {
+    let Some(path) = path else {
+        eprintln!("scenario needs a file path\n\n{}", usage());
+        return ExitCode::from(EXIT_USAGE);
+    };
+    let compiled = match load_scenario(path) {
+        Ok(compiled) => compiled,
+        Err(code) => return code,
+    };
+    let mut obj = act_json::JsonObject::new()
+        .with("name", act_json::JsonValue::String(compiled.name().to_owned()))
+        .with("embodied_g", act_json::ToJson::to_json(&compiled.embodied_grams()))
+        .with("embodied", act_json::ToJson::to_json(compiled.embodied()));
+    if let Some(device) = compiled.device() {
+        obj = obj.with("device", act_json::ToJson::to_json(device));
+    }
+    println!("{}", act_json::JsonValue::Object(obj).render_compact());
+    ExitCode::SUCCESS
+}
+
+/// `act fleet <file.json>`: run the scenario's fleet block and print the
+/// per-device statistics plus the fleet total as one JSON line. Honors
+/// `--serial`; otherwise the calibrated engine picks the thread count
+/// (the summary is bit-identical either way).
+fn run_fleet(path: Option<&str>, serial_only: bool) -> ExitCode {
+    let Some(path) = path else {
+        eprintln!("fleet needs a file path\n\n{}", usage());
+        return ExitCode::from(EXIT_USAGE);
+    };
+    let compiled = match load_scenario(path) {
+        Ok(compiled) => compiled,
+        Err(code) => return code,
+    };
+    let Some(fleet) = compiled.fleet() else {
+        eprintln!("fleet: `{path}` has no `fleet` block");
+        return ExitCode::from(EXIT_EXPERIMENT_FAILED);
+    };
+    let threads = if serial_only {
+        1
+    } else {
+        Parallelism::Auto.resolve_for(fleet.samples()).workers.min(fleet.samples().max(1))
+    };
+    let mut buf = act_dse::McBuffer::new();
+    match fleet.run(threads, &mut buf, &act_dse::EvalBudget::unlimited()) {
+        Ok((outcome, _)) => {
+            let body = act_json::obj! {
+                "name": compiled.name(),
+                "devices": fleet.devices(),
+                "seed": fleet.seed(),
+                "stats": outcome.stats,
+                "rejected": outcome.rejected,
+                "fleet_total_g": fleet.fleet_total_grams(&outcome),
+                "threads": threads,
+            };
+            println!("{body}");
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("fleet: `{path}`: {err}");
+            ExitCode::from(EXIT_EXPERIMENT_FAILED)
+        }
+    }
+}
+
+/// `act fleet-bench [samples]`: times the built-in server-class fleet
+/// serially and through the calibrated parallel engine, verifies the two
+/// summaries agree to the bit, and prints a JSON throughput record for
+/// the `cargo xtask bench` trajectory harness. The record deliberately
+/// avoids the exact key `"compiled"` — the trajectory guard scrapes the
+/// last such object out of the bench file, and that must remain the
+/// sweep record's.
+fn run_fleet_bench(samples_arg: Option<&str>, serial_only: bool) -> ExitCode {
+    let samples = match samples_arg {
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) if n >= 2 => n,
+            _ => {
+                eprintln!("fleet-bench needs a sample count >= 2, got `{raw}`\n\n{}", usage());
+                return ExitCode::from(EXIT_USAGE);
+            }
+        },
+        None => FLEET_BENCH_SAMPLES,
+    };
+    let mut scenario = match act_scenario::Scenario::parse(FLEET_BENCH_SCENARIO) {
+        Ok(scenario) => scenario,
+        Err(err) => {
+            eprintln!("fleet-bench: built-in scenario failed to parse: {err}");
+            return ExitCode::from(EXIT_EXPERIMENT_FAILED);
+        }
+    };
+    if let Some(fleet) = scenario.fleet.as_mut() {
+        fleet.samples = samples;
+    }
+    let compiled = match scenario.compile() {
+        Ok(compiled) => compiled,
+        Err(err) => {
+            eprintln!("fleet-bench: built-in scenario failed to compile: {err}");
+            return ExitCode::from(EXIT_EXPERIMENT_FAILED);
+        }
+    };
+    let Some(fleet) = compiled.fleet() else {
+        eprintln!("fleet-bench: built-in scenario lost its fleet block (CLI bug)");
+        return ExitCode::from(EXIT_EXPERIMENT_FAILED);
+    };
+    let budget = act_dse::EvalBudget::unlimited();
+    let resolved = if serial_only {
+        Parallelism::Serial.resolve_for(samples)
+    } else {
+        Parallelism::Auto.resolve_for(samples)
+    };
+    let threads = resolved.workers.min(samples.max(1));
+
+    let mut serial_buf = act_dse::McBuffer::new();
+    let serial_start = Instant::now();
+    let serial = fleet.run(1, &mut serial_buf, &budget);
+    let serial_ms = serial_start.elapsed().as_secs_f64() * 1e3;
+    let (serial_outcome, _) = match serial {
+        Ok(result) => result,
+        Err(err) => {
+            eprintln!("fleet-bench: serial run failed: {err}");
+            return ExitCode::from(EXIT_EXPERIMENT_FAILED);
+        }
+    };
+
+    let mut par_buf = act_dse::McBuffer::new();
+    let par_start = Instant::now();
+    let par = fleet.run(threads, &mut par_buf, &budget);
+    let par_ms = par_start.elapsed().as_secs_f64() * 1e3;
+    let (par_outcome, _) = match par {
+        Ok(result) => result,
+        Err(err) => {
+            eprintln!("fleet-bench: parallel run failed: {err}");
+            return ExitCode::from(EXIT_EXPERIMENT_FAILED);
+        }
+    };
+    if serial_outcome.stats.mean.to_bits() != par_outcome.stats.mean.to_bits()
+        || serial_outcome.rejected != par_outcome.rejected
+    {
+        eprintln!("fleet-bench: parallel summary diverged from serial (engine bug)");
+        return ExitCode::from(EXIT_EXPERIMENT_FAILED);
+    }
+
+    let serial_sps = samples as f64 / (serial_ms / 1e3).max(1e-12);
+    let par_sps = samples as f64 / (par_ms / 1e3).max(1e-12);
+    let body = act_json::obj! {
+        "samples": samples,
+        "devices": fleet.devices(),
+        "seed": fleet.seed(),
+        "threads": threads,
+        "threads_source": resolved.source.as_str(),
+        "machine_threads": resolved.machine,
+        "fleet_serial": act_json::obj! {
+            "ms": serial_ms,
+            "samples_per_sec": serial_sps,
+        },
+        "fleet_parallel": act_json::obj! {
+            "ms": par_ms,
+            "samples_per_sec": par_sps,
+            "speedup_vs_serial": serial_ms / par_ms.max(1e-9),
+        },
+        "mean_g": serial_outcome.stats.mean,
+        "rejected": serial_outcome.rejected,
+        "fleet_total_g": fleet.fleet_total_grams(&serial_outcome),
+    };
+    println!("{body}");
+    ExitCode::SUCCESS
+}
+
 /// The `act serve --help` text.
 fn serve_usage() -> &'static str {
     "act serve — NDJSON carbon-model service (act-server)\n\n\
@@ -340,7 +571,7 @@ fn serve_usage() -> &'static str {
                                 (also read from ACT_FAULTS when unset)\n\
        --allow-remote-shutdown  honor POST /admin/shutdown (harness use)\n\n\
      endpoints: GET /healthz /v1/stats /v1/experiments /v1/experiments/<id>\n\
-                POST /v1/footprint /v1/sweep /v1/montecarlo\n\n\
+                POST /v1/footprint /v1/scenario /v1/fleet /v1/sweep /v1/montecarlo\n\n\
      SIGINT/SIGTERM stop accepting, drain in-flight requests under the drain\n\
      budget, then print a final {\"shutdown\":true,\"stats\":{...}} line."
 }
@@ -571,6 +802,27 @@ fn main() -> ExitCode {
             return ExitCode::from(EXIT_USAGE);
         }
         return run_bench_sweep(ids.get(1).map(String::as_str), serial, million);
+    }
+    if ids[0] == "scenario" {
+        if ids.len() > 2 {
+            eprintln!("scenario takes exactly one file path\n\n{}", usage());
+            return ExitCode::from(EXIT_USAGE);
+        }
+        return run_scenario(ids.get(1).map(String::as_str));
+    }
+    if ids[0] == "fleet" {
+        if ids.len() > 2 {
+            eprintln!("fleet takes exactly one file path\n\n{}", usage());
+            return ExitCode::from(EXIT_USAGE);
+        }
+        return run_fleet(ids.get(1).map(String::as_str), serial);
+    }
+    if ids[0] == "fleet-bench" {
+        if ids.len() > 2 {
+            eprintln!("fleet-bench takes at most one sample count\n\n{}", usage());
+            return ExitCode::from(EXIT_USAGE);
+        }
+        return run_fleet_bench(ids.get(1).map(String::as_str), serial);
     }
     if million {
         eprintln!("--million only applies to bench-sweep\n\n{}", usage());

@@ -38,6 +38,7 @@ mod hdd;
 mod locations;
 mod nodes;
 pub mod reports;
+pub mod scenarios;
 pub mod smiv;
 pub mod snapdragon845;
 mod socs;

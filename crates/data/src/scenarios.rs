@@ -1,0 +1,26 @@
+//! Committed JSON scenario fixtures mirroring [`crate::devices`].
+//!
+//! Each constant is the verbatim text of a file under
+//! `crates/data/scenarios/` — a field-for-field transcription of the
+//! corresponding [`DeviceBom`](crate::devices::DeviceBom) constant into
+//! the `act-scenario` schema. The golden tests in `act-scenario` compile
+//! each fixture and assert the embodied footprint is **bitwise** equal to
+//! the constant path, so these files double as the schema's conformance
+//! corpus: editing a fixture or a teardown without the other fails CI.
+
+/// JSON transcription of [`crate::devices::IPHONE_11`].
+pub const IPHONE_11: &str = include_str!("../scenarios/iphone_11.json");
+/// JSON transcription of [`crate::devices::IPAD`].
+pub const IPAD: &str = include_str!("../scenarios/ipad.json");
+/// JSON transcription of [`crate::devices::FAIRPHONE_3`].
+pub const FAIRPHONE_3: &str = include_str!("../scenarios/fairphone_3.json");
+/// JSON transcription of [`crate::devices::DELL_R740`].
+pub const DELL_R740: &str = include_str!("../scenarios/dell_r740.json");
+/// JSON transcription of [`crate::devices::LAPTOP`].
+pub const LAPTOP: &str = include_str!("../scenarios/laptop.json");
+/// JSON transcription of [`crate::devices::WEARABLE`].
+pub const WEARABLE: &str = include_str!("../scenarios/wearable.json");
+
+/// All fixtures, in [`crate::devices::ALL`] order — zip the two arrays
+/// to pair each document with its Rust-constant oracle.
+pub const ALL: [&str; 6] = [IPHONE_11, IPAD, FAIRPHONE_3, DELL_R740, LAPTOP, WEARABLE];

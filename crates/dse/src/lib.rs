@@ -81,7 +81,8 @@ pub use batch::{
 };
 pub use montecarlo::{
     mc_sample_seed, monte_carlo, par_monte_carlo, par_monte_carlo_with, par_try_monte_carlo,
-    par_try_monte_carlo_with, triangular, try_monte_carlo, McError, McOutcome, McStats,
+    par_try_monte_carlo_with, triangular, try_monte_carlo, try_triangular, McError, McOutcome,
+    McStats, TriangularError,
 };
 pub use optimize::{argmin_by, argmin_feasible, knee_point, normalize_to, normalize_to_last};
 pub use parallel::{

@@ -345,20 +345,79 @@ pub(crate) fn summarize_slice(values: &mut [f64]) -> McStats {
     McStats { mean, p05: pct(0.05), p50: pct(0.5), p95: pct(0.95), samples }
 }
 
-/// Draws a triangular-distributed value on `[low, high]` with the given
-/// mode — the standard shape for expert-judgment parameters like yield.
+/// Error returned by [`try_triangular`] for parameters that do not define
+/// a triangular distribution.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TriangularError {
+    /// The rejected lower bound.
+    pub low: f64,
+    /// The rejected mode.
+    pub mode: f64,
+    /// The rejected upper bound.
+    pub high: f64,
+}
+
+impl std::fmt::Display for TriangularError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid triangular parameters: need finite low < high with low <= mode <= high, \
+             got low={}, mode={}, high={}",
+            self.low, self.mode, self.high
+        )
+    }
+}
+
+impl std::error::Error for TriangularError {}
+
+/// Fallible twin of [`triangular`]: draws a triangular-distributed value
+/// on `[low, high]` with the given mode, rejecting bad parameters with a
+/// typed error instead of panicking — the form user-supplied fleet
+/// distributions must go through, so a hostile payload becomes a 400
+/// instead of a caught-panic 500.
 ///
-/// # Panics
+/// The RNG is only advanced when the parameters are valid, so a rejected
+/// draw consumes no randomness.
 ///
-/// Panics unless `low <= mode <= high` and `low < high`.
-pub fn triangular(rng: &mut Rng, low: f64, mode: f64, high: f64) -> f64 {
-    assert!(low < high && (low..=high).contains(&mode), "invalid triangular parameters");
+/// # Errors
+///
+/// Returns [`TriangularError`] unless all three parameters are finite,
+/// `low < high`, and `low <= mode <= high`.
+pub fn try_triangular(
+    rng: &mut Rng,
+    low: f64,
+    mode: f64,
+    high: f64,
+) -> Result<f64, TriangularError> {
+    let valid = low.is_finite()
+        && mode.is_finite()
+        && high.is_finite()
+        && low < high
+        && (low..=high).contains(&mode);
+    if !valid {
+        return Err(TriangularError { low, mode, high });
+    }
     let u: f64 = rng.gen();
     let cut = (mode - low) / (high - low);
-    if u < cut {
+    Ok(if u < cut {
         low + ((high - low) * (mode - low) * u).sqrt()
     } else {
         high - ((high - low) * (high - mode) * (1.0 - u)).sqrt()
+    })
+}
+
+/// Draws a triangular-distributed value on `[low, high]` with the given
+/// mode — the standard shape for expert-judgment parameters like yield.
+/// Delegates to [`try_triangular`]; use that form directly when the
+/// parameters come from untrusted input.
+///
+/// # Panics
+///
+/// Panics unless `low <= mode <= high` and `low < high` (all finite).
+pub fn triangular(rng: &mut Rng, low: f64, mode: f64, high: f64) -> f64 {
+    match try_triangular(rng, low, mode, high) {
+        Ok(value) => value,
+        Err(err) => panic!("{err}"),
     }
 }
 
@@ -418,6 +477,38 @@ mod tests {
     fn bad_triangular_rejected() {
         let mut rng = Rng::seed_from_u64(0);
         let _ = triangular(&mut rng, 1.0, 0.5, 0.9);
+    }
+
+    #[test]
+    fn try_triangular_rejects_bad_parameters_with_typed_error() {
+        let mut rng = Rng::seed_from_u64(0);
+        // Mode outside [low, high].
+        let err = try_triangular(&mut rng, 1.0, 0.5, 0.9).unwrap_err();
+        assert_eq!(err, TriangularError { low: 1.0, mode: 0.5, high: 0.9 });
+        assert!(err.to_string().contains("triangular"));
+        // Degenerate interval (low == high) and inverted bounds.
+        assert!(try_triangular(&mut rng, 1.0, 1.0, 1.0).is_err());
+        assert!(try_triangular(&mut rng, 2.0, 1.5, 1.0).is_err());
+        // Non-finite parameters never reach the sampling arithmetic.
+        assert!(try_triangular(&mut rng, f64::NAN, 0.5, 1.0).is_err());
+        assert!(try_triangular(&mut rng, 0.0, 0.5, f64::INFINITY).is_err());
+        // A rejected draw consumes no randomness: the next valid draw
+        // matches a fresh RNG's first draw bit for bit.
+        let mut fresh = Rng::seed_from_u64(0);
+        let after_rejects = try_triangular(&mut rng, 0.0, 0.5, 1.0).unwrap();
+        let first = try_triangular(&mut fresh, 0.0, 0.5, 1.0).unwrap();
+        assert_eq!(after_rejects.to_bits(), first.to_bits());
+    }
+
+    #[test]
+    fn try_triangular_matches_panicking_variant_on_valid_parameters() {
+        let mut a = Rng::seed_from_u64(9);
+        let mut b = Rng::seed_from_u64(9);
+        for _ in 0..1_000 {
+            let x = triangular(&mut a, 0.5, 0.9, 1.0);
+            let y = try_triangular(&mut b, 0.5, 0.9, 1.0).unwrap();
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
     }
 
     #[test]

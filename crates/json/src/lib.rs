@@ -699,8 +699,10 @@ impl Parser<'_> {
             .parse::<f64>()
             .map_err(|_| JsonError::at(format!("malformed number `{text}`"), start))?;
         // `1e999` parses to +inf without an error; a document that cannot
-        // round-trip through any finite float is hostile input, not data.
-        if parsed.is_infinite() {
+        // round-trip through any finite float is hostile input, not data
+        // (`format_float` would silently re-render it as `null`). Guard on
+        // *any* non-finite parse so no literal can smuggle inf or NaN in.
+        if !parsed.is_finite() {
             return Err(JsonError::limit(
                 JsonErrorKind::NumberOutOfRange,
                 format!("number `{text}` overflows f64"),

@@ -119,6 +119,42 @@ fn overlong_numbers_are_rejected_by_length() {
     assert!(JsonValue::parse(&fine).is_ok());
 }
 
+/// Overflowing numeric literals (`1e999` → ±inf) are a typed
+/// `NumberOutOfRange` error, not a silent non-finite float: `format_float`
+/// renders non-finite values as `null`, so accepting them would corrupt
+/// any document on the parse → render round trip.
+#[test]
+fn overflowing_literals_are_a_typed_out_of_range_error() {
+    for doc in ["1e999", "-1e999", "2e400", "123456789e99999", "9e9999999"] {
+        let err = JsonValue::parse(doc)
+            .expect_err(&format!("overflowing literal parsed cleanly: {doc:?}"));
+        assert_eq!(err.kind(), JsonErrorKind::NumberOutOfRange, "wrong kind for {doc:?}");
+    }
+    // The same rejection fires in nested contexts, so a hostile scenario
+    // payload can't tuck an overflow inside a field.
+    for doc in ["{\"a\":[1e999]}", "[1, 2, -1e999]", "{\"deep\":{\"x\":1e999}}"] {
+        let err = JsonValue::parse(doc)
+            .expect_err(&format!("nested overflowing literal parsed cleanly: {doc:?}"));
+        assert_eq!(err.kind(), JsonErrorKind::NumberOutOfRange, "wrong kind for {doc:?}");
+    }
+}
+
+/// Regression: no accepted numeric literal may re-render as `null`. Before
+/// the overflow guard, `1e999` parsed to `inf` and came back as `null` — a
+/// silent round-trip corruption.
+#[test]
+fn no_accepted_number_renders_as_null() {
+    for doc in ["1e308", "-1e308", "1.7976931348623157e308", "1e-999", "-1e-999", "0.0"] {
+        let parsed = JsonValue::parse(doc).expect(doc);
+        let rendered = parsed.render_compact();
+        assert_ne!(rendered, "null", "literal {doc:?} round-tripped to null");
+        // And the rendering itself must re-parse to the same value.
+        assert_eq!(JsonValue::parse(&rendered).unwrap(), parsed);
+    }
+    // `1e-999` underflows to 0.0 — precision loss is fine, type loss is not.
+    assert_eq!(JsonValue::parse("1e-999").unwrap().as_f64(), Some(0.0));
+}
+
 /// Documents over the byte ceiling are rejected before parsing starts.
 #[test]
 fn oversized_documents_are_rejected_up_front() {

@@ -1,0 +1,57 @@
+//! JSON scenario description language for the ACT carbon model.
+//!
+//! A *scenario* is a self-contained JSON document describing a hardware
+//! system — chips with process nodes and die areas, memory and storage
+//! populations, packaging count — plus an optional fab profile, an
+//! optional use-phase *workload*, and an optional *fleet* block that
+//! scales the single-device model to N devices under uncertainty.
+//!
+//! The pipeline has three stages, each a separate module:
+//!
+//! 1. [`schema`] — typed parse of the document via `act-json`'s
+//!    [`FromJson`](act_json::FromJson), producing a [`Scenario`]. Shape
+//!    errors (missing fields, wrong types, unknown distribution tags)
+//!    surface here as [`act_json::JsonError`].
+//! 2. [`compile`] — validation against the paper's Table 1 ranges and
+//!    lowering to the exact same code paths the built-in Rust constants
+//!    use: the embodied model goes through
+//!    [`SystemSpecBuilder`](act_core::SystemSpecBuilder) in
+//!    [`SystemSpec::from_bom`](act_core::SystemSpec::from_bom) order, and
+//!    the use phase through a [`CompiledFootprint`](act_core::CompiledFootprint)
+//!    kernel. Compiling a committed JSON fixture of a built-in
+//!    [`act_data::devices`] system is therefore **bit-identical** to
+//!    compiling the Rust constant — the golden tests in this crate pin
+//!    that equivalence per component.
+//! 3. [`fleet`] — sharded block-path Monte-Carlo over the compiled
+//!    kernel via `act_dse::batch`'s `_block` family. Per-sample seed
+//!    splitting (`mc_sample_seed`) makes the outcome bit-identical for
+//!    any thread count, block size, or deadline budget.
+//!
+//! ```
+//! use act_scenario::Scenario;
+//!
+//! let doc = r#"{
+//!   "name": "pocket gadget",
+//!   "chips": [{"name": "SoC", "node": "N7", "area_mm2": 80.0, "count": 1}],
+//!   "dram": [{"technology": "Lpddr4", "capacity_gb": 4.0}],
+//!   "packaged_ic_count": 10,
+//!   "workload": {
+//!     "power_w": 2.0, "utilization": 0.2,
+//!     "lifetime_years": 3.0, "use_intensity_g_per_kwh": 301.0
+//!   }
+//! }"#;
+//! let compiled = Scenario::parse(doc).unwrap().compile().unwrap();
+//! let device = compiled.device().unwrap();
+//! assert!(compiled.embodied_grams() > 0.0);
+//! assert!(device.total_g > compiled.embodied_grams());
+//! ```
+
+pub mod compile;
+pub mod fleet;
+pub mod schema;
+
+pub use compile::{CompiledScenario, DeviceFootprint, ScenarioError};
+pub use fleet::FleetKernel;
+pub use schema::{
+    ChipSpec, Distribution, DramSpec, FleetSpec, HddSpec, Scenario, SsdSpec, Workload,
+};

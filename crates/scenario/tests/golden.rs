@@ -1,0 +1,78 @@
+//! Golden bit-identity: compiling a committed JSON fixture of a built-in
+//! device produces the **exact** embodied footprint — total and per
+//! component, compared by `f64::to_bits` — as compiling the Rust
+//! constant through [`SystemSpec::from_bom`]. This pins the scenario
+//! compiler to the constant path: both must replay the same builder fold
+//! in the same order, or these tests fail on the first differing bit.
+
+use act_core::{FabScenario, SystemSpec};
+use act_data::{devices, scenarios};
+use act_scenario::Scenario;
+
+/// Every fixture parses, compiles, and matches its oracle bit-for-bit.
+#[test]
+fn every_fixture_is_bitwise_identical_to_the_constant_path() {
+    let fab = FabScenario::default();
+    assert_eq!(devices::ALL.len(), scenarios::ALL.len());
+    for (bom, doc) in devices::ALL.iter().zip(scenarios::ALL) {
+        let scenario = Scenario::parse(doc)
+            .unwrap_or_else(|err| panic!("fixture for {} failed to parse: {err}", bom.name));
+        assert_eq!(scenario.name, bom.name, "fixture/constant name mismatch");
+
+        let compiled = scenario
+            .compile()
+            .unwrap_or_else(|err| panic!("fixture for {} failed to compile: {err}", bom.name));
+        let oracle = SystemSpec::from_bom(bom)
+            .try_embodied(&fab)
+            .unwrap_or_else(|err| panic!("oracle for {} failed: {err}", bom.name));
+
+        // Total, compared by bits — approximate equality would hide a
+        // reordered fold.
+        assert_eq!(
+            compiled.embodied_grams().to_bits(),
+            oracle.total().as_grams().to_bits(),
+            "{}: embodied total differs from the constant path",
+            bom.name
+        );
+
+        // And per component: same count, same labels, same bits.
+        let compiled_parts: Vec<_> = compiled.embodied().components().collect();
+        let oracle_parts: Vec<_> = oracle.components().collect();
+        assert_eq!(compiled_parts.len(), oracle_parts.len(), "{}: component count", bom.name);
+        for (ours, theirs) in compiled_parts.iter().zip(&oracle_parts) {
+            assert_eq!(ours.label, theirs.label, "{}: component label", bom.name);
+            assert_eq!(
+                ours.kind, theirs.kind,
+                "{}: component kind for {}",
+                bom.name, ours.label
+            );
+            assert_eq!(
+                ours.footprint.as_grams().to_bits(),
+                theirs.footprint.as_grams().to_bits(),
+                "{}: footprint bits for {}",
+                bom.name,
+                ours.label
+            );
+        }
+    }
+}
+
+/// The fixture corpus also matches under a non-default fab profile, so
+/// the equivalence is structural, not an artifact of one parameter set.
+#[test]
+fn fixtures_match_the_constant_path_under_alternate_fabs() {
+    for fab in [FabScenario::coal(), FabScenario::renewable()] {
+        for (bom, doc) in devices::ALL.iter().zip(scenarios::ALL) {
+            let mut scenario = Scenario::parse(doc).expect("fixture parses");
+            scenario.fab = Some(fab);
+            let compiled = scenario.compile().expect("fixture compiles");
+            let oracle = SystemSpec::from_bom(bom).try_embodied(&fab).expect("oracle");
+            assert_eq!(
+                compiled.embodied_grams().to_bits(),
+                oracle.total().as_grams().to_bits(),
+                "{}: embodied total differs under alternate fab",
+                bom.name
+            );
+        }
+    }
+}

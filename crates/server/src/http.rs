@@ -248,13 +248,7 @@ pub fn read_request(
     let mut request =
         Request { method: method.to_owned(), path: path.to_owned(), headers, body: Vec::new() };
 
-    let content_length = match request.header("content-length") {
-        Some(raw) => Some(
-            raw.parse::<usize>()
-                .map_err(|_| HttpError::BadRequest(format!("bad Content-Length `{raw}`")))?,
-        ),
-        None => None,
-    };
+    let content_length = parse_content_length(&request.headers)?;
     let declared = match content_length {
         Some(n) => n,
         None if request.method == "POST" => return Err(HttpError::LengthRequired),
@@ -287,6 +281,39 @@ pub fn read_request(
 /// Byte offset of the `\r\n\r\n` head terminator, if present.
 fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Extracts and validates the `Content-Length` from lower-cased header
+/// pairs, per RFC 9110 §8.6: the value is `1*DIGIT` — `+5`, `0x10`, empty,
+/// or signed values Rust's `usize::from_str` tolerates are rejected, since
+/// a lax reading here and a strict reading at a proxy is exactly the
+/// request-smuggling setup. Duplicate `Content-Length` headers must agree;
+/// conflicting duplicates are rejected outright.
+///
+/// # Errors
+///
+/// Returns [`HttpError::BadRequest`] (→ 400) for any non-`1*DIGIT` value,
+/// a value overflowing `usize`, or conflicting duplicates.
+fn parse_content_length(headers: &[(String, String)]) -> Result<Option<usize>, HttpError> {
+    let mut declared: Option<usize> = None;
+    for (_, raw) in headers.iter().filter(|(name, _)| name == "content-length") {
+        if raw.is_empty() || !raw.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(HttpError::BadRequest(format!("bad Content-Length `{raw}`")));
+        }
+        let value = raw
+            .parse::<usize>()
+            .map_err(|_| HttpError::BadRequest(format!("bad Content-Length `{raw}`")))?;
+        match declared {
+            None => declared = Some(value),
+            Some(previous) if previous != value => {
+                return Err(HttpError::BadRequest(format!(
+                    "conflicting Content-Length headers ({previous} vs {value})"
+                )));
+            }
+            Some(_) => {}
+        }
+    }
+    Ok(declared)
 }
 
 /// Writes a complete response with a known body (adds `Content-Length`).
@@ -380,5 +407,74 @@ mod tests {
         assert!(err.to_string().contains("100"));
         assert!(err.to_string().contains("50"));
         assert!(HttpError::Timeout.to_string().contains("timed out"));
+    }
+
+    /// Header pairs as `read_request` stores them: lower-cased, trimmed.
+    fn headers(pairs: &[(&str, &str)]) -> Vec<(String, String)> {
+        pairs.iter().map(|(k, v)| ((*k).to_owned(), (*v).to_owned())).collect()
+    }
+
+    #[test]
+    fn content_length_accepts_canonical_digit_values() {
+        assert_eq!(parse_content_length(&headers(&[])).unwrap(), None);
+        assert_eq!(
+            parse_content_length(&headers(&[("content-length", "0")])).unwrap(),
+            Some(0)
+        );
+        assert_eq!(
+            parse_content_length(&headers(&[("content-length", "12345")])).unwrap(),
+            Some(12345)
+        );
+        // Leading zeros are still 1*DIGIT per the RFC grammar.
+        assert_eq!(
+            parse_content_length(&headers(&[("content-length", "007")])).unwrap(),
+            Some(7)
+        );
+        // Other headers are ignored.
+        assert_eq!(
+            parse_content_length(&headers(&[("x-other", "+5"), ("content-length", "5")]))
+                .unwrap(),
+            Some(5)
+        );
+    }
+
+    /// Regression: `usize::from_str` tolerates a leading `+`, so `+5` used
+    /// to be accepted — RFC 9110 requires 1*DIGIT.
+    #[test]
+    fn content_length_rejects_non_digit_values_with_400() {
+        for raw in ["+5", "-5", " 5", "5 ", "", "0x10", "5.0", "1e3", "٥", "5,5", "+"] {
+            let err = parse_content_length(&headers(&[("content-length", raw)]))
+                .expect_err(&format!("Content-Length `{raw}` accepted"));
+            assert!(matches!(err, HttpError::BadRequest(_)), "wrong error for `{raw}`");
+            assert_eq!(err.status(), Status::BadRequest);
+        }
+        // Overflow past usize is also a 400, not a panic or wrap.
+        let huge = "9".repeat(40);
+        let err = parse_content_length(&headers(&[("content-length", &huge)])).unwrap_err();
+        assert!(matches!(err, HttpError::BadRequest(_)));
+    }
+
+    #[test]
+    fn conflicting_duplicate_content_lengths_are_rejected() {
+        let err =
+            parse_content_length(&headers(&[("content-length", "5"), ("content-length", "6")]))
+                .unwrap_err();
+        assert!(matches!(err, HttpError::BadRequest(_)));
+        assert!(err.to_string().contains("conflicting"));
+        // Agreeing duplicates are tolerated (RFC 9110 §8.6 allows folding
+        // identical values).
+        assert_eq!(
+            parse_content_length(&headers(
+                &[("content-length", "8"), ("content-length", "8"),]
+            ))
+            .unwrap(),
+            Some(8)
+        );
+        // A bad duplicate is rejected even when the first copy is clean.
+        assert!(parse_content_length(&headers(&[
+            ("content-length", "8"),
+            ("content-length", "+8"),
+        ]))
+        .is_err());
     }
 }

@@ -1,6 +1,7 @@
 //! `act-server`: a hardened, std-only HTTP/1.1 service exposing the ACT
-//! carbon model — single footprints, design-space sweeps and Monte-Carlo
-//! runs — as NDJSON over `std::net::TcpListener`.
+//! carbon model — single footprints, JSON scenarios and fleet
+//! Monte-Carlo (`/v1/scenario`, `/v1/fleet`), design-space sweeps and
+//! Monte-Carlo runs — as NDJSON over `std::net::TcpListener`.
 //!
 //! The robustness contract, in order of what fails first under hostile
 //! traffic:

@@ -155,6 +155,8 @@ pub fn dispatch(
             }
         }
         ("POST", "/v1/footprint") => handle_footprint(stream, request),
+        ("POST", "/v1/scenario") => handle_scenario(stream, request),
+        ("POST", "/v1/fleet") => handle_fleet(stream, request, stats, deadline),
         ("POST", "/v1/sweep") => handle_sweep(stream, request, config, stats, deadline),
         ("POST", "/v1/montecarlo") => {
             handle_montecarlo(stream, request, config, stats, deadline)
@@ -212,6 +214,110 @@ fn handle_footprint(
         Err(reject) => {
             let body = error_line(reject.kind, &reject.message);
             write_response(stream, reject.status, &body)?;
+            Ok(RouteOutcome::ClientError)
+        }
+    }
+}
+
+/// Parses and compiles a scenario document from the request body,
+/// folding every failure layer (UTF-8, JSON, schema, validation, model)
+/// into one 400 reject — hostile payloads never reach a 500.
+fn parse_scenario(request: &Request) -> Result<act_scenario::CompiledScenario, Reject> {
+    let doc = parse_body(request)?;
+    let scenario = act_scenario::Scenario::from_json(&doc)
+        .map_err(|err| Reject::bad("invalid-scenario", err.to_string()))?;
+    scenario.compile().map_err(|err| Reject::bad("invalid-scenario", err.to_string()))
+}
+
+/// `POST /v1/scenario` — one scenario document in, one line out with the
+/// embodied breakdown and (when a workload is present) the single-device
+/// footprint. The lowering is the exact constant-path fold, so posting a
+/// committed fixture reproduces the built-in device bit-for-bit.
+fn handle_scenario(stream: &mut TcpStream, request: &Request) -> std::io::Result<RouteOutcome> {
+    match parse_scenario(request) {
+        Ok(compiled) => {
+            let mut obj = act_json::JsonObject::new()
+                .with("name", JsonValue::String(compiled.name().to_owned()))
+                .with("embodied_g", compiled.embodied_grams().to_json())
+                .with("embodied", compiled.embodied().to_json());
+            if let Some(device) = compiled.device() {
+                obj = obj.with("device", device.to_json());
+            }
+            let mut line = JsonValue::Object(obj).render_compact();
+            line.push('\n');
+            write_response(stream, Status::Ok, &line)?;
+            Ok(RouteOutcome::Completed)
+        }
+        Err(reject) => {
+            let body = error_line(reject.kind, &reject.message);
+            write_response(stream, reject.status, &body)?;
+            Ok(RouteOutcome::ClientError)
+        }
+    }
+}
+
+/// `POST /v1/fleet` — a scenario document with a `fleet` block in, one
+/// Monte-Carlo summary line out (per-device stats plus the fleet total),
+/// or a deadline trailer when the budget expired mid-run. Rides the same
+/// budgeted block machinery as `/v1/montecarlo`, so the outcome is
+/// bit-identical whichever thread count the calibration picks.
+fn handle_fleet(
+    stream: &mut TcpStream,
+    request: &Request,
+    stats: &ServerStats,
+    deadline: Instant,
+) -> std::io::Result<RouteOutcome> {
+    let compiled = match parse_scenario(request) {
+        Ok(compiled) => compiled,
+        Err(reject) => {
+            let body = error_line(reject.kind, &reject.message);
+            write_response(stream, reject.status, &body)?;
+            return Ok(RouteOutcome::ClientError);
+        }
+    };
+    let Some(fleet) = compiled.fleet() else {
+        let body = error_line("invalid-scenario", "scenario has no `fleet` block");
+        write_response(stream, Status::BadRequest, &body)?;
+        return Ok(RouteOutcome::ClientError);
+    };
+
+    let mut buf = McBuffer::default();
+    let budget = EvalBudget::with_deadline(deadline);
+    let threads = batch_threads(fleet.samples());
+    match fleet.run(threads, &mut buf, &budget) {
+        Ok((outcome, run)) => {
+            let mut doc = outcome.to_json();
+            if let JsonValue::Object(obj) = &mut doc {
+                obj.insert("devices", fleet.devices().to_json());
+                obj.insert("fleet_total_g", fleet.fleet_total_grams(&outcome).to_json());
+                obj.insert("threads", threads.to_json());
+                obj.insert("calibration", calibration().to_json());
+            }
+            let mut line = doc.render_compact();
+            line.push('\n');
+            match run {
+                BatchRun::Completed => {
+                    write_response(stream, Status::Ok, &line)?;
+                    Ok(RouteOutcome::Completed)
+                }
+                BatchRun::DeadlineExceeded { completed } => {
+                    ServerStats::bump(&stats.deadline_trailers);
+                    write_stream_head(stream, Status::Ok)?;
+                    use std::io::Write;
+                    stream.write_all(line.as_bytes())?;
+                    let calibration = calibration_fragment();
+                    let trailer = format!(
+                        "{{\"error\":\"deadline\",\"completed\":{completed},\"threads\":{threads},\"calibration\":{calibration}}}\n"
+                    );
+                    stream.write_all(trailer.as_bytes())?;
+                    stream.flush()?;
+                    Ok(RouteOutcome::DeadlinePartial)
+                }
+            }
+        }
+        Err(err) => {
+            let body = error_line("fleet-failed", &err.to_string());
+            write_response(stream, Status::BadRequest, &body)?;
             Ok(RouteOutcome::ClientError)
         }
     }

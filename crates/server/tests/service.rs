@@ -441,3 +441,167 @@ fn slow_read_fault_still_completes_within_timeouts() {
     assert_eq!(body, "{\"ok\":true}\n");
     server.stop();
 }
+
+/// `/v1/scenario` reproduces the constant path bit-for-bit: posting the
+/// committed iPhone 11 fixture returns the same embodied total as the
+/// library computing the Rust constant, through JSON's shortest
+/// round-trip rendering.
+#[test]
+fn scenario_endpoint_matches_the_constant_device() {
+    let server = TestServer::start(ServerConfig::default());
+    let (status, body) =
+        split(&post(server.addr, "/v1/scenario", act_data::scenarios::IPHONE_11, ""));
+    assert!(status.contains("200"), "got {status}: {body}");
+    let doc = JsonValue::parse(body.trim_end()).expect("scenario body parses");
+    assert_eq!(doc.get("name").and_then(JsonValue::as_str), Some("iPhone 11"));
+    let got = doc.get("embodied_g").and_then(JsonValue::as_f64).expect("embodied_g");
+    let oracle = act_core::SystemSpec::from_bom(&act_data::devices::IPHONE_11)
+        .try_embodied(&act_core::FabScenario::default())
+        .expect("oracle")
+        .total()
+        .as_grams();
+    assert_eq!(got.to_bits(), oracle.to_bits(), "server {got} vs library {oracle}");
+    let components = doc
+        .get("embodied")
+        .and_then(|e| e.get("components"))
+        .and_then(JsonValue::as_array)
+        .expect("components array");
+    assert_eq!(components.len(), 7, "4 chips + dram + ssd + packaging");
+    server.stop();
+}
+
+/// `/v1/fleet` serves a deterministic Monte-Carlo summary with the fleet
+/// total, and the summary is independent of which thread count the
+/// calibration picks (the library pins that bit-identity; here we check
+/// the wire contract).
+#[test]
+fn fleet_endpoint_serves_deterministic_summaries() {
+    let server = TestServer::start(ServerConfig::default());
+    let body = r#"{
+        "name": "handset fleet",
+        "chips": [{"name": "SoC", "node": "N7", "area_mm2": 98.5, "count": 1}],
+        "packaged_ic_count": 30,
+        "workload": {"power_w": 2.5, "utilization": 0.15,
+                     "lifetime_years": 3.0, "use_intensity_g_per_kwh": 301.0},
+        "fleet": {
+            "devices": 1000, "samples": 512, "seed": 9,
+            "lifetime_years": {"dist": "uniform", "low": 1.0, "high": 6.0},
+            "use_intensity_g_per_kwh": {"dist": "point", "value": 301.0},
+            "utilization": {"dist": "uniform", "low": 0.05, "high": 0.3}
+        }
+    }"#;
+    let (status, first) = split(&post(server.addr, "/v1/fleet", body, ""));
+    assert!(status.contains("200"), "got {status}: {first}");
+    let doc = JsonValue::parse(first.trim_end()).expect("fleet body parses");
+    let stats = doc.get("stats").expect("stats object");
+    let mean = stats.get("mean").and_then(JsonValue::as_f64).expect("mean");
+    let total = doc.get("fleet_total_g").and_then(JsonValue::as_f64).expect("fleet_total_g");
+    assert!(mean.is_finite() && mean > 0.0);
+    assert!((total - mean * 1000.0).abs() <= total.abs() * 1e-12, "{total} vs {mean}*1000");
+    assert!(doc.get("threads").and_then(JsonValue::as_u64).is_some());
+    assert_calibration_encoding(&doc, first.trim_end());
+
+    // Same payload, same bytes: the seed pins the whole summary.
+    let (_, second) = split(&post(server.addr, "/v1/fleet", body, ""));
+    assert_eq!(first, second, "fleet summaries must be deterministic");
+    server.stop();
+}
+
+/// Hostile scenario payloads — overflowing literals, malformed
+/// distributions, ragged components, missing workloads, out-of-range
+/// supports — are all clean 400s with typed error bodies, never 500s.
+#[test]
+fn hostile_scenario_payloads_are_clean_400s() {
+    let server = TestServer::start(ServerConfig::default());
+    let workload = r#""workload": {"power_w": 1.0, "utilization": 0.5,
+                      "lifetime_years": 3.0, "use_intensity_g_per_kwh": 300.0}"#;
+    let chip = r#""chips": [{"name": "SoC", "node": "N7", "area_mm2": 50.0, "count": 1}]"#;
+    let corpus: Vec<(String, &str)> = vec![
+        // Non-finite numeric literal (rejected by the JSON layer).
+        (format!(r#"{{"name": "x", {chip}, "packaged_ic_count": 1e999}}"#), "invalid-json"),
+        // Ragged component entry: missing area_mm2.
+        (
+            r#"{"name": "x", "chips": [{"name": "SoC", "node": "N7", "count": 1}],
+                "packaged_ic_count": 1}"#
+                .to_owned(),
+            "invalid-scenario",
+        ),
+        // Unknown process node.
+        (
+            r#"{"name": "x", "chips": [{"name": "SoC", "node": "N3000", "area_mm2": 5.0,
+                "count": 1}], "packaged_ic_count": 1}"#
+                .to_owned(),
+            "invalid-scenario",
+        ),
+        // Inverted triangular distribution.
+        (
+            format!(
+                r#"{{"name": "x", {chip}, "packaged_ic_count": 1, {workload},
+                    "fleet": {{"devices": 10, "samples": 16,
+                        "lifetime_years": {{"dist": "triangular", "low": 5.0, "mode": 2.0, "high": 1.0}},
+                        "use_intensity_g_per_kwh": {{"dist": "point", "value": 300.0}},
+                        "utilization": {{"dist": "point", "value": 0.5}}}}}}"#
+            ),
+            "invalid-scenario",
+        ),
+        // Fleet block without a workload.
+        (
+            format!(
+                r#"{{"name": "x", {chip}, "packaged_ic_count": 1,
+                    "fleet": {{"devices": 10, "samples": 16,
+                        "lifetime_years": {{"dist": "point", "value": 3.0}},
+                        "use_intensity_g_per_kwh": {{"dist": "point", "value": 300.0}},
+                        "utilization": {{"dist": "point", "value": 0.5}}}}}}"#
+            ),
+            "invalid-scenario",
+        ),
+        // Every draw out of range: typed fleet failure, not a 500.
+        (
+            format!(
+                r#"{{"name": "x", {chip}, "packaged_ic_count": 1, {workload},
+                    "fleet": {{"devices": 10, "samples": 16,
+                        "lifetime_years": {{"dist": "point", "value": 400.0}},
+                        "use_intensity_g_per_kwh": {{"dist": "point", "value": 300.0}},
+                        "utilization": {{"dist": "point", "value": 0.5}}}}}}"#
+            ),
+            "fleet-failed",
+        ),
+    ];
+    for (payload, want_kind) in corpus {
+        for path in ["/v1/scenario", "/v1/fleet"] {
+            // The no-workload fleet doc is a *valid* /v1/scenario (the
+            // fleet block is simply unused there); skip that one pairing.
+            if want_kind == "invalid-scenario"
+                && path == "/v1/scenario"
+                && payload.contains("\"devices\": 10")
+                && !payload.contains("triangular")
+            {
+                continue;
+            }
+            // Range-valid docs are fine for /v1/scenario too.
+            if want_kind == "fleet-failed" && path == "/v1/scenario" {
+                continue;
+            }
+            let (status, body) = split(&post(server.addr, path, &payload, ""));
+            assert!(
+                status.contains("400"),
+                "{path} must 400 on hostile payload, got {status}: {body}"
+            );
+            let doc = JsonValue::parse(body.trim_end()).expect("error body parses");
+            let kind = doc
+                .get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(JsonValue::as_str)
+                .expect("error kind");
+            if path == "/v1/fleet" {
+                assert_eq!(kind, want_kind, "{path}: {body}");
+            }
+        }
+    }
+    // A scenario without a fleet block posted to /v1/fleet is a 400 too.
+    let (status, body) =
+        split(&post(server.addr, "/v1/fleet", act_data::scenarios::WEARABLE, ""));
+    assert!(status.contains("400"), "got {status}");
+    assert!(body.contains("no `fleet` block"), "{body}");
+    server.stop();
+}

@@ -95,6 +95,11 @@ pub struct BenchReport {
     pub sweep_gate: String,
     /// Raw JSON from `act bench-sweep --million` (empty when skipped).
     pub sweep_million: String,
+    /// Raw JSON from `act fleet-bench` — the scenario fleet Monte-Carlo
+    /// throughput probe (empty on a degraded run → rendered `null`). Its
+    /// keys deliberately avoid the exact `"compiled"` key the regression
+    /// guard scrapes for.
+    pub fleet: String,
     /// Whether the criterion smoke pass ran and succeeded (None = skipped).
     pub criterion_ok: Option<bool>,
     /// Timing repeats used.
@@ -198,9 +203,13 @@ pub fn render_record(report: &BenchReport) -> String {
     // regression guard reads the **last** `"compiled"` object in the
     // trajectory, and that must stay the fixed-size canonical sweep so
     // baselines compare like against like.
-    for (key, capture) in
-        [("sweep_gate", &report.sweep_gate), ("sweep_million", &report.sweep_million)]
-    {
+    // `fleet` renders here too — before the canonical sweep — so its
+    // throughput numbers can never shadow the sweep's `"compiled"` object.
+    for (key, capture) in [
+        ("sweep_gate", &report.sweep_gate),
+        ("sweep_million", &report.sweep_million),
+        ("fleet", &report.fleet),
+    ] {
         let capture = capture.trim();
         if capture.is_empty() {
             let _ = writeln!(out, "  \"{key}\": null,");
@@ -612,6 +621,7 @@ pub fn run_bench(config: &BenchConfig) -> Result<BenchReport, String> {
             sweep: String::new(),
             sweep_gate: String::new(),
             sweep_million: String::new(),
+            fleet: String::new(),
             criterion_ok: None,
             repeats: config.repeats.max(1),
             label: config.label.clone(),
@@ -656,6 +666,11 @@ pub fn run_bench(config: &BenchConfig) -> Result<BenchReport, String> {
         String::new()
     };
 
+    // Fleet Monte-Carlo throughput probe: a fixed 100k-sample run of the
+    // built-in server-class scenario so the trajectory tracks the scenario
+    // pipeline alongside the sweep engine.
+    let fleet = run_capture(Command::new(act_binary(root)).args(["fleet-bench", "100000"]))?;
+
     let criterion_ok = if config.criterion_smoke {
         Some(
             run_silent(
@@ -677,6 +692,7 @@ pub fn run_bench(config: &BenchConfig) -> Result<BenchReport, String> {
         sweep,
         sweep_gate,
         sweep_million,
+        fleet,
         criterion_ok,
         repeats: config.repeats.max(1),
         label: config.label.clone(),
@@ -700,6 +716,8 @@ mod tests {
             sweep_gate: "{\"points\":1000,\"machine_threads\":2,\"compiled\":{\"ms\":2.0},\"compiled_parallel\":{\"ms\":1.0}}\n"
                 .to_owned(),
             sweep_million: String::new(),
+            fleet: "{\"samples\":100000,\"fleet_serial\":{\"ms\":50.0,\"samples_per_sec\":2000000.0},\"fleet_parallel\":{\"ms\":25.0,\"samples_per_sec\":4000000.0}}\n"
+                .to_owned(),
             criterion_ok: Some(true),
             repeats: 3,
             label: Some("sample".to_owned()),
@@ -742,6 +760,7 @@ mod tests {
             "\"sweep\": {\"points\":100,\"speedup\":2.0",
             "\"sweep_gate\": {\"points\":1000,\"machine_threads\":2",
             "\"sweep_million\": null",
+            "\"fleet\": {\"samples\":100000",
             "\"criterion_smoke\": true",
         ] {
             assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
@@ -760,8 +779,12 @@ mod tests {
         let text = render_record(&r);
         let gate_at = text.find("\"sweep_gate\"").unwrap();
         let million_at = text.find("\"sweep_million\"").unwrap();
+        let fleet_at = text.find("\"fleet\"").unwrap();
         let sweep_at = text.find("\"sweep\": {").unwrap();
-        assert!(gate_at < million_at && million_at < sweep_at, "order wrong:\n{text}");
+        assert!(
+            gate_at < million_at && million_at < fleet_at && fleet_at < sweep_at,
+            "order wrong:\n{text}"
+        );
         let got = extract_compiled_throughput(&text).unwrap();
         assert!((got - 4000.0).abs() < 1e-9, "guard read the wrong compiled object: {got}");
     }
@@ -770,9 +793,11 @@ mod tests {
     fn empty_sweep_capture_renders_null() {
         let mut r = sample_report();
         r.sweep = String::new();
+        r.fleet = String::new();
         r.criterion_ok = None;
         let text = render_record(&r);
         assert!(text.contains("\"sweep\": null"));
+        assert!(text.contains("\"fleet\": null"));
         assert!(text.contains("\"criterion_smoke\": null"));
     }
 
@@ -793,6 +818,7 @@ mod tests {
             sweep: String::new(),
             sweep_gate: String::new(),
             sweep_million: String::new(),
+            fleet: String::new(),
             criterion_ok: None,
             repeats: 1,
             label: None,

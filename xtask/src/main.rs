@@ -56,7 +56,9 @@ fn usage() -> String {
      any host, and the calibrated compiled-parallel leg must not lose to\n\
      serial: exit 2 on failure (the parallel gate soft-warns with 1\n\
      hardware thread). Outside --quick a million-point compiled sweep is recorded\n\
-     too. When the release build is unavailable (offline), a degraded\n\
+     too, and every run captures a 100k-sample `act fleet-bench` record\n\
+     (`fleet_serial`/`fleet_parallel` throughput of the scenario fleet\n\
+     Monte-Carlo, invisible to the compiled-sweep guard). When the release build is unavailable (offline), a degraded\n\
      record with null timings and an `error` field is appended instead of\n\
      aborting; a later complete run tags those records `superseded` so\n\
      trend tooling skips their null timings.\n\
@@ -68,7 +70,9 @@ fn usage() -> String {
      soak builds the workspace in release mode, starts `act serve` with a\n\
      seeded fault plan (slow reads, malformed bodies, worker panics and\n\
      kills, delays) and drives a deterministic mix of good and hostile\n\
-     traffic at it, ending with a SIGTERM delivered mid-traffic. It fails\n\
+     traffic at it — including malformed scenario/fleet documents POSTed\n\
+     to /v1/scenario and /v1/fleet, which must come back as clean 400s —\n\
+     ending with a SIGTERM delivered mid-traffic. It fails\n\
      unless: every client operation completes within its timeout (zero\n\
      hangs), at least one forced panic is answered with a 500 and at least\n\
      one killed worker is respawned, the drain leaves in_flight=0 and\n\

@@ -330,7 +330,7 @@ pub fn run_soak(config: &ServiceConfig) -> Result<SoakReport, String> {
         let kind = match forced {
             Some(kind) => kind.to_owned(),
             None => {
-                const MIX: [&str; 10] = [
+                const MIX: [&str; 12] = [
                     "health",
                     "experiment",
                     "footprint",
@@ -341,10 +341,38 @@ pub fn run_soak(config: &ServiceConfig) -> Result<SoakReport, String> {
                     "badjson",
                     "panic",
                     "delay",
+                    "hostile-scenario",
+                    "hostile-fleet",
                 ];
                 MIX[(splitmix64(&mut rng) % MIX.len() as u64) as usize].to_owned()
             }
         };
+        // Hostile scenario documents: every one must come back as a clean
+        // 400 (never a 500, never a hang) from /v1/scenario and /v1/fleet.
+        const HOSTILE_SCENARIOS: [&str; 4] = [
+            // Non-finite numeric literal — rejected by the JSON layer.
+            "{\"name\":\"x\",\"chips\":[],\"dram\":[],\"ssd\":[],\"hdd\":[],\
+             \"packaged_ic_count\":1e999}",
+            // Chip missing its area — rejected by the schema layer.
+            "{\"name\":\"x\",\"chips\":[{\"name\":\"soc\",\"node\":\"N7\",\"count\":1}],\
+             \"dram\":[],\"ssd\":[],\"hdd\":[],\"packaged_ic_count\":1}",
+            // Inverted triangular support — rejected by the compiler.
+            "{\"name\":\"x\",\"chips\":[],\"dram\":[],\"ssd\":[],\"hdd\":[],\
+             \"packaged_ic_count\":1,\
+             \"workload\":{\"power_w\":5.0,\"utilization\":0.5,\"lifetime_years\":3.0,\
+             \"use_intensity_g_per_kwh\":300.0},\
+             \"fleet\":{\"devices\":10,\"samples\":64,\
+             \"lifetime_years\":{\"dist\":\"triangular\",\"low\":9.0,\"mode\":3.0,\"high\":1.0},\
+             \"use_intensity_g_per_kwh\":{\"dist\":\"point\",\"value\":300.0},\
+             \"utilization\":{\"dist\":\"point\",\"value\":0.5}}}",
+            // Fleet block without a workload — rejected by the compiler.
+            "{\"name\":\"x\",\"chips\":[],\"dram\":[],\"ssd\":[],\"hdd\":[],\
+             \"packaged_ic_count\":1,\
+             \"fleet\":{\"devices\":10,\"samples\":64,\
+             \"lifetime_years\":{\"dist\":\"point\",\"value\":3.0},\
+             \"use_intensity_g_per_kwh\":{\"dist\":\"point\",\"value\":300.0},\
+             \"utilization\":{\"dist\":\"point\",\"value\":0.5}}}",
+        ];
         let outcome = match kind.as_str() {
             "health" => get_line(&addr, "/healthz", timeout),
             "experiment" => get_line(&addr, "/v1/experiments/fig1", timeout),
@@ -361,6 +389,22 @@ pub fn run_soak(config: &ServiceConfig) -> Result<SoakReport, String> {
                 Ok(String::new())
             }
             "badjson" => post_line(&addr, "/v1/footprint", "{\"nope\":", "", timeout),
+            "hostile-scenario" | "hostile-fleet" => {
+                let path =
+                    if kind == "hostile-scenario" { "/v1/scenario" } else { "/v1/fleet" };
+                let body = HOSTILE_SCENARIOS[(splitmix64(&mut rng) % 4) as usize];
+                let response = post_line(&addr, path, body, "", timeout);
+                if let Ok(response) = &response {
+                    // Injected faults may drop the connection (empty), but a
+                    // delivered response must be the clean 400 contract.
+                    if !response.is_empty() && status_code(response) >= 500 {
+                        return Err(format!(
+                            "hostile scenario payload to {path} provoked a 5xx:\n{response}"
+                        ));
+                    }
+                }
+                response
+            }
             "panic" => {
                 let response = post_line(
                     &addr,
